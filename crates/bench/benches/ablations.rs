@@ -1,0 +1,117 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! DTTLB/PTLB capacity, shootdown cost vs thread count, and
+//! context-switch frequency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pmo_bench::bench_micro_config;
+use pmo_protect::SchemeKind;
+use pmo_sim::Replay;
+use pmo_simarch::SimConfig;
+use pmo_trace::{ThreadId, TraceEvent, TraceSink};
+use pmo_workloads::{MicroBench, MicroWorkload, Workload};
+
+fn run_with(sim: &SimConfig, kind: SchemeKind, active: u32) -> u64 {
+    let mut workload = MicroWorkload::new(MicroBench::Rbt, bench_micro_config(active));
+    let mut replay = Replay::new(kind, sim);
+    workload.setup(&mut replay);
+    let snap = replay.snapshot();
+    workload.run(&mut replay);
+    replay.finish().since(&snap).cycles
+}
+
+/// How DTTLB capacity changes design 1's cost (8/16/32 entries).
+fn dttlb_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dttlb_capacity");
+    group.sample_size(10);
+    for entries in [8u32, 16, 64] {
+        let mut sim = SimConfig::isca2020();
+        sim.dttlb_entries = entries;
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, _| {
+            b.iter(|| black_box(run_with(&sim, SchemeKind::MpkVirt, 64)));
+        });
+    }
+    group.finish();
+}
+
+/// How PTLB capacity changes design 2's cost (8/16/64 entries).
+fn ptlb_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ptlb_capacity");
+    group.sample_size(10);
+    for entries in [8u32, 16, 64] {
+        let mut sim = SimConfig::isca2020();
+        sim.ptlb_entries = entries;
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, _| {
+            b.iter(|| black_box(run_with(&sim, SchemeKind::DomainVirt, 64)));
+        });
+    }
+    group.finish();
+}
+
+/// How shootdown cost scales with thread count (design 1 pays per-thread
+/// IPIs; design 2 pays nothing).
+fn shootdown_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_shootdown_threads");
+    group.sample_size(10);
+    for threads in [1u32, 8, 64] {
+        let mut sim = SimConfig::isca2020();
+        sim.threads = threads;
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                let d1 = run_with(&sim, SchemeKind::MpkVirt, 64);
+                let d2 = run_with(&sim, SchemeKind::DomainVirt, 64);
+                black_box((d1, d2))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Context-switch flush costs: a two-thread trace ping-ponging between
+/// threads at different quanta.
+fn context_switch_quantum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_context_switch_quantum");
+    group.sample_size(20);
+    let sim = SimConfig::isca2020();
+    for quantum in [8u32, 64, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(quantum), &quantum, |b, &quantum| {
+            b.iter(|| {
+                let mut replay = Replay::new(SchemeKind::DomainVirt, &sim);
+                let base = 0x40_0000_0000u64;
+                replay.event(TraceEvent::Attach {
+                    pmo: pmo_trace::PmoId::new(1),
+                    base,
+                    size: 8 << 20,
+                    nvm: true,
+                });
+                for t in 0..2u32 {
+                    replay.event(TraceEvent::ThreadSwitch { thread: ThreadId::new(t) });
+                    replay.event(TraceEvent::SetPerm {
+                        pmo: pmo_trace::PmoId::new(1),
+                        perm: pmo_trace::Perm::ReadWrite,
+                    });
+                }
+                let mut thread = 0u32;
+                for i in 0..2048u32 {
+                    if i % quantum == 0 {
+                        thread ^= 1;
+                        replay.event(TraceEvent::ThreadSwitch { thread: ThreadId::new(thread) });
+                    }
+                    replay.load(base + u64::from(i % 1024) * 64, 8);
+                }
+                black_box(replay.finish().cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    dttlb_capacity,
+    ptlb_capacity,
+    shootdown_threads,
+    context_switch_quantum
+);
+criterion_main!(ablations);

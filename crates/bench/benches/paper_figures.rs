@@ -1,0 +1,57 @@
+//! One bench target per paper *figure*: the Figure 6 sweep kernel and the
+//! Figure 7 averaging.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pmo_bench::run_micro_once;
+use pmo_experiments::fig6::{Fig6, Fig6Point, Fig6Series};
+use pmo_experiments::fig7::fig7;
+use pmo_protect::SchemeKind;
+use pmo_simarch::SimConfig;
+use pmo_workloads::MicroBench;
+
+/// Figure 6 kernel: one benchmark at two sweep extremes under the three
+/// compared schemes.
+fn fig6_sweep(c: &mut Criterion) {
+    let sim = SimConfig::isca2020();
+    let mut group = c.benchmark_group("fig6_sweep");
+    group.sample_size(10);
+    for pmos in [16u32, 128] {
+        for kind in [SchemeKind::LibMpk, SchemeKind::MpkVirt, SchemeKind::DomainVirt] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), pmos),
+                &pmos,
+                |b, &pmos| {
+                    b.iter(|| black_box(run_micro_once(MicroBench::StringSwap, pmos, kind, &sim)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 7 kernel: averaging and speedup computation over a synthetic
+/// Figure 6 result (the arithmetic itself, separated from simulation).
+fn fig7_average(c: &mut Criterion) {
+    let point = |pmos: u32, scale: f64| Fig6Point {
+        pmos,
+        libmpk_pct: 1000.0 * scale,
+        mpk_virt_pct: 100.0 * scale,
+        domain_virt_pct: 20.0 * scale,
+    };
+    let f6 = Fig6 {
+        series: (0..5)
+            .map(|i| Fig6Series {
+                bench: "bench",
+                points: (0..7).map(|p| point(16 << p, 1.0 + i as f64 * 0.1)).collect(),
+            })
+            .collect(),
+    };
+    c.bench_function("fig7_average", |b| {
+        b.iter(|| black_box(fig7(black_box(&f6))));
+    });
+}
+
+criterion_group!(figures, fig6_sweep, fig7_average);
+criterion_main!(figures);

@@ -1,0 +1,90 @@
+//! One bench target per paper *table*: II, V, VI, VII, VIII.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pmo_bench::{run_micro_once, run_whisper_once};
+use pmo_protect::SchemeKind;
+use pmo_simarch::SimConfig;
+use pmo_workloads::{MicroBench, WhisperBench};
+
+/// Table II: configuration construction and rendering.
+fn table2_params(c: &mut Criterion) {
+    c.bench_function("table2_params", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::isca2020();
+            black_box(format!("{cfg}"))
+        });
+    });
+}
+
+/// Table V kernel: one WHISPER benchmark replayed under the four schemes
+/// the table compares.
+fn table5_whisper(c: &mut Criterion) {
+    let sim = SimConfig::isca2020();
+    let mut group = c.benchmark_group("table5_whisper");
+    group.sample_size(10);
+    for kind in [
+        SchemeKind::Unprotected,
+        SchemeKind::DefaultMpk,
+        SchemeKind::MpkVirt,
+        SchemeKind::DomainVirt,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| black_box(run_whisper_once(WhisperBench::Echo, kind, &sim)));
+        });
+    }
+    group.finish();
+}
+
+/// Table VI kernel: lowerbound vs baseline on a multi-PMO benchmark.
+fn table6_lowerbound(c: &mut Criterion) {
+    let sim = SimConfig::isca2020();
+    let mut group = c.benchmark_group("table6_lowerbound");
+    group.sample_size(10);
+    for kind in [SchemeKind::Unprotected, SchemeKind::Lowerbound] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| black_box(run_micro_once(MicroBench::Avl, 64, kind, &sim)));
+        });
+    }
+    group.finish();
+}
+
+/// Table VII kernel: the two proposed designs at a high PMO count, where
+/// the breakdown is measured.
+fn table7_breakdown(c: &mut Criterion) {
+    let sim = SimConfig::isca2020();
+    let mut group = c.benchmark_group("table7_breakdown");
+    group.sample_size(10);
+    for kind in [SchemeKind::MpkVirt, SchemeKind::DomainVirt] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let report = run_micro_once(MicroBench::Rbt, 128, kind, &sim);
+                black_box(report.breakdown)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Table VIII: the area model (pure computation).
+fn table8_area(c: &mut Criterion) {
+    let sim = SimConfig::isca2020();
+    c.bench_function("table8_area", |b| {
+        b.iter(|| {
+            let d1 = pmo_protect::mpk_virt_area(&sim, 1024, 1024);
+            let d2 = pmo_protect::domain_virt_area(&sim, 1024, 1024);
+            black_box((d1, d2))
+        });
+    });
+}
+
+criterion_group!(
+    tables,
+    table2_params,
+    table5_whisper,
+    table6_lowerbound,
+    table7_breakdown,
+    table8_area
+);
+criterion_main!(tables);

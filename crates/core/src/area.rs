@@ -1,0 +1,120 @@
+//! Hardware area and memory overhead model (paper Table VIII).
+
+use pmo_simarch::SimConfig;
+use std::fmt;
+
+/// Bits per DTTLB entry: 36-bit VA-range tag + 32-bit PMO/domain ID +
+/// valid + dirty + 4-bit protection key + 2-bit region-size field
+/// (the paper rounds this to 76 bits).
+pub const DTTLB_ENTRY_BITS: u32 = 36 + 32 + 1 + 1 + 4 + 2;
+
+/// Bits per PTLB entry: 10-bit domain-ID tag + 2-bit permission
+/// (the paper's "16 entries x 12 bits"; the dirty bit rides along as in
+/// the paper's own rounding).
+pub const PTLB_ENTRY_BITS: u32 = 10 + 2;
+
+/// Area/memory overheads of one design.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AreaReport {
+    /// Dedicated per-core registers added.
+    pub registers_per_core: u32,
+    /// Dedicated per-core buffer size in bytes (DTTLB or PTLB).
+    pub buffer_bytes: u64,
+    /// Extra bits added to each TLB entry (0 for design 1).
+    pub tlb_extra_bits: u32,
+    /// Software (per-process, pageable) memory in bytes.
+    pub software_bytes: u64,
+}
+
+/// Computes design 1's (hardware MPK virtualization) area report.
+///
+/// The DTT holds, per domain, a key field and a 2-bit permission per
+/// thread; with the paper's sizing assumptions (1024 domains, up to 1024
+/// threads) this is 256KB per process.
+#[must_use]
+pub fn mpk_virt_area(config: &SimConfig, domains: u64, threads: u64) -> AreaReport {
+    let dtt_bits = domains * (2 * threads + 64); // perms + key/id/valid overhead
+    AreaReport {
+        registers_per_core: 1, // DTT base pointer
+        buffer_bytes: u64::from(config.dttlb_entries) * u64::from(DTTLB_ENTRY_BITS) / 8,
+        tlb_extra_bits: 0, // "No other changes": TLB keeps its 4-bit key
+        software_bytes: dtt_bits / 8,
+    }
+}
+
+/// Computes design 2's (hardware domain virtualization) area report.
+///
+/// The DRT needs ~16 bytes per domain (16KB for 1024 domains); the PT
+/// stores a 2-bit permission per (domain, thread) pair (256KB for
+/// 1024 x 1024).
+#[must_use]
+pub fn domain_virt_area(config: &SimConfig, domains: u64, threads: u64) -> AreaReport {
+    let drt_bytes = domains * 16;
+    let pt_bits = domains * 2 * threads;
+    AreaReport {
+        registers_per_core: 2, // DRT and PT base pointers
+        buffer_bytes: u64::from(config.ptlb_entries) * u64::from(PTLB_ENTRY_BITS) / 8,
+        // The 10-bit domain ID replaces the 4-bit protection key: +6 bits.
+        tlb_extra_bits: config.domain_id_bits - 4,
+        software_bytes: drt_bytes + pt_bits / 8,
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} register(s)/core, {}B buffer/core, +{} bits/TLB entry, {}KB software tables",
+            self.registers_per_core,
+            self.buffer_bytes,
+            self.tlb_extra_bits,
+            self.software_bytes / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_viii() {
+        let config = SimConfig::isca2020();
+        let d1 = mpk_virt_area(&config, 1024, 1024);
+        // "16 entries x 76 bits = 152 Bytes buffer per core."
+        assert_eq!(DTTLB_ENTRY_BITS, 76);
+        assert_eq!(d1.buffer_bytes, 152);
+        assert_eq!(d1.registers_per_core, 1);
+        assert_eq!(d1.tlb_extra_bits, 0);
+        // "256KB memory per process per DTT."
+        assert_eq!(d1.software_bytes, 1024 * (2 * 1024 + 64) / 8);
+        assert!((250_000..=280_000).contains(&d1.software_bytes));
+
+        let d2 = domain_virt_area(&config, 1024, 1024);
+        // "16 entries x 12 bits = 24 Bytes buffer per core."
+        assert_eq!(PTLB_ENTRY_BITS, 12);
+        assert_eq!(d2.buffer_bytes, 24);
+        assert_eq!(d2.registers_per_core, 2);
+        // "Extend 6 bits to each TLB entry."
+        assert_eq!(d2.tlb_extra_bits, 6);
+        // "256KB + 16KB memory per process for DRT and PT."
+        assert_eq!(d2.software_bytes, 1024 * 16 + 1024 * 2 * 1024 / 8);
+        assert!((270_000..=290_000).contains(&d2.software_bytes));
+    }
+
+    #[test]
+    fn buffers_are_negligible() {
+        // "Only DTTLB and PTLB require dedicated hardware tables and their
+        // sizes are negligible (both less than 0.2KB)."
+        let config = SimConfig::isca2020();
+        assert!(mpk_virt_area(&config, 1024, 1024).buffer_bytes < 205);
+        assert!(domain_virt_area(&config, 1024, 1024).buffer_bytes < 205);
+    }
+
+    #[test]
+    fn display_formats() {
+        let config = SimConfig::isca2020();
+        let text = format!("{}", domain_virt_area(&config, 1024, 1024));
+        assert!(text.contains("24B buffer"));
+    }
+}

@@ -1,0 +1,340 @@
+//! Shared MMU state each protection scheme embeds: the two-level TLB
+//! (typed to the scheme's per-page payload), the radix page table with
+//! demand paging, and the registry of attached PMO regions.
+
+use std::collections::{BTreeMap, HashMap};
+
+use pmo_simarch::{vpn, MemKind, PageTable, Pte, SimConfig, TlbHierarchy, PAGE_SIZE};
+use pmo_trace::{Perm, PmoId, Va};
+
+use crate::fault::ProtectionFault;
+
+/// The smallest page-table granule covering `size` bytes, validated
+/// against `base`'s alignment (§IV.A's placement rule; the attach layer in
+/// `pmo-runtime` reserves regions with exactly this rule, and schemes
+/// re-derive it from the attach event).
+///
+/// # Panics
+///
+/// Panics if `size` is zero or exceeds 512GB, or if `base` is not aligned
+/// to the derived granule.
+#[must_use]
+pub fn granule_covering(base: Va, size: u64) -> u64 {
+    assert!(size > 0, "PMO size must be positive");
+    let granule = [0x1000u64, 0x20_0000, 0x4000_0000, 0x80_0000_0000]
+        .into_iter()
+        .find(|g| size <= *g)
+        .expect("PMO larger than 512GB");
+    assert_eq!(base % granule, 0, "attach base {base:#x} not aligned to granule {granule:#x}");
+    granule
+}
+
+/// An attached PMO's reserved VA region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Domain / PMO ID.
+    pub pmo: PmoId,
+    /// Region base (granule-aligned).
+    pub base: Va,
+    /// Reserved granule size (4KB/2MB/1GB/512GB).
+    pub granule: u64,
+    /// Bytes actually backed by the PMO (≤ `granule`; the paper: "the PMO
+    /// does not have to use the entire VA range allocated to it").
+    pub pool_size: u64,
+    /// Whether the backing memory is NVM.
+    pub nvm: bool,
+}
+
+impl Region {
+    /// Whether `va` falls inside the backed part of the region.
+    #[must_use]
+    pub fn backs(&self, va: Va) -> bool {
+        va >= self.base && va < self.base + self.pool_size
+    }
+
+    /// Whether `va` falls anywhere in the reserved region.
+    #[must_use]
+    pub fn covers(&self, va: Va) -> bool {
+        va >= self.base && va < self.base + self.granule
+    }
+
+    /// Number of 4KB pages backing the pool (what `pkey_mprotect` rewrites).
+    #[must_use]
+    pub fn pool_pages(&self) -> u64 {
+        self.pool_size.div_ceil(PAGE_SIZE)
+    }
+
+    /// The VPN range `[start, end)` of the reserved region, for shootdowns.
+    #[must_use]
+    pub fn vpn_range(&self) -> (u64, u64) {
+        (vpn(self.base), vpn(self.base + self.granule))
+    }
+}
+
+/// TLB payload for MPK-based schemes: the PTE's protection key plus the
+/// page attributes every scheme needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PkPayload {
+    /// Protection key (0 = NULL key, domainless).
+    pub pkey: u8,
+    /// Page-level permission.
+    pub page_perm: Perm,
+    /// Backing memory kind.
+    pub mem: MemKind,
+}
+
+/// TLB payload for the domain-virtualization scheme: the 10-bit domain ID
+/// stored in place of the protection key (§IV.E).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DomPayload {
+    /// Domain ID ([`PmoId::NULL`] = domainless).
+    pub domain: PmoId,
+    /// Page-level permission.
+    pub page_perm: Perm,
+    /// Backing memory kind.
+    pub mem: MemKind,
+}
+
+/// TLB payload for unprotected / lowerbound schemes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlainPayload {
+    /// Page-level permission.
+    pub page_perm: Perm,
+    /// Backing memory kind.
+    pub mem: MemKind,
+}
+
+/// The MMU state a scheme embeds.
+#[derive(Debug)]
+pub struct MmuBase<P> {
+    /// Two-level TLB hierarchy.
+    pub tlb: TlbHierarchy<P>,
+    /// The process page table.
+    pub page_table: PageTable,
+    regions: BTreeMap<Va, Region>,
+    by_pmo: HashMap<PmoId, Va>,
+    next_pfn: u64,
+    demand_maps: u64,
+}
+
+impl<P: Copy> MmuBase<P> {
+    /// Creates an MMU from the simulation config.
+    #[must_use]
+    pub fn new(config: &SimConfig) -> Self {
+        MmuBase {
+            tlb: TlbHierarchy::new(config),
+            page_table: PageTable::new(),
+            regions: BTreeMap::new(),
+            by_pmo: HashMap::new(),
+            next_pfn: 1,
+            demand_maps: 0,
+        }
+    }
+
+    /// Registers an attached region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PMO is already attached (attach-layer invariant).
+    pub fn attach_region(&mut self, region: Region) {
+        let prior = self.by_pmo.insert(region.pmo, region.base);
+        assert!(prior.is_none(), "PMO already attached in MMU");
+        self.regions.insert(region.base, region);
+    }
+
+    /// Removes a region on detach: unmaps its pages and invalidates its
+    /// TLB entries. Returns the region and the number of TLB entries
+    /// invalidated.
+    pub fn detach_region(&mut self, pmo: PmoId) -> Option<(Region, u64)> {
+        let base = self.by_pmo.remove(&pmo)?;
+        let region = self.regions.remove(&base)?;
+        self.page_table.unmap_range(region.base, region.pool_size.div_ceil(PAGE_SIZE) * PAGE_SIZE);
+        let (start, end) = region.vpn_range();
+        let removed = self.tlb.invalidate_range(start, end);
+        Some((region, removed))
+    }
+
+    /// The region containing `va`, if any.
+    #[must_use]
+    pub fn region_at(&self, va: Va) -> Option<Region> {
+        let (_, region) = self.regions.range(..=va).next_back()?;
+        region.covers(va).then_some(*region)
+    }
+
+    /// The region of a PMO, if attached.
+    #[must_use]
+    pub fn region_of(&self, pmo: PmoId) -> Option<Region> {
+        let base = self.by_pmo.get(&pmo)?;
+        self.regions.get(base).copied()
+    }
+
+    /// Number of attached regions.
+    #[must_use]
+    pub fn regions_len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Walks the page table, demand-mapping on first touch.
+    ///
+    /// - Inside a region's backed range: maps an NVM/DRAM page; `pkey_for`
+    ///   supplies the PTE protection key (MPK schemes tag pages with their
+    ///   domain's current key; others pass `|_| 0`).
+    /// - Inside a region but beyond the pool's backed bytes: page fault.
+    /// - Outside all regions: anonymous DRAM page (process heap/stack).
+    ///
+    /// Returns the PTE and the region (if the address is PMO memory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtectionFault::PageFault`] for unbacked region addresses.
+    pub fn walk_or_map(
+        &mut self,
+        va: Va,
+        pkey_for: impl FnOnce(&Region) -> u8,
+    ) -> Result<(Pte, Option<Region>), ProtectionFault> {
+        let region = self.region_at(va);
+        if let Some(pte) = self.page_table.walk(va) {
+            return Ok((pte, region));
+        }
+        match region {
+            Some(r) if r.backs(va) => {
+                let pte = Pte {
+                    pfn: self.next_pfn,
+                    perm: Perm::ReadWrite,
+                    pkey: pkey_for(&r),
+                    mem: if r.nvm { MemKind::Nvm } else { MemKind::Dram },
+                };
+                self.next_pfn += 1;
+                self.demand_maps += 1;
+                self.page_table.map_page(va & !(PAGE_SIZE - 1), pte);
+                Ok((pte, Some(r)))
+            }
+            Some(_) => Err(ProtectionFault::PageFault { va }),
+            None => {
+                let pte = Pte {
+                    pfn: self.next_pfn,
+                    perm: Perm::ReadWrite,
+                    pkey: 0,
+                    mem: MemKind::Dram,
+                };
+                self.next_pfn += 1;
+                self.demand_maps += 1;
+                self.page_table.map_page(va & !(PAGE_SIZE - 1), pte);
+                Ok((pte, None))
+            }
+        }
+    }
+
+    /// Invalidates a region's TLB entries (the `Range_Flush` shootdown of
+    /// §IV.D); returns the number of entries removed.
+    pub fn shootdown(&mut self, region: &Region) -> u64 {
+        let (start, end) = region.vpn_range();
+        self.tlb.invalidate_range(start, end)
+    }
+
+    /// Total demand-mapped pages.
+    #[must_use]
+    pub fn demand_maps(&self) -> u64 {
+        self.demand_maps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB1: u64 = 1 << 30;
+
+    fn region(id: u32, base: Va) -> Region {
+        Region { pmo: PmoId::new(id), base, granule: GB1, pool_size: 8 << 20, nvm: true }
+    }
+
+    fn mmu() -> MmuBase<PkPayload> {
+        MmuBase::new(&SimConfig::isca2020())
+    }
+
+    #[test]
+    fn demand_maps_pmo_pages_as_nvm() {
+        let mut m = mmu();
+        m.attach_region(region(1, GB1));
+        let (pte, r) = m.walk_or_map(GB1 + 0x1234, |_| 7).unwrap();
+        assert_eq!(pte.mem, MemKind::Nvm);
+        assert_eq!(pte.pkey, 7);
+        assert_eq!(r.unwrap().pmo, PmoId::new(1));
+        // Second walk hits the existing mapping (pkey closure not applied).
+        let (pte2, _) = m.walk_or_map(GB1 + 0x1000, |_| 9).unwrap();
+        assert_eq!(pte2, pte, "same page, stable PTE");
+        assert_eq!(m.demand_maps(), 1);
+    }
+
+    #[test]
+    fn unbacked_region_addresses_fault() {
+        let mut m = mmu();
+        m.attach_region(region(1, GB1));
+        // The 8MB pool backs only the first 8MB of the 1GB reservation.
+        let beyond = GB1 + (8 << 20) + 0x1000;
+        assert!(matches!(
+            m.walk_or_map(beyond, |_| 0),
+            Err(ProtectionFault::PageFault { .. })
+        ));
+    }
+
+    #[test]
+    fn anonymous_memory_is_dram_domainless() {
+        let mut m = mmu();
+        let (pte, r) = m.walk_or_map(0x10_0000, |_| 5).unwrap();
+        assert_eq!(pte.mem, MemKind::Dram);
+        assert_eq!(pte.pkey, 0);
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn region_lookup_boundaries() {
+        let mut m = mmu();
+        m.attach_region(region(1, GB1));
+        m.attach_region(region(2, 2 * GB1));
+        assert_eq!(m.region_at(GB1).unwrap().pmo, PmoId::new(1));
+        assert_eq!(m.region_at(2 * GB1 - 1).unwrap().pmo, PmoId::new(1));
+        assert_eq!(m.region_at(2 * GB1).unwrap().pmo, PmoId::new(2));
+        assert!(m.region_at(GB1 - 1).is_none());
+        assert_eq!(m.regions_len(), 2);
+        assert_eq!(m.region_of(PmoId::new(2)).unwrap().base, 2 * GB1);
+    }
+
+    #[test]
+    fn detach_unmaps_and_invalidates() {
+        let mut m = mmu();
+        m.attach_region(region(1, GB1));
+        let (pte, _) = m.walk_or_map(GB1, |_| 1).unwrap();
+        m.tlb.fill(vpn(GB1), PkPayload { pkey: 1, page_perm: pte.perm, mem: pte.mem });
+        let (r, removed) = m.detach_region(PmoId::new(1)).unwrap();
+        assert_eq!(r.pmo, PmoId::new(1));
+        assert_eq!(removed, 2, "entry removed from both TLB levels");
+        assert!(m.page_table.walk(GB1).is_none());
+        assert!(m.detach_region(PmoId::new(1)).is_none());
+    }
+
+    #[test]
+    fn shootdown_counts_entries() {
+        let mut m = mmu();
+        m.attach_region(region(1, GB1));
+        for i in 0..4 {
+            let va = GB1 + i * PAGE_SIZE;
+            let (pte, _) = m.walk_or_map(va, |_| 1).unwrap();
+            m.tlb.fill(vpn(va), PkPayload { pkey: 1, page_perm: pte.perm, mem: pte.mem });
+        }
+        let r = m.region_of(PmoId::new(1)).unwrap();
+        assert_eq!(m.shootdown(&r), 8, "4 pages x 2 TLB levels");
+        assert_eq!(m.shootdown(&r), 0, "second shootdown finds nothing");
+    }
+
+    #[test]
+    fn pool_pages_math() {
+        let r = region(1, GB1);
+        assert_eq!(r.pool_pages(), 2048, "8MB / 4KB");
+        assert!(r.backs(GB1));
+        assert!(!r.backs(GB1 + (8 << 20)));
+        assert!(r.covers(GB1 + (8 << 20)));
+        assert!(!r.covers(2 * GB1));
+    }
+}

@@ -1,0 +1,122 @@
+//! The PKRU register (Intel MPK's per-logical-core permission register).
+//!
+//! 32 bits: for each of the 16 protection keys, bit `2k` is AD (access
+//! disable) and bit `2k+1` is WD (write disable). `WRPKRU` replaces the
+//! whole register; `RDPKRU` reads it. The paper's SETPERM differs in that
+//! it updates the permission of a *single domain*, which the schemes model
+//! on top of this register or of the PTLB.
+
+use pmo_trace::Perm;
+
+/// Number of architected protection keys.
+pub const NUM_KEYS: usize = 16;
+
+/// A PKRU register value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Pkru(u32);
+
+impl Pkru {
+    /// All keys fully accessible (AD=WD=0 for every key).
+    pub const ALL_ACCESS: Pkru = Pkru(0);
+
+    /// All keys inaccessible — the safe default the paper's evaluation uses
+    /// ("The default permission for this key is inaccessible").
+    pub const ALL_DENIED: Pkru = Pkru(0x5555_5555);
+
+    /// Creates a PKRU from its raw 32-bit value (the WRPKRU operand).
+    #[must_use]
+    pub const fn from_raw(raw: u32) -> Self {
+        Pkru(raw)
+    }
+
+    /// The raw 32-bit value (the RDPKRU result).
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The permission the register grants for `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= 16`.
+    #[must_use]
+    pub fn perm(self, key: u8) -> Perm {
+        assert!((key as usize) < NUM_KEYS, "protection key out of range");
+        let ad = self.0 >> (2 * key) & 1 != 0;
+        let wd = self.0 >> (2 * key + 1) & 1 != 0;
+        match (ad, wd) {
+            (true, _) => Perm::None,
+            (false, true) => Perm::ReadOnly,
+            (false, false) => Perm::ReadWrite,
+        }
+    }
+
+    /// Returns a register with `key`'s permission replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= 16`.
+    #[must_use]
+    pub fn with_perm(self, key: u8, perm: Perm) -> Pkru {
+        assert!((key as usize) < NUM_KEYS, "protection key out of range");
+        let shift = 2 * key;
+        let bits = match perm {
+            Perm::None => 0b01, // AD=1 (WD irrelevant; keep it 0)
+            Perm::ReadOnly => 0b10, // AD=0, WD=1
+            Perm::ReadWrite => 0b00,
+        };
+        Pkru((self.0 & !(0b11 << shift)) | (bits << shift))
+    }
+}
+
+impl std::fmt::Display for Pkru {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PKRU={:#010x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        for k in 0..16 {
+            assert_eq!(Pkru::ALL_ACCESS.perm(k), Perm::ReadWrite);
+            assert_eq!(Pkru::ALL_DENIED.perm(k), Perm::None);
+        }
+    }
+
+    #[test]
+    fn set_and_get_each_key() {
+        for k in 0..16u8 {
+            for p in [Perm::None, Perm::ReadOnly, Perm::ReadWrite] {
+                let r = Pkru::ALL_DENIED.with_perm(k, p);
+                assert_eq!(r.perm(k), p, "key {k} perm {p:?}");
+                // Other keys unaffected.
+                for other in 0..16u8 {
+                    if other != k {
+                        assert_eq!(r.perm(other), Perm::None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raw_roundtrip_matches_intel_encoding() {
+        // Key 0 RW, key 1 RO (WD), key 2 none (AD).
+        let r = Pkru::ALL_ACCESS.with_perm(1, Perm::ReadOnly).with_perm(2, Perm::None);
+        assert_eq!(r.raw() & 0b11, 0b00);
+        assert_eq!(r.raw() >> 2 & 0b11, 0b10);
+        assert_eq!(r.raw() >> 4 & 0b11, 0b01);
+        assert_eq!(Pkru::from_raw(r.raw()), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn key_16_panics() {
+        let _ = Pkru::ALL_ACCESS.perm(16);
+    }
+}

@@ -1,0 +1,333 @@
+//! Design 2 — Hardware-based domain virtualization (§IV.E).
+//!
+//! Foregoes protection keys entirely: each TLB entry carries a domain ID
+//! (filled from the Domain Range Table, walked in parallel with the page
+//! table), and per-thread domain permissions live in the Permission Table,
+//! cached by a per-core PTLB. SETPERM completes inside the PTLB, and key
+//! remapping — and with it every TLB shootdown — disappears. The price is
+//! one PTLB lookup cycle on every domain access.
+
+use pmo_simarch::{vpn, MemKind, SimConfig, TlbStats};
+use pmo_trace::{AccessKind, Perm, PmoId, ThreadId, Va};
+
+use crate::breakdown::CostBreakdown;
+use crate::drt::DomainRangeTable;
+use crate::fault::ProtectionFault;
+use crate::mmu::{granule_covering, DomPayload, MmuBase, Region};
+use crate::pt::PermissionTable;
+use crate::ptlb::{Ptlb, PtlbEntry};
+use crate::scheme::{AccessResult, ProtectionScheme, SchemeKind, SchemeStats};
+
+/// Hardware domain virtualization.
+#[derive(Debug)]
+pub struct DomainVirt {
+    mmu: MmuBase<DomPayload>,
+    drt: DomainRangeTable,
+    pt: PermissionTable,
+    ptlb: Ptlb,
+    cfg: SimConfig,
+    current: ThreadId,
+    stats: SchemeStats,
+    breakdown: CostBreakdown,
+}
+
+impl DomainVirt {
+    /// Creates the scheme.
+    #[must_use]
+    pub fn new(config: &SimConfig) -> Self {
+        DomainVirt {
+            mmu: MmuBase::new(config),
+            drt: DomainRangeTable::new(),
+            pt: PermissionTable::new(),
+            ptlb: Ptlb::new(config.ptlb_entries),
+            cfg: config.clone(),
+            current: ThreadId::MAIN,
+            stats: SchemeStats::default(),
+            breakdown: CostBreakdown::default(),
+        }
+    }
+
+    /// The PTLB/PT permission check for a domain access (Figure 5, steps
+    /// 4 and 8-9). Returns the domain permission and adds its latency.
+    fn domain_perm(&mut self, domain: PmoId, cycles: &mut u64) -> Perm {
+        // Every domain access pays the PTLB lookup.
+        *cycles += self.cfg.ptlb_access_cycles;
+        self.breakdown.access_latency += self.cfg.ptlb_access_cycles;
+        if let Some(entry) = self.ptlb.lookup(domain) {
+            return entry.perm;
+        }
+        // PTLB miss: Permission Table lookup plus a fill.
+        *cycles += self.cfg.ptlb_miss_cycles;
+        self.breakdown.translation_miss += self.cfg.ptlb_miss_cycles;
+        self.stats.ptlb_misses += 1;
+        let perm = self.pt.get(domain, self.current);
+        if let Some(victim) = self.ptlb.insert(PtlbEntry { pmo: domain, perm, dirty: false }) {
+            if victim.dirty {
+                self.pt.set(victim.pmo, self.current, victim.perm);
+                *cycles += self.cfg.ptlb_entry_op_cycles;
+                self.breakdown.entry_changes += self.cfg.ptlb_entry_op_cycles;
+            }
+        }
+        perm
+    }
+}
+
+impl ProtectionScheme for DomainVirt {
+    fn name(&self) -> &'static str {
+        "hardware domain virtualization (DRT + PT + PTLB)"
+    }
+
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::DomainVirt
+    }
+
+    fn attach(&mut self, pmo: PmoId, base: Va, size: u64, nvm: bool) -> u64 {
+        let granule = granule_covering(base, size);
+        self.mmu.attach_region(Region { pmo, base, granule, pool_size: size, nvm });
+        self.drt.attach(pmo, base, granule);
+        self.pt.add_domain(pmo);
+        let cycles = self.cfg.attach_kernel_cycles + self.cfg.syscall_cycles;
+        self.breakdown.software += cycles;
+        cycles
+    }
+
+    fn detach(&mut self, pmo: PmoId) -> u64 {
+        if let Some((_, removed)) = self.mmu.detach_region(pmo) {
+            self.stats.tlb_entries_invalidated += removed;
+        }
+        self.ptlb.invalidate(pmo);
+        self.pt.remove_domain(pmo);
+        self.drt.detach(pmo);
+        let cycles = self.cfg.attach_kernel_cycles + self.cfg.syscall_cycles;
+        self.breakdown.software += cycles;
+        cycles
+    }
+
+    fn set_perm(&mut self, pmo: PmoId, perm: Perm) -> u64 {
+        self.stats.set_perms += 1;
+        // SETPERM instruction (fence semantics), completed in the PTLB.
+        let mut cycles = self.cfg.wrpkru_cycles + self.cfg.ptlb_entry_op_cycles;
+        self.breakdown.permission_change += self.cfg.wrpkru_cycles;
+        self.breakdown.entry_changes += self.cfg.ptlb_entry_op_cycles;
+        if let Some(entry) = self.ptlb.lookup(pmo) {
+            entry.perm = perm;
+            entry.dirty = true;
+        } else {
+            // PTLB miss: the entry is fetched from the Permission Table
+            // (read-modify-write), then updated in place.
+            cycles += self.cfg.ptlb_miss_cycles;
+            self.breakdown.translation_miss += self.cfg.ptlb_miss_cycles;
+            self.stats.ptlb_misses += 1;
+            if let Some(victim) = self.ptlb.insert(PtlbEntry { pmo, perm, dirty: true }) {
+                if victim.dirty {
+                    self.pt.set(victim.pmo, self.current, victim.perm);
+                    cycles += self.cfg.ptlb_entry_op_cycles;
+                    self.breakdown.entry_changes += self.cfg.ptlb_entry_op_cycles;
+                }
+            }
+        }
+        cycles
+    }
+
+    fn access(&mut self, va: Va, kind: AccessKind) -> AccessResult {
+        let (payload, _, mut cycles) = self.mmu.tlb.lookup(vpn(va));
+        let payload = match payload {
+            Some(p) => p,
+            None => {
+                // Page table walk and DRT walk proceed in parallel; the DRT
+                // is shallower than the page table, so it adds no latency
+                // (§V).
+                match self.mmu.walk_or_map(va, |_| 0) {
+                    Ok((pte, _)) => {
+                        let domain = self.drt.domain_of(va);
+                        let p = DomPayload { domain, page_perm: pte.perm, mem: pte.mem };
+                        self.mmu.tlb.fill(vpn(va), p);
+                        p
+                    }
+                    Err(fault) => {
+                        self.stats.faults += 1;
+                        return AccessResult { cycles, mem: MemKind::Dram, fault: Some(fault) };
+                    }
+                }
+            }
+        };
+        let domain_perm = if payload.domain.is_null() {
+            Perm::ReadWrite // domainless: no further action (Figure 5, step 3)
+        } else {
+            self.domain_perm(payload.domain, &mut cycles)
+        };
+        let effective = domain_perm.meet(payload.page_perm);
+        let fault = if effective.allows(kind) {
+            None
+        } else {
+            self.stats.faults += 1;
+            Some(ProtectionFault::DomainDenied {
+                thread: self.current,
+                pmo: payload.domain,
+                attempted: kind,
+                held: domain_perm,
+                va,
+            })
+        };
+        AccessResult { cycles, mem: payload.mem, fault }
+    }
+
+    fn context_switch(&mut self, to: ThreadId) -> u64 {
+        // Flush thread-specific PTLB state (dirty entries write back to the
+        // PT); the TLB's domain IDs remain valid and are NOT flushed.
+        let dirty = self.ptlb.flush();
+        let cycles = dirty.len() as u64 * self.cfg.ptlb_entry_op_cycles;
+        for entry in dirty {
+            self.pt.set(entry.pmo, self.current, entry.perm);
+        }
+        self.breakdown.entry_changes += cycles;
+        self.current = to;
+        self.stats.context_switches += 1;
+        cycles
+    }
+
+    fn current_thread(&self) -> ThreadId {
+        self.current
+    }
+
+    fn breakdown(&self) -> CostBreakdown {
+        self.breakdown
+    }
+
+    fn stats(&self) -> SchemeStats {
+        self.stats
+    }
+
+    fn tlb_stats(&self) -> TlbStats {
+        *self.mmu.tlb.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB1: u64 = 1 << 30;
+
+    fn scheme_with(n: u32) -> DomainVirt {
+        let mut s = DomainVirt::new(&SimConfig::isca2020());
+        for i in 1..=n {
+            s.attach(PmoId::new(i), u64::from(i) * GB1, 8 << 20, true);
+        }
+        s
+    }
+
+    #[test]
+    fn enforces_domain_permissions() {
+        let mut s = scheme_with(2);
+        assert!(!s.access(GB1, AccessKind::Read).allowed());
+        s.set_perm(PmoId::new(1), Perm::ReadOnly);
+        assert!(s.access(GB1, AccessKind::Read).allowed());
+        assert!(!s.access(GB1, AccessKind::Write).allowed());
+        assert!(!s.access(2 * GB1, AccessKind::Read).allowed());
+    }
+
+    #[test]
+    fn no_shootdowns_ever() {
+        let mut s = scheme_with(64);
+        for round in 0..3 {
+            for i in 1..=64u32 {
+                s.set_perm(PmoId::new(i), Perm::ReadWrite);
+                assert!(s.access(u64::from(i) * GB1 + round, AccessKind::Write).allowed());
+                s.set_perm(PmoId::new(i), Perm::None);
+            }
+        }
+        assert_eq!(s.stats().shootdowns, 0, "design 2 removes shootdowns entirely");
+        assert_eq!(s.stats().key_evictions, 0);
+        assert_eq!(s.breakdown().tlb_invalidation, 0);
+    }
+
+    #[test]
+    fn ptlb_latency_on_every_domain_access() {
+        let mut s = scheme_with(1);
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        s.access(GB1, AccessKind::Write); // warm TLB + PTLB
+        let warm = s.access(GB1, AccessKind::Write);
+        // L1 TLB hit (1) + PTLB lookup (1).
+        assert_eq!(warm.cycles, 2);
+        // Non-domain memory does not pay the PTLB cycle.
+        s.access(0x10_0000, AccessKind::Read);
+        let anon = s.access(0x10_0000, AccessKind::Read);
+        assert_eq!(anon.cycles, 1);
+    }
+
+    #[test]
+    fn ptlb_misses_with_many_domains() {
+        let mut s = scheme_with(64);
+        for i in 1..=64u32 {
+            s.set_perm(PmoId::new(i), Perm::ReadOnly);
+        }
+        for i in 1..=64u32 {
+            s.access(u64::from(i) * GB1, AccessKind::Read);
+        }
+        assert!(s.stats().ptlb_misses > 0, "64 domains through a 16-entry PTLB");
+        assert!(s.breakdown().translation_miss > 0);
+    }
+
+    #[test]
+    fn setperm_completes_in_ptlb_and_survives_eviction() {
+        let mut s = scheme_with(32);
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        // Evict domain 1's PTLB entry by touching 16+ other domains.
+        for i in 2..=18u32 {
+            s.set_perm(PmoId::new(i), Perm::ReadOnly);
+        }
+        // The dirty entry was written back to the PT; the grant survives.
+        assert!(s.access(GB1, AccessKind::Write).allowed());
+    }
+
+    #[test]
+    fn context_switch_flushes_ptlb_not_tlb() {
+        let mut s = scheme_with(1);
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        s.access(GB1, AccessKind::Write);
+        let tlb_misses_before = s.tlb_stats().misses;
+        s.context_switch(ThreadId::new(1));
+        assert!(!s.access(GB1, AccessKind::Write).allowed(), "thread 1 has no grant");
+        // The denied access hit the TLB (no new page walk): domain IDs in
+        // the TLB remain valid across context switches.
+        assert_eq!(s.tlb_stats().misses, tlb_misses_before);
+        s.context_switch(ThreadId::MAIN);
+        assert!(s.access(GB1, AccessKind::Write).allowed());
+    }
+
+    #[test]
+    fn spatial_isolation_between_threads() {
+        let mut s = scheme_with(2);
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        s.context_switch(ThreadId::new(1));
+        s.set_perm(PmoId::new(2), Perm::ReadOnly);
+        assert!(!s.access(GB1, AccessKind::Read).allowed(), "t1 lacks pmo1");
+        assert!(s.access(2 * GB1, AccessKind::Read).allowed());
+        s.context_switch(ThreadId::MAIN);
+        assert!(s.access(GB1, AccessKind::Write).allowed());
+        assert!(!s.access(2 * GB1, AccessKind::Read).allowed(), "main lacks pmo2");
+    }
+
+    #[test]
+    fn detach_drops_permissions() {
+        let mut s = scheme_with(1);
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        s.detach(PmoId::new(1));
+        s.attach(PmoId::new(1), GB1, 8 << 20, true);
+        assert!(!s.access(GB1, AccessKind::Read).allowed());
+    }
+
+    #[test]
+    fn thousand_domains_supported() {
+        let mut s = scheme_with(1000);
+        for i in (1..=1000u32).step_by(97) {
+            s.set_perm(PmoId::new(i), Perm::ReadWrite);
+            assert!(s.access(u64::from(i) * GB1, AccessKind::Write).allowed());
+            s.set_perm(PmoId::new(i), Perm::None);
+            assert!(!s.access(u64::from(i) * GB1, AccessKind::Write).allowed());
+        }
+        assert_eq!(s.stats().shootdowns, 0);
+        assert_eq!(s.stats().domainless_fallbacks, 0);
+    }
+}

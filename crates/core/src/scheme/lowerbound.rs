@@ -1,0 +1,240 @@
+//! The ideal lowerbound (§V): MPK virtualization with *no* penalty beyond
+//! executing the WRPKRU permission-switch instructions.
+//!
+//! "One can think of this scheme as having MPK virtualization without any
+//! penalties for accessing the DTTLB or DTT." It still enforces the full
+//! domain semantics functionally, so every scheme can be checked for
+//! identical allow/deny behaviour against it.
+
+use std::collections::HashMap;
+
+use pmo_simarch::{vpn, MemKind, SimConfig, TlbStats};
+use pmo_trace::{AccessKind, Perm, PmoId, ThreadId, Va};
+
+use crate::breakdown::CostBreakdown;
+use crate::fault::ProtectionFault;
+use crate::mmu::{granule_covering, MmuBase, PlainPayload, Region};
+use crate::scheme::{AccessResult, ProtectionScheme, SchemeKind, SchemeStats};
+
+/// Ideal MPK-virtualization lowerbound.
+#[derive(Debug)]
+pub struct Lowerbound {
+    mmu: MmuBase<PlainPayload>,
+    perms: HashMap<(ThreadId, PmoId), Perm>,
+    wrpkru_cycles: u64,
+    attach_cycles: u64,
+    current: ThreadId,
+    stats: SchemeStats,
+    breakdown: CostBreakdown,
+}
+
+impl Lowerbound {
+    /// Creates the lowerbound scheme.
+    #[must_use]
+    pub fn new(config: &SimConfig) -> Self {
+        Lowerbound {
+            mmu: MmuBase::new(config),
+            perms: HashMap::new(),
+            wrpkru_cycles: config.wrpkru_cycles,
+            attach_cycles: config.attach_kernel_cycles + config.syscall_cycles,
+            current: ThreadId::MAIN,
+            stats: SchemeStats::default(),
+            breakdown: CostBreakdown::default(),
+        }
+    }
+
+    fn domain_perm(&self, pmo: PmoId) -> Perm {
+        self.perms.get(&(self.current, pmo)).copied().unwrap_or(Perm::None)
+    }
+}
+
+impl ProtectionScheme for Lowerbound {
+    fn name(&self) -> &'static str {
+        "ideal lowerbound (WRPKRU cost only)"
+    }
+
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Lowerbound
+    }
+
+    fn attach(&mut self, pmo: PmoId, base: Va, size: u64, nvm: bool) -> u64 {
+        self.mmu.attach_region(Region {
+            pmo,
+            base,
+            granule: granule_covering(base, size),
+            pool_size: size,
+            nvm,
+        });
+        self.breakdown.software += self.attach_cycles;
+        self.attach_cycles
+    }
+
+    fn detach(&mut self, pmo: PmoId) -> u64 {
+        self.mmu.detach_region(pmo);
+        self.perms.retain(|(_, p), _| *p != pmo);
+        self.breakdown.software += self.attach_cycles;
+        self.attach_cycles
+    }
+
+    fn set_perm(&mut self, pmo: PmoId, perm: Perm) -> u64 {
+        self.stats.set_perms += 1;
+        if perm == Perm::None {
+            self.perms.remove(&(self.current, pmo));
+        } else {
+            self.perms.insert((self.current, pmo), perm);
+        }
+        self.breakdown.permission_change += self.wrpkru_cycles;
+        self.wrpkru_cycles
+    }
+
+    fn access(&mut self, va: Va, kind: AccessKind) -> AccessResult {
+        let (payload, _, cycles) = self.mmu.tlb.lookup(vpn(va));
+        let payload = match payload {
+            Some(p) => p,
+            None => match self.mmu.walk_or_map(va, |_| 0) {
+                Ok((pte, _)) => {
+                    let p = PlainPayload { page_perm: pte.perm, mem: pte.mem };
+                    self.mmu.tlb.fill(vpn(va), p);
+                    p
+                }
+                Err(fault) => {
+                    self.stats.faults += 1;
+                    return AccessResult { cycles, mem: MemKind::Dram, fault: Some(fault) };
+                }
+            },
+        };
+        // Zero-cost (ideal) domain check.
+        let effective = match self.mmu.region_at(va) {
+            Some(region) => self.domain_perm(region.pmo).meet(payload.page_perm),
+            None => payload.page_perm,
+        };
+        let fault = if effective.allows(kind) {
+            None
+        } else {
+            self.stats.faults += 1;
+            Some(match self.mmu.region_at(va) {
+                Some(region) => ProtectionFault::DomainDenied {
+                    thread: self.current,
+                    pmo: region.pmo,
+                    attempted: kind,
+                    held: self.domain_perm(region.pmo),
+                    va,
+                },
+                None => ProtectionFault::PageDenied {
+                    thread: self.current,
+                    attempted: kind,
+                    held: payload.page_perm,
+                    va,
+                },
+            })
+        };
+        AccessResult { cycles, mem: payload.mem, fault }
+    }
+
+    fn context_switch(&mut self, to: ThreadId) -> u64 {
+        self.current = to;
+        self.stats.context_switches += 1;
+        0
+    }
+
+    fn current_thread(&self) -> ThreadId {
+        self.current
+    }
+
+    fn breakdown(&self) -> CostBreakdown {
+        self.breakdown
+    }
+
+    fn stats(&self) -> SchemeStats {
+        self.stats
+    }
+
+    fn tlb_stats(&self) -> TlbStats {
+        *self.mmu.tlb.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB1: u64 = 1 << 30;
+
+    fn scheme_with_pmo() -> Lowerbound {
+        let mut s = Lowerbound::new(&SimConfig::isca2020());
+        s.attach(PmoId::new(1), GB1, 8 << 20, true);
+        s
+    }
+
+    #[test]
+    fn denies_without_permission() {
+        let mut s = scheme_with_pmo();
+        let r = s.access(GB1, AccessKind::Read);
+        assert!(matches!(r.fault, Some(ProtectionFault::DomainDenied { .. })));
+    }
+
+    #[test]
+    fn figure2a_temporal_sequence() {
+        // The paper's Figure 2(a): +R allows ld, denies st; +W allows st;
+        // -R -W denies ld.
+        let mut s = scheme_with_pmo();
+        let pmo = PmoId::new(1);
+        assert_eq!(s.set_perm(pmo, Perm::ReadOnly), 27);
+        assert!(s.access(GB1, AccessKind::Read).allowed());
+        assert!(!s.access(GB1 + 8, AccessKind::Write).allowed());
+        s.set_perm(pmo, Perm::ReadWrite);
+        assert!(s.access(GB1 + 16, AccessKind::Write).allowed());
+        s.set_perm(pmo, Perm::None);
+        assert!(!s.access(GB1 + 24, AccessKind::Read).allowed());
+    }
+
+    #[test]
+    fn figure2b_spatial_isolation() {
+        // The paper's Figure 2(b): thread 1's permission does not leak to
+        // thread 2.
+        let mut s = scheme_with_pmo();
+        let pmo = PmoId::new(1);
+        s.set_perm(pmo, Perm::ReadWrite);
+        assert!(s.access(GB1, AccessKind::Write).allowed());
+        s.context_switch(ThreadId::new(2));
+        assert!(!s.access(GB1, AccessKind::Read).allowed());
+        assert!(!s.access(GB1, AccessKind::Write).allowed());
+        s.context_switch(ThreadId::MAIN);
+        assert!(s.access(GB1, AccessKind::Write).allowed());
+    }
+
+    #[test]
+    fn only_wrpkru_cost_is_charged() {
+        let mut s = scheme_with_pmo();
+        let attach_software = s.breakdown().software;
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        let b = s.breakdown();
+        assert_eq!(b.permission_change, 27);
+        assert_eq!(
+            b.total() - b.software,
+            27,
+            "beyond the uniform attach cost, only WRPKRU is charged"
+        );
+        assert_eq!(b.software, attach_software, "set_perm adds no software cost");
+        // A warm access costs exactly the L1 TLB latency.
+        s.access(GB1, AccessKind::Read);
+        let warm = s.access(GB1, AccessKind::Read).cycles;
+        assert_eq!(warm, 1);
+    }
+
+    #[test]
+    fn non_pmo_memory_unaffected() {
+        let mut s = scheme_with_pmo();
+        assert!(s.access(0x10_0000, AccessKind::Write).allowed());
+        assert_eq!(s.access(0x10_0000, AccessKind::Write).mem, MemKind::Dram);
+    }
+
+    #[test]
+    fn detach_clears_permissions() {
+        let mut s = scheme_with_pmo();
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        s.detach(PmoId::new(1));
+        s.attach(PmoId::new(1), GB1, 8 << 20, true);
+        assert!(!s.access(GB1, AccessKind::Read).allowed(), "perm did not survive detach");
+    }
+}

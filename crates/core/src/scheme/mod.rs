@@ -1,0 +1,215 @@
+//! The pluggable protection schemes the paper evaluates.
+//!
+//! | Scheme | Paper role |
+//! |---|---|
+//! | [`Unprotected`] | the no-protection *baseline* of §V |
+//! | [`Lowerbound`] | ideal MPK virtualization: WRPKRU cost only |
+//! | [`DefaultMpk`] | stock Intel MPK, 16 keys, no virtualization |
+//! | [`LibMpk`] | software MPK virtualization (Park et al., ATC'19) |
+//! | [`MpkVirt`] | **design 1**: hardware MPK virtualization (DTT+DTTLB) |
+//! | [`DomainVirt`] | **design 2**: hardware domain virtualization (DRT+PT+PTLB) |
+//!
+//! Every scheme is *functional* (it actually tracks per-thread domain
+//! permissions and detects violations) and *timed* (it charges the Table II
+//! cycle costs and attributes them to [`CostBreakdown`] buckets).
+
+mod domain_virt;
+mod libmpk;
+mod lowerbound;
+mod mpk;
+mod mpk_virt;
+mod unprotected;
+
+pub use domain_virt::DomainVirt;
+pub use libmpk::LibMpk;
+pub use lowerbound::Lowerbound;
+pub use mpk::DefaultMpk;
+pub use mpk_virt::MpkVirt;
+pub use unprotected::Unprotected;
+
+use std::fmt;
+
+use pmo_simarch::{MemKind, SimConfig, TlbStats};
+use pmo_trace::{AccessKind, Perm, PmoId, ThreadId, Va};
+
+use crate::breakdown::CostBreakdown;
+use crate::fault::ProtectionFault;
+
+/// The outcome of one checked memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Translation + protection cycles (cache/memory latency is charged by
+    /// the replay engine on top of this).
+    pub cycles: u64,
+    /// The kind of memory backing the address (drives DRAM vs NVM latency).
+    pub mem: MemKind,
+    /// A protection violation, if the access was denied.
+    pub fault: Option<ProtectionFault>,
+}
+
+impl AccessResult {
+    /// Whether the access was permitted.
+    #[must_use]
+    pub fn allowed(&self) -> bool {
+        self.fault.is_none()
+    }
+}
+
+/// Event counters a scheme accumulates during replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchemeStats {
+    /// Permission-switch instructions executed.
+    pub set_perms: u64,
+    /// Domain → key reassignments (evictions) performed.
+    pub key_evictions: u64,
+    /// DTTLB misses (DTT walks).
+    pub dttlb_misses: u64,
+    /// PTLB misses (Permission Table lookups).
+    pub ptlb_misses: u64,
+    /// Ranged TLB shootdowns issued.
+    pub shootdowns: u64,
+    /// TLB entries invalidated by shootdowns.
+    pub tlb_entries_invalidated: u64,
+    /// Protection faults raised.
+    pub faults: u64,
+    /// Software fault-handler invocations (libmpk guard-key faults).
+    pub sw_faults: u64,
+    /// Context switches observed.
+    pub context_switches: u64,
+    /// Domains that could not get a key and fell back to domainless
+    /// (default MPK beyond 16 domains — the weakening the paper motivates).
+    pub domainless_fallbacks: u64,
+}
+
+/// A protection scheme: the MMU-integrated domain machinery of §IV.
+///
+/// The replay engine (`pmo-sim`) drives this trait once per trace event.
+/// All methods return the cycles the operation adds to execution time.
+pub trait ProtectionScheme {
+    /// Human-readable scheme name.
+    fn name(&self) -> &'static str;
+
+    /// The scheme's kind tag.
+    fn kind(&self) -> SchemeKind;
+
+    /// Handles a PMO attach (system call): registers the region and the
+    /// scheme's table entries. Returns cycles.
+    fn attach(&mut self, pmo: PmoId, base: Va, size: u64, nvm: bool) -> u64;
+
+    /// Handles a PMO detach. Returns cycles.
+    fn detach(&mut self, pmo: PmoId) -> u64;
+
+    /// Executes a permission switch (WRPKRU / `pkey_set` / SETPERM) for the
+    /// *current thread*. Returns cycles.
+    fn set_perm(&mut self, pmo: PmoId, perm: Perm) -> u64;
+
+    /// Checks and times one memory access by the current thread.
+    fn access(&mut self, va: Va, kind: AccessKind) -> AccessResult;
+
+    /// Switches the core to another thread (flushing thread-private
+    /// structures as the design requires). Returns cycles.
+    fn context_switch(&mut self, to: ThreadId) -> u64;
+
+    /// The thread currently running.
+    fn current_thread(&self) -> ThreadId;
+
+    /// Cost attribution so far (Table VII buckets).
+    fn breakdown(&self) -> CostBreakdown;
+
+    /// Event counters so far.
+    fn stats(&self) -> SchemeStats;
+
+    /// TLB statistics so far.
+    fn tlb_stats(&self) -> TlbStats;
+}
+
+/// Identifies a scheme; use [`SchemeKind::build`] to construct one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// No protection (baseline).
+    Unprotected,
+    /// Ideal MPK virtualization (WRPKRU cost only).
+    Lowerbound,
+    /// Stock Intel MPK.
+    DefaultMpk,
+    /// Software MPK virtualization (libmpk).
+    LibMpk,
+    /// Hardware MPK virtualization (design 1).
+    MpkVirt,
+    /// Hardware domain virtualization (design 2).
+    DomainVirt,
+}
+
+impl SchemeKind {
+    /// All schemes, in the order the paper discusses them.
+    pub const ALL: [SchemeKind; 6] = [
+        SchemeKind::Unprotected,
+        SchemeKind::Lowerbound,
+        SchemeKind::DefaultMpk,
+        SchemeKind::LibMpk,
+        SchemeKind::MpkVirt,
+        SchemeKind::DomainVirt,
+    ];
+
+    /// Constructs the scheme.
+    #[must_use]
+    pub fn build(self, config: &SimConfig) -> Box<dyn ProtectionScheme> {
+        match self {
+            SchemeKind::Unprotected => Box::new(Unprotected::new(config)),
+            SchemeKind::Lowerbound => Box::new(Lowerbound::new(config)),
+            SchemeKind::DefaultMpk => Box::new(DefaultMpk::new(config)),
+            SchemeKind::LibMpk => Box::new(LibMpk::new(config)),
+            SchemeKind::MpkVirt => Box::new(MpkVirt::new(config)),
+            SchemeKind::DomainVirt => Box::new(DomainVirt::new(config)),
+        }
+    }
+
+    /// Short label used in experiment tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::Unprotected => "baseline",
+            SchemeKind::Lowerbound => "lowerbound",
+            SchemeKind::DefaultMpk => "mpk",
+            SchemeKind::LibMpk => "libmpk",
+            SchemeKind::MpkVirt => "mpk-virt",
+            SchemeKind::DomainVirt => "domain-virt",
+        }
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemes_are_send() {
+        // Schemes move across threads in parallel experiment sweeps.
+        fn assert_send<T: Send>() {}
+        assert_send::<Unprotected>();
+        assert_send::<Lowerbound>();
+        assert_send::<DefaultMpk>();
+        assert_send::<LibMpk>();
+        assert_send::<MpkVirt>();
+        assert_send::<DomainVirt>();
+    }
+
+    #[test]
+    fn build_all_schemes() {
+        let config = SimConfig::isca2020();
+        for kind in SchemeKind::ALL {
+            let scheme = kind.build(&config);
+            assert_eq!(scheme.kind(), kind);
+            assert!(!scheme.name().is_empty());
+            assert!(!format!("{kind}").is_empty());
+            assert_eq!(scheme.current_thread(), ThreadId::MAIN);
+            assert_eq!(scheme.stats(), SchemeStats::default());
+        }
+    }
+}

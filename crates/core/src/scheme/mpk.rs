@@ -1,0 +1,266 @@
+//! Stock Intel MPK (§II.B): 16 protection keys, no virtualization.
+//!
+//! Works exactly like the paper's description while at most 15 domains
+//! (key 0 is NULL) are attached. Beyond that, `pkey_alloc` fails and the
+//! domain falls back to *domainless* — the security weakening that
+//! motivates the paper (§IV.B).
+
+use std::collections::HashMap;
+
+use pmo_simarch::{vpn, MemKind, SimConfig, TlbStats};
+use pmo_trace::{AccessKind, Perm, PmoId, ThreadId, Va};
+
+use crate::breakdown::CostBreakdown;
+use crate::fault::ProtectionFault;
+use crate::keys::KeyAllocator;
+use crate::mmu::{granule_covering, MmuBase, PkPayload, Region};
+use crate::pkru::Pkru;
+use crate::scheme::{AccessResult, ProtectionScheme, SchemeKind, SchemeStats};
+
+/// Stock MPK.
+#[derive(Debug)]
+pub struct DefaultMpk {
+    mmu: MmuBase<PkPayload>,
+    keys: KeyAllocator,
+    /// Per-thread PKRU registers (default: all keys denied).
+    pkru: HashMap<ThreadId, Pkru>,
+    cfg: SimConfig,
+    current: ThreadId,
+    stats: SchemeStats,
+    breakdown: CostBreakdown,
+}
+
+impl DefaultMpk {
+    /// Creates the scheme.
+    #[must_use]
+    pub fn new(config: &SimConfig) -> Self {
+        DefaultMpk {
+            mmu: MmuBase::new(config),
+            keys: KeyAllocator::new(config.pkeys),
+            pkru: HashMap::new(),
+            cfg: config.clone(),
+            current: ThreadId::MAIN,
+            stats: SchemeStats::default(),
+            breakdown: CostBreakdown::default(),
+        }
+    }
+
+    fn pkru_of(&self, thread: ThreadId) -> Pkru {
+        self.pkru.get(&thread).copied().unwrap_or(Pkru::ALL_DENIED)
+    }
+
+    /// The PKRU register of the current thread (tests / RDPKRU).
+    #[must_use]
+    pub fn rdpkru(&self) -> Pkru {
+        self.pkru_of(self.current)
+    }
+}
+
+impl ProtectionScheme for DefaultMpk {
+    fn name(&self) -> &'static str {
+        "default Intel MPK (16 keys)"
+    }
+
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::DefaultMpk
+    }
+
+    fn attach(&mut self, pmo: PmoId, base: Va, size: u64, nvm: bool) -> u64 {
+        self.mmu.attach_region(Region {
+            pmo,
+            base,
+            granule: granule_covering(base, size),
+            pool_size: size,
+            nvm,
+        });
+        // pkey_alloc + pkey_mprotect over the fresh (still unmapped) VMA.
+        let mut cycles = self.cfg.attach_kernel_cycles + self.cfg.syscall_cycles;
+        match self.keys.alloc(pmo) {
+            Some(key) => {
+                cycles += self.cfg.syscall_cycles; // pkey_mprotect
+                // A fresh key starts fully denied in every thread's PKRU.
+                for reg in self.pkru.values_mut() {
+                    *reg = reg.with_perm(key, Perm::None);
+                }
+            }
+            None => {
+                // pkey_alloc returned ENOSPC: the programmer forgoes the
+                // domain (pages stay NULL-keyed).
+                self.stats.domainless_fallbacks += 1;
+            }
+        }
+        self.breakdown.software += cycles;
+        cycles
+    }
+
+    fn detach(&mut self, pmo: PmoId) -> u64 {
+        if let Some((region, removed)) = self.mmu.detach_region(pmo) {
+            self.stats.tlb_entries_invalidated += removed;
+            let _ = region;
+        }
+        self.keys.free(pmo);
+        let cycles = self.cfg.attach_kernel_cycles + self.cfg.syscall_cycles;
+        self.breakdown.software += cycles;
+        cycles
+    }
+
+    fn set_perm(&mut self, pmo: PmoId, perm: Perm) -> u64 {
+        self.stats.set_perms += 1;
+        match self.keys.key_of(pmo) {
+            Some(key) => {
+                let reg = self.pkru.entry(self.current).or_insert(Pkru::ALL_DENIED);
+                *reg = reg.with_perm(key, perm);
+                self.keys.touch(key);
+                self.breakdown.permission_change += self.cfg.wrpkru_cycles;
+                self.cfg.wrpkru_cycles
+            }
+            // Domainless fallback: the program has no key to program.
+            None => 0,
+        }
+    }
+
+    fn access(&mut self, va: Va, kind: AccessKind) -> AccessResult {
+        let (payload, _, cycles) = self.mmu.tlb.lookup(vpn(va));
+        let payload = match payload {
+            Some(p) => p,
+            None => {
+                let keys = &self.keys;
+                match self.mmu.walk_or_map(va, |r| keys.key_of(r.pmo).unwrap_or(0)) {
+                    Ok((pte, _)) => {
+                        let p = PkPayload { pkey: pte.pkey, page_perm: pte.perm, mem: pte.mem };
+                        self.mmu.tlb.fill(vpn(va), p);
+                        p
+                    }
+                    Err(fault) => {
+                        self.stats.faults += 1;
+                        return AccessResult { cycles, mem: MemKind::Dram, fault: Some(fault) };
+                    }
+                }
+            }
+        };
+        let domain_perm = if payload.pkey == 0 {
+            Perm::ReadWrite // NULL key: domainless access, page perm rules
+        } else {
+            self.pkru_of(self.current).perm(payload.pkey)
+        };
+        let effective = domain_perm.meet(payload.page_perm);
+        let fault = if effective.allows(kind) {
+            None
+        } else {
+            self.stats.faults += 1;
+            Some(ProtectionFault::DomainDenied {
+                thread: self.current,
+                pmo: self.keys.owner(payload.pkey).unwrap_or(PmoId::NULL),
+                attempted: kind,
+                held: domain_perm,
+                va,
+            })
+        };
+        AccessResult { cycles, mem: payload.mem, fault }
+    }
+
+    fn context_switch(&mut self, to: ThreadId) -> u64 {
+        // PKRU is saved/restored with the thread state (XSAVE); the paper
+        // treats this as part of normal context-switch cost.
+        self.current = to;
+        self.stats.context_switches += 1;
+        0
+    }
+
+    fn current_thread(&self) -> ThreadId {
+        self.current
+    }
+
+    fn breakdown(&self) -> CostBreakdown {
+        self.breakdown
+    }
+
+    fn stats(&self) -> SchemeStats {
+        self.stats
+    }
+
+    fn tlb_stats(&self) -> TlbStats {
+        *self.mmu.tlb.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB1: u64 = 1 << 30;
+
+    fn attach_n(s: &mut DefaultMpk, n: u32) {
+        for i in 1..=n {
+            s.attach(PmoId::new(i), u64::from(i) * GB1, 8 << 20, true);
+        }
+    }
+
+    #[test]
+    fn enforces_with_a_key() {
+        let mut s = DefaultMpk::new(&SimConfig::isca2020());
+        attach_n(&mut s, 1);
+        assert!(!s.access(GB1, AccessKind::Read).allowed());
+        assert_eq!(s.set_perm(PmoId::new(1), Perm::ReadOnly), 27);
+        assert!(s.access(GB1, AccessKind::Read).allowed());
+        assert!(!s.access(GB1, AccessKind::Write).allowed());
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        assert!(s.access(GB1, AccessKind::Write).allowed());
+    }
+
+    #[test]
+    fn per_thread_pkru() {
+        let mut s = DefaultMpk::new(&SimConfig::isca2020());
+        attach_n(&mut s, 1);
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        s.context_switch(ThreadId::new(1));
+        assert!(!s.access(GB1, AccessKind::Read).allowed(), "thread 1 has no permission");
+        s.context_switch(ThreadId::MAIN);
+        assert!(s.access(GB1, AccessKind::Read).allowed());
+    }
+
+    #[test]
+    fn sixteenth_domain_is_unprotected() {
+        // The motivating weakness: beyond 15 domains MPK silently degrades.
+        let mut s = DefaultMpk::new(&SimConfig::isca2020());
+        attach_n(&mut s, 16);
+        assert_eq!(s.stats().domainless_fallbacks, 1);
+        // Domain 16 never got a key: accesses are allowed with no grant.
+        let va16 = 16 * GB1;
+        assert!(s.access(va16, AccessKind::Write).allowed(), "weakened security");
+        // Domain 1 is still protected.
+        assert!(!s.access(GB1, AccessKind::Write).allowed());
+        // set_perm on the fallback domain is a no-op costing nothing.
+        assert_eq!(s.set_perm(PmoId::new(16), Perm::None), 0);
+        assert!(s.access(va16, AccessKind::Write).allowed());
+    }
+
+    #[test]
+    fn key_reuse_after_detach_resets_pkru() {
+        let mut s = DefaultMpk::new(&SimConfig::isca2020());
+        attach_n(&mut s, 1);
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        s.detach(PmoId::new(1));
+        // A new domain gets the recycled key; the stale RW grant must not
+        // leak to it.
+        s.attach(PmoId::new(2), 2 * GB1, 8 << 20, true);
+        assert!(!s.access(2 * GB1, AccessKind::Read).allowed());
+    }
+
+    #[test]
+    fn rdpkru_reflects_wrpkru() {
+        let mut s = DefaultMpk::new(&SimConfig::isca2020());
+        attach_n(&mut s, 1);
+        assert_eq!(s.rdpkru(), Pkru::ALL_DENIED);
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        assert_ne!(s.rdpkru(), Pkru::ALL_DENIED);
+    }
+
+    #[test]
+    fn attach_charges_software_cycles() {
+        let mut s = DefaultMpk::new(&SimConfig::isca2020());
+        let cycles = s.attach(PmoId::new(1), GB1, 8 << 20, true);
+        assert!(cycles > 0);
+        assert_eq!(s.breakdown().software, cycles);
+    }
+}

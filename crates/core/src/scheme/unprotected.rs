@@ -1,0 +1,177 @@
+//! The no-protection baseline (§V: "non-protected execution").
+
+use pmo_simarch::{vpn, MemKind, SimConfig, TlbStats};
+use pmo_trace::{AccessKind, Perm, PmoId, ThreadId, Va};
+
+use crate::breakdown::CostBreakdown;
+use crate::mmu::{granule_covering, MmuBase, PlainPayload, Region};
+use crate::scheme::{AccessResult, ProtectionScheme, SchemeKind, SchemeStats};
+
+/// Baseline scheme: virtual memory only, no domain machinery, permission
+/// switches are free (the baseline binary contains none).
+#[derive(Debug)]
+pub struct Unprotected {
+    mmu: MmuBase<PlainPayload>,
+    attach_cycles: u64,
+    current: ThreadId,
+    stats: SchemeStats,
+    breakdown: CostBreakdown,
+}
+
+impl Unprotected {
+    /// Creates the baseline scheme.
+    #[must_use]
+    pub fn new(config: &SimConfig) -> Self {
+        Unprotected {
+            mmu: MmuBase::new(config),
+            attach_cycles: config.attach_kernel_cycles + config.syscall_cycles,
+            current: ThreadId::MAIN,
+            stats: SchemeStats::default(),
+            breakdown: CostBreakdown::default(),
+        }
+    }
+}
+
+impl ProtectionScheme for Unprotected {
+    fn name(&self) -> &'static str {
+        "unprotected baseline"
+    }
+
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Unprotected
+    }
+
+    fn attach(&mut self, pmo: PmoId, base: Va, size: u64, nvm: bool) -> u64 {
+        self.mmu.attach_region(Region {
+            pmo,
+            base,
+            granule: granule_covering(base, size),
+            pool_size: size,
+            nvm,
+        });
+        // Attaching (mmap-ing) the PMO costs the same kernel work under
+        // every scheme; charging it uniformly keeps overheads comparable.
+        self.breakdown.software += self.attach_cycles;
+        self.attach_cycles
+    }
+
+    fn detach(&mut self, pmo: PmoId) -> u64 {
+        self.mmu.detach_region(pmo);
+        self.breakdown.software += self.attach_cycles;
+        self.attach_cycles
+    }
+
+    fn set_perm(&mut self, _pmo: PmoId, _perm: Perm) -> u64 {
+        // The baseline binary carries no permission-switch instructions.
+        0
+    }
+
+    fn access(&mut self, va: Va, kind: AccessKind) -> AccessResult {
+        let (payload, _, mut cycles) = self.mmu.tlb.lookup(vpn(va));
+        let payload = match payload {
+            Some(p) => p,
+            None => match self.mmu.walk_or_map(va, |_| 0) {
+                Ok((pte, _)) => {
+                    let p = PlainPayload { page_perm: pte.perm, mem: pte.mem };
+                    self.mmu.tlb.fill(vpn(va), p);
+                    p
+                }
+                Err(fault) => {
+                    self.stats.faults += 1;
+                    return AccessResult { cycles, mem: MemKind::Dram, fault: Some(fault) };
+                }
+            },
+        };
+        let fault = if payload.page_perm.allows(kind) {
+            None
+        } else {
+            self.stats.faults += 1;
+            Some(crate::fault::ProtectionFault::PageDenied {
+                thread: self.current,
+                attempted: kind,
+                held: payload.page_perm,
+                va,
+            })
+        };
+        if fault.is_some() {
+            cycles += 0;
+        }
+        AccessResult { cycles, mem: payload.mem, fault }
+    }
+
+    fn context_switch(&mut self, to: ThreadId) -> u64 {
+        self.current = to;
+        self.stats.context_switches += 1;
+        0
+    }
+
+    fn current_thread(&self) -> ThreadId {
+        self.current
+    }
+
+    fn breakdown(&self) -> CostBreakdown {
+        self.breakdown
+    }
+
+    fn stats(&self) -> SchemeStats {
+        self.stats
+    }
+
+    fn tlb_stats(&self) -> TlbStats {
+        *self.mmu.tlb.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB1: u64 = 1 << 30;
+
+    #[test]
+    fn everything_is_allowed() {
+        let mut s = Unprotected::new(&SimConfig::isca2020());
+        s.attach(PmoId::new(1), GB1, 8 << 20, true);
+        // No permission ever granted, yet access succeeds: this is the
+        // vulnerability the paper protects against.
+        let r = s.access(GB1, AccessKind::Write);
+        assert!(r.allowed());
+        assert_eq!(r.mem, MemKind::Nvm);
+        assert_eq!(s.set_perm(PmoId::new(1), Perm::None), 0);
+        let r = s.access(GB1, AccessKind::Write);
+        assert!(r.allowed(), "set_perm has no effect without protection");
+    }
+
+    #[test]
+    fn tlb_warms_up() {
+        let mut s = Unprotected::new(&SimConfig::isca2020());
+        s.attach(PmoId::new(1), GB1, 8 << 20, true);
+        let cold = s.access(GB1, AccessKind::Read).cycles;
+        let warm = s.access(GB1, AccessKind::Read).cycles;
+        assert!(cold > warm);
+        assert_eq!(s.tlb_stats().misses, 1);
+        assert_eq!(s.tlb_stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn unbacked_access_faults() {
+        let mut s = Unprotected::new(&SimConfig::isca2020());
+        // An 8KB pool reserves a 2MB granule; addresses in the reserved
+        // region beyond the pool's backed bytes are page faults.
+        s.attach(PmoId::new(1), GB1, 8192, true);
+        let r = s.access(GB1 + 0x10_0000, AccessKind::Read);
+        assert!(!r.allowed());
+        assert_eq!(s.stats().faults, 1);
+    }
+
+    #[test]
+    fn detach_then_access_is_anonymous() {
+        let mut s = Unprotected::new(&SimConfig::isca2020());
+        s.attach(PmoId::new(1), GB1, 8 << 20, true);
+        s.access(GB1, AccessKind::Read);
+        s.detach(PmoId::new(1));
+        // After detach the VA is anonymous memory again (demand-mapped DRAM).
+        let r = s.access(GB1, AccessKind::Read);
+        assert_eq!(r.mem, MemKind::Dram);
+    }
+}

@@ -1,0 +1,19 @@
+use pmo_experiments::{run_micro, report_for, Scale};
+use pmo_protect::SchemeKind;
+use pmo_simarch::SimConfig;
+use pmo_workloads::MicroBench;
+
+fn main() {
+    let sim = SimConfig::isca2020();
+    for n in [16u32, 64, 256] {
+        let cfg = Scale::Quick.micro_config(n);
+        let reports = run_micro(MicroBench::Avl, &cfg, &[SchemeKind::Lowerbound, SchemeKind::LibMpk, SchemeKind::MpkVirt], &sim);
+        let lb = report_for(&reports, SchemeKind::Lowerbound);
+        let lm = report_for(&reports, SchemeKind::LibMpk);
+        let mv = report_for(&reports, SchemeKind::MpkVirt);
+        println!("n={n}: ops={} libmpk: evic={} swf={} shoot={} inval={} oh={:.1}% | mpkvirt: evic={} dttlbmiss={} inval={} oh={:.1}%",
+            lm.ops, lm.scheme_stats.key_evictions, lm.scheme_stats.sw_faults, lm.scheme_stats.shootdowns,
+            lm.scheme_stats.tlb_entries_invalidated, lm.overhead_pct_over(lb),
+            mv.scheme_stats.key_evictions, mv.scheme_stats.dttlb_misses, mv.scheme_stats.tlb_entries_invalidated, mv.overhead_pct_over(lb));
+    }
+}

@@ -1,0 +1,286 @@
+//! Ablations over the design choices DESIGN.md calls out: DTTLB/PTLB
+//! capacity, TLB-shootdown cost vs thread count, context-switch
+//! frequency, and the one timing knob outside Table II (the
+//! memory-level-parallelism factor).
+
+use std::fmt;
+
+use pmo_protect::SchemeKind;
+use pmo_simarch::SimConfig;
+use pmo_workloads::{MicroBench, ServerConfig, ServerWorkload};
+
+use crate::runner::{report_for, run_micro, run_windowed};
+use crate::text::{f, TextTable};
+use crate::Scale;
+
+/// Overhead of both designs (over lowerbound, %) at one parameter value.
+#[derive(Clone, Copy, Debug)]
+pub struct AblationPoint {
+    /// The swept parameter's value.
+    pub value: u64,
+    /// Design 1 (hardware MPK virtualization) overhead, %.
+    pub mpk_virt_pct: f64,
+    /// Design 2 (hardware domain virtualization) overhead, %.
+    pub domain_virt_pct: f64,
+}
+
+/// One ablation sweep.
+#[derive(Clone, Debug)]
+pub struct Ablation {
+    /// Name of the swept parameter.
+    pub parameter: &'static str,
+    /// What the sweep shows.
+    pub note: &'static str,
+    /// Header for the first overhead column.
+    pub col1: &'static str,
+    /// Header for the second overhead column.
+    pub col2: &'static str,
+    /// The measured points.
+    pub points: Vec<AblationPoint>,
+}
+
+const DEFAULT_COL1: &str = "mpk-virt % over lowerbound";
+const DEFAULT_COL2: &str = "domain-virt % over lowerbound";
+
+fn both_overheads(sim: &SimConfig, scale: Scale, active: u32) -> (f64, f64) {
+    let kinds = [SchemeKind::Lowerbound, SchemeKind::MpkVirt, SchemeKind::DomainVirt];
+    let reports = run_micro(MicroBench::Rbt, &scale.micro_config(active), &kinds, sim);
+    let lb = report_for(&reports, SchemeKind::Lowerbound);
+    (
+        report_for(&reports, SchemeKind::MpkVirt).overhead_pct_over(lb),
+        report_for(&reports, SchemeKind::DomainVirt).overhead_pct_over(lb),
+    )
+}
+
+/// Sweeps the DTTLB/PTLB capacity (both designs' per-core buffer).
+#[must_use]
+pub fn buffer_capacity(scale: Scale, base: &SimConfig) -> Ablation {
+    let active = (scale.max_pmos() / 2).max(32);
+    let points = [4u32, 8, 16, 32, 64]
+        .into_iter()
+        .map(|entries| {
+            let mut sim = base.clone();
+            sim.dttlb_entries = entries;
+            sim.ptlb_entries = entries;
+            let (d1, d2) = both_overheads(&sim, scale, active);
+            AblationPoint { value: u64::from(entries), mpk_virt_pct: d1, domain_virt_pct: d2 }
+        })
+        .collect();
+    Ablation {
+        parameter: "DTTLB/PTLB entries",
+        note: "design 1 is insensitive (the 15-key limit binds, not the buffer); design 2 gains modestly",
+        col1: DEFAULT_COL1,
+        col2: DEFAULT_COL2,
+        points,
+    }
+}
+
+/// Sweeps the thread count receiving shootdown IPIs: design 1 pays
+/// per-thread; design 2 pays nothing (its headline scalability claim).
+#[must_use]
+pub fn thread_scaling(scale: Scale, base: &SimConfig) -> Ablation {
+    let active = (scale.max_pmos() / 2).max(32);
+    let points = [1u32, 4, 16, 64]
+        .into_iter()
+        .map(|threads| {
+            let mut sim = base.clone();
+            sim.threads = threads;
+            let (d1, d2) = both_overheads(&sim, scale, active);
+            AblationPoint { value: u64::from(threads), mpk_virt_pct: d1, domain_virt_pct: d2 }
+        })
+        .collect();
+    Ablation {
+        parameter: "threads (shootdown IPI fan-out)",
+        note: "design 1's shootdown cost scales with cores; design 2 is immune",
+        col1: DEFAULT_COL1,
+        col2: DEFAULT_COL2,
+        points,
+    }
+}
+
+/// Sweeps the scheduling quantum of the multi-threaded server workload:
+/// context switches flush the DTTLB (design 1) / PTLB (design 2).
+#[must_use]
+pub fn context_switch_quantum(base: &SimConfig) -> Ablation {
+    let points = [1u32, 4, 16, 64]
+        .into_iter()
+        .map(|quantum| {
+            let run = |kind| {
+                let mut workload = ServerWorkload::new(ServerConfig {
+                    clients: 24,
+                    requests: 3_000,
+                    quantum,
+                    initial_records: 48,
+                    pmo_bytes: 8 << 20,
+                    seed: 0x5e7e,
+                });
+                run_windowed(&mut workload, kind, base)
+            };
+            let lb = run(SchemeKind::Lowerbound);
+            let d1 = run(SchemeKind::MpkVirt).overhead_pct_over(&lb);
+            let d2 = run(SchemeKind::DomainVirt).overhead_pct_over(&lb);
+            AblationPoint { value: u64::from(quantum), mpk_virt_pct: d1, domain_virt_pct: d2 }
+        })
+        .collect();
+    Ablation {
+        parameter: "server scheduling quantum (requests/switch)",
+        note: "smaller quantum = more context switches = more DTTLB/PTLB flushes",
+        col1: DEFAULT_COL1,
+        col2: DEFAULT_COL2,
+        points,
+    }
+}
+
+/// Sweeps the PMO (domain) size — the paper's §VI.B claim in one table:
+/// "the cost of shootdowns is proportional to the size of TLB, while
+/// libmpk's PTE changes is proportional to the domain size. Hence, our
+/// MPK virtualization is both faster and more scalable." Here the
+/// "mpk-virt" column is replaced by *libmpk* overhead so the scaling
+/// contrast is direct: libmpk degrades with domain size, design 1 does
+/// not.
+#[must_use]
+pub fn domain_size(base: &SimConfig) -> (Ablation, Ablation) {
+    let sweep = |kind: SchemeKind| -> Vec<AblationPoint> {
+        [1u64, 8, 64]
+            .into_iter()
+            .map(|mb| {
+                let config = pmo_workloads::MicroConfig {
+                    pmos: 48,
+                    active_pmos: 48,
+                    pmo_bytes: mb << 20,
+                    initial_nodes: 96,
+                    ops: 2_000,
+                    insert_pct: 90,
+                    value_bytes: 64,
+                    seed: 0xd0_517e,
+                };
+                let kinds = [SchemeKind::Lowerbound, kind, SchemeKind::DomainVirt];
+                let reports = run_micro(MicroBench::Rbt, &config, &kinds, base);
+                let lb = report_for(&reports, SchemeKind::Lowerbound);
+                AblationPoint {
+                    value: mb,
+                    mpk_virt_pct: report_for(&reports, kind).overhead_pct_over(lb),
+                    domain_virt_pct: report_for(&reports, SchemeKind::DomainVirt)
+                        .overhead_pct_over(lb),
+                }
+            })
+            .collect()
+    };
+    (
+        Ablation {
+            parameter: "PMO size (MB)",
+            note: "libmpk's per-eviction PTE rewrites grow with domain size",
+            col1: "libmpk % over lowerbound",
+            col2: DEFAULT_COL2,
+            points: sweep(SchemeKind::LibMpk),
+        },
+        Ablation {
+            parameter: "PMO size (MB)",
+            note: "hardware shootdowns cost the same regardless of domain size",
+            col1: DEFAULT_COL1,
+            col2: DEFAULT_COL2,
+            points: sweep(SchemeKind::MpkVirt),
+        },
+    )
+}
+
+/// Compares the two readings of the paper's Table V instrumentation —
+/// one permission pair per *transaction* (the default, which matches the
+/// reported switch rates) vs one pair per *PMO access* (the literal §V
+/// wording) — under default MPK.
+#[must_use]
+pub fn switch_granularity(base: &SimConfig) -> Ablation {
+    use pmo_workloads::{WhisperBench, WhisperConfig, WhisperWorkload};
+    let points = [false, true]
+        .into_iter()
+        .map(|per_access| {
+            let run = |kind| {
+                let mut workload = WhisperWorkload::new(
+                    WhisperBench::Echo,
+                    WhisperConfig {
+                        txns: 2_000,
+                        records: 2_048,
+                        pmo_bytes: 64 << 20,
+                        per_access_guard: per_access,
+                        seed: 0x7ab1e5,
+                    },
+                );
+                run_windowed(&mut workload, kind, base)
+            };
+            let baseline = run(SchemeKind::Unprotected);
+            let d1 = run(SchemeKind::MpkVirt).overhead_pct_over(&baseline);
+            let d2 = run(SchemeKind::DomainVirt).overhead_pct_over(&baseline);
+            AblationPoint {
+                value: u64::from(per_access),
+                mpk_virt_pct: d1,
+                domain_virt_pct: d2,
+            }
+        })
+        .collect();
+    Ablation {
+        parameter: "per-access switching (0 = per-txn, 1 = per-access)",
+        note: "per-access bracketing multiplies switch cost ~50x past Table V's reported band",
+        col1: "mpk-virt % over baseline",
+        col2: "domain-virt % over baseline",
+        points,
+    }
+}
+
+/// Sweeps the memory-level-parallelism factor (the one timing knob not in
+/// Table II) to show the conclusions are insensitive to it.
+#[must_use]
+pub fn mlp_sensitivity(scale: Scale, base: &SimConfig) -> Ablation {
+    let active = (scale.max_pmos() / 2).max(32);
+    let points = [1u64, 2, 3, 6]
+        .into_iter()
+        .map(|mlp| {
+            let mut sim = base.clone();
+            sim.mem_level_parallelism = mlp as f64;
+            let (d1, d2) = both_overheads(&sim, scale, active);
+            AblationPoint { value: mlp, mpk_virt_pct: d1, domain_virt_pct: d2 }
+        })
+        .collect();
+    Ablation {
+        parameter: "memory-level parallelism",
+        note: "overheads scale with MLP (baseline shrinks) but orderings never flip",
+        col1: DEFAULT_COL1,
+        col2: DEFAULT_COL2,
+        points,
+    }
+}
+
+impl fmt::Display for Ablation {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(
+            format!("Ablation: {} — {}", self.parameter, self.note),
+            &[self.parameter, self.col1, self.col2],
+        );
+        for p in &self.points {
+            t.row(vec![p.value.to_string(), f(p.mpk_virt_pct, 2), f(p.domain_virt_pct, 2)]);
+        }
+        write!(out, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_scaling_shows_design2_immunity() {
+        let base = SimConfig::isca2020();
+        // Tiny sweep to keep the test fast.
+        let mk = |threads: u32| {
+            let mut sim = base.clone();
+            sim.threads = threads;
+            both_overheads(&sim, Scale::Quick, 32)
+        };
+        let (d1_one, d2_one) = mk(1);
+        let (d1_many, d2_many) = mk(32);
+        assert!(d1_many > d1_one * 2.0, "design 1 degrades with threads");
+        assert!(
+            (d2_many - d2_one).abs() < 1.0,
+            "design 2 is immune to shootdown fan-out ({d2_one:.2} vs {d2_many:.2})"
+        );
+    }
+}

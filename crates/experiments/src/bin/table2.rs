@@ -1,0 +1,8 @@
+//! Prints Table II: the simulation parameters.
+
+use pmo_simarch::SimConfig;
+
+fn main() {
+    println!("Table II: simulation parameters\n");
+    println!("{}", SimConfig::isca2020());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table VIII (area overheads).
+
+use pmo_experiments::table8::table8;
+use pmo_simarch::SimConfig;
+
+fn main() {
+    println!("{}", table8(&SimConfig::isca2020()));
+}

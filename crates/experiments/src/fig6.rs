@@ -1,0 +1,135 @@
+//! Figure 6: execution-time overhead over the lowerbound as the number of
+//! PMOs varies, for libmpk and the two hardware designs.
+
+use std::fmt;
+
+use pmo_protect::SchemeKind;
+use pmo_simarch::SimConfig;
+use pmo_workloads::MicroBench;
+
+use crate::runner::{report_for, run_micro};
+use crate::text::{f, TextTable};
+use crate::Scale;
+
+/// One sweep point of one benchmark's Figure 6 curve.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig6Point {
+    /// Active PMO count (x-axis).
+    pub pmos: u32,
+    /// libmpk overhead over lowerbound, percent.
+    pub libmpk_pct: f64,
+    /// Hardware MPK-virtualization overhead, percent.
+    pub mpk_virt_pct: f64,
+    /// Hardware domain-virtualization overhead, percent.
+    pub domain_virt_pct: f64,
+}
+
+/// One benchmark's curve.
+#[derive(Clone, Debug)]
+pub struct Fig6Series {
+    /// Benchmark abbreviation.
+    pub bench: &'static str,
+    /// Points in ascending PMO order.
+    pub points: Vec<Fig6Point>,
+}
+
+/// The full Figure 6 result.
+#[derive(Clone, Debug)]
+pub struct Fig6 {
+    /// One series per microbenchmark.
+    pub series: Vec<Fig6Series>,
+}
+
+/// Runs the Figure 6 sweep.
+#[must_use]
+pub fn fig6(scale: Scale, sim: &SimConfig) -> Fig6 {
+    let kinds = [
+        SchemeKind::Lowerbound,
+        SchemeKind::LibMpk,
+        SchemeKind::MpkVirt,
+        SchemeKind::DomainVirt,
+    ];
+    let mut series = Vec::new();
+    for bench in MicroBench::ALL {
+        let mut points = Vec::new();
+        for pmos in scale.pmo_sweep() {
+            let config = scale.micro_config(pmos);
+            let reports = run_micro(bench, &config, &kinds, sim);
+            let lb = report_for(&reports, SchemeKind::Lowerbound);
+            points.push(Fig6Point {
+                pmos,
+                libmpk_pct: report_for(&reports, SchemeKind::LibMpk).overhead_pct_over(lb),
+                mpk_virt_pct: report_for(&reports, SchemeKind::MpkVirt).overhead_pct_over(lb),
+                domain_virt_pct: report_for(&reports, SchemeKind::DomainVirt)
+                    .overhead_pct_over(lb),
+            });
+        }
+        series.push(Fig6Series { bench: bench.label(), points });
+    }
+    Fig6 { series }
+}
+
+impl Fig6 {
+    /// Renders the sweep as CSV (`bench,pmos,libmpk_pct,mpk_virt_pct,
+    /// domain_virt_pct`), one row per benchmark x sweep point — ready for
+    /// external plotting of the paper's Figure 6.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bench,pmos,libmpk_pct,mpk_virt_pct,domain_virt_pct\n");
+        for s in &self.series {
+            for p in &s.points {
+                out.push_str(&format!(
+                    "{},{},{:.4},{:.4},{:.4}\n",
+                    s.bench, p.pmos, p.libmpk_pct, p.mpk_virt_pct, p.domain_virt_pct
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn log2_or_dash(pct: f64) -> String {
+    if pct > 0.0 {
+        f(pct.log2(), 1)
+    } else {
+        "-".to_string()
+    }
+}
+
+impl fmt::Display for Fig6 {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            out,
+            "Figure 6: execution time overheads for the multi-PMO benchmarks as the \
+             number of PMOs varies\n(percent slowdown over lowerbound; log2 columns \
+             match the paper's y-axis, where 2^2 means 4% slower)\n"
+        )?;
+        for s in &self.series {
+            let mut t = TextTable::new(
+                format!("{} overhead over lowerbound", s.bench),
+                &[
+                    "PMOs",
+                    "libmpk %",
+                    "mpk-virt %",
+                    "domain-virt %",
+                    "log2(libmpk)",
+                    "log2(mpk-virt)",
+                    "log2(domain-virt)",
+                ],
+            );
+            for p in &s.points {
+                t.row(vec![
+                    p.pmos.to_string(),
+                    f(p.libmpk_pct, 1),
+                    f(p.mpk_virt_pct, 1),
+                    f(p.domain_virt_pct, 1),
+                    log2_or_dash(p.libmpk_pct),
+                    log2_or_dash(p.mpk_virt_pct),
+                    log2_or_dash(p.domain_virt_pct),
+                ]);
+            }
+            writeln!(out, "{t}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,141 @@
+//! Figure 7: overheads averaged over the five microbenchmarks, and the
+//! headline libmpk speedup factors.
+
+use std::fmt;
+
+use crate::fig6::Fig6;
+use crate::text::{f, TextTable};
+
+/// One averaged sweep point.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig7Point {
+    /// Active PMO count.
+    pub pmos: u32,
+    /// Mean libmpk overhead over lowerbound, percent.
+    pub libmpk_pct: f64,
+    /// Mean hardware MPK-virtualization overhead, percent.
+    pub mpk_virt_pct: f64,
+    /// Mean hardware domain-virtualization overhead, percent.
+    pub domain_virt_pct: f64,
+}
+
+impl Fig7Point {
+    /// Overhead-reduction factor of MPK virtualization vs libmpk — the
+    /// paper's "N x faster than libmpk" metric (ratio of overheads, e.g.
+    /// 10.6x at 1024 PMOs).
+    #[must_use]
+    pub fn mpk_virt_speedup(&self) -> f64 {
+        if self.mpk_virt_pct <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.libmpk_pct / self.mpk_virt_pct
+        }
+    }
+
+    /// Overhead-reduction factor of domain virtualization vs libmpk
+    /// (the paper reports 25.8x at 64 PMOs and 52.5x at 1024).
+    #[must_use]
+    pub fn domain_virt_speedup(&self) -> f64 {
+        if self.domain_virt_pct <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.libmpk_pct / self.domain_virt_pct
+        }
+    }
+}
+
+/// The full Figure 7 result.
+#[derive(Clone, Debug)]
+pub struct Fig7 {
+    /// Averaged points in ascending PMO order.
+    pub points: Vec<Fig7Point>,
+}
+
+/// Averages a Figure 6 run into Figure 7.
+#[must_use]
+pub fn fig7(fig6: &Fig6) -> Fig7 {
+    let n_series = fig6.series.len() as f64;
+    let n_points = fig6.series.first().map_or(0, |s| s.points.len());
+    let mut points = Vec::with_capacity(n_points);
+    for i in 0..n_points {
+        let pmos = fig6.series[0].points[i].pmos;
+        let mean = |get: &dyn Fn(&crate::fig6::Fig6Point) -> f64| {
+            fig6.series.iter().map(|s| get(&s.points[i])).sum::<f64>() / n_series
+        };
+        points.push(Fig7Point {
+            pmos,
+            libmpk_pct: mean(&|p| p.libmpk_pct),
+            mpk_virt_pct: mean(&|p| p.mpk_virt_pct),
+            domain_virt_pct: mean(&|p| p.domain_virt_pct),
+        });
+    }
+    Fig7 { points }
+}
+
+impl Fig7 {
+    /// Renders the averaged sweep as CSV (`pmos,libmpk_pct,mpk_virt_pct,
+    /// domain_virt_pct,mpk_virt_speedup,domain_virt_speedup`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "pmos,libmpk_pct,mpk_virt_pct,domain_virt_pct,mpk_virt_speedup,domain_virt_speedup\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+                p.pmos,
+                p.libmpk_pct,
+                p.mpk_virt_pct,
+                p.domain_virt_pct,
+                p.mpk_virt_speedup(),
+                p.domain_virt_speedup()
+            ));
+        }
+        out
+    }
+
+    /// The point for a given PMO count, if part of the sweep.
+    #[must_use]
+    pub fn at(&self, pmos: u32) -> Option<&Fig7Point> {
+        self.points.iter().find(|p| p.pmos == pmos)
+    }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(
+            "Figure 7: overhead comparison to libmpk and lowerbound (mean of the five \
+             microbenchmarks; speedup = overhead reduction vs libmpk)",
+            &[
+                "PMOs",
+                "libmpk %",
+                "mpk-virt %",
+                "domain-virt %",
+                "mpk-virt speedup",
+                "domain-virt speedup",
+            ],
+        );
+        for p in &self.points {
+            t.row(vec![
+                p.pmos.to_string(),
+                f(p.libmpk_pct, 1),
+                f(p.mpk_virt_pct, 1),
+                f(p.domain_virt_pct, 1),
+                format!("{}x", f(p.mpk_virt_speedup(), 1)),
+                format!("{}x", f(p.domain_virt_speedup(), 1)),
+            ]);
+        }
+        write!(out, "{t}")?;
+        if let Some(last) = self.points.last() {
+            write!(
+                out,
+                "\nAt {} PMOs: hardware MPK virtualization reduces libmpk's overhead {}x; \
+                 domain virtualization reduces it {}x\n(paper: 10.6x and 52.5x at 1024 PMOs)",
+                last.pmos,
+                f(last.mpk_virt_speedup(), 1),
+                f(last.domain_virt_speedup(), 1),
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,83 @@
+//! Experiment runners regenerating every table and figure of the paper's
+//! evaluation (§V–§VI).
+//!
+//! | Paper artifact | Function | Binary |
+//! |---|---|---|
+//! | Table II (simulation parameters) | [`pmo_simarch::SimConfig::isca2020`] | `table2` |
+//! | Table V (WHISPER single-PMO overheads) | [`table5::table5`] | `table5` |
+//! | Table VI (multi-PMO lowerbound + switch rates) | [`table6::table6`] | `table6` |
+//! | Figure 6 (overhead vs #PMOs, per benchmark) | [`fig6::fig6`] | `fig6` |
+//! | Figure 7 (average overhead + libmpk speedups) | [`fig7::fig7`] | `fig7` |
+//! | Table VII (overhead breakdown at max PMOs) | [`table7::table7`] | `table7` |
+//! | Table VIII (area overheads) | [`table8::table8`] | `table8` |
+//!
+//! All binaries accept `--full` to run at the paper's scale; the default
+//! is a quick configuration that preserves every structural property
+//! (see [`Scale`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig6;
+pub mod fig7;
+mod runner;
+mod scale;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+pub mod text;
+
+pub use runner::{report_for, run_micro, run_whisper, run_windowed};
+pub use scale::Scale;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmo_simarch::SimConfig;
+
+    #[test]
+    fn table8_matches_paper() {
+        let t8 = table8::table8(&SimConfig::isca2020());
+        assert_eq!(t8.mpk_virt.buffer_bytes, 152);
+        assert_eq!(t8.domain_virt.buffer_bytes, 24);
+        assert_eq!(t8.domain_virt.tlb_extra_bits, 6);
+        let text = format!("{t8}");
+        assert!(text.contains("152 bytes (DTTLB)"));
+        assert!(text.contains("24 bytes (PTLB)"));
+    }
+
+    #[test]
+    fn fig7_averages_fig6() {
+        use fig6::{Fig6, Fig6Point, Fig6Series};
+        let mk = |a: f64, b: f64, c: f64| Fig6Point {
+            pmos: 64,
+            libmpk_pct: a,
+            mpk_virt_pct: b,
+            domain_virt_pct: c,
+        };
+        let f6 = Fig6 {
+            series: vec![
+                Fig6Series { bench: "A", points: vec![mk(100.0, 10.0, 5.0)] },
+                Fig6Series { bench: "B", points: vec![mk(300.0, 30.0, 15.0)] },
+            ],
+        };
+        let f7 = fig7::fig7(&f6);
+        let p = f7.at(64).unwrap();
+        assert!((p.libmpk_pct - 200.0).abs() < 1e-9);
+        assert!((p.mpk_virt_pct - 20.0).abs() < 1e-9);
+        assert!((p.mpk_virt_speedup() - 10.0).abs() < 1e-9);
+        assert!((p.domain_virt_speedup() - 20.0).abs() < 1e-9);
+        assert!(!format!("{f7}").is_empty());
+
+        // CSV exports carry every point with headers.
+        let csv6 = f6.to_csv();
+        assert!(csv6.starts_with("bench,pmos,"));
+        assert_eq!(csv6.lines().count(), 1 + 2);
+        assert!(csv6.contains("A,64,100.0000,10.0000,5.0000"));
+        let csv7 = f7.to_csv();
+        assert!(csv7.starts_with("pmos,"));
+        assert!(csv7.contains("64,200.0000,20.0000,10.0000,10.0000,20.0000"));
+    }
+}

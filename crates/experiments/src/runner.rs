@@ -1,0 +1,138 @@
+//! Shared replay drivers: run one workload under many schemes, windowing
+//! the measurement to the operation phase (the paper measures steady
+//! state, not population).
+
+use pmo_protect::SchemeKind;
+use pmo_sim::{Replay, ReplayReport};
+use pmo_simarch::SimConfig;
+use pmo_workloads::{
+    MicroBench, MicroConfig, MicroWorkload, WhisperBench, WhisperConfig, WhisperWorkload, Workload,
+};
+
+/// Runs `workload` under `kind`, returning the report windowed to the
+/// measured (post-setup) phase.
+///
+/// # Panics
+///
+/// Panics if the workload raises any protection fault: benchmark traces
+/// are permission-clean by construction, so a fault is a harness bug.
+pub fn run_windowed(workload: &mut dyn Workload, kind: SchemeKind, config: &SimConfig) -> ReplayReport {
+    let mut replay = Replay::new(kind, config);
+    workload.setup(&mut replay);
+    let snapshot = replay.snapshot();
+    workload.run(&mut replay);
+    let report = replay.finish().since(&snapshot);
+    assert!(
+        !report.faulted(),
+        "[{kind}] {}: {} protection faults, first: {:?}",
+        workload.name(),
+        report.scheme_stats.faults,
+        report.faults.first()
+    );
+    report
+}
+
+/// Runs a fresh instance of a microbenchmark under every scheme in
+/// `kinds` (same seed → same trace, the paper's methodology).
+pub fn run_micro(
+    bench: MicroBench,
+    config: &MicroConfig,
+    kinds: &[SchemeKind],
+    sim: &SimConfig,
+) -> Vec<ReplayReport> {
+    kinds
+        .iter()
+        .map(|&kind| {
+            let mut workload = MicroWorkload::new(bench, config.clone());
+            run_windowed(&mut workload, kind, sim)
+        })
+        .collect()
+}
+
+/// Runs a fresh instance of a WHISPER benchmark under every scheme.
+pub fn run_whisper(
+    bench: WhisperBench,
+    config: &WhisperConfig,
+    kinds: &[SchemeKind],
+    sim: &SimConfig,
+) -> Vec<ReplayReport> {
+    kinds
+        .iter()
+        .map(|&kind| {
+            let mut workload = WhisperWorkload::new(bench, config.clone());
+            run_windowed(&mut workload, kind, sim)
+        })
+        .collect()
+}
+
+/// Finds the report for `kind` in a `run_*` result.
+///
+/// # Panics
+///
+/// Panics if the scheme was not part of the run.
+#[must_use]
+pub fn report_for(reports: &[ReplayReport], kind: SchemeKind) -> &ReplayReport {
+    reports.iter().find(|r| r.scheme == kind).unwrap_or_else(|| panic!("no report for {kind}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_micro() -> MicroConfig {
+        MicroConfig {
+            pmos: 20,
+            active_pmos: 20,
+            pmo_bytes: 1 << 20,
+            initial_nodes: 8,
+            ops: 60,
+            insert_pct: 90,
+            value_bytes: 64,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn micro_runs_clean_under_all_schemes() {
+        let sim = SimConfig::isca2020();
+        let reports = run_micro(MicroBench::Avl, &tiny_micro(), &SchemeKind::ALL, &sim);
+        assert_eq!(reports.len(), 6);
+        for r in &reports {
+            assert_eq!(r.ops, 60, "{}: windowed ops", r.scheme);
+            assert!(r.cycles > 0);
+        }
+        // Identical traces: instruction-identical baseline events.
+        let base = report_for(&reports, SchemeKind::Unprotected);
+        let lb = report_for(&reports, SchemeKind::Lowerbound);
+        assert_eq!(base.counts.loads, lb.counts.loads);
+        assert_eq!(base.counts.stores, lb.counts.stores);
+    }
+
+    #[test]
+    fn whisper_runs_clean() {
+        let sim = SimConfig::isca2020();
+        let cfg = WhisperConfig { txns: 50, records: 128, pmo_bytes: 8 << 20, ..WhisperConfig::quick() };
+        let reports = run_whisper(
+            WhisperBench::Hashmap,
+            &cfg,
+            &[SchemeKind::Unprotected, SchemeKind::DefaultMpk, SchemeKind::DomainVirt],
+            &sim,
+        );
+        let base = report_for(&reports, SchemeKind::Unprotected);
+        let mpk = report_for(&reports, SchemeKind::DefaultMpk);
+        assert!(mpk.cycles > base.cycles, "MPK adds WRPKRU cost");
+    }
+
+    #[test]
+    fn windowing_excludes_population() {
+        let sim = SimConfig::isca2020();
+        let cfg = tiny_micro();
+        let report = {
+            let mut w = MicroWorkload::new(MicroBench::LinkedList, cfg.clone());
+            run_windowed(&mut w, SchemeKind::Lowerbound, &sim)
+        };
+        // 2 switches per measured op only (population switches windowed out).
+        assert_eq!(report.counts.set_perms, 2 * 60);
+        assert_eq!(report.ops, 60);
+    }
+}

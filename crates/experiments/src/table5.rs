@@ -1,0 +1,93 @@
+//! Table V: single-PMO WHISPER overheads — default MPK vs the two
+//! hardware virtualization designs, relative to unprotected execution.
+
+use std::fmt;
+
+use pmo_protect::SchemeKind;
+use pmo_simarch::SimConfig;
+use pmo_workloads::WhisperBench;
+
+use crate::runner::{report_for, run_whisper};
+use crate::text::{f, grouped, TextTable};
+use crate::Scale;
+
+/// One benchmark's row of Table V.
+#[derive(Clone, Debug)]
+pub struct Table5Row {
+    /// Benchmark.
+    pub bench: &'static str,
+    /// Permission switches per simulated second.
+    pub switches_per_sec: f64,
+    /// Default-MPK overhead over the unprotected baseline, in percent.
+    pub mpk_pct: f64,
+    /// Hardware MPK-virtualization overhead, in percent.
+    pub mpk_virt_pct: f64,
+    /// Hardware domain-virtualization overhead, in percent.
+    pub domain_virt_pct: f64,
+}
+
+/// The full Table V result.
+#[derive(Clone, Debug)]
+pub struct Table5 {
+    /// Per-benchmark rows.
+    pub rows: Vec<Table5Row>,
+    /// Arithmetic mean over the benchmarks (the paper's "Average" row).
+    pub average: Table5Row,
+}
+
+/// Runs the Table V experiment.
+#[must_use]
+pub fn table5(scale: Scale, sim: &SimConfig) -> Table5 {
+    let kinds = [
+        SchemeKind::Unprotected,
+        SchemeKind::DefaultMpk,
+        SchemeKind::MpkVirt,
+        SchemeKind::DomainVirt,
+    ];
+    let mut rows = Vec::new();
+    for bench in WhisperBench::ALL {
+        let mut config = scale.whisper_config();
+        if bench == WhisperBench::Redis {
+            config.txns *= scale.redis_factor();
+        }
+        let reports = run_whisper(bench, &config, &kinds, sim);
+        let base = report_for(&reports, SchemeKind::Unprotected);
+        let mpk = report_for(&reports, SchemeKind::DefaultMpk);
+        rows.push(Table5Row {
+            bench: bench.label(),
+            switches_per_sec: mpk.switches_per_sec(sim),
+            mpk_pct: mpk.overhead_pct_over(base),
+            mpk_virt_pct: report_for(&reports, SchemeKind::MpkVirt).overhead_pct_over(base),
+            domain_virt_pct: report_for(&reports, SchemeKind::DomainVirt).overhead_pct_over(base),
+        });
+    }
+    let n = rows.len() as f64;
+    let average = Table5Row {
+        bench: "Average",
+        switches_per_sec: rows.iter().map(|r| r.switches_per_sec).sum::<f64>() / n,
+        mpk_pct: rows.iter().map(|r| r.mpk_pct).sum::<f64>() / n,
+        mpk_virt_pct: rows.iter().map(|r| r.mpk_virt_pct).sum::<f64>() / n,
+        domain_virt_pct: rows.iter().map(|r| r.domain_virt_pct).sum::<f64>() / n,
+    };
+    Table5 { rows, average }
+}
+
+impl fmt::Display for Table5 {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(
+            "Table V: overhead of MPK vs. hardware MPK virtualization and domain \
+             virtualization for WHISPER with a single PMO (over unprotected baseline)",
+            &["Benchmark", "Switches/sec", "MPK %", "MPK virt %", "Domain virt %"],
+        );
+        for r in self.rows.iter().chain(std::iter::once(&self.average)) {
+            t.row(vec![
+                r.bench.to_string(),
+                grouped(r.switches_per_sec),
+                f(r.mpk_pct, 2),
+                f(r.mpk_virt_pct, 2),
+                f(r.domain_virt_pct, 2),
+            ]);
+        }
+        write!(out, "{t}")
+    }
+}

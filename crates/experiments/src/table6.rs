@@ -1,0 +1,67 @@
+//! Table VI: lowerbound overheads and permission-switch frequencies for
+//! the multi-PMO microbenchmarks.
+
+use std::fmt;
+
+use pmo_protect::SchemeKind;
+use pmo_simarch::SimConfig;
+use pmo_workloads::MicroBench;
+
+use crate::runner::{report_for, run_micro};
+use crate::text::{f, grouped, TextTable};
+use crate::Scale;
+
+/// One benchmark's row of Table VI.
+#[derive(Clone, Debug)]
+pub struct Table6Row {
+    /// Benchmark abbreviation.
+    pub bench: &'static str,
+    /// Permission switches per simulated second.
+    pub switches_per_sec: f64,
+    /// Lowerbound (WRPKRU-only) overhead over the baseline, in percent.
+    pub lowerbound_pct: f64,
+}
+
+/// The full Table VI result.
+#[derive(Clone, Debug)]
+pub struct Table6 {
+    /// Per-benchmark rows.
+    pub rows: Vec<Table6Row>,
+}
+
+/// Runs the Table VI experiment (at the scale's maximum PMO count).
+#[must_use]
+pub fn table6(scale: Scale, sim: &SimConfig) -> Table6 {
+    let kinds = [SchemeKind::Unprotected, SchemeKind::Lowerbound];
+    let config = scale.micro_config(scale.max_pmos());
+    let mut rows = Vec::new();
+    for bench in MicroBench::ALL {
+        let reports = run_micro(bench, &config, &kinds, sim);
+        let base = report_for(&reports, SchemeKind::Unprotected);
+        let lb = report_for(&reports, SchemeKind::Lowerbound);
+        rows.push(Table6Row {
+            bench: bench.label(),
+            switches_per_sec: lb.switches_per_sec(sim),
+            lowerbound_pct: lb.overhead_pct_over(base),
+        });
+    }
+    Table6 { rows }
+}
+
+impl fmt::Display for Table6 {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(
+            "Table VI: lowerbound overhead and permission switch frequencies for the \
+             multi-PMO benchmarks",
+            &["Benchmark", "Switches/sec", "Lowerbound overhead %"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.bench.to_string(),
+                grouped(r.switches_per_sec),
+                f(r.lowerbound_pct, 2),
+            ]);
+        }
+        write!(out, "{t}")
+    }
+}

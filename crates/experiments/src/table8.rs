@@ -1,0 +1,72 @@
+//! Table VIII: area overhead summary of the two designs (computed from
+//! the configuration, no simulation required).
+
+use std::fmt;
+
+use pmo_protect::{domain_virt_area, mpk_virt_area, AreaReport};
+use pmo_simarch::SimConfig;
+use crate::text::TextTable;
+
+/// The full Table VIII result.
+#[derive(Clone, Debug)]
+pub struct Table8 {
+    /// Domains/threads assumed (the paper uses 1024/1024).
+    pub domains: u64,
+    /// Threads per process assumed.
+    pub threads: u64,
+    /// Design 1's report.
+    pub mpk_virt: AreaReport,
+    /// Design 2's report.
+    pub domain_virt: AreaReport,
+}
+
+/// Computes Table VIII with the paper's sizing assumptions.
+#[must_use]
+pub fn table8(sim: &SimConfig) -> Table8 {
+    let domains = 1024;
+    let threads = 1024;
+    Table8 {
+        domains,
+        threads,
+        mpk_virt: mpk_virt_area(sim, domains, threads),
+        domain_virt: domain_virt_area(sim, domains, threads),
+    }
+}
+
+impl fmt::Display for Table8 {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(
+            format!(
+                "Table VIII: area overhead summary of the two designs \
+                 ({} domains, up to {} threads per process)",
+                self.domains, self.threads
+            ),
+            &["", "Hardware-based MPK virtualization", "Domain virtualization"],
+        );
+        t.row(vec![
+            "Registers per core".into(),
+            format!("{}", self.mpk_virt.registers_per_core),
+            format!("{}", self.domain_virt.registers_per_core),
+        ]);
+        t.row(vec![
+            "Dedicated buffer per core".into(),
+            format!("{} bytes (DTTLB)", self.mpk_virt.buffer_bytes),
+            format!("{} bytes (PTLB)", self.domain_virt.buffer_bytes),
+        ]);
+        t.row(vec![
+            "TLB entry extension".into(),
+            "none".into(),
+            format!("+{} bits per entry", self.domain_virt.tlb_extra_bits),
+        ]);
+        t.row(vec![
+            "Software tables per process".into(),
+            format!("{} KB (DTT)", self.mpk_virt.software_bytes / 1024),
+            format!("{} KB (DRT + PT)", self.domain_virt.software_bytes / 1024),
+        ]);
+        write!(out, "{t}")?;
+        write!(
+            out,
+            "\nPaper's values: DTTLB 152B, PTLB 24B, +6 TLB bits, DTT 256KB, DRT+PT 272KB"
+        )
+    }
+}

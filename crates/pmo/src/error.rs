@@ -1,0 +1,126 @@
+//! Error types of the PMO runtime.
+
+use std::error::Error;
+use std::fmt;
+
+use pmo_trace::PmoId;
+
+/// Errors returned by the PMO runtime (Table I API and accessors).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A pool with this name already exists.
+    PoolExists(String),
+    /// No pool with this name exists.
+    NoSuchPool(String),
+    /// The calling user may not attach the pool with the requested intent.
+    PermissionDenied {
+        /// Pool name.
+        name: String,
+        /// Why the OS refused.
+        reason: &'static str,
+    },
+    /// The pool requires an attach key and the supplied key was wrong.
+    WrongAttachKey(String),
+    /// The pool is already attached by this process.
+    AlreadyAttached(PmoId),
+    /// The PMO is not attached to this process's address space.
+    NotAttached(PmoId),
+    /// The pool is exclusively attached for writing by another process.
+    ExclusivelyHeld(String),
+    /// Allocation failed: the pool heap is exhausted.
+    OutOfMemory {
+        /// Pool.
+        pmo: PmoId,
+        /// Requested size.
+        requested: u64,
+    },
+    /// The ObjectID does not reference a valid allocation.
+    InvalidOid {
+        /// The offending OID's raw form.
+        oid: u64,
+        /// Why it is invalid.
+        reason: &'static str,
+    },
+    /// An access fell outside the pool or the attachment intent
+    /// (e.g. a write through a read-only attachment).
+    AccessViolation {
+        /// Pool.
+        pmo: PmoId,
+        /// Offset within the pool.
+        offset: u64,
+        /// Why the access is illegal.
+        reason: &'static str,
+    },
+    /// The transaction log area is full.
+    LogFull(PmoId),
+    /// The requested size is invalid (zero, or larger than supported).
+    InvalidSize(u64),
+    /// An injected power failure fired (failure-injection testing): the
+    /// store did not execute; the caller should simulate a crash.
+    PowerFailure,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::PoolExists(name) => write!(f, "pool `{name}` already exists"),
+            RuntimeError::NoSuchPool(name) => write!(f, "no pool named `{name}`"),
+            RuntimeError::PermissionDenied { name, reason } => {
+                write!(f, "permission denied attaching `{name}`: {reason}")
+            }
+            RuntimeError::WrongAttachKey(name) => {
+                write!(f, "wrong attach key for pool `{name}`")
+            }
+            RuntimeError::AlreadyAttached(pmo) => write!(f, "pmo {pmo} is already attached"),
+            RuntimeError::NotAttached(pmo) => write!(f, "pmo {pmo} is not attached"),
+            RuntimeError::ExclusivelyHeld(name) => {
+                write!(f, "pool `{name}` is exclusively attached for writing elsewhere")
+            }
+            RuntimeError::OutOfMemory { pmo, requested } => {
+                write!(f, "pool {pmo} cannot allocate {requested} bytes")
+            }
+            RuntimeError::InvalidOid { oid, reason } => {
+                write!(f, "invalid object id {oid:#x}: {reason}")
+            }
+            RuntimeError::AccessViolation { pmo, offset, reason } => {
+                write!(f, "illegal access to pmo {pmo} at offset {offset:#x}: {reason}")
+            }
+            RuntimeError::LogFull(pmo) => write!(f, "transaction log of pmo {pmo} is full"),
+            RuntimeError::InvalidSize(size) => write!(f, "invalid size {size}"),
+            RuntimeError::PowerFailure => write!(f, "injected power failure"),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+/// Convenience alias used across the runtime.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let errors: Vec<RuntimeError> = vec![
+            RuntimeError::PoolExists("a".into()),
+            RuntimeError::NoSuchPool("b".into()),
+            RuntimeError::PermissionDenied { name: "c".into(), reason: "mode" },
+            RuntimeError::WrongAttachKey("d".into()),
+            RuntimeError::AlreadyAttached(PmoId::new(1)),
+            RuntimeError::NotAttached(PmoId::new(2)),
+            RuntimeError::ExclusivelyHeld("e".into()),
+            RuntimeError::OutOfMemory { pmo: PmoId::new(3), requested: 64 },
+            RuntimeError::InvalidOid { oid: 5, reason: "free" },
+            RuntimeError::AccessViolation { pmo: PmoId::new(4), offset: 8, reason: "ro" },
+            RuntimeError::LogFull(PmoId::new(5)),
+            RuntimeError::InvalidSize(0),
+            RuntimeError::PowerFailure,
+        ];
+        for e in errors {
+            assert!(!format!("{e}").is_empty());
+            assert!(!format!("{e:?}").is_empty());
+        }
+    }
+}

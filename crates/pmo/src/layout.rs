@@ -1,0 +1,93 @@
+//! On-pool metadata layout: header fields, allocation headers, log area.
+//!
+//! Every pool reserves a 64-byte header followed by a redo-log area used by
+//! durable transactions; the allocatable heap starts after the log. All
+//! metadata lives *inside* the pool bytes so it is persistent and
+//! crash-recoverable like user data.
+
+/// Pool header size in bytes.
+pub const HEADER_SIZE: u64 = 64;
+
+/// Byte offsets of the header fields (all `u64`).
+pub mod hdr {
+    /// Magic number identifying an initialized pool.
+    pub const MAGIC: u64 = 0;
+    /// Offset of the next unallocated heap byte.
+    pub const HEAP_TOP: u64 = 8;
+    /// Raw OID of the root object (0 = none).
+    pub const ROOT_OID: u64 = 16;
+    /// Size of the root object (0 = none).
+    pub const ROOT_SIZE: u64 = 24;
+    /// Transaction commit flag (0 = idle, 1 = committed log pending apply).
+    pub const COMMIT_FLAG: u64 = 32;
+    /// Offset of the redo-log area.
+    pub const LOG_BASE: u64 = 40;
+    /// Size of the redo-log area in bytes.
+    pub const LOG_SIZE: u64 = 48;
+}
+
+/// Magic value in [`hdr::MAGIC`].
+pub const POOL_MAGIC: u64 = 0x504d_4f5f_504f_4f4c; // "PMO_POOL"
+
+/// Magic tag of a live allocation header.
+pub const ALLOC_MAGIC: u32 = 0xA110_CA7E;
+/// Magic tag of a freed allocation header.
+pub const FREED_MAGIC: u32 = 0xF4EE_D000;
+
+/// Bytes of allocation header preceding each object (`size: u32`,
+/// `magic: u32`).
+pub const ALLOC_HEADER: u64 = 8;
+
+/// Allocation alignment.
+pub const ALLOC_ALIGN: u64 = 16;
+
+/// Redo-log area size for a pool of `pool_size` bytes: 1/16 of the pool,
+/// clamped to `[256B, 64KB]` and line-aligned.
+#[must_use]
+pub fn log_bytes_for(pool_size: u64) -> u64 {
+    (pool_size / 16).clamp(256, 64 << 10) & !63
+}
+
+/// First heap offset for a pool of `pool_size` bytes.
+#[must_use]
+pub fn heap_base_for(pool_size: u64) -> u64 {
+    HEADER_SIZE + log_bytes_for(pool_size)
+}
+
+/// Rounds an allocation request up to a slot size (header + alignment).
+#[must_use]
+pub fn slot_size(request: u64) -> u64 {
+    (request + ALLOC_HEADER).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_sizing() {
+        assert_eq!(log_bytes_for(4096), 256);
+        assert_eq!(log_bytes_for(1 << 20), 64 << 10); // capped at 64KB
+        assert_eq!(log_bytes_for(8 << 20), 64 << 10);
+        assert_eq!(log_bytes_for(4096) % 64, 0);
+        assert!(log_bytes_for(100) >= 256);
+    }
+
+    #[test]
+    fn heap_base_leaves_room() {
+        assert_eq!(heap_base_for(4096), 64 + 256);
+        assert!(heap_base_for(8 << 20) < 8 << 20);
+    }
+
+    #[test]
+    fn slot_sizes_are_aligned() {
+        assert_eq!(slot_size(1), 16);
+        assert_eq!(slot_size(8), 16);
+        assert_eq!(slot_size(9), 32);
+        assert_eq!(slot_size(64), 80);
+        for req in 1..200 {
+            assert_eq!(slot_size(req) % ALLOC_ALIGN, 0);
+            assert!(slot_size(req) >= req + ALLOC_HEADER);
+        }
+    }
+}

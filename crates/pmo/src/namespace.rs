@@ -1,0 +1,402 @@
+//! OS-managed PMO namespace: names, ownership, permission modes, attach
+//! keys, and inter-process sharing policy (paper §IV.A, second requirement).
+
+use std::collections::HashMap;
+
+use pmo_trace::PmoId;
+
+use crate::error::{Result, RuntimeError};
+use crate::storage::PoolStorage;
+
+/// A user identifier (the namespace's permission subject).
+pub type Uid = u32;
+
+/// Unix-like permission mode for a pool: read/write for the owning user
+/// and for everyone else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mode {
+    /// Owner may attach for reading.
+    pub owner_read: bool,
+    /// Owner may attach for writing.
+    pub owner_write: bool,
+    /// Other users may attach for reading.
+    pub other_read: bool,
+    /// Other users may attach for writing.
+    pub other_write: bool,
+}
+
+impl Mode {
+    /// Owner read/write; no access for others (0600).
+    #[must_use]
+    pub const fn private() -> Self {
+        Mode { owner_read: true, owner_write: true, other_read: false, other_write: false }
+    }
+
+    /// Owner read/write; others read-only (0644).
+    #[must_use]
+    pub const fn shared_read() -> Self {
+        Mode { owner_read: true, owner_write: true, other_read: true, other_write: false }
+    }
+
+    /// Read/write for everyone (0666).
+    #[must_use]
+    pub const fn shared_write() -> Self {
+        Mode { owner_read: true, owner_write: true, other_read: true, other_write: true }
+    }
+
+    fn allows(&self, is_owner: bool, write: bool) -> bool {
+        match (is_owner, write) {
+            (true, false) => self.owner_read,
+            (true, true) => self.owner_write,
+            (false, false) => self.other_read,
+            (false, true) => self.other_write,
+        }
+    }
+}
+
+impl Default for Mode {
+    fn default() -> Self {
+        Mode::private()
+    }
+}
+
+/// The intent a process declares when attaching a PMO (§IV.A: "a process
+/// can express intent to read (R) or both read and write (RW)").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttachIntent {
+    /// Read-only attachment; may be shared among processes.
+    Read,
+    /// Read-write attachment; exclusive against other writers.
+    ReadWrite,
+}
+
+impl AttachIntent {
+    /// Whether the intent includes writing.
+    #[must_use]
+    pub const fn writes(self) -> bool {
+        matches!(self, AttachIntent::ReadWrite)
+    }
+}
+
+/// One registered pool.
+#[derive(Debug)]
+pub struct PoolEntry {
+    /// Stable PMO/domain ID, assigned at creation.
+    pub id: PmoId,
+    /// Pool name (the namespace key).
+    pub name: String,
+    /// Owning user.
+    pub owner: Uid,
+    /// Permission mode.
+    pub mode: Mode,
+    /// Optional attach key: processes must present it to attach (§IV.A).
+    pub attach_key: Option<u64>,
+    /// Backing storage.
+    pub storage: PoolStorage,
+    /// Number of live read-only attachments.
+    pub readers: u32,
+    /// Number of live read-write attachments (0 or 1: single-writer).
+    pub writers: u32,
+}
+
+/// The OS-side PMO registry.
+///
+/// The namespace implements the paper's inter-process policy: a PMO may be
+/// attached by many readers or one writer ("a PMO may be attached
+/// exclusively to only one process for writing, but may be attached to
+/// multiple processes for reading").
+#[derive(Debug, Default)]
+pub struct Namespace {
+    pools: HashMap<String, PoolEntry>,
+    names_by_id: HashMap<PmoId, String>,
+    next_id: u32,
+}
+
+impl Namespace {
+    /// Creates an empty namespace.
+    #[must_use]
+    pub fn new() -> Self {
+        Namespace { pools: HashMap::new(), names_by_id: HashMap::new(), next_id: 1 }
+    }
+
+    /// Registers a new pool; returns its stable PMO ID.
+    pub fn create(&mut self, name: &str, size: u64, mode: Mode, owner: Uid) -> Result<PmoId> {
+        if size == 0 {
+            return Err(RuntimeError::InvalidSize(size));
+        }
+        if self.pools.contains_key(name) {
+            return Err(RuntimeError::PoolExists(name.to_string()));
+        }
+        let id = PmoId::new(self.next_id);
+        self.next_id += 1;
+        self.pools.insert(
+            name.to_string(),
+            PoolEntry {
+                id,
+                name: name.to_string(),
+                owner,
+                mode,
+                attach_key: None,
+                storage: PoolStorage::new(size),
+                readers: 0,
+                writers: 0,
+            },
+        );
+        self.names_by_id.insert(id, name.to_string());
+        Ok(id)
+    }
+
+    /// Sets (or clears) a pool's attach key. Only the owner may do this.
+    pub fn set_attach_key(&mut self, name: &str, uid: Uid, key: Option<u64>) -> Result<()> {
+        let entry = self.entry_mut_by_name(name)?;
+        if entry.owner != uid {
+            return Err(RuntimeError::PermissionDenied {
+                name: name.to_string(),
+                reason: "only the owner may change the attach key",
+            });
+        }
+        entry.attach_key = key;
+        Ok(())
+    }
+
+    /// Validates an attach request and acquires the reader/writer lock.
+    /// Returns the pool's PMO ID.
+    pub fn acquire(
+        &mut self,
+        name: &str,
+        uid: Uid,
+        intent: AttachIntent,
+        key: Option<u64>,
+    ) -> Result<PmoId> {
+        let entry = self.entry_mut_by_name(name)?;
+        if !entry.mode.allows(entry.owner == uid, intent.writes()) {
+            return Err(RuntimeError::PermissionDenied {
+                name: name.to_string(),
+                reason: "mode forbids the requested intent",
+            });
+        }
+        if entry.attach_key.is_some() && entry.attach_key != key {
+            return Err(RuntimeError::WrongAttachKey(name.to_string()));
+        }
+        match intent {
+            AttachIntent::Read => {
+                if entry.writers > 0 {
+                    return Err(RuntimeError::ExclusivelyHeld(name.to_string()));
+                }
+                entry.readers += 1;
+            }
+            AttachIntent::ReadWrite => {
+                if entry.writers > 0 || entry.readers > 0 {
+                    return Err(RuntimeError::ExclusivelyHeld(name.to_string()));
+                }
+                entry.writers += 1;
+            }
+        }
+        Ok(entry.id)
+    }
+
+    /// Releases an attachment lock previously acquired with
+    /// [`Namespace::acquire`].
+    pub fn release(&mut self, id: PmoId, intent: AttachIntent) -> Result<()> {
+        let entry = self.entry_mut(id)?;
+        match intent {
+            AttachIntent::Read => entry.readers = entry.readers.saturating_sub(1),
+            AttachIntent::ReadWrite => entry.writers = entry.writers.saturating_sub(1),
+        }
+        Ok(())
+    }
+
+    /// Looks up a pool by ID.
+    pub fn entry(&self, id: PmoId) -> Result<&PoolEntry> {
+        let name = self.names_by_id.get(&id).ok_or(RuntimeError::NotAttached(id))?;
+        Ok(&self.pools[name])
+    }
+
+    /// Looks up a pool mutably by ID.
+    pub fn entry_mut(&mut self, id: PmoId) -> Result<&mut PoolEntry> {
+        let name = self.names_by_id.get(&id).ok_or(RuntimeError::NotAttached(id))?.clone();
+        Ok(self.pools.get_mut(&name).expect("indexes in sync"))
+    }
+
+    fn entry_mut_by_name(&mut self, name: &str) -> Result<&mut PoolEntry> {
+        self.pools.get_mut(name).ok_or_else(|| RuntimeError::NoSuchPool(name.to_string()))
+    }
+
+    /// Destroys a pool and its data. Only the owner may destroy it, and
+    /// only while nobody has it attached.
+    pub fn destroy(&mut self, name: &str, uid: Uid) -> Result<()> {
+        let entry = self.entry_mut_by_name(name)?;
+        if entry.owner != uid {
+            return Err(RuntimeError::PermissionDenied {
+                name: name.to_string(),
+                reason: "only the owner may destroy a pool",
+            });
+        }
+        if entry.readers > 0 || entry.writers > 0 {
+            return Err(RuntimeError::ExclusivelyHeld(name.to_string()));
+        }
+        let id = entry.id;
+        self.pools.remove(name);
+        self.names_by_id.remove(&id);
+        Ok(())
+    }
+
+    /// Iterates over registered pool names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.pools.keys().map(String::as_str)
+    }
+
+    /// Whether a pool with this name exists.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.pools.contains_key(name)
+    }
+
+    /// Number of registered pools.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Whether no pools are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pools.is_empty()
+    }
+
+    /// Simulates machine power loss: every pool's unflushed lines revert
+    /// and all attachment locks evaporate. Returns total lines lost.
+    pub fn crash_all(&mut self) -> u64 {
+        let mut lost = 0;
+        for entry in self.pools.values_mut() {
+            lost += entry.storage.crash();
+            entry.readers = 0;
+            entry.writers = 0;
+        }
+        lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_ids_are_stable() {
+        let mut ns = Namespace::new();
+        let a = ns.create("a", 4096, Mode::private(), 1).unwrap();
+        let b = ns.create("b", 4096, Mode::private(), 1).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(ns.entry(a).unwrap().name, "a");
+        assert!(ns.contains("a"));
+        assert_eq!(ns.len(), 2);
+        assert!(matches!(
+            ns.create("a", 4096, Mode::private(), 1),
+            Err(RuntimeError::PoolExists(_))
+        ));
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut ns = Namespace::new();
+        assert!(matches!(ns.create("z", 0, Mode::private(), 1), Err(RuntimeError::InvalidSize(0))));
+    }
+
+    #[test]
+    fn permission_mode_enforced() {
+        let mut ns = Namespace::new();
+        ns.create("secret", 4096, Mode::private(), 1).unwrap();
+        // Owner can attach RW.
+        let id = ns.acquire("secret", 1, AttachIntent::ReadWrite, None).unwrap();
+        ns.release(id, AttachIntent::ReadWrite).unwrap();
+        // Other users cannot.
+        assert!(matches!(
+            ns.acquire("secret", 2, AttachIntent::Read, None),
+            Err(RuntimeError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_read_allows_others_reading_only() {
+        let mut ns = Namespace::new();
+        ns.create("pub", 4096, Mode::shared_read(), 1).unwrap();
+        let id = ns.acquire("pub", 2, AttachIntent::Read, None).unwrap();
+        ns.release(id, AttachIntent::Read).unwrap();
+        assert!(ns.acquire("pub", 2, AttachIntent::ReadWrite, None).is_err());
+    }
+
+    #[test]
+    fn single_writer_many_readers() {
+        let mut ns = Namespace::new();
+        ns.create("p", 4096, Mode::shared_write(), 1).unwrap();
+        let r1 = ns.acquire("p", 2, AttachIntent::Read, None).unwrap();
+        let _r2 = ns.acquire("p", 3, AttachIntent::Read, None).unwrap();
+        // Writer blocked while readers exist.
+        assert!(matches!(
+            ns.acquire("p", 1, AttachIntent::ReadWrite, None),
+            Err(RuntimeError::ExclusivelyHeld(_))
+        ));
+        ns.release(r1, AttachIntent::Read).unwrap();
+        ns.release(r1, AttachIntent::Read).unwrap();
+        let w = ns.acquire("p", 1, AttachIntent::ReadWrite, None).unwrap();
+        // Reader blocked while a writer exists.
+        assert!(ns.acquire("p", 2, AttachIntent::Read, None).is_err());
+        ns.release(w, AttachIntent::ReadWrite).unwrap();
+    }
+
+    #[test]
+    fn attach_keys() {
+        let mut ns = Namespace::new();
+        ns.create("locked", 4096, Mode::shared_write(), 1).unwrap();
+        ns.set_attach_key("locked", 1, Some(0xfeed)).unwrap();
+        assert!(matches!(
+            ns.acquire("locked", 2, AttachIntent::Read, None),
+            Err(RuntimeError::WrongAttachKey(_))
+        ));
+        assert!(matches!(
+            ns.acquire("locked", 2, AttachIntent::Read, Some(1)),
+            Err(RuntimeError::WrongAttachKey(_))
+        ));
+        assert!(ns.acquire("locked", 2, AttachIntent::Read, Some(0xfeed)).is_ok());
+        // Non-owner cannot change the key.
+        assert!(ns.set_attach_key("locked", 2, None).is_err());
+    }
+
+    #[test]
+    fn crash_releases_locks() {
+        let mut ns = Namespace::new();
+        ns.create("p", 4096, Mode::private(), 1).unwrap();
+        ns.acquire("p", 1, AttachIntent::ReadWrite, None).unwrap();
+        ns.crash_all();
+        assert!(ns.acquire("p", 1, AttachIntent::ReadWrite, None).is_ok());
+    }
+
+    #[test]
+    fn destroy_rules() {
+        let mut ns = Namespace::new();
+        ns.create("p", 4096, Mode::shared_write(), 1).unwrap();
+        // Non-owner cannot destroy.
+        assert!(matches!(ns.destroy("p", 2), Err(RuntimeError::PermissionDenied { .. })));
+        // Attached pools cannot be destroyed.
+        let id = ns.acquire("p", 1, AttachIntent::Read, None).unwrap();
+        assert!(matches!(ns.destroy("p", 1), Err(RuntimeError::ExclusivelyHeld(_))));
+        ns.release(id, AttachIntent::Read).unwrap();
+        ns.destroy("p", 1).unwrap();
+        assert!(!ns.contains("p"));
+        assert!(ns.entry(id).is_err(), "id mapping removed");
+        assert_eq!(ns.names().count(), 0);
+        // The name can be reused (with a fresh id).
+        let id2 = ns.create("p", 4096, Mode::private(), 1).unwrap();
+        assert_ne!(id, id2);
+    }
+
+    #[test]
+    fn missing_pool_errors() {
+        let mut ns = Namespace::new();
+        assert!(matches!(
+            ns.acquire("ghost", 1, AttachIntent::Read, None),
+            Err(RuntimeError::NoSuchPool(_))
+        ));
+        assert!(ns.entry(PmoId::new(99)).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Relocatable object identifiers (pool pointers).
+//!
+//! Per the paper's Figure 1 (following [11], [54], [55]), a persistent
+//! pointer is a 64-bit value split into a 32-bit pool ID and a 32-bit
+//! offset within the pool, so a data structure remains valid when its pool
+//! is attached at a different virtual address in a later session.
+
+use std::fmt;
+
+use pmo_trace::PmoId;
+
+/// A relocatable pointer to persistent data: 32-bit pool ID ++ 32-bit
+/// offset (the paper's `ObjectID`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid {
+    pool: PmoId,
+    offset: u32,
+}
+
+impl Oid {
+    /// The null object ID (pool 0 = NULL domain, offset 0).
+    pub const NULL: Oid = Oid { pool: PmoId::NULL, offset: 0 };
+
+    /// Creates an object ID.
+    #[must_use]
+    pub const fn new(pool: PmoId, offset: u32) -> Self {
+        Oid { pool, offset }
+    }
+
+    /// The pool (PMO/domain) component.
+    #[must_use]
+    pub const fn pool(self) -> PmoId {
+        self.pool
+    }
+
+    /// The byte offset within the pool.
+    #[must_use]
+    pub const fn offset(self) -> u32 {
+        self.offset
+    }
+
+    /// Whether this is the null OID.
+    #[must_use]
+    pub const fn is_null(self) -> bool {
+        self.pool.is_null() && self.offset == 0
+    }
+
+    /// A new OID at `self.offset + delta` in the same pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics on offset overflow.
+    #[must_use]
+    pub fn add(self, delta: u32) -> Self {
+        Oid { pool: self.pool, offset: self.offset.checked_add(delta).expect("oid offset overflow") }
+    }
+
+    /// Packs into the 64-bit persistent representation
+    /// (`pool` in the high 32 bits, as in Figure 1).
+    #[must_use]
+    pub const fn to_raw(self) -> u64 {
+        ((self.pool.raw() as u64) << 32) | self.offset as u64
+    }
+
+    /// Unpacks from the 64-bit persistent representation.
+    #[must_use]
+    pub const fn from_raw(raw: u64) -> Self {
+        Oid { pool: PmoId::from_raw((raw >> 32) as u32), offset: raw as u32 }
+    }
+}
+
+impl Default for Oid {
+    fn default() -> Self {
+        Oid::NULL
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "Oid(NULL)")
+        } else {
+            write!(f, "Oid({}:{:#x})", self.pool, self.offset)
+        }
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:#x}", self.pool, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrip() {
+        let oid = Oid::new(PmoId::new(7), 0xdead_beef);
+        assert_eq!(Oid::from_raw(oid.to_raw()), oid);
+        assert_eq!(oid.to_raw(), 0x0000_0007_dead_beef);
+    }
+
+    #[test]
+    fn null_properties() {
+        assert!(Oid::NULL.is_null());
+        assert_eq!(Oid::NULL.to_raw(), 0);
+        assert_eq!(Oid::from_raw(0), Oid::NULL);
+        assert_eq!(Oid::default(), Oid::NULL);
+        // Offset 0 in a real pool is NOT null.
+        assert!(!Oid::new(PmoId::new(1), 0).is_null());
+    }
+
+    #[test]
+    fn add_offsets() {
+        let oid = Oid::new(PmoId::new(1), 100);
+        assert_eq!(oid.add(28).offset(), 128);
+        assert_eq!(oid.add(28).pool(), PmoId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn add_overflow_panics() {
+        let _ = Oid::new(PmoId::new(1), u32::MAX).add(1);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format!("{:?}", Oid::NULL), "Oid(NULL)");
+        assert_eq!(format!("{}", Oid::new(PmoId::new(2), 0x40)), "2:0x40");
+    }
+}

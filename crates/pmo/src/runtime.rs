@@ -1,0 +1,854 @@
+//! The per-process PMO runtime: Table I API, attach/detach, accessors.
+
+use std::collections::HashMap;
+
+use pmo_trace::{PmoId, TraceEvent, TraceSink, Va};
+
+use crate::addrspace::AddressSpace;
+use crate::error::{Result, RuntimeError};
+use crate::layout::{
+    hdr, heap_base_for, log_bytes_for, slot_size, ALLOC_HEADER, ALLOC_MAGIC, FREED_MAGIC,
+    HEADER_SIZE, POOL_MAGIC,
+};
+use crate::namespace::{AttachIntent, Mode, Namespace, Uid};
+use crate::oid::Oid;
+use crate::storage::LINE;
+
+/// Description of one live attachment.
+#[derive(Clone, Debug)]
+pub struct Attachment {
+    /// PMO / domain ID.
+    pub id: PmoId,
+    /// Pool name.
+    pub name: String,
+    /// Base virtual address of the reserved region.
+    pub base: Va,
+    /// Reserved region size (page-table granule covering the pool).
+    pub region: u64,
+    /// Actual pool size in bytes.
+    pub size: u64,
+    /// Declared intent.
+    pub intent: AttachIntent,
+}
+
+/// Report of a redo-log recovery performed during attach.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Log entries replayed to their home locations.
+    pub entries_replayed: u64,
+    /// Bytes of payload replayed.
+    pub bytes_replayed: u64,
+}
+
+/// The per-process PMO runtime.
+///
+/// Owns the simulated OS namespace and the process address space, and
+/// implements the pool API of Table I (`pool_create`, `pool_open`,
+/// `pool_close`, `pool_root`, `pmalloc`, `pfree`, `oid_direct`) plus typed
+/// accessors that perform *functional* reads/writes against the simulated
+/// NVM while emitting trace events for the timing simulator.
+///
+/// # Example
+///
+/// ```
+/// use pmo_runtime::{Mode, PmRuntime};
+/// use pmo_trace::NullSink;
+///
+/// # fn main() -> Result<(), pmo_runtime::RuntimeError> {
+/// let mut rt = PmRuntime::new();
+/// let mut sink = NullSink::new();
+/// let pool = rt.pool_create("accounts", 1 << 20, Mode::private(), &mut sink)?;
+/// let obj = rt.pmalloc(pool, 64, &mut sink)?;
+/// rt.write_u64(obj, 0, 42, &mut sink)?;
+/// assert_eq!(rt.read_u64(obj, 0, &mut sink)?, 42);
+/// rt.pool_close(pool, &mut sink)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PmRuntime {
+    ns: Namespace,
+    aspace: AddressSpace,
+    attached: HashMap<PmoId, Attachment>,
+    free_lists: HashMap<PmoId, HashMap<u64, Vec<u32>>>,
+    uid: Uid,
+    last_recovery: Option<RecoveryReport>,
+}
+
+impl Default for PmRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PmRuntime {
+    /// Creates a runtime with an empty namespace, running as uid 0.
+    #[must_use]
+    pub fn new() -> Self {
+        PmRuntime {
+            ns: Namespace::new(),
+            aspace: AddressSpace::new(),
+            attached: HashMap::new(),
+            free_lists: HashMap::new(),
+            uid: 0,
+            last_recovery: None,
+        }
+    }
+
+    /// Changes the calling user (for namespace permission tests).
+    pub fn set_uid(&mut self, uid: Uid) {
+        self.uid = uid;
+    }
+
+    /// Enables MERR-style randomized attach placement: subsequent
+    /// attaches land at unpredictable granule-aligned addresses, making
+    /// PMO locations differ across sessions. Relocatable OIDs keep
+    /// resolving regardless of placement.
+    pub fn enable_aslr(&mut self, seed: u64) {
+        self.aspace.randomize(seed);
+    }
+
+    /// The calling user.
+    #[must_use]
+    pub fn uid(&self) -> Uid {
+        self.uid
+    }
+
+    /// The OS namespace (inspection / direct manipulation in tests).
+    #[must_use]
+    pub fn namespace(&self) -> &Namespace {
+        &self.ns
+    }
+
+    /// Mutable access to the namespace (e.g. to set attach keys).
+    pub fn namespace_mut(&mut self) -> &mut Namespace {
+        &mut self.ns
+    }
+
+    /// The recovery report of the most recent attach, if that attach
+    /// replayed a committed redo log.
+    #[must_use]
+    pub fn last_recovery(&self) -> Option<RecoveryReport> {
+        self.last_recovery
+    }
+
+    // ---------------------------------------------------------------
+    // Table I API
+    // ---------------------------------------------------------------
+
+    /// `pool_create(name, size, mode)`: creates a pool and attaches it
+    /// read-write. The calling user becomes the owner.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is taken, the size is zero, or the VA arena is
+    /// exhausted.
+    pub fn pool_create(
+        &mut self,
+        name: &str,
+        size: u64,
+        mode: Mode,
+        sink: &mut dyn TraceSink,
+    ) -> Result<PmoId> {
+        let id = self.ns.create(name, size, mode, self.uid)?;
+        // Initialize the persistent header.
+        let entry = self.ns.entry_mut(id).expect("just created");
+        let mut put = |off: u64, v: u64| {
+            entry.storage.write(off, &v.to_le_bytes()).expect("header fits");
+        };
+        put(hdr::MAGIC, POOL_MAGIC);
+        put(hdr::HEAP_TOP, heap_base_for(size));
+        put(hdr::ROOT_OID, 0);
+        put(hdr::ROOT_SIZE, 0);
+        put(hdr::COMMIT_FLAG, 0);
+        put(hdr::LOG_BASE, HEADER_SIZE);
+        put(hdr::LOG_SIZE, log_bytes_for(size));
+        entry.storage.flush_range(0, HEADER_SIZE);
+        self.attach_named(name, AttachIntent::ReadWrite, None, sink)
+    }
+
+    /// `pool_open(name, mode)`: attaches an existing pool with the given
+    /// intent, running crash recovery if a committed redo log is pending.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool does not exist, the mode/attach-key check fails,
+    /// or the single-writer policy is violated.
+    pub fn pool_open(
+        &mut self,
+        name: &str,
+        intent: AttachIntent,
+        sink: &mut dyn TraceSink,
+    ) -> Result<PmoId> {
+        self.attach_named(name, intent, None, sink)
+    }
+
+    /// Like [`PmRuntime::pool_open`], presenting an attach key.
+    pub fn pool_open_with_key(
+        &mut self,
+        name: &str,
+        intent: AttachIntent,
+        key: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<PmoId> {
+        self.attach_named(name, intent, Some(key), sink)
+    }
+
+    fn attach_named(
+        &mut self,
+        name: &str,
+        intent: AttachIntent,
+        key: Option<u64>,
+        sink: &mut dyn TraceSink,
+    ) -> Result<PmoId> {
+        let id = self.ns.acquire(name, self.uid, intent, key)?;
+        if self.attached.contains_key(&id) {
+            self.ns.release(id, intent)?;
+            return Err(RuntimeError::AlreadyAttached(id));
+        }
+        let size = self.ns.entry(id)?.storage.size();
+        let Some((base, region)) = self.aspace.reserve(size) else {
+            self.ns.release(id, intent)?;
+            return Err(RuntimeError::OutOfMemory { pmo: id, requested: size });
+        };
+        self.attached.insert(
+            id,
+            Attachment { id, name: name.to_string(), base, region, size, intent },
+        );
+        sink.event(TraceEvent::Attach { pmo: id, base, size, nvm: true });
+        self.last_recovery = self.recover(id, sink)?;
+        Ok(id)
+    }
+
+    /// `pool_close(pool)`: detaches the pool from the address space.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool is not attached.
+    pub fn pool_close(&mut self, id: PmoId, sink: &mut dyn TraceSink) -> Result<()> {
+        let att = self.attached.remove(&id).ok_or(RuntimeError::NotAttached(id))?;
+        self.aspace.release(att.base, att.region);
+        self.free_lists.remove(&id);
+        self.ns.release(id, att.intent)?;
+        sink.event(TraceEvent::Detach { pmo: id });
+        Ok(())
+    }
+
+    /// `pool_delete(name)`: destroys a pool and its data. The pool must
+    /// not be attached (detach it first) and the caller must own it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool does not exist, is attached, or is owned by
+    /// another user.
+    pub fn pool_delete(&mut self, name: &str) -> Result<()> {
+        self.ns.destroy(name, self.uid)
+    }
+
+    /// `pool_root(pool, size)`: returns the root object, allocating it on
+    /// first use. The root is the programmer-designed directory of the
+    /// pool's contents.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool is not attached or the allocation fails.
+    pub fn pool_root(&mut self, id: PmoId, size: u64, sink: &mut dyn TraceSink) -> Result<Oid> {
+        let existing = self.header_u64(id, hdr::ROOT_OID, sink)?;
+        if existing != 0 {
+            return Ok(Oid::from_raw(existing));
+        }
+        if size == 0 {
+            return Err(RuntimeError::InvalidSize(0));
+        }
+        let root = self.pmalloc(id, size, sink)?;
+        self.write_header_u64(id, hdr::ROOT_OID, root.to_raw(), sink)?;
+        self.write_header_u64(id, hdr::ROOT_SIZE, size, sink)?;
+        self.persist_header(id, sink)?;
+        Ok(root)
+    }
+
+    /// `pmalloc(pool, size)`: allocates persistent bytes; returns the OID
+    /// of the first usable byte.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool is not attached (or attached read-only), the size
+    /// is zero, or the heap is exhausted.
+    pub fn pmalloc(&mut self, id: PmoId, size: u64, sink: &mut dyn TraceSink) -> Result<Oid> {
+        if size == 0 {
+            return Err(RuntimeError::InvalidSize(0));
+        }
+        let att = self.attachment(id)?;
+        if !att.intent.writes() {
+            return Err(RuntimeError::AccessViolation {
+                pmo: id,
+                offset: 0,
+                reason: "pmalloc through a read-only attachment",
+            });
+        }
+        let pool_size = att.size;
+        let slot = slot_size(size);
+        // First try the (volatile) free list for this slot size.
+        if let Some(off) = self
+            .free_lists
+            .get_mut(&id)
+            .and_then(|lists| lists.get_mut(&slot))
+            .and_then(Vec::pop)
+        {
+            self.write_alloc_header(id, off, size as u32, ALLOC_MAGIC, sink)?;
+            sink.compute(10);
+            return Ok(Oid::new(id, off + ALLOC_HEADER as u32));
+        }
+        // Bump allocation: heap_top lives in the persistent header.
+        let top = self.header_u64(id, hdr::HEAP_TOP, sink)?;
+        if top + slot > pool_size {
+            return Err(RuntimeError::OutOfMemory { pmo: id, requested: size });
+        }
+        self.write_header_u64(id, hdr::HEAP_TOP, top + slot, sink)?;
+        self.flush_header_line(id, hdr::HEAP_TOP, sink)?;
+        self.write_alloc_header(id, top as u32, size as u32, ALLOC_MAGIC, sink)?;
+        sink.compute(20);
+        Ok(Oid::new(id, top as u32 + ALLOC_HEADER as u32))
+    }
+
+    /// `pfree(oid)`: frees a persistent allocation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the OID does not reference a live allocation.
+    pub fn pfree(&mut self, oid: Oid, sink: &mut dyn TraceSink) -> Result<()> {
+        let id = oid.pool();
+        let hdr_off = oid
+            .offset()
+            .checked_sub(ALLOC_HEADER as u32)
+            .ok_or(RuntimeError::InvalidOid { oid: oid.to_raw(), reason: "offset before heap" })?;
+        let (size, magic) = self.read_alloc_header(id, hdr_off, sink)?;
+        if magic != ALLOC_MAGIC {
+            return Err(RuntimeError::InvalidOid {
+                oid: oid.to_raw(),
+                reason: "not a live allocation",
+            });
+        }
+        self.write_alloc_header(id, hdr_off, size, FREED_MAGIC, sink)?;
+        let slot = slot_size(u64::from(size));
+        self.free_lists.entry(id).or_default().entry(slot).or_default().push(hdr_off);
+        sink.compute(10);
+        Ok(())
+    }
+
+    /// `oid_direct(oid)`: translates an OID to its current virtual address.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the OID's pool is not attached or the offset is outside it.
+    pub fn oid_direct(&self, oid: Oid) -> Result<Va> {
+        let att = self.attachment(oid.pool())?;
+        if u64::from(oid.offset()) >= att.size {
+            return Err(RuntimeError::InvalidOid {
+                oid: oid.to_raw(),
+                reason: "offset beyond pool size",
+            });
+        }
+        Ok(att.base + u64::from(oid.offset()))
+    }
+
+    // ---------------------------------------------------------------
+    // Typed accessors (functional + trace emission)
+    // ---------------------------------------------------------------
+
+    /// Reads `buf.len()` bytes starting `delta` bytes past `oid`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool is not attached or the range is out of bounds.
+    pub fn read_bytes(
+        &mut self,
+        oid: Oid,
+        delta: u32,
+        buf: &mut [u8],
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        let oid = oid.add(delta);
+        let va = self.oid_direct(oid)?;
+        let entry = self.ns.entry(oid.pool())?;
+        entry.storage.read(u64::from(oid.offset()), buf)?;
+        emit_chunked(sink, va, buf.len() as u64, false);
+        Ok(())
+    }
+
+    /// Writes `bytes` starting `delta` bytes past `oid`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool is not attached, attached read-only, or the range
+    /// is out of bounds.
+    pub fn write_bytes(
+        &mut self,
+        oid: Oid,
+        delta: u32,
+        bytes: &[u8],
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        let oid = oid.add(delta);
+        let va = self.oid_direct(oid)?;
+        let att = self.attachment(oid.pool())?;
+        if !att.intent.writes() {
+            return Err(RuntimeError::AccessViolation {
+                pmo: oid.pool(),
+                offset: u64::from(oid.offset()),
+                reason: "write through read-only attachment",
+            });
+        }
+        let entry = self.ns.entry_mut(oid.pool())?;
+        entry.storage.write(u64::from(oid.offset()), bytes)?;
+        emit_chunked(sink, va, bytes.len() as u64, true);
+        Ok(())
+    }
+
+    /// Reads a `u64` at `oid + delta`.
+    pub fn read_u64(&mut self, oid: Oid, delta: u32, sink: &mut dyn TraceSink) -> Result<u64> {
+        let mut buf = [0u8; 8];
+        self.read_bytes(oid, delta, &mut buf, sink)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a `u64` at `oid + delta`.
+    pub fn write_u64(
+        &mut self,
+        oid: Oid,
+        delta: u32,
+        value: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        self.write_bytes(oid, delta, &value.to_le_bytes(), sink)
+    }
+
+    /// Reads a `u32` at `oid + delta`.
+    pub fn read_u32(&mut self, oid: Oid, delta: u32, sink: &mut dyn TraceSink) -> Result<u32> {
+        let mut buf = [0u8; 4];
+        self.read_bytes(oid, delta, &mut buf, sink)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    /// Writes a `u32` at `oid + delta`.
+    pub fn write_u32(
+        &mut self,
+        oid: Oid,
+        delta: u32,
+        value: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        self.write_bytes(oid, delta, &value.to_le_bytes(), sink)
+    }
+
+    /// Reads a persistent pointer (OID) at `oid + delta`.
+    pub fn read_oid(&mut self, oid: Oid, delta: u32, sink: &mut dyn TraceSink) -> Result<Oid> {
+        Ok(Oid::from_raw(self.read_u64(oid, delta, sink)?))
+    }
+
+    /// Writes a persistent pointer (OID) at `oid + delta`.
+    pub fn write_oid(
+        &mut self,
+        oid: Oid,
+        delta: u32,
+        value: Oid,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        self.write_u64(oid, delta, value.to_raw(), sink)
+    }
+
+    /// Persists `[oid + delta, oid + delta + len)`: flushes each dirty line
+    /// (`clwb`) and issues a fence.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool is not attached.
+    pub fn persist(
+        &mut self,
+        oid: Oid,
+        delta: u32,
+        len: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        let oid = oid.add(delta);
+        let va = self.oid_direct(oid)?;
+        let entry = self.ns.entry_mut(oid.pool())?;
+        entry.storage.flush_range(u64::from(oid.offset()), len);
+        let mut line = va & !(LINE - 1);
+        while line < va + len.max(1) {
+            sink.event(TraceEvent::Flush { va: line });
+            line += LINE;
+        }
+        sink.event(TraceEvent::Fence);
+        Ok(())
+    }
+
+    /// Simulates machine power loss: unflushed lines revert, every
+    /// attachment disappears, the VA arena resets. Pools survive in the
+    /// namespace and can be re-opened (running recovery).
+    pub fn crash(&mut self) -> u64 {
+        let lost = self.ns.crash_all();
+        self.attached.clear();
+        self.free_lists.clear();
+        self.aspace.reset();
+        self.last_recovery = None;
+        lost
+    }
+
+    /// Info about one attachment.
+    pub fn attachment(&self, id: PmoId) -> Result<&Attachment> {
+        self.attached.get(&id).ok_or(RuntimeError::NotAttached(id))
+    }
+
+    /// Iterates over all current attachments.
+    pub fn attachments(&self) -> impl Iterator<Item = &Attachment> {
+        self.attached.values()
+    }
+
+    // ---------------------------------------------------------------
+    // Header helpers and recovery (pub(crate) for the txn module)
+    // ---------------------------------------------------------------
+
+    pub(crate) fn header_u64(
+        &mut self,
+        id: PmoId,
+        field: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<u64> {
+        let base = self.attachment(id)?.base;
+        let entry = self.ns.entry(id)?;
+        let mut buf = [0u8; 8];
+        entry.storage.read(field, &mut buf)?;
+        sink.load(base + field, 8);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    pub(crate) fn write_header_u64(
+        &mut self,
+        id: PmoId,
+        field: u64,
+        value: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        let base = self.attachment(id)?.base;
+        let entry = self.ns.entry_mut(id)?;
+        entry.storage.write(field, &value.to_le_bytes())?;
+        sink.store(base + field, 8);
+        Ok(())
+    }
+
+    pub(crate) fn flush_header_line(
+        &mut self,
+        id: PmoId,
+        field: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        let base = self.attachment(id)?.base;
+        let entry = self.ns.entry_mut(id)?;
+        entry.storage.flush_line(field);
+        sink.event(TraceEvent::Flush { va: (base + field) & !(LINE - 1) });
+        sink.event(TraceEvent::Fence);
+        Ok(())
+    }
+
+    fn persist_header(&mut self, id: PmoId, sink: &mut dyn TraceSink) -> Result<()> {
+        let base = self.attachment(id)?.base;
+        let entry = self.ns.entry_mut(id)?;
+        entry.storage.flush_range(0, HEADER_SIZE);
+        sink.event(TraceEvent::Flush { va: base });
+        sink.event(TraceEvent::Fence);
+        Ok(())
+    }
+
+    fn write_alloc_header(
+        &mut self,
+        id: PmoId,
+        off: u32,
+        size: u32,
+        magic: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        let base = self.attachment(id)?.base;
+        let entry = self.ns.entry_mut(id)?;
+        let mut buf = [0u8; 8];
+        buf[..4].copy_from_slice(&size.to_le_bytes());
+        buf[4..].copy_from_slice(&magic.to_le_bytes());
+        entry.storage.write(u64::from(off), &buf)?;
+        sink.store(base + u64::from(off), 8);
+        Ok(())
+    }
+
+    fn read_alloc_header(
+        &mut self,
+        id: PmoId,
+        off: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(u32, u32)> {
+        let base = self.attachment(id)?.base;
+        let entry = self.ns.entry(id)?;
+        let mut buf = [0u8; 8];
+        entry.storage.read(u64::from(off), &mut buf)?;
+        sink.load(base + u64::from(off), 8);
+        Ok((
+            u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")),
+            u32::from_le_bytes(buf[4..].try_into().expect("4 bytes")),
+        ))
+    }
+
+    /// Direct (uninstrumented) access to a pool's backing storage, for
+    /// tests and tooling that inspect persistence state.
+    pub fn storage(&self, id: PmoId) -> Result<&crate::storage::PoolStorage> {
+        Ok(&self.ns.entry(id)?.storage)
+    }
+
+    /// Arms power-failure injection on one pool: after `stores` more
+    /// successful persistent writes, writes fail with
+    /// [`RuntimeError::PowerFailure`] until [`PmRuntime::crash`] runs —
+    /// for testing failure atomicity at arbitrary points of the redo-log
+    /// protocol.
+    pub fn inject_power_failure_after(&mut self, id: PmoId, stores: u64) -> Result<()> {
+        self.ns.entry_mut(id)?.storage.inject_failure_after(stores);
+        Ok(())
+    }
+
+    /// Replays a committed redo log, if one is pending. Called on attach.
+    /// Recovery runs in kernel context during the attach system call, so
+    /// its storage traffic is *not* emitted as user-level trace events
+    /// (domain checks do not apply to the kernel); its cost is part of the
+    /// scheme's attach accounting.
+    fn recover(&mut self, id: PmoId, _sink: &mut dyn TraceSink) -> Result<Option<RecoveryReport>> {
+        let storage = &mut self.ns.entry_mut(id)?.storage;
+        let mut flag = [0u8; 8];
+        storage.read(hdr::COMMIT_FLAG, &mut flag)?;
+        if u64::from_le_bytes(flag) == 0 {
+            return Ok(None);
+        }
+        let report = crate::txn::replay_log_raw(storage)?;
+        storage.write(hdr::COMMIT_FLAG, &0u64.to_le_bytes())?;
+        storage.flush_line(hdr::COMMIT_FLAG);
+        Ok(Some(report))
+    }
+}
+
+/// Emits Load/Store events in <=8-byte chunks (modelling word-sized moves).
+fn emit_chunked(sink: &mut dyn TraceSink, va: Va, len: u64, is_store: bool) {
+    let mut done = 0;
+    while done < len {
+        let chunk = (len - done).min(8) as u8;
+        if is_store {
+            sink.store(va + done, chunk);
+        } else {
+            sink.load(va + done, chunk);
+        }
+        done += u64::from(chunk);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmo_trace::{CountingSink, NullSink, RecordedTrace};
+
+    fn rt_with_pool(size: u64) -> (PmRuntime, PmoId) {
+        let mut rt = PmRuntime::new();
+        let mut sink = NullSink::new();
+        let id = rt.pool_create("p", size, Mode::private(), &mut sink).unwrap();
+        (rt, id)
+    }
+
+    #[test]
+    fn create_attach_emits_event() {
+        let mut rt = PmRuntime::new();
+        let mut trace = RecordedTrace::new();
+        let id = rt.pool_create("p", 1 << 20, Mode::private(), &mut trace).unwrap();
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Attach { pmo, nvm: true, .. } if *pmo == id)));
+        let att = rt.attachment(id).unwrap();
+        assert_eq!(att.size, 1 << 20);
+        assert_eq!(att.region, 2 << 20, "1MB pool reserves a 2MB granule");
+        assert_eq!(att.base % att.region, 0);
+    }
+
+    #[test]
+    fn alloc_write_read_roundtrip() {
+        let (mut rt, id) = rt_with_pool(1 << 20);
+        let mut sink = NullSink::new();
+        let a = rt.pmalloc(id, 64, &mut sink).unwrap();
+        let b = rt.pmalloc(id, 64, &mut sink).unwrap();
+        assert_ne!(a, b);
+        rt.write_u64(a, 0, 0xdead, &mut sink).unwrap();
+        rt.write_u64(b, 0, 0xbeef, &mut sink).unwrap();
+        assert_eq!(rt.read_u64(a, 0, &mut sink).unwrap(), 0xdead);
+        assert_eq!(rt.read_u64(b, 0, &mut sink).unwrap(), 0xbeef);
+        // u32 and OID accessors.
+        rt.write_u32(a, 8, 7, &mut sink).unwrap();
+        assert_eq!(rt.read_u32(a, 8, &mut sink).unwrap(), 7);
+        rt.write_oid(a, 16, b, &mut sink).unwrap();
+        assert_eq!(rt.read_oid(a, 16, &mut sink).unwrap(), b);
+    }
+
+    #[test]
+    fn accessors_emit_chunked_events() {
+        let (mut rt, id) = rt_with_pool(1 << 20);
+        let mut sink = NullSink::new();
+        let a = rt.pmalloc(id, 64, &mut sink).unwrap();
+        let mut counter = CountingSink::new();
+        rt.write_bytes(a, 0, &[0u8; 64], &mut counter).unwrap();
+        assert_eq!(counter.counts().stores, 8, "64B write = 8 word stores");
+        let mut buf = [0u8; 20];
+        rt.read_bytes(a, 0, &mut buf, &mut counter).unwrap();
+        assert_eq!(counter.counts().loads, 3, "20B read = 8+8+4");
+    }
+
+    #[test]
+    fn pfree_recycles_slots() {
+        let (mut rt, id) = rt_with_pool(1 << 20);
+        let mut sink = NullSink::new();
+        let a = rt.pmalloc(id, 48, &mut sink).unwrap();
+        rt.pfree(a, &mut sink).unwrap();
+        let b = rt.pmalloc(id, 48, &mut sink).unwrap();
+        assert_eq!(a, b, "same slot reused");
+        // Double free is rejected.
+        rt.pfree(b, &mut sink).unwrap();
+        assert!(matches!(rt.pfree(b, &mut sink), Err(RuntimeError::InvalidOid { .. })));
+    }
+
+    #[test]
+    fn heap_exhaustion() {
+        let (mut rt, id) = rt_with_pool(4096);
+        let mut sink = NullSink::new();
+        // Heap is 4096 - 64 - 256 = 3776 bytes.
+        let a = rt.pmalloc(id, 3000, &mut sink);
+        assert!(a.is_ok());
+        assert!(matches!(
+            rt.pmalloc(id, 3000, &mut sink),
+            Err(RuntimeError::OutOfMemory { .. })
+        ));
+        assert!(matches!(rt.pmalloc(id, 0, &mut sink), Err(RuntimeError::InvalidSize(0))));
+    }
+
+    #[test]
+    fn root_is_stable() {
+        let (mut rt, id) = rt_with_pool(1 << 20);
+        let mut sink = NullSink::new();
+        let r1 = rt.pool_root(id, 256, &mut sink).unwrap();
+        let r2 = rt.pool_root(id, 256, &mut sink).unwrap();
+        assert_eq!(r1, r2);
+        // Survives close/open.
+        rt.pool_close(id, &mut sink).unwrap();
+        let id2 = rt.pool_open("p", AttachIntent::ReadWrite, &mut sink).unwrap();
+        assert_eq!(id, id2, "PMO id is stable across attachments");
+        let r3 = rt.pool_root(id2, 256, &mut sink).unwrap();
+        assert_eq!(r1, r3);
+    }
+
+    #[test]
+    fn read_only_attachment_rejects_writes() {
+        let mut rt = PmRuntime::new();
+        let mut sink = NullSink::new();
+        let id = rt.pool_create("p", 1 << 20, Mode::shared_read(), &mut sink).unwrap();
+        let obj = rt.pmalloc(id, 64, &mut sink).unwrap();
+        rt.write_u64(obj, 0, 5, &mut sink).unwrap();
+        rt.pool_close(id, &mut sink).unwrap();
+        let id = rt.pool_open("p", AttachIntent::Read, &mut sink).unwrap();
+        assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 5);
+        assert!(matches!(
+            rt.write_u64(obj, 0, 6, &mut sink),
+            Err(RuntimeError::AccessViolation { .. })
+        ));
+        assert!(rt.pmalloc(id, 8, &mut sink).is_err());
+    }
+
+    #[test]
+    fn oid_direct_checks_bounds() {
+        let (mut rt, id) = rt_with_pool(4096);
+        let mut sink = NullSink::new();
+        let obj = rt.pmalloc(id, 16, &mut sink).unwrap();
+        let va = rt.oid_direct(obj).unwrap();
+        let att = rt.attachment(id).unwrap();
+        assert_eq!(va, att.base + u64::from(obj.offset()));
+        assert!(rt.oid_direct(Oid::new(id, 4096)).is_err());
+        assert!(rt.oid_direct(Oid::new(PmoId::new(42), 0)).is_err());
+    }
+
+    #[test]
+    fn detach_then_access_fails() {
+        let (mut rt, id) = rt_with_pool(4096);
+        let mut sink = NullSink::new();
+        let obj = rt.pmalloc(id, 16, &mut sink).unwrap();
+        rt.pool_close(id, &mut sink).unwrap();
+        assert!(matches!(rt.read_u64(obj, 0, &mut sink), Err(RuntimeError::NotAttached(_))));
+        assert!(rt.pool_close(id, &mut sink).is_err());
+    }
+
+    #[test]
+    fn data_survives_detach_attach() {
+        let (mut rt, id) = rt_with_pool(1 << 20);
+        let mut sink = NullSink::new();
+        let obj = rt.pmalloc(id, 64, &mut sink).unwrap();
+        rt.write_u64(obj, 0, 99, &mut sink).unwrap();
+        rt.pool_close(id, &mut sink).unwrap();
+        let id = rt.pool_open("p", AttachIntent::ReadWrite, &mut sink).unwrap();
+        assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 99);
+        let _ = id;
+    }
+
+    #[test]
+    fn crash_loses_unflushed_data() {
+        let (mut rt, id) = rt_with_pool(1 << 20);
+        let mut sink = NullSink::new();
+        let obj = rt.pmalloc(id, 64, &mut sink).unwrap();
+        rt.write_u64(obj, 0, 1, &mut sink).unwrap();
+        rt.persist(obj, 0, 8, &mut sink).unwrap();
+        rt.write_u64(obj, 8, 2, &mut sink).unwrap(); // never persisted
+        rt.crash();
+        let id = rt.pool_open("p", AttachIntent::ReadWrite, &mut sink).unwrap();
+        let _ = id;
+        assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 1, "persisted survives");
+        assert_eq!(rt.read_u64(obj, 8, &mut sink).unwrap(), 0, "unflushed lost");
+    }
+
+    #[test]
+    fn persist_emits_flush_and_fence() {
+        let (mut rt, id) = rt_with_pool(1 << 20);
+        let mut sink = NullSink::new();
+        let obj = rt.pmalloc(id, 200, &mut sink).unwrap();
+        rt.write_bytes(obj, 0, &[1u8; 200], &mut sink).unwrap();
+        let mut counter = CountingSink::new();
+        rt.persist(obj, 0, 200, &mut counter).unwrap();
+        assert!(counter.counts().flushes >= 4, "200B spans at least 4 lines");
+        assert_eq!(counter.counts().fences, 1);
+    }
+
+    #[test]
+    fn relocation_with_aslr_preserves_oids() {
+        // The paper's relocatability requirement: a PMO may re-attach at a
+        // different VA in a later session; OIDs (pool + offset) must keep
+        // resolving. With ASLR every session gets a fresh placement.
+        let mut rt = PmRuntime::new();
+        rt.enable_aslr(7);
+        let mut sink = NullSink::new();
+        let id = rt.pool_create("p", 1 << 20, Mode::private(), &mut sink).unwrap();
+        let obj = rt.pmalloc(id, 64, &mut sink).unwrap();
+        rt.write_u64(obj, 0, 0xfeed, &mut sink).unwrap();
+        let va1 = rt.oid_direct(obj).unwrap();
+        rt.pool_close(id, &mut sink).unwrap();
+        let id = rt.pool_open("p", AttachIntent::ReadWrite, &mut sink).unwrap();
+        let va2 = rt.oid_direct(obj).unwrap();
+        assert_ne!(va1, va2, "ASLR relocated the PMO");
+        assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 0xfeed, "OID still resolves");
+        let _ = id;
+    }
+
+    #[test]
+    fn second_attach_while_attached_fails() {
+        let (mut rt, _id) = rt_with_pool(4096);
+        let mut sink = NullSink::new();
+        assert!(matches!(
+            rt.pool_open("p", AttachIntent::ReadWrite, &mut sink),
+            Err(RuntimeError::ExclusivelyHeld(_) | RuntimeError::AlreadyAttached(_))
+        ));
+    }
+}

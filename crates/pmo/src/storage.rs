@@ -1,0 +1,319 @@
+//! Simulated non-volatile backing storage.
+//!
+//! Each pool is a *sparse* byte space representing the current
+//! (CPU-visible) contents: 4KB chunks materialize on first write, so a
+//! benchmark can declare 1024 x 8MB pools (as the paper's multi-PMO
+//! experiments do) while only touched bytes consume host memory.
+//!
+//! Persistence is modelled at cache-line granularity: a store makes its
+//! lines "unflushed" (the NVM still holds the old bytes); an explicit
+//! flush persists them; a simulated crash reverts every unflushed line to
+//! its last persisted contents. This is exactly the visibility model
+//! durable transactions are written against.
+
+use std::collections::HashMap;
+
+use crate::error::{Result, RuntimeError};
+
+/// Cache-line size used for persistence granularity.
+pub const LINE: u64 = 64;
+
+const CHUNK: u64 = 4096;
+
+/// One pool's backing storage.
+#[derive(Clone, Debug, Default)]
+pub struct PoolStorage {
+    size: u64,
+    chunks: HashMap<u64, Box<[u8; CHUNK as usize]>>,
+    /// line index -> persisted (pre-write) contents of that line.
+    unflushed: HashMap<u64, [u8; LINE as usize]>,
+    stores: u64,
+    flushes: u64,
+    /// Failure injection: the write with this countdown at 0 fails.
+    fail_after: Option<u64>,
+}
+
+impl PoolStorage {
+    /// Creates zero-initialized storage of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    #[must_use]
+    pub fn new(size: u64) -> Self {
+        assert!(size > 0, "pool size must be positive");
+        PoolStorage { size, ..Self::default() }
+    }
+
+    /// Pool size in bytes.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Host-memory chunks materialized so far (diagnostic).
+    #[must_use]
+    pub fn resident_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn check(&self, offset: u64, len: u64) -> Result<()> {
+        if offset.checked_add(len).is_none_or(|end| end > self.size) {
+            return Err(RuntimeError::InvalidOid {
+                oid: offset,
+                reason: "offset range exceeds pool size",
+            });
+        }
+        Ok(())
+    }
+
+    fn read_raw(&self, mut offset: u64, buf: &mut [u8]) {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let chunk_idx = offset / CHUNK;
+            let within = (offset % CHUNK) as usize;
+            let take = (buf.len() - done).min(CHUNK as usize - within);
+            match self.chunks.get(&chunk_idx) {
+                Some(chunk) => buf[done..done + take].copy_from_slice(&chunk[within..within + take]),
+                None => buf[done..done + take].fill(0),
+            }
+            done += take;
+            offset += take as u64;
+        }
+    }
+
+    fn write_raw(&mut self, mut offset: u64, bytes: &[u8]) {
+        let mut done = 0usize;
+        while done < bytes.len() {
+            let chunk_idx = offset / CHUNK;
+            let within = (offset % CHUNK) as usize;
+            let take = (bytes.len() - done).min(CHUNK as usize - within);
+            let chunk = self
+                .chunks
+                .entry(chunk_idx)
+                .or_insert_with(|| Box::new([0u8; CHUNK as usize]));
+            chunk[within..within + take].copy_from_slice(&bytes[done..done + take]);
+            done += take;
+            offset += take as u64;
+        }
+    }
+
+    /// Reads `buf.len()` bytes at `offset`.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.check(offset, buf.len() as u64)?;
+        self.read_raw(offset, buf);
+        Ok(())
+    }
+
+    /// Arms failure injection: after `stores` more successful writes,
+    /// every further write fails with
+    /// [`RuntimeError::PowerFailure`](crate::RuntimeError::PowerFailure)
+    /// until [`PoolStorage::crash`] runs.
+    pub fn inject_failure_after(&mut self, stores: u64) {
+        self.fail_after = Some(stores);
+    }
+
+    /// Writes `bytes` at `offset`. The touched lines become unflushed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-bounds ranges or when armed failure injection fires.
+    pub fn write(&mut self, offset: u64, bytes: &[u8]) -> Result<()> {
+        self.check(offset, bytes.len() as u64)?;
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        if let Some(remaining) = &mut self.fail_after {
+            if *remaining == 0 {
+                return Err(RuntimeError::PowerFailure);
+            }
+            *remaining -= 1;
+        }
+        // Capture the persisted image of each touched line before the first
+        // modification since its last flush.
+        let first_line = offset / LINE;
+        let last_line = (offset + bytes.len() as u64 - 1) / LINE;
+        for line in first_line..=last_line {
+            if !self.unflushed.contains_key(&line) {
+                let mut img = [0u8; LINE as usize];
+                let base = line * LINE;
+                let avail = (self.size - base).min(LINE) as usize;
+                self.read_raw(base, &mut img[..avail]);
+                self.unflushed.insert(line, img);
+            }
+        }
+        self.write_raw(offset, bytes);
+        self.stores += 1;
+        Ok(())
+    }
+
+    /// Persists the line containing `offset` (a `clwb`).
+    /// Returns whether the line had unflushed data.
+    pub fn flush_line(&mut self, offset: u64) -> bool {
+        self.flushes += 1;
+        self.unflushed.remove(&(offset / LINE)).is_some()
+    }
+
+    /// Persists every line overlapping `[offset, offset + len)`.
+    pub fn flush_range(&mut self, offset: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let mut flushed = 0;
+        let first = offset / LINE;
+        let last = (offset + len - 1) / LINE;
+        for line in first..=last {
+            if self.flush_line(line * LINE) {
+                flushed += 1;
+            }
+        }
+        flushed
+    }
+
+    /// Simulates a power loss: every unflushed line reverts to its
+    /// persisted contents. Returns the number of lines lost.
+    pub fn crash(&mut self) -> u64 {
+        self.fail_after = None;
+        let lost = self.unflushed.len() as u64;
+        let reverts: Vec<(u64, [u8; LINE as usize])> = self.unflushed.drain().collect();
+        for (line, img) in reverts {
+            let base = line * LINE;
+            let avail = (self.size - base).min(LINE) as usize;
+            self.write_raw(base, &img[..avail]);
+        }
+        lost
+    }
+
+    /// Number of currently unflushed (volatile) lines.
+    #[must_use]
+    pub fn unflushed_lines(&self) -> usize {
+        self.unflushed.len()
+    }
+
+    /// Total store operations performed.
+    #[must_use]
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+
+    /// Total flush operations performed.
+    #[must_use]
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut s = PoolStorage::new(4096);
+        s.write(100, &[1, 2, 3, 4]).unwrap();
+        let mut buf = [0u8; 4];
+        s.read(100, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sparse_chunks_materialize_lazily() {
+        let mut s = PoolStorage::new(8 << 20); // 8MB pool
+        assert_eq!(s.resident_chunks(), 0);
+        s.write(5 << 20, &[9; 8]).unwrap();
+        assert_eq!(s.resident_chunks(), 1, "only the touched chunk exists");
+        let mut buf = [0u8; 8];
+        s.read(1 << 20, &mut buf).unwrap();
+        assert_eq!(buf, [0; 8], "untouched space reads as zero");
+        s.read(5 << 20, &mut buf).unwrap();
+        assert_eq!(buf, [9; 8]);
+    }
+
+    #[test]
+    fn write_spanning_chunks() {
+        let mut s = PoolStorage::new(16384);
+        let data: Vec<u8> = (0..200).collect();
+        s.write(4000, &data).unwrap(); // crosses the 4096 boundary
+        let mut buf = vec![0u8; 200];
+        s.read(4000, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(s.resident_chunks(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut s = PoolStorage::new(128);
+        assert!(s.write(120, &[0; 16]).is_err());
+        let mut buf = [0u8; 16];
+        assert!(s.read(u64::MAX, &mut buf).is_err());
+        assert!(s.read(128, &mut buf[..1]).is_err());
+        // Exactly at the boundary is fine.
+        assert!(s.write(112, &[0; 16]).is_ok());
+    }
+
+    #[test]
+    fn crash_reverts_unflushed_lines() {
+        let mut s = PoolStorage::new(256);
+        s.write(0, &[0xAA; 8]).unwrap();
+        s.flush_line(0);
+        s.write(0, &[0xBB; 8]).unwrap(); // unflushed overwrite
+        s.write(64, &[0xCC; 8]).unwrap(); // unflushed new line
+        assert_eq!(s.unflushed_lines(), 2);
+        let lost = s.crash();
+        assert_eq!(lost, 2);
+        let mut buf = [0u8; 8];
+        s.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [0xAA; 8], "flushed data survives");
+        s.read(64, &mut buf).unwrap();
+        assert_eq!(buf, [0; 8], "never-flushed line reverts to zero");
+    }
+
+    #[test]
+    fn flush_makes_data_durable() {
+        let mut s = PoolStorage::new(256);
+        s.write(10, &[7; 4]).unwrap();
+        assert_eq!(s.flush_range(10, 4), 1);
+        s.crash();
+        let mut buf = [0u8; 4];
+        s.read(10, &mut buf).unwrap();
+        assert_eq!(buf, [7; 4]);
+    }
+
+    #[test]
+    fn write_spanning_lines_tracks_both() {
+        let mut s = PoolStorage::new(256);
+        s.write(60, &[1; 8]).unwrap(); // spans lines 0 and 1
+        assert_eq!(s.unflushed_lines(), 2);
+        assert_eq!(s.flush_range(60, 8), 2);
+        assert_eq!(s.unflushed_lines(), 0);
+    }
+
+    #[test]
+    fn flush_of_clean_line_is_noop() {
+        let mut s = PoolStorage::new(256);
+        assert!(!s.flush_line(0));
+        assert_eq!(s.flush_range(0, 0), 0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = PoolStorage::new(256);
+        s.write(0, &[1]).unwrap();
+        s.write(1, &[2]).unwrap();
+        s.flush_line(0);
+        assert_eq!(s.stores(), 2);
+        assert_eq!(s.flushes(), 1);
+    }
+
+    #[test]
+    fn partial_tail_line_pool() {
+        // A pool whose size is not a multiple of the line size still
+        // crashes/flushes correctly on its tail.
+        let mut s = PoolStorage::new(100);
+        s.write(96, &[9; 4]).unwrap();
+        s.crash();
+        let mut buf = [0u8; 4];
+        s.read(96, &mut buf).unwrap();
+        assert_eq!(buf, [0; 4]);
+    }
+}

@@ -1,0 +1,410 @@
+//! Durable transactions over pool data (redo logging).
+//!
+//! The WHISPER-style workloads mutate persistent structures inside failure-
+//! atomic transactions. The protocol is classic redo logging, executed
+//! entirely with the runtime's instrumented accessors so that log traffic
+//! (stores, `clwb`s, fences) appears in the trace exactly like it would on
+//! real persistent memory:
+//!
+//! 1. append one log entry per staged write, then a terminator; flush;
+//! 2. fence, set the header commit flag, flush, fence;
+//! 3. apply the writes home, flush them;
+//! 4. fence, clear the commit flag, flush, fence.
+//!
+//! A crash before (2) loses the transaction entirely; a crash after (2) is
+//! repaired on the next attach by [`replay_log`], which re-applies the
+//! committed log. Either way the transaction is atomic.
+
+use pmo_trace::{PmoId, TraceSink};
+
+use crate::error::{Result, RuntimeError};
+use crate::layout::hdr;
+use crate::oid::Oid;
+use crate::runtime::{PmRuntime, RecoveryReport};
+
+/// Size of a log entry header: `target u32, len u32, checksum u32, pad u32`.
+const ENTRY_HEADER: u64 = 16;
+
+fn checksum(target: u32, data: &[u8]) -> u32 {
+    let mut sum = target.wrapping_mul(0x9e37_79b9) ^ (data.len() as u32).wrapping_mul(0x85eb_ca6b);
+    for (i, b) in data.iter().enumerate() {
+        sum = sum.wrapping_add(u32::from(*b).wrapping_mul(i as u32 | 1));
+    }
+    sum
+}
+
+fn padded(len: u64) -> u64 {
+    len.div_ceil(8) * 8
+}
+
+/// An open durable transaction on one pool.
+///
+/// Writes are staged in volatile memory and become persistent atomically at
+/// [`Transaction::commit`]; dropping the transaction without committing
+/// aborts it (no persistent effect).
+pub struct Transaction<'rt, 's> {
+    rt: &'rt mut PmRuntime,
+    sink: &'s mut dyn TraceSink,
+    pool: PmoId,
+    /// Staged writes: (pool offset, bytes), in program order.
+    writes: Vec<(u32, Vec<u8>)>,
+}
+
+impl PmRuntime {
+    /// Begins a durable transaction on `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool is not attached or is attached read-only.
+    pub fn begin_txn<'rt, 's>(
+        &'rt mut self,
+        pool: PmoId,
+        sink: &'s mut dyn TraceSink,
+    ) -> Result<Transaction<'rt, 's>> {
+        let att = self.attachment(pool)?;
+        if !att.intent.writes() {
+            return Err(RuntimeError::AccessViolation {
+                pmo: pool,
+                offset: 0,
+                reason: "transaction on read-only attachment",
+            });
+        }
+        Ok(Transaction { rt: self, sink, pool, writes: Vec::new() })
+    }
+}
+
+impl Transaction<'_, '_> {
+    /// Stages a write of `bytes` at `oid + delta`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the target is not in this transaction's pool or out of
+    /// bounds.
+    pub fn write_bytes(&mut self, oid: Oid, delta: u32, bytes: &[u8]) -> Result<()> {
+        let oid = oid.add(delta);
+        if oid.pool() != self.pool {
+            return Err(RuntimeError::InvalidOid {
+                oid: oid.to_raw(),
+                reason: "write outside the transaction's pool",
+            });
+        }
+        // Bounds check against the live attachment.
+        let att = self.rt.attachment(self.pool)?;
+        if u64::from(oid.offset()) + bytes.len() as u64 > att.size {
+            return Err(RuntimeError::InvalidOid {
+                oid: oid.to_raw(),
+                reason: "write beyond pool size",
+            });
+        }
+        self.writes.push((oid.offset(), bytes.to_vec()));
+        // Staging costs a few instructions but no persistent traffic.
+        self.sink.compute(4);
+        Ok(())
+    }
+
+    /// Stages a `u64` write.
+    pub fn write_u64(&mut self, oid: Oid, delta: u32, value: u64) -> Result<()> {
+        self.write_bytes(oid, delta, &value.to_le_bytes())
+    }
+
+    /// Stages a `u32` write.
+    pub fn write_u32(&mut self, oid: Oid, delta: u32, value: u32) -> Result<()> {
+        self.write_bytes(oid, delta, &value.to_le_bytes())
+    }
+
+    /// Stages a persistent-pointer write.
+    pub fn write_oid(&mut self, oid: Oid, delta: u32, value: Oid) -> Result<()> {
+        self.write_u64(oid, delta, value.to_raw())
+    }
+
+    /// Reads bytes with read-your-writes semantics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-bounds access.
+    pub fn read_bytes(&mut self, oid: Oid, delta: u32, buf: &mut [u8]) -> Result<()> {
+        self.rt.read_bytes(oid, delta, buf, self.sink)?;
+        // Overlay staged writes, newest last.
+        let start = u64::from(oid.add(delta).offset());
+        let end = start + buf.len() as u64;
+        for (w_off, data) in &self.writes {
+            let w_start = u64::from(*w_off);
+            let w_end = w_start + data.len() as u64;
+            let lo = start.max(w_start);
+            let hi = end.min(w_end);
+            if lo < hi {
+                buf[(lo - start) as usize..(hi - start) as usize]
+                    .copy_from_slice(&data[(lo - w_start) as usize..(hi - w_start) as usize]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a `u64` with read-your-writes semantics.
+    pub fn read_u64(&mut self, oid: Oid, delta: u32) -> Result<u64> {
+        let mut buf = [0u8; 8];
+        self.read_bytes(oid, delta, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Number of staged writes.
+    #[must_use]
+    pub fn staged(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Aborts the transaction (equivalent to dropping it).
+    pub fn abort(self) {}
+
+    /// Commits: writes the redo log, sets the commit flag, applies the
+    /// writes home, clears the flag. Atomic with respect to crashes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the staged writes exceed the pool's log area.
+    pub fn commit(self) -> Result<()> {
+        let Transaction { rt, sink, pool, writes } = self;
+        if writes.is_empty() {
+            return Ok(());
+        }
+        let log_base = rt.header_u64(pool, hdr::LOG_BASE, sink)?;
+        let log_size = rt.header_u64(pool, hdr::LOG_SIZE, sink)?;
+        let needed: u64 =
+            writes.iter().map(|(_, d)| ENTRY_HEADER + padded(d.len() as u64)).sum::<u64>()
+                + ENTRY_HEADER;
+        if needed > log_size {
+            return Err(RuntimeError::LogFull(pool));
+        }
+        // (1) Append entries + terminator.
+        let mut cursor = log_base;
+        for (target, data) in &writes {
+            let mut head = [0u8; ENTRY_HEADER as usize];
+            head[0..4].copy_from_slice(&target.to_le_bytes());
+            head[4..8].copy_from_slice(&(data.len() as u32).to_le_bytes());
+            head[8..12].copy_from_slice(&checksum(*target, data).to_le_bytes());
+            let at = Oid::new(pool, cursor as u32);
+            rt.write_bytes(at, 0, &head, sink)?;
+            rt.write_bytes(at, ENTRY_HEADER as u32, data, sink)?;
+            cursor += ENTRY_HEADER + padded(data.len() as u64);
+        }
+        let terminator = [0u8; ENTRY_HEADER as usize];
+        rt.write_bytes(Oid::new(pool, cursor as u32), 0, &terminator, sink)?;
+        cursor += ENTRY_HEADER;
+        // Flush the whole log span (persist issues the fence of step 2).
+        rt.persist(Oid::new(pool, log_base as u32), 0, cursor - log_base, sink)?;
+        // (2) Commit point.
+        rt.write_header_u64(pool, hdr::COMMIT_FLAG, 1, sink)?;
+        rt.flush_header_line(pool, hdr::COMMIT_FLAG, sink)?;
+        // (3) Apply home.
+        for (target, data) in &writes {
+            rt.write_bytes(Oid::new(pool, *target), 0, data, sink)?;
+            rt.persist(Oid::new(pool, *target), 0, data.len() as u64, sink)?;
+        }
+        // (4) Clear the flag.
+        rt.write_header_u64(pool, hdr::COMMIT_FLAG, 0, sink)?;
+        rt.flush_header_line(pool, hdr::COMMIT_FLAG, sink)?;
+        Ok(())
+    }
+}
+
+/// Replays a committed redo log directly against pool storage (kernel
+/// context: attach-time recovery, no trace emission). Scans entries until
+/// the terminator or a corrupt record.
+pub(crate) fn replay_log_raw(
+    storage: &mut crate::storage::PoolStorage,
+) -> Result<RecoveryReport> {
+    let read_u64 = |storage: &crate::storage::PoolStorage, off: u64| -> Result<u64> {
+        let mut buf = [0u8; 8];
+        storage.read(off, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    };
+    let log_base = read_u64(storage, hdr::LOG_BASE)?;
+    let log_size = read_u64(storage, hdr::LOG_SIZE)?;
+    let pool_size = storage.size();
+    let mut report = RecoveryReport::default();
+    let mut cursor = log_base;
+    loop {
+        if cursor + ENTRY_HEADER > log_base + log_size {
+            break;
+        }
+        let mut head = [0u8; ENTRY_HEADER as usize];
+        storage.read(cursor, &mut head)?;
+        let target = u32::from_le_bytes(head[0..4].try_into().expect("4 bytes"));
+        let len = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+        let sum = u32::from_le_bytes(head[8..12].try_into().expect("4 bytes"));
+        if len == 0 {
+            break; // terminator
+        }
+        let data_off = cursor + ENTRY_HEADER;
+        if data_off + u64::from(len) > log_base + log_size
+            || u64::from(target) + u64::from(len) > pool_size
+        {
+            break; // corrupt record: stop conservatively
+        }
+        let mut data = vec![0u8; len as usize];
+        storage.read(data_off, &mut data)?;
+        if checksum(target, &data) != sum {
+            break;
+        }
+        storage.write(u64::from(target), &data)?;
+        storage.flush_range(u64::from(target), u64::from(len));
+        report.entries_replayed += 1;
+        report.bytes_replayed += u64::from(len);
+        cursor = data_off + padded(u64::from(len));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::namespace::{AttachIntent, Mode};
+    use pmo_trace::{CountingSink, NullSink};
+
+    fn setup() -> (PmRuntime, PmoId, Oid) {
+        let mut rt = PmRuntime::new();
+        let mut sink = NullSink::new();
+        let pool = rt.pool_create("t", 1 << 20, Mode::private(), &mut sink).unwrap();
+        let obj = rt.pmalloc(pool, 256, &mut sink).unwrap();
+        (rt, pool, obj)
+    }
+
+    #[test]
+    fn commit_applies_writes() {
+        let (mut rt, pool, obj) = setup();
+        let mut sink = NullSink::new();
+        let mut tx = rt.begin_txn(pool, &mut sink).unwrap();
+        tx.write_u64(obj, 0, 111).unwrap();
+        tx.write_u64(obj, 8, 222).unwrap();
+        assert_eq!(tx.staged(), 2);
+        tx.commit().unwrap();
+        assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 111);
+        assert_eq!(rt.read_u64(obj, 8, &mut sink).unwrap(), 222);
+    }
+
+    #[test]
+    fn abort_discards() {
+        let (mut rt, pool, obj) = setup();
+        let mut sink = NullSink::new();
+        rt.write_u64(obj, 0, 7, &mut sink).unwrap();
+        let mut tx = rt.begin_txn(pool, &mut sink).unwrap();
+        tx.write_u64(obj, 0, 8).unwrap();
+        tx.abort();
+        assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 7);
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let (mut rt, pool, obj) = setup();
+        let mut sink = NullSink::new();
+        rt.write_u64(obj, 0, 1, &mut sink).unwrap();
+        let mut tx = rt.begin_txn(pool, &mut sink).unwrap();
+        assert_eq!(tx.read_u64(obj, 0).unwrap(), 1, "reads base state");
+        tx.write_u64(obj, 0, 2).unwrap();
+        assert_eq!(tx.read_u64(obj, 0).unwrap(), 2, "sees staged write");
+        tx.write_u64(obj, 0, 3).unwrap();
+        assert_eq!(tx.read_u64(obj, 0).unwrap(), 3, "newest staged write wins");
+        // Partial overlap.
+        tx.write_u32(obj, 4, 0xffff_ffff).unwrap();
+        let v = tx.read_u64(obj, 0).unwrap();
+        assert_eq!(v & 0xffff_ffff, 3);
+        assert_eq!(v >> 32, 0xffff_ffff);
+        tx.abort();
+    }
+
+    #[test]
+    fn crash_before_commit_flag_loses_txn() {
+        let (mut rt, pool, obj) = setup();
+        let mut sink = NullSink::new();
+        rt.write_u64(obj, 0, 10, &mut sink).unwrap();
+        rt.persist(obj, 0, 8, &mut sink).unwrap();
+        // Stage but never commit, then crash.
+        let mut tx = rt.begin_txn(pool, &mut sink).unwrap();
+        tx.write_u64(obj, 0, 20).unwrap();
+        drop(tx);
+        rt.crash();
+        rt.pool_open("t", AttachIntent::ReadWrite, &mut sink).unwrap();
+        assert_eq!(rt.last_recovery(), None);
+        assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 10);
+    }
+
+    #[test]
+    fn committed_log_replays_after_crash() {
+        let (mut rt, pool, obj) = setup();
+        let mut sink = NullSink::new();
+        let mut tx = rt.begin_txn(pool, &mut sink).unwrap();
+        tx.write_u64(obj, 0, 0xabcd).unwrap();
+        tx.write_u64(obj, 64, 0xef01).unwrap();
+        tx.commit().unwrap();
+        // Simulate the crash window after the commit point but before the
+        // home writes persisted: revert home lines by crashing, then force
+        // the commit flag back on (as if the crash happened mid-step-3).
+        // We emulate this by directly setting the flag and corrupting home.
+        rt.write_u64(obj, 0, 0, &mut sink).unwrap();
+        rt.write_header_u64(pool, hdr::COMMIT_FLAG, 1, &mut sink).unwrap();
+        rt.flush_header_line(pool, hdr::COMMIT_FLAG, &mut sink).unwrap();
+        rt.crash();
+        rt.pool_open("t", AttachIntent::ReadWrite, &mut sink).unwrap();
+        let report = rt.last_recovery().expect("recovery ran");
+        assert_eq!(report.entries_replayed, 2);
+        assert_eq!(report.bytes_replayed, 16);
+        assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 0xabcd);
+        assert_eq!(rt.read_u64(obj, 64, &mut sink).unwrap(), 0xef01);
+    }
+
+    #[test]
+    fn log_full_is_reported() {
+        let (mut rt, pool, obj) = setup();
+        let mut sink = NullSink::new();
+        let mut tx = rt.begin_txn(pool, &mut sink).unwrap();
+        // The 1MB pool has a 64KB log; stage more than fits.
+        let big = vec![0u8; 200];
+        for _ in 0..400 {
+            tx.write_bytes(obj, 0, &big).unwrap();
+        }
+        assert!(matches!(tx.commit(), Err(RuntimeError::LogFull(_))));
+    }
+
+    #[test]
+    fn txn_requires_write_intent() {
+        let mut rt = PmRuntime::new();
+        let mut sink = NullSink::new();
+        let pool = rt.pool_create("t", 1 << 20, Mode::shared_read(), &mut sink).unwrap();
+        rt.pool_close(pool, &mut sink).unwrap();
+        let pool = rt.pool_open("t", AttachIntent::Read, &mut sink).unwrap();
+        assert!(rt.begin_txn(pool, &mut sink).is_err());
+    }
+
+    #[test]
+    fn txn_rejects_foreign_pool_writes() {
+        let (mut rt, pool, _obj) = setup();
+        let mut sink = NullSink::new();
+        let other = rt.pool_create("u", 1 << 20, Mode::private(), &mut sink).unwrap();
+        let foreign = rt.pmalloc(other, 64, &mut sink).unwrap();
+        let mut tx = rt.begin_txn(pool, &mut sink).unwrap();
+        assert!(tx.write_u64(foreign, 0, 1).is_err());
+        tx.abort();
+    }
+
+    #[test]
+    fn empty_commit_is_free() {
+        let (mut rt, pool, _obj) = setup();
+        let mut counter = CountingSink::new();
+        let tx = rt.begin_txn(pool, &mut counter).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(counter.counts().stores, 0);
+    }
+
+    #[test]
+    fn commit_emits_persistence_traffic() {
+        let (mut rt, pool, obj) = setup();
+        let mut counter = CountingSink::new();
+        let mut tx = rt.begin_txn(pool, &mut counter).unwrap();
+        tx.write_u64(obj, 0, 5).unwrap();
+        tx.commit().unwrap();
+        let c = counter.counts();
+        assert!(c.stores >= 4, "log entry + terminator + flag + home");
+        assert!(c.flushes >= 3, "log flush + flag flush + home flush");
+        assert!(c.fences >= 3);
+    }
+}

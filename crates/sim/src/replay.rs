@@ -1,0 +1,363 @@
+//! The trace-replay engine: one protection scheme + the memory hierarchy,
+//! driven by a stream of trace events.
+
+use pmo_protect::{ProtectionFault, ProtectionScheme, SchemeKind};
+use pmo_simarch::{CacheHierarchy, MemKind, SimConfig};
+use pmo_trace::{AccessKind, EventCounts, OpKind, TraceEvent, TraceSink, TraceSource};
+
+use crate::report::{ReplayReport, ReplaySnapshot};
+
+/// What to do when a trace access violates the protection policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Record the fault and continue (the access is suppressed).
+    #[default]
+    Record,
+    /// Panic immediately — for debugging workloads that are expected to be
+    /// permission-clean.
+    Panic,
+}
+
+/// Maximum number of individual faults retained in the report.
+const FAULT_LOG_CAP: usize = 32;
+
+/// A replay in progress. Implements [`TraceSink`], so workload generators
+/// can stream events straight into it; call [`Replay::finish`] for the
+/// report.
+///
+/// # Example
+///
+/// ```
+/// use pmo_protect::SchemeKind;
+/// use pmo_sim::Replay;
+/// use pmo_simarch::SimConfig;
+/// use pmo_trace::{Perm, PmoId, TraceEvent, TraceSink};
+///
+/// let config = SimConfig::isca2020();
+/// let mut replay = Replay::new(SchemeKind::DomainVirt, &config);
+/// let base = 0x40_0000_0000;
+/// replay.event(TraceEvent::Attach { pmo: PmoId::new(1), base, size: 1 << 20, nvm: true });
+/// replay.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadWrite });
+/// replay.store(base, 8);
+/// let report = replay.finish();
+/// assert!(report.cycles > 0);
+/// assert!(!report.faulted());
+/// ```
+pub struct Replay {
+    cfg: SimConfig,
+    scheme: Box<dyn ProtectionScheme>,
+    caches: CacheHierarchy,
+    cycles: u64,
+    cpi_carry: f64,
+    counts: EventCounts,
+    faults: Vec<ProtectionFault>,
+    policy: FaultPolicy,
+    ops: u64,
+}
+
+impl Replay {
+    /// Creates a replay for one scheme.
+    #[must_use]
+    pub fn new(kind: SchemeKind, config: &SimConfig) -> Self {
+        Replay {
+            cfg: config.clone(),
+            scheme: kind.build(config),
+            caches: CacheHierarchy::new(config),
+            cycles: 0,
+            cpi_carry: 0.0,
+            counts: EventCounts::default(),
+            faults: Vec::new(),
+            policy: FaultPolicy::Record,
+            ops: 0,
+        }
+    }
+
+    /// Creates a replay that panics on the first protection fault.
+    #[must_use]
+    pub fn strict(kind: SchemeKind, config: &SimConfig) -> Self {
+        let mut replay = Self::new(kind, config);
+        replay.policy = FaultPolicy::Panic;
+        replay
+    }
+
+    /// Cycles simulated so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The scheme being driven (for inspection in tests).
+    #[must_use]
+    pub fn scheme(&self) -> &dyn ProtectionScheme {
+        self.scheme.as_ref()
+    }
+
+    fn charge_compute(&mut self, instructions: u32) {
+        let exact = f64::from(instructions) * self.cfg.base_cpi + self.cpi_carry;
+        let whole = exact.floor();
+        self.cpi_carry = exact - whole;
+        self.cycles += whole as u64;
+    }
+
+    fn memory_access(&mut self, va: u64, size: u8, kind: AccessKind) {
+        debug_assert!(size > 0 && size <= 64, "access size {size} out of range");
+        let result = self.scheme.access(va, kind);
+        self.cycles += result.cycles;
+        match result.fault {
+            None => {
+                self.cycles += self.caches.access(va, result.mem, kind.is_write());
+            }
+            Some(fault) => {
+                if self.policy == FaultPolicy::Panic {
+                    panic!("protection fault during strict replay: {fault}");
+                }
+                if self.faults.len() < FAULT_LOG_CAP {
+                    self.faults.push(fault);
+                }
+            }
+        }
+    }
+
+    /// Captures the cumulative state at a phase boundary, so the report
+    /// can later be windowed to just the measured phase (e.g. excluding
+    /// population) via [`ReplayReport::since`].
+    #[must_use]
+    pub fn snapshot(&self) -> ReplaySnapshot {
+        ReplaySnapshot {
+            cycles: self.cycles,
+            breakdown: self.scheme.breakdown(),
+            set_perms: self.counts.set_perms,
+            ops: self.ops,
+        }
+    }
+
+    /// Consumes the replay, producing the report.
+    #[must_use]
+    pub fn finish(self) -> ReplayReport {
+        let tlb = self.scheme.tlb_stats();
+        ReplayReport {
+            scheme: self.scheme.kind(),
+            cycles: self.cycles,
+            instructions: self.counts.instructions(),
+            counts: self.counts,
+            breakdown: self.scheme.breakdown(),
+            scheme_stats: self.scheme.stats(),
+            tlb,
+            l1d: *self.caches.l1_stats(),
+            l2: *self.caches.l2_stats(),
+            nvm_reads: self.caches.memory().nvm_reads(),
+            nvm_writes: self.caches.memory().nvm_writes(),
+            faults: self.faults,
+            ops: self.ops,
+        }
+    }
+}
+
+impl TraceSink for Replay {
+    fn event(&mut self, ev: TraceEvent) {
+        self.counts.observe(&ev);
+        match ev {
+            TraceEvent::Compute { count } => self.charge_compute(count),
+            TraceEvent::Load { va, size } => self.memory_access(va, size, AccessKind::Read),
+            TraceEvent::Store { va, size } => self.memory_access(va, size, AccessKind::Write),
+            TraceEvent::SetPerm { pmo, perm } => {
+                self.cycles += self.scheme.set_perm(pmo, perm);
+            }
+            TraceEvent::Attach { pmo, base, size, nvm } => {
+                self.cycles += self.scheme.attach(pmo, base, size, nvm);
+            }
+            TraceEvent::Detach { pmo } => {
+                self.cycles += self.scheme.detach(pmo);
+            }
+            TraceEvent::ThreadSwitch { thread } => {
+                self.cycles += self.scheme.context_switch(thread);
+            }
+            TraceEvent::Flush { va } => {
+                // clwb issue cost; the drain is asynchronous. PMO flushes
+                // target NVM lines.
+                self.cycles += self.cfg.clwb_cycles;
+                self.caches.flush_line(va, MemKind::Nvm);
+            }
+            TraceEvent::Fence => {
+                self.cycles += self.cfg.fence_cycles;
+            }
+            TraceEvent::Op { kind: OpKind::End } => self.ops += 1,
+            TraceEvent::Op { kind: OpKind::Begin } => {}
+        }
+    }
+}
+
+/// Replays a recorded trace under one scheme.
+#[must_use]
+pub fn replay_source(source: &dyn TraceSource, kind: SchemeKind, config: &SimConfig) -> ReplayReport {
+    let mut replay = Replay::new(kind, config);
+    source.replay(&mut replay);
+    replay.finish()
+}
+
+/// Replays a recorded trace under several schemes (the paper's single-
+/// trace, many-schemes methodology).
+#[must_use]
+pub fn replay_source_all(
+    source: &dyn TraceSource,
+    kinds: &[SchemeKind],
+    config: &SimConfig,
+) -> Vec<ReplayReport> {
+    kinds.iter().map(|kind| replay_source(source, *kind, config)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmo_trace::{Perm, PmoId, RecordedTrace};
+
+    const BASE: u64 = 0x40_0000_0000;
+
+    fn legit_trace() -> RecordedTrace {
+        let mut t = RecordedTrace::new();
+        t.event(TraceEvent::Attach { pmo: PmoId::new(1), base: BASE, size: 8 << 20, nvm: true });
+        for i in 0..32u64 {
+            t.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadWrite });
+            t.store(BASE + i * 256, 8);
+            t.load(BASE + i * 256, 8);
+            t.compute(20);
+            t.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::None });
+            t.event(TraceEvent::Op { kind: OpKind::End });
+        }
+        t
+    }
+
+    #[test]
+    fn all_schemes_replay_cleanly() {
+        let trace = legit_trace();
+        let cfg = SimConfig::isca2020();
+        for kind in SchemeKind::ALL {
+            let report = replay_source(&trace, kind, &cfg);
+            assert!(!report.faulted(), "{kind} must not fault on a legit trace");
+            assert!(report.cycles > 0);
+            assert_eq!(report.ops, 32);
+            assert_eq!(report.counts.stores, 32);
+        }
+    }
+
+    #[test]
+    fn scheme_ordering_on_protected_trace() {
+        let trace = legit_trace();
+        let cfg = SimConfig::isca2020();
+        let reports = replay_source_all(&trace, &SchemeKind::ALL, &cfg);
+        let cycles = |k: SchemeKind| reports.iter().find(|r| r.scheme == k).unwrap().cycles;
+        // Baseline is fastest; lowerbound adds only WRPKRU cost.
+        assert!(cycles(SchemeKind::Unprotected) < cycles(SchemeKind::Lowerbound));
+        assert_eq!(
+            cycles(SchemeKind::Lowerbound) - cycles(SchemeKind::Unprotected),
+            64 * 27,
+            "lowerbound adds exactly one WRPKRU per switch"
+        );
+        // With a single PMO, both hardware designs stay close to lowerbound.
+        for k in [SchemeKind::MpkVirt, SchemeKind::DomainVirt] {
+            let over = cycles(k) as f64 / cycles(SchemeKind::Lowerbound) as f64;
+            assert!(over < 1.10, "{k} within 10% of lowerbound, got {over}");
+        }
+    }
+
+    #[test]
+    fn faults_are_recorded_not_fatal() {
+        let mut t = RecordedTrace::new();
+        t.event(TraceEvent::Attach { pmo: PmoId::new(1), base: BASE, size: 1 << 20, nvm: true });
+        t.store(BASE, 8); // no permission granted
+        let report = replay_source(&t, SchemeKind::DomainVirt, &SimConfig::isca2020());
+        assert!(report.faulted());
+        assert_eq!(report.faults.len(), 1);
+        assert!(report.faults[0].is_domain_violation());
+    }
+
+    #[test]
+    #[should_panic(expected = "protection fault")]
+    fn strict_mode_panics() {
+        let cfg = SimConfig::isca2020();
+        let mut replay = Replay::strict(SchemeKind::DomainVirt, &cfg);
+        replay.event(TraceEvent::Attach { pmo: PmoId::new(1), base: BASE, size: 1 << 20, nvm: true });
+        replay.store(BASE, 8);
+    }
+
+    #[test]
+    fn fractional_cpi_accumulates() {
+        let cfg = SimConfig::isca2020(); // base CPI 0.25
+        let mut replay = Replay::new(SchemeKind::Unprotected, &cfg);
+        for _ in 0..4 {
+            replay.compute(1);
+        }
+        assert_eq!(replay.cycles(), 1, "4 instructions at CPI 0.25 = 1 cycle");
+        let report = replay.finish();
+        assert_eq!(report.instructions, 4);
+    }
+
+    #[test]
+    fn flush_and_fence_costs() {
+        let cfg = SimConfig::isca2020();
+        let mut replay = Replay::new(SchemeKind::Unprotected, &cfg);
+        replay.event(TraceEvent::Flush { va: 0x1000 });
+        replay.event(TraceEvent::Fence);
+        assert_eq!(replay.cycles(), cfg.clwb_cycles + cfg.fence_cycles);
+    }
+
+    #[test]
+    fn snapshot_windows_cycles_and_counters() {
+        let cfg = SimConfig::isca2020();
+        let mut replay = Replay::new(SchemeKind::Lowerbound, &cfg);
+        replay.event(TraceEvent::Attach { pmo: PmoId::new(1), base: BASE, size: 1 << 20, nvm: true });
+        replay.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadWrite });
+        replay.store(BASE, 8);
+        let snap = replay.snapshot();
+        replay.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadOnly });
+        replay.load(BASE, 8);
+        replay.event(TraceEvent::Op { kind: OpKind::End });
+        let windowed = replay.finish().since(&snap);
+        assert_eq!(windowed.counts.set_perms, 1, "only the post-snapshot switch");
+        assert_eq!(windowed.ops, 1);
+        assert!(windowed.cycles > 0 && windowed.cycles < 100);
+        assert_eq!(windowed.breakdown.permission_change, 27);
+    }
+
+    #[test]
+    fn context_switches_cost_more_under_virtualization() {
+        // Thread switches flush per-thread structures in both designs but
+        // cost nothing extra in the baseline.
+        let cfg = SimConfig::isca2020();
+        let run = |kind: SchemeKind| {
+            let mut replay = Replay::new(kind, &cfg);
+            replay.event(TraceEvent::Attach { pmo: PmoId::new(1), base: BASE, size: 1 << 20, nvm: true });
+            for t in 0..64u32 {
+                replay.event(TraceEvent::ThreadSwitch { thread: pmo_trace::ThreadId::new(t % 2) });
+                replay.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadWrite });
+                replay.load(BASE, 8);
+            }
+            replay.finish().cycles
+        };
+        let baseline = run(SchemeKind::Unprotected);
+        let mpk_virt = run(SchemeKind::MpkVirt);
+        let domain_virt = run(SchemeKind::DomainVirt);
+        assert!(mpk_virt > baseline);
+        assert!(domain_virt > baseline);
+        // The paper: "the impact of flushing [the PTLB] on context switch
+        // on performance is small" — per-switch cost stays bounded (tens
+        // of cycles) in both designs.
+        for (name, cycles) in [("mpk-virt", mpk_virt), ("domain-virt", domain_virt)] {
+            let per_switch = (cycles - baseline) as f64 / 64.0;
+            assert!(
+                per_switch < 200.0,
+                "{name}: {per_switch:.0} cycles per switch is not 'small'"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let trace = legit_trace();
+        let cfg = SimConfig::isca2020();
+        let a = replay_source(&trace, SchemeKind::MpkVirt, &cfg);
+        let b = replay_source(&trace, SchemeKind::MpkVirt, &cfg);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.breakdown, b.breakdown);
+    }
+}

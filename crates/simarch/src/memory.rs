@@ -1,0 +1,128 @@
+//! Main-memory model: DRAM and NVM latencies plus traffic counters.
+
+use std::fmt;
+
+/// The kind of physical memory backing an address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// Volatile DRAM.
+    Dram,
+    /// Non-volatile memory (PMO backing store); 3x DRAM latency in Table II.
+    Nvm,
+}
+
+impl fmt::Display for MemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemKind::Dram => f.write_str("DRAM"),
+            MemKind::Nvm => f.write_str("NVM"),
+        }
+    }
+}
+
+/// Flat main-memory timing model with per-kind traffic counters.
+#[derive(Clone, Debug, Default)]
+pub struct MainMemory {
+    dram_latency: u64,
+    nvm_latency: u64,
+    dram_reads: u64,
+    dram_writes: u64,
+    nvm_reads: u64,
+    nvm_writes: u64,
+}
+
+impl MainMemory {
+    /// Creates a memory model with the given latencies.
+    #[must_use]
+    pub fn new(dram_latency: u64, nvm_latency: u64) -> Self {
+        MainMemory { dram_latency, nvm_latency, ..Self::default() }
+    }
+
+    /// Performs a read; returns its latency.
+    pub fn read(&mut self, kind: MemKind) -> u64 {
+        match kind {
+            MemKind::Dram => {
+                self.dram_reads += 1;
+                self.dram_latency
+            }
+            MemKind::Nvm => {
+                self.nvm_reads += 1;
+                self.nvm_latency
+            }
+        }
+    }
+
+    /// Performs a write. Writebacks are asynchronous in the timing model, so
+    /// this returns no latency; `destination` records where traffic goes and
+    /// `requester_kind` is accepted for symmetry with [`MainMemory::read`].
+    pub fn write(&mut self, destination: MemKind, _requester_kind: MemKind) {
+        match destination {
+            MemKind::Dram => self.dram_writes += 1,
+            MemKind::Nvm => self.nvm_writes += 1,
+        }
+    }
+
+    /// Latency of a synchronous write (used by persist fences that must
+    /// wait for NVM).
+    #[must_use]
+    pub fn write_latency(&self, kind: MemKind) -> u64 {
+        match kind {
+            MemKind::Dram => self.dram_latency,
+            MemKind::Nvm => self.nvm_latency,
+        }
+    }
+
+    /// DRAM read count.
+    #[must_use]
+    pub fn dram_reads(&self) -> u64 {
+        self.dram_reads
+    }
+
+    /// DRAM write count.
+    #[must_use]
+    pub fn dram_writes(&self) -> u64 {
+        self.dram_writes
+    }
+
+    /// NVM read count.
+    #[must_use]
+    pub fn nvm_reads(&self) -> u64 {
+        self.nvm_reads
+    }
+
+    /// NVM write count.
+    #[must_use]
+    pub fn nvm_writes(&self) -> u64 {
+        self.nvm_writes
+    }
+}
+
+impl fmt::Display for MainMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DRAM {}r/{}w, NVM {}r/{}w",
+            self.dram_reads, self.dram_writes, self.nvm_reads, self.nvm_writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_and_counts() {
+        let mut m = MainMemory::new(120, 360);
+        assert_eq!(m.read(MemKind::Dram), 120);
+        assert_eq!(m.read(MemKind::Nvm), 360);
+        m.write(MemKind::Nvm, MemKind::Nvm);
+        m.write(MemKind::Dram, MemKind::Dram);
+        assert_eq!(m.dram_reads(), 1);
+        assert_eq!(m.nvm_reads(), 1);
+        assert_eq!(m.dram_writes(), 1);
+        assert_eq!(m.nvm_writes(), 1);
+        assert_eq!(m.write_latency(MemKind::Nvm), 360);
+        assert!(!format!("{m}").is_empty());
+    }
+}

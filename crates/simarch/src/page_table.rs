@@ -1,0 +1,282 @@
+//! A four-level radix page table (x86-64 style, 48-bit VA, 4KB pages).
+//!
+//! The table is functional: it holds real per-page entries whose protection
+//! key field is rewritten by `pkey_mprotect` (the expensive operation the
+//! libmpk baseline performs on every domain eviction). The walker charges a
+//! flat miss penalty per Table II; the radix structure exists so that
+//! per-PTE costs (libmpk) and sparse address spaces are modelled honestly.
+
+use pmo_trace::Perm;
+
+use crate::memory::MemKind;
+use crate::tlb::{vpn, PAGE_SIZE};
+
+const FANOUT: usize = 512;
+const LEVELS: u32 = 4;
+const INDEX_BITS: u32 = 9;
+
+/// A page-table entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pte {
+    /// Physical frame number.
+    pub pfn: u64,
+    /// Page-level permission (independent of domain permission).
+    pub perm: Perm,
+    /// MPK protection key (0 = NULL key / domainless page).
+    pub pkey: u8,
+    /// Kind of backing memory.
+    pub mem: MemKind,
+}
+
+impl Pte {
+    /// A DRAM page with read-write permission and no protection key.
+    #[must_use]
+    pub fn plain(pfn: u64) -> Self {
+        Pte { pfn, perm: Perm::ReadWrite, pkey: 0, mem: MemKind::Dram }
+    }
+}
+
+enum Node {
+    Dir(Box<[Option<Node>; FANOUT]>),
+    Leaf(Box<[Option<Pte>; FANOUT]>),
+}
+
+fn empty_dir() -> Node {
+    Node::Dir(Box::new(std::array::from_fn(|_| None)))
+}
+
+fn empty_leaf() -> Node {
+    Node::Leaf(Box::new([None; FANOUT]))
+}
+
+fn index_at(vpn: u64, level: u32) -> usize {
+    // level 0 = root (bits 27..35 of the VPN), level 3 = leaf (bits 0..9).
+    ((vpn >> ((LEVELS - 1 - level) * INDEX_BITS)) & (FANOUT as u64 - 1)) as usize
+}
+
+/// The page table of one process.
+pub struct PageTable {
+    root: Node,
+    mapped_pages: u64,
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for PageTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageTable").field("mapped_pages", &self.mapped_pages).finish()
+    }
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    #[must_use]
+    pub fn new() -> Self {
+        PageTable { root: empty_dir(), mapped_pages: 0 }
+    }
+
+    /// Walks the table for `va`; returns the leaf entry if mapped.
+    #[must_use]
+    pub fn walk(&self, va: u64) -> Option<Pte> {
+        let vpn = vpn(va);
+        let mut node = &self.root;
+        for level in 0..LEVELS {
+            match node {
+                Node::Dir(children) => {
+                    node = children[index_at(vpn, level)].as_ref()?;
+                }
+                Node::Leaf(ptes) => return ptes[index_at(vpn, LEVELS - 1)],
+            }
+        }
+        match node {
+            Node::Leaf(ptes) => ptes[index_at(vpn, LEVELS - 1)],
+            Node::Dir(_) => None,
+        }
+    }
+
+    fn leaf_slot(&mut self, vpn: u64) -> &mut Option<Pte> {
+        let mut node = &mut self.root;
+        for level in 0..LEVELS - 1 {
+            let idx = index_at(vpn, level);
+            let next_is_leaf = level == LEVELS - 2;
+            match node {
+                Node::Dir(children) => {
+                    node = children[idx].get_or_insert_with(|| {
+                        if next_is_leaf {
+                            empty_leaf()
+                        } else {
+                            empty_dir()
+                        }
+                    });
+                }
+                Node::Leaf(_) => unreachable!("leaf encountered above the last level"),
+            }
+        }
+        match node {
+            Node::Leaf(ptes) => &mut ptes[index_at(vpn, LEVELS - 1)],
+            Node::Dir(_) => unreachable!("directory at leaf level"),
+        }
+    }
+
+    /// Maps one page. Returns the previous entry, if any.
+    pub fn map_page(&mut self, va: u64, pte: Pte) -> Option<Pte> {
+        let slot = self.leaf_slot(vpn(va));
+        let old = slot.replace(pte);
+        if old.is_none() {
+            self.mapped_pages += 1;
+        }
+        old
+    }
+
+    /// Maps `[va, va + len)` with consecutive PFNs starting at `base_pfn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` or `len` is not page-aligned.
+    pub fn map_range(&mut self, va: u64, len: u64, base_pfn: u64, perm: Perm, mem: MemKind) {
+        assert_eq!(va % PAGE_SIZE, 0, "va must be page-aligned");
+        assert_eq!(len % PAGE_SIZE, 0, "len must be page-aligned");
+        for i in 0..len / PAGE_SIZE {
+            self.map_page(va + i * PAGE_SIZE, Pte { pfn: base_pfn + i, perm, pkey: 0, mem });
+        }
+    }
+
+    /// Unmaps one page; returns the removed entry.
+    pub fn unmap_page(&mut self, va: u64) -> Option<Pte> {
+        let slot = self.leaf_slot(vpn(va));
+        let old = slot.take();
+        if old.is_some() {
+            self.mapped_pages -= 1;
+        }
+        old
+    }
+
+    /// Unmaps `[va, va + len)`; returns the number of pages removed.
+    pub fn unmap_range(&mut self, va: u64, len: u64) -> u64 {
+        assert_eq!(va % PAGE_SIZE, 0, "va must be page-aligned");
+        let mut removed = 0;
+        for i in 0..len.div_ceil(PAGE_SIZE) {
+            if self.unmap_page(va + i * PAGE_SIZE).is_some() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Rewrites the protection key of every mapped page in `[va, va+len)`;
+    /// returns the number of PTEs written (this is what `pkey_mprotect`
+    /// pays for, proportional to domain size — §VI.B).
+    pub fn set_pkey_range(&mut self, va: u64, len: u64, pkey: u8) -> u64 {
+        let mut written = 0;
+        let mut page = va & !(PAGE_SIZE - 1);
+        while page < va + len {
+            let slot = self.leaf_slot(vpn(page));
+            if let Some(pte) = slot {
+                pte.pkey = pkey;
+                written += 1;
+            }
+            page += PAGE_SIZE;
+        }
+        written
+    }
+
+    /// Rewrites the page permission over a range; returns PTEs written.
+    pub fn set_perm_range(&mut self, va: u64, len: u64, perm: Perm) -> u64 {
+        let mut written = 0;
+        let mut page = va & !(PAGE_SIZE - 1);
+        while page < va + len {
+            let slot = self.leaf_slot(vpn(page));
+            if let Some(pte) = slot {
+                pte.perm = perm;
+                written += 1;
+            }
+            page += PAGE_SIZE;
+        }
+        written
+    }
+
+    /// Total mapped pages.
+    #[must_use]
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_walk_unmap() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.walk(0x1000), None);
+        pt.map_page(0x1000, Pte::plain(7));
+        let pte = pt.walk(0x1abc).expect("same page");
+        assert_eq!(pte.pfn, 7);
+        assert_eq!(pt.mapped_pages(), 1);
+        assert_eq!(pt.unmap_page(0x1000).map(|p| p.pfn), Some(7));
+        assert_eq!(pt.walk(0x1000), None);
+        assert_eq!(pt.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn map_range_consecutive_pfns() {
+        let mut pt = PageTable::new();
+        pt.map_range(0x40_0000, 4 * PAGE_SIZE, 100, Perm::ReadWrite, MemKind::Nvm);
+        for i in 0..4 {
+            let pte = pt.walk(0x40_0000 + i * PAGE_SIZE).unwrap();
+            assert_eq!(pte.pfn, 100 + i);
+            assert_eq!(pte.mem, MemKind::Nvm);
+        }
+        assert_eq!(pt.mapped_pages(), 4);
+        assert_eq!(pt.unmap_range(0x40_0000, 4 * PAGE_SIZE), 4);
+    }
+
+    #[test]
+    fn sparse_addresses_do_not_collide() {
+        let mut pt = PageTable::new();
+        // Far-apart addresses exercising different radix subtrees.
+        let vas = [0x0, 0x1000, 0x7fff_ffff_f000, 0x1234_5678_9000u64 & !0xfff];
+        for (i, &va) in vas.iter().enumerate() {
+            pt.map_page(va, Pte::plain(i as u64));
+        }
+        for (i, &va) in vas.iter().enumerate() {
+            assert_eq!(pt.walk(va).unwrap().pfn, i as u64, "va {va:#x}");
+        }
+    }
+
+    #[test]
+    fn pkey_rewrite_counts_ptes() {
+        let mut pt = PageTable::new();
+        pt.map_range(0x10_0000, 8 * PAGE_SIZE, 0, Perm::ReadWrite, MemKind::Nvm);
+        let written = pt.set_pkey_range(0x10_0000, 8 * PAGE_SIZE, 5);
+        assert_eq!(written, 8);
+        assert_eq!(pt.walk(0x10_0000).unwrap().pkey, 5);
+        assert_eq!(pt.walk(0x10_7000).unwrap().pkey, 5);
+        // Unmapped neighbours are not counted.
+        let written = pt.set_pkey_range(0x10_0000, 16 * PAGE_SIZE, 6);
+        assert_eq!(written, 8);
+    }
+
+    #[test]
+    fn perm_rewrite() {
+        let mut pt = PageTable::new();
+        pt.map_range(0x20_0000, 2 * PAGE_SIZE, 0, Perm::ReadWrite, MemKind::Dram);
+        assert_eq!(pt.set_perm_range(0x20_0000, 2 * PAGE_SIZE, Perm::ReadOnly), 2);
+        assert_eq!(pt.walk(0x20_0000).unwrap().perm, Perm::ReadOnly);
+    }
+
+    #[test]
+    fn remap_replaces_entry() {
+        let mut pt = PageTable::new();
+        pt.map_page(0x3000, Pte::plain(1));
+        let old = pt.map_page(0x3000, Pte::plain(2));
+        assert_eq!(old.map(|p| p.pfn), Some(1));
+        assert_eq!(pt.mapped_pages(), 1);
+        assert_eq!(pt.walk(0x3000).unwrap().pfn, 2);
+    }
+}

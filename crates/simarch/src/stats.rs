@@ -1,0 +1,134 @@
+//! Statistics counters for the architectural structures.
+
+use std::fmt;
+
+/// Hit/miss counters for one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read (load) hits.
+    pub read_hits: u64,
+    /// Read misses.
+    pub read_misses: u64,
+    /// Write (store) hits.
+    pub write_hits: u64,
+    /// Write misses.
+    pub write_misses: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+    /// Dirty evictions (writeback traffic).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Total misses.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Miss ratio in [0, 1]; 0 when there were no accesses.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let accesses = self.accesses();
+        if accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} misses ({:.2}%), {} writebacks",
+            self.accesses(),
+            self.misses(),
+            self.miss_ratio() * 100.0,
+            self.writebacks
+        )
+    }
+}
+
+/// Counters for the TLB hierarchy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// L1 TLB hits.
+    pub l1_hits: u64,
+    /// L2 TLB hits (L1 misses that hit L2).
+    pub l2_hits: u64,
+    /// Full misses (page walks).
+    pub misses: u64,
+    /// Entries invalidated (by single, range, or full flushes).
+    pub invalidations: u64,
+    /// Ranged shootdowns performed.
+    pub shootdowns: u64,
+}
+
+impl TlbStats {
+    /// Total lookups.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.misses
+    }
+
+    /// Full-miss ratio in [0, 1].
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.misses as f64 / lookups as f64
+        }
+    }
+}
+
+impl fmt::Display for TlbStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} lookups, {} walks ({:.3}%), {} invalidated in {} shootdowns",
+            self.lookups(),
+            self.misses,
+            self.miss_ratio() * 100.0,
+            self.invalidations,
+            self.shootdowns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_ratios() {
+        let s = CacheStats { read_hits: 6, read_misses: 2, write_hits: 1, write_misses: 1, evictions: 0, writebacks: 0 };
+        assert_eq!(s.accesses(), 10);
+        assert_eq!(s.misses(), 3);
+        assert!((s.miss_ratio() - 0.3).abs() < 1e-12);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn empty_ratios_are_zero() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+        assert_eq!(TlbStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn tlb_totals() {
+        let s = TlbStats { l1_hits: 90, l2_hits: 5, misses: 5, invalidations: 3, shootdowns: 1 };
+        assert_eq!(s.lookups(), 100);
+        assert!((s.miss_ratio() - 0.05).abs() < 1e-12);
+        assert!(!format!("{s}").is_empty());
+    }
+}

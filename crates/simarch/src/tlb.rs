@@ -1,0 +1,355 @@
+//! Translation lookaside buffers with a payload generic over the
+//! protection scheme (protection key for MPK designs, domain ID for the
+//! domain-virtualization design).
+
+use crate::config::SetAssocGeometry;
+use crate::replacement::{Policy, SetState};
+use crate::stats::TlbStats;
+
+/// Base page size: 4KB.
+pub const PAGE_BITS: u32 = 12;
+/// Bytes per base page.
+pub const PAGE_SIZE: u64 = 1 << PAGE_BITS;
+
+/// Virtual page number of an address.
+#[must_use]
+pub const fn vpn(va: u64) -> u64 {
+    va >> PAGE_BITS
+}
+
+/// One set-associative TLB level.
+///
+/// The payload `P` is whatever the page-table entry carries besides the
+/// translation: page permissions plus a protection key (MPK schemes) or a
+/// domain ID (domain virtualization). The TLB itself is policy-free; range
+/// invalidation exists because key remapping in the MPK-virtualization
+/// design shoots down the victim PMO's VA range (§IV.D).
+#[derive(Clone, Debug)]
+pub struct Tlb<P> {
+    geometry: SetAssocGeometry,
+    entries: Vec<Vec<Option<(u64, P)>>>, // [set][way] -> (vpn, payload)
+    repl: Vec<SetState>,
+}
+
+impl<P: Copy> Tlb<P> {
+    /// Creates an empty TLB.
+    #[must_use]
+    pub fn new(geometry: SetAssocGeometry, policy: Policy) -> Self {
+        let sets = geometry.sets() as usize;
+        let ways = geometry.ways as usize;
+        Tlb {
+            geometry,
+            entries: vec![vec![None; ways]; sets],
+            repl: (0..sets).map(|_| SetState::new(policy, ways as u8)).collect(),
+        }
+    }
+
+    fn set_of(&self, vpn: u64) -> usize {
+        (vpn % u64::from(self.geometry.sets())) as usize
+    }
+
+    /// Looks up a VPN, updating recency. Returns the payload on a hit.
+    pub fn lookup(&mut self, vpn: u64) -> Option<P> {
+        let set = self.set_of(vpn);
+        let way = self.entries[set].iter().position(|e| matches!(e, Some((v, _)) if *v == vpn))?;
+        self.repl[set].touch(way as u8);
+        self.entries[set][way].map(|(_, p)| p)
+    }
+
+    /// Looks up without updating recency (probe).
+    #[must_use]
+    pub fn probe(&self, vpn: u64) -> Option<P> {
+        let set = self.set_of(vpn);
+        self.entries[set]
+            .iter()
+            .find_map(|e| e.filter(|(v, _)| *v == vpn).map(|(_, p)| p))
+    }
+
+    /// Inserts a translation, returning any evicted entry.
+    pub fn insert(&mut self, vpn: u64, payload: P) -> Option<(u64, P)> {
+        let set = self.set_of(vpn);
+        // Replace in place on re-insert.
+        if let Some(way) = self.entries[set].iter().position(|e| matches!(e, Some((v, _)) if *v == vpn)) {
+            self.entries[set][way] = Some((vpn, payload));
+            self.repl[set].touch(way as u8);
+            return None;
+        }
+        let way = if let Some(free) = self.entries[set].iter().position(Option::is_none) {
+            free
+        } else {
+            self.repl[set].victim() as usize
+        };
+        let evicted = self.entries[set][way];
+        self.entries[set][way] = Some((vpn, payload));
+        self.repl[set].touch(way as u8);
+        evicted
+    }
+
+    /// Invalidates one VPN; returns whether an entry was removed.
+    pub fn invalidate(&mut self, vpn: u64) -> bool {
+        let set = self.set_of(vpn);
+        if let Some(way) = self.entries[set].iter().position(|e| matches!(e, Some((v, _)) if *v == vpn)) {
+            self.entries[set][way] = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates every entry whose VPN lies in `[start_vpn, end_vpn)`;
+    /// returns the number removed (the `Range_Flush` of §IV.D).
+    pub fn invalidate_range(&mut self, start_vpn: u64, end_vpn: u64) -> u64 {
+        let mut removed = 0;
+        for set in &mut self.entries {
+            for slot in set.iter_mut() {
+                if let Some((v, _)) = slot {
+                    if *v >= start_vpn && *v < end_vpn {
+                        *slot = None;
+                        removed += 1;
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    /// Invalidates everything; returns the number of entries removed.
+    pub fn flush_all(&mut self) -> u64 {
+        let mut removed = 0;
+        for set in &mut self.entries {
+            for slot in set.iter_mut() {
+                if slot.take().is_some() {
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Number of valid entries (for tests and occupancy stats).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().flatten().filter(|e| e.is_some()).count()
+    }
+
+    /// Total capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.geometry.entries as usize
+    }
+}
+
+/// Outcome of a hierarchy lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TlbLevel {
+    /// Hit in the L1 TLB.
+    L1,
+    /// Hit in the L2 TLB (entry promoted to L1).
+    L2,
+    /// Miss in both levels; a page walk is required.
+    Miss,
+}
+
+/// Two-level TLB hierarchy with promotion and statistics.
+#[derive(Clone, Debug)]
+pub struct TlbHierarchy<P> {
+    l1: Tlb<P>,
+    l2: Tlb<P>,
+    l1_latency: u64,
+    l2_latency: u64,
+    miss_penalty: u64,
+    stats: TlbStats,
+}
+
+impl<P: Copy> TlbHierarchy<P> {
+    /// Builds the hierarchy from a [`SimConfig`](crate::SimConfig).
+    #[must_use]
+    pub fn new(config: &crate::SimConfig) -> Self {
+        TlbHierarchy {
+            l1: Tlb::new(config.l1_tlb, Policy::TreePlru),
+            l2: Tlb::new(config.l2_tlb, Policy::TreePlru),
+            l1_latency: config.l1_tlb_latency,
+            l2_latency: config.l2_tlb_latency,
+            miss_penalty: config.tlb_miss_penalty,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Looks up a VPN. Returns the payload (if any level hit), the level,
+    /// and the lookup latency in cycles. On a full miss the latency
+    /// *includes* the flat page-walk penalty; the caller must then call
+    /// [`TlbHierarchy::fill`] with the walked entry.
+    pub fn lookup(&mut self, vpn: u64) -> (Option<P>, TlbLevel, u64) {
+        let mut cycles = self.l1_latency;
+        if let Some(p) = self.l1.lookup(vpn) {
+            self.stats.l1_hits += 1;
+            return (Some(p), TlbLevel::L1, cycles);
+        }
+        cycles += self.l2_latency;
+        if let Some(p) = self.l2.lookup(vpn) {
+            self.stats.l2_hits += 1;
+            // Promote into L1.
+            self.l1.insert(vpn, p);
+            return (Some(p), TlbLevel::L2, cycles);
+        }
+        self.stats.misses += 1;
+        cycles += self.miss_penalty;
+        (None, TlbLevel::Miss, cycles)
+    }
+
+    /// Installs a walked translation into both levels.
+    pub fn fill(&mut self, vpn: u64, payload: P) {
+        self.l2.insert(vpn, payload);
+        self.l1.insert(vpn, payload);
+    }
+
+    /// Ranged shootdown over `[start_vpn, end_vpn)`; returns entries removed.
+    pub fn invalidate_range(&mut self, start_vpn: u64, end_vpn: u64) -> u64 {
+        let removed =
+            self.l1.invalidate_range(start_vpn, end_vpn) + self.l2.invalidate_range(start_vpn, end_vpn);
+        self.stats.invalidations += removed;
+        self.stats.shootdowns += 1;
+        removed
+    }
+
+    /// Invalidates a single page in both levels.
+    pub fn invalidate(&mut self, vpn: u64) -> bool {
+        let hit = self.l1.invalidate(vpn) | self.l2.invalidate(vpn);
+        if hit {
+            self.stats.invalidations += 1;
+        }
+        hit
+    }
+
+    /// Full flush (context switch between processes; not used on thread
+    /// switches, which keep the TLB warm in both designs).
+    pub fn flush_all(&mut self) -> u64 {
+        let removed = self.l1.flush_all() + self.l2.flush_all();
+        self.stats.invalidations += removed;
+        removed
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// The L1 level (for tests).
+    #[must_use]
+    pub fn l1(&self) -> &Tlb<P> {
+        &self.l1
+    }
+
+    /// The L2 level (for tests).
+    #[must_use]
+    pub fn l2(&self) -> &Tlb<P> {
+        &self.l2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+
+    #[test]
+    fn vpn_math() {
+        assert_eq!(vpn(0), 0);
+        assert_eq!(vpn(4095), 0);
+        assert_eq!(vpn(4096), 1);
+        assert_eq!(PAGE_SIZE, 4096);
+    }
+
+    #[test]
+    fn lookup_insert_evict() {
+        let mut tlb: Tlb<u32> = Tlb::new(SetAssocGeometry::new(4, 2), Policy::Lru);
+        assert_eq!(tlb.lookup(1), None);
+        assert_eq!(tlb.insert(1, 10), None);
+        assert_eq!(tlb.lookup(1), Some(10));
+        // Same set: vpns 1, 3, 5 (2 sets).
+        tlb.insert(3, 30);
+        let evicted = tlb.insert(5, 50);
+        assert_eq!(evicted, Some((1, 10)), "LRU victim");
+        assert_eq!(tlb.lookup(1), None);
+        assert_eq!(tlb.probe(3), Some(30));
+        assert_eq!(tlb.occupancy(), 2);
+        assert_eq!(tlb.capacity(), 4);
+    }
+
+    #[test]
+    fn reinsert_updates_payload() {
+        let mut tlb: Tlb<u32> = Tlb::new(SetAssocGeometry::new(4, 2), Policy::Lru);
+        tlb.insert(1, 10);
+        assert_eq!(tlb.insert(1, 11), None);
+        assert_eq!(tlb.lookup(1), Some(11));
+        assert_eq!(tlb.occupancy(), 1);
+    }
+
+    #[test]
+    fn range_invalidation() {
+        let mut tlb: Tlb<u32> = Tlb::new(SetAssocGeometry::new(16, 4), Policy::TreePlru);
+        for v in 0..8 {
+            tlb.insert(v, v as u32);
+        }
+        assert_eq!(tlb.invalidate_range(2, 6), 4);
+        assert_eq!(tlb.probe(1), Some(1));
+        assert_eq!(tlb.probe(2), None);
+        assert_eq!(tlb.probe(5), None);
+        assert_eq!(tlb.probe(6), Some(6));
+        assert!(tlb.invalidate(6));
+        assert!(!tlb.invalidate(6));
+        assert_eq!(tlb.flush_all(), 3);
+        assert_eq!(tlb.occupancy(), 0);
+    }
+
+    #[test]
+    fn hierarchy_promotion_and_latency() {
+        let cfg = SimConfig::isca2020();
+        let mut h: TlbHierarchy<u8> = TlbHierarchy::new(&cfg);
+        let (p, level, lat) = h.lookup(7);
+        assert_eq!(p, None);
+        assert_eq!(level, TlbLevel::Miss);
+        assert_eq!(lat, cfg.l1_tlb_latency + cfg.l2_tlb_latency + cfg.tlb_miss_penalty);
+        h.fill(7, 42);
+        let (p, level, lat) = h.lookup(7);
+        assert_eq!(p, Some(42));
+        assert_eq!(level, TlbLevel::L1);
+        assert_eq!(lat, cfg.l1_tlb_latency);
+        assert_eq!(h.stats().l1_hits, 1);
+        assert_eq!(h.stats().misses, 1);
+    }
+
+    #[test]
+    fn hierarchy_l2_hit_promotes() {
+        let cfg = SimConfig::isca2020();
+        let mut h: TlbHierarchy<u8> = TlbHierarchy::new(&cfg);
+        h.fill(100, 1);
+        // Evict vpn 100 from L1 (64 entries, 16 sets, 4 ways): vpns congruent
+        // mod 16 land in the same set.
+        for k in 1..=4 {
+            h.fill(100 + k * 16, 0);
+        }
+        let (p, level, _) = h.lookup(100);
+        assert_eq!(p, Some(1));
+        assert_eq!(level, TlbLevel::L2);
+        // Promoted: next lookup is an L1 hit.
+        let (_, level, _) = h.lookup(100);
+        assert_eq!(level, TlbLevel::L1);
+    }
+
+    #[test]
+    fn hierarchy_shootdown_counts() {
+        let cfg = SimConfig::isca2020();
+        let mut h: TlbHierarchy<u8> = TlbHierarchy::new(&cfg);
+        for v in 0..10 {
+            h.fill(v, 0);
+        }
+        let removed = h.invalidate_range(0, 10);
+        // Each fill puts the entry in both L1 and L2.
+        assert_eq!(removed, 20);
+        assert_eq!(h.stats().shootdowns, 1);
+        let (_, level, _) = h.lookup(3);
+        assert_eq!(level, TlbLevel::Miss);
+    }
+}

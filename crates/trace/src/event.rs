@@ -1,0 +1,187 @@
+//! The trace event vocabulary.
+
+use std::fmt;
+
+use crate::{Perm, PmoId, ThreadId, Va};
+
+/// High-level operation markers, used for per-operation statistics
+/// (e.g. the per-data-structure-operation permission window of the
+/// multi-PMO experiments, §V).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpKind {
+    /// A whole benchmark transaction / data-structure operation begins.
+    Begin,
+    /// The current transaction / operation ends.
+    End,
+}
+
+/// One event of an execution trace.
+///
+/// Events are deliberately scheme-agnostic: a permission switch is recorded
+/// as the *intent* ([`TraceEvent::SetPerm`]) and each protection scheme
+/// lowers it to its own mechanism during replay (WRPKRU for MPK and the
+/// lowerbound, `pkey_set`/eviction for libmpk, SETPERM + DTT/PKRU update for
+/// hardware MPK virtualization, SETPERM + PTLB update for domain
+/// virtualization). This mirrors the paper's methodology of replaying one
+/// Pin trace under every scheme.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// `count` non-memory instructions (ALU/branch work between accesses).
+    Compute {
+        /// Number of instructions.
+        count: u32,
+    },
+    /// A load of `size` bytes from virtual address `va`.
+    Load {
+        /// Virtual address.
+        va: Va,
+        /// Access size in bytes (1..=64).
+        size: u8,
+    },
+    /// A store of `size` bytes to virtual address `va`.
+    Store {
+        /// Virtual address.
+        va: Va,
+        /// Access size in bytes (1..=64).
+        size: u8,
+    },
+    /// The running thread changes its own permission for a domain
+    /// (the paper's user-level SETPERM instruction; WRPKRU under MPK).
+    SetPerm {
+        /// Target PMO / domain.
+        pmo: PmoId,
+        /// New absolute permission for the executing thread.
+        perm: Perm,
+    },
+    /// A PMO is attached to the address space (system call).
+    Attach {
+        /// PMO / domain ID assigned by the OS.
+        pmo: PmoId,
+        /// Base virtual address of the attached (aligned) region.
+        base: Va,
+        /// Size in bytes of the region reserved for the PMO.
+        size: u64,
+        /// Whether the backing physical memory is NVM (vs DRAM).
+        nvm: bool,
+    },
+    /// A PMO is detached from the address space (system call).
+    Detach {
+        /// PMO / domain ID.
+        pmo: PmoId,
+    },
+    /// Execution switches to another thread (context switch on this core).
+    ThreadSwitch {
+        /// The thread that now runs.
+        thread: ThreadId,
+    },
+    /// A cache-line writeback to persistent memory (`clwb`-like).
+    Flush {
+        /// Line-aligned virtual address being written back.
+        va: Va,
+    },
+    /// A persist/memory fence (`sfence`-like). SETPERM also carries fence
+    /// semantics (§IV.A) but the scheme layer accounts for that itself.
+    Fence,
+    /// Marker delimiting one benchmark operation, for per-op statistics.
+    Op {
+        /// Begin or end.
+        kind: OpKind,
+    },
+}
+
+impl TraceEvent {
+    /// Whether this event is a load or store.
+    #[must_use]
+    pub const fn is_memory_access(&self) -> bool {
+        matches!(self, TraceEvent::Load { .. } | TraceEvent::Store { .. })
+    }
+
+    /// Number of retired instructions this event represents.
+    ///
+    /// `Attach`/`Detach` are system calls whose instruction footprint is
+    /// charged by the simulator's cost model, not by the trace; markers
+    /// (`Op`) represent no instruction at all.
+    #[must_use]
+    pub const fn instruction_count(&self) -> u64 {
+        match self {
+            TraceEvent::Compute { count } => *count as u64,
+            TraceEvent::Load { .. }
+            | TraceEvent::Store { .. }
+            | TraceEvent::SetPerm { .. }
+            | TraceEvent::Flush { .. }
+            | TraceEvent::Fence => 1,
+            TraceEvent::Attach { .. }
+            | TraceEvent::Detach { .. }
+            | TraceEvent::ThreadSwitch { .. }
+            | TraceEvent::Op { .. } => 0,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Compute { count } => write!(f, "compute x{count}"),
+            TraceEvent::Load { va, size } => write!(f, "ld {size}B @{va:#x}"),
+            TraceEvent::Store { va, size } => write!(f, "st {size}B @{va:#x}"),
+            TraceEvent::SetPerm { pmo, perm } => write!(f, "setperm pmo={pmo} {perm}"),
+            TraceEvent::Attach { pmo, base, size, nvm } => {
+                write!(f, "attach pmo={pmo} base={base:#x} size={size} nvm={nvm}")
+            }
+            TraceEvent::Detach { pmo } => write!(f, "detach pmo={pmo}"),
+            TraceEvent::ThreadSwitch { thread } => write!(f, "switch-to t{thread}"),
+            TraceEvent::Flush { va } => write!(f, "clwb @{va:#x}"),
+            TraceEvent::Fence => f.write_str("fence"),
+            TraceEvent::Op { kind: OpKind::Begin } => f.write_str("op-begin"),
+            TraceEvent::Op { kind: OpKind::End } => f.write_str("op-end"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_access_classification() {
+        assert!(TraceEvent::Load { va: 0, size: 8 }.is_memory_access());
+        assert!(TraceEvent::Store { va: 0, size: 8 }.is_memory_access());
+        assert!(!TraceEvent::Fence.is_memory_access());
+        assert!(!TraceEvent::Compute { count: 3 }.is_memory_access());
+    }
+
+    #[test]
+    fn instruction_counts() {
+        assert_eq!(TraceEvent::Compute { count: 17 }.instruction_count(), 17);
+        assert_eq!(TraceEvent::Load { va: 0, size: 4 }.instruction_count(), 1);
+        assert_eq!(
+            TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadOnly }.instruction_count(),
+            1
+        );
+        assert_eq!(TraceEvent::Op { kind: OpKind::Begin }.instruction_count(), 0);
+        assert_eq!(
+            TraceEvent::ThreadSwitch { thread: ThreadId::MAIN }.instruction_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let events = [
+            TraceEvent::Compute { count: 1 },
+            TraceEvent::Load { va: 0x10, size: 8 },
+            TraceEvent::Store { va: 0x18, size: 8 },
+            TraceEvent::SetPerm { pmo: PmoId::new(2), perm: Perm::ReadWrite },
+            TraceEvent::Attach { pmo: PmoId::new(2), base: 0x1000, size: 4096, nvm: true },
+            TraceEvent::Detach { pmo: PmoId::new(2) },
+            TraceEvent::ThreadSwitch { thread: ThreadId::new(1) },
+            TraceEvent::Flush { va: 0x40 },
+            TraceEvent::Fence,
+            TraceEvent::Op { kind: OpKind::End },
+        ];
+        for e in events {
+            assert!(!format!("{e}").is_empty());
+            assert!(!format!("{e:?}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Binary trace files: record a trace to disk and replay it later, like
+//! the Pin trace files the paper's methodology revolves around.
+//!
+//! Format: a 16-byte header (`magic, version, event count`) followed by
+//! fixed-width 22-byte little-endian records (`tag u8, a u64, b u64,
+//! c u8, d u32`). Hand-rolled (no serde) and versioned.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{OpKind, Perm, PmoId, ThreadId, TraceEvent, TraceSink, TraceSource};
+
+const MAGIC: u32 = 0x504d_4f54; // "PMOT"
+const VERSION: u32 = 1;
+const RECORD_BYTES: usize = 22;
+
+fn encode(ev: &TraceEvent) -> [u8; RECORD_BYTES] {
+    let (tag, a, b, c, d): (u8, u64, u64, u8, u32) = match *ev {
+        TraceEvent::Compute { count } => (0, u64::from(count), 0, 0, 0),
+        TraceEvent::Load { va, size } => (1, va, 0, size, 0),
+        TraceEvent::Store { va, size } => (2, va, 0, size, 0),
+        TraceEvent::SetPerm { pmo, perm } => (3, 0, 0, perm.encode(), pmo.raw()),
+        TraceEvent::Attach { pmo, base, size, nvm } => (4, base, size, u8::from(nvm), pmo.raw()),
+        TraceEvent::Detach { pmo } => (5, 0, 0, 0, pmo.raw()),
+        TraceEvent::ThreadSwitch { thread } => (6, 0, 0, 0, thread.raw()),
+        TraceEvent::Flush { va } => (7, va, 0, 0, 0),
+        TraceEvent::Fence => (8, 0, 0, 0, 0),
+        TraceEvent::Op { kind } => (9, 0, 0, u8::from(matches!(kind, OpKind::End)), 0),
+    };
+    let mut rec = [0u8; RECORD_BYTES];
+    rec[0] = tag;
+    rec[1..9].copy_from_slice(&a.to_le_bytes());
+    rec[9..17].copy_from_slice(&b.to_le_bytes());
+    rec[17] = c;
+    rec[18..22].copy_from_slice(&d.to_le_bytes());
+    rec
+}
+
+fn decode(rec: &[u8; RECORD_BYTES]) -> io::Result<TraceEvent> {
+    let tag = rec[0];
+    let a = u64::from_le_bytes(rec[1..9].try_into().expect("8 bytes"));
+    let b = u64::from_le_bytes(rec[9..17].try_into().expect("8 bytes"));
+    let c = rec[17];
+    let d = u32::from_le_bytes(rec[18..22].try_into().expect("4 bytes"));
+    Ok(match tag {
+        0 => TraceEvent::Compute { count: a as u32 },
+        1 => TraceEvent::Load { va: a, size: c },
+        2 => TraceEvent::Store { va: a, size: c },
+        3 => TraceEvent::SetPerm { pmo: PmoId::from_raw(d), perm: Perm::decode(c) },
+        4 => TraceEvent::Attach { pmo: PmoId::from_raw(d), base: a, size: b, nvm: c != 0 },
+        5 => TraceEvent::Detach { pmo: PmoId::from_raw(d) },
+        6 => TraceEvent::ThreadSwitch { thread: ThreadId::new(d) },
+        7 => TraceEvent::Flush { va: a },
+        8 => TraceEvent::Fence,
+        9 => TraceEvent::Op { kind: if c != 0 { OpKind::End } else { OpKind::Begin } },
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown trace record tag {other}"),
+            ))
+        }
+    })
+}
+
+/// A sink that streams events into a trace file as they arrive.
+///
+/// Call [`TraceFileWriter::finish`] to flush and finalize the header.
+#[derive(Debug)]
+pub struct TraceFileWriter {
+    out: BufWriter<File>,
+    count: u64,
+}
+
+impl TraceFileWriter {
+    /// Creates (truncates) a trace file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        // Placeholder header; the count is patched in `finish`.
+        out.write_all(&MAGIC.to_le_bytes())?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&0u64.to_le_bytes())?;
+        Ok(TraceFileWriter { out, count: 0 })
+    }
+
+    /// Events written so far.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no events were written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Flushes, patches the header's event count, and closes the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn finish(self) -> io::Result<u64> {
+        use std::io::Seek;
+        let TraceFileWriter { out, count } = self;
+        let mut file = out.into_inner()?;
+        file.seek(io::SeekFrom::Start(8))?;
+        file.write_all(&count.to_le_bytes())?;
+        file.sync_all()?;
+        Ok(count)
+    }
+}
+
+impl TraceSink for TraceFileWriter {
+    /// # Panics
+    ///
+    /// Panics on I/O errors (sinks are infallible by contract; use a
+    /// reliable filesystem for trace capture).
+    fn event(&mut self, ev: TraceEvent) {
+        self.out.write_all(&encode(&ev)).expect("trace file write");
+        self.count += 1;
+    }
+}
+
+/// A trace file on disk, replayable as a [`TraceSource`].
+#[derive(Debug)]
+pub struct TraceFile {
+    path: std::path::PathBuf,
+    events: u64,
+}
+
+impl TraceFile {
+    /// Opens and validates a trace file's header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a bad magic number, or a version mismatch.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut reader = BufReader::new(File::open(&path)?);
+        let mut header = [0u8; 16];
+        reader.read_exact(&mut header)?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a PMO trace file"));
+        }
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported trace version {version}"),
+            ));
+        }
+        let events = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        Ok(TraceFile { path: path.as_ref().to_path_buf(), events })
+    }
+
+    /// Number of events in the file.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.events
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Streams every event into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or corrupt records.
+    pub fn stream_into(&self, sink: &mut dyn TraceSink) -> io::Result<u64> {
+        let mut reader = BufReader::new(File::open(&self.path)?);
+        let mut header = [0u8; 16];
+        reader.read_exact(&mut header)?;
+        let mut rec = [0u8; RECORD_BYTES];
+        let mut streamed = 0;
+        for _ in 0..self.events {
+            reader.read_exact(&mut rec)?;
+            sink.event(decode(&rec)?);
+            streamed += 1;
+        }
+        Ok(streamed)
+    }
+}
+
+impl TraceSource for TraceFile {
+    /// # Panics
+    ///
+    /// Panics on I/O errors or corruption (use [`TraceFile::stream_into`]
+    /// for fallible streaming).
+    fn replay(&self, sink: &mut dyn TraceSink) {
+        self.stream_into(sink).expect("trace file replay");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecordedTrace;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Attach { pmo: PmoId::new(7), base: 0x2000_0000_0000, size: 8 << 20, nvm: true },
+            TraceEvent::ThreadSwitch { thread: ThreadId::new(3) },
+            TraceEvent::SetPerm { pmo: PmoId::new(7), perm: Perm::ReadWrite },
+            TraceEvent::Load { va: 0x2000_0000_0040, size: 8 },
+            TraceEvent::Store { va: 0x2000_0000_0048, size: 4 },
+            TraceEvent::Compute { count: 1234 },
+            TraceEvent::Flush { va: 0x2000_0000_0040 },
+            TraceEvent::Fence,
+            TraceEvent::Op { kind: OpKind::Begin },
+            TraceEvent::Op { kind: OpKind::End },
+            TraceEvent::SetPerm { pmo: PmoId::new(7), perm: Perm::None },
+            TraceEvent::Detach { pmo: PmoId::new(7) },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("pmo-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.pmot");
+
+        let mut writer = TraceFileWriter::create(&path).unwrap();
+        for ev in sample() {
+            writer.event(ev);
+        }
+        assert_eq!(writer.len(), 12);
+        assert_eq!(writer.finish().unwrap(), 12);
+
+        let file = TraceFile::open(&path).unwrap();
+        assert_eq!(file.len(), 12);
+        assert!(!file.is_empty());
+        let mut replayed = RecordedTrace::new();
+        file.replay(&mut replayed);
+        assert_eq!(replayed.events(), sample().as_slice());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("pmo-trace-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.pmot");
+        std::fs::write(&path, b"definitely not a trace file").unwrap();
+        assert!(TraceFile::open(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_event_kind_roundtrips() {
+        for ev in sample() {
+            let rec = encode(&ev);
+            assert_eq!(decode(&rec).unwrap(), ev, "{ev:?}");
+        }
+        // Unknown tag is an error, not a panic.
+        let mut bad = [0u8; RECORD_BYTES];
+        bad[0] = 250;
+        assert!(decode(&bad).is_err());
+    }
+
+    #[test]
+    fn attach_packs_large_values() {
+        let ev = TraceEvent::Attach {
+            pmo: PmoId::new(u32::MAX),
+            base: u64::MAX,
+            size: u64::MAX,
+            nvm: false,
+        };
+        assert_eq!(decode(&encode(&ev)).unwrap(), ev);
+    }
+}

@@ -1,0 +1,146 @@
+//! Identifier newtypes shared across the workspace.
+
+use std::fmt;
+
+/// A virtual address.
+///
+/// Kept as a plain alias rather than a newtype because workload generators
+/// and the MMU perform heavy address arithmetic; the aligned-range invariants
+/// are enforced where addresses are *created* (the PMO attach layer), per
+/// the "static enforcement at the boundary" guideline.
+pub type Va = u64;
+
+/// Identifier of a Persistent Memory Object.
+///
+/// Per the paper (§IV.A), the PMO ID returned by the attach system call *is*
+/// the protection-domain ID, so this type doubles as the domain identifier
+/// throughout the workspace. ID `0` is reserved as the NULL domain
+/// ("domainless" accesses, §IV.D).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PmoId(u32);
+
+impl PmoId {
+    /// The reserved NULL domain: accesses outside any PMO.
+    pub const NULL: PmoId = PmoId(0);
+
+    /// Creates a PMO/domain ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw == 0`; use [`PmoId::NULL`] to express the reserved
+    /// NULL domain explicitly.
+    #[must_use]
+    pub fn new(raw: u32) -> Self {
+        assert_ne!(raw, 0, "PMO id 0 is reserved for the NULL domain");
+        PmoId(raw)
+    }
+
+    /// Creates an ID without the non-NULL check (for table indexing code).
+    #[must_use]
+    pub const fn from_raw(raw: u32) -> Self {
+        PmoId(raw)
+    }
+
+    /// The raw 32-bit value (the paper stores this in DTT/DRT root entries).
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the reserved NULL domain.
+    #[must_use]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for PmoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "PmoId(NULL)")
+        } else {
+            write!(f, "PmoId({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for PmoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a thread within the traced process.
+///
+/// The Permission Table (PT) of the domain-virtualization design is indexed
+/// by `(domain, thread)`, and the PKRU/DTTLB/PTLB are thread-private state,
+/// so threads are first-class in traces via
+/// [`TraceEvent::ThreadSwitch`](crate::TraceEvent::ThreadSwitch).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(u32);
+
+impl ThreadId {
+    /// The main thread of the process.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Creates a thread ID.
+    #[must_use]
+    pub const fn new(raw: u32) -> Self {
+        ThreadId(raw)
+    }
+
+    /// The raw index (used to index the Permission Table).
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ThreadId({})", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_pmo_id_is_zero() {
+        assert!(PmoId::NULL.is_null());
+        assert_eq!(PmoId::NULL.raw(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn new_rejects_zero() {
+        let _ = PmoId::new(0);
+    }
+
+    #[test]
+    fn from_raw_allows_zero() {
+        assert!(PmoId::from_raw(0).is_null());
+        assert!(!PmoId::from_raw(7).is_null());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", PmoId::NULL), "PmoId(NULL)");
+        assert_eq!(format!("{:?}", PmoId::new(3)), "PmoId(3)");
+        assert_eq!(format!("{:?}", ThreadId::new(2)), "ThreadId(2)");
+        assert_eq!(format!("{}", PmoId::new(3)), "3");
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(PmoId::new(1) < PmoId::new(2));
+        assert!(ThreadId::new(0) < ThreadId::new(1));
+    }
+}

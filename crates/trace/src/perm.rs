@@ -1,0 +1,228 @@
+//! Permission lattice for protection domains.
+
+use std::fmt;
+
+/// The kind of a memory access, used when checking permissions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A load instruction.
+    Read,
+    /// A store instruction.
+    Write,
+}
+
+impl AccessKind {
+    /// Whether this access writes memory.
+    #[must_use]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// Per-thread permission for a protection domain.
+///
+/// The paper's PTLB encodes this in 2 bits (§IV.E): `1x` = inaccessible /
+/// execute-only, `01` = read-only, `00` = read-write. MPK's PKRU uses the
+/// same lattice with one access-disable and one write-disable bit per key.
+///
+/// The lattice order (most→least restrictive) is
+/// [`None`](Perm::None) < [`ReadOnly`](Perm::ReadOnly) <
+/// [`ReadWrite`](Perm::ReadWrite); [`meet`](Perm::meet) returns the stricter
+/// of two permissions, which is how the MMU combines domain permission with
+/// page permission (§IV.C: "the more restrictive permission is derived").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Perm {
+    /// Inaccessible (execute-only for code domains): `1x` encoding.
+    #[default]
+    None,
+    /// Read permitted, write denied: `01` encoding.
+    ReadOnly,
+    /// Read and write permitted: `00` encoding.
+    ReadWrite,
+}
+
+impl Perm {
+    /// Whether an access of kind `kind` is allowed under this permission.
+    ///
+    /// ```
+    /// use pmo_trace::{AccessKind, Perm};
+    /// assert!(Perm::ReadOnly.allows(AccessKind::Read));
+    /// assert!(!Perm::ReadOnly.allows(AccessKind::Write));
+    /// ```
+    #[must_use]
+    pub const fn allows(self, kind: AccessKind) -> bool {
+        match (self, kind) {
+            (Perm::None, _) => false,
+            (Perm::ReadOnly, AccessKind::Read) => true,
+            (Perm::ReadOnly, AccessKind::Write) => false,
+            (Perm::ReadWrite, _) => true,
+        }
+    }
+
+    /// Whether reads are allowed.
+    #[must_use]
+    pub const fn allows_read(self) -> bool {
+        !matches!(self, Perm::None)
+    }
+
+    /// Whether writes are allowed.
+    #[must_use]
+    pub const fn allows_write(self) -> bool {
+        matches!(self, Perm::ReadWrite)
+    }
+
+    /// The stricter of two permissions (lattice meet).
+    ///
+    /// This is the combination rule the MMU applies between the domain
+    /// permission (PKRU / PTLB) and the page permission (TLB / page table).
+    #[must_use]
+    pub const fn meet(self, other: Perm) -> Perm {
+        match (self, other) {
+            (Perm::None, _) | (_, Perm::None) => Perm::None,
+            (Perm::ReadOnly, _) | (_, Perm::ReadOnly) => Perm::ReadOnly,
+            (Perm::ReadWrite, Perm::ReadWrite) => Perm::ReadWrite,
+        }
+    }
+
+    /// The laxer of two permissions (lattice join).
+    ///
+    /// Used when analysing key sharing: if two domains must share one
+    /// protection key, the key's effective permission is the join, which is
+    /// the security weakening the paper describes in §IV.B.
+    #[must_use]
+    pub const fn join(self, other: Perm) -> Perm {
+        match (self, other) {
+            (Perm::ReadWrite, _) | (_, Perm::ReadWrite) => Perm::ReadWrite,
+            (Perm::ReadOnly, _) | (_, Perm::ReadOnly) => Perm::ReadOnly,
+            (Perm::None, Perm::None) => Perm::None,
+        }
+    }
+
+    /// The paper's 2-bit PTLB encoding (`1x`=None, `01`=ReadOnly, `00`=RW).
+    #[must_use]
+    pub const fn encode(self) -> u8 {
+        match self {
+            Perm::None => 0b10,
+            Perm::ReadOnly => 0b01,
+            Perm::ReadWrite => 0b00,
+        }
+    }
+
+    /// Decodes the 2-bit PTLB encoding; both `10` and `11` map to `None`.
+    #[must_use]
+    pub const fn decode(bits: u8) -> Perm {
+        match bits & 0b11 {
+            0b00 => Perm::ReadWrite,
+            0b01 => Perm::ReadOnly,
+            _ => Perm::None,
+        }
+    }
+}
+
+impl PartialOrd for Perm {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Perm {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        fn rank(p: Perm) -> u8 {
+            match p {
+                Perm::None => 0,
+                Perm::ReadOnly => 1,
+                Perm::ReadWrite => 2,
+            }
+        }
+        rank(*self).cmp(&rank(*other))
+    }
+}
+
+impl fmt::Display for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Perm::None => f.write_str("none"),
+            Perm::ReadOnly => f.write_str("read-only"),
+            Perm::ReadWrite => f.write_str("read-write"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Perm; 3] = [Perm::None, Perm::ReadOnly, Perm::ReadWrite];
+
+    #[test]
+    fn allows_matches_lattice() {
+        assert!(!Perm::None.allows(AccessKind::Read));
+        assert!(!Perm::None.allows(AccessKind::Write));
+        assert!(Perm::ReadOnly.allows(AccessKind::Read));
+        assert!(!Perm::ReadOnly.allows(AccessKind::Write));
+        assert!(Perm::ReadWrite.allows(AccessKind::Read));
+        assert!(Perm::ReadWrite.allows(AccessKind::Write));
+    }
+
+    #[test]
+    fn meet_is_commutative_and_idempotent() {
+        for a in ALL {
+            assert_eq!(a.meet(a), a);
+            for b in ALL {
+                assert_eq!(a.meet(b), b.meet(a));
+                assert_eq!(a.meet(b), a.min(b));
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_commutative_and_idempotent() {
+        for a in ALL {
+            assert_eq!(a.join(a), a);
+            for b in ALL {
+                assert_eq!(a.join(b), b.join(a));
+                assert_eq!(a.join(b), a.max(b));
+            }
+        }
+    }
+
+    #[test]
+    fn join_weakens_meet_strengthens() {
+        // The §IV.B example: R(A) and RW(B) sharing a key yields RW — writes
+        // to A are wrongly permitted.
+        let shared_key = Perm::ReadOnly.join(Perm::ReadWrite);
+        assert!(shared_key.allows(AccessKind::Write));
+        // MMU combination is the meet: RW domain on a read-only page denies.
+        assert!(!Perm::ReadWrite.meet(Perm::ReadOnly).allows(AccessKind::Write));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for p in ALL {
+            assert_eq!(Perm::decode(p.encode()), p);
+        }
+        // Execute-only alias `11` also decodes to None.
+        assert_eq!(Perm::decode(0b11), Perm::None);
+    }
+
+    #[test]
+    fn ordering_is_total_and_matches_strictness() {
+        assert!(Perm::None < Perm::ReadOnly);
+        assert!(Perm::ReadOnly < Perm::ReadWrite);
+    }
+
+    #[test]
+    fn default_is_none() {
+        // Paper §V: "The default permission for this key is inaccessible."
+        assert_eq!(Perm::default(), Perm::None);
+    }
+}

@@ -1,0 +1,333 @@
+//! Streaming trace consumers and replayable producers.
+
+use crate::{EventCounts, TraceEvent, Va};
+
+/// A streaming consumer of trace events.
+///
+/// Workload generators push events into a sink as they execute; the
+/// simulator is itself a sink. Convenience methods cover the common
+/// load/store/compute cases.
+pub trait TraceSink {
+    /// Consume one event.
+    fn event(&mut self, ev: TraceEvent);
+
+    /// Convenience: record a load.
+    fn load(&mut self, va: Va, size: u8) {
+        self.event(TraceEvent::Load { va, size });
+    }
+
+    /// Convenience: record a store.
+    fn store(&mut self, va: Va, size: u8) {
+        self.event(TraceEvent::Store { va, size });
+    }
+
+    /// Convenience: record `count` non-memory instructions.
+    fn compute(&mut self, count: u32) {
+        if count > 0 {
+            self.event(TraceEvent::Compute { count });
+        }
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn event(&mut self, ev: TraceEvent) {
+        (**self).event(ev);
+    }
+}
+
+/// A replayable producer of trace events.
+///
+/// Recorded traces implement this; the simulator replays one source once
+/// per protection scheme, mirroring the paper's single-trace methodology.
+pub trait TraceSource {
+    /// Replay every event, in order, into `sink`.
+    fn replay(&self, sink: &mut dyn TraceSink);
+}
+
+/// An in-memory recorded trace.
+///
+/// Useful for tests and small experiments; large workloads should stream
+/// directly into the simulator instead (they are deterministic, so the
+/// "same trace" property is preserved by reseeding).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecordedTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl RecordedTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty trace with pre-allocated capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        RecordedTrace { events: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded events.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Iterates over the recorded events.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Consumes the trace, returning the raw event vector.
+    #[must_use]
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl TraceSink for RecordedTrace {
+    fn event(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+}
+
+impl TraceSource for RecordedTrace {
+    fn replay(&self, sink: &mut dyn TraceSink) {
+        for ev in &self.events {
+            sink.event(*ev);
+        }
+    }
+}
+
+impl FromIterator<TraceEvent> for RecordedTrace {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
+        RecordedTrace { events: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<TraceEvent> for RecordedTrace {
+    fn extend<I: IntoIterator<Item = TraceEvent>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a RecordedTrace {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl IntoIterator for RecordedTrace {
+    type Item = TraceEvent;
+    type IntoIter = std::vec::IntoIter<TraceEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+/// A sink that discards every event (baseline for generator benchmarks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl NullSink {
+    /// Creates a null sink.
+    #[must_use]
+    pub fn new() -> Self {
+        NullSink
+    }
+}
+
+impl TraceSink for NullSink {
+    fn event(&mut self, _ev: TraceEvent) {}
+}
+
+/// A sink that only counts events by kind (see [`EventCounts`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    counts: EventCounts,
+}
+
+impl CountingSink {
+    /// Creates a counting sink with all counters at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated counts.
+    #[must_use]
+    pub fn counts(&self) -> &EventCounts {
+        &self.counts
+    }
+
+    /// Consumes the sink, returning the counts.
+    #[must_use]
+    pub fn into_counts(self) -> EventCounts {
+        self.counts
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn event(&mut self, ev: TraceEvent) {
+        self.counts.observe(&ev);
+    }
+}
+
+/// A sink that duplicates every event into two child sinks.
+///
+/// Useful to simulate and record simultaneously, or to count while
+/// simulating.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TeeSink<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: TraceSink, B: TraceSink> TeeSink<A, B> {
+    /// Creates a tee over two sinks.
+    pub fn new(first: A, second: B) -> Self {
+        TeeSink { first, second }
+    }
+
+    /// Borrows the first child sink.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// Borrows the second child sink.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+
+    /// Consumes the tee, returning both child sinks.
+    pub fn into_inner(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn event(&mut self, ev: TraceEvent) {
+        self.first.event(ev);
+        self.second.event(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OpKind, Perm, PmoId};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Attach { pmo: PmoId::new(1), base: 0x1000, size: 4096, nvm: true },
+            TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadWrite },
+            TraceEvent::Load { va: 0x1000, size: 8 },
+            TraceEvent::Store { va: 0x1008, size: 8 },
+            TraceEvent::Compute { count: 12 },
+            TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::None },
+            TraceEvent::Op { kind: OpKind::End },
+        ]
+    }
+
+    #[test]
+    fn recorded_trace_roundtrip() {
+        let mut trace = RecordedTrace::new();
+        for ev in sample_events() {
+            trace.event(ev);
+        }
+        assert_eq!(trace.len(), 7);
+        assert!(!trace.is_empty());
+
+        let mut copy = RecordedTrace::new();
+        trace.replay(&mut copy);
+        assert_eq!(trace, copy);
+    }
+
+    #[test]
+    fn recorded_trace_from_iterator() {
+        let trace: RecordedTrace = sample_events().into_iter().collect();
+        assert_eq!(trace.events(), sample_events().as_slice());
+        let back: Vec<_> = trace.clone().into_iter().collect();
+        assert_eq!(back, sample_events());
+        assert_eq!((&trace).into_iter().count(), 7);
+    }
+
+    #[test]
+    fn convenience_methods_emit_events() {
+        let mut trace = RecordedTrace::new();
+        trace.load(0x10, 4);
+        trace.store(0x20, 8);
+        trace.compute(5);
+        trace.compute(0); // zero-count compute is elided
+        assert_eq!(
+            trace.events(),
+            &[
+                TraceEvent::Load { va: 0x10, size: 4 },
+                TraceEvent::Store { va: 0x20, size: 8 },
+                TraceEvent::Compute { count: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut sink = CountingSink::new();
+        for ev in sample_events() {
+            sink.event(ev);
+        }
+        let counts = sink.counts();
+        assert_eq!(counts.loads, 1);
+        assert_eq!(counts.stores, 1);
+        assert_eq!(counts.set_perms, 2);
+        assert_eq!(counts.attaches, 1);
+        assert_eq!(counts.computes, 12);
+        assert_eq!(counts.ops, 1);
+    }
+
+    #[test]
+    fn tee_duplicates() {
+        let mut tee = TeeSink::new(RecordedTrace::new(), CountingSink::new());
+        for ev in sample_events() {
+            tee.event(ev);
+        }
+        assert_eq!(tee.first().len(), 7);
+        assert_eq!(tee.second().counts().set_perms, 2);
+        let (rec, counter) = tee.into_inner();
+        assert_eq!(rec.len(), 7);
+        assert_eq!(counter.into_counts().loads, 1);
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut sink = NullSink::new();
+        for ev in sample_events() {
+            sink.event(ev);
+        }
+    }
+
+    #[test]
+    fn sink_works_through_mut_reference() {
+        fn fill(sink: &mut impl TraceSink) {
+            sink.load(0, 8);
+        }
+        let mut trace = RecordedTrace::new();
+        fill(&mut &mut trace);
+        assert_eq!(trace.len(), 1);
+    }
+}

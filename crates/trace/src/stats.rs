@@ -1,0 +1,251 @@
+//! Trace-level statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{PmoId, TraceEvent, TraceSink};
+
+/// Raw per-kind event counters (populated by
+/// [`CountingSink`](crate::CountingSink) or [`EventCounts::observe`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Total non-memory instructions (sum of `Compute.count`).
+    pub computes: u64,
+    /// Number of loads.
+    pub loads: u64,
+    /// Number of stores.
+    pub stores: u64,
+    /// Number of permission-switch instructions.
+    pub set_perms: u64,
+    /// Number of attach system calls.
+    pub attaches: u64,
+    /// Number of detach system calls.
+    pub detaches: u64,
+    /// Number of context switches.
+    pub thread_switches: u64,
+    /// Number of cache-line flushes to persistent memory.
+    pub flushes: u64,
+    /// Number of fences.
+    pub fences: u64,
+    /// Number of completed operations (`Op::End` markers).
+    pub ops: u64,
+}
+
+impl EventCounts {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Updates the counters for one event.
+    pub fn observe(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Compute { count } => self.computes += u64::from(*count),
+            TraceEvent::Load { .. } => self.loads += 1,
+            TraceEvent::Store { .. } => self.stores += 1,
+            TraceEvent::SetPerm { .. } => self.set_perms += 1,
+            TraceEvent::Attach { .. } => self.attaches += 1,
+            TraceEvent::Detach { .. } => self.detaches += 1,
+            TraceEvent::ThreadSwitch { .. } => self.thread_switches += 1,
+            TraceEvent::Flush { .. } => self.flushes += 1,
+            TraceEvent::Fence => self.fences += 1,
+            TraceEvent::Op { kind } => {
+                if matches!(kind, crate::OpKind::End) {
+                    self.ops += 1;
+                }
+            }
+        }
+    }
+
+    /// Total retired instructions represented by the counted events.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.computes + self.memory_accesses() + self.set_perms + self.flushes + self.fences
+    }
+
+    /// Loads plus stores.
+    #[must_use]
+    pub fn memory_accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+impl fmt::Display for EventCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instr ({} compute, {} ld, {} st, {} setperm, {} clwb, {} fence), \
+             {} ops, {} attach/{} detach, {} ctx-switches",
+            self.instructions(),
+            self.computes,
+            self.loads,
+            self.stores,
+            self.set_perms,
+            self.flushes,
+            self.fences,
+            self.ops,
+            self.attaches,
+            self.detaches,
+            self.thread_switches,
+        )
+    }
+}
+
+/// Richer trace statistics: event counts plus the per-PMO attach map and
+/// per-PMO access counts (an access is attributed to a PMO when its address
+/// falls inside the PMO's attached range).
+///
+/// This sink is how experiments derive "switches per second" and PMO-access
+/// rates without storing the trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceStats {
+    counts: EventCounts,
+    regions: BTreeMap<u64, (u64, PmoId)>, // base -> (end, pmo)
+    per_pmo_accesses: BTreeMap<PmoId, u64>,
+    pmo_loads: u64,
+    pmo_stores: u64,
+}
+
+impl TraceStats {
+    /// Creates empty statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The raw event counters.
+    #[must_use]
+    pub fn counts(&self) -> &EventCounts {
+        &self.counts
+    }
+
+    /// Loads that hit an attached PMO region.
+    #[must_use]
+    pub fn pmo_loads(&self) -> u64 {
+        self.pmo_loads
+    }
+
+    /// Stores that hit an attached PMO region.
+    #[must_use]
+    pub fn pmo_stores(&self) -> u64 {
+        self.pmo_stores
+    }
+
+    /// Total accesses (loads + stores) that hit attached PMO regions.
+    #[must_use]
+    pub fn pmo_accesses(&self) -> u64 {
+        self.pmo_loads + self.pmo_stores
+    }
+
+    /// Accesses attributed to one PMO (0 if never accessed / unknown).
+    #[must_use]
+    pub fn accesses_for(&self, pmo: PmoId) -> u64 {
+        self.per_pmo_accesses.get(&pmo).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct PMOs that were accessed at least once.
+    #[must_use]
+    pub fn touched_pmos(&self) -> usize {
+        self.per_pmo_accesses.len()
+    }
+
+    fn lookup(&self, va: u64) -> Option<PmoId> {
+        let (_, (end, pmo)) = self.regions.range(..=va).next_back()?;
+        (va < *end).then_some(*pmo)
+    }
+
+    fn observe_access(&mut self, va: u64, is_store: bool) {
+        if let Some(pmo) = self.lookup(va) {
+            *self.per_pmo_accesses.entry(pmo).or_insert(0) += 1;
+            if is_store {
+                self.pmo_stores += 1;
+            } else {
+                self.pmo_loads += 1;
+            }
+        }
+    }
+}
+
+impl TraceSink for TraceStats {
+    fn event(&mut self, ev: TraceEvent) {
+        self.counts.observe(&ev);
+        match ev {
+            TraceEvent::Attach { pmo, base, size, .. } => {
+                self.regions.insert(base, (base + size, pmo));
+            }
+            TraceEvent::Detach { pmo } => {
+                self.regions.retain(|_, (_, p)| *p != pmo);
+            }
+            TraceEvent::Load { va, .. } => self.observe_access(va, false),
+            TraceEvent::Store { va, .. } => self.observe_access(va, true),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Perm;
+
+    #[test]
+    fn attributes_accesses_to_regions() {
+        let mut stats = TraceStats::new();
+        stats.event(TraceEvent::Attach { pmo: PmoId::new(1), base: 0x1000, size: 0x1000, nvm: true });
+        stats.event(TraceEvent::Attach { pmo: PmoId::new(2), base: 0x4000, size: 0x1000, nvm: true });
+        stats.load(0x1004, 8); // pmo 1
+        stats.store(0x4ff8, 8); // pmo 2
+        stats.load(0x9000, 8); // outside
+        assert_eq!(stats.pmo_loads(), 1);
+        assert_eq!(stats.pmo_stores(), 1);
+        assert_eq!(stats.pmo_accesses(), 2);
+        assert_eq!(stats.accesses_for(PmoId::new(1)), 1);
+        assert_eq!(stats.accesses_for(PmoId::new(2)), 1);
+        assert_eq!(stats.touched_pmos(), 2);
+        assert_eq!(stats.counts().loads, 2);
+    }
+
+    #[test]
+    fn detach_stops_attribution() {
+        let mut stats = TraceStats::new();
+        stats.event(TraceEvent::Attach { pmo: PmoId::new(1), base: 0x1000, size: 0x1000, nvm: true });
+        stats.load(0x1000, 8);
+        stats.event(TraceEvent::Detach { pmo: PmoId::new(1) });
+        stats.load(0x1000, 8);
+        assert_eq!(stats.accesses_for(PmoId::new(1)), 1);
+        assert_eq!(stats.counts().loads, 2);
+    }
+
+    #[test]
+    fn boundary_addresses() {
+        let mut stats = TraceStats::new();
+        stats.event(TraceEvent::Attach { pmo: PmoId::new(3), base: 0x2000, size: 0x100, nvm: false });
+        stats.load(0x1fff, 1); // one byte before
+        stats.load(0x2000, 1); // first byte
+        stats.load(0x20ff, 1); // last byte
+        stats.load(0x2100, 1); // one past the end
+        assert_eq!(stats.accesses_for(PmoId::new(3)), 2);
+    }
+
+    #[test]
+    fn instruction_totals() {
+        let mut counts = EventCounts::new();
+        counts.observe(&TraceEvent::Compute { count: 10 });
+        counts.observe(&TraceEvent::Load { va: 0, size: 8 });
+        counts.observe(&TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadOnly });
+        counts.observe(&TraceEvent::Fence);
+        counts.observe(&TraceEvent::Flush { va: 0x40 });
+        assert_eq!(counts.instructions(), 14);
+        assert_eq!(counts.memory_accesses(), 1);
+        assert!(!format!("{counts}").is_empty());
+    }
+
+    #[test]
+    fn op_end_counts_ops() {
+        let mut counts = EventCounts::new();
+        counts.observe(&TraceEvent::Op { kind: crate::OpKind::Begin });
+        counts.observe(&TraceEvent::Op { kind: crate::OpKind::End });
+        assert_eq!(counts.ops, 1);
+    }
+}

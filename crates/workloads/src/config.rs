@@ -1,0 +1,156 @@
+//! Workload configurations (paper Tables III and IV).
+
+/// Configuration of the multi-PMO microbenchmarks (Table IV / §V).
+///
+/// The paper's full scale is 1024 PMOs x 8MB, 1K initial nodes each, and
+/// 1M operations (90% inserts). [`MicroConfig::paper`] reproduces that;
+/// [`MicroConfig::default`] is a scaled-down configuration sized for quick
+/// runs and CI, preserving every structural property (PMO size and
+/// granule, per-op permission protocol, 90/10 op mix).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MicroConfig {
+    /// Total PMOs attached (the x-axis of Figure 6 varies the *active*
+    /// subset).
+    pub pmos: u32,
+    /// PMOs actively used by operations (<= `pmos`).
+    pub active_pmos: u32,
+    /// Size of each PMO in bytes (8MB in the paper -> 1GB VA granule).
+    pub pmo_bytes: u64,
+    /// Initial elements inserted into each active PMO's structure.
+    pub initial_nodes: u32,
+    /// Operations executed after population.
+    pub ops: u64,
+    /// Percentage of operations that are inserts (the rest delete).
+    pub insert_pct: u8,
+    /// Value payload carried by each element (64 bytes in the paper).
+    pub value_bytes: u32,
+    /// RNG seed (workloads are deterministic given the config).
+    pub seed: u64,
+}
+
+impl MicroConfig {
+    /// The paper's full-scale configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        MicroConfig {
+            pmos: 1024,
+            active_pmos: 1024,
+            pmo_bytes: 8 << 20,
+            initial_nodes: 1024,
+            ops: 1_000_000,
+            insert_pct: 90,
+            value_bytes: 64,
+            seed: 0x15ca_2020,
+        }
+    }
+
+    /// A scaled-down configuration for fast runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        MicroConfig {
+            pmos: 64,
+            active_pmos: 64,
+            initial_nodes: 32,
+            ops: 4_000,
+            ..Self::paper()
+        }
+    }
+
+    /// Returns a copy with a different active-PMO count (Figure 6 sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active > self.pmos`.
+    #[must_use]
+    pub fn with_active_pmos(mut self, active: u32) -> Self {
+        assert!(active <= self.pmos, "active PMOs cannot exceed attached PMOs");
+        self.active_pmos = active;
+        self
+    }
+}
+
+impl Default for MicroConfig {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// Configuration of the WHISPER-like single-PMO benchmarks (Table III).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WhisperConfig {
+    /// Transactions / operations to execute.
+    pub txns: u64,
+    /// PMO size in bytes (2GB in the paper).
+    pub pmo_bytes: u64,
+    /// Whether to wrap *every individual PMO access* in an enable/disable
+    /// permission pair. When false (default), one enable/disable pair
+    /// brackets each transaction instead — which is what reproduces the
+    /// paper's Table V switch rates (~1M/s) and 1-3% overheads; bracketing
+    /// every load/store would push the switch rate two orders of magnitude
+    /// past the reported rates.
+    pub per_access_guard: bool,
+    /// Number of distinct keys/records the benchmark works over.
+    pub records: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WhisperConfig {
+    /// The paper's configuration: 100k transactions on a 2GB PMO
+    /// (1M operations for Redis), per-transaction permission switching.
+    #[must_use]
+    pub fn paper() -> Self {
+        WhisperConfig {
+            txns: 100_000,
+            pmo_bytes: 2 << 30,
+            per_access_guard: false,
+            records: 65_536,
+            seed: 0x15ca_2020,
+        }
+    }
+
+    /// A scaled-down configuration for fast runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        WhisperConfig { txns: 5_000, records: 4096, ..Self::paper() }
+    }
+}
+
+impl Default for WhisperConfig {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scales_match_evaluation_section() {
+        let m = MicroConfig::paper();
+        assert_eq!(m.pmos, 1024);
+        assert_eq!(m.pmo_bytes, 8 << 20);
+        assert_eq!(m.initial_nodes, 1024);
+        assert_eq!(m.ops, 1_000_000);
+        assert_eq!(m.insert_pct, 90);
+        assert_eq!(m.value_bytes, 64);
+        let w = WhisperConfig::paper();
+        assert_eq!(w.txns, 100_000);
+        assert_eq!(w.pmo_bytes, 2 << 30);
+        assert!(!w.per_access_guard, "per-txn switching reproduces Table V rates");
+    }
+
+    #[test]
+    fn active_pmo_sweep() {
+        let m = MicroConfig::paper().with_active_pmos(16);
+        assert_eq!(m.active_pmos, 16);
+        assert_eq!(m.pmos, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn active_beyond_total_panics() {
+        let _ = MicroConfig::quick().with_active_pmos(10_000);
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-access permission instrumentation (the paper's Table V protocol).
+//!
+//! "We insert `pkey_set`/WRPKRU before and after every PMO access to
+//! enable or disable the access" (§V). This sink adapter watches the
+//! attach/detach events flowing through it and wraps every load/store that
+//! lands in an attached PMO region with an enable/disable SETPERM pair.
+
+use pmo_trace::{Perm, PmoId, TraceEvent, TraceSink, Va};
+
+/// Sink adapter injecting per-access permission switches.
+#[derive(Debug)]
+pub struct PerAccessGuard<S> {
+    inner: S,
+    regions: Vec<(Va, Va, PmoId)>,
+}
+
+impl<S: TraceSink> PerAccessGuard<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> Self {
+        PerAccessGuard { inner, regions: Vec::new() }
+    }
+
+    /// Wraps `inner` with a pre-known region list (for resuming guarding
+    /// in a later workload phase, after the attach events already flowed).
+    pub fn with_regions(inner: S, regions: Vec<(Va, Va, PmoId)>) -> Self {
+        PerAccessGuard { inner, regions }
+    }
+
+    /// Unwraps the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Unwraps into the inner sink and the learned region list.
+    pub fn into_parts(self) -> (S, Vec<(Va, Va, PmoId)>) {
+        (self.inner, self.regions)
+    }
+
+    fn pmo_at(&self, va: Va) -> Option<PmoId> {
+        self.regions
+            .iter()
+            .find(|(base, end, _)| va >= *base && va < *end)
+            .map(|(_, _, pmo)| *pmo)
+    }
+}
+
+impl<S: TraceSink> TraceSink for PerAccessGuard<S> {
+    fn event(&mut self, ev: TraceEvent) {
+        match ev {
+            TraceEvent::Attach { pmo, base, size, .. } => {
+                self.regions.push((base, base + size, pmo));
+                self.inner.event(ev);
+            }
+            TraceEvent::Detach { pmo } => {
+                self.regions.retain(|(_, _, p)| *p != pmo);
+                self.inner.event(ev);
+            }
+            TraceEvent::Load { va, .. } | TraceEvent::Store { va, .. } => {
+                match self.pmo_at(va) {
+                    Some(pmo) => {
+                        let perm = if matches!(ev, TraceEvent::Store { .. }) {
+                            Perm::ReadWrite
+                        } else {
+                            Perm::ReadOnly
+                        };
+                        self.inner.event(TraceEvent::SetPerm { pmo, perm });
+                        self.inner.event(ev);
+                        self.inner.event(TraceEvent::SetPerm { pmo, perm: Perm::None });
+                    }
+                    None => self.inner.event(ev),
+                }
+            }
+            other => self.inner.event(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmo_trace::RecordedTrace;
+
+    #[test]
+    fn wraps_pmo_accesses_only() {
+        let mut guard = PerAccessGuard::new(RecordedTrace::new());
+        guard.event(TraceEvent::Attach { pmo: PmoId::new(1), base: 0x1000, size: 0x1000, nvm: true });
+        guard.load(0x1008, 8); // inside: wrapped
+        guard.store(0x9000, 8); // outside: passed through
+        let trace = guard.into_inner();
+        let events = trace.events();
+        assert_eq!(events.len(), 5);
+        assert!(matches!(
+            events[1],
+            TraceEvent::SetPerm { perm: Perm::ReadOnly, .. }
+        ));
+        assert!(matches!(events[2], TraceEvent::Load { va: 0x1008, .. }));
+        assert!(matches!(events[3], TraceEvent::SetPerm { perm: Perm::None, .. }));
+        assert!(matches!(events[4], TraceEvent::Store { va: 0x9000, .. }));
+    }
+
+    #[test]
+    fn stores_get_readwrite() {
+        let mut guard = PerAccessGuard::new(RecordedTrace::new());
+        guard.event(TraceEvent::Attach { pmo: PmoId::new(1), base: 0x1000, size: 0x1000, nvm: true });
+        guard.store(0x1000, 8);
+        let trace = guard.into_inner();
+        assert!(matches!(
+            trace.events()[1],
+            TraceEvent::SetPerm { perm: Perm::ReadWrite, .. }
+        ));
+    }
+
+    #[test]
+    fn detach_stops_wrapping() {
+        let mut guard = PerAccessGuard::new(RecordedTrace::new());
+        guard.event(TraceEvent::Attach { pmo: PmoId::new(1), base: 0x1000, size: 0x1000, nvm: true });
+        guard.event(TraceEvent::Detach { pmo: PmoId::new(1) });
+        guard.load(0x1000, 8);
+        let trace = guard.into_inner();
+        assert_eq!(trace.len(), 3, "no SetPerm injected after detach");
+    }
+
+    #[test]
+    fn other_events_pass_through() {
+        let mut guard = PerAccessGuard::new(RecordedTrace::new());
+        guard.compute(5);
+        guard.event(TraceEvent::Fence);
+        assert_eq!(guard.into_inner().len(), 2);
+    }
+}

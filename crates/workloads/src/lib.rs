@@ -1,0 +1,62 @@
+//! Benchmark workloads for the PMO domain-virtualization reproduction.
+//!
+//! Two families, matching the paper's evaluation (§V):
+//!
+//! - [`WhisperWorkload`]: WHISPER-like single-PMO applications (Echo,
+//!   YCSB, TPCC, C-tree, Hashmap, Redis; Table III) with per-transaction
+//!   permission switching — used for Table V;
+//! - [`MicroWorkload`]: multi-PMO microbenchmarks (AVL, RB-tree, B+tree,
+//!   linked list, string swap; Table IV) over up to 1024 PMOs with
+//!   per-operation permission switching — used for Tables VI/VII and
+//!   Figures 6/7.
+//!
+//! All workloads execute *functionally* on [`pmo_runtime`] (real persistent
+//! data structures, real bytes) and stream their instruction/memory trace
+//! into any [`pmo_trace::TraceSink`] — typically a `pmo_sim::Replay`. They
+//! are deterministic for a given configuration, which is how the paper's
+//! one-trace-many-schemes methodology is reproduced without storing
+//! multi-million-event traces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod guard;
+mod micro;
+mod server;
+pub mod structs;
+mod whisper;
+mod zipf;
+
+pub use config::{MicroConfig, WhisperConfig};
+pub use guard::PerAccessGuard;
+pub use micro::{MicroBench, MicroWorkload};
+pub use server::{ServerConfig, ServerWorkload};
+pub use whisper::{WhisperBench, WhisperWorkload};
+pub use zipf::Zipf;
+
+use pmo_trace::TraceSink;
+
+/// A two-phase benchmark: `setup` attaches PMOs and populates structures,
+/// `run` executes the measured operations. Experiments snapshot the
+/// simulator between the phases to window their measurements.
+pub trait Workload {
+    /// Human-readable instance name (e.g. `"AVL-1024pmo"`).
+    fn name(&self) -> String;
+
+    /// Attach PMOs, create and populate structures.
+    fn setup(&mut self, sink: &mut dyn TraceSink);
+
+    /// Execute the measured operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Workload::setup`].
+    fn run(&mut self, sink: &mut dyn TraceSink);
+
+    /// Convenience: setup followed by run.
+    fn generate(&mut self, sink: &mut dyn TraceSink) {
+        self.setup(sink);
+        self.run(sink);
+    }
+}

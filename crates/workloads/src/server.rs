@@ -1,0 +1,192 @@
+//! A multi-threaded server workload: the paper's motivating scenario
+//! (§I/§IV.B) as a benchmark.
+//!
+//! One handler thread per client, one PMO per client holding that
+//! client's key-value data. Requests arrive round-robin; the core context
+//! switches between handler threads every `quantum` requests, which
+//! exercises exactly the state the two designs must flush on a switch
+//! (PKRU + DTTLB for design 1, PTLB — but *not* the TLB — for design 2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pmo_runtime::{Mode, PmRuntime};
+use pmo_trace::{OpKind, Perm, PmoId, ThreadId, TraceEvent, TraceSink};
+
+use crate::structs::{KeyedStructure, PersistentHashmap};
+use crate::Workload;
+
+/// Configuration of the server workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Clients (= handler threads = PMOs).
+    pub clients: u32,
+    /// Total requests served.
+    pub requests: u64,
+    /// Requests served before the core switches to another handler.
+    pub quantum: u32,
+    /// Key-value pairs pre-loaded per client.
+    pub initial_records: u32,
+    /// Size of each client's PMO.
+    pub pmo_bytes: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            clients: 32,
+            requests: 4_000,
+            quantum: 4,
+            initial_records: 64,
+            pmo_bytes: 8 << 20,
+            seed: 0x5e7e,
+        }
+    }
+}
+
+struct ServerState {
+    rt: PmRuntime,
+    pools: Vec<PmoId>,
+    maps: Vec<PersistentHashmap>,
+    rng: StdRng,
+}
+
+/// The multi-threaded per-client-PMO server workload.
+pub struct ServerWorkload {
+    config: ServerConfig,
+    state: Option<ServerState>,
+}
+
+impl ServerWorkload {
+    /// Creates the workload.
+    #[must_use]
+    pub fn new(config: ServerConfig) -> Self {
+        ServerWorkload { config, state: None }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+}
+
+impl Workload for ServerWorkload {
+    fn name(&self) -> String {
+        format!("server-{}clients-q{}", self.config.clients, self.config.quantum)
+    }
+
+    fn setup(&mut self, sink: &mut dyn TraceSink) {
+        let cfg = &self.config;
+        let mut rt = PmRuntime::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut pools = Vec::with_capacity(cfg.clients as usize);
+        let mut maps = Vec::with_capacity(cfg.clients as usize);
+        for client in 0..cfg.clients {
+            let pool = rt
+                .pool_create(&format!("client-{client:03}"), cfg.pmo_bytes, Mode::private(), sink)
+                .expect("pool");
+            pools.push(pool);
+        }
+        // Each handler thread populates its own client's store inside its
+        // own permission window — other threads never gain access.
+        for (client, &pool) in pools.iter().enumerate() {
+            sink.event(TraceEvent::ThreadSwitch { thread: ThreadId::new(client as u32) });
+            sink.event(TraceEvent::SetPerm { pmo: pool, perm: Perm::ReadWrite });
+            let mut map =
+                PersistentHashmap::with_buckets(&mut rt, pool, 256, 64, sink).expect("map");
+            for _ in 0..cfg.initial_records {
+                map.insert(&mut rt, rng.gen(), sink).expect("insert");
+            }
+            sink.event(TraceEvent::SetPerm { pmo: pool, perm: Perm::ReadOnly });
+            maps.push(map);
+        }
+        self.state = Some(ServerState { rt, pools, maps, rng });
+    }
+
+    fn run(&mut self, sink: &mut dyn TraceSink) {
+        let cfg = self.config.clone();
+        let state = self.state.as_mut().expect("setup() must run before run()");
+        let mut current: u32 = u32::MAX;
+        for request in 0..cfg.requests {
+            // Scheduler: rotate handler threads every `quantum` requests.
+            let handler = (request / u64::from(cfg.quantum)) as u32 % cfg.clients;
+            if handler != current {
+                sink.event(TraceEvent::ThreadSwitch { thread: ThreadId::new(handler) });
+                current = handler;
+            }
+            let idx = handler as usize;
+            let pool = state.pools[idx];
+            sink.event(TraceEvent::SetPerm { pmo: pool, perm: Perm::ReadWrite });
+            sink.event(TraceEvent::Op { kind: OpKind::Begin });
+            // The request: one put or get on the client's own store.
+            if state.rng.gen_bool(0.5) {
+                let key = state.rng.gen();
+                state.maps[idx].insert(&mut state.rt, key, sink).expect("put");
+            } else {
+                let key = state.rng.gen();
+                let _ = state.maps[idx].contains(&mut state.rt, key, sink).expect("get");
+            }
+            sink.event(TraceEvent::Op { kind: OpKind::End });
+            sink.event(TraceEvent::SetPerm { pmo: pool, perm: Perm::ReadOnly });
+            sink.compute(2_000); // request parsing / response formatting
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmo_trace::TraceStats;
+
+    fn tiny() -> ServerWorkload {
+        ServerWorkload::new(ServerConfig {
+            clients: 6,
+            requests: 120,
+            quantum: 5,
+            initial_records: 8,
+            pmo_bytes: 1 << 20,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn generates_multithreaded_trace() {
+        let mut w = tiny();
+        let mut stats = TraceStats::new();
+        w.setup(&mut stats);
+        w.run(&mut stats);
+        let c = stats.counts();
+        assert_eq!(c.attaches, 6);
+        assert_eq!(c.ops, 120);
+        assert!(c.thread_switches >= 120 / 5, "quantum-driven switches");
+        assert_eq!(stats.touched_pmos(), 6);
+    }
+
+    #[test]
+    fn quantum_controls_switch_count() {
+        let switches = |quantum: u32| {
+            let mut w = tiny();
+            w.config.quantum = quantum;
+            let mut stats = TraceStats::new();
+            w.setup(&mut stats);
+            w.run(&mut stats);
+            stats.counts().thread_switches
+        };
+        assert!(switches(1) > switches(30));
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut w = tiny();
+            let mut t = pmo_trace::RecordedTrace::new();
+            w.setup(&mut t);
+            w.run(&mut t);
+            t
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,402 @@
+//! A persistent AVL tree (Table IV's "AVL Tree").
+//!
+//! Nodes live in pool storage; child links are OIDs. Inserts rebalance
+//! with single/double rotations along the insertion path; deletes unlink
+//! BST-style without rebalancing (see the module docs of
+//! [`crate::structs`]).
+
+use pmo_runtime::{Oid, PmRuntime, Result};
+use pmo_trace::{PmoId, TraceSink};
+
+use super::{value_for, KeyedStructure};
+
+// Node layout.
+const KEY: u32 = 0;
+const LEFT: u32 = 8;
+const RIGHT: u32 = 16;
+const HEIGHT: u32 = 24;
+const VALUE: u32 = 32;
+
+// Root-object layout.
+const ROOT_PTR: u32 = 0;
+const COUNT: u32 = 8;
+const ROOT_OBJ_SIZE: u64 = 16;
+
+/// A persistent AVL tree.
+#[derive(Debug)]
+pub struct AvlTree {
+    pool: PmoId,
+    meta: Oid,
+    root: Oid,
+    count: u64,
+    value_bytes: u32,
+}
+
+impl AvlTree {
+    fn node_size(&self) -> u64 {
+        u64::from(VALUE) + u64::from(self.value_bytes)
+    }
+
+    fn height(&self, rt: &mut PmRuntime, node: Oid, sink: &mut dyn TraceSink) -> Result<u64> {
+        if node.is_null() {
+            return Ok(0);
+        }
+        rt.read_u64(node, HEIGHT, sink)
+    }
+
+    fn child(
+        &self,
+        rt: &mut PmRuntime,
+        node: Oid,
+        right: bool,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Oid> {
+        rt.read_oid(node, if right { RIGHT } else { LEFT }, sink)
+    }
+
+    fn set_child(
+        &self,
+        rt: &mut PmRuntime,
+        node: Oid,
+        right: bool,
+        to: Oid,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        rt.write_oid(node, if right { RIGHT } else { LEFT }, to, sink)
+    }
+
+    fn update_height(&self, rt: &mut PmRuntime, node: Oid, sink: &mut dyn TraceSink) -> Result<u64> {
+        let l = self.child(rt, node, false, sink)?;
+        let r = self.child(rt, node, true, sink)?;
+        let h = 1 + self.height(rt, l, sink)?.max(self.height(rt, r, sink)?);
+        rt.write_u64(node, HEIGHT, h, sink)?;
+        Ok(h)
+    }
+
+    fn balance_factor(&self, rt: &mut PmRuntime, node: Oid, sink: &mut dyn TraceSink) -> Result<i64> {
+        let l = self.child(rt, node, false, sink)?;
+        let r = self.child(rt, node, true, sink)?;
+        Ok(self.height(rt, l, sink)? as i64 - self.height(rt, r, sink)? as i64)
+    }
+
+    /// Rotates `node` left (right child becomes subtree root); returns the
+    /// new subtree root.
+    fn rotate(
+        &self,
+        rt: &mut PmRuntime,
+        node: Oid,
+        left_rotation: bool,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Oid> {
+        sink.compute(12);
+        let pivot = self.child(rt, node, left_rotation, sink)?;
+        let transfer = self.child(rt, pivot, !left_rotation, sink)?;
+        self.set_child(rt, node, left_rotation, transfer, sink)?;
+        self.set_child(rt, pivot, !left_rotation, node, sink)?;
+        self.update_height(rt, node, sink)?;
+        self.update_height(rt, pivot, sink)?;
+        rt.persist(node, 0, u64::from(VALUE), sink)?;
+        rt.persist(pivot, 0, u64::from(VALUE), sink)?;
+        Ok(pivot)
+    }
+
+    /// Rebalances `node` if needed; returns the subtree root.
+    fn rebalance(&self, rt: &mut PmRuntime, node: Oid, sink: &mut dyn TraceSink) -> Result<Oid> {
+        self.update_height(rt, node, sink)?;
+        let bf = self.balance_factor(rt, node, sink)?;
+        sink.compute(6);
+        if bf > 1 {
+            // Left-heavy.
+            let left = self.child(rt, node, false, sink)?;
+            if self.balance_factor(rt, left, sink)? < 0 {
+                let new_left = self.rotate(rt, left, true, sink)?;
+                self.set_child(rt, node, false, new_left, sink)?;
+            }
+            return self.rotate(rt, node, false, sink);
+        }
+        if bf < -1 {
+            // Right-heavy.
+            let right = self.child(rt, node, true, sink)?;
+            if self.balance_factor(rt, right, sink)? > 0 {
+                let new_right = self.rotate(rt, right, false, sink)?;
+                self.set_child(rt, node, true, new_right, sink)?;
+            }
+            return self.rotate(rt, node, true, sink);
+        }
+        Ok(node)
+    }
+
+    fn set_root(&mut self, rt: &mut PmRuntime, root: Oid, sink: &mut dyn TraceSink) -> Result<()> {
+        self.root = root;
+        rt.write_oid(self.meta, ROOT_PTR, root, sink)?;
+        rt.persist(self.meta, ROOT_PTR, 8, sink)
+    }
+
+    fn bump_count(&mut self, rt: &mut PmRuntime, delta: i64, sink: &mut dyn TraceSink) -> Result<()> {
+        self.count = self.count.wrapping_add_signed(delta);
+        rt.write_u64(self.meta, COUNT, self.count, sink)
+    }
+
+    /// In-order keys (test/diagnostic helper).
+    pub fn keys_in_order(&self, rt: &mut PmRuntime, sink: &mut dyn TraceSink) -> Result<Vec<u64>> {
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while !cur.is_null() || !stack.is_empty() {
+            while !cur.is_null() {
+                stack.push(cur);
+                cur = self.child(rt, cur, false, sink)?;
+            }
+            let node = stack.pop().expect("stack non-empty");
+            out.push(rt.read_u64(node, KEY, sink)?);
+            cur = self.child(rt, node, true, sink)?;
+        }
+        Ok(out)
+    }
+
+    /// Verifies the AVL balance invariant on the insert-only tree; returns
+    /// the tree height.
+    pub fn check_balance(&self, rt: &mut PmRuntime, sink: &mut dyn TraceSink) -> Result<u64> {
+        fn walk(
+            tree: &AvlTree,
+            rt: &mut PmRuntime,
+            node: Oid,
+            sink: &mut dyn TraceSink,
+        ) -> Result<u64> {
+            if node.is_null() {
+                return Ok(0);
+            }
+            let l = tree.child(rt, node, false, sink)?;
+            let r = tree.child(rt, node, true, sink)?;
+            let hl = walk(tree, rt, l, sink)?;
+            let hr = walk(tree, rt, r, sink)?;
+            assert!(
+                hl.abs_diff(hr) <= 1,
+                "AVL balance violated at key {}",
+                rt.read_u64(node, KEY, sink)?
+            );
+            Ok(1 + hl.max(hr))
+        }
+        walk(self, rt, self.root, sink)
+    }
+}
+
+impl KeyedStructure for AvlTree {
+    fn create(
+        rt: &mut PmRuntime,
+        pool: PmoId,
+        value_bytes: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Self> {
+        let meta = rt.pool_root(pool, ROOT_OBJ_SIZE, sink)?;
+        let root = rt.read_oid(meta, ROOT_PTR, sink)?;
+        let count = rt.read_u64(meta, COUNT, sink)?;
+        Ok(AvlTree { pool, meta, root, count, value_bytes })
+    }
+
+    fn insert(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<()> {
+        // Descend, recording the path.
+        let mut path: Vec<(Oid, bool)> = Vec::new(); // (node, went_right)
+        let mut cur = self.root;
+        while !cur.is_null() {
+            let k = rt.read_u64(cur, KEY, sink)?;
+            sink.compute(4);
+            if key == k {
+                // Overwrite the value in place.
+                let value = value_for(key, self.value_bytes);
+                rt.write_bytes(cur, VALUE, &value, sink)?;
+                rt.persist(cur, VALUE, u64::from(self.value_bytes), sink)?;
+                return Ok(());
+            }
+            let right = key > k;
+            path.push((cur, right));
+            cur = self.child(rt, cur, right, sink)?;
+        }
+        // Allocate and initialize the new leaf.
+        let node = rt.pmalloc(self.pool, self.node_size(), sink)?;
+        rt.write_u64(node, KEY, key, sink)?;
+        rt.write_oid(node, LEFT, Oid::NULL, sink)?;
+        rt.write_oid(node, RIGHT, Oid::NULL, sink)?;
+        rt.write_u64(node, HEIGHT, 1, sink)?;
+        let value = value_for(key, self.value_bytes);
+        rt.write_bytes(node, VALUE, &value, sink)?;
+        rt.persist(node, 0, self.node_size(), sink)?;
+        // Link and rebalance up the path.
+        match path.last().copied() {
+            None => self.set_root(rt, node, sink)?,
+            Some((parent, right)) => {
+                self.set_child(rt, parent, right, node, sink)?;
+                rt.persist(parent, 0, u64::from(VALUE), sink)?;
+                for i in (0..path.len()).rev() {
+                    let (n, _) = path[i];
+                    let new_subroot = self.rebalance(rt, n, sink)?;
+                    if new_subroot != n {
+                        // Reattach the rotated subtree to its parent.
+                        match i.checked_sub(1) {
+                            Some(j) => {
+                                let (p, went_right) = path[j];
+                                self.set_child(rt, p, went_right, new_subroot, sink)?;
+                                rt.persist(p, 0, u64::from(VALUE), sink)?;
+                            }
+                            None => self.set_root(rt, new_subroot, sink)?,
+                        }
+                    }
+                }
+            }
+        }
+        self.bump_count(rt, 1, sink)?;
+        Ok(())
+    }
+
+    fn remove(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<bool> {
+        // Find the node and its parent.
+        let mut parent: Option<(Oid, bool)> = None;
+        let mut cur = self.root;
+        while !cur.is_null() {
+            let k = rt.read_u64(cur, KEY, sink)?;
+            sink.compute(4);
+            if key == k {
+                break;
+            }
+            let right = key > k;
+            parent = Some((cur, right));
+            cur = self.child(rt, cur, right, sink)?;
+        }
+        if cur.is_null() {
+            return Ok(false);
+        }
+        let left = self.child(rt, cur, false, sink)?;
+        let right = self.child(rt, cur, true, sink)?;
+        let replacement = if left.is_null() {
+            right
+        } else if right.is_null() {
+            left
+        } else {
+            // Two children: splice out the in-order successor and copy its
+            // key and value into `cur`.
+            let mut succ_parent = cur;
+            let mut succ = right;
+            let mut went_right = true;
+            loop {
+                let next = self.child(rt, succ, false, sink)?;
+                if next.is_null() {
+                    break;
+                }
+                succ_parent = succ;
+                succ = next;
+                went_right = false;
+            }
+            let succ_key = rt.read_u64(succ, KEY, sink)?;
+            let mut value = vec![0u8; self.value_bytes as usize];
+            rt.read_bytes(succ, VALUE, &mut value, sink)?;
+            rt.write_u64(cur, KEY, succ_key, sink)?;
+            rt.write_bytes(cur, VALUE, &value, sink)?;
+            rt.persist(cur, 0, self.node_size(), sink)?;
+            let succ_right = self.child(rt, succ, true, sink)?;
+            self.set_child(rt, succ_parent, went_right, succ_right, sink)?;
+            rt.persist(succ_parent, 0, u64::from(VALUE), sink)?;
+            rt.pfree(succ, sink)?;
+            self.bump_count(rt, -1, sink)?;
+            return Ok(true);
+        };
+        match parent {
+            None => self.set_root(rt, replacement, sink)?,
+            Some((p, went_right)) => {
+                self.set_child(rt, p, went_right, replacement, sink)?;
+                rt.persist(p, 0, u64::from(VALUE), sink)?;
+            }
+        }
+        rt.pfree(cur, sink)?;
+        self.bump_count(rt, -1, sink)?;
+        Ok(true)
+    }
+
+    fn contains(
+        &mut self,
+        rt: &mut PmRuntime,
+        key: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<bool> {
+        let mut cur = self.root;
+        while !cur.is_null() {
+            let k = rt.read_u64(cur, KEY, sink)?;
+            sink.compute(4);
+            if key == k {
+                return Ok(true);
+            }
+            cur = self.child(rt, cur, key > k, sink)?;
+        }
+        Ok(false)
+    }
+
+    fn len(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+    use pmo_trace::NullSink;
+
+    #[test]
+    fn contract() {
+        testutil::exercise_contract::<AvlTree>();
+    }
+
+    #[test]
+    fn persistence() {
+        testutil::exercise_persistence::<AvlTree>();
+    }
+
+    #[test]
+    fn tracing() {
+        testutil::exercise_tracing::<AvlTree>();
+    }
+
+    #[test]
+    fn stays_balanced_under_sequential_inserts() {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut tree = AvlTree::create(&mut rt, pool, 64, &mut sink).unwrap();
+        // Sequential keys are the worst case for an unbalanced BST.
+        for k in 0..512u64 {
+            tree.insert(&mut rt, k, &mut sink).unwrap();
+        }
+        let height = tree.check_balance(&mut rt, &mut sink).unwrap();
+        assert!(height <= 12, "512 nodes must stay within AVL height, got {height}");
+        let keys = tree.keys_in_order(&mut rt, &mut sink).unwrap();
+        assert_eq!(keys, (0..512).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inorder_is_sorted_after_random_churn() {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut tree = AvlTree::create(&mut rt, pool, 32, &mut sink).unwrap();
+        let mut keys: Vec<u64> =
+            (0..300u64).map(|i| i.wrapping_mul(0x5851_f42d_4c95_7f2d)).collect();
+        for &k in &keys {
+            tree.insert(&mut rt, k, &mut sink).unwrap();
+        }
+        for &k in keys.iter().take(100) {
+            assert!(tree.remove(&mut rt, k, &mut sink).unwrap());
+        }
+        keys.drain(..100);
+        let mut inorder = tree.keys_in_order(&mut rt, &mut sink).unwrap();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        inorder.dedup();
+        assert_eq!(inorder, expect);
+    }
+
+    #[test]
+    fn overwrite_updates_value() {
+        let (mut rt, pool, _) = testutil::pool_fixture();
+        let mut sink = NullSink::new();
+        let mut tree = AvlTree::create(&mut rt, pool, 16, &mut sink).unwrap();
+        tree.insert(&mut rt, 7, &mut sink).unwrap();
+        tree.insert(&mut rt, 7, &mut sink).unwrap();
+        assert_eq!(tree.len(), 1);
+        assert!(tree.contains(&mut rt, 7, &mut sink).unwrap());
+    }
+}

@@ -1,0 +1,470 @@
+//! A persistent B+tree (Table IV's "B+ tree").
+//!
+//! Matches the paper's node format: 4096-byte nodes holding up to 126
+//! entries plus two pointers (next/prev leaf chain). Leaves are kept
+//! *unsorted* and appended to — the standard persistent-memory
+//! optimization (NV-Tree-style) that avoids shifting NVM-resident arrays
+//! on every insert; internal nodes are sorted. Deletes swap-remove within
+//! the leaf; leaves are not merged (see [`crate::structs`]).
+//!
+//! The flat 126-way fanout is what gives this benchmark the best locality
+//! of the five (the paper: "B+tree is a flatter tree ... hence it has a
+//! better data locality", §VI.B).
+
+use pmo_runtime::{Oid, PmRuntime, Result};
+use pmo_trace::{PmoId, TraceSink};
+
+use super::KeyedStructure;
+
+/// Max entries per leaf / keys per internal node (paper: 126).
+pub const ORDER: usize = 126;
+
+const NODE_BYTES: u64 = 4096;
+
+// Common node header.
+const NODE_TYPE: u32 = 0; // u32: 1 = leaf, 0 = internal
+const COUNT: u32 = 4; // u32
+const NEXT: u32 = 8; // u64 (leaf chain)
+const PREV: u32 = 16; // u64 (leaf chain)
+const HEADER: u32 = 24;
+
+// Leaf entries: (key u64, value u64) pairs.
+const ENTRY: u32 = 16;
+// Internal layout: keys then children.
+const KEYS: u32 = HEADER;
+const CHILDREN: u32 = KEYS + (ORDER as u32) * 8;
+
+// Root-object layout.
+const ROOT_PTR: u32 = 0;
+const META_COUNT: u32 = 8;
+const ROOT_OBJ_SIZE: u64 = 16;
+
+const LEAF: u32 = 1;
+const INTERNAL: u32 = 0;
+
+/// A persistent B+tree.
+#[derive(Debug)]
+pub struct BplusTree {
+    pool: PmoId,
+    meta: Oid,
+    root: Oid,
+    count: u64,
+}
+
+impl BplusTree {
+    fn is_leaf(&self, rt: &mut PmRuntime, node: Oid, sink: &mut dyn TraceSink) -> Result<bool> {
+        Ok(rt.read_u32(node, NODE_TYPE, sink)? == LEAF)
+    }
+
+    fn node_count(&self, rt: &mut PmRuntime, node: Oid, sink: &mut dyn TraceSink) -> Result<u32> {
+        rt.read_u32(node, COUNT, sink)
+    }
+
+    fn new_node(&self, rt: &mut PmRuntime, kind: u32, sink: &mut dyn TraceSink) -> Result<Oid> {
+        let node = rt.pmalloc(self.pool, NODE_BYTES, sink)?;
+        rt.write_u32(node, NODE_TYPE, kind, sink)?;
+        rt.write_u32(node, COUNT, 0, sink)?;
+        rt.write_oid(node, NEXT, Oid::NULL, sink)?;
+        rt.write_oid(node, PREV, Oid::NULL, sink)?;
+        rt.persist(node, 0, u64::from(HEADER), sink)?;
+        Ok(node)
+    }
+
+    fn leaf_key(&self, rt: &mut PmRuntime, leaf: Oid, i: u32, sink: &mut dyn TraceSink) -> Result<u64> {
+        rt.read_u64(leaf, HEADER + i * ENTRY, sink)
+    }
+
+    fn write_leaf_entry(
+        &self,
+        rt: &mut PmRuntime,
+        leaf: Oid,
+        i: u32,
+        key: u64,
+        value: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        rt.write_u64(leaf, HEADER + i * ENTRY, key, sink)?;
+        rt.write_u64(leaf, HEADER + i * ENTRY + 8, value, sink)
+    }
+
+    fn internal_key(
+        &self,
+        rt: &mut PmRuntime,
+        node: Oid,
+        i: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<u64> {
+        rt.read_u64(node, KEYS + i * 8, sink)
+    }
+
+    fn internal_child(
+        &self,
+        rt: &mut PmRuntime,
+        node: Oid,
+        i: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Oid> {
+        rt.read_oid(node, CHILDREN + i * 8, sink)
+    }
+
+    /// Descends to the leaf that should hold `key`, recording the path of
+    /// `(internal_node, child_index)` pairs.
+    fn descend(
+        &self,
+        rt: &mut PmRuntime,
+        key: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(Oid, Vec<(Oid, u32)>)> {
+        let mut path = Vec::new();
+        let mut node = self.root;
+        while !self.is_leaf(rt, node, sink)? {
+            let count = self.node_count(rt, node, sink)?;
+            let mut idx = 0;
+            while idx < count {
+                sink.compute(3);
+                if key < self.internal_key(rt, node, idx, sink)? {
+                    break;
+                }
+                idx += 1;
+            }
+            path.push((node, idx));
+            node = self.internal_child(rt, node, idx, sink)?;
+        }
+        Ok((node, path))
+    }
+
+    /// Finds `key` in an (unsorted) leaf; returns its slot.
+    fn find_in_leaf(
+        &self,
+        rt: &mut PmRuntime,
+        leaf: Oid,
+        key: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Option<u32>> {
+        let count = self.node_count(rt, leaf, sink)?;
+        for i in 0..count {
+            sink.compute(3);
+            if self.leaf_key(rt, leaf, i, sink)? == key {
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Splits a full leaf; returns `(separator_key, new_right_leaf)`.
+    fn split_leaf(
+        &self,
+        rt: &mut PmRuntime,
+        leaf: Oid,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(u64, Oid)> {
+        // Partition around the median of the unsorted entries.
+        let count = self.node_count(rt, leaf, sink)?;
+        let mut entries = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let k = self.leaf_key(rt, leaf, i, sink)?;
+            let v = rt.read_u64(leaf, HEADER + i * ENTRY + 8, sink)?;
+            entries.push((k, v));
+        }
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        sink.compute(count * 2);
+        let mid = entries.len() / 2;
+        let separator = entries[mid].0;
+        let right = self.new_node(rt, LEAF, sink)?;
+        // Rewrite both halves.
+        for (i, (k, v)) in entries[..mid].iter().enumerate() {
+            self.write_leaf_entry(rt, leaf, i as u32, *k, *v, sink)?;
+        }
+        rt.write_u32(leaf, COUNT, mid as u32, sink)?;
+        for (i, (k, v)) in entries[mid..].iter().enumerate() {
+            self.write_leaf_entry(rt, right, i as u32, *k, *v, sink)?;
+        }
+        rt.write_u32(right, COUNT, (entries.len() - mid) as u32, sink)?;
+        // Maintain the leaf chain.
+        let old_next = rt.read_oid(leaf, NEXT, sink)?;
+        rt.write_oid(right, NEXT, old_next, sink)?;
+        rt.write_oid(right, PREV, leaf, sink)?;
+        rt.write_oid(leaf, NEXT, right, sink)?;
+        if !old_next.is_null() {
+            rt.write_oid(old_next, PREV, right, sink)?;
+        }
+        rt.persist(leaf, 0, NODE_BYTES, sink)?;
+        rt.persist(right, 0, NODE_BYTES, sink)?;
+        Ok((separator, right))
+    }
+
+    /// Inserts `(separator, right_child)` into an internal node at
+    /// `child_idx`'s position, shifting the sorted arrays.
+    fn insert_into_internal(
+        &self,
+        rt: &mut PmRuntime,
+        node: Oid,
+        at: u32,
+        separator: u64,
+        right: Oid,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        let count = self.node_count(rt, node, sink)?;
+        // Shift keys [at..count) and children [at+1..=count) one slot right.
+        let mut i = count;
+        while i > at {
+            let k = self.internal_key(rt, node, i - 1, sink)?;
+            rt.write_u64(node, KEYS + i * 8, k, sink)?;
+            let c = self.internal_child(rt, node, i, sink)?;
+            rt.write_oid(node, CHILDREN + (i + 1) * 8, c, sink)?;
+            i -= 1;
+        }
+        rt.write_u64(node, KEYS + at * 8, separator, sink)?;
+        rt.write_oid(node, CHILDREN + (at + 1) * 8, right, sink)?;
+        rt.write_u32(node, COUNT, count + 1, sink)?;
+        rt.persist(node, 0, NODE_BYTES, sink)?;
+        Ok(())
+    }
+
+    /// Splits a full internal node; returns `(separator, new_right_node)`.
+    fn split_internal(
+        &self,
+        rt: &mut PmRuntime,
+        node: Oid,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(u64, Oid)> {
+        let count = self.node_count(rt, node, sink)?; // == ORDER
+        let mid = count / 2;
+        let separator = self.internal_key(rt, node, mid, sink)?;
+        let right = self.new_node(rt, INTERNAL, sink)?;
+        let move_keys = count - mid - 1;
+        for i in 0..move_keys {
+            let k = self.internal_key(rt, node, mid + 1 + i, sink)?;
+            rt.write_u64(right, KEYS + i * 8, k, sink)?;
+        }
+        for i in 0..=move_keys {
+            let c = self.internal_child(rt, node, mid + 1 + i, sink)?;
+            rt.write_oid(right, CHILDREN + i * 8, c, sink)?;
+        }
+        rt.write_u32(right, COUNT, move_keys, sink)?;
+        rt.write_u32(node, COUNT, mid, sink)?;
+        rt.persist(node, 0, NODE_BYTES, sink)?;
+        rt.persist(right, 0, NODE_BYTES, sink)?;
+        Ok((separator, right))
+    }
+
+    fn set_root(&mut self, rt: &mut PmRuntime, root: Oid, sink: &mut dyn TraceSink) -> Result<()> {
+        self.root = root;
+        rt.write_oid(self.meta, ROOT_PTR, root, sink)?;
+        rt.persist(self.meta, ROOT_PTR, 8, sink)
+    }
+
+    fn bump_count(&mut self, rt: &mut PmRuntime, delta: i64, sink: &mut dyn TraceSink) -> Result<()> {
+        self.count = self.count.wrapping_add_signed(delta);
+        rt.write_u64(self.meta, META_COUNT, self.count, sink)
+    }
+
+    /// The tree height (1 = root is a leaf); diagnostic helper.
+    pub fn height(&self, rt: &mut PmRuntime, sink: &mut dyn TraceSink) -> Result<u32> {
+        let mut h = 1;
+        let mut node = self.root;
+        while !self.is_leaf(rt, node, sink)? {
+            node = self.internal_child(rt, node, 0, sink)?;
+            h += 1;
+        }
+        Ok(h)
+    }
+}
+
+impl KeyedStructure for BplusTree {
+    fn create(
+        rt: &mut PmRuntime,
+        pool: PmoId,
+        _value_bytes: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Self> {
+        let meta = rt.pool_root(pool, ROOT_OBJ_SIZE, sink)?;
+        let mut tree = BplusTree {
+            pool,
+            meta,
+            root: rt.read_oid(meta, ROOT_PTR, sink)?,
+            count: rt.read_u64(meta, META_COUNT, sink)?,
+        };
+        if tree.root.is_null() {
+            let leaf = tree.new_node(rt, LEAF, sink)?;
+            tree.set_root(rt, leaf, sink)?;
+        }
+        Ok(tree)
+    }
+
+    fn insert(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<()> {
+        let (leaf, path) = self.descend(rt, key, sink)?;
+        if let Some(slot) = self.find_in_leaf(rt, leaf, key, sink)? {
+            // Overwrite in place.
+            rt.write_u64(leaf, HEADER + slot * ENTRY + 8, key ^ 0xabcd, sink)?;
+            rt.persist(leaf, HEADER + slot * ENTRY, 16, sink)?;
+            return Ok(());
+        }
+        let count = self.node_count(rt, leaf, sink)?;
+        if (count as usize) < ORDER {
+            self.write_leaf_entry(rt, leaf, count, key, key ^ 0xabcd, sink)?;
+            rt.write_u32(leaf, COUNT, count + 1, sink)?;
+            rt.persist(leaf, HEADER + count * ENTRY, 16, sink)?;
+            rt.persist(leaf, COUNT, 4, sink)?;
+            self.bump_count(rt, 1, sink)?;
+            return Ok(());
+        }
+        // Split the leaf, then bubble separators up the path.
+        let (mut separator, mut right) = self.split_leaf(rt, leaf, sink)?;
+        // Re-insert the key into the correct half.
+        let target = if key < separator { leaf } else { right };
+        let tcount = self.node_count(rt, target, sink)?;
+        self.write_leaf_entry(rt, target, tcount, key, key ^ 0xabcd, sink)?;
+        rt.write_u32(target, COUNT, tcount + 1, sink)?;
+        rt.persist(target, 0, NODE_BYTES, sink)?;
+        self.bump_count(rt, 1, sink)?;
+        // Bubble up.
+        let mut level = path.len();
+        loop {
+            match level.checked_sub(1) {
+                None => {
+                    // New root.
+                    let old_root = self.root;
+                    let new_root = self.new_node(rt, INTERNAL, sink)?;
+                    rt.write_u32(new_root, COUNT, 1, sink)?;
+                    rt.write_u64(new_root, KEYS, separator, sink)?;
+                    rt.write_oid(new_root, CHILDREN, old_root, sink)?;
+                    rt.write_oid(new_root, CHILDREN + 8, right, sink)?;
+                    rt.persist(new_root, 0, NODE_BYTES, sink)?;
+                    self.set_root(rt, new_root, sink)?;
+                    return Ok(());
+                }
+                Some(l) => {
+                    let (parent, idx) = path[l];
+                    if (self.node_count(rt, parent, sink)? as usize) < ORDER {
+                        self.insert_into_internal(rt, parent, idx, separator, right, sink)?;
+                        return Ok(());
+                    }
+                    // Parent full: insert then split. To keep the logic
+                    // simple and correct, split first and insert into the
+                    // proper half.
+                    let (parent_sep, parent_right) = self.split_internal(rt, parent, sink)?;
+                    let (target, at) = if separator < parent_sep {
+                        (parent, idx.min(self.node_count(rt, parent, sink)?))
+                    } else {
+                        // Recompute the slot in the right half.
+                        let count = self.node_count(rt, parent_right, sink)?;
+                        let mut at = 0;
+                        while at < count {
+                            if separator < self.internal_key(rt, parent_right, at, sink)? {
+                                break;
+                            }
+                            at += 1;
+                        }
+                        (parent_right, at)
+                    };
+                    self.insert_into_internal(rt, target, at, separator, right, sink)?;
+                    separator = parent_sep;
+                    right = parent_right;
+                    level = l;
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<bool> {
+        let (leaf, _) = self.descend(rt, key, sink)?;
+        let Some(slot) = self.find_in_leaf(rt, leaf, key, sink)? else {
+            return Ok(false);
+        };
+        let count = self.node_count(rt, leaf, sink)?;
+        // Swap-remove: move the last entry into the vacated slot.
+        if slot != count - 1 {
+            let last_key = self.leaf_key(rt, leaf, count - 1, sink)?;
+            let last_val = rt.read_u64(leaf, HEADER + (count - 1) * ENTRY + 8, sink)?;
+            self.write_leaf_entry(rt, leaf, slot, last_key, last_val, sink)?;
+        }
+        rt.write_u32(leaf, COUNT, count - 1, sink)?;
+        rt.persist(leaf, COUNT, 4, sink)?;
+        rt.persist(leaf, HEADER + slot * ENTRY, 16, sink)?;
+        self.bump_count(rt, -1, sink)?;
+        Ok(true)
+    }
+
+    fn contains(
+        &mut self,
+        rt: &mut PmRuntime,
+        key: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<bool> {
+        let (leaf, _) = self.descend(rt, key, sink)?;
+        Ok(self.find_in_leaf(rt, leaf, key, sink)?.is_some())
+    }
+
+    fn len(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn contract() {
+        testutil::exercise_contract::<BplusTree>();
+    }
+
+    #[test]
+    fn persistence() {
+        testutil::exercise_persistence::<BplusTree>();
+    }
+
+    #[test]
+    fn tracing() {
+        testutil::exercise_tracing::<BplusTree>();
+    }
+
+    #[test]
+    fn grows_by_splitting() {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut tree = BplusTree::create(&mut rt, pool, 8, &mut sink).unwrap();
+        assert_eq!(tree.height(&mut rt, &mut sink).unwrap(), 1);
+        // Enough keys to force leaf splits and a root split.
+        for k in 0..1000u64 {
+            tree.insert(&mut rt, k.wrapping_mul(0x9e37_79b9), &mut sink).unwrap();
+        }
+        assert_eq!(tree.len(), 1000);
+        assert!(tree.height(&mut rt, &mut sink).unwrap() >= 2, "root must have split");
+        for k in 0..1000u64 {
+            assert!(tree.contains(&mut rt, k.wrapping_mul(0x9e37_79b9), &mut sink).unwrap());
+        }
+        assert!(!tree.contains(&mut rt, 1, &mut sink).unwrap());
+    }
+
+    #[test]
+    fn sequential_inserts_split_correctly() {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut tree = BplusTree::create(&mut rt, pool, 8, &mut sink).unwrap();
+        for k in 0..500u64 {
+            tree.insert(&mut rt, k, &mut sink).unwrap();
+        }
+        for k in 0..500u64 {
+            assert!(tree.contains(&mut rt, k, &mut sink).unwrap(), "key {k}");
+        }
+        assert!(!tree.contains(&mut rt, 500, &mut sink).unwrap());
+    }
+
+    #[test]
+    fn deep_tree_multi_level_split() {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut tree = BplusTree::create(&mut rt, pool, 8, &mut sink).unwrap();
+        // > ORDER^2/2 keys forces a height-3 tree.
+        let n = (ORDER * ORDER / 2 + ORDER * 2) as u64;
+        for k in 0..n {
+            tree.insert(&mut rt, k, &mut sink).unwrap();
+        }
+        assert_eq!(tree.len(), n);
+        assert!(tree.height(&mut rt, &mut sink).unwrap() >= 3);
+        for k in (0..n).step_by(17) {
+            assert!(tree.contains(&mut rt, k, &mut sink).unwrap());
+        }
+        assert!(!tree.contains(&mut rt, n + 5, &mut sink).unwrap());
+    }
+}

@@ -1,0 +1,275 @@
+//! A persistent chained hash map (WHISPER's Hashmap/Echo substrate and
+//! the Redis dict).
+
+use pmo_runtime::{Oid, PmRuntime, Result};
+use pmo_trace::{PmoId, TraceSink};
+
+use super::{value_for, KeyedStructure};
+
+// Chain-node layout.
+const KEY: u32 = 0;
+const NEXT: u32 = 8;
+const PAYLOAD: u32 = 16; // u64 payload (aux pointer for Redis-style use)
+const VALUE: u32 = 24;
+
+// Root-object layout.
+const BUCKETS_PTR: u32 = 0;
+const NBUCKETS: u32 = 8;
+const COUNT: u32 = 16;
+const ROOT_OBJ_SIZE: u64 = 24;
+
+/// Default bucket count for [`KeyedStructure::create`].
+pub const DEFAULT_BUCKETS: u64 = 1024;
+
+fn hash(key: u64) -> u64 {
+    // SplitMix64 finalizer.
+    let mut x = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A persistent chained hash map.
+#[derive(Debug)]
+pub struct PersistentHashmap {
+    pool: PmoId,
+    meta: Oid,
+    buckets: Oid,
+    nbuckets: u64,
+    count: u64,
+    value_bytes: u32,
+}
+
+impl PersistentHashmap {
+    /// Creates (or re-opens) a map with an explicit bucket count.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool is not attached or allocation fails.
+    pub fn with_buckets(
+        rt: &mut PmRuntime,
+        pool: PmoId,
+        nbuckets: u64,
+        value_bytes: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Self> {
+        let meta = rt.pool_root(pool, ROOT_OBJ_SIZE, sink)?;
+        let mut buckets = rt.read_oid(meta, BUCKETS_PTR, sink)?;
+        let count;
+        let nbuckets = if buckets.is_null() {
+            buckets = rt.pmalloc(pool, nbuckets * 8, sink)?;
+            // Zero the bucket array (NULL chain heads).
+            let zeros = vec![0u8; (nbuckets * 8) as usize];
+            rt.write_bytes(buckets, 0, &zeros, sink)?;
+            rt.persist(buckets, 0, nbuckets * 8, sink)?;
+            rt.write_oid(meta, BUCKETS_PTR, buckets, sink)?;
+            rt.write_u64(meta, NBUCKETS, nbuckets, sink)?;
+            rt.write_u64(meta, COUNT, 0, sink)?;
+            rt.persist(meta, 0, ROOT_OBJ_SIZE, sink)?;
+            count = 0;
+            nbuckets
+        } else {
+            count = rt.read_u64(meta, COUNT, sink)?;
+            rt.read_u64(meta, NBUCKETS, sink)?
+        };
+        Ok(PersistentHashmap { pool, meta, buckets, nbuckets, count, value_bytes })
+    }
+
+    fn node_size(&self) -> u64 {
+        u64::from(VALUE) + u64::from(self.value_bytes)
+    }
+
+    fn bucket_slot(&self, key: u64) -> u32 {
+        ((hash(key) % self.nbuckets) * 8) as u32
+    }
+
+    fn find_node(
+        &self,
+        rt: &mut PmRuntime,
+        key: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Option<Oid>> {
+        let mut cur = rt.read_oid(self.buckets, self.bucket_slot(key), sink)?;
+        while !cur.is_null() {
+            sink.compute(4);
+            if rt.read_u64(cur, KEY, sink)? == key {
+                return Ok(Some(cur));
+            }
+            cur = rt.read_oid(cur, NEXT, sink)?;
+        }
+        Ok(None)
+    }
+
+    fn bump_count(&mut self, rt: &mut PmRuntime, delta: i64, sink: &mut dyn TraceSink) -> Result<()> {
+        self.count = self.count.wrapping_add_signed(delta);
+        rt.write_u64(self.meta, COUNT, self.count, sink)
+    }
+
+    /// Inserts `key` carrying an auxiliary 8-byte payload (used by the
+    /// Redis benchmark to point at LRU-list nodes). Returns the node OID.
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation failure or detached pool.
+    pub fn put(
+        &mut self,
+        rt: &mut PmRuntime,
+        key: u64,
+        payload: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Oid> {
+        if let Some(node) = self.find_node(rt, key, sink)? {
+            rt.write_u64(node, PAYLOAD, payload, sink)?;
+            let value = value_for(key, self.value_bytes);
+            rt.write_bytes(node, VALUE, &value, sink)?;
+            rt.persist(node, 0, self.node_size(), sink)?;
+            return Ok(node);
+        }
+        let slot = self.bucket_slot(key);
+        let head = rt.read_oid(self.buckets, slot, sink)?;
+        let node = rt.pmalloc(self.pool, self.node_size(), sink)?;
+        rt.write_u64(node, KEY, key, sink)?;
+        rt.write_oid(node, NEXT, head, sink)?;
+        rt.write_u64(node, PAYLOAD, payload, sink)?;
+        let value = value_for(key, self.value_bytes);
+        rt.write_bytes(node, VALUE, &value, sink)?;
+        rt.persist(node, 0, self.node_size(), sink)?;
+        rt.write_oid(self.buckets, slot, node, sink)?;
+        rt.persist(self.buckets, slot, 8, sink)?;
+        self.bump_count(rt, 1, sink)?;
+        Ok(node)
+    }
+
+    /// Looks up `key`, returning its node OID and payload.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool is detached.
+    pub fn get(
+        &mut self,
+        rt: &mut PmRuntime,
+        key: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Option<(Oid, u64)>> {
+        match self.find_node(rt, key, sink)? {
+            Some(node) => {
+                let payload = rt.read_u64(node, PAYLOAD, sink)?;
+                Ok(Some((node, payload)))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+impl KeyedStructure for PersistentHashmap {
+    fn create(
+        rt: &mut PmRuntime,
+        pool: PmoId,
+        value_bytes: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Self> {
+        Self::with_buckets(rt, pool, DEFAULT_BUCKETS, value_bytes, sink)
+    }
+
+    fn insert(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<()> {
+        self.put(rt, key, 0, sink)?;
+        Ok(())
+    }
+
+    fn remove(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<bool> {
+        let slot = self.bucket_slot(key);
+        let mut prev = Oid::NULL;
+        let mut cur = rt.read_oid(self.buckets, slot, sink)?;
+        while !cur.is_null() {
+            sink.compute(4);
+            if rt.read_u64(cur, KEY, sink)? == key {
+                let next = rt.read_oid(cur, NEXT, sink)?;
+                if prev.is_null() {
+                    rt.write_oid(self.buckets, slot, next, sink)?;
+                    rt.persist(self.buckets, slot, 8, sink)?;
+                } else {
+                    rt.write_oid(prev, NEXT, next, sink)?;
+                    rt.persist(prev, NEXT, 8, sink)?;
+                }
+                rt.pfree(cur, sink)?;
+                self.bump_count(rt, -1, sink)?;
+                return Ok(true);
+            }
+            prev = cur;
+            cur = rt.read_oid(cur, NEXT, sink)?;
+        }
+        Ok(false)
+    }
+
+    fn contains(
+        &mut self,
+        rt: &mut PmRuntime,
+        key: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<bool> {
+        Ok(self.find_node(rt, key, sink)?.is_some())
+    }
+
+    fn len(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn contract() {
+        testutil::exercise_contract::<PersistentHashmap>();
+    }
+
+    #[test]
+    fn persistence() {
+        testutil::exercise_persistence::<PersistentHashmap>();
+    }
+
+    #[test]
+    fn tracing() {
+        testutil::exercise_tracing::<PersistentHashmap>();
+    }
+
+    #[test]
+    fn chains_handle_collisions() {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        // 2 buckets force heavy chaining.
+        let mut map =
+            PersistentHashmap::with_buckets(&mut rt, pool, 2, 16, &mut sink).unwrap();
+        for k in 0..100u64 {
+            map.insert(&mut rt, k, &mut sink).unwrap();
+        }
+        assert_eq!(map.len(), 100);
+        for k in 0..100u64 {
+            assert!(map.contains(&mut rt, k, &mut sink).unwrap());
+        }
+        // Remove from the middle of chains.
+        for k in (0..100u64).step_by(3) {
+            assert!(map.remove(&mut rt, k, &mut sink).unwrap());
+        }
+        for k in 0..100u64 {
+            assert_eq!(map.contains(&mut rt, k, &mut sink).unwrap(), k % 3 != 0);
+        }
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut map = PersistentHashmap::with_buckets(&mut rt, pool, 16, 8, &mut sink).unwrap();
+        let node = map.put(&mut rt, 5, 0xfeed, &mut sink).unwrap();
+        let (found, payload) = map.get(&mut rt, 5, &mut sink).unwrap().unwrap();
+        assert_eq!(found, node);
+        assert_eq!(payload, 0xfeed);
+        // Overwrite updates the payload in place.
+        let node2 = map.put(&mut rt, 5, 0xbeef, &mut sink).unwrap();
+        assert_eq!(node, node2);
+        assert_eq!(map.get(&mut rt, 5, &mut sink).unwrap().unwrap().1, 0xbeef);
+        assert_eq!(map.len(), 1);
+        assert!(map.get(&mut rt, 6, &mut sink).unwrap().is_none());
+    }
+}

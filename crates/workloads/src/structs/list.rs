@@ -1,0 +1,194 @@
+//! A persistent sorted singly-linked list (Table IV's "Linked List").
+//!
+//! Insertion walks to the sorted position, so "each node access could
+//! cause a TLB miss" — the paper singles this benchmark out for its poor
+//! locality (§VI.B).
+
+use pmo_runtime::{Oid, PmRuntime, Result};
+use pmo_trace::{PmoId, TraceSink};
+
+use super::{value_for, KeyedStructure};
+
+// Node layout.
+const KEY: u32 = 0;
+const NEXT: u32 = 8;
+const VALUE: u32 = 16;
+
+// Root-object layout.
+const HEAD: u32 = 0;
+const COUNT: u32 = 8;
+const ROOT_OBJ_SIZE: u64 = 16;
+
+/// A persistent sorted linked list.
+#[derive(Debug)]
+pub struct LinkedList {
+    pool: PmoId,
+    meta: Oid,
+    head: Oid,
+    count: u64,
+    value_bytes: u32,
+}
+
+impl LinkedList {
+    fn node_size(&self) -> u64 {
+        u64::from(VALUE) + u64::from(self.value_bytes)
+    }
+
+    fn set_head(&mut self, rt: &mut PmRuntime, head: Oid, sink: &mut dyn TraceSink) -> Result<()> {
+        self.head = head;
+        rt.write_oid(self.meta, HEAD, head, sink)?;
+        rt.persist(self.meta, HEAD, 8, sink)
+    }
+
+    fn bump_count(&mut self, rt: &mut PmRuntime, delta: i64, sink: &mut dyn TraceSink) -> Result<()> {
+        self.count = self.count.wrapping_add_signed(delta);
+        rt.write_u64(self.meta, COUNT, self.count, sink)
+    }
+
+    /// Collects all keys in list order (diagnostic helper).
+    pub fn keys(&self, rt: &mut PmRuntime, sink: &mut dyn TraceSink) -> Result<Vec<u64>> {
+        let mut out = Vec::new();
+        let mut cur = self.head;
+        while !cur.is_null() {
+            out.push(rt.read_u64(cur, KEY, sink)?);
+            cur = rt.read_oid(cur, NEXT, sink)?;
+        }
+        Ok(out)
+    }
+}
+
+impl KeyedStructure for LinkedList {
+    fn create(
+        rt: &mut PmRuntime,
+        pool: PmoId,
+        value_bytes: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Self> {
+        let meta = rt.pool_root(pool, ROOT_OBJ_SIZE, sink)?;
+        let head = rt.read_oid(meta, HEAD, sink)?;
+        let count = rt.read_u64(meta, COUNT, sink)?;
+        Ok(LinkedList { pool, meta, head, count, value_bytes })
+    }
+
+    fn insert(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<()> {
+        // Walk to the sorted position.
+        let mut prev = Oid::NULL;
+        let mut cur = self.head;
+        while !cur.is_null() {
+            let k = rt.read_u64(cur, KEY, sink)?;
+            sink.compute(4);
+            if k == key {
+                let value = value_for(key, self.value_bytes);
+                rt.write_bytes(cur, VALUE, &value, sink)?;
+                rt.persist(cur, VALUE, u64::from(self.value_bytes), sink)?;
+                return Ok(());
+            }
+            if k > key {
+                break;
+            }
+            prev = cur;
+            cur = rt.read_oid(cur, NEXT, sink)?;
+        }
+        let node = rt.pmalloc(self.pool, self.node_size(), sink)?;
+        rt.write_u64(node, KEY, key, sink)?;
+        rt.write_oid(node, NEXT, cur, sink)?;
+        let value = value_for(key, self.value_bytes);
+        rt.write_bytes(node, VALUE, &value, sink)?;
+        rt.persist(node, 0, self.node_size(), sink)?;
+        if prev.is_null() {
+            self.set_head(rt, node, sink)?;
+        } else {
+            rt.write_oid(prev, NEXT, node, sink)?;
+            rt.persist(prev, NEXT, 8, sink)?;
+        }
+        self.bump_count(rt, 1, sink)?;
+        Ok(())
+    }
+
+    fn remove(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<bool> {
+        let mut prev = Oid::NULL;
+        let mut cur = self.head;
+        while !cur.is_null() {
+            let k = rt.read_u64(cur, KEY, sink)?;
+            sink.compute(4);
+            if k == key {
+                let next = rt.read_oid(cur, NEXT, sink)?;
+                if prev.is_null() {
+                    self.set_head(rt, next, sink)?;
+                } else {
+                    rt.write_oid(prev, NEXT, next, sink)?;
+                    rt.persist(prev, NEXT, 8, sink)?;
+                }
+                rt.pfree(cur, sink)?;
+                self.bump_count(rt, -1, sink)?;
+                return Ok(true);
+            }
+            if k > key {
+                return Ok(false); // sorted: key cannot appear later
+            }
+            prev = cur;
+            cur = rt.read_oid(cur, NEXT, sink)?;
+        }
+        Ok(false)
+    }
+
+    fn contains(
+        &mut self,
+        rt: &mut PmRuntime,
+        key: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<bool> {
+        let mut cur = self.head;
+        while !cur.is_null() {
+            let k = rt.read_u64(cur, KEY, sink)?;
+            sink.compute(4);
+            if k == key {
+                return Ok(true);
+            }
+            if k > key {
+                return Ok(false);
+            }
+            cur = rt.read_oid(cur, NEXT, sink)?;
+        }
+        Ok(false)
+    }
+
+    fn len(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn contract() {
+        testutil::exercise_contract::<LinkedList>();
+    }
+
+    #[test]
+    fn persistence() {
+        testutil::exercise_persistence::<LinkedList>();
+    }
+
+    #[test]
+    fn tracing() {
+        testutil::exercise_tracing::<LinkedList>();
+    }
+
+    #[test]
+    fn stays_sorted() {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut list = LinkedList::create(&mut rt, pool, 16, &mut sink).unwrap();
+        for &k in &[50u64, 10, 90, 30, 70, 20] {
+            list.insert(&mut rt, k, &mut sink).unwrap();
+        }
+        assert_eq!(list.keys(&mut rt, &mut sink).unwrap(), vec![10, 20, 30, 50, 70, 90]);
+        list.remove(&mut rt, 10, &mut sink).unwrap(); // head removal
+        list.remove(&mut rt, 90, &mut sink).unwrap(); // tail removal
+        list.remove(&mut rt, 30, &mut sink).unwrap(); // middle removal
+        assert_eq!(list.keys(&mut rt, &mut sink).unwrap(), vec![20, 50, 70]);
+    }
+}

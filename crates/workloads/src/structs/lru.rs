@@ -1,0 +1,236 @@
+//! A persistent doubly-linked LRU list (the Redis benchmark's
+//! `lru-test` recency structure).
+
+use pmo_runtime::{Oid, PmRuntime, Result};
+use pmo_trace::{PmoId, TraceSink};
+
+// Node layout.
+const KEY: u32 = 0;
+const PREV: u32 = 8;
+const NEXT: u32 = 16;
+const NODE_SIZE: u64 = 24;
+
+// Root-object layout (shares the pool root with other structures via an
+// offset block handed in by the caller — the Redis workload reserves
+// bytes 64.. of the root object for the LRU head/tail).
+
+/// A persistent doubly-linked LRU list. Head = most recent.
+#[derive(Debug)]
+pub struct LruList {
+    pool: PmoId,
+    /// Root-object OID where `[head, tail, count]` live.
+    meta: Oid,
+    /// Offset of the head pointer within the meta object.
+    meta_off: u32,
+    head: Oid,
+    tail: Oid,
+    count: u64,
+}
+
+impl LruList {
+    /// Creates (or re-opens) an LRU list whose head/tail/count triple is
+    /// stored at `meta + meta_off` (24 bytes).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool is detached.
+    pub fn open(
+        rt: &mut PmRuntime,
+        pool: PmoId,
+        meta: Oid,
+        meta_off: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Self> {
+        let head = rt.read_oid(meta, meta_off, sink)?;
+        let tail = rt.read_oid(meta, meta_off + 8, sink)?;
+        let count = rt.read_u64(meta, meta_off + 16, sink)?;
+        Ok(LruList { pool, meta, meta_off, head, tail, count })
+    }
+
+    fn persist_meta(&self, rt: &mut PmRuntime, sink: &mut dyn TraceSink) -> Result<()> {
+        rt.write_oid(self.meta, self.meta_off, self.head, sink)?;
+        rt.write_oid(self.meta, self.meta_off + 8, self.tail, sink)?;
+        rt.write_u64(self.meta, self.meta_off + 16, self.count, sink)?;
+        rt.persist(self.meta, self.meta_off, 24, sink)
+    }
+
+    /// Allocates a node for `key` and pushes it at the head (most recent).
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation failure.
+    pub fn push_front(
+        &mut self,
+        rt: &mut PmRuntime,
+        key: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Oid> {
+        let node = rt.pmalloc(self.pool, NODE_SIZE, sink)?;
+        rt.write_u64(node, KEY, key, sink)?;
+        rt.write_oid(node, PREV, Oid::NULL, sink)?;
+        rt.write_oid(node, NEXT, self.head, sink)?;
+        rt.persist(node, 0, NODE_SIZE, sink)?;
+        if !self.head.is_null() {
+            rt.write_oid(self.head, PREV, node, sink)?;
+            rt.persist(self.head, PREV, 8, sink)?;
+        }
+        self.head = node;
+        if self.tail.is_null() {
+            self.tail = node;
+        }
+        self.count += 1;
+        self.persist_meta(rt, sink)?;
+        Ok(node)
+    }
+
+    /// Unlinks `node` from its current position.
+    fn unlink(&mut self, rt: &mut PmRuntime, node: Oid, sink: &mut dyn TraceSink) -> Result<()> {
+        let prev = rt.read_oid(node, PREV, sink)?;
+        let next = rt.read_oid(node, NEXT, sink)?;
+        if prev.is_null() {
+            self.head = next;
+        } else {
+            rt.write_oid(prev, NEXT, next, sink)?;
+            rt.persist(prev, NEXT, 8, sink)?;
+        }
+        if next.is_null() {
+            self.tail = prev;
+        } else {
+            rt.write_oid(next, PREV, prev, sink)?;
+            rt.persist(next, PREV, 8, sink)?;
+        }
+        Ok(())
+    }
+
+    /// Moves `node` to the head (a Redis GET's recency update).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool is detached.
+    pub fn touch(&mut self, rt: &mut PmRuntime, node: Oid, sink: &mut dyn TraceSink) -> Result<()> {
+        if node == self.head {
+            return Ok(());
+        }
+        self.unlink(rt, node, sink)?;
+        rt.write_oid(node, PREV, Oid::NULL, sink)?;
+        rt.write_oid(node, NEXT, self.head, sink)?;
+        rt.persist(node, 0, NODE_SIZE, sink)?;
+        if !self.head.is_null() {
+            rt.write_oid(self.head, PREV, node, sink)?;
+            rt.persist(self.head, PREV, 8, sink)?;
+        }
+        self.head = node;
+        if self.tail.is_null() {
+            self.tail = node;
+        }
+        self.persist_meta(rt, sink)?;
+        Ok(())
+    }
+
+    /// Evicts the least-recently-used node; returns its key.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool is detached.
+    pub fn pop_back(&mut self, rt: &mut PmRuntime, sink: &mut dyn TraceSink) -> Result<Option<u64>> {
+        if self.tail.is_null() {
+            return Ok(None);
+        }
+        let victim = self.tail;
+        let key = rt.read_u64(victim, KEY, sink)?;
+        self.unlink(rt, victim, sink)?;
+        rt.pfree(victim, sink)?;
+        self.count -= 1;
+        self.persist_meta(rt, sink)?;
+        Ok(Some(key))
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Keys from most to least recent (diagnostic helper).
+    pub fn keys(&self, rt: &mut PmRuntime, sink: &mut dyn TraceSink) -> Result<Vec<u64>> {
+        let mut out = Vec::new();
+        let mut cur = self.head;
+        while !cur.is_null() {
+            out.push(rt.read_u64(cur, KEY, sink)?);
+            cur = rt.read_oid(cur, NEXT, sink)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    fn fixture() -> (pmo_runtime::PmRuntime, LruList, pmo_trace::NullSink) {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let meta = rt.pool_root(pool, 128, &mut sink).unwrap();
+        let lru = LruList::open(&mut rt, pool, meta, 64, &mut sink).unwrap();
+        (rt, lru, sink)
+    }
+
+    #[test]
+    fn push_and_order() {
+        let (mut rt, mut lru, mut sink) = fixture();
+        for k in 1..=4u64 {
+            lru.push_front(&mut rt, k, &mut sink).unwrap();
+        }
+        assert_eq!(lru.keys(&mut rt, &mut sink).unwrap(), vec![4, 3, 2, 1]);
+        assert_eq!(lru.len(), 4);
+    }
+
+    #[test]
+    fn touch_moves_to_front() {
+        let (mut rt, mut lru, mut sink) = fixture();
+        let mut nodes = Vec::new();
+        for k in 1..=4u64 {
+            nodes.push(lru.push_front(&mut rt, k, &mut sink).unwrap());
+        }
+        lru.touch(&mut rt, nodes[0], &mut sink).unwrap(); // key 1 (tail)
+        assert_eq!(lru.keys(&mut rt, &mut sink).unwrap(), vec![1, 4, 3, 2]);
+        lru.touch(&mut rt, nodes[2], &mut sink).unwrap(); // key 3 (middle)
+        assert_eq!(lru.keys(&mut rt, &mut sink).unwrap(), vec![3, 1, 4, 2]);
+        // Touching the head is a no-op.
+        lru.touch(&mut rt, nodes[2], &mut sink).unwrap();
+        assert_eq!(lru.keys(&mut rt, &mut sink).unwrap(), vec![3, 1, 4, 2]);
+    }
+
+    #[test]
+    fn pop_back_evicts_lru() {
+        let (mut rt, mut lru, mut sink) = fixture();
+        for k in 1..=3u64 {
+            lru.push_front(&mut rt, k, &mut sink).unwrap();
+        }
+        assert_eq!(lru.pop_back(&mut rt, &mut sink).unwrap(), Some(1));
+        assert_eq!(lru.pop_back(&mut rt, &mut sink).unwrap(), Some(2));
+        assert_eq!(lru.pop_back(&mut rt, &mut sink).unwrap(), Some(3));
+        assert_eq!(lru.pop_back(&mut rt, &mut sink).unwrap(), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let meta = rt.pool_root(pool, 128, &mut sink).unwrap();
+        {
+            let mut lru = LruList::open(&mut rt, pool, meta, 64, &mut sink).unwrap();
+            lru.push_front(&mut rt, 11, &mut sink).unwrap();
+            lru.push_front(&mut rt, 22, &mut sink).unwrap();
+        }
+        let lru = LruList::open(&mut rt, pool, meta, 64, &mut sink).unwrap();
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.keys(&mut rt, &mut sink).unwrap(), vec![22, 11]);
+    }
+}

@@ -1,0 +1,447 @@
+//! A persistent red-black tree (Table IV's "RB tree").
+//!
+//! Full CLRS insert with recoloring and rotations (parent pointers are
+//! stored persistently in the nodes); deletes splice BST-style without
+//! recolor fixup (module-level simplification, see [`crate::structs`]).
+
+use pmo_runtime::{Oid, PmRuntime, Result};
+use pmo_trace::{PmoId, TraceSink};
+
+use super::{value_for, KeyedStructure};
+
+// Node layout.
+const KEY: u32 = 0;
+const LEFT: u32 = 8;
+const RIGHT: u32 = 16;
+const PARENT: u32 = 24;
+const COLOR: u32 = 32; // 0 = black, 1 = red
+const VALUE: u32 = 40;
+
+// Root-object layout.
+const ROOT_PTR: u32 = 0;
+const COUNT: u32 = 8;
+const ROOT_OBJ_SIZE: u64 = 16;
+
+const BLACK: u64 = 0;
+const RED: u64 = 1;
+
+/// A persistent red-black tree.
+#[derive(Debug)]
+pub struct RbTree {
+    pool: PmoId,
+    meta: Oid,
+    root: Oid,
+    count: u64,
+    value_bytes: u32,
+}
+
+impl RbTree {
+    fn node_size(&self) -> u64 {
+        u64::from(VALUE) + u64::from(self.value_bytes)
+    }
+
+    fn color(&self, rt: &mut PmRuntime, node: Oid, sink: &mut dyn TraceSink) -> Result<u64> {
+        if node.is_null() {
+            return Ok(BLACK);
+        }
+        rt.read_u64(node, COLOR, sink)
+    }
+
+    fn set_color(
+        &self,
+        rt: &mut PmRuntime,
+        node: Oid,
+        color: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        rt.write_u64(node, COLOR, color, sink)
+    }
+
+    fn child(
+        &self,
+        rt: &mut PmRuntime,
+        node: Oid,
+        right: bool,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Oid> {
+        rt.read_oid(node, if right { RIGHT } else { LEFT }, sink)
+    }
+
+    fn parent(&self, rt: &mut PmRuntime, node: Oid, sink: &mut dyn TraceSink) -> Result<Oid> {
+        rt.read_oid(node, PARENT, sink)
+    }
+
+    fn set_child(
+        &self,
+        rt: &mut PmRuntime,
+        node: Oid,
+        right: bool,
+        to: Oid,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        rt.write_oid(node, if right { RIGHT } else { LEFT }, to, sink)
+    }
+
+    fn set_parent(
+        &self,
+        rt: &mut PmRuntime,
+        node: Oid,
+        to: Oid,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        rt.write_oid(node, PARENT, to, sink)
+    }
+
+    fn set_root(&mut self, rt: &mut PmRuntime, root: Oid, sink: &mut dyn TraceSink) -> Result<()> {
+        self.root = root;
+        rt.write_oid(self.meta, ROOT_PTR, root, sink)?;
+        rt.persist(self.meta, ROOT_PTR, 8, sink)
+    }
+
+    /// CLRS rotation; `left` rotates `node` leftward. Maintains parent
+    /// pointers and the tree root.
+    fn rotate(
+        &mut self,
+        rt: &mut PmRuntime,
+        node: Oid,
+        left: bool,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        sink.compute(12);
+        let pivot = self.child(rt, node, left, sink)?;
+        let transfer = self.child(rt, pivot, !left, sink)?;
+        self.set_child(rt, node, left, transfer, sink)?;
+        if !transfer.is_null() {
+            self.set_parent(rt, transfer, node, sink)?;
+        }
+        let node_parent = self.parent(rt, node, sink)?;
+        self.set_parent(rt, pivot, node_parent, sink)?;
+        if node_parent.is_null() {
+            self.set_root(rt, pivot, sink)?;
+        } else {
+            let parent_left = self.child(rt, node_parent, false, sink)?;
+            self.set_child(rt, node_parent, parent_left != node, pivot, sink)?;
+        }
+        self.set_child(rt, pivot, !left, node, sink)?;
+        self.set_parent(rt, node, pivot, sink)?;
+        rt.persist(node, 0, u64::from(VALUE), sink)?;
+        rt.persist(pivot, 0, u64::from(VALUE), sink)?;
+        Ok(())
+    }
+
+    fn insert_fixup(&mut self, rt: &mut PmRuntime, mut z: Oid, sink: &mut dyn TraceSink) -> Result<()> {
+        loop {
+            let parent = self.parent(rt, z, sink)?;
+            if self.color(rt, parent, sink)? != RED {
+                break;
+            }
+            sink.compute(8);
+            let grand = self.parent(rt, parent, sink)?;
+            let grand_left = self.child(rt, grand, false, sink)?;
+            let parent_is_left = grand_left == parent;
+            let uncle = self.child(rt, grand, parent_is_left, sink)?;
+            if self.color(rt, uncle, sink)? == RED {
+                // Case 1: recolor and move up.
+                self.set_color(rt, parent, BLACK, sink)?;
+                self.set_color(rt, uncle, BLACK, sink)?;
+                self.set_color(rt, grand, RED, sink)?;
+                z = grand;
+                continue;
+            }
+            let z_is_inner = {
+                let parent_inner = self.child(rt, parent, parent_is_left, sink)?;
+                parent_inner == z
+            };
+            let mut parent = parent;
+            if z_is_inner {
+                // Case 2: rotate parent toward the outside.
+                self.rotate(rt, parent, parent_is_left, sink)?;
+                z = parent;
+                parent = self.parent(rt, z, sink)?;
+            }
+            // Case 3: recolor and rotate the grandparent.
+            self.set_color(rt, parent, BLACK, sink)?;
+            self.set_color(rt, grand, RED, sink)?;
+            self.rotate(rt, grand, !parent_is_left, sink)?;
+        }
+        let root = self.root;
+        self.set_color(rt, root, BLACK, sink)?;
+        Ok(())
+    }
+
+    /// Replaces subtree `u` with `v` in `u`'s parent (CLRS transplant).
+    fn transplant(&mut self, rt: &mut PmRuntime, u: Oid, v: Oid, sink: &mut dyn TraceSink) -> Result<()> {
+        let parent = self.parent(rt, u, sink)?;
+        if parent.is_null() {
+            self.set_root(rt, v, sink)?;
+        } else {
+            let left = self.child(rt, parent, false, sink)?;
+            self.set_child(rt, parent, left != u, v, sink)?;
+            rt.persist(parent, 0, u64::from(VALUE), sink)?;
+        }
+        if !v.is_null() {
+            self.set_parent(rt, v, parent, sink)?;
+        }
+        Ok(())
+    }
+
+    fn find(&self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<Oid> {
+        let mut cur = self.root;
+        while !cur.is_null() {
+            let k = rt.read_u64(cur, KEY, sink)?;
+            sink.compute(4);
+            if key == k {
+                return Ok(cur);
+            }
+            cur = self.child(rt, cur, key > k, sink)?;
+        }
+        Ok(Oid::NULL)
+    }
+
+    fn bump_count(&mut self, rt: &mut PmRuntime, delta: i64, sink: &mut dyn TraceSink) -> Result<()> {
+        self.count = self.count.wrapping_add_signed(delta);
+        rt.write_u64(self.meta, COUNT, self.count, sink)
+    }
+
+    /// Validates red-black invariants on an insert-only tree: the root is
+    /// black, no red node has a red child, and every root-to-leaf path has
+    /// the same black height. Returns the black height.
+    pub fn check_invariants(&self, rt: &mut PmRuntime, sink: &mut dyn TraceSink) -> Result<u64> {
+        fn walk(
+            tree: &RbTree,
+            rt: &mut PmRuntime,
+            node: Oid,
+            sink: &mut dyn TraceSink,
+        ) -> Result<u64> {
+            if node.is_null() {
+                return Ok(1);
+            }
+            let color = tree.color(rt, node, sink)?;
+            let l = tree.child(rt, node, false, sink)?;
+            let r = tree.child(rt, node, true, sink)?;
+            if color == RED {
+                assert_eq!(tree.color(rt, l, sink)?, BLACK, "red node with red left child");
+                assert_eq!(tree.color(rt, r, sink)?, BLACK, "red node with red right child");
+            }
+            let hl = walk(tree, rt, l, sink)?;
+            let hr = walk(tree, rt, r, sink)?;
+            assert_eq!(hl, hr, "black-height mismatch");
+            Ok(hl + u64::from(color == BLACK))
+        }
+        if self.root.is_null() {
+            return Ok(0);
+        }
+        assert_eq!(self.color(rt, self.root, sink)?, BLACK, "root must be black");
+        walk(self, rt, self.root, sink)
+    }
+
+    /// In-order keys (test/diagnostic helper).
+    pub fn keys_in_order(&self, rt: &mut PmRuntime, sink: &mut dyn TraceSink) -> Result<Vec<u64>> {
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while !cur.is_null() || !stack.is_empty() {
+            while !cur.is_null() {
+                stack.push(cur);
+                cur = self.child(rt, cur, false, sink)?;
+            }
+            let node = stack.pop().expect("stack non-empty");
+            out.push(rt.read_u64(node, KEY, sink)?);
+            cur = self.child(rt, node, true, sink)?;
+        }
+        Ok(out)
+    }
+}
+
+impl KeyedStructure for RbTree {
+    fn create(
+        rt: &mut PmRuntime,
+        pool: PmoId,
+        value_bytes: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Self> {
+        let meta = rt.pool_root(pool, ROOT_OBJ_SIZE, sink)?;
+        let root = rt.read_oid(meta, ROOT_PTR, sink)?;
+        let count = rt.read_u64(meta, COUNT, sink)?;
+        Ok(RbTree { pool, meta, root, count, value_bytes })
+    }
+
+    fn insert(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<()> {
+        // Standard BST descent.
+        let mut parent = Oid::NULL;
+        let mut went_right = false;
+        let mut cur = self.root;
+        while !cur.is_null() {
+            let k = rt.read_u64(cur, KEY, sink)?;
+            sink.compute(4);
+            if key == k {
+                let value = value_for(key, self.value_bytes);
+                rt.write_bytes(cur, VALUE, &value, sink)?;
+                rt.persist(cur, VALUE, u64::from(self.value_bytes), sink)?;
+                return Ok(());
+            }
+            parent = cur;
+            went_right = key > k;
+            cur = self.child(rt, cur, went_right, sink)?;
+        }
+        let node = rt.pmalloc(self.pool, self.node_size(), sink)?;
+        rt.write_u64(node, KEY, key, sink)?;
+        rt.write_oid(node, LEFT, Oid::NULL, sink)?;
+        rt.write_oid(node, RIGHT, Oid::NULL, sink)?;
+        rt.write_oid(node, PARENT, parent, sink)?;
+        rt.write_u64(node, COLOR, RED, sink)?;
+        let value = value_for(key, self.value_bytes);
+        rt.write_bytes(node, VALUE, &value, sink)?;
+        rt.persist(node, 0, self.node_size(), sink)?;
+        if parent.is_null() {
+            self.set_root(rt, node, sink)?;
+        } else {
+            self.set_child(rt, parent, went_right, node, sink)?;
+            rt.persist(parent, 0, u64::from(VALUE), sink)?;
+        }
+        self.insert_fixup(rt, node, sink)?;
+        self.bump_count(rt, 1, sink)?;
+        Ok(())
+    }
+
+    fn remove(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<bool> {
+        let node = self.find(rt, key, sink)?;
+        if node.is_null() {
+            return Ok(false);
+        }
+        let removed = self.remove_found(rt, node, sink)?;
+        // Deletion skips the recolor fixup (see the module docs), but a
+        // red root would break later insert fixups: force it black.
+        if !self.root.is_null() {
+            self.set_color(rt, self.root, BLACK, sink)?;
+        }
+        Ok(removed)
+    }
+
+    fn contains(
+        &mut self,
+        rt: &mut PmRuntime,
+        key: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<bool> {
+        Ok(!self.find(rt, key, sink)?.is_null())
+    }
+
+    fn len(&self) -> u64 {
+        self.count
+    }
+}
+
+impl RbTree {
+    /// Unlinks `node` (already located) BST-style.
+    fn remove_found(
+        &mut self,
+        rt: &mut PmRuntime,
+        node: Oid,
+        sink: &mut dyn TraceSink,
+    ) -> Result<bool> {
+        let left = self.child(rt, node, false, sink)?;
+        let right = self.child(rt, node, true, sink)?;
+        if left.is_null() {
+            self.transplant(rt, node, right, sink)?;
+        } else if right.is_null() {
+            self.transplant(rt, node, left, sink)?;
+        } else {
+            // Copy the successor's payload into `node`, then splice the
+            // successor out (it has no left child).
+            let mut succ = right;
+            loop {
+                let next = self.child(rt, succ, false, sink)?;
+                if next.is_null() {
+                    break;
+                }
+                succ = next;
+            }
+            let succ_key = rt.read_u64(succ, KEY, sink)?;
+            let mut value = vec![0u8; self.value_bytes as usize];
+            rt.read_bytes(succ, VALUE, &mut value, sink)?;
+            rt.write_u64(node, KEY, succ_key, sink)?;
+            rt.write_bytes(node, VALUE, &value, sink)?;
+            rt.persist(node, 0, self.node_size(), sink)?;
+            let succ_right = self.child(rt, succ, true, sink)?;
+            self.transplant(rt, succ, succ_right, sink)?;
+            rt.pfree(succ, sink)?;
+            self.bump_count(rt, -1, sink)?;
+            return Ok(true);
+        }
+        rt.pfree(node, sink)?;
+        self.bump_count(rt, -1, sink)?;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn contract() {
+        testutil::exercise_contract::<RbTree>();
+    }
+
+    #[test]
+    fn persistence() {
+        testutil::exercise_persistence::<RbTree>();
+    }
+
+    #[test]
+    fn tracing() {
+        testutil::exercise_tracing::<RbTree>();
+    }
+
+    #[test]
+    fn invariants_hold_under_sequential_inserts() {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut tree = RbTree::create(&mut rt, pool, 64, &mut sink).unwrap();
+        for k in 0..512u64 {
+            tree.insert(&mut rt, k, &mut sink).unwrap();
+        }
+        let black_height = tree.check_invariants(&mut rt, &mut sink).unwrap();
+        assert!(black_height >= 4, "512 nodes imply non-trivial black height");
+        assert_eq!(
+            tree.keys_in_order(&mut rt, &mut sink).unwrap(),
+            (0..512).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn invariants_hold_under_random_inserts() {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut tree = RbTree::create(&mut rt, pool, 16, &mut sink).unwrap();
+        for i in 0..400u64 {
+            tree.insert(&mut rt, i.wrapping_mul(0x9e37_79b9_7f4a_7c15), &mut sink).unwrap();
+            if i % 97 == 0 {
+                tree.check_invariants(&mut rt, &mut sink).unwrap();
+            }
+        }
+        tree.check_invariants(&mut rt, &mut sink).unwrap();
+    }
+
+    #[test]
+    fn bst_order_survives_deletes() {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut tree = RbTree::create(&mut rt, pool, 16, &mut sink).unwrap();
+        let keys: Vec<u64> = (0..200u64).map(|i| i.wrapping_mul(0xd129_8a2b)).collect();
+        for &k in &keys {
+            tree.insert(&mut rt, k, &mut sink).unwrap();
+        }
+        for &k in keys.iter().step_by(3) {
+            assert!(tree.remove(&mut rt, k, &mut sink).unwrap());
+        }
+        let inorder = tree.keys_in_order(&mut rt, &mut sink).unwrap();
+        let mut expect: Vec<u64> = keys
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, k)| *k)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(inorder, expect);
+    }
+}

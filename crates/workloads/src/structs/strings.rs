@@ -1,0 +1,187 @@
+//! A persistent string array (Table IV's "String Swap").
+//!
+//! A fixed array of fixed-width strings; the benchmark operation swaps two
+//! randomly chosen entries. "For each swap operation, two 64-byte strings
+//! get swapped ... incurring only up to two TLB misses" — the
+//! best-locality microbenchmark (§VI.B).
+
+use pmo_runtime::{Oid, PmRuntime, Result};
+use pmo_trace::{PmoId, TraceSink};
+
+use super::value_for;
+
+// Root-object layout.
+const ARRAY_PTR: u32 = 0;
+const SLOTS: u32 = 8;
+const SWAPS: u32 = 16;
+const ROOT_OBJ_SIZE: u64 = 24;
+
+/// A persistent array of fixed-width strings.
+#[derive(Debug)]
+pub struct StringArray {
+    array: Oid,
+    meta: Oid,
+    slots: u64,
+    string_bytes: u32,
+    swaps: u64,
+}
+
+impl StringArray {
+    /// Creates (or re-opens) an array of `slots` strings of
+    /// `string_bytes` each, initialized to the deterministic value of
+    /// their index.
+    ///
+    /// # Errors
+    ///
+    /// Fails on allocation failure or detached pool.
+    pub fn create(
+        rt: &mut PmRuntime,
+        pool: PmoId,
+        slots: u64,
+        string_bytes: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Self> {
+        let meta = rt.pool_root(pool, ROOT_OBJ_SIZE, sink)?;
+        let existing = rt.read_oid(meta, ARRAY_PTR, sink)?;
+        if !existing.is_null() {
+            let slots = rt.read_u64(meta, SLOTS, sink)?;
+            let swaps = rt.read_u64(meta, SWAPS, sink)?;
+            return Ok(StringArray { array: existing, meta, slots, string_bytes, swaps });
+        }
+        let array = rt.pmalloc(pool, slots * u64::from(string_bytes), sink)?;
+        for i in 0..slots {
+            let value = value_for(i, string_bytes);
+            rt.write_bytes(array, (i * u64::from(string_bytes)) as u32, &value, sink)?;
+        }
+        rt.persist(array, 0, slots * u64::from(string_bytes), sink)?;
+        rt.write_oid(meta, ARRAY_PTR, array, sink)?;
+        rt.write_u64(meta, SLOTS, slots, sink)?;
+        rt.write_u64(meta, SWAPS, 0, sink)?;
+        rt.persist(meta, 0, ROOT_OBJ_SIZE, sink)?;
+        Ok(StringArray { array, meta, slots, string_bytes, swaps: 0 })
+    }
+
+    fn offset(&self, slot: u64) -> u32 {
+        (slot * u64::from(self.string_bytes)) as u32
+    }
+
+    /// Reads the string at `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `slot` is out of range.
+    pub fn read_slot(
+        &self,
+        rt: &mut PmRuntime,
+        slot: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Vec<u8>> {
+        self.check_slot(slot)?;
+        let mut buf = vec![0u8; self.string_bytes as usize];
+        rt.read_bytes(self.array, self.offset(slot), &mut buf, sink)?;
+        Ok(buf)
+    }
+
+    fn check_slot(&self, slot: u64) -> Result<()> {
+        if slot >= self.slots {
+            return Err(pmo_runtime::RuntimeError::InvalidOid {
+                oid: slot,
+                reason: "string slot out of range",
+            });
+        }
+        Ok(())
+    }
+
+    /// Swaps the strings at `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either slot is out of range.
+    pub fn swap(
+        &mut self,
+        rt: &mut PmRuntime,
+        a: u64,
+        b: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
+        self.check_slot(a)?;
+        self.check_slot(b)?;
+        let sa = self.read_slot(rt, a, sink)?;
+        let sb = self.read_slot(rt, b, sink)?;
+        sink.compute(8);
+        rt.write_bytes(self.array, self.offset(a), &sb, sink)?;
+        rt.write_bytes(self.array, self.offset(b), &sa, sink)?;
+        rt.persist(self.array, self.offset(a), u64::from(self.string_bytes), sink)?;
+        rt.persist(self.array, self.offset(b), u64::from(self.string_bytes), sink)?;
+        self.swaps += 1;
+        rt.write_u64(self.meta, SWAPS, self.swaps, sink)?;
+        Ok(())
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// Swaps performed over the array's lifetime.
+    #[must_use]
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn swap_exchanges_contents() {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut arr = StringArray::create(&mut rt, pool, 16, 64, &mut sink).unwrap();
+        let a0 = arr.read_slot(&mut rt, 0, &mut sink).unwrap();
+        let a5 = arr.read_slot(&mut rt, 5, &mut sink).unwrap();
+        assert_ne!(a0, a5);
+        arr.swap(&mut rt, 0, 5, &mut sink).unwrap();
+        assert_eq!(arr.read_slot(&mut rt, 0, &mut sink).unwrap(), a5);
+        assert_eq!(arr.read_slot(&mut rt, 5, &mut sink).unwrap(), a0);
+        assert_eq!(arr.swaps(), 1);
+    }
+
+    #[test]
+    fn swaps_preserve_multiset() {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut arr = StringArray::create(&mut rt, pool, 32, 16, &mut sink).unwrap();
+        let mut before: Vec<Vec<u8>> =
+            (0..32).map(|i| arr.read_slot(&mut rt, i, &mut sink).unwrap()).collect();
+        for i in 0..64u64 {
+            arr.swap(&mut rt, i % 32, (i * 7 + 3) % 32, &mut sink).unwrap();
+        }
+        let mut after: Vec<Vec<u8>> =
+            (0..32).map(|i| arr.read_slot(&mut rt, i, &mut sink).unwrap()).collect();
+        before.sort();
+        after.sort();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn reopen_preserves_array() {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut arr = StringArray::create(&mut rt, pool, 8, 32, &mut sink).unwrap();
+        arr.swap(&mut rt, 0, 7, &mut sink).unwrap();
+        let v0 = arr.read_slot(&mut rt, 0, &mut sink).unwrap();
+        let arr2 = StringArray::create(&mut rt, pool, 8, 32, &mut sink).unwrap();
+        assert_eq!(arr2.slots(), 8);
+        assert_eq!(arr2.swaps(), 1);
+        assert_eq!(arr2.read_slot(&mut rt, 0, &mut sink).unwrap(), v0);
+    }
+
+    #[test]
+    fn out_of_range_slot_errors() {
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut arr = StringArray::create(&mut rt, pool, 4, 16, &mut sink).unwrap();
+        assert!(arr.read_slot(&mut rt, 4, &mut sink).is_err());
+        assert!(arr.swap(&mut rt, 0, 100, &mut sink).is_err());
+    }
+}

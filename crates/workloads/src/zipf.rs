@@ -1,0 +1,144 @@
+//! A Zipfian key sampler (YCSB's request distribution).
+//!
+//! Uses the classic Gray et al. "quick approximation" with precomputed
+//! constants, so sampling is O(1) per draw. Rank 0 is the hottest key.
+
+use rand::Rng;
+
+/// O(1) Zipfian sampler over ranks `0..n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with skew `theta` (YCSB uses
+    /// 0.99; 0 = uniform-ish, larger = more skewed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `[0, 1)`.
+    #[must_use]
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf over an empty set");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf { n, theta, alpha, zetan, eta }
+    }
+
+    /// The YCSB default skew (0.99 is outside our supported range for the
+    /// approximation's stability; 0.9 is the conventional substitute).
+    #[must_use]
+    pub fn ycsb(n: u64) -> Self {
+        Self::new(n, 0.9)
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum for small n, integral approximation for large n.
+        if n <= 10_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // integral of x^-theta from 10_000 to n.
+            let a = 1.0 - theta;
+            head + ((n as f64).powf(a) - 10_000f64.powf(a)) / a
+        }
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(100, 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_head() {
+        let zipf = Zipf::ycsb(10_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head_hits = 0u32;
+        const DRAWS: u32 = 20_000;
+        for _ in 0..DRAWS {
+            if zipf.sample(&mut rng) < 100 {
+                head_hits += 1;
+            }
+        }
+        // Under uniform, the top 1% would get ~1% of draws; under
+        // theta=0.9 Zipf it gets the majority.
+        let share = f64::from(head_hits) / f64::from(DRAWS);
+        assert!(share > 0.35, "head share {share}");
+    }
+
+    #[test]
+    fn low_theta_is_flatter() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head_share = |theta: f64| {
+            let zipf = Zipf::new(1_000, theta);
+            let hits = (0..10_000).filter(|_| zipf.sample(&mut rng) < 10).count();
+            hits as f64 / 10_000.0
+        };
+        assert!(head_share(0.1) < head_share(0.95));
+    }
+
+    #[test]
+    fn deterministic_given_rng_seed() {
+        let zipf = Zipf::new(500, 0.9);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| zipf.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn large_n_constructs() {
+        let zipf = Zipf::new(10_000_000, 0.9);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(zipf.sample(&mut rng) < 10_000_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 0.5);
+    }
+}

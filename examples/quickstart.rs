@@ -1,0 +1,53 @@
+//! Quickstart: create a persistent memory object, protect it with the
+//! paper's domain-virtualization design, and watch the MMU enforce
+//! per-thread spatio-temporal permissions.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pmo_repro::protect::SchemeKind;
+use pmo_repro::runtime::{Mode, PmRuntime};
+use pmo_repro::sim::Replay;
+use pmo_repro::simarch::SimConfig;
+use pmo_repro::trace::{Perm, TraceEvent, TraceSink};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The simulated machine (paper Table II) with the domain-virtualization
+    // scheme (design 2: DRT + PT + PTLB, no protection keys, no shootdowns).
+    let config = SimConfig::isca2020();
+    let mut sim = Replay::new(SchemeKind::DomainVirt, &config);
+
+    // A PMO runtime: pools are named, persistent, and attach into aligned
+    // VA regions. Every persistent access it performs streams into the
+    // simulator, which checks it against the domain machinery.
+    let mut rt = PmRuntime::new();
+    let ledger = rt.pool_create("ledger", 1 << 20, Mode::private(), &mut sim)?;
+    println!("created + attached PMO `ledger` (domain {ledger})");
+
+    // Fresh domains are inaccessible ("the default permission for this
+    // key is inaccessible"): grant read-write before touching it.
+    sim.event(TraceEvent::SetPerm { pmo: ledger, perm: Perm::ReadWrite });
+    let account = rt.pmalloc(ledger, 64, &mut sim)?;
+    rt.write_u64(account, 0, 1_000, &mut sim)?;
+    rt.persist(account, 0, 8, &mut sim)?;
+    println!("wrote balance inside the permission window");
+
+    // Close the temporal window: further accesses are domain violations.
+    sim.event(TraceEvent::SetPerm { pmo: ledger, perm: Perm::None });
+    match rt.read_u64(account, 0, &mut sim) {
+        Ok(_) => {} // the functional read succeeds in the runtime...
+        Err(e) => println!("runtime error: {e}"),
+    }
+
+    // ...but the simulated MMU recorded the violation:
+    let report = sim.finish();
+    println!(
+        "\nsimulated {} cycles; {} permission switches; {} domain faults",
+        report.cycles, report.counts.set_perms, report.scheme_stats.faults
+    );
+    for fault in &report.faults {
+        println!("  fault: {fault}");
+    }
+    assert_eq!(report.scheme_stats.faults, 1, "the out-of-window read");
+    println!("\ntemporal isolation enforced — see examples/server_isolation.rs for spatial isolation");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Replays one multi-PMO workload under all six protection schemes and
+//! prints a side-by-side cost comparison — a miniature of the paper's
+//! Figure 6 story in one screen.
+//!
+//! Run with: `cargo run --release --example scheme_comparison`
+
+use pmo_repro::experiments::{report_for, run_micro};
+use pmo_repro::protect::SchemeKind;
+use pmo_repro::simarch::SimConfig;
+use pmo_repro::workloads::{MicroBench, MicroConfig};
+
+fn main() {
+    let sim = SimConfig::isca2020();
+    let config = MicroConfig {
+        pmos: 64,
+        active_pmos: 64,
+        pmo_bytes: 8 << 20,
+        initial_nodes: 64,
+        ops: 2_000,
+        insert_pct: 90,
+        value_bytes: 64,
+        seed: 42,
+    };
+    println!(
+        "RB-tree over {} PMOs of 8MB, {} ops, per-op permission switching\n",
+        config.pmos, config.ops
+    );
+
+    let reports = run_micro(MicroBench::Rbt, &config, &SchemeKind::ALL, &sim);
+    let lowerbound = report_for(&reports, SchemeKind::Lowerbound).cycles;
+
+    println!(
+        "{:<12} {:>14} {:>12} {:>10} {:>11} {:>12}",
+        "scheme", "cycles", "vs lower %", "evictions", "shootdowns", "tlb-inval"
+    );
+    for report in &reports {
+        println!(
+            "{:<12} {:>14} {:>12.1} {:>10} {:>11} {:>12}",
+            report.scheme.label(),
+            report.cycles,
+            (report.cycles as f64 - lowerbound as f64) * 100.0 / lowerbound as f64,
+            report.scheme_stats.key_evictions,
+            report.scheme_stats.shootdowns,
+            report.scheme_stats.tlb_entries_invalidated,
+        );
+    }
+
+    let libmpk = report_for(&reports, SchemeKind::LibMpk);
+    let mpk_virt = report_for(&reports, SchemeKind::MpkVirt);
+    let domain_virt = report_for(&reports, SchemeKind::DomainVirt);
+    println!(
+        "\nhardware MPK virtualization cuts libmpk's overhead {:.1}x; \
+         domain virtualization cuts it {:.1}x",
+        (libmpk.cycles - lowerbound) as f64 / (mpk_virt.cycles - lowerbound) as f64,
+        (libmpk.cycles - lowerbound) as f64 / (domain_virt.cycles - lowerbound) as f64,
+    );
+    println!("domain virtualization performed {} shootdowns", domain_virt.scheme_stats.shootdowns);
+}

@@ -1,0 +1,139 @@
+//! Failure-injection tests: durable transactions must be atomic no
+//! matter where in the redo-log protocol the power fails. The storage
+//! layer's injection hook kills a specific persistent store; the test
+//! then crashes, re-attaches (running recovery), and checks that every
+//! transaction is either fully visible or fully invisible.
+
+use proptest::prelude::*;
+
+use pmo_repro::runtime::{AttachIntent, Mode, Oid, PmRuntime, RuntimeError};
+use pmo_repro::trace::NullSink;
+
+const ACCOUNTS: u32 = 8;
+const INITIAL: u64 = 1_000;
+
+fn setup() -> (PmRuntime, Oid) {
+    let mut rt = PmRuntime::new();
+    let mut sink = NullSink::new();
+    let pool = rt.pool_create("bank", 1 << 20, Mode::private(), &mut sink).unwrap();
+    let root = rt.pool_root(pool, u64::from(ACCOUNTS) * 8, &mut sink).unwrap();
+    let mut tx = rt.begin_txn(pool, &mut sink).unwrap();
+    for i in 0..ACCOUNTS {
+        tx.write_u64(root, i * 8, INITIAL).unwrap();
+    }
+    tx.commit().unwrap();
+    (rt, root)
+}
+
+/// One random transfer inside a durable transaction; power may fail at
+/// any persistent store along the way.
+fn transfer(
+    rt: &mut PmRuntime,
+    root: Oid,
+    from: u32,
+    to: u32,
+    amount: u64,
+) -> Result<(), RuntimeError> {
+    let mut sink = NullSink::new();
+    let pool = root.pool();
+    let mut tx = rt.begin_txn(pool, &mut sink)?;
+    if from != to {
+        let a = tx.read_u64(root, from * 8)?;
+        let b = tx.read_u64(root, to * 8)?;
+        tx.write_u64(root, from * 8, a.saturating_sub(amount))?;
+        tx.write_u64(root, to * 8, b + amount.min(a))?;
+    }
+    tx.commit()
+}
+
+fn total(rt: &mut PmRuntime, root: Oid) -> u64 {
+    let mut sink = NullSink::new();
+    (0..ACCOUNTS).map(|i| rt.read_u64(root, i * 8, &mut sink).unwrap()).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    /// Kill the power after a random number of stores mid-transaction:
+    /// after crash + recovery, the bank's total is conserved (the
+    /// transaction applied fully or not at all).
+    #[test]
+    fn transfers_are_atomic_under_power_failure(
+        fail_after in 0u64..60,
+        from in 0u32..ACCOUNTS,
+        to in 0u32..ACCOUNTS,
+        amount in 1u64..500,
+    ) {
+        let (mut rt, root) = setup();
+        let mut sink = NullSink::new();
+        let pool = root.pool();
+        prop_assert_eq!(total(&mut rt, root), u64::from(ACCOUNTS) * INITIAL);
+
+        rt.inject_power_failure_after(pool, fail_after).unwrap();
+        let result = transfer(&mut rt, root, from, to, amount);
+        // Whatever happened, the machine now loses power.
+        rt.crash();
+        let pool = rt.pool_open("bank", AttachIntent::ReadWrite, &mut sink).unwrap();
+        let root = rt.pool_root(pool, u64::from(ACCOUNTS) * 8, &mut sink).unwrap();
+
+        // Money is conserved in every outcome.
+        prop_assert_eq!(total(&mut rt, root), u64::from(ACCOUNTS) * INITIAL);
+
+        // And per-account state is all-or-nothing.
+        let a = rt.read_u64(root, from * 8, &mut sink).unwrap();
+        if from != to {
+            let applied = a != INITIAL;
+            let b = rt.read_u64(root, to * 8, &mut sink).unwrap();
+            if applied {
+                prop_assert_eq!(a, INITIAL - amount, "debit applied in full");
+                prop_assert_eq!(b, INITIAL + amount, "credit applied in full");
+            } else {
+                prop_assert_eq!(b, INITIAL, "neither side applied");
+            }
+            // If the transfer reported success, it must be durable.
+            if result.is_ok() {
+                prop_assert!(applied, "committed transfer lost by the crash");
+            }
+        }
+    }
+
+    /// A chain of transfers with one failure point somewhere in the
+    /// middle: every transaction before the failure survives, the failing
+    /// one is atomic, and the total is always conserved.
+    #[test]
+    fn transfer_chains_conserve_money(
+        transfers in prop::collection::vec((0u32..ACCOUNTS, 0u32..ACCOUNTS, 1u64..200), 1..8),
+        fail_after in 20u64..400,
+    ) {
+        let (mut rt, root) = setup();
+        let mut sink = NullSink::new();
+        let pool = root.pool();
+        rt.inject_power_failure_after(pool, fail_after).unwrap();
+        for &(from, to, amount) in &transfers {
+            if transfer(&mut rt, root, from, to, amount).is_err() {
+                break;
+            }
+        }
+        rt.crash();
+        let pool = rt.pool_open("bank", AttachIntent::ReadWrite, &mut sink).unwrap();
+        let root = rt.pool_root(pool, u64::from(ACCOUNTS) * 8, &mut sink).unwrap();
+        let _ = pool;
+        prop_assert_eq!(total(&mut rt, root), u64::from(ACCOUNTS) * INITIAL);
+    }
+}
+
+#[test]
+fn failure_injection_fires() {
+    let (mut rt, root) = setup();
+    let pool = root.pool();
+    rt.inject_power_failure_after(pool, 0).unwrap();
+    let err = transfer(&mut rt, root, 0, 1, 10).unwrap_err();
+    assert_eq!(err, RuntimeError::PowerFailure);
+    // Crash clears the injection; the pool works again afterwards.
+    rt.crash();
+    let mut sink = NullSink::new();
+    let pool = rt.pool_open("bank", AttachIntent::ReadWrite, &mut sink).unwrap();
+    let root = rt.pool_root(pool, u64::from(ACCOUNTS) * 8, &mut sink).unwrap();
+    transfer(&mut rt, root, 0, 1, 10).unwrap();
+    assert_eq!(total(&mut rt, root), u64::from(ACCOUNTS) * INITIAL);
+}

@@ -1,0 +1,169 @@
+//! End-to-end pipeline tests: real workloads → trace → replay → reports,
+//! asserting the relationships the paper's evaluation rests on.
+
+use pmo_repro::experiments::{report_for, run_micro, run_whisper};
+use pmo_repro::protect::SchemeKind;
+use pmo_repro::simarch::SimConfig;
+use pmo_repro::workloads::{MicroBench, MicroConfig, WhisperBench, WhisperConfig};
+
+fn micro_config(active: u32) -> MicroConfig {
+    MicroConfig {
+        pmos: active,
+        active_pmos: active,
+        pmo_bytes: 8 << 20,
+        initial_nodes: 24,
+        ops: 600,
+        insert_pct: 90,
+        value_bytes: 64,
+        seed: 99,
+    }
+}
+
+#[test]
+fn every_benchmark_replays_clean_under_every_scheme() {
+    let sim = SimConfig::isca2020();
+    for bench in MicroBench::ALL {
+        let reports = run_micro(bench, &micro_config(24), &SchemeKind::ALL, &sim);
+        for r in &reports {
+            assert!(!r.faulted(), "{bench:?}/{}: faults", r.scheme);
+            assert_eq!(r.ops, 600, "{bench:?}/{}", r.scheme);
+            assert!(r.cycles > 0);
+        }
+        // The trace is identical across schemes: same loads/stores.
+        let loads: Vec<u64> = reports.iter().map(|r| r.counts.loads).collect();
+        assert!(loads.windows(2).all(|w| w[0] == w[1]), "{bench:?}: traces diverged");
+    }
+}
+
+#[test]
+fn cycle_ordering_matches_the_paper() {
+    let sim = SimConfig::isca2020();
+    // 64 PMOs: enough pressure that every effect is visible.
+    let reports = run_micro(MicroBench::Rbt, &micro_config(64), &SchemeKind::ALL, &sim);
+    let cycles = |k| report_for(&reports, k).cycles;
+
+    // The baseline has no permission-switch cost.
+    assert!(cycles(SchemeKind::Unprotected) < cycles(SchemeKind::Lowerbound));
+    // The lowerbound is the floor for every virtualization scheme.
+    for k in [SchemeKind::LibMpk, SchemeKind::MpkVirt, SchemeKind::DomainVirt] {
+        assert!(cycles(k) >= cycles(SchemeKind::Lowerbound), "{k} under lowerbound");
+    }
+    // The paper's headline ordering at high domain counts.
+    assert!(cycles(SchemeKind::LibMpk) > cycles(SchemeKind::MpkVirt));
+    assert!(cycles(SchemeKind::MpkVirt) > cycles(SchemeKind::DomainVirt));
+}
+
+#[test]
+fn crossover_between_the_hardware_designs() {
+    // The paper (§VI.B): MPK virtualization wins at few PMOs (no
+    // evictions, TLB hits are free); domain virtualization wins at many
+    // (no shootdowns). Compare relative positions at the extremes.
+    let sim = SimConfig::isca2020();
+    let overhead = |active: u32, kind: SchemeKind| {
+        let reports = run_micro(
+            MicroBench::Rbt,
+            &micro_config(active),
+            &[SchemeKind::Lowerbound, kind],
+            &sim,
+        );
+        let lb = report_for(&reports, SchemeKind::Lowerbound);
+        report_for(&reports, kind).overhead_pct_over(lb)
+    };
+    let mpk_small = overhead(8, SchemeKind::MpkVirt);
+    let dom_small = overhead(8, SchemeKind::DomainVirt);
+    let mpk_large = overhead(96, SchemeKind::MpkVirt);
+    let dom_large = overhead(96, SchemeKind::DomainVirt);
+    assert!(
+        mpk_small < dom_small,
+        "few PMOs: MPK virtualization must win ({mpk_small:.2}% vs {dom_small:.2}%)"
+    );
+    assert!(
+        dom_large < mpk_large,
+        "many PMOs: domain virtualization must win ({dom_large:.2}% vs {mpk_large:.2}%)"
+    );
+}
+
+#[test]
+fn single_pmo_whisper_mpk_equals_mpk_virt() {
+    // Table V: "hardware MPK virtualization enjoys the same performance
+    // as the default MPK because the benchmarks have only one PMO".
+    let sim = SimConfig::isca2020();
+    let cfg = WhisperConfig { txns: 400, records: 256, pmo_bytes: 8 << 20, ..WhisperConfig::quick() };
+    let reports = run_whisper(
+        WhisperBench::Hashmap,
+        &cfg,
+        &[
+            SchemeKind::Unprotected,
+            SchemeKind::DefaultMpk,
+            SchemeKind::MpkVirt,
+            SchemeKind::DomainVirt,
+        ],
+        &sim,
+    );
+    let base = report_for(&reports, SchemeKind::Unprotected);
+    let mpk = report_for(&reports, SchemeKind::DefaultMpk).overhead_pct_over(base);
+    let mpk_virt = report_for(&reports, SchemeKind::MpkVirt).overhead_pct_over(base);
+    let domain_virt = report_for(&reports, SchemeKind::DomainVirt).overhead_pct_over(base);
+    // "Hardware MPK virtualization enjoys the same performance as the
+    // default MPK": identical up to the DTTLB re-walks SETPERM triggers.
+    assert!(
+        (mpk - mpk_virt).abs() < (0.08 * mpk).max(1.0),
+        "single PMO: MPK {mpk:.2}% vs MPK-virt {mpk_virt:.2}% must be near-identical"
+    );
+    assert!(
+        domain_virt > mpk_virt,
+        "domain virtualization pays PTLB latency on every PMO access \
+         ({domain_virt:.2}% vs {mpk_virt:.2}%)"
+    );
+    assert!(mpk > 0.0, "WRPKRU cost must be visible");
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let sim = SimConfig::isca2020();
+    let a = run_micro(MicroBench::Avl, &micro_config(16), &[SchemeKind::MpkVirt], &sim);
+    let b = run_micro(MicroBench::Avl, &micro_config(16), &[SchemeKind::MpkVirt], &sim);
+    assert_eq!(a[0].cycles, b[0].cycles);
+    assert_eq!(a[0].breakdown, b[0].breakdown);
+    assert_eq!(a[0].tlb, b[0].tlb);
+}
+
+#[test]
+fn breakdown_buckets_fill_where_the_paper_says() {
+    let sim = SimConfig::isca2020();
+    let reports = run_micro(
+        MicroBench::StringSwap,
+        &micro_config(96),
+        &[SchemeKind::MpkVirt, SchemeKind::DomainVirt, SchemeKind::LibMpk],
+        &sim,
+    );
+    let mpk_virt = report_for(&reports, SchemeKind::MpkVirt);
+    // Design 1: TLB invalidations dominate (Table VII).
+    assert!(mpk_virt.breakdown.tlb_invalidation > 0);
+    assert!(mpk_virt.breakdown.translation_miss > 0, "DTT misses");
+    assert_eq!(mpk_virt.breakdown.access_latency, 0, "no per-access cost in design 1");
+
+    let domain_virt = report_for(&reports, SchemeKind::DomainVirt);
+    // Design 2: access latency + PTLB misses; no invalidations at all.
+    assert_eq!(domain_virt.breakdown.tlb_invalidation, 0);
+    assert!(domain_virt.breakdown.access_latency > 0);
+    assert!(domain_virt.breakdown.translation_miss > 0, "PTLB misses");
+
+    let libmpk = report_for(&reports, SchemeKind::LibMpk);
+    // libmpk: kernel time dominates.
+    assert!(libmpk.breakdown.software > libmpk.breakdown.permission_change);
+    assert!(libmpk.breakdown.software > mpk_virt.breakdown.total());
+}
+
+#[test]
+fn whisper_traces_carry_persistence_traffic() {
+    let sim = SimConfig::isca2020();
+    let cfg = WhisperConfig { txns: 200, records: 128, pmo_bytes: 8 << 20, ..WhisperConfig::quick() };
+    for bench in [WhisperBench::Echo, WhisperBench::Ycsb, WhisperBench::Tpcc] {
+        let reports = run_whisper(bench, &cfg, &[SchemeKind::Unprotected], &sim);
+        let r = &reports[0];
+        assert!(r.counts.flushes > 0, "{bench:?} flushes");
+        assert!(r.counts.fences > 0, "{bench:?} fences");
+        assert!(r.nvm_writes > 0, "{bench:?} NVM write traffic");
+    }
+}

@@ -1,0 +1,115 @@
+//! OS-level PMO policy tests through the runtime: users, modes, attach
+//! keys, sharing and destruction — the paper's §IV.A second requirement
+//! ("the OS can grant attachment requests only if the user who owns the
+//! process is allowed to attach the PMO").
+
+use pmo_repro::runtime::{AttachIntent, Mode, PmRuntime, RuntimeError};
+use pmo_repro::trace::NullSink;
+
+#[test]
+fn ownership_and_modes_gate_attachment() {
+    let mut rt = PmRuntime::new();
+    let mut sink = NullSink::new();
+    rt.set_uid(100);
+    let pool = rt.pool_create("alice-data", 1 << 20, Mode::private(), &mut sink).unwrap();
+    rt.pool_close(pool, &mut sink).unwrap();
+
+    // Another user cannot attach a private pool at all.
+    rt.set_uid(200);
+    assert!(matches!(
+        rt.pool_open("alice-data", AttachIntent::Read, &mut sink),
+        Err(RuntimeError::PermissionDenied { .. })
+    ));
+
+    // The owner can.
+    rt.set_uid(100);
+    let pool = rt.pool_open("alice-data", AttachIntent::ReadWrite, &mut sink).unwrap();
+    rt.pool_close(pool, &mut sink).unwrap();
+}
+
+#[test]
+fn shared_read_pools_allow_concurrent_readers_only() {
+    let mut rt = PmRuntime::new();
+    let mut sink = NullSink::new();
+    rt.set_uid(1);
+    let pool = rt.pool_create("feed", 1 << 20, Mode::shared_read(), &mut sink).unwrap();
+    let item = rt.pmalloc(pool, 64, &mut sink).unwrap();
+    rt.write_u64(item, 0, 7, &mut sink).unwrap();
+    rt.pool_close(pool, &mut sink).unwrap();
+
+    // A different user reads it; writes are rejected at both layers.
+    rt.set_uid(2);
+    let pool = rt.pool_open("feed", AttachIntent::Read, &mut sink).unwrap();
+    assert_eq!(rt.read_u64(item, 0, &mut sink).unwrap(), 7);
+    assert!(rt.write_u64(item, 0, 9, &mut sink).is_err());
+    assert!(matches!(
+        rt.pool_open("feed", AttachIntent::ReadWrite, &mut sink),
+        Err(RuntimeError::PermissionDenied { .. } | RuntimeError::AlreadyAttached(_))
+    ));
+    rt.pool_close(pool, &mut sink).unwrap();
+}
+
+#[test]
+fn attach_keys_add_a_second_factor() {
+    let mut rt = PmRuntime::new();
+    let mut sink = NullSink::new();
+    rt.set_uid(1);
+    let pool = rt.pool_create("vault", 1 << 20, Mode::shared_write(), &mut sink).unwrap();
+    rt.pool_close(pool, &mut sink).unwrap();
+    rt.namespace_mut().set_attach_key("vault", 1, Some(0xdeed)).unwrap();
+
+    rt.set_uid(2);
+    assert!(matches!(
+        rt.pool_open("vault", AttachIntent::Read, &mut sink),
+        Err(RuntimeError::WrongAttachKey(_))
+    ));
+    assert!(matches!(
+        rt.pool_open_with_key("vault", AttachIntent::Read, 0xbad, &mut sink),
+        Err(RuntimeError::WrongAttachKey(_))
+    ));
+    let pool = rt.pool_open_with_key("vault", AttachIntent::Read, 0xdeed, &mut sink).unwrap();
+    rt.pool_close(pool, &mut sink).unwrap();
+}
+
+#[test]
+fn delete_requires_owner_and_detachment() {
+    let mut rt = PmRuntime::new();
+    let mut sink = NullSink::new();
+    rt.set_uid(1);
+    let pool = rt.pool_create("scratch", 1 << 20, Mode::shared_write(), &mut sink).unwrap();
+
+    // Attached: delete refused.
+    assert!(rt.pool_delete("scratch").is_err());
+    rt.pool_close(pool, &mut sink).unwrap();
+
+    // Wrong user: refused.
+    rt.set_uid(2);
+    assert!(matches!(
+        rt.pool_delete("scratch"),
+        Err(RuntimeError::PermissionDenied { .. })
+    ));
+
+    // Owner, detached: destroyed for good.
+    rt.set_uid(1);
+    rt.pool_delete("scratch").unwrap();
+    assert!(matches!(
+        rt.pool_open("scratch", AttachIntent::Read, &mut sink),
+        Err(RuntimeError::NoSuchPool(_))
+    ));
+}
+
+#[test]
+fn pmo_ids_are_stable_and_unique_across_sessions() {
+    let mut rt = PmRuntime::new();
+    let mut sink = NullSink::new();
+    let a = rt.pool_create("a", 1 << 20, Mode::private(), &mut sink).unwrap();
+    let b = rt.pool_create("b", 1 << 20, Mode::private(), &mut sink).unwrap();
+    assert_ne!(a, b);
+    rt.crash();
+    // Re-open after "reboot": same IDs (the namespace assigns them at
+    // creation, so domain IDs are stable across sessions).
+    let a2 = rt.pool_open("a", AttachIntent::ReadWrite, &mut sink).unwrap();
+    let b2 = rt.pool_open("b", AttachIntent::ReadWrite, &mut sink).unwrap();
+    assert_eq!(a, a2);
+    assert_eq!(b, b2);
+}

@@ -1,0 +1,351 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants, spanning several crates:
+//!
+//! - every persistent structure behaves like a `BTreeSet` model under
+//!   arbitrary insert/remove/contains sequences;
+//! - pool storage's flush/crash model matches a two-copy reference model;
+//! - the VA range radix behaves like an interval map;
+//! - the permission lattice and PKRU encodings are coherent;
+//! - OIDs round-trip through their persistent representation.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use pmo_repro::protect::{Pkru, RangeRadix};
+use pmo_repro::runtime::{Mode, Oid, PmRuntime, PoolStorage};
+use pmo_repro::trace::{AccessKind, NullSink, Perm, PmoId};
+use pmo_repro::workloads::structs::{
+    AvlTree, BplusTree, KeyedStructure, LinkedList, PersistentHashmap, RbTree,
+};
+
+#[derive(Debug, Clone, Copy)]
+enum SetOp {
+    Insert(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn set_ops() -> impl Strategy<Value = Vec<SetOp>> {
+    // Keys from a small pool so removes/lookups hit often.
+    let key = 0u64..48;
+    prop::collection::vec(
+        prop_oneof![
+            3 => key.clone().prop_map(SetOp::Insert),
+            2 => key.clone().prop_map(SetOp::Remove),
+            1 => key.prop_map(SetOp::Contains),
+        ],
+        1..120,
+    )
+}
+
+fn check_against_model<S: KeyedStructure>(ops: &[SetOp]) {
+    let mut rt = PmRuntime::new();
+    let mut sink = NullSink::new();
+    let pool = rt.pool_create("prop", 8 << 20, Mode::private(), &mut sink).unwrap();
+    let mut subject = S::create(&mut rt, pool, 32, &mut sink).unwrap();
+    let mut model: BTreeSet<u64> = BTreeSet::new();
+    for op in ops {
+        match *op {
+            SetOp::Insert(k) => {
+                subject.insert(&mut rt, k, &mut sink).unwrap();
+                model.insert(k);
+            }
+            SetOp::Remove(k) => {
+                let removed = subject.remove(&mut rt, k, &mut sink).unwrap();
+                assert_eq!(removed, model.remove(&k), "remove({k})");
+            }
+            SetOp::Contains(k) => {
+                let found = subject.contains(&mut rt, k, &mut sink).unwrap();
+                assert_eq!(found, model.contains(&k), "contains({k})");
+            }
+        }
+        assert_eq!(subject.len(), model.len() as u64, "cardinality after {op:?}");
+    }
+    // Final sweep: total agreement.
+    for k in 0u64..48 {
+        assert_eq!(
+            subject.contains(&mut rt, k, &mut sink).unwrap(),
+            model.contains(&k),
+            "final contains({k})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn avl_matches_btreeset(ops in set_ops()) {
+        check_against_model::<AvlTree>(&ops);
+    }
+
+    #[test]
+    fn rbtree_matches_btreeset(ops in set_ops()) {
+        check_against_model::<RbTree>(&ops);
+    }
+
+    #[test]
+    fn bplustree_matches_btreeset(ops in set_ops()) {
+        check_against_model::<BplusTree>(&ops);
+    }
+
+    #[test]
+    fn linked_list_matches_btreeset(ops in set_ops()) {
+        check_against_model::<LinkedList>(&ops);
+    }
+
+    #[test]
+    fn hashmap_matches_btreeset(ops in set_ops()) {
+        check_against_model::<PersistentHashmap>(&ops);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Storage flush/crash model.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum StorageOp {
+    Write(u16, Vec<u8>),
+    FlushRange(u16, u16),
+    Crash,
+}
+
+fn storage_ops() -> impl Strategy<Value = Vec<StorageOp>> {
+    let write = (0u16..960, prop::collection::vec(any::<u8>(), 1..48))
+        .prop_map(|(o, d)| StorageOp::Write(o, d));
+    let flush = (0u16..960, 1u16..64).prop_map(|(o, l)| StorageOp::FlushRange(o, l));
+    prop::collection::vec(
+        prop_oneof![4 => write, 2 => flush, 1 => Just(StorageOp::Crash)],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn storage_matches_two_copy_model(ops in storage_ops()) {
+        const SIZE: usize = 1024;
+        let mut storage = PoolStorage::new(SIZE as u64);
+        // Reference model: `current` is what the CPU sees, `persisted`
+        // what survives a crash; flush copies line-sized spans across.
+        let mut current = vec![0u8; SIZE];
+        let mut persisted = vec![0u8; SIZE];
+        for op in &ops {
+            match op {
+                StorageOp::Write(off, data) => {
+                    let off = *off as usize;
+                    let end = (off + data.len()).min(SIZE);
+                    let data = &data[..end - off];
+                    storage.write(off as u64, data).unwrap();
+                    current[off..end].copy_from_slice(data);
+                }
+                StorageOp::FlushRange(off, len) => {
+                    let off = (*off as usize).min(SIZE - 1);
+                    let len = (*len as usize).min(SIZE - off);
+                    storage.flush_range(off as u64, len as u64);
+                    let first = off / 64 * 64;
+                    let last = ((off + len.max(1) - 1) / 64 + 1) * 64;
+                    let last = last.min(SIZE);
+                    persisted[first..last].copy_from_slice(&current[first..last]);
+                }
+                StorageOp::Crash => {
+                    storage.crash();
+                    current.copy_from_slice(&persisted);
+                }
+            }
+            let mut buf = vec![0u8; SIZE];
+            storage.read(0, &mut buf).unwrap();
+            prop_assert_eq!(&buf, &current, "visible state diverged after {:?}", op);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Range radix behaves like an interval map.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn radix_matches_interval_model(
+        regions in prop::collection::btree_set(0u64..128, 1..40),
+        probes in prop::collection::vec((0u64..128, 0u64..(1 << 30)), 64)
+    ) {
+        const GB1: u64 = 1 << 30;
+        let mut radix: RangeRadix<u64> = RangeRadix::new();
+        for &slot in &regions {
+            radix.insert(slot * GB1, GB1, slot);
+        }
+        prop_assert_eq!(radix.len(), regions.len());
+        for (slot, offset) in probes {
+            let hit = radix.lookup(slot * GB1 + offset);
+            prop_assert_eq!(hit.map(|h| *h.value), regions.get(&slot).copied());
+        }
+        // Remove half, re-probe.
+        let removed: Vec<u64> = regions.iter().copied().step_by(2).collect();
+        for &slot in &removed {
+            prop_assert_eq!(radix.remove(slot * GB1), Some(slot));
+        }
+        for &slot in &removed {
+            prop_assert!(radix.lookup(slot * GB1).is_none());
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Permission lattice / PKRU coherence.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn perm_lattice_is_coherent(a in 0u8..3, b in 0u8..3) {
+        let perms = [Perm::None, Perm::ReadOnly, Perm::ReadWrite];
+        let (a, b) = (perms[a as usize], perms[b as usize]);
+        // meet never allows more than either side; join never less.
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            prop_assert!(!a.meet(b).allows(kind) || (a.allows(kind) && b.allows(kind)));
+            prop_assert!(a.join(b).allows(kind) || (!a.allows(kind) && !b.allows(kind)));
+        }
+        // 2-bit encoding round-trips.
+        prop_assert_eq!(Perm::decode(a.encode()), a);
+    }
+
+    #[test]
+    fn pkru_updates_are_independent(ops in prop::collection::vec((0u8..16, 0u8..3), 1..40)) {
+        let perms = [Perm::None, Perm::ReadOnly, Perm::ReadWrite];
+        let mut reg = Pkru::ALL_DENIED;
+        let mut model = [Perm::None; 16];
+        for (key, p) in ops {
+            let perm = perms[p as usize];
+            reg = reg.with_perm(key, perm);
+            model[key as usize] = perm;
+            for k in 0..16u8 {
+                prop_assert_eq!(reg.perm(k), model[k as usize], "key {}", k);
+            }
+        }
+        prop_assert_eq!(Pkru::from_raw(reg.raw()), reg);
+    }
+
+    #[test]
+    fn oid_roundtrips(pool in 1u32.., offset in any::<u32>()) {
+        let oid = Oid::new(PmoId::new(pool), offset);
+        prop_assert_eq!(Oid::from_raw(oid.to_raw()), oid);
+        prop_assert!(!oid.is_null());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace files round-trip arbitrary event sequences.
+// ---------------------------------------------------------------------
+
+fn arb_event() -> impl Strategy<Value = pmo_repro::trace::TraceEvent> {
+    use pmo_repro::trace::{OpKind, ThreadId, TraceEvent};
+    prop_oneof![
+        (1u32..100_000).prop_map(|count| TraceEvent::Compute { count }),
+        (any::<u64>(), 1u8..=64).prop_map(|(va, size)| TraceEvent::Load { va, size }),
+        (any::<u64>(), 1u8..=64).prop_map(|(va, size)| TraceEvent::Store { va, size }),
+        (1u32.., 0u8..3).prop_map(|(pmo, p)| TraceEvent::SetPerm {
+            pmo: PmoId::new(pmo),
+            perm: [Perm::None, Perm::ReadOnly, Perm::ReadWrite][p as usize],
+        }),
+        (1u32.., any::<u64>(), 0u64..(1 << 40), any::<bool>()).prop_map(
+            |(pmo, base, size, nvm)| TraceEvent::Attach { pmo: PmoId::new(pmo), base, size, nvm }
+        ),
+        (1u32..).prop_map(|pmo| TraceEvent::Detach { pmo: PmoId::new(pmo) }),
+        any::<u32>().prop_map(|t| TraceEvent::ThreadSwitch { thread: ThreadId::new(t) }),
+        any::<u64>().prop_map(|va| TraceEvent::Flush { va }),
+        Just(TraceEvent::Fence),
+        any::<bool>().prop_map(|end| TraceEvent::Op {
+            kind: if end { OpKind::End } else { OpKind::Begin }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn trace_files_roundtrip(events in prop::collection::vec(arb_event(), 0..200)) {
+        use pmo_repro::trace::{RecordedTrace, TraceFile, TraceFileWriter, TraceSink, TraceSource};
+        let dir = std::env::temp_dir()
+            .join(format!("pmo-prop-{}-{:x}", std::process::id(), events.len()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.pmot");
+
+        let mut writer = TraceFileWriter::create(&path).unwrap();
+        for ev in &events {
+            writer.event(*ev);
+        }
+        prop_assert_eq!(writer.finish().unwrap(), events.len() as u64);
+
+        let file = TraceFile::open(&path).unwrap();
+        let mut replayed = RecordedTrace::new();
+        file.replay(&mut replayed);
+        prop_assert_eq!(replayed.events(), events.as_slice());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // -----------------------------------------------------------------
+    // The static trace audit agrees with the lowerbound oracle: an
+    // access is "unguarded" exactly when the scheme would deny it.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn audit_matches_lowerbound_denials(
+        ops in prop::collection::vec((0u8..8, 1u32..6, 0u64..4096u64), 1..150)
+    ) {
+        use pmo_repro::protect::scheme::SchemeKind;
+        use pmo_repro::protect::ProtectionScheme as _;
+        use pmo_repro::simarch::SimConfig;
+        use pmo_repro::trace::{AuditViolation, PermAudit, TraceEvent, TraceSink};
+
+        const GB1: u64 = 1 << 30;
+        let config = SimConfig::isca2020();
+        let mut scheme = SchemeKind::Lowerbound.build(&config);
+        let mut audit = PermAudit::with_max_open_windows(usize::MAX);
+
+        // Attach five domains in both views.
+        for d in 1..6u32 {
+            scheme.attach(PmoId::new(d), u64::from(d) * GB1, 1 << 20, true);
+            audit.event(TraceEvent::Attach {
+                pmo: PmoId::new(d),
+                base: u64::from(d) * GB1,
+                size: 1 << 20,
+                nvm: true,
+            });
+        }
+
+        let mut denied = 0u64;
+        for (op, d, off) in ops {
+            let pmo = PmoId::new(d);
+            let va = u64::from(d) * GB1 + off;
+            match op {
+                0..=2 => {
+                    let perm = [Perm::None, Perm::ReadOnly, Perm::ReadWrite][(op % 3) as usize];
+                    scheme.set_perm(pmo, perm);
+                    audit.event(TraceEvent::SetPerm { pmo, perm });
+                }
+                3..=5 => {
+                    let kind = if op == 3 { AccessKind::Write } else { AccessKind::Read };
+                    if !scheme.access(va, kind).allowed() {
+                        denied += 1;
+                    }
+                    let ev = if op == 3 {
+                        TraceEvent::Store { va, size: 8 }
+                    } else {
+                        TraceEvent::Load { va, size: 8 }
+                    };
+                    audit.event(ev);
+                }
+                _ => {
+                    let t = pmo_repro::trace::ThreadId::new(u32::from(op) % 3);
+                    scheme.context_switch(t);
+                    audit.event(TraceEvent::ThreadSwitch { thread: t });
+                }
+            }
+        }
+        let unguarded = audit
+            .violations()
+            .iter()
+            .filter(|v| matches!(v, AuditViolation::UnguardedAccess { .. }))
+            .count() as u64;
+        prop_assert_eq!(unguarded, denied);
+    }
+}

@@ -1,0 +1,82 @@
+//! The benchmark generators must emit permission-disciplined traces:
+//! every PMO access inside a window, windows closed when done. This is
+//! the trace-level analogue of the schemes never faulting on them.
+
+use pmo_repro::trace::{AuditViolation, PermAudit};
+use pmo_repro::workloads::{
+    MicroBench, MicroConfig, MicroWorkload, ServerConfig, ServerWorkload, WhisperBench,
+    WhisperConfig, WhisperWorkload, Workload,
+};
+
+#[test]
+fn whisper_traces_are_window_clean() {
+    for bench in WhisperBench::ALL {
+        let mut w = WhisperWorkload::new(
+            bench,
+            WhisperConfig { txns: 150, records: 256, pmo_bytes: 8 << 20, ..WhisperConfig::quick() },
+        );
+        let mut audit = PermAudit::new(); // the strict <=2-window discipline
+        w.setup(&mut audit);
+        w.run(&mut audit);
+        let violations = audit.finish();
+        assert!(violations.is_empty(), "{bench}: {violations:?}");
+    }
+}
+
+#[test]
+fn micro_traces_have_no_unguarded_accesses() {
+    // The multi-PMO protocol keeps a read grant open on every PMO (the
+    // paper's baseline), so the <=2-window rule does not apply — but no
+    // access may ever fall outside a window.
+    for bench in MicroBench::ALL {
+        let mut w = MicroWorkload::new(
+            bench,
+            MicroConfig {
+                pmos: 12,
+                active_pmos: 12,
+                pmo_bytes: 1 << 20,
+                initial_nodes: 12,
+                ops: 150,
+                insert_pct: 90,
+                value_bytes: 64,
+                seed: 5,
+            },
+        );
+        let mut audit = PermAudit::with_max_open_windows(usize::MAX);
+        w.setup(&mut audit);
+        w.run(&mut audit);
+        let violations = audit.finish();
+        let unguarded: Vec<_> = violations
+            .iter()
+            .filter(|v| matches!(v, AuditViolation::UnguardedAccess { .. }))
+            .collect();
+        assert!(unguarded.is_empty(), "{bench}: {unguarded:?}");
+        // The only residue is the always-readable baseline grants.
+        assert!(violations
+            .iter()
+            .all(|v| matches!(v, AuditViolation::WindowLeftOpen { .. })));
+    }
+}
+
+#[test]
+fn server_trace_is_per_thread_disciplined() {
+    let mut w = ServerWorkload::new(ServerConfig {
+        clients: 8,
+        requests: 200,
+        quantum: 3,
+        initial_records: 16,
+        pmo_bytes: 1 << 20,
+        seed: 2,
+    });
+    let mut audit = PermAudit::with_max_open_windows(usize::MAX);
+    w.setup(&mut audit);
+    w.run(&mut audit);
+    let violations = audit.finish();
+    // Handlers only ever touch their own client's PMO, under a grant.
+    assert!(
+        !violations
+            .iter()
+            .any(|v| matches!(v, AuditViolation::UnguardedAccess { .. })),
+        "{violations:?}"
+    );
+}

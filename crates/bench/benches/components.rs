@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use pmo_protect::{
-    Dttlb, DttlbEntry, KeyAllocator, Pkru, PermissionTable, Ptlb, PtlbEntry, RangeRadix,
+    Dttlb, DttlbEntry, KeyAllocator, PermissionTable, Pkru, Ptlb, PtlbEntry, RangeRadix,
 };
 use pmo_simarch::{Policy, SetState};
 use pmo_trace::{Perm, PmoId, ThreadId};

@@ -19,13 +19,9 @@ fn fig6_sweep(c: &mut Criterion) {
     group.sample_size(10);
     for pmos in [16u32, 128] {
         for kind in [SchemeKind::LibMpk, SchemeKind::MpkVirt, SchemeKind::DomainVirt] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), pmos),
-                &pmos,
-                |b, &pmos| {
-                    b.iter(|| black_box(run_micro_once(MicroBench::StringSwap, pmos, kind, &sim)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), pmos), &pmos, |b, &pmos| {
+                b.iter(|| black_box(run_micro_once(MicroBench::StringSwap, pmos, kind, &sim)));
+            });
         }
     }
     group.finish();

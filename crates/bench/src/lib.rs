@@ -17,7 +17,9 @@
 use pmo_protect::SchemeKind;
 use pmo_sim::ReplayReport;
 use pmo_simarch::SimConfig;
-use pmo_workloads::{MicroBench, MicroConfig, MicroWorkload, WhisperBench, WhisperConfig, WhisperWorkload};
+use pmo_workloads::{
+    MicroBench, MicroConfig, MicroWorkload, WhisperBench, WhisperConfig, WhisperWorkload,
+};
 
 /// A micro configuration small enough for per-iteration benching.
 #[must_use]
@@ -37,12 +39,23 @@ pub fn bench_micro_config(active: u32) -> MicroConfig {
 /// A WHISPER configuration small enough for per-iteration benching.
 #[must_use]
 pub fn bench_whisper_config() -> WhisperConfig {
-    WhisperConfig { txns: 300, records: 512, pmo_bytes: 8 << 20, per_access_guard: true, seed: 0xbe9c }
+    WhisperConfig {
+        txns: 300,
+        records: 512,
+        pmo_bytes: 8 << 20,
+        per_access_guard: true,
+        seed: 0xbe9c,
+    }
 }
 
 /// Runs one micro benchmark under one scheme (measured window only).
 #[must_use]
-pub fn run_micro_once(bench: MicroBench, active: u32, kind: SchemeKind, sim: &SimConfig) -> ReplayReport {
+pub fn run_micro_once(
+    bench: MicroBench,
+    active: u32,
+    kind: SchemeKind,
+    sim: &SimConfig,
+) -> ReplayReport {
     let mut workload = MicroWorkload::new(bench, bench_micro_config(active));
     pmo_experiments::run_windowed(&mut workload, kind, sim)
 }

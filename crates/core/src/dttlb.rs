@@ -60,20 +60,16 @@ impl Dttlb {
 
     /// Associative lookup by address; touches the entry on hit.
     pub fn lookup(&mut self, va: Va) -> Option<&mut DttlbEntry> {
-        let way = self
-            .entries
-            .iter()
-            .position(|e| e.as_ref().is_some_and(|entry| entry.covers(va)))?;
+        let way =
+            self.entries.iter().position(|e| e.as_ref().is_some_and(|entry| entry.covers(va)))?;
         self.repl.touch(way as u8);
         self.entries[way].as_mut()
     }
 
     /// Lookup by domain ID (used by SETPERM and invalidation).
     pub fn lookup_pmo(&mut self, pmo: PmoId) -> Option<&mut DttlbEntry> {
-        let way = self
-            .entries
-            .iter()
-            .position(|e| e.as_ref().is_some_and(|entry| entry.pmo == pmo))?;
+        let way =
+            self.entries.iter().position(|e| e.as_ref().is_some_and(|entry| entry.pmo == pmo))?;
         self.repl.touch(way as u8);
         self.entries[way].as_mut()
     }
@@ -103,10 +99,8 @@ impl Dttlb {
     /// Invalidates the entry for `pmo` (SETPERM semantics, detach);
     /// returns it.
     pub fn invalidate_pmo(&mut self, pmo: PmoId) -> Option<DttlbEntry> {
-        let way = self
-            .entries
-            .iter()
-            .position(|e| e.as_ref().is_some_and(|entry| entry.pmo == pmo))?;
+        let way =
+            self.entries.iter().position(|e| e.as_ref().is_some_and(|entry| entry.pmo == pmo))?;
         self.entries[way].take()
     }
 
@@ -213,7 +207,7 @@ mod tests {
         assert_eq!(tlb.occupancy(), 1);
         let flushed = tlb.flush();
         assert_eq!(flushed.len(), 1, "only dirty entries returned");
-        assert_eq!(flushed[0].pmo, PmoId::new(1 + 0));
+        assert_eq!(flushed[0].pmo, PmoId::new(1));
         assert_eq!(tlb.occupancy(), 0);
     }
 }

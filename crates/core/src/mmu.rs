@@ -211,12 +211,8 @@ impl<P: Copy> MmuBase<P> {
             }
             Some(_) => Err(ProtectionFault::PageFault { va }),
             None => {
-                let pte = Pte {
-                    pfn: self.next_pfn,
-                    perm: Perm::ReadWrite,
-                    pkey: 0,
-                    mem: MemKind::Dram,
-                };
+                let pte =
+                    Pte { pfn: self.next_pfn, perm: Perm::ReadWrite, pkey: 0, mem: MemKind::Dram };
                 self.next_pfn += 1;
                 self.demand_maps += 1;
                 self.page_table.map_page(va & !(PAGE_SIZE - 1), pte);
@@ -273,10 +269,7 @@ mod tests {
         m.attach_region(region(1, GB1));
         // The 8MB pool backs only the first 8MB of the 1GB reservation.
         let beyond = GB1 + (8 << 20) + 0x1000;
-        assert!(matches!(
-            m.walk_or_map(beyond, |_| 0),
-            Err(ProtectionFault::PageFault { .. })
-        ));
+        assert!(matches!(m.walk_or_map(beyond, |_| 0), Err(ProtectionFault::PageFault { .. })));
     }
 
     #[test]

@@ -62,7 +62,7 @@ impl Pkru {
         assert!((key as usize) < NUM_KEYS, "protection key out of range");
         let shift = 2 * key;
         let bits = match perm {
-            Perm::None => 0b01, // AD=1 (WD irrelevant; keep it 0)
+            Perm::None => 0b01,     // AD=1 (WD irrelevant; keep it 0)
             Perm::ReadOnly => 0b10, // AD=0, WD=1
             Perm::ReadWrite => 0b00,
         };

@@ -44,10 +44,8 @@ impl Ptlb {
 
     /// Associative lookup by domain ID; touches on hit.
     pub fn lookup(&mut self, pmo: PmoId) -> Option<&mut PtlbEntry> {
-        let way = self
-            .entries
-            .iter()
-            .position(|e| e.as_ref().is_some_and(|entry| entry.pmo == pmo))?;
+        let way =
+            self.entries.iter().position(|e| e.as_ref().is_some_and(|entry| entry.pmo == pmo))?;
         self.repl.touch(way as u8);
         self.entries[way].as_mut()
     }
@@ -71,10 +69,8 @@ impl Ptlb {
 
     /// Invalidates the entry for `pmo` (detach); returns it.
     pub fn invalidate(&mut self, pmo: PmoId) -> Option<PtlbEntry> {
-        let way = self
-            .entries
-            .iter()
-            .position(|e| e.as_ref().is_some_and(|entry| entry.pmo == pmo))?;
+        let way =
+            self.entries.iter().position(|e| e.as_ref().is_some_and(|entry| entry.pmo == pmo))?;
         self.entries[way].take()
     }
 

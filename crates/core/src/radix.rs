@@ -18,10 +18,10 @@ const MAX_DEPTH: u32 = 4;
 
 fn depth_for_granule(granule: u64) -> u32 {
     match granule {
-        0x1000 => 4,          // 4KB
-        0x20_0000 => 3,       // 2MB
-        0x4000_0000 => 2,     // 1GB
-        0x80_0000_0000 => 1,  // 512GB
+        0x1000 => 4,         // 4KB
+        0x20_0000 => 3,      // 2MB
+        0x4000_0000 => 2,    // 1GB
+        0x80_0000_0000 => 1, // 512GB
         _ => panic!("{granule:#x} is not a page-table granule"),
     }
 }
@@ -33,11 +33,7 @@ fn index_at(va: Va, depth: u32) -> u16 {
 
 enum Slot<T> {
     /// A PMO root entry covering one granule-sized region.
-    Entry {
-        base: Va,
-        granule: u64,
-        value: T,
-    },
+    Entry { base: Va, granule: u64, value: T },
     /// A directory entry pointing at the next level.
     Dir(Box<Node<T>>),
 }
@@ -120,10 +116,7 @@ impl<T> RangeRadix<T> {
                 self.len += 1;
                 return;
             }
-            let slot = node
-                .children
-                .entry(idx)
-                .or_insert_with(|| Slot::Dir(Box::new(Node::new())));
+            let slot = node.children.entry(idx).or_insert_with(|| Slot::Dir(Box::new(Node::new())));
             match slot {
                 Slot::Dir(child) => node = child,
                 Slot::Entry { .. } => panic!("region overlaps a larger existing entry"),

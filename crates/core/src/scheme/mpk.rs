@@ -78,7 +78,7 @@ impl ProtectionScheme for DefaultMpk {
         match self.keys.alloc(pmo) {
             Some(key) => {
                 cycles += self.cfg.syscall_cycles; // pkey_mprotect
-                // A fresh key starts fully denied in every thread's PKRU.
+                                                   // A fresh key starts fully denied in every thread's PKRU.
                 for reg in self.pkru.values_mut() {
                     *reg = reg.with_perm(key, Perm::None);
                 }

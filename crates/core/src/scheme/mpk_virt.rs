@@ -204,8 +204,7 @@ impl ProtectionScheme for MpkVirt {
                 let in_region = self.mmu.region_at(va).is_some();
                 match self.mmu.walk_or_map(va, |_| 0) {
                     Ok((pte, _)) => {
-                        let pkey =
-                            if in_region { self.resolve_key(va, &mut cycles) } else { 0 };
+                        let pkey = if in_region { self.resolve_key(va, &mut cycles) } else { 0 };
                         let p = PkPayload { pkey, page_perm: pte.perm, mem: pte.mem };
                         self.mmu.tlb.fill(vpn(va), p);
                         p

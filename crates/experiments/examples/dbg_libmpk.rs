@@ -1,4 +1,4 @@
-use pmo_experiments::{run_micro, report_for, Scale};
+use pmo_experiments::{report_for, run_micro, Scale};
 use pmo_protect::SchemeKind;
 use pmo_simarch::SimConfig;
 use pmo_workloads::MicroBench;
@@ -7,7 +7,12 @@ fn main() {
     let sim = SimConfig::isca2020();
     for n in [16u32, 64, 256] {
         let cfg = Scale::Quick.micro_config(n);
-        let reports = run_micro(MicroBench::Avl, &cfg, &[SchemeKind::Lowerbound, SchemeKind::LibMpk, SchemeKind::MpkVirt], &sim);
+        let reports = run_micro(
+            MicroBench::Avl,
+            &cfg,
+            &[SchemeKind::Lowerbound, SchemeKind::LibMpk, SchemeKind::MpkVirt],
+            &sim,
+        );
         let lb = report_for(&reports, SchemeKind::Lowerbound);
         let lm = report_for(&reports, SchemeKind::LibMpk);
         let mv = report_for(&reports, SchemeKind::MpkVirt);

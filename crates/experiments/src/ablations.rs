@@ -210,11 +210,7 @@ pub fn switch_granularity(base: &SimConfig) -> Ablation {
             let baseline = run(SchemeKind::Unprotected);
             let d1 = run(SchemeKind::MpkVirt).overhead_pct_over(&baseline);
             let d2 = run(SchemeKind::DomainVirt).overhead_pct_over(&baseline);
-            AblationPoint {
-                value: u64::from(per_access),
-                mpk_virt_pct: d1,
-                domain_virt_pct: d2,
-            }
+            AblationPoint { value: u64::from(per_access), mpk_virt_pct: d1, domain_virt_pct: d2 }
         })
         .collect();
     Ablation {

@@ -1,0 +1,96 @@
+//! Deterministic fault-injection campaign over the persistent
+//! micro-workload structures.
+//!
+//! Default run sweeps crash points for every workload × fault kind and
+//! prints the survival matrix; pass `--full` for the paper-scale sweep.
+//! A single failing trial can be replayed from its printed repro line:
+//!
+//! ```text
+//! cargo run -p pmo-experiments --bin faultsim -- \
+//!     --workload avl --kind torn-write --after 37 --seed 0x1505
+//! ```
+//!
+//! Exits non-zero if any trial violates a workload invariant or panics.
+
+use std::process::ExitCode;
+
+use pmo_experiments::faultsim::{
+    fault_kind_from_label, measure_workload, run_campaign, run_trial, FaultWorkload,
+    FaultsimConfig, Outcome,
+};
+use pmo_experiments::Scale;
+
+/// Returns the value following `flag` on the command line, if any.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn parse_u64(text: &str) -> Option<u64> {
+    if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let scale = Scale::from_args();
+    let mut cfg = FaultsimConfig::for_scale(scale);
+    if let Some(seed) = arg_value("--seed").as_deref().and_then(parse_u64) {
+        cfg.campaign_seed = seed;
+    }
+
+    // Repro mode: replay exactly one trial from a printed failure line.
+    let workload = arg_value("--workload");
+    let kind = arg_value("--kind");
+    let after = arg_value("--after").as_deref().and_then(parse_u64);
+    if workload.is_some() || kind.is_some() || after.is_some() {
+        let (Some(workload), Some(kind), Some(after)) = (
+            workload.as_deref().and_then(FaultWorkload::from_label),
+            kind.as_deref().and_then(fault_kind_from_label),
+            after,
+        ) else {
+            eprintln!(
+                "repro mode needs all of: --workload {{avl|rbtree|bplus|list|hashmap}} \
+                 --kind {{power-failure|torn-write|media-error}} --after N [--seed N]"
+            );
+            return ExitCode::FAILURE;
+        };
+        let op_stores = measure_workload(&cfg, workload);
+        let result = run_trial(&cfg, workload, kind, after);
+        println!(
+            "trial {} / {} / after={} (op phase: {} stores, fault seed {:#x})",
+            workload.label(),
+            kind,
+            after,
+            op_stores,
+            cfg.fault_seed(workload, kind, after),
+        );
+        println!("outcome: {:?} — {}", result.outcome, result.detail);
+        return if matches!(result.outcome, Outcome::Violation | Outcome::Panicked) {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    // Campaign mode. Trial panics are part of the survival matrix, so
+    // silence the default "thread panicked" spew while trials run.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_campaign(&cfg);
+    std::panic::set_hook(default_hook);
+
+    println!("(scale: {scale:?})\n{report}");
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

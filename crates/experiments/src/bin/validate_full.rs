@@ -38,12 +38,8 @@ fn main() {
         config.initial_nodes,
         config.ops
     );
-    let kinds = [
-        SchemeKind::Lowerbound,
-        SchemeKind::LibMpk,
-        SchemeKind::MpkVirt,
-        SchemeKind::DomainVirt,
-    ];
+    let kinds =
+        [SchemeKind::Lowerbound, SchemeKind::LibMpk, SchemeKind::MpkVirt, SchemeKind::DomainVirt];
     let reports = run_micro(bench, &config, &kinds, &sim);
     let lb = report_for(&reports, SchemeKind::Lowerbound);
     println!("lowerbound: {} cycles, {:.0} switches/sec", lb.cycles, lb.switches_per_sec(&sim));

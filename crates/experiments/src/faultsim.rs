@@ -1,0 +1,668 @@
+//! Deterministic fault-injection campaigns with recovery verification.
+//!
+//! A campaign sweeps crash points across every persistent micro-workload
+//! structure and every [`FaultKind`]: for each `(workload, kind,
+//! crash_point)` triple a fresh pool is built, a [`FaultPlan`] is armed so
+//! the media fails after exactly `crash_point` further stores, transactional
+//! inserts run until the injected power failure fires, the process "dies"
+//! ([`PmRuntime::crash`]), and the pool is re-opened through normal
+//! recovery. The re-opened structure is then checked with its
+//! [`CheckedStructure`] invariant checker against the exact set of keys
+//! whose transactions committed (plus the single in-flight key, which may
+//! legally be present or absent).
+//!
+//! Outcomes are classified into a survival matrix:
+//!
+//! * **recovered** — recovery replayed/discarded the log and every
+//!   workload invariant holds;
+//! * **degraded** — the pool re-opened but reads hit a typed
+//!   [`RuntimeError::MediaError`] (bounded data loss, no silent damage);
+//! * **quarantined** — attach was refused with a typed
+//!   [`RuntimeError::PoolQuarantined`] (graceful degradation);
+//! * **violation** — an invariant checker found structural damage, or the
+//!   runtime surfaced an unexpected error (a robustness bug);
+//! * **panic** — anything panicked (always a bug).
+//!
+//! Every trial is reproducible from its printed parameters: the fault
+//! seed is a pure hash of `(campaign_seed, workload, kind, crash_point)`
+//! and the key stream is a pure hash of `(campaign_seed, workload, op)`.
+//!
+//! Crash-point sweeps are exhaustive when the op phase is small enough
+//! and evenly sampled otherwise; the matrix reports both counts.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use pmo_runtime::{AttachIntent, FaultPlan, Mode, PmRuntime, RuntimeError};
+use pmo_trace::{FaultKind, NullSink, PmoId, TraceSink};
+use pmo_workloads::structs::{
+    AvlTree, BplusTree, CheckedStructure, LinkedList, PersistentHashmap, RbTree,
+};
+
+use crate::Scale;
+
+/// Pool size for every trial (plenty for the largest campaign).
+const POOL_BYTES: u64 = 8 << 20;
+
+/// Pool name used by every trial (each trial owns a fresh runtime).
+const POOL_NAME: &str = "faultsim";
+
+/// The three injected fault kinds, in matrix order.
+pub const FAULT_KINDS: [FaultKind; 3] =
+    [FaultKind::PowerFailure, FaultKind::TornWrite, FaultKind::MediaError];
+
+/// SplitMix64-style finalizer used for all campaign-level derivations
+/// (key streams, per-trial fault seeds). Pure, so every trial is
+/// replayable from its printed parameters.
+fn mix(seed: u64, lane: u64) -> u64 {
+    let mut z = seed ^ lane.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The persistent structures the campaign drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultWorkload {
+    /// AVL tree (balance + BST order invariants).
+    Avl,
+    /// Red-black tree (color + black-height invariants).
+    Rbt,
+    /// B+tree (fanout, ordering, uniform depth, leaf chain).
+    Bplus,
+    /// Sorted linked list (reachability + order).
+    List,
+    /// Chained hashmap (bucket placement + key integrity).
+    Hashmap,
+}
+
+impl FaultWorkload {
+    /// Every campaign workload, in matrix order.
+    pub const ALL: [FaultWorkload; 5] = [
+        FaultWorkload::Avl,
+        FaultWorkload::Rbt,
+        FaultWorkload::Bplus,
+        FaultWorkload::List,
+        FaultWorkload::Hashmap,
+    ];
+
+    /// Short label used in the survival matrix and repro lines.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultWorkload::Avl => "avl",
+            FaultWorkload::Rbt => "rbtree",
+            FaultWorkload::Bplus => "bplus",
+            FaultWorkload::List => "list",
+            FaultWorkload::Hashmap => "hashmap",
+        }
+    }
+
+    /// Parses a label back into a workload (for `--workload` repro runs).
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        FaultWorkload::ALL.into_iter().find(|w| w.label() == label)
+    }
+
+    /// Seed lane separating this workload's derived randomness.
+    fn tag(self) -> u64 {
+        match self {
+            FaultWorkload::Avl => 1,
+            FaultWorkload::Rbt => 2,
+            FaultWorkload::Bplus => 3,
+            FaultWorkload::List => 4,
+            FaultWorkload::Hashmap => 5,
+        }
+    }
+}
+
+/// Parses a [`FaultKind`] label (for `--kind` repro runs).
+#[must_use]
+pub fn fault_kind_from_label(label: &str) -> Option<FaultKind> {
+    FAULT_KINDS.into_iter().find(|k| k.to_string() == label)
+}
+
+/// Campaign shape: how much committed state each trial starts with, how
+/// many faulted ops run, and how densely crash points are swept.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultsimConfig {
+    /// Root seed; everything else derives from it deterministically.
+    pub campaign_seed: u64,
+    /// Transactional inserts committed before the fault is armed.
+    pub warmup_inserts: u64,
+    /// Transactional inserts attempted while the fault is armed.
+    pub fault_inserts: u64,
+    /// Value payload size in bytes.
+    pub value_bytes: u32,
+    /// Crash points per `(workload, kind)` cell: exhaustive when the op
+    /// phase has at most this many stores, evenly sampled otherwise.
+    pub max_points_per_cell: usize,
+}
+
+impl FaultsimConfig {
+    /// The campaign shape for a [`Scale`].
+    #[must_use]
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => FaultsimConfig {
+                campaign_seed: 0x1505,
+                warmup_inserts: 12,
+                fault_inserts: 4,
+                value_bytes: 32,
+                max_points_per_cell: 96,
+            },
+            Scale::Paper => FaultsimConfig {
+                campaign_seed: 0x1505,
+                warmup_inserts: 48,
+                fault_inserts: 12,
+                value_bytes: 64,
+                max_points_per_cell: 256,
+            },
+        }
+    }
+
+    /// The `op`-th key of this campaign's deterministic key stream for
+    /// `workload` (identical across the dry run and every crash point).
+    #[must_use]
+    pub fn key_at(&self, workload: FaultWorkload, op: u64) -> u64 {
+        mix(self.campaign_seed ^ (workload.tag() << 56), op + 1)
+    }
+
+    /// The fault seed for one trial — a pure hash of the trial
+    /// coordinates, printed in every repro line.
+    #[must_use]
+    pub fn fault_seed(&self, workload: FaultWorkload, kind: FaultKind, after: u64) -> u64 {
+        let lane = (workload.tag() << 32) ^ ((kind as u64) << 24) ^ after;
+        mix(self.campaign_seed, lane)
+    }
+}
+
+/// How one trial ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Recovery succeeded and every invariant holds.
+    Recovered,
+    /// Pool re-opened but reads hit a typed media error (bounded loss).
+    Degraded,
+    /// Attach refused with a typed quarantine error.
+    Quarantined,
+    /// An invariant was violated or an untyped/unexpected error escaped.
+    Violation,
+    /// The trial panicked.
+    Panicked,
+    /// The armed fault never fired (crash point past the op phase).
+    Unreached,
+}
+
+/// One trial's classified outcome plus a human-readable detail line.
+#[derive(Clone, Debug)]
+pub struct TrialResult {
+    /// Classified outcome.
+    pub outcome: Outcome,
+    /// What happened, for repro lines and logs.
+    pub detail: String,
+}
+
+impl TrialResult {
+    fn new(outcome: Outcome, detail: impl Into<String>) -> Self {
+        TrialResult { outcome, detail: detail.into() }
+    }
+}
+
+/// Per-cell outcome tallies for the survival matrix.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CellCounts {
+    /// Trials that recovered cleanly.
+    pub recovered: u64,
+    /// Trials with bounded, typed data loss.
+    pub degraded: u64,
+    /// Trials whose pool was quarantined.
+    pub quarantined: u64,
+    /// Trials that violated an invariant (bugs).
+    pub violations: u64,
+    /// Trials that panicked (bugs).
+    pub panics: u64,
+    /// Trials whose fault never fired.
+    pub unreached: u64,
+}
+
+impl CellCounts {
+    fn tally(&mut self, outcome: &Outcome) {
+        match outcome {
+            Outcome::Recovered => self.recovered += 1,
+            Outcome::Degraded => self.degraded += 1,
+            Outcome::Quarantined => self.quarantined += 1,
+            Outcome::Violation => self.violations += 1,
+            Outcome::Panicked => self.panics += 1,
+            Outcome::Unreached => self.unreached += 1,
+        }
+    }
+}
+
+/// One row of the survival matrix: a `(workload, kind)` cell.
+#[derive(Clone, Debug)]
+pub struct MatrixCell {
+    /// Workload driven in this cell.
+    pub workload: FaultWorkload,
+    /// Fault kind injected in this cell.
+    pub kind: FaultKind,
+    /// Outcome tallies.
+    pub counts: CellCounts,
+    /// Crash points actually swept.
+    pub points: u64,
+    /// Total op-phase stores (sweep is exhaustive iff `points == stores`).
+    pub op_stores: u64,
+}
+
+/// A failed trial with everything needed to replay it.
+#[derive(Clone, Debug)]
+pub struct TrialFailure {
+    /// Workload driven.
+    pub workload: FaultWorkload,
+    /// Fault kind injected.
+    pub kind: FaultKind,
+    /// Crash point (stores into the op phase).
+    pub after: u64,
+    /// Derived fault seed (what the storage layer actually consumed).
+    pub fault_seed: u64,
+    /// Classified outcome ([`Outcome::Violation`] or [`Outcome::Panicked`]).
+    pub outcome: Outcome,
+    /// Failure detail.
+    pub detail: String,
+}
+
+/// Full campaign results: the survival matrix plus replayable failures.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    /// One cell per `(workload, kind)` pair.
+    pub cells: Vec<MatrixCell>,
+    /// Every violation/panic, with repro parameters.
+    pub failures: Vec<TrialFailure>,
+    /// Campaign seed the run derived everything from.
+    pub campaign_seed: u64,
+    /// Total trials executed.
+    pub trials: u64,
+}
+
+impl CampaignReport {
+    /// Whether the campaign completed with zero violations and zero
+    /// panics (the acceptance bar: corrupt pools must surface as typed
+    /// quarantine/media errors, never as silent damage or crashes).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fault-injection survival matrix (campaign seed {:#x}, {} trials)",
+            self.campaign_seed, self.trials
+        )?;
+        writeln!(
+            f,
+            "{:<9} {:<14} {:>7} {:>10} {:>9} {:>12} {:>11} {:>7}",
+            "workload",
+            "fault",
+            "points",
+            "recovered",
+            "degraded",
+            "quarantined",
+            "violations",
+            "panics"
+        )?;
+        for cell in &self.cells {
+            let sweep = if cell.points == cell.op_stores {
+                format!("{}*", cell.points) // exhaustive
+            } else {
+                format!("{}/{}", cell.points, cell.op_stores)
+            };
+            writeln!(
+                f,
+                "{:<9} {:<14} {:>7} {:>10} {:>9} {:>12} {:>11} {:>7}",
+                cell.workload.label(),
+                cell.kind.to_string(),
+                sweep,
+                cell.counts.recovered,
+                cell.counts.degraded,
+                cell.counts.quarantined,
+                cell.counts.violations,
+                cell.counts.panics,
+            )?;
+        }
+        writeln!(f, "(points `N*` = exhaustive sweep of every op-phase store)")?;
+        for fail in &self.failures {
+            writeln!(
+                f,
+                "FAIL [{:?}] {} — repro: --workload {} --kind {} --after {} --seed {:#x} (fault seed {:#x})",
+                fail.outcome,
+                fail.detail,
+                fail.workload.label(),
+                fail.kind,
+                fail.after,
+                self.campaign_seed,
+                fail.fault_seed,
+            )?;
+        }
+        if self.is_clean() {
+            writeln!(f, "campaign clean: zero invariant violations, zero panics")?;
+        } else {
+            writeln!(f, "campaign FAILED: {} violating/panicking trial(s)", self.failures.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Begins a transaction, runs one insert, and commits — the unit of work
+/// the fault sweep crashes at every store of.
+fn txn_insert<S: CheckedStructure>(
+    rt: &mut PmRuntime,
+    pool: PmoId,
+    s: &mut S,
+    key: u64,
+    sink: &mut dyn TraceSink,
+) -> Result<(), RuntimeError> {
+    rt.txn_begin(pool)?;
+    s.insert(rt, key, sink)?;
+    rt.txn_commit(sink)
+}
+
+/// Builds a fresh pool with `cfg.warmup_inserts` committed keys and
+/// returns the runtime, pool id, structure handle, and committed keys.
+fn setup<S: CheckedStructure>(
+    cfg: &FaultsimConfig,
+    workload: FaultWorkload,
+    sink: &mut dyn TraceSink,
+) -> (PmRuntime, PmoId, S, Vec<u64>) {
+    let mut rt = PmRuntime::new();
+    let pool = rt
+        .pool_create(POOL_NAME, POOL_BYTES, Mode::private(), sink)
+        .expect("faultsim: pool_create");
+    let mut s = S::create(&mut rt, pool, cfg.value_bytes, sink).expect("faultsim: create");
+    let mut committed = Vec::new();
+    for op in 0..cfg.warmup_inserts {
+        let key = cfg.key_at(workload, op);
+        txn_insert(&mut rt, pool, &mut s, key, sink).expect("faultsim: warmup insert");
+        committed.push(key);
+    }
+    (rt, pool, s, committed)
+}
+
+/// Dry run: counts the op-phase stores of one workload so the sweep
+/// knows the crash-point space. The key stream is identical to the
+/// armed runs, so the count is exact.
+fn measure<S: CheckedStructure>(cfg: &FaultsimConfig, workload: FaultWorkload) -> u64 {
+    let mut sink = NullSink::new();
+    let (mut rt, pool, mut s, _) = setup::<S>(cfg, workload, &mut sink);
+    let before = rt.storage(pool).expect("pool exists").stores();
+    for op in 0..cfg.fault_inserts {
+        let key = cfg.key_at(workload, cfg.warmup_inserts + op);
+        txn_insert(&mut rt, pool, &mut s, key, &mut sink).expect("faultsim: dry-run insert");
+    }
+    rt.storage(pool).expect("pool exists").stores() - before
+}
+
+/// Counts the op-phase stores for `workload` (public so repro runs can
+/// print the crash-point space).
+#[must_use]
+pub fn measure_workload(cfg: &FaultsimConfig, workload: FaultWorkload) -> u64 {
+    match workload {
+        FaultWorkload::Avl => measure::<AvlTree>(cfg, workload),
+        FaultWorkload::Rbt => measure::<RbTree>(cfg, workload),
+        FaultWorkload::Bplus => measure::<BplusTree>(cfg, workload),
+        FaultWorkload::List => measure::<LinkedList>(cfg, workload),
+        FaultWorkload::Hashmap => measure::<PersistentHashmap>(cfg, workload),
+    }
+}
+
+/// Runs one trial body (everything that may legitimately return a typed
+/// error). Panics escape to the [`catch_unwind`] in [`run_trial`].
+fn trial<S: CheckedStructure>(
+    cfg: &FaultsimConfig,
+    workload: FaultWorkload,
+    kind: FaultKind,
+    after: u64,
+    fault_seed: u64,
+) -> TrialResult {
+    let mut sink = NullSink::new();
+    let (mut rt, pool, mut s, mut required) = setup::<S>(cfg, workload, &mut sink);
+
+    // Arm the fault only for the op phase: the sweep space is "every
+    // store a post-warmup transactional insert performs".
+    rt.inject_fault(pool, FaultPlan { kind, after_stores: after, seed: fault_seed })
+        .expect("faultsim: arm fault");
+
+    // In-flight key of the transaction the fault interrupted. It may
+    // legally be present (fault hit after the commit flag was set, so
+    // recovery replays it) or absent (fault hit earlier, txn discarded).
+    let mut in_flight = Vec::new();
+    let mut crashed = false;
+    for op in 0..cfg.fault_inserts {
+        let key = cfg.key_at(workload, cfg.warmup_inserts + op);
+        match txn_insert(&mut rt, pool, &mut s, key, &mut sink) {
+            Ok(()) => required.push(key),
+            Err(RuntimeError::PowerFailure) => {
+                in_flight.push(key);
+                crashed = true;
+                break;
+            }
+            Err(other) => {
+                return TrialResult::new(
+                    Outcome::Violation,
+                    format!("unexpected op-phase error: {other}"),
+                );
+            }
+        }
+    }
+    if !crashed {
+        return TrialResult::new(Outcome::Unreached, "fault never fired");
+    }
+
+    // The process dies; unflushed lines revert, torn/media damage lands.
+    drop(s);
+    rt.crash();
+
+    // Re-open through normal recovery.
+    let pool = match rt.pool_open(POOL_NAME, AttachIntent::ReadWrite, &mut sink) {
+        Ok(id) => id,
+        Err(RuntimeError::PoolQuarantined { reason, .. }) => {
+            return TrialResult::new(Outcome::Quarantined, format!("quarantined: {reason}"));
+        }
+        Err(other) => {
+            return TrialResult::new(
+                Outcome::Violation,
+                format!("unexpected attach error: {other}"),
+            );
+        }
+    };
+    let s = match S::create(&mut rt, pool, cfg.value_bytes, &mut sink) {
+        Ok(s) => s,
+        Err(RuntimeError::MediaError { offset, .. }) => {
+            return TrialResult::new(
+                Outcome::Degraded,
+                format!("root unreadable at offset {offset:#x}"),
+            );
+        }
+        Err(other) => {
+            return TrialResult::new(
+                Outcome::Violation,
+                format!("unexpected reopen error: {other}"),
+            );
+        }
+    };
+    match s.verify(&mut rt, &required, &in_flight, &mut sink) {
+        Ok(report) if report.is_clean() => TrialResult::new(Outcome::Recovered, report.to_string()),
+        Ok(report) => TrialResult::new(Outcome::Violation, report.to_string()),
+        Err(RuntimeError::MediaError { offset, .. }) => TrialResult::new(
+            Outcome::Degraded,
+            format!("structure unreadable at offset {offset:#x}"),
+        ),
+        Err(other) => {
+            TrialResult::new(Outcome::Violation, format!("unexpected verify error: {other}"))
+        }
+    }
+}
+
+/// Runs one fully-parameterized trial, converting panics into
+/// [`Outcome::Panicked`]. Public so the `faultsim` binary can replay a
+/// single trial from a printed repro line.
+#[must_use]
+pub fn run_trial(
+    cfg: &FaultsimConfig,
+    workload: FaultWorkload,
+    kind: FaultKind,
+    after: u64,
+) -> TrialResult {
+    let fault_seed = cfg.fault_seed(workload, kind, after);
+    let body = AssertUnwindSafe(|| match workload {
+        FaultWorkload::Avl => trial::<AvlTree>(cfg, workload, kind, after, fault_seed),
+        FaultWorkload::Rbt => trial::<RbTree>(cfg, workload, kind, after, fault_seed),
+        FaultWorkload::Bplus => trial::<BplusTree>(cfg, workload, kind, after, fault_seed),
+        FaultWorkload::List => trial::<LinkedList>(cfg, workload, kind, after, fault_seed),
+        FaultWorkload::Hashmap => {
+            trial::<PersistentHashmap>(cfg, workload, kind, after, fault_seed)
+        }
+    });
+    match catch_unwind(body) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            TrialResult::new(Outcome::Panicked, format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Picks the crash points for a cell: every store when the op phase fits
+/// in `limit`, an evenly-spaced deterministic sample otherwise.
+fn crash_points(op_stores: u64, limit: usize) -> Vec<u64> {
+    let limit = limit.max(1) as u64;
+    if op_stores <= limit {
+        (0..op_stores).collect()
+    } else {
+        (0..limit).map(|i| i * op_stores / limit).collect()
+    }
+}
+
+/// Runs the full campaign: every workload × every fault kind × the swept
+/// crash points.
+#[must_use]
+pub fn run_campaign(cfg: &FaultsimConfig) -> CampaignReport {
+    let mut report =
+        CampaignReport { campaign_seed: cfg.campaign_seed, ..CampaignReport::default() };
+    for workload in FaultWorkload::ALL {
+        let op_stores = measure_workload(cfg, workload);
+        let points = crash_points(op_stores, cfg.max_points_per_cell);
+        for kind in FAULT_KINDS {
+            let mut counts = CellCounts::default();
+            for &after in &points {
+                let result = run_trial(cfg, workload, kind, after);
+                counts.tally(&result.outcome);
+                report.trials += 1;
+                if matches!(result.outcome, Outcome::Violation | Outcome::Panicked) {
+                    report.failures.push(TrialFailure {
+                        workload,
+                        kind,
+                        after,
+                        fault_seed: cfg.fault_seed(workload, kind, after),
+                        outcome: result.outcome.clone(),
+                        detail: result.detail,
+                    });
+                }
+            }
+            report.cells.push(MatrixCell {
+                workload,
+                kind,
+                counts,
+                points: points.len() as u64,
+                op_stores,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FaultsimConfig {
+        FaultsimConfig {
+            campaign_seed: 7,
+            warmup_inserts: 6,
+            fault_inserts: 2,
+            value_bytes: 16,
+            max_points_per_cell: 24,
+        }
+    }
+
+    #[test]
+    fn key_stream_and_fault_seeds_are_deterministic() {
+        let cfg = tiny();
+        assert_eq!(cfg.key_at(FaultWorkload::Avl, 3), cfg.key_at(FaultWorkload::Avl, 3));
+        assert_ne!(cfg.key_at(FaultWorkload::Avl, 3), cfg.key_at(FaultWorkload::Rbt, 3));
+        assert_eq!(
+            cfg.fault_seed(FaultWorkload::List, FaultKind::TornWrite, 9),
+            cfg.fault_seed(FaultWorkload::List, FaultKind::TornWrite, 9)
+        );
+        assert_ne!(
+            cfg.fault_seed(FaultWorkload::List, FaultKind::TornWrite, 9),
+            cfg.fault_seed(FaultWorkload::List, FaultKind::MediaError, 9)
+        );
+    }
+
+    #[test]
+    fn crash_point_selection_is_exhaustive_then_sampled() {
+        assert_eq!(crash_points(5, 10), vec![0, 1, 2, 3, 4]);
+        let sampled = crash_points(1000, 10);
+        assert_eq!(sampled.len(), 10);
+        assert_eq!(sampled[0], 0);
+        assert!(sampled.windows(2).all(|w| w[0] < w[1]));
+        assert!(*sampled.last().unwrap() < 1000);
+    }
+
+    #[test]
+    fn trials_are_replayable() {
+        let cfg = tiny();
+        let a = run_trial(&cfg, FaultWorkload::List, FaultKind::MediaError, 5);
+        let b = run_trial(&cfg, FaultWorkload::List, FaultKind::MediaError, 5);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.detail, b.detail);
+    }
+
+    #[test]
+    fn small_campaign_has_no_violations_or_panics() {
+        let report = run_campaign(&tiny());
+        assert!(report.is_clean(), "{report}");
+        assert!(report.trials > 0);
+        let recovered: u64 = report.cells.iter().map(|c| c.counts.recovered).sum();
+        assert!(recovered > 0, "{report}");
+    }
+
+    #[test]
+    fn power_failure_sweep_always_recovers() {
+        // Clean power failures never damage media: every crash point of
+        // every workload must recover with invariants intact.
+        let cfg = tiny();
+        for workload in FaultWorkload::ALL {
+            let stores = measure_workload(&cfg, workload);
+            for after in crash_points(stores, 16) {
+                let r = run_trial(&cfg, workload, FaultKind::PowerFailure, after);
+                assert_eq!(
+                    r.outcome,
+                    Outcome::Recovered,
+                    "{} after={} -> {:?}: {}",
+                    workload.label(),
+                    after,
+                    r.outcome,
+                    r.detail
+                );
+            }
+        }
+    }
+}

@@ -43,12 +43,8 @@ pub struct Fig6 {
 /// Runs the Figure 6 sweep.
 #[must_use]
 pub fn fig6(scale: Scale, sim: &SimConfig) -> Fig6 {
-    let kinds = [
-        SchemeKind::Lowerbound,
-        SchemeKind::LibMpk,
-        SchemeKind::MpkVirt,
-        SchemeKind::DomainVirt,
-    ];
+    let kinds =
+        [SchemeKind::Lowerbound, SchemeKind::LibMpk, SchemeKind::MpkVirt, SchemeKind::DomainVirt];
     let mut series = Vec::new();
     for bench in MicroBench::ALL {
         let mut points = Vec::new();
@@ -60,8 +56,7 @@ pub fn fig6(scale: Scale, sim: &SimConfig) -> Fig6 {
                 pmos,
                 libmpk_pct: report_for(&reports, SchemeKind::LibMpk).overhead_pct_over(lb),
                 mpk_virt_pct: report_for(&reports, SchemeKind::MpkVirt).overhead_pct_over(lb),
-                domain_virt_pct: report_for(&reports, SchemeKind::DomainVirt)
-                    .overhead_pct_over(lb),
+                domain_virt_pct: report_for(&reports, SchemeKind::DomainVirt).overhead_pct_over(lb),
             });
         }
         series.push(Fig6Series { bench: bench.label(), points });

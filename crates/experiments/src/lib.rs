@@ -10,6 +10,7 @@
 //! | Figure 7 (average overhead + libmpk speedups) | [`fig7::fig7`] | `fig7` |
 //! | Table VII (overhead breakdown at max PMOs) | [`table7::table7`] | `table7` |
 //! | Table VIII (area overheads) | [`table8::table8`] | `table8` |
+//! | Robustness (crash/fault survival matrix) | [`faultsim::run_campaign`] | `faultsim` |
 //!
 //! All binaries accept `--full` to run at the paper's scale; the default
 //! is a quick configuration that preserves every structural property
@@ -19,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod faultsim;
 pub mod fig6;
 pub mod fig7;
 mod runner;

@@ -16,7 +16,11 @@ use pmo_workloads::{
 ///
 /// Panics if the workload raises any protection fault: benchmark traces
 /// are permission-clean by construction, so a fault is a harness bug.
-pub fn run_windowed(workload: &mut dyn Workload, kind: SchemeKind, config: &SimConfig) -> ReplayReport {
+pub fn run_windowed(
+    workload: &mut dyn Workload,
+    kind: SchemeKind,
+    config: &SimConfig,
+) -> ReplayReport {
     let mut replay = Replay::new(kind, config);
     workload.setup(&mut replay);
     let snapshot = replay.snapshot();
@@ -111,7 +115,8 @@ mod tests {
     #[test]
     fn whisper_runs_clean() {
         let sim = SimConfig::isca2020();
-        let cfg = WhisperConfig { txns: 50, records: 128, pmo_bytes: 8 << 20, ..WhisperConfig::quick() };
+        let cfg =
+            WhisperConfig { txns: 50, records: 128, pmo_bytes: 8 << 20, ..WhisperConfig::quick() };
         let reports = run_whisper(
             WhisperBench::Hashmap,
             &cfg,

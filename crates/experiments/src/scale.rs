@@ -28,11 +28,7 @@ impl Scale {
     #[must_use]
     pub fn micro_config(self, active: u32) -> MicroConfig {
         let base = match self {
-            Scale::Quick => MicroConfig {
-                initial_nodes: 160,
-                ops: 4_000,
-                ..MicroConfig::paper()
-            },
+            Scale::Quick => MicroConfig { initial_nodes: 160, ops: 4_000, ..MicroConfig::paper() },
             Scale::Paper => MicroConfig::paper(),
         };
         MicroConfig { pmos: active, active_pmos: active, ..base }

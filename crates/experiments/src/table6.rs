@@ -56,11 +56,7 @@ impl fmt::Display for Table6 {
             &["Benchmark", "Switches/sec", "Lowerbound overhead %"],
         );
         for r in &self.rows {
-            t.row(vec![
-                r.bench.to_string(),
-                grouped(r.switches_per_sec),
-                f(r.lowerbound_pct, 2),
-            ]);
+            t.row(vec![r.bench.to_string(), grouped(r.switches_per_sec), f(r.lowerbound_pct, 2)]);
         }
         write!(out, "{t}")
     }

@@ -89,12 +89,14 @@ fn mean(cells: &[Table7Cell], get: impl Fn(&Table7Cell) -> f64) -> f64 {
     cells.iter().map(&get).sum::<f64>() / cells.len() as f64
 }
 
+type Row<'a> = (&'a str, &'a dyn Fn(&Table7Cell) -> f64);
+
 fn section(
     out: &mut fmt::Formatter<'_>,
     title: &str,
     benches: &[&'static str],
     cells: &[Table7Cell],
-    rows: &[(&str, &dyn Fn(&Table7Cell) -> f64)],
+    rows: &[Row<'_>],
 ) -> fmt::Result {
     let mut headers = vec!["Overhead source"];
     headers.extend(benches.iter().copied());

@@ -3,9 +3,9 @@
 
 use std::fmt;
 
+use crate::text::TextTable;
 use pmo_protect::{domain_virt_area, mpk_virt_area, AreaReport};
 use pmo_simarch::SimConfig;
-use crate::text::TextTable;
 
 /// The full Table VIII result.
 #[derive(Clone, Debug)]
@@ -64,9 +64,6 @@ impl fmt::Display for Table8 {
             format!("{} KB (DRT + PT)", self.domain_virt.software_bytes / 1024),
         ]);
         write!(out, "{t}")?;
-        write!(
-            out,
-            "\nPaper's values: DTTLB 152B, PTLB 24B, +6 TLB bits, DTT 256KB, DRT+PT 272KB"
-        )
+        write!(out, "\nPaper's values: DTTLB 152B, PTLB 24B, +6 TLB bits, DTT 256KB, DRT+PT 272KB")
     }
 }

@@ -90,7 +90,7 @@ pub fn grouped(value: f64) -> String {
     let raw = v.abs().to_string();
     let mut out = String::new();
     for (i, c) in raw.chars().enumerate() {
-        if i > 0 && (raw.len() - i) % 3 == 0 {
+        if i > 0 && (raw.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn number_formatting() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(grouped(1_152_379.4), "1,152,379");
         assert_eq!(grouped(926.0), "926");
         assert_eq!(grouped(-12_345.0), "-12,345");

@@ -13,10 +13,10 @@ use pmo_trace::Va;
 
 /// Page-table-level granularities a PMO region may occupy.
 pub const GRANULES: [u64; 4] = [
-    4 << 10,        // 4KB   (PTE level)
-    2 << 20,        // 2MB   (PMD level)
-    1 << 30,        // 1GB   (PUD level)
-    512u64 << 30,   // 512GB (PGD level)
+    4 << 10,      // 4KB   (PTE level)
+    2 << 20,      // 2MB   (PMD level)
+    1 << 30,      // 1GB   (PUD level)
+    512u64 << 30, // 512GB (PGD level)
 ];
 
 /// The smallest page-table granule that covers `size` bytes.

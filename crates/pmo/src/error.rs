@@ -58,6 +58,27 @@ pub enum RuntimeError {
     /// An injected power failure fired (failure-injection testing): the
     /// store did not execute; the caller should simulate a crash.
     PowerFailure,
+    /// A read touched an NVM line that an injected media fault left
+    /// unreadable (ECC-uncorrectable). The pool survives; only reads of
+    /// the damaged line fail until it is fully overwritten.
+    MediaError {
+        /// Pool whose backing storage is damaged.
+        pmo: PmoId,
+        /// Pool-relative byte offset of the damaged cache line.
+        offset: u64,
+    },
+    /// The pool's recovery metadata (header or redo log) is damaged
+    /// beyond safe repair; the pool is quarantined and refuses attach
+    /// until recreated. Data is preserved on media for forensics.
+    PoolQuarantined {
+        /// Pool name.
+        name: String,
+        /// What recovery found wrong.
+        reason: &'static str,
+    },
+    /// The runtime already has an open transaction on this pool;
+    /// transactions cannot nest.
+    TxnInProgress(PmoId),
 }
 
 impl fmt::Display for RuntimeError {
@@ -88,6 +109,15 @@ impl fmt::Display for RuntimeError {
             RuntimeError::LogFull(pmo) => write!(f, "transaction log of pmo {pmo} is full"),
             RuntimeError::InvalidSize(size) => write!(f, "invalid size {size}"),
             RuntimeError::PowerFailure => write!(f, "injected power failure"),
+            RuntimeError::MediaError { pmo, offset } => {
+                write!(f, "unreadable NVM line in pmo {pmo} at offset {offset:#x}")
+            }
+            RuntimeError::PoolQuarantined { name, reason } => {
+                write!(f, "pool `{name}` is quarantined: {reason}")
+            }
+            RuntimeError::TxnInProgress(pmo) => {
+                write!(f, "a transaction is already open on pmo {pmo}")
+            }
         }
     }
 }
@@ -117,6 +147,9 @@ mod tests {
             RuntimeError::LogFull(PmoId::new(5)),
             RuntimeError::InvalidSize(0),
             RuntimeError::PowerFailure,
+            RuntimeError::MediaError { pmo: PmoId::new(6), offset: 0x40 },
+            RuntimeError::PoolQuarantined { name: "f".into(), reason: "bad magic" },
+            RuntimeError::TxnInProgress(PmoId::new(7)),
         ];
         for e in errors {
             assert!(!format!("{e}").is_empty());

@@ -78,6 +78,18 @@ impl AttachIntent {
     }
 }
 
+/// A pool's health as judged by the last recovery that examined it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolHealth {
+    /// Recovery metadata is intact; all data readable.
+    Healthy,
+    /// The pool attached and its metadata is intact, but some data
+    /// lines are unreadable (injected or real media damage).
+    Degraded,
+    /// Recovery metadata itself is damaged; the pool refuses attach.
+    Quarantined,
+}
+
 /// One registered pool.
 #[derive(Debug)]
 pub struct PoolEntry {
@@ -97,6 +109,25 @@ pub struct PoolEntry {
     pub readers: u32,
     /// Number of live read-write attachments (0 or 1: single-writer).
     pub writers: u32,
+    /// Sticky quarantine: set when recovery finds the pool's header or
+    /// redo log damaged beyond safe repair. A quarantined pool refuses
+    /// further attaches (data stays on media for forensics) until
+    /// destroyed and recreated.
+    pub quarantined: Option<&'static str>,
+}
+
+impl PoolEntry {
+    /// The pool's current health.
+    #[must_use]
+    pub fn health(&self) -> PoolHealth {
+        if self.quarantined.is_some() {
+            PoolHealth::Quarantined
+        } else if self.storage.poisoned_lines() > 0 {
+            PoolHealth::Degraded
+        } else {
+            PoolHealth::Healthy
+        }
+    }
 }
 
 /// The OS-side PMO registry.
@@ -129,6 +160,8 @@ impl Namespace {
         }
         let id = PmoId::new(self.next_id);
         self.next_id += 1;
+        let mut storage = PoolStorage::new(size);
+        storage.set_owner(id);
         self.pools.insert(
             name.to_string(),
             PoolEntry {
@@ -137,9 +170,10 @@ impl Namespace {
                 owner,
                 mode,
                 attach_key: None,
-                storage: PoolStorage::new(size),
+                storage,
                 readers: 0,
                 writers: 0,
+                quarantined: None,
             },
         );
         self.names_by_id.insert(id, name.to_string());
@@ -169,6 +203,9 @@ impl Namespace {
         key: Option<u64>,
     ) -> Result<PmoId> {
         let entry = self.entry_mut_by_name(name)?;
+        if let Some(reason) = entry.quarantined {
+            return Err(RuntimeError::PoolQuarantined { name: name.to_string(), reason });
+        }
         if !entry.mode.allows(entry.owner == uid, intent.writes()) {
             return Err(RuntimeError::PermissionDenied {
                 name: name.to_string(),
@@ -250,6 +287,18 @@ impl Namespace {
     #[must_use]
     pub fn contains(&self, name: &str) -> bool {
         self.pools.contains_key(name)
+    }
+
+    /// A pool's current health.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no pool with this name exists.
+    pub fn health(&self, name: &str) -> Result<PoolHealth> {
+        self.pools
+            .get(name)
+            .map(PoolEntry::health)
+            .ok_or_else(|| RuntimeError::NoSuchPool(name.to_string()))
     }
 
     /// Number of registered pools.
@@ -388,6 +437,23 @@ mod tests {
         // The name can be reused (with a fresh id).
         let id2 = ns.create("p", 4096, Mode::private(), 1).unwrap();
         assert_ne!(id, id2);
+    }
+
+    #[test]
+    fn quarantined_pools_refuse_attach_until_recreated() {
+        let mut ns = Namespace::new();
+        ns.create("sick", 4096, Mode::shared_write(), 1).unwrap();
+        assert_eq!(ns.entry_mut_by_name("sick").unwrap().health(), PoolHealth::Healthy);
+        ns.entry_mut_by_name("sick").unwrap().quarantined = Some("bad magic");
+        assert_eq!(ns.entry_mut_by_name("sick").unwrap().health(), PoolHealth::Quarantined);
+        assert!(matches!(
+            ns.acquire("sick", 1, AttachIntent::ReadWrite, None),
+            Err(RuntimeError::PoolQuarantined { reason: "bad magic", .. })
+        ));
+        // Destroy + recreate yields a fresh, healthy pool.
+        ns.destroy("sick", 1).unwrap();
+        ns.create("sick", 4096, Mode::shared_write(), 1).unwrap();
+        assert!(ns.acquire("sick", 1, AttachIntent::ReadWrite, None).is_ok());
     }
 
     #[test]

@@ -51,8 +51,12 @@ impl Oid {
     ///
     /// Panics on offset overflow.
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // `delta` is a byte offset, not an `Oid`
     pub fn add(self, delta: u32) -> Self {
-        Oid { pool: self.pool, offset: self.offset.checked_add(delta).expect("oid offset overflow") }
+        Oid {
+            pool: self.pool,
+            offset: self.offset.checked_add(delta).expect("oid offset overflow"),
+        }
     }
 
     /// Packs into the 64-bit persistent representation

@@ -10,8 +10,29 @@
 //! flush persists them; a simulated crash reverts every unflushed line to
 //! its last persisted contents. This is exactly the visibility model
 //! durable transactions are written against.
+//!
+//! # Fault injection
+//!
+//! A [`FaultPlan`] arms the storage with a deterministic fault: after a
+//! chosen number of further stores, every write fails with
+//! [`RuntimeError::PowerFailure`] until the caller simulates the crash.
+//! What the crash does to the media depends on the plan's
+//! [`FaultKind`]:
+//!
+//! - `PowerFailure`: every unflushed line reverts to its persisted image
+//!   (the classic model).
+//! - `TornWrite`: each unflushed line independently — keyed on
+//!   `(seed, line)`, so replayable and independent of iteration order —
+//!   persists fully, reverts fully, or *tears*: an 8-byte-word mix of
+//!   old and new contents lands on media.
+//! - `MediaError`: unflushed lines revert, then a seeded subset of every
+//!   line written since the plan was armed becomes unreadable
+//!   (ECC-uncorrectable); reads of a poisoned line return
+//!   [`RuntimeError::MediaError`] until the whole line is overwritten.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+use pmo_trace::{FaultKind, PmoId};
 
 use crate::error::{Result, RuntimeError};
 
@@ -19,6 +40,53 @@ use crate::error::{Result, RuntimeError};
 pub const LINE: u64 = 64;
 
 const CHUNK: u64 = 4096;
+
+/// A deterministic, replayable fault to inject into one pool's storage.
+///
+/// The fault fires when `after_stores` more writes have executed: from
+/// then on every write fails with [`RuntimeError::PowerFailure`] so the
+/// caller can only recover by simulating a crash. `seed` drives every
+/// per-line random decision the crash makes, so the same plan against
+/// the same write sequence always damages the same bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// What happens to the media at the crash.
+    pub kind: FaultKind,
+    /// Number of further successful stores before writes start failing.
+    pub after_stores: u64,
+    /// Seed for the per-line crash decisions (ignored by `PowerFailure`).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A clean power failure after `after_stores` more stores.
+    #[must_use]
+    pub fn power_failure(after_stores: u64) -> Self {
+        FaultPlan { kind: FaultKind::PowerFailure, after_stores, seed: 0 }
+    }
+
+    /// A power failure with torn cache-line writes.
+    #[must_use]
+    pub fn torn_write(after_stores: u64, seed: u64) -> Self {
+        FaultPlan { kind: FaultKind::TornWrite, after_stores, seed }
+    }
+
+    /// A power failure plus NVM media damage to recently-written lines.
+    #[must_use]
+    pub fn media_error(after_stores: u64, seed: u64) -> Self {
+        FaultPlan { kind: FaultKind::MediaError, after_stores, seed }
+    }
+}
+
+/// SplitMix64-style finalizer keyed on `(seed, lane)`: every per-line
+/// crash decision hashes through this, making outcomes independent of
+/// `HashMap` iteration order and bit-for-bit replayable.
+fn mix(seed: u64, lane: u64) -> u64 {
+    let mut z = seed ^ lane.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// One pool's backing storage.
 #[derive(Clone, Debug, Default)]
@@ -29,8 +97,15 @@ pub struct PoolStorage {
     unflushed: HashMap<u64, [u8; LINE as usize]>,
     stores: u64,
     flushes: u64,
-    /// Failure injection: the write with this countdown at 0 fails.
-    fail_after: Option<u64>,
+    /// Armed fault; `after_stores` counts down as writes execute.
+    plan: Option<FaultPlan>,
+    /// Lines written since the current plan was armed (media-error
+    /// poisoning candidates).
+    touched: HashSet<u64>,
+    /// Lines an injected media error left unreadable.
+    poisoned: HashSet<u64>,
+    /// Pool identity reported in media-error diagnostics.
+    owner: Option<PmoId>,
 }
 
 impl PoolStorage {
@@ -74,7 +149,9 @@ impl PoolStorage {
             let within = (offset % CHUNK) as usize;
             let take = (buf.len() - done).min(CHUNK as usize - within);
             match self.chunks.get(&chunk_idx) {
-                Some(chunk) => buf[done..done + take].copy_from_slice(&chunk[within..within + take]),
+                Some(chunk) => {
+                    buf[done..done + take].copy_from_slice(&chunk[within..within + take])
+                }
                 None => buf[done..done + take].fill(0),
             }
             done += take;
@@ -88,10 +165,8 @@ impl PoolStorage {
             let chunk_idx = offset / CHUNK;
             let within = (offset % CHUNK) as usize;
             let take = (bytes.len() - done).min(CHUNK as usize - within);
-            let chunk = self
-                .chunks
-                .entry(chunk_idx)
-                .or_insert_with(|| Box::new([0u8; CHUNK as usize]));
+            let chunk =
+                self.chunks.entry(chunk_idx).or_insert_with(|| Box::new([0u8; CHUNK as usize]));
             chunk[within..within + take].copy_from_slice(&bytes[done..done + take]);
             done += take;
             offset += take as u64;
@@ -99,47 +174,97 @@ impl PoolStorage {
     }
 
     /// Reads `buf.len()` bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-bounds ranges, or with
+    /// [`RuntimeError::MediaError`] when the range overlaps a line an
+    /// injected media fault left unreadable.
     pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
         self.check(offset, buf.len() as u64)?;
+        if !self.poisoned.is_empty() && !buf.is_empty() {
+            let first = offset / LINE;
+            let last = (offset + buf.len() as u64 - 1) / LINE;
+            for line in first..=last {
+                if self.poisoned.contains(&line) {
+                    return Err(RuntimeError::MediaError {
+                        pmo: self.owner.unwrap_or(PmoId::NULL),
+                        offset: line * LINE,
+                    });
+                }
+            }
+        }
         self.read_raw(offset, buf);
         Ok(())
     }
 
-    /// Arms failure injection: after `stores` more successful writes,
+    /// Sets the pool identity reported by media-error diagnostics.
+    pub fn set_owner(&mut self, pmo: PmoId) {
+        self.owner = Some(pmo);
+    }
+
+    /// Arms a fault: after `plan.after_stores` more successful writes,
     /// every further write fails with
     /// [`RuntimeError::PowerFailure`](crate::RuntimeError::PowerFailure)
-    /// until [`PoolStorage::crash`] runs.
+    /// until [`PoolStorage::crash`] executes the plan's media effect.
+    pub fn inject_fault(&mut self, plan: FaultPlan) {
+        self.plan = Some(plan);
+        self.touched.clear();
+    }
+
+    /// Arms a plain power failure after `stores` more successful writes
+    /// (shorthand for [`PoolStorage::inject_fault`] with
+    /// [`FaultPlan::power_failure`]).
     pub fn inject_failure_after(&mut self, stores: u64) {
-        self.fail_after = Some(stores);
+        self.inject_fault(FaultPlan::power_failure(stores));
+    }
+
+    /// The currently armed fault plan, if any.
+    #[must_use]
+    pub fn armed_fault(&self) -> Option<FaultPlan> {
+        self.plan
     }
 
     /// Writes `bytes` at `offset`. The touched lines become unflushed.
     ///
+    /// A write that covers a poisoned line end-to-end repairs it (the
+    /// media controller remaps the line on a full overwrite).
+    ///
     /// # Errors
     ///
-    /// Fails on out-of-bounds ranges or when armed failure injection fires.
+    /// Fails on out-of-bounds ranges or when an armed fault fires.
     pub fn write(&mut self, offset: u64, bytes: &[u8]) -> Result<()> {
         self.check(offset, bytes.len() as u64)?;
         if bytes.is_empty() {
             return Ok(());
         }
-        if let Some(remaining) = &mut self.fail_after {
-            if *remaining == 0 {
+        if let Some(plan) = &mut self.plan {
+            if plan.after_stores == 0 {
                 return Err(RuntimeError::PowerFailure);
             }
-            *remaining -= 1;
+            plan.after_stores -= 1;
         }
         // Capture the persisted image of each touched line before the first
         // modification since its last flush.
         let first_line = offset / LINE;
         let last_line = (offset + bytes.len() as u64 - 1) / LINE;
         for line in first_line..=last_line {
+            if self.plan.is_some() {
+                self.touched.insert(line);
+            }
             if !self.unflushed.contains_key(&line) {
                 let mut img = [0u8; LINE as usize];
                 let base = line * LINE;
                 let avail = (self.size - base).min(LINE) as usize;
                 self.read_raw(base, &mut img[..avail]);
                 self.unflushed.insert(line, img);
+            }
+            if !self.poisoned.is_empty() {
+                let base = line * LINE;
+                let valid = (self.size - base).min(LINE);
+                if offset <= base && offset + bytes.len() as u64 >= base + valid {
+                    self.poisoned.remove(&line);
+                }
             }
         }
         self.write_raw(offset, bytes);
@@ -170,18 +295,87 @@ impl PoolStorage {
         flushed
     }
 
-    /// Simulates a power loss: every unflushed line reverts to its
-    /// persisted contents. Returns the number of lines lost.
+    /// Simulates a power loss, executing the armed [`FaultPlan`]'s media
+    /// effect (plain revert when no plan is armed). Returns the number
+    /// of unflushed lines affected. Disarms the plan; media poison is
+    /// durable and survives the crash.
     pub fn crash(&mut self) -> u64 {
-        self.fail_after = None;
+        let plan = self.plan.take();
+        let touched: Vec<u64> = self.touched.drain().collect();
         let lost = self.unflushed.len() as u64;
         let reverts: Vec<(u64, [u8; LINE as usize])> = self.unflushed.drain().collect();
-        for (line, img) in reverts {
-            let base = line * LINE;
-            let avail = (self.size - base).min(LINE) as usize;
-            self.write_raw(base, &img[..avail]);
+        match plan.map(|p| (p.kind, p.seed)) {
+            None | Some((FaultKind::PowerFailure, _)) => {
+                for (line, img) in reverts {
+                    self.revert_line(line, &img);
+                }
+            }
+            Some((FaultKind::TornWrite, seed)) => {
+                for (line, img) in reverts {
+                    match mix(seed, line) % 4 {
+                        // The line's writeback raced the power loss and won:
+                        // the new contents persisted in full.
+                        0 => {}
+                        // The writeback never started: full revert.
+                        1 => self.revert_line(line, &img),
+                        // Torn: each 8-byte word independently lands old
+                        // or new.
+                        _ => self.tear_line(line, &img, seed),
+                    }
+                }
+            }
+            Some((FaultKind::MediaError, seed)) => {
+                for (line, img) in reverts {
+                    self.revert_line(line, &img);
+                }
+                // A seeded subset of every line written since the plan was
+                // armed — flushed or not, so log and header lines are fair
+                // game — comes back ECC-uncorrectable.
+                for line in touched {
+                    if mix(seed, line).is_multiple_of(4) {
+                        self.poisoned.insert(line);
+                    }
+                }
+            }
         }
         lost
+    }
+
+    fn revert_line(&mut self, line: u64, img: &[u8; LINE as usize]) {
+        let base = line * LINE;
+        let avail = (self.size - base).min(LINE) as usize;
+        self.write_raw(base, &img[..avail]);
+    }
+
+    fn tear_line(&mut self, line: u64, img: &[u8; LINE as usize], seed: u64) {
+        let base = line * LINE;
+        let avail = (self.size - base).min(LINE) as usize;
+        let mut current = [0u8; LINE as usize];
+        self.read_raw(base, &mut current[..avail]);
+        let mut torn = [0u8; LINE as usize];
+        for word in 0..(LINE as usize / 8) {
+            let span = word * 8..(word + 1) * 8;
+            let src = if mix(seed ^ 0xa5a5_a5a5_a5a5_a5a5, line * 8 + word as u64) & 1 == 0 {
+                &current // new contents persisted for this word
+            } else {
+                img // old contents survived for this word
+            };
+            torn[span.clone()].copy_from_slice(&src[span]);
+        }
+        self.write_raw(base, &torn[..avail]);
+    }
+
+    /// Number of lines an injected media fault currently leaves
+    /// unreadable.
+    #[must_use]
+    pub fn poisoned_lines(&self) -> usize {
+        self.poisoned.len()
+    }
+
+    /// Whether the line containing `offset` is unreadable.
+    #[must_use]
+    pub fn is_poisoned(&self, offset: u64) -> bool {
+        self.poisoned.contains(&(offset / LINE))
     }
 
     /// Number of currently unflushed (volatile) lines.
@@ -303,6 +497,111 @@ mod tests {
         s.flush_line(0);
         assert_eq!(s.stores(), 2);
         assert_eq!(s.flushes(), 1);
+    }
+
+    #[test]
+    fn torn_write_crash_mixes_old_and_new_per_line() {
+        // With many unflushed lines and a fixed seed, a torn-write crash
+        // must leave some lines fully new, some fully old, and the rest
+        // word-mixed — and must do so identically on a replay.
+        let run = |seed: u64| -> Vec<[u8; 64]> {
+            let mut s = PoolStorage::new(64 * 64);
+            for line in 0..64u64 {
+                s.write(line * 64, &[0x11u8; 64]).unwrap();
+            }
+            s.flush_range(0, 64 * 64);
+            s.inject_fault(FaultPlan::torn_write(u64::MAX, seed));
+            for line in 0..64u64 {
+                s.write(line * 64, &[0xEEu8; 64]).unwrap();
+            }
+            s.crash();
+            (0..64u64)
+                .map(|line| {
+                    let mut buf = [0u8; 64];
+                    s.read(line * 64, &mut buf).unwrap();
+                    buf
+                })
+                .collect()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "torn-write outcome must be seed-deterministic");
+        let fully_new = a.iter().filter(|l| l.iter().all(|&b| b == 0xEE)).count();
+        let fully_old = a.iter().filter(|l| l.iter().all(|&b| b == 0x11)).count();
+        let torn = 64 - fully_new - fully_old;
+        assert!(fully_new > 0 && fully_old > 0 && torn > 0, "{fully_new}/{fully_old}/{torn}");
+        // Torn lines tear at word granularity: every 8-byte word is
+        // entirely old or entirely new.
+        for line in &a {
+            for word in line.chunks(8) {
+                assert!(
+                    word.iter().all(|&b| b == 0x11) || word.iter().all(|&b| b == 0xEE),
+                    "torn line must mix at word granularity: {word:?}"
+                );
+            }
+        }
+        assert_ne!(run(8), a, "different seeds should damage different lines");
+    }
+
+    #[test]
+    fn media_error_poisons_touched_lines_until_overwritten() {
+        let mut s = PoolStorage::new(64 * 64);
+        s.inject_fault(FaultPlan::media_error(u64::MAX, 3));
+        for line in 0..64u64 {
+            s.write(line * 64, &[5u8; 64]).unwrap();
+        }
+        s.flush_range(0, 64 * 64); // flushed lines are still poisoning candidates
+        s.crash();
+        let poisoned: Vec<u64> = (0..64u64).filter(|&line| s.is_poisoned(line * 64)).collect();
+        assert!(!poisoned.is_empty(), "seed 3 should poison some of 64 touched lines");
+        assert_eq!(s.poisoned_lines(), poisoned.len());
+        let line = poisoned[0];
+        let mut buf = [0u8; 8];
+        match s.read(line * 64, &mut buf) {
+            Err(RuntimeError::MediaError { offset, .. }) => assert_eq!(offset, line * 64),
+            other => panic!("expected MediaError, got {other:?}"),
+        }
+        // Partial overwrite does not repair the line...
+        s.write(line * 64, &[1u8; 8]).unwrap();
+        assert!(s.is_poisoned(line * 64));
+        // ...a full-line overwrite does.
+        s.write(line * 64, &[1u8; 64]).unwrap();
+        assert!(!s.is_poisoned(line * 64));
+        s.read(line * 64, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 8]);
+    }
+
+    #[test]
+    fn media_poison_survives_later_crashes() {
+        let mut s = PoolStorage::new(256);
+        s.inject_fault(FaultPlan::media_error(u64::MAX, 0));
+        // Seed 0: find a line that gets poisoned by touching several.
+        for line in 0..4u64 {
+            s.write(line * 64, &[9u8; 64]).unwrap();
+        }
+        s.crash();
+        let before = s.poisoned_lines();
+        s.crash(); // plain crash, no plan armed
+        assert_eq!(s.poisoned_lines(), before, "media damage is durable");
+    }
+
+    #[test]
+    fn armed_fault_reports_plan_and_crash_disarms() {
+        let mut s = PoolStorage::new(256);
+        assert_eq!(s.armed_fault(), None);
+        s.inject_fault(FaultPlan::torn_write(2, 42));
+        assert_eq!(s.armed_fault().map(|p| p.seed), Some(42));
+        s.write(0, &[1]).unwrap();
+        assert_eq!(
+            s.armed_fault().map(|p| p.after_stores),
+            Some(1),
+            "countdown decrements per store"
+        );
+        s.write(0, &[2]).unwrap();
+        assert_eq!(s.write(0, &[3]), Err(RuntimeError::PowerFailure));
+        s.crash();
+        assert_eq!(s.armed_fault(), None);
+        s.write(0, &[4]).unwrap();
     }
 
     #[test]

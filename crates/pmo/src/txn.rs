@@ -12,8 +12,15 @@
 //! 4. fence, clear the commit flag, flush, fence.
 //!
 //! A crash before (2) loses the transaction entirely; a crash after (2) is
-//! repaired on the next attach by [`replay_log`], which re-applies the
+//! repaired on the next attach by [`replay_log_raw`], which re-applies the
 //! committed log. Either way the transaction is atomic.
+//!
+//! Staging lives in the *runtime* ([`PmRuntime::txn_begin`] /
+//! [`PmRuntime::txn_commit`]): while a transaction is open, every runtime
+//! write against its pool is staged, so whole data-structure operations
+//! become failure-atomic without threading a transaction handle through
+//! them. [`Transaction`] is an RAII view over that state — dropping it
+//! without committing aborts the transaction.
 
 use pmo_trace::{PmoId, TraceSink};
 
@@ -23,9 +30,10 @@ use crate::oid::Oid;
 use crate::runtime::{PmRuntime, RecoveryReport};
 
 /// Size of a log entry header: `target u32, len u32, checksum u32, pad u32`.
-const ENTRY_HEADER: u64 = 16;
+pub(crate) const ENTRY_HEADER: u64 = 16;
 
-fn checksum(target: u32, data: &[u8]) -> u32 {
+/// Per-record integrity checksum over the entry's target and payload.
+pub(crate) fn checksum(target: u32, data: &[u8]) -> u32 {
     let mut sum = target.wrapping_mul(0x9e37_79b9) ^ (data.len() as u32).wrapping_mul(0x85eb_ca6b);
     for (i, b) in data.iter().enumerate() {
         sum = sum.wrapping_add(u32::from(*b).wrapping_mul(i as u32 | 1));
@@ -33,11 +41,12 @@ fn checksum(target: u32, data: &[u8]) -> u32 {
     sum
 }
 
-fn padded(len: u64) -> u64 {
+pub(crate) fn padded(len: u64) -> u64 {
     len.div_ceil(8) * 8
 }
 
-/// An open durable transaction on one pool.
+/// An open durable transaction on one pool (RAII guard over the runtime's
+/// staged-transaction state).
 ///
 /// Writes are staged in volatile memory and become persistent atomically at
 /// [`Transaction::commit`]; dropping the transaction without committing
@@ -45,9 +54,6 @@ fn padded(len: u64) -> u64 {
 pub struct Transaction<'rt, 's> {
     rt: &'rt mut PmRuntime,
     sink: &'s mut dyn TraceSink,
-    pool: PmoId,
-    /// Staged writes: (pool offset, bytes), in program order.
-    writes: Vec<(u32, Vec<u8>)>,
 }
 
 impl PmRuntime {
@@ -55,21 +61,15 @@ impl PmRuntime {
     ///
     /// # Errors
     ///
-    /// Fails if the pool is not attached or is attached read-only.
+    /// Fails if the pool is not attached, is attached read-only, or a
+    /// transaction is already open on the runtime.
     pub fn begin_txn<'rt, 's>(
         &'rt mut self,
         pool: PmoId,
         sink: &'s mut dyn TraceSink,
     ) -> Result<Transaction<'rt, 's>> {
-        let att = self.attachment(pool)?;
-        if !att.intent.writes() {
-            return Err(RuntimeError::AccessViolation {
-                pmo: pool,
-                offset: 0,
-                reason: "transaction on read-only attachment",
-            });
-        }
-        Ok(Transaction { rt: self, sink, pool, writes: Vec::new() })
+        self.txn_begin(pool)?;
+        Ok(Transaction { rt: self, sink })
     }
 }
 
@@ -81,25 +81,7 @@ impl Transaction<'_, '_> {
     /// Fails if the target is not in this transaction's pool or out of
     /// bounds.
     pub fn write_bytes(&mut self, oid: Oid, delta: u32, bytes: &[u8]) -> Result<()> {
-        let oid = oid.add(delta);
-        if oid.pool() != self.pool {
-            return Err(RuntimeError::InvalidOid {
-                oid: oid.to_raw(),
-                reason: "write outside the transaction's pool",
-            });
-        }
-        // Bounds check against the live attachment.
-        let att = self.rt.attachment(self.pool)?;
-        if u64::from(oid.offset()) + bytes.len() as u64 > att.size {
-            return Err(RuntimeError::InvalidOid {
-                oid: oid.to_raw(),
-                reason: "write beyond pool size",
-            });
-        }
-        self.writes.push((oid.offset(), bytes.to_vec()));
-        // Staging costs a few instructions but no persistent traffic.
-        self.sink.compute(4);
-        Ok(())
+        self.rt.write_bytes(oid, delta, bytes, self.sink)
     }
 
     /// Stages a `u64` write.
@@ -123,21 +105,7 @@ impl Transaction<'_, '_> {
     ///
     /// Fails on out-of-bounds access.
     pub fn read_bytes(&mut self, oid: Oid, delta: u32, buf: &mut [u8]) -> Result<()> {
-        self.rt.read_bytes(oid, delta, buf, self.sink)?;
-        // Overlay staged writes, newest last.
-        let start = u64::from(oid.add(delta).offset());
-        let end = start + buf.len() as u64;
-        for (w_off, data) in &self.writes {
-            let w_start = u64::from(*w_off);
-            let w_end = w_start + data.len() as u64;
-            let lo = start.max(w_start);
-            let hi = end.min(w_end);
-            if lo < hi {
-                buf[(lo - start) as usize..(hi - start) as usize]
-                    .copy_from_slice(&data[(lo - w_start) as usize..(hi - w_start) as usize]);
-            }
-        }
-        Ok(())
+        self.rt.read_bytes(oid, delta, buf, self.sink)
     }
 
     /// Reads a `u64` with read-your-writes semantics.
@@ -150,11 +118,14 @@ impl Transaction<'_, '_> {
     /// Number of staged writes.
     #[must_use]
     pub fn staged(&self) -> usize {
-        self.writes.len()
+        self.rt.txn_staged()
     }
 
-    /// Aborts the transaction (equivalent to dropping it).
-    pub fn abort(self) {}
+    /// Aborts the transaction: every staged write is discarded and the
+    /// pool is untouched (equivalent to dropping the guard).
+    pub fn abort(self) {
+        self.rt.txn_discard();
+    }
 
     /// Commits: writes the redo log, sets the commit flag, applies the
     /// writes home, clears the flag. Atomic with respect to crashes.
@@ -163,56 +134,31 @@ impl Transaction<'_, '_> {
     ///
     /// Fails if the staged writes exceed the pool's log area.
     pub fn commit(self) -> Result<()> {
-        let Transaction { rt, sink, pool, writes } = self;
-        if writes.is_empty() {
-            return Ok(());
-        }
-        let log_base = rt.header_u64(pool, hdr::LOG_BASE, sink)?;
-        let log_size = rt.header_u64(pool, hdr::LOG_SIZE, sink)?;
-        let needed: u64 =
-            writes.iter().map(|(_, d)| ENTRY_HEADER + padded(d.len() as u64)).sum::<u64>()
-                + ENTRY_HEADER;
-        if needed > log_size {
-            return Err(RuntimeError::LogFull(pool));
-        }
-        // (1) Append entries + terminator.
-        let mut cursor = log_base;
-        for (target, data) in &writes {
-            let mut head = [0u8; ENTRY_HEADER as usize];
-            head[0..4].copy_from_slice(&target.to_le_bytes());
-            head[4..8].copy_from_slice(&(data.len() as u32).to_le_bytes());
-            head[8..12].copy_from_slice(&checksum(*target, data).to_le_bytes());
-            let at = Oid::new(pool, cursor as u32);
-            rt.write_bytes(at, 0, &head, sink)?;
-            rt.write_bytes(at, ENTRY_HEADER as u32, data, sink)?;
-            cursor += ENTRY_HEADER + padded(data.len() as u64);
-        }
-        let terminator = [0u8; ENTRY_HEADER as usize];
-        rt.write_bytes(Oid::new(pool, cursor as u32), 0, &terminator, sink)?;
-        cursor += ENTRY_HEADER;
-        // Flush the whole log span (persist issues the fence of step 2).
-        rt.persist(Oid::new(pool, log_base as u32), 0, cursor - log_base, sink)?;
-        // (2) Commit point.
-        rt.write_header_u64(pool, hdr::COMMIT_FLAG, 1, sink)?;
-        rt.flush_header_line(pool, hdr::COMMIT_FLAG, sink)?;
-        // (3) Apply home.
-        for (target, data) in &writes {
-            rt.write_bytes(Oid::new(pool, *target), 0, data, sink)?;
-            rt.persist(Oid::new(pool, *target), 0, data.len() as u64, sink)?;
-        }
-        // (4) Clear the flag.
-        rt.write_header_u64(pool, hdr::COMMIT_FLAG, 0, sink)?;
-        rt.flush_header_line(pool, hdr::COMMIT_FLAG, sink)?;
-        Ok(())
+        self.rt.txn_commit(self.sink)
+    }
+}
+
+impl Drop for Transaction<'_, '_> {
+    /// Dropping without committing aborts: the runtime's staged writes
+    /// for this transaction are discarded (a committed or aborted guard
+    /// has already cleared them, making this a no-op).
+    fn drop(&mut self) {
+        self.rt.txn_discard();
     }
 }
 
 /// Replays a committed redo log directly against pool storage (kernel
 /// context: attach-time recovery, no trace emission). Scans entries until
 /// the terminator or a corrupt record.
-pub(crate) fn replay_log_raw(
-    storage: &mut crate::storage::PoolStorage,
-) -> Result<RecoveryReport> {
+///
+/// Per-record hardening: each entry's bounds and checksum are validated
+/// before it is applied; the first invalid record ends the replay as a
+/// *torn tail* — the remainder is discarded and counted in
+/// [`RecoveryReport::truncated_entries`] rather than applied as garbage
+/// or panicking. Unreadable (media-damaged) log lines propagate as
+/// [`RuntimeError::MediaError`](crate::RuntimeError::MediaError) for the
+/// caller to quarantine the pool.
+pub(crate) fn replay_log_raw(storage: &mut crate::storage::PoolStorage) -> Result<RecoveryReport> {
     let read_u64 = |storage: &crate::storage::PoolStorage, off: u64| -> Result<u64> {
         let mut buf = [0u8; 8];
         storage.read(off, &mut buf)?;
@@ -221,6 +167,14 @@ pub(crate) fn replay_log_raw(
     let log_base = read_u64(storage, hdr::LOG_BASE)?;
     let log_size = read_u64(storage, hdr::LOG_SIZE)?;
     let pool_size = storage.size();
+    if log_base.checked_add(log_size).is_none_or(|end| end > pool_size || log_base < ENTRY_HEADER) {
+        // The log bounds themselves are garbage (damaged header line):
+        // nothing can be replayed safely.
+        return Err(RuntimeError::MediaError {
+            pmo: pmo_trace::PmoId::NULL,
+            offset: hdr::LOG_BASE,
+        });
+    }
     let mut report = RecoveryReport::default();
     let mut cursor = log_base;
     loop {
@@ -239,12 +193,14 @@ pub(crate) fn replay_log_raw(
         if data_off + u64::from(len) > log_base + log_size
             || u64::from(target) + u64::from(len) > pool_size
         {
-            break; // corrupt record: stop conservatively
+            report.truncated_entries += 1;
+            break; // torn tail: discard the invalid remainder
         }
         let mut data = vec![0u8; len as usize];
         storage.read(data_off, &mut data)?;
         if checksum(target, &data) != sum {
-            break;
+            report.truncated_entries += 1;
+            break; // torn tail: record fails its checksum
         }
         storage.write(u64::from(target), &data)?;
         storage.flush_range(u64::from(target), u64::from(len));
@@ -291,6 +247,83 @@ mod tests {
         tx.write_u64(obj, 0, 8).unwrap();
         tx.abort();
         assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 7);
+    }
+
+    #[test]
+    fn abort_clears_runtime_staging_and_storage() {
+        // Regression test for the empty-bodied abort: staged writes must
+        // not leak into storage, the runtime's transaction slot must be
+        // free for the next begin, and no log/home stores may have
+        // happened.
+        let (mut rt, pool, obj) = setup();
+        let mut sink = NullSink::new();
+        rt.write_u64(obj, 0, 7, &mut sink).unwrap();
+        rt.persist(obj, 0, 8, &mut sink).unwrap();
+        let stores_before = rt.storage(pool).unwrap().stores();
+        let mut tx = rt.begin_txn(pool, &mut sink).unwrap();
+        tx.write_u64(obj, 0, 8).unwrap();
+        tx.write_u64(obj, 64, 9).unwrap();
+        assert_eq!(tx.staged(), 2);
+        tx.abort();
+        assert_eq!(rt.txn_active(), None, "abort frees the runtime's txn slot");
+        assert_eq!(rt.txn_staged(), 0);
+        assert_eq!(
+            rt.storage(pool).unwrap().stores(),
+            stores_before,
+            "aborted writes never reach storage (no log, no home stores)"
+        );
+        assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 7);
+        assert_eq!(rt.read_u64(obj, 64, &mut sink).unwrap(), 0);
+        // A fresh transaction can begin and commit normally afterwards.
+        let mut tx = rt.begin_txn(pool, &mut sink).unwrap();
+        tx.write_u64(obj, 0, 10).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 10);
+    }
+
+    #[test]
+    fn drop_without_commit_discards_like_abort() {
+        let (mut rt, pool, obj) = setup();
+        let mut sink = NullSink::new();
+        {
+            let mut tx = rt.begin_txn(pool, &mut sink).unwrap();
+            tx.write_u64(obj, 0, 0xbad).unwrap();
+            // guard dropped here without commit
+        }
+        assert_eq!(rt.txn_active(), None);
+        assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 0);
+    }
+
+    #[test]
+    fn transactions_do_not_nest() {
+        let (mut rt, pool, _obj) = setup();
+        rt.txn_begin(pool).unwrap();
+        assert_eq!(rt.txn_begin(pool), Err(RuntimeError::TxnInProgress(pool)));
+        rt.txn_discard();
+        rt.txn_begin(pool).unwrap();
+        rt.txn_discard();
+    }
+
+    #[test]
+    fn runtime_writes_between_begin_and_commit_are_staged() {
+        // The heart of the staging refactor: plain runtime writes (as
+        // issued by data-structure operations) become part of the open
+        // transaction and commit atomically.
+        let (mut rt, pool, obj) = setup();
+        let mut sink = NullSink::new();
+        rt.txn_begin(pool).unwrap();
+        rt.write_u64(obj, 0, 41, &mut sink).unwrap();
+        rt.write_u64(obj, 8, 42, &mut sink).unwrap();
+        assert_eq!(rt.txn_staged(), 2);
+        // Not yet in storage...
+        let mut raw = [0u8; 8];
+        rt.storage(pool).unwrap().read(u64::from(obj.offset()), &mut raw).unwrap();
+        assert_eq!(u64::from_le_bytes(raw), 0);
+        // ...but visible through reads (read-your-writes).
+        assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 41);
+        rt.txn_commit(&mut sink).unwrap();
+        assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 41);
+        assert_eq!(rt.read_u64(obj, 8, &mut sink).unwrap(), 42);
     }
 
     #[test]
@@ -348,8 +381,38 @@ mod tests {
         let report = rt.last_recovery().expect("recovery ran");
         assert_eq!(report.entries_replayed, 2);
         assert_eq!(report.bytes_replayed, 16);
+        assert_eq!(report.truncated_entries, 0);
         assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 0xabcd);
         assert_eq!(rt.read_u64(obj, 64, &mut sink).unwrap(), 0xef01);
+    }
+
+    #[test]
+    fn corrupt_log_record_truncates_instead_of_applying() {
+        let (mut rt, pool, obj) = setup();
+        let mut sink = NullSink::new();
+        let mut tx = rt.begin_txn(pool, &mut sink).unwrap();
+        tx.write_u64(obj, 0, 0x1111).unwrap();
+        tx.write_u64(obj, 64, 0x2222).unwrap();
+        tx.commit().unwrap();
+        // Re-arm the commit flag and corrupt the SECOND log record's
+        // payload so its checksum fails; recovery must replay record one,
+        // truncate the tail, and report it.
+        let log_base = rt.header_u64(pool, hdr::LOG_BASE, &mut sink).unwrap();
+        let second_payload = log_base + ENTRY_HEADER + 8 + ENTRY_HEADER;
+        rt.write_bytes(Oid::new(pool, second_payload as u32), 0, &[0xFF; 8], &mut sink).unwrap();
+        rt.write_u64(obj, 0, 0, &mut sink).unwrap();
+        rt.write_u64(obj, 64, 0, &mut sink).unwrap();
+        rt.write_header_u64(pool, hdr::COMMIT_FLAG, 1, &mut sink).unwrap();
+        rt.flush_header_line(pool, hdr::COMMIT_FLAG, &mut sink).unwrap();
+        rt.persist(Oid::new(pool, log_base as u32), 0, 256, &mut sink).unwrap();
+        rt.persist(obj, 0, 72, &mut sink).unwrap();
+        rt.crash();
+        rt.pool_open("t", AttachIntent::ReadWrite, &mut sink).unwrap();
+        let report = rt.last_recovery().expect("recovery ran");
+        assert_eq!(report.entries_replayed, 1, "first record replays");
+        assert_eq!(report.truncated_entries, 1, "corrupt tail is counted");
+        assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 0x1111);
+        assert_eq!(rt.read_u64(obj, 64, &mut sink).unwrap(), 0, "corrupt record not applied");
     }
 
     #[test]

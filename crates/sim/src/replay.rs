@@ -183,13 +183,20 @@ impl TraceSink for Replay {
             }
             TraceEvent::Op { kind: OpKind::End } => self.ops += 1,
             TraceEvent::Op { kind: OpKind::Begin } => {}
+            // Injected-fault markers carry no timing cost; they exist so
+            // fault-injection campaigns can replay the exact crash point.
+            TraceEvent::Fault { .. } => {}
         }
     }
 }
 
 /// Replays a recorded trace under one scheme.
 #[must_use]
-pub fn replay_source(source: &dyn TraceSource, kind: SchemeKind, config: &SimConfig) -> ReplayReport {
+pub fn replay_source(
+    source: &dyn TraceSource,
+    kind: SchemeKind,
+    config: &SimConfig,
+) -> ReplayReport {
     let mut replay = Replay::new(kind, config);
     source.replay(&mut replay);
     replay.finish()
@@ -276,7 +283,12 @@ mod tests {
     fn strict_mode_panics() {
         let cfg = SimConfig::isca2020();
         let mut replay = Replay::strict(SchemeKind::DomainVirt, &cfg);
-        replay.event(TraceEvent::Attach { pmo: PmoId::new(1), base: BASE, size: 1 << 20, nvm: true });
+        replay.event(TraceEvent::Attach {
+            pmo: PmoId::new(1),
+            base: BASE,
+            size: 1 << 20,
+            nvm: true,
+        });
         replay.store(BASE, 8);
     }
 
@@ -305,7 +317,12 @@ mod tests {
     fn snapshot_windows_cycles_and_counters() {
         let cfg = SimConfig::isca2020();
         let mut replay = Replay::new(SchemeKind::Lowerbound, &cfg);
-        replay.event(TraceEvent::Attach { pmo: PmoId::new(1), base: BASE, size: 1 << 20, nvm: true });
+        replay.event(TraceEvent::Attach {
+            pmo: PmoId::new(1),
+            base: BASE,
+            size: 1 << 20,
+            nvm: true,
+        });
         replay.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadWrite });
         replay.store(BASE, 8);
         let snap = replay.snapshot();
@@ -326,7 +343,12 @@ mod tests {
         let cfg = SimConfig::isca2020();
         let run = |kind: SchemeKind| {
             let mut replay = Replay::new(kind, &cfg);
-            replay.event(TraceEvent::Attach { pmo: PmoId::new(1), base: BASE, size: 1 << 20, nvm: true });
+            replay.event(TraceEvent::Attach {
+                pmo: PmoId::new(1),
+                base: BASE,
+                size: 1 << 20,
+                nvm: true,
+            });
             for t in 0..64u32 {
                 replay.event(TraceEvent::ThreadSwitch { thread: pmo_trace::ThreadId::new(t % 2) });
                 replay.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadWrite });
@@ -344,10 +366,7 @@ mod tests {
         // of cycles) in both designs.
         for (name, cycles) in [("mpk-virt", mpk_virt), ("domain-virt", domain_virt)] {
             let per_switch = (cycles - baseline) as f64 / 64.0;
-            assert!(
-                per_switch < 200.0,
-                "{name}: {per_switch:.0} cycles per switch is not 'small'"
-            );
+            assert!(per_switch < 200.0, "{name}: {per_switch:.0} cycles per switch is not 'small'");
         }
     }
 

@@ -38,7 +38,12 @@ impl Cache {
     ///
     /// Panics if `line_bytes` is not a power of two.
     #[must_use]
-    pub fn new(name: &'static str, geometry: SetAssocGeometry, line_bytes: u32, policy: Policy) -> Self {
+    pub fn new(
+        name: &'static str,
+        geometry: SetAssocGeometry,
+        line_bytes: u32,
+        policy: Policy,
+    ) -> Self {
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
         let sets = geometry.sets() as usize;
         let ways = geometry.ways as usize;
@@ -274,7 +279,7 @@ mod tests {
     #[test]
     fn eviction_and_writeback() {
         let mut c = small_cache(); // 4 sets x 2 ways
-        // Three lines mapping to the same set (stride = sets * line = 256B).
+                                   // Three lines mapping to the same set (stride = sets * line = 256B).
         c.access(0x0, true); // dirty
         c.access(0x100, false);
         let res = c.access(0x200, false);

@@ -240,11 +240,7 @@ impl fmt::Display for SimConfig {
             self.l2_latency,
             self.line_bytes
         )?;
-        writeln!(
-            f,
-            "Memory         DRAM {}cy; NVM {}cy",
-            self.dram_latency, self.nvm_latency
-        )?;
+        writeln!(f, "Memory         DRAM {}cy; NVM {}cy", self.dram_latency, self.nvm_latency)?;
         writeln!(
             f,
             "TLB            L1 {}-entry {}-way {}cy; L2 {}-entry {}-way {}cy; miss {}cy",

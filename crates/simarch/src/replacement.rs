@@ -102,31 +102,29 @@ impl SetState {
             SetState::Lru(stack) => stack[0],
             SetState::TreePlru { bits, ways } => {
                 let leaves = (*ways as u64).next_power_of_two();
-                loop {
-                    let mut node: u64 = 1;
-                    let mut lo = 0u64;
-                    let mut hi = leaves;
-                    while hi - lo > 1 {
-                        let mid = (lo + hi) / 2;
-                        if bits & (1 << (node - 1)) == 0 {
-                            hi = mid;
-                            node *= 2;
-                        } else {
-                            lo = mid;
-                            node = node * 2 + 1;
-                        }
+                let mut node: u64 = 1;
+                let mut lo = 0u64;
+                let mut hi = leaves;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if bits & (1 << (node - 1)) == 0 {
+                        hi = mid;
+                        node *= 2;
+                    } else {
+                        lo = mid;
+                        node = node * 2 + 1;
                     }
-                    let way = lo as u8;
-                    if way < *ways {
-                        return way;
-                    }
-                    // Non-power-of-two associativity: the tree pointed at a
-                    // phantom leaf; fall back to the first way, which is
-                    // always valid. (Geometries in this workspace are powers
-                    // of two except the 6-way L2 TLB, where this bias is an
-                    // acceptable PLRU approximation.)
-                    return way % *ways;
                 }
+                let way = lo as u8;
+                if way < *ways {
+                    return way;
+                }
+                // Non-power-of-two associativity: the tree pointed at a
+                // phantom leaf; fall back to the first way, which is
+                // always valid. (Geometries in this workspace are powers
+                // of two except the 6-way L2 TLB, where this bias is an
+                // acceptable PLRU approximation.)
+                way % *ways
             }
         }
     }

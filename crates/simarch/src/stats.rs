@@ -111,7 +111,14 @@ mod tests {
 
     #[test]
     fn cache_ratios() {
-        let s = CacheStats { read_hits: 6, read_misses: 2, write_hits: 1, write_misses: 1, evictions: 0, writebacks: 0 };
+        let s = CacheStats {
+            read_hits: 6,
+            read_misses: 2,
+            write_hits: 1,
+            write_misses: 1,
+            evictions: 0,
+            writebacks: 0,
+        };
         assert_eq!(s.accesses(), 10);
         assert_eq!(s.misses(), 3);
         assert!((s.miss_ratio() - 0.3).abs() < 1e-12);

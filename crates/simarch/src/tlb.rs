@@ -60,16 +60,16 @@ impl<P: Copy> Tlb<P> {
     #[must_use]
     pub fn probe(&self, vpn: u64) -> Option<P> {
         let set = self.set_of(vpn);
-        self.entries[set]
-            .iter()
-            .find_map(|e| e.filter(|(v, _)| *v == vpn).map(|(_, p)| p))
+        self.entries[set].iter().find_map(|e| e.filter(|(v, _)| *v == vpn).map(|(_, p)| p))
     }
 
     /// Inserts a translation, returning any evicted entry.
     pub fn insert(&mut self, vpn: u64, payload: P) -> Option<(u64, P)> {
         let set = self.set_of(vpn);
         // Replace in place on re-insert.
-        if let Some(way) = self.entries[set].iter().position(|e| matches!(e, Some((v, _)) if *v == vpn)) {
+        if let Some(way) =
+            self.entries[set].iter().position(|e| matches!(e, Some((v, _)) if *v == vpn))
+        {
             self.entries[set][way] = Some((vpn, payload));
             self.repl[set].touch(way as u8);
             return None;
@@ -88,7 +88,9 @@ impl<P: Copy> Tlb<P> {
     /// Invalidates one VPN; returns whether an entry was removed.
     pub fn invalidate(&mut self, vpn: u64) -> bool {
         let set = self.set_of(vpn);
-        if let Some(way) = self.entries[set].iter().position(|e| matches!(e, Some((v, _)) if *v == vpn)) {
+        if let Some(way) =
+            self.entries[set].iter().position(|e| matches!(e, Some((v, _)) if *v == vpn))
+        {
             self.entries[set][way] = None;
             true
         } else {
@@ -205,8 +207,8 @@ impl<P: Copy> TlbHierarchy<P> {
 
     /// Ranged shootdown over `[start_vpn, end_vpn)`; returns entries removed.
     pub fn invalidate_range(&mut self, start_vpn: u64, end_vpn: u64) -> u64 {
-        let removed =
-            self.l1.invalidate_range(start_vpn, end_vpn) + self.l2.invalidate_range(start_vpn, end_vpn);
+        let removed = self.l1.invalidate_range(start_vpn, end_vpn)
+            + self.l2.invalidate_range(start_vpn, end_vpn);
         self.stats.invalidations += removed;
         self.stats.shootdowns += 1;
         removed

@@ -166,12 +166,8 @@ impl TraceSink for PermAudit {
             }
             TraceEvent::Detach { pmo } => {
                 self.regions.retain(|_, (_, p)| *p != pmo);
-                let holders: Vec<ThreadId> = self
-                    .grants
-                    .keys()
-                    .filter(|(_, p)| *p == pmo)
-                    .map(|(t, _)| *t)
-                    .collect();
+                let holders: Vec<ThreadId> =
+                    self.grants.keys().filter(|(_, p)| *p == pmo).map(|(t, _)| *t).collect();
                 for thread in holders {
                     self.grants.remove(&(thread, pmo));
                     self.violations.push(AuditViolation::DetachedWhileGranted { thread, pmo });
@@ -229,14 +225,8 @@ mod tests {
         audit.store(BASE, 8); // read-only grant, write access
         let violations = audit.violations().to_vec();
         assert_eq!(violations.len(), 2);
-        assert!(matches!(
-            violations[0],
-            AuditViolation::UnguardedAccess { write: false, .. }
-        ));
-        assert!(matches!(
-            violations[1],
-            AuditViolation::UnguardedAccess { write: true, .. }
-        ));
+        assert!(matches!(violations[0], AuditViolation::UnguardedAccess { write: false, .. }));
+        assert!(matches!(violations[1], AuditViolation::UnguardedAccess { write: true, .. }));
     }
 
     #[test]
@@ -284,10 +274,7 @@ mod tests {
         attach(&mut audit, 1, BASE);
         audit.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadWrite });
         audit.event(TraceEvent::Detach { pmo: PmoId::new(1) });
-        assert!(matches!(
-            audit.violations()[0],
-            AuditViolation::DetachedWhileGranted { .. }
-        ));
+        assert!(matches!(audit.violations()[0], AuditViolation::DetachedWhileGranted { .. }));
         // The grant is gone with the detach; the trace can end cleanly.
         assert_eq!(audit.finish().len(), 1);
     }

@@ -15,6 +15,34 @@ pub enum OpKind {
     End,
 }
 
+/// The kind of injected hardware fault a campaign recorded.
+///
+/// Emitted as [`TraceEvent::Fault`] by fault-injection harnesses at the
+/// instant a planned fault fires, so a recorded trace carries enough
+/// information to replay the exact same failure deterministically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultKind {
+    /// Whole-machine power loss: every unflushed line reverts.
+    PowerFailure,
+    /// Power loss with torn cache-line writes: each unflushed line
+    /// independently persists fully, reverts fully, or tears at word
+    /// granularity.
+    TornWrite,
+    /// Power loss plus NVM media damage: a deterministic subset of
+    /// recently-written lines becomes unreadable (ECC-uncorrectable).
+    MediaError,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::PowerFailure => "power-failure",
+            FaultKind::TornWrite => "torn-write",
+            FaultKind::MediaError => "media-error",
+        })
+    }
+}
+
 /// One event of an execution trace.
 ///
 /// Events are deliberately scheme-agnostic: a permission switch is recorded
@@ -87,6 +115,16 @@ pub enum TraceEvent {
         /// Begin or end.
         kind: OpKind,
     },
+    /// An injected hardware fault fired against a PMO's backing NVM.
+    ///
+    /// Recorded by fault-injection campaigns so the crash point is part
+    /// of the trace itself and a replay reproduces the identical failure.
+    Fault {
+        /// PMO whose backing storage the fault hit.
+        pmo: PmoId,
+        /// What kind of fault fired.
+        kind: FaultKind,
+    },
 }
 
 impl TraceEvent {
@@ -113,7 +151,8 @@ impl TraceEvent {
             TraceEvent::Attach { .. }
             | TraceEvent::Detach { .. }
             | TraceEvent::ThreadSwitch { .. }
-            | TraceEvent::Op { .. } => 0,
+            | TraceEvent::Op { .. }
+            | TraceEvent::Fault { .. } => 0,
         }
     }
 }
@@ -134,6 +173,7 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Fence => f.write_str("fence"),
             TraceEvent::Op { kind: OpKind::Begin } => f.write_str("op-begin"),
             TraceEvent::Op { kind: OpKind::End } => f.write_str("op-end"),
+            TraceEvent::Fault { pmo, kind } => write!(f, "fault pmo={pmo} kind={kind}"),
         }
     }
 }
@@ -159,8 +199,10 @@ mod tests {
             1
         );
         assert_eq!(TraceEvent::Op { kind: OpKind::Begin }.instruction_count(), 0);
+        assert_eq!(TraceEvent::ThreadSwitch { thread: ThreadId::MAIN }.instruction_count(), 0);
         assert_eq!(
-            TraceEvent::ThreadSwitch { thread: ThreadId::MAIN }.instruction_count(),
+            TraceEvent::Fault { pmo: PmoId::new(3), kind: FaultKind::TornWrite }
+                .instruction_count(),
             0
         );
     }
@@ -178,10 +220,23 @@ mod tests {
             TraceEvent::Flush { va: 0x40 },
             TraceEvent::Fence,
             TraceEvent::Op { kind: OpKind::End },
+            TraceEvent::Fault { pmo: PmoId::new(2), kind: FaultKind::PowerFailure },
+            TraceEvent::Fault { pmo: PmoId::new(2), kind: FaultKind::TornWrite },
+            TraceEvent::Fault { pmo: PmoId::new(2), kind: FaultKind::MediaError },
         ];
         for e in events {
             assert!(!format!("{e}").is_empty());
             assert!(!format!("{e:?}").is_empty());
         }
+    }
+
+    #[test]
+    fn fault_kind_display_is_distinct() {
+        let names = [
+            FaultKind::PowerFailure.to_string(),
+            FaultKind::TornWrite.to_string(),
+            FaultKind::MediaError.to_string(),
+        ];
+        assert_eq!(names.iter().collect::<std::collections::BTreeSet<_>>().len(), 3);
     }
 }

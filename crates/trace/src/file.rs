@@ -9,7 +9,7 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use crate::{OpKind, Perm, PmoId, ThreadId, TraceEvent, TraceSink, TraceSource};
+use crate::{FaultKind, OpKind, Perm, PmoId, ThreadId, TraceEvent, TraceSink, TraceSource};
 
 const MAGIC: u32 = 0x504d_4f54; // "PMOT"
 const VERSION: u32 = 1;
@@ -27,6 +27,14 @@ fn encode(ev: &TraceEvent) -> [u8; RECORD_BYTES] {
         TraceEvent::Flush { va } => (7, va, 0, 0, 0),
         TraceEvent::Fence => (8, 0, 0, 0, 0),
         TraceEvent::Op { kind } => (9, 0, 0, u8::from(matches!(kind, OpKind::End)), 0),
+        TraceEvent::Fault { pmo, kind } => {
+            let code = match kind {
+                FaultKind::PowerFailure => 0,
+                FaultKind::TornWrite => 1,
+                FaultKind::MediaError => 2,
+            };
+            (10, 0, 0, code, pmo.raw())
+        }
     };
     let mut rec = [0u8; RECORD_BYTES];
     rec[0] = tag;
@@ -54,6 +62,20 @@ fn decode(rec: &[u8; RECORD_BYTES]) -> io::Result<TraceEvent> {
         7 => TraceEvent::Flush { va: a },
         8 => TraceEvent::Fence,
         9 => TraceEvent::Op { kind: if c != 0 { OpKind::End } else { OpKind::Begin } },
+        10 => TraceEvent::Fault {
+            pmo: PmoId::from_raw(d),
+            kind: match c {
+                0 => FaultKind::PowerFailure,
+                1 => FaultKind::TornWrite,
+                2 => FaultKind::MediaError,
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unknown fault kind code {other}"),
+                    ))
+                }
+            },
+        },
         other => {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -207,7 +229,12 @@ mod tests {
 
     fn sample() -> Vec<TraceEvent> {
         vec![
-            TraceEvent::Attach { pmo: PmoId::new(7), base: 0x2000_0000_0000, size: 8 << 20, nvm: true },
+            TraceEvent::Attach {
+                pmo: PmoId::new(7),
+                base: 0x2000_0000_0000,
+                size: 8 << 20,
+                nvm: true,
+            },
             TraceEvent::ThreadSwitch { thread: ThreadId::new(3) },
             TraceEvent::SetPerm { pmo: PmoId::new(7), perm: Perm::ReadWrite },
             TraceEvent::Load { va: 0x2000_0000_0040, size: 8 },
@@ -218,6 +245,9 @@ mod tests {
             TraceEvent::Op { kind: OpKind::Begin },
             TraceEvent::Op { kind: OpKind::End },
             TraceEvent::SetPerm { pmo: PmoId::new(7), perm: Perm::None },
+            TraceEvent::Fault { pmo: PmoId::new(7), kind: FaultKind::PowerFailure },
+            TraceEvent::Fault { pmo: PmoId::new(7), kind: FaultKind::TornWrite },
+            TraceEvent::Fault { pmo: PmoId::new(7), kind: FaultKind::MediaError },
             TraceEvent::Detach { pmo: PmoId::new(7) },
         ]
     }
@@ -232,11 +262,11 @@ mod tests {
         for ev in sample() {
             writer.event(ev);
         }
-        assert_eq!(writer.len(), 12);
-        assert_eq!(writer.finish().unwrap(), 12);
+        assert_eq!(writer.len(), 15);
+        assert_eq!(writer.finish().unwrap(), 15);
 
         let file = TraceFile::open(&path).unwrap();
-        assert_eq!(file.len(), 12);
+        assert_eq!(file.len(), 15);
         assert!(!file.is_empty());
         let mut replayed = RecordedTrace::new();
         file.replay(&mut replayed);

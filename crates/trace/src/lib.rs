@@ -37,7 +37,7 @@ mod sink;
 mod stats;
 
 pub use audit::{AuditViolation, PermAudit};
-pub use event::{OpKind, TraceEvent};
+pub use event::{FaultKind, OpKind, TraceEvent};
 pub use file::{TraceFile, TraceFileWriter};
 pub use ids::{PmoId, ThreadId, Va};
 pub use perm::{AccessKind, Perm};

@@ -29,6 +29,8 @@ pub struct EventCounts {
     pub fences: u64,
     /// Number of completed operations (`Op::End` markers).
     pub ops: u64,
+    /// Number of injected-fault markers.
+    pub faults: u64,
 }
 
 impl EventCounts {
@@ -55,6 +57,7 @@ impl EventCounts {
                     self.ops += 1;
                 }
             }
+            TraceEvent::Fault { .. } => self.faults += 1,
         }
     }
 
@@ -192,8 +195,18 @@ mod tests {
     #[test]
     fn attributes_accesses_to_regions() {
         let mut stats = TraceStats::new();
-        stats.event(TraceEvent::Attach { pmo: PmoId::new(1), base: 0x1000, size: 0x1000, nvm: true });
-        stats.event(TraceEvent::Attach { pmo: PmoId::new(2), base: 0x4000, size: 0x1000, nvm: true });
+        stats.event(TraceEvent::Attach {
+            pmo: PmoId::new(1),
+            base: 0x1000,
+            size: 0x1000,
+            nvm: true,
+        });
+        stats.event(TraceEvent::Attach {
+            pmo: PmoId::new(2),
+            base: 0x4000,
+            size: 0x1000,
+            nvm: true,
+        });
         stats.load(0x1004, 8); // pmo 1
         stats.store(0x4ff8, 8); // pmo 2
         stats.load(0x9000, 8); // outside
@@ -209,7 +222,12 @@ mod tests {
     #[test]
     fn detach_stops_attribution() {
         let mut stats = TraceStats::new();
-        stats.event(TraceEvent::Attach { pmo: PmoId::new(1), base: 0x1000, size: 0x1000, nvm: true });
+        stats.event(TraceEvent::Attach {
+            pmo: PmoId::new(1),
+            base: 0x1000,
+            size: 0x1000,
+            nvm: true,
+        });
         stats.load(0x1000, 8);
         stats.event(TraceEvent::Detach { pmo: PmoId::new(1) });
         stats.load(0x1000, 8);
@@ -220,7 +238,12 @@ mod tests {
     #[test]
     fn boundary_addresses() {
         let mut stats = TraceStats::new();
-        stats.event(TraceEvent::Attach { pmo: PmoId::new(3), base: 0x2000, size: 0x100, nvm: false });
+        stats.event(TraceEvent::Attach {
+            pmo: PmoId::new(3),
+            base: 0x2000,
+            size: 0x100,
+            nvm: false,
+        });
         stats.load(0x1fff, 1); // one byte before
         stats.load(0x2000, 1); // first byte
         stats.load(0x20ff, 1); // last byte
@@ -247,5 +270,14 @@ mod tests {
         counts.observe(&TraceEvent::Op { kind: crate::OpKind::Begin });
         counts.observe(&TraceEvent::Op { kind: crate::OpKind::End });
         assert_eq!(counts.ops, 1);
+    }
+
+    #[test]
+    fn faults_count_but_retire_no_instructions() {
+        let mut counts = EventCounts::new();
+        let fault = TraceEvent::Fault { pmo: PmoId::new(1), kind: crate::FaultKind::MediaError };
+        counts.observe(&fault);
+        assert_eq!(counts.faults, 1);
+        assert_eq!(counts.instructions(), 0);
     }
 }

@@ -47,13 +47,7 @@ impl MicroConfig {
     /// A scaled-down configuration for fast runs.
     #[must_use]
     pub fn quick() -> Self {
-        MicroConfig {
-            pmos: 64,
-            active_pmos: 64,
-            initial_nodes: 32,
-            ops: 4_000,
-            ..Self::paper()
-        }
+        MicroConfig { pmos: 64, active_pmos: 64, initial_nodes: 32, ops: 4_000, ..Self::paper() }
     }
 
     /// Returns a copy with a different active-PMO count (Figure 6 sweeps).

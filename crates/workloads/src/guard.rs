@@ -37,10 +37,7 @@ impl<S: TraceSink> PerAccessGuard<S> {
     }
 
     fn pmo_at(&self, va: Va) -> Option<PmoId> {
-        self.regions
-            .iter()
-            .find(|(base, end, _)| va >= *base && va < *end)
-            .map(|(_, _, pmo)| *pmo)
+        self.regions.iter().find(|(base, end, _)| va >= *base && va < *end).map(|(_, _, pmo)| *pmo)
     }
 }
 
@@ -55,21 +52,19 @@ impl<S: TraceSink> TraceSink for PerAccessGuard<S> {
                 self.regions.retain(|(_, _, p)| *p != pmo);
                 self.inner.event(ev);
             }
-            TraceEvent::Load { va, .. } | TraceEvent::Store { va, .. } => {
-                match self.pmo_at(va) {
-                    Some(pmo) => {
-                        let perm = if matches!(ev, TraceEvent::Store { .. }) {
-                            Perm::ReadWrite
-                        } else {
-                            Perm::ReadOnly
-                        };
-                        self.inner.event(TraceEvent::SetPerm { pmo, perm });
-                        self.inner.event(ev);
-                        self.inner.event(TraceEvent::SetPerm { pmo, perm: Perm::None });
-                    }
-                    None => self.inner.event(ev),
+            TraceEvent::Load { va, .. } | TraceEvent::Store { va, .. } => match self.pmo_at(va) {
+                Some(pmo) => {
+                    let perm = if matches!(ev, TraceEvent::Store { .. }) {
+                        Perm::ReadWrite
+                    } else {
+                        Perm::ReadOnly
+                    };
+                    self.inner.event(TraceEvent::SetPerm { pmo, perm });
+                    self.inner.event(ev);
+                    self.inner.event(TraceEvent::SetPerm { pmo, perm: Perm::None });
                 }
-            }
+                None => self.inner.event(ev),
+            },
             other => self.inner.event(other),
         }
     }
@@ -83,16 +78,18 @@ mod tests {
     #[test]
     fn wraps_pmo_accesses_only() {
         let mut guard = PerAccessGuard::new(RecordedTrace::new());
-        guard.event(TraceEvent::Attach { pmo: PmoId::new(1), base: 0x1000, size: 0x1000, nvm: true });
+        guard.event(TraceEvent::Attach {
+            pmo: PmoId::new(1),
+            base: 0x1000,
+            size: 0x1000,
+            nvm: true,
+        });
         guard.load(0x1008, 8); // inside: wrapped
         guard.store(0x9000, 8); // outside: passed through
         let trace = guard.into_inner();
         let events = trace.events();
         assert_eq!(events.len(), 5);
-        assert!(matches!(
-            events[1],
-            TraceEvent::SetPerm { perm: Perm::ReadOnly, .. }
-        ));
+        assert!(matches!(events[1], TraceEvent::SetPerm { perm: Perm::ReadOnly, .. }));
         assert!(matches!(events[2], TraceEvent::Load { va: 0x1008, .. }));
         assert!(matches!(events[3], TraceEvent::SetPerm { perm: Perm::None, .. }));
         assert!(matches!(events[4], TraceEvent::Store { va: 0x9000, .. }));
@@ -101,19 +98,26 @@ mod tests {
     #[test]
     fn stores_get_readwrite() {
         let mut guard = PerAccessGuard::new(RecordedTrace::new());
-        guard.event(TraceEvent::Attach { pmo: PmoId::new(1), base: 0x1000, size: 0x1000, nvm: true });
+        guard.event(TraceEvent::Attach {
+            pmo: PmoId::new(1),
+            base: 0x1000,
+            size: 0x1000,
+            nvm: true,
+        });
         guard.store(0x1000, 8);
         let trace = guard.into_inner();
-        assert!(matches!(
-            trace.events()[1],
-            TraceEvent::SetPerm { perm: Perm::ReadWrite, .. }
-        ));
+        assert!(matches!(trace.events()[1], TraceEvent::SetPerm { perm: Perm::ReadWrite, .. }));
     }
 
     #[test]
     fn detach_stops_wrapping() {
         let mut guard = PerAccessGuard::new(RecordedTrace::new());
-        guard.event(TraceEvent::Attach { pmo: PmoId::new(1), base: 0x1000, size: 0x1000, nvm: true });
+        guard.event(TraceEvent::Attach {
+            pmo: PmoId::new(1),
+            base: 0x1000,
+            size: 0x1000,
+            nvm: true,
+        });
         guard.event(TraceEvent::Detach { pmo: PmoId::new(1) });
         guard.load(0x1000, 8);
         let trace = guard.into_inner();

@@ -17,9 +17,7 @@ use pmo_runtime::{Mode, PmRuntime};
 use pmo_trace::{OpKind, Perm, PmoId, TraceEvent, TraceSink};
 
 use crate::config::MicroConfig;
-use crate::structs::{
-    AvlTree, BplusTree, KeyedStructure, LinkedList, RbTree, StringArray,
-};
+use crate::structs::{AvlTree, BplusTree, KeyedStructure, LinkedList, RbTree, StringArray};
 use crate::Workload;
 
 /// Which microbenchmark to run (Table IV).
@@ -109,12 +107,7 @@ impl MicroWorkload {
         &self.config
     }
 
-    fn insert_one(
-        state: &mut State,
-        idx: usize,
-        key: u64,
-        sink: &mut dyn TraceSink,
-    ) {
+    fn insert_one(state: &mut State, idx: usize, key: u64, sink: &mut dyn TraceSink) {
         let rt = &mut state.rt;
         match &mut state.structures {
             Structures::Avl(v) => v[idx].insert(rt, key, sink).expect("insert"),
@@ -164,11 +157,7 @@ impl Workload for MicroWorkload {
         let active = cfg.active_pmos as usize;
         let structures = {
             // Structure creation writes metadata: wrap in a write window.
-            let mut create_all = |mk: &mut dyn FnMut(
-                &mut PmRuntime,
-                PmoId,
-                &mut dyn TraceSink,
-            )| {
+            let mut create_all = |mk: &mut dyn FnMut(&mut PmRuntime, PmoId, &mut dyn TraceSink)| {
                 for &pool in pools.iter().take(active) {
                     sink.event(TraceEvent::SetPerm { pmo: pool, perm: Perm::ReadWrite });
                     mk(&mut rt, pool, sink);
@@ -200,7 +189,9 @@ impl Workload for MicroWorkload {
                 MicroBench::LinkedList => {
                     let mut v = Vec::with_capacity(active);
                     create_all(&mut |rt, pool, sink| {
-                        v.push(LinkedList::create(rt, pool, cfg.value_bytes, sink).expect("create"));
+                        v.push(
+                            LinkedList::create(rt, pool, cfg.value_bytes, sink).expect("create"),
+                        );
                     });
                     Structures::List(v)
                 }
@@ -218,8 +209,7 @@ impl Workload for MicroWorkload {
             }
         };
 
-        let mut state =
-            State { rt, pools, structures, live_keys: vec![Vec::new(); active], rng };
+        let mut state = State { rt, pools, structures, live_keys: vec![Vec::new(); active], rng };
 
         // Population: each structure starts with `initial_nodes` elements,
         // inserted under the same per-op permission protocol as the
@@ -255,8 +245,8 @@ impl Workload for MicroWorkload {
                 let b = state.rng.gen_range(0..slots);
                 arrays[idx].swap(&mut state.rt, a, b, sink).expect("swap");
             } else {
-                let insert = state.rng.gen_range(0..100) < cfg.insert_pct
-                    || state.live_keys[idx].is_empty();
+                let insert =
+                    state.rng.gen_range(0..100) < cfg.insert_pct || state.live_keys[idx].is_empty();
                 if insert {
                     let key = state.rng.gen::<u64>();
                     Self::insert_one(state, idx, key, sink);
@@ -340,10 +330,7 @@ mod tests {
         assert_eq!(stats.counts().attaches, 8);
         let active: u64 = (1..=2).map(|i| stats.accesses_for(PmoId::new(i))).sum();
         let idle: u64 = (3..=8).map(|i| stats.accesses_for(PmoId::new(i))).sum();
-        assert!(
-            active > idle * 10,
-            "ops concentrate on active PMOs: active={active} idle={idle}"
-        );
+        assert!(active > idle * 10, "ops concentrate on active PMOs: active={active} idle={idle}");
     }
 
     #[test]
@@ -360,7 +347,7 @@ mod tests {
         let live: usize = state.live_keys.iter().map(Vec::len).sum();
         let inserted_minus_deleted = live as i64 - 64;
         assert!(
-            (inserted_minus_deleted - 0).abs() < 120,
+            inserted_minus_deleted.abs() < 120,
             "roughly balanced mix, got {inserted_minus_deleted}"
         );
     }

@@ -65,7 +65,12 @@ impl AvlTree {
         rt.write_oid(node, if right { RIGHT } else { LEFT }, to, sink)
     }
 
-    fn update_height(&self, rt: &mut PmRuntime, node: Oid, sink: &mut dyn TraceSink) -> Result<u64> {
+    fn update_height(
+        &self,
+        rt: &mut PmRuntime,
+        node: Oid,
+        sink: &mut dyn TraceSink,
+    ) -> Result<u64> {
         let l = self.child(rt, node, false, sink)?;
         let r = self.child(rt, node, true, sink)?;
         let h = 1 + self.height(rt, l, sink)?.max(self.height(rt, r, sink)?);
@@ -73,7 +78,12 @@ impl AvlTree {
         Ok(h)
     }
 
-    fn balance_factor(&self, rt: &mut PmRuntime, node: Oid, sink: &mut dyn TraceSink) -> Result<i64> {
+    fn balance_factor(
+        &self,
+        rt: &mut PmRuntime,
+        node: Oid,
+        sink: &mut dyn TraceSink,
+    ) -> Result<i64> {
         let l = self.child(rt, node, false, sink)?;
         let r = self.child(rt, node, true, sink)?;
         Ok(self.height(rt, l, sink)? as i64 - self.height(rt, r, sink)? as i64)
@@ -132,7 +142,12 @@ impl AvlTree {
         rt.persist(self.meta, ROOT_PTR, 8, sink)
     }
 
-    fn bump_count(&mut self, rt: &mut PmRuntime, delta: i64, sink: &mut dyn TraceSink) -> Result<()> {
+    fn bump_count(
+        &mut self,
+        rt: &mut PmRuntime,
+        delta: i64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
         self.count = self.count.wrapping_add_signed(delta);
         rt.write_u64(self.meta, COUNT, self.count, sink)
     }
@@ -178,6 +193,119 @@ impl AvlTree {
             Ok(1 + hl.max(hr))
         }
         walk(self, rt, self.root, sink)
+    }
+}
+
+impl super::CheckedStructure for AvlTree {
+    fn verify(
+        &self,
+        rt: &mut PmRuntime,
+        required: &[u64],
+        optional: &[u64],
+        sink: &mut dyn TraceSink,
+    ) -> Result<super::CheckReport> {
+        use std::collections::HashMap;
+        let mut report = super::CheckReport::default();
+        // Snapshot the reachable tree into volatile nodes. Each persistent
+        // node is visited once; an edge to an already-seen node (a cycle or
+        // a shared subtree, both possible only through corruption) is
+        // reported and treated as a leaf so traversal terminates.
+        struct V {
+            key: u64,
+            left: Option<usize>,
+            right: Option<usize>,
+        }
+        let cap = required.len() + optional.len() + 1;
+        let mut nodes: Vec<V> = Vec::new();
+        let mut seen: HashMap<u64, usize> = HashMap::new();
+        let mut corrupt_shape = false;
+        // Stack of (oid, parent slot to patch with the new index).
+        let mut stack: Vec<(Oid, Option<(usize, bool)>)> = vec![(self.root, None)];
+        while let Some((oid, patch)) = stack.pop() {
+            if oid.is_null() {
+                continue;
+            }
+            if let Some(&idx) = seen.get(&oid.to_raw()) {
+                report.violation(format!(
+                    "node with key {:#x} is reachable twice (cycle or shared subtree)",
+                    nodes[idx].key
+                ));
+                corrupt_shape = true;
+                continue;
+            }
+            if nodes.len() >= cap {
+                report.violation(format!("more than {cap} nodes reachable"));
+                corrupt_shape = true;
+                break;
+            }
+            let key = rt.read_u64(oid, KEY, sink)?;
+            let left = self.child(rt, oid, false, sink)?;
+            let right = self.child(rt, oid, true, sink)?;
+            let mut value = vec![0u8; self.value_bytes as usize];
+            rt.read_bytes(oid, VALUE, &mut value, sink)?;
+            if value != value_for(key, self.value_bytes) {
+                report.violation(format!("value of key {key:#x} is corrupt"));
+            }
+            let idx = nodes.len();
+            seen.insert(oid.to_raw(), idx);
+            nodes.push(V { key, left: None, right: None });
+            if let Some((p, is_right)) = patch {
+                if is_right {
+                    nodes[p].right = Some(idx);
+                } else {
+                    nodes[p].left = Some(idx);
+                }
+            }
+            stack.push((left, Some((idx, false))));
+            stack.push((right, Some((idx, true))));
+        }
+        report.nodes_visited = nodes.len() as u64;
+        if self.count != nodes.len() as u64 {
+            report.violation(format!(
+                "count field says {} but {} nodes are reachable",
+                self.count,
+                nodes.len()
+            ));
+        }
+        // Shape checks run on the volatile spanning tree (safe recursion).
+        if !corrupt_shape && !nodes.is_empty() {
+            fn walk(
+                nodes: &[V],
+                i: usize,
+                inorder: &mut Vec<u64>,
+                report: &mut super::CheckReport,
+            ) -> u64 {
+                let hl = match nodes[i].left {
+                    Some(l) => walk(nodes, l, inorder, report),
+                    None => 0,
+                };
+                inorder.push(nodes[i].key);
+                let hr = match nodes[i].right {
+                    Some(r) => walk(nodes, r, inorder, report),
+                    None => 0,
+                };
+                if hl.abs_diff(hr) > 1 {
+                    report.violation(format!(
+                        "AVL balance violated at key {:#x} ({hl} vs {hr})",
+                        nodes[i].key
+                    ));
+                }
+                1 + hl.max(hr)
+            }
+            let mut inorder = Vec::with_capacity(nodes.len());
+            walk(&nodes, 0, &mut inorder, &mut report);
+            for w in inorder.windows(2) {
+                if w[0] >= w[1] {
+                    report
+                        .violation(format!("BST order violated: {:#x} precedes {:#x}", w[0], w[1]));
+                }
+            }
+            super::verify::check_membership(&inorder, required, optional, &mut report);
+        } else {
+            let keys: Vec<u64> = nodes.iter().map(|n| n.key).collect();
+            super::verify::check_membership(&keys, required, optional, &mut report);
+        }
+        Ok(report)
     }
 }
 
@@ -311,12 +439,7 @@ impl KeyedStructure for AvlTree {
         Ok(true)
     }
 
-    fn contains(
-        &mut self,
-        rt: &mut PmRuntime,
-        key: u64,
-        sink: &mut dyn TraceSink,
-    ) -> Result<bool> {
+    fn contains(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<bool> {
         let mut cur = self.root;
         while !cur.is_null() {
             let k = rt.read_u64(cur, KEY, sink)?;
@@ -387,6 +510,43 @@ mod tests {
         expect.sort_unstable();
         inorder.dedup();
         assert_eq!(inorder, expect);
+    }
+
+    #[test]
+    fn verify_contract() {
+        testutil::exercise_verify::<AvlTree>();
+    }
+
+    #[test]
+    fn verify_detects_torn_key() {
+        use super::super::CheckedStructure;
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut tree = AvlTree::create(&mut rt, pool, 16, &mut sink).unwrap();
+        let keys = [10u64, 20, 30, 40, 50];
+        for &k in &keys {
+            tree.insert(&mut rt, k, &mut sink).unwrap();
+        }
+        // Simulate a torn key write at the root: BST order, membership and
+        // value integrity all break, and the checker must say so without
+        // panicking.
+        rt.write_u64(tree.root, KEY, u64::MAX, &mut sink).unwrap();
+        let report = tree.verify(&mut rt, &keys, &[], &mut sink).unwrap();
+        assert!(!report.is_clean());
+        assert!(format!("{report}").contains("order violated"), "{report}");
+    }
+
+    #[test]
+    fn verify_survives_pointer_cycle() {
+        use super::super::CheckedStructure;
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut tree = AvlTree::create(&mut rt, pool, 16, &mut sink).unwrap();
+        for k in [2u64, 1, 3] {
+            tree.insert(&mut rt, k, &mut sink).unwrap();
+        }
+        // Point the root's left child back at the root: a cycle.
+        rt.write_oid(tree.root, LEFT, tree.root, &mut sink).unwrap();
+        let report = tree.verify(&mut rt, &[1, 2, 3], &[], &mut sink).unwrap();
+        assert!(format!("{report}").contains("reachable twice"), "{report}");
     }
 
     #[test]

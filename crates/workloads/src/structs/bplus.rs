@@ -70,7 +70,13 @@ impl BplusTree {
         Ok(node)
     }
 
-    fn leaf_key(&self, rt: &mut PmRuntime, leaf: Oid, i: u32, sink: &mut dyn TraceSink) -> Result<u64> {
+    fn leaf_key(
+        &self,
+        rt: &mut PmRuntime,
+        leaf: Oid,
+        i: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<u64> {
         rt.read_u64(leaf, HEADER + i * ENTRY, sink)
     }
 
@@ -254,7 +260,12 @@ impl BplusTree {
         rt.persist(self.meta, ROOT_PTR, 8, sink)
     }
 
-    fn bump_count(&mut self, rt: &mut PmRuntime, delta: i64, sink: &mut dyn TraceSink) -> Result<()> {
+    fn bump_count(
+        &mut self,
+        rt: &mut PmRuntime,
+        delta: i64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
         self.count = self.count.wrapping_add_signed(delta);
         rt.write_u64(self.meta, META_COUNT, self.count, sink)
     }
@@ -268,6 +279,133 @@ impl BplusTree {
             h += 1;
         }
         Ok(h)
+    }
+}
+
+impl super::CheckedStructure for BplusTree {
+    fn verify(
+        &self,
+        rt: &mut PmRuntime,
+        required: &[u64],
+        optional: &[u64],
+        sink: &mut dyn TraceSink,
+    ) -> Result<super::CheckReport> {
+        use std::collections::HashSet;
+        let mut report = super::CheckReport::default();
+        let cap = 2 * (required.len() + optional.len()) + 16;
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut corrupt_shape = false;
+        // Leaves in left-to-right order, with their depth (for the
+        // uniform-depth invariant) and OID (for the chain check).
+        let mut leaves: Vec<(Oid, u32)> = Vec::new();
+        let mut keys: Vec<u64> = Vec::new();
+        // DFS carrying the key range each subtree must stay within:
+        // lower inclusive (separators move to the right half on split),
+        // upper exclusive.
+        let mut stack: Vec<(Oid, u32, Option<u64>, Option<u64>)> = vec![(self.root, 1, None, None)];
+        while let Some((node, depth, lower, upper)) = stack.pop() {
+            if node.is_null() {
+                report.violation("null child pointer inside the tree".to_string());
+                corrupt_shape = true;
+                continue;
+            }
+            if !seen.insert(node.to_raw()) {
+                report.violation(format!(
+                    "node {:#x} is reachable twice (cycle or shared subtree)",
+                    node.to_raw()
+                ));
+                corrupt_shape = true;
+                continue;
+            }
+            if seen.len() > cap {
+                report.violation(format!("more than {cap} nodes reachable"));
+                corrupt_shape = true;
+                break;
+            }
+            report.nodes_visited += 1;
+            let count = self.node_count(rt, node, sink)?;
+            if count as usize > ORDER {
+                report.violation(format!(
+                    "node {:#x} claims {count} entries, fanout is {ORDER}",
+                    node.to_raw()
+                ));
+                corrupt_shape = true;
+                continue;
+            }
+            if self.is_leaf(rt, node, sink)? {
+                leaves.push((node, depth));
+                // Leaf entries are unsorted by design; each must sit inside
+                // the separator range and carry its derived value.
+                for i in 0..count {
+                    let k = self.leaf_key(rt, node, i, sink)?;
+                    let v = rt.read_u64(node, HEADER + i * ENTRY + 8, sink)?;
+                    if lower.is_some_and(|lo| k < lo) || upper.is_some_and(|hi| k >= hi) {
+                        report.violation(format!("leaf key {k:#x} escapes its separator range"));
+                    }
+                    if v != k ^ 0xabcd {
+                        report.violation(format!("value of key {k:#x} is corrupt"));
+                    }
+                    keys.push(k);
+                }
+            } else {
+                if count == 0 {
+                    report.violation(format!("internal node {:#x} has no keys", node.to_raw()));
+                    corrupt_shape = true;
+                    continue;
+                }
+                // Internal keys are sorted; children partition the range.
+                // Push right-to-left so leaves pop in left-to-right order.
+                let mut sep = Vec::with_capacity(count as usize);
+                for i in 0..count {
+                    sep.push(self.internal_key(rt, node, i, sink)?);
+                }
+                for w in sep.windows(2) {
+                    if w[0] >= w[1] {
+                        report.violation(format!(
+                            "internal keys out of order: {:#x} precedes {:#x}",
+                            w[0], w[1]
+                        ));
+                    }
+                }
+                for i in (0..=count).rev() {
+                    let child = self.internal_child(rt, node, i, sink)?;
+                    let lo = if i == 0 { lower } else { Some(sep[i as usize - 1]) };
+                    let hi = if i == count { upper } else { Some(sep[i as usize]) };
+                    stack.push((child, depth + 1, lo, hi));
+                }
+            }
+        }
+        // All leaves sit at the same depth (B+trees grow at the root).
+        if let Some(&(_, d0)) = leaves.first() {
+            if leaves.iter().any(|&(_, d)| d != d0) {
+                report.violation("leaves at unequal depths".to_string());
+            }
+        }
+        // The doubly-linked leaf chain visits exactly the tree's leaves,
+        // in order.
+        if !corrupt_shape {
+            for (i, &(leaf, _)) in leaves.iter().enumerate() {
+                let next = rt.read_oid(leaf, NEXT, sink)?;
+                let prev = rt.read_oid(leaf, PREV, sink)?;
+                let expect_next = leaves.get(i + 1).map_or(Oid::NULL, |&(n, _)| n);
+                let expect_prev = if i == 0 { Oid::NULL } else { leaves[i - 1].0 };
+                if next != expect_next {
+                    report.violation(format!("leaf chain broken after leaf {i}"));
+                }
+                if prev != expect_prev {
+                    report.violation(format!("leaf back-link broken at leaf {i}"));
+                }
+            }
+        }
+        if self.count != keys.len() as u64 {
+            report.violation(format!(
+                "count field says {} but {} keys are stored",
+                self.count,
+                keys.len()
+            ));
+        }
+        super::verify::check_membership(&keys, required, optional, &mut report);
+        Ok(report)
     }
 }
 
@@ -386,12 +524,7 @@ impl KeyedStructure for BplusTree {
         Ok(true)
     }
 
-    fn contains(
-        &mut self,
-        rt: &mut PmRuntime,
-        key: u64,
-        sink: &mut dyn TraceSink,
-    ) -> Result<bool> {
+    fn contains(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<bool> {
         let (leaf, _) = self.descend(rt, key, sink)?;
         Ok(self.find_in_leaf(rt, leaf, key, sink)?.is_some())
     }
@@ -449,6 +582,32 @@ mod tests {
             assert!(tree.contains(&mut rt, k, &mut sink).unwrap(), "key {k}");
         }
         assert!(!tree.contains(&mut rt, 500, &mut sink).unwrap());
+    }
+
+    #[test]
+    fn verify_contract() {
+        testutil::exercise_verify::<BplusTree>();
+    }
+
+    #[test]
+    fn verify_checks_fanout_and_split_trees() {
+        use super::super::CheckedStructure;
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut tree = BplusTree::create(&mut rt, pool, 8, &mut sink).unwrap();
+        // Enough keys for leaf and root splits: exercises separator-range,
+        // uniform-depth and leaf-chain checks on a multi-level tree.
+        let keys: Vec<u64> = (0..500u64).map(|k| k.wrapping_mul(0x9e37_79b9)).collect();
+        for &k in &keys {
+            tree.insert(&mut rt, k, &mut sink).unwrap();
+        }
+        let report = tree.verify(&mut rt, &keys, &[], &mut sink).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.nodes_visited > 4, "split tree has several nodes");
+        // A torn COUNT field claiming more entries than the fanout allows
+        // must be flagged, not trusted (it would index out of the node).
+        rt.write_u32(tree.root, COUNT, ORDER as u32 + 5, &mut sink).unwrap();
+        let report = tree.verify(&mut rt, &keys, &[], &mut sink).unwrap();
+        assert!(format!("{report}").contains("fanout"), "{report}");
     }
 
     #[test]

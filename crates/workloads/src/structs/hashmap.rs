@@ -100,7 +100,12 @@ impl PersistentHashmap {
         Ok(None)
     }
 
-    fn bump_count(&mut self, rt: &mut PmRuntime, delta: i64, sink: &mut dyn TraceSink) -> Result<()> {
+    fn bump_count(
+        &mut self,
+        rt: &mut PmRuntime,
+        delta: i64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
         self.count = self.count.wrapping_add_signed(delta);
         rt.write_u64(self.meta, COUNT, self.count, sink)
     }
@@ -161,6 +166,64 @@ impl PersistentHashmap {
     }
 }
 
+impl super::CheckedStructure for PersistentHashmap {
+    fn verify(
+        &self,
+        rt: &mut PmRuntime,
+        required: &[u64],
+        optional: &[u64],
+        sink: &mut dyn TraceSink,
+    ) -> Result<super::CheckReport> {
+        use std::collections::HashSet;
+        let mut report = super::CheckReport::default();
+        let cap = required.len() + optional.len() + 1;
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut keys = Vec::new();
+        'buckets: for b in 0..self.nbuckets {
+            let mut cur = rt.read_oid(self.buckets, (b * 8) as u32, sink)?;
+            while !cur.is_null() {
+                if !seen.insert(cur.to_raw()) {
+                    report.violation(format!(
+                        "node {:#x} appears in more than one chain position (cycle)",
+                        cur.to_raw()
+                    ));
+                    break;
+                }
+                if seen.len() > cap {
+                    report.violation(format!("more than {cap} nodes reachable"));
+                    break 'buckets;
+                }
+                let key = rt.read_u64(cur, KEY, sink)?;
+                // Key integrity: a torn key would (almost surely) hash to a
+                // different bucket, stranding the entry where lookups cannot
+                // find it.
+                if hash(key) % self.nbuckets != b {
+                    report.violation(format!(
+                        "key {key:#x} is chained in bucket {b} but hashes elsewhere"
+                    ));
+                }
+                let mut value = vec![0u8; self.value_bytes as usize];
+                rt.read_bytes(cur, VALUE, &mut value, sink)?;
+                if value != value_for(key, self.value_bytes) {
+                    report.violation(format!("value of key {key:#x} is corrupt"));
+                }
+                keys.push(key);
+                cur = rt.read_oid(cur, NEXT, sink)?;
+            }
+        }
+        report.nodes_visited = keys.len() as u64;
+        if self.count != keys.len() as u64 {
+            report.violation(format!(
+                "count field says {} but {} entries are reachable",
+                self.count,
+                keys.len()
+            ));
+        }
+        super::verify::check_membership(&keys, required, optional, &mut report);
+        Ok(report)
+    }
+}
+
 impl KeyedStructure for PersistentHashmap {
     fn create(
         rt: &mut PmRuntime,
@@ -201,12 +264,7 @@ impl KeyedStructure for PersistentHashmap {
         Ok(false)
     }
 
-    fn contains(
-        &mut self,
-        rt: &mut PmRuntime,
-        key: u64,
-        sink: &mut dyn TraceSink,
-    ) -> Result<bool> {
+    fn contains(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<bool> {
         Ok(self.find_node(rt, key, sink)?.is_some())
     }
 
@@ -239,8 +297,7 @@ mod tests {
     fn chains_handle_collisions() {
         let (mut rt, pool, mut sink) = testutil::pool_fixture();
         // 2 buckets force heavy chaining.
-        let mut map =
-            PersistentHashmap::with_buckets(&mut rt, pool, 2, 16, &mut sink).unwrap();
+        let mut map = PersistentHashmap::with_buckets(&mut rt, pool, 2, 16, &mut sink).unwrap();
         for k in 0..100u64 {
             map.insert(&mut rt, k, &mut sink).unwrap();
         }
@@ -255,6 +312,29 @@ mod tests {
         for k in 0..100u64 {
             assert_eq!(map.contains(&mut rt, k, &mut sink).unwrap(), k % 3 != 0);
         }
+    }
+
+    #[test]
+    fn verify_contract() {
+        testutil::exercise_verify::<PersistentHashmap>();
+    }
+
+    #[test]
+    fn verify_detects_torn_key_in_chain() {
+        use super::super::CheckedStructure;
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut map = PersistentHashmap::with_buckets(&mut rt, pool, 64, 16, &mut sink).unwrap();
+        let keys: Vec<u64> = (0..40).collect();
+        for &k in &keys {
+            map.insert(&mut rt, k, &mut sink).unwrap();
+        }
+        // Tear one entry's key: it now hashes to a different bucket than
+        // the chain it sits in, stranding it where lookups cannot find it.
+        let (node, _) = map.get(&mut rt, 7, &mut sink).unwrap().unwrap();
+        rt.write_u64(node, KEY, 0xdead_beef_0000, &mut sink).unwrap();
+        let report = map.verify(&mut rt, &keys, &[], &mut sink).unwrap();
+        assert!(!report.is_clean());
+        assert!(format!("{report}").contains("hashes elsewhere"), "{report}");
     }
 
     #[test]

@@ -40,7 +40,12 @@ impl LinkedList {
         rt.persist(self.meta, HEAD, 8, sink)
     }
 
-    fn bump_count(&mut self, rt: &mut PmRuntime, delta: i64, sink: &mut dyn TraceSink) -> Result<()> {
+    fn bump_count(
+        &mut self,
+        rt: &mut PmRuntime,
+        delta: i64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
         self.count = self.count.wrapping_add_signed(delta);
         rt.write_u64(self.meta, COUNT, self.count, sink)
     }
@@ -54,6 +59,60 @@ impl LinkedList {
             cur = rt.read_oid(cur, NEXT, sink)?;
         }
         Ok(out)
+    }
+}
+
+impl super::CheckedStructure for LinkedList {
+    fn verify(
+        &self,
+        rt: &mut PmRuntime,
+        required: &[u64],
+        optional: &[u64],
+        sink: &mut dyn TraceSink,
+    ) -> Result<super::CheckReport> {
+        use std::collections::HashSet;
+        let mut report = super::CheckReport::default();
+        // Reachability walk from the head. A torn NEXT pointer can close a
+        // cycle; the visited set turns that into a violation instead of an
+        // infinite walk.
+        let cap = required.len() + optional.len() + 1;
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut keys = Vec::new();
+        let mut cur = self.head;
+        while !cur.is_null() {
+            if !seen.insert(cur.to_raw()) {
+                report.violation("cycle in the list".to_string());
+                break;
+            }
+            if seen.len() > cap {
+                report.violation(format!("more than {cap} nodes reachable"));
+                break;
+            }
+            let key = rt.read_u64(cur, KEY, sink)?;
+            let mut value = vec![0u8; self.value_bytes as usize];
+            rt.read_bytes(cur, VALUE, &mut value, sink)?;
+            if value != value_for(key, self.value_bytes) {
+                report.violation(format!("value of key {key:#x} is corrupt"));
+            }
+            keys.push(key);
+            cur = rt.read_oid(cur, NEXT, sink)?;
+        }
+        report.nodes_visited = keys.len() as u64;
+        // The list is sorted (strictly: duplicate keys overwrite in place).
+        for w in keys.windows(2) {
+            if w[0] >= w[1] {
+                report.violation(format!("sort order violated: {:#x} precedes {:#x}", w[0], w[1]));
+            }
+        }
+        if self.count != keys.len() as u64 {
+            report.violation(format!(
+                "count field says {} but {} nodes are reachable",
+                self.count,
+                keys.len()
+            ));
+        }
+        super::verify::check_membership(&keys, required, optional, &mut report);
+        Ok(report)
     }
 }
 
@@ -132,12 +191,7 @@ impl KeyedStructure for LinkedList {
         Ok(false)
     }
 
-    fn contains(
-        &mut self,
-        rt: &mut PmRuntime,
-        key: u64,
-        sink: &mut dyn TraceSink,
-    ) -> Result<bool> {
+    fn contains(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<bool> {
         let mut cur = self.head;
         while !cur.is_null() {
             let k = rt.read_u64(cur, KEY, sink)?;
@@ -176,6 +230,25 @@ mod tests {
     #[test]
     fn tracing() {
         testutil::exercise_tracing::<LinkedList>();
+    }
+
+    #[test]
+    fn verify_contract() {
+        testutil::exercise_verify::<LinkedList>();
+    }
+
+    #[test]
+    fn verify_detects_cycle_without_hanging() {
+        use super::super::CheckedStructure;
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut list = LinkedList::create(&mut rt, pool, 16, &mut sink).unwrap();
+        for k in [1u64, 2, 3] {
+            list.insert(&mut rt, k, &mut sink).unwrap();
+        }
+        // A torn NEXT pointer closes the list on itself.
+        rt.write_oid(list.head, NEXT, list.head, &mut sink).unwrap();
+        let report = list.verify(&mut rt, &[1, 2, 3], &[], &mut sink).unwrap();
+        assert!(format!("{report}").contains("cycle"), "{report}");
     }
 
     #[test]

@@ -132,7 +132,11 @@ impl LruList {
     /// # Errors
     ///
     /// Fails if the pool is detached.
-    pub fn pop_back(&mut self, rt: &mut PmRuntime, sink: &mut dyn TraceSink) -> Result<Option<u64>> {
+    pub fn pop_back(
+        &mut self,
+        rt: &mut PmRuntime,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Option<u64>> {
         if self.tail.is_null() {
             return Ok(None);
         }

@@ -18,6 +18,7 @@ mod list;
 mod lru;
 mod rbtree;
 mod strings;
+mod verify;
 
 pub use avl::AvlTree;
 pub use bplus::BplusTree;
@@ -26,6 +27,7 @@ pub use list::LinkedList;
 pub use lru::LruList;
 pub use rbtree::RbTree;
 pub use strings::StringArray;
+pub use verify::{CheckReport, CheckedStructure};
 
 use pmo_runtime::{PmRuntime, Result};
 use pmo_trace::{PmoId, TraceSink};
@@ -48,8 +50,7 @@ pub trait KeyedStructure: Sized {
     fn remove(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<bool>;
 
     /// Whether `key` is present.
-    fn contains(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink)
-        -> Result<bool>;
+    fn contains(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<bool>;
 
     /// Number of elements (volatile counter, for tests).
     fn len(&self) -> u64;
@@ -138,6 +139,34 @@ pub(crate) mod testutil {
             assert!(s.contains(&mut rt, k * 3, &mut sink).unwrap(), "key {} lost", k * 3);
         }
         assert!(!s.contains(&mut rt, 1, &mut sink).unwrap());
+    }
+
+    /// Exercises the [`super::CheckedStructure`] contract: a freshly built
+    /// structure verifies clean, and membership drift is detected.
+    pub fn exercise_verify<S: super::CheckedStructure>() {
+        let (mut rt, pool, mut sink) = pool_fixture();
+        let mut s = S::create(&mut rt, pool, 32, &mut sink).unwrap();
+        let keys: Vec<u64> = (0..150u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+        for &k in &keys {
+            s.insert(&mut rt, k, &mut sink).unwrap();
+        }
+        let report = s.verify(&mut rt, &keys, &[], &mut sink).unwrap();
+        assert!(report.is_clean(), "intact structure must verify clean: {report}");
+        assert!(report.nodes_visited > 0);
+
+        // A committed key the structure lost is flagged.
+        let mut extended = keys.clone();
+        extended.push(0x1234);
+        let report = s.verify(&mut rt, &extended, &[], &mut sink).unwrap();
+        assert!(!report.is_clean(), "lost key must be flagged");
+
+        // A key that was never committed is flagged...
+        let report = s.verify(&mut rt, &keys[1..], &[], &mut sink).unwrap();
+        assert!(!report.is_clean(), "phantom key must be flagged");
+
+        // ...unless it is the in-flight (optional) key of the crashed op.
+        let report = s.verify(&mut rt, &keys[1..], &keys[..1], &mut sink).unwrap();
+        assert!(report.is_clean(), "in-flight key is legal either way: {report}");
     }
 
     /// Asserts that structure operations emit memory-access trace events.

@@ -129,7 +129,12 @@ impl RbTree {
         Ok(())
     }
 
-    fn insert_fixup(&mut self, rt: &mut PmRuntime, mut z: Oid, sink: &mut dyn TraceSink) -> Result<()> {
+    fn insert_fixup(
+        &mut self,
+        rt: &mut PmRuntime,
+        mut z: Oid,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
         loop {
             let parent = self.parent(rt, z, sink)?;
             if self.color(rt, parent, sink)? != RED {
@@ -170,7 +175,13 @@ impl RbTree {
     }
 
     /// Replaces subtree `u` with `v` in `u`'s parent (CLRS transplant).
-    fn transplant(&mut self, rt: &mut PmRuntime, u: Oid, v: Oid, sink: &mut dyn TraceSink) -> Result<()> {
+    fn transplant(
+        &mut self,
+        rt: &mut PmRuntime,
+        u: Oid,
+        v: Oid,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
         let parent = self.parent(rt, u, sink)?;
         if parent.is_null() {
             self.set_root(rt, v, sink)?;
@@ -198,7 +209,12 @@ impl RbTree {
         Ok(Oid::NULL)
     }
 
-    fn bump_count(&mut self, rt: &mut PmRuntime, delta: i64, sink: &mut dyn TraceSink) -> Result<()> {
+    fn bump_count(
+        &mut self,
+        rt: &mut PmRuntime,
+        delta: i64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<()> {
         self.count = self.count.wrapping_add_signed(delta);
         rt.write_u64(self.meta, COUNT, self.count, sink)
     }
@@ -250,6 +266,137 @@ impl RbTree {
             cur = self.child(rt, node, true, sink)?;
         }
         Ok(out)
+    }
+}
+
+impl super::CheckedStructure for RbTree {
+    fn verify(
+        &self,
+        rt: &mut PmRuntime,
+        required: &[u64],
+        optional: &[u64],
+        sink: &mut dyn TraceSink,
+    ) -> Result<super::CheckReport> {
+        use std::collections::HashMap;
+        let mut report = super::CheckReport::default();
+        struct V {
+            key: u64,
+            color: u64,
+            left: Option<usize>,
+            right: Option<usize>,
+        }
+        let cap = required.len() + optional.len() + 1;
+        let mut nodes: Vec<V> = Vec::new();
+        let mut seen: HashMap<u64, usize> = HashMap::new();
+        let mut corrupt_shape = false;
+        // (node oid, expected parent oid, patch slot in the parent snapshot)
+        type Frame = (Oid, Oid, Option<(usize, bool)>);
+        let mut stack: Vec<Frame> = vec![(self.root, Oid::NULL, None)];
+        while let Some((oid, expect_parent, patch)) = stack.pop() {
+            if oid.is_null() {
+                continue;
+            }
+            if let Some(&idx) = seen.get(&oid.to_raw()) {
+                report.violation(format!(
+                    "node with key {:#x} is reachable twice (cycle or shared subtree)",
+                    nodes[idx].key
+                ));
+                corrupt_shape = true;
+                continue;
+            }
+            if nodes.len() >= cap {
+                report.violation(format!("more than {cap} nodes reachable"));
+                corrupt_shape = true;
+                break;
+            }
+            let key = rt.read_u64(oid, KEY, sink)?;
+            let color = self.color(rt, oid, sink)?;
+            let left = self.child(rt, oid, false, sink)?;
+            let right = self.child(rt, oid, true, sink)?;
+            let parent = self.parent(rt, oid, sink)?;
+            if color != RED && color != BLACK {
+                report.violation(format!("key {key:#x} has garbage color {color:#x}"));
+            }
+            if parent != expect_parent {
+                report.violation(format!("parent pointer of key {key:#x} is stale"));
+            }
+            let mut value = vec![0u8; self.value_bytes as usize];
+            rt.read_bytes(oid, VALUE, &mut value, sink)?;
+            if value != value_for(key, self.value_bytes) {
+                report.violation(format!("value of key {key:#x} is corrupt"));
+            }
+            let idx = nodes.len();
+            seen.insert(oid.to_raw(), idx);
+            nodes.push(V { key, color, left: None, right: None });
+            if let Some((p, is_right)) = patch {
+                if is_right {
+                    nodes[p].right = Some(idx);
+                } else {
+                    nodes[p].left = Some(idx);
+                }
+            }
+            stack.push((left, oid, Some((idx, false))));
+            stack.push((right, oid, Some((idx, true))));
+        }
+        report.nodes_visited = nodes.len() as u64;
+        if self.count != nodes.len() as u64 {
+            report.violation(format!(
+                "count field says {} but {} nodes are reachable",
+                self.count,
+                nodes.len()
+            ));
+        }
+        if !corrupt_shape && !nodes.is_empty() {
+            if nodes[0].color != BLACK {
+                report.violation("root is red".to_string());
+            }
+            // Returns the subtree's black height; flags red-red edges and
+            // black-height mismatches along the way.
+            fn walk(
+                nodes: &[V],
+                i: usize,
+                inorder: &mut Vec<u64>,
+                report: &mut super::CheckReport,
+            ) -> u64 {
+                for c in [nodes[i].left, nodes[i].right].into_iter().flatten() {
+                    if nodes[i].color == RED && nodes[c].color == RED {
+                        report.violation(format!(
+                            "red node {:#x} has red child {:#x}",
+                            nodes[i].key, nodes[c].key
+                        ));
+                    }
+                }
+                let hl = match nodes[i].left {
+                    Some(l) => walk(nodes, l, inorder, report),
+                    None => 1,
+                };
+                inorder.push(nodes[i].key);
+                let hr = match nodes[i].right {
+                    Some(r) => walk(nodes, r, inorder, report),
+                    None => 1,
+                };
+                if hl != hr {
+                    report.violation(format!(
+                        "black-height mismatch at key {:#x} ({hl} vs {hr})",
+                        nodes[i].key
+                    ));
+                }
+                hl.max(hr) + u64::from(nodes[i].color == BLACK)
+            }
+            let mut inorder = Vec::with_capacity(nodes.len());
+            walk(&nodes, 0, &mut inorder, &mut report);
+            for w in inorder.windows(2) {
+                if w[0] >= w[1] {
+                    report
+                        .violation(format!("BST order violated: {:#x} precedes {:#x}", w[0], w[1]));
+                }
+            }
+            super::verify::check_membership(&inorder, required, optional, &mut report);
+        } else {
+            let keys: Vec<u64> = nodes.iter().map(|n| n.key).collect();
+            super::verify::check_membership(&keys, required, optional, &mut report);
+        }
+        Ok(report)
     }
 }
 
@@ -318,12 +465,7 @@ impl KeyedStructure for RbTree {
         Ok(removed)
     }
 
-    fn contains(
-        &mut self,
-        rt: &mut PmRuntime,
-        key: u64,
-        sink: &mut dyn TraceSink,
-    ) -> Result<bool> {
+    fn contains(&mut self, rt: &mut PmRuntime, key: u64, sink: &mut dyn TraceSink) -> Result<bool> {
         Ok(!self.find(rt, key, sink)?.is_null())
     }
 
@@ -404,10 +546,7 @@ mod tests {
         }
         let black_height = tree.check_invariants(&mut rt, &mut sink).unwrap();
         assert!(black_height >= 4, "512 nodes imply non-trivial black height");
-        assert_eq!(
-            tree.keys_in_order(&mut rt, &mut sink).unwrap(),
-            (0..512).collect::<Vec<_>>()
-        );
+        assert_eq!(tree.keys_in_order(&mut rt, &mut sink).unwrap(), (0..512).collect::<Vec<_>>());
     }
 
     #[test]
@@ -424,6 +563,26 @@ mod tests {
     }
 
     #[test]
+    fn verify_contract() {
+        testutil::exercise_verify::<RbTree>();
+    }
+
+    #[test]
+    fn verify_detects_recolor_damage() {
+        use super::super::CheckedStructure;
+        let (mut rt, pool, mut sink) = testutil::pool_fixture();
+        let mut tree = RbTree::create(&mut rt, pool, 16, &mut sink).unwrap();
+        let keys: Vec<u64> = (1..=20).collect();
+        for &k in &keys {
+            tree.insert(&mut rt, k, &mut sink).unwrap();
+        }
+        // A crash that loses a recolor leaves the root red.
+        rt.write_u64(tree.root, COLOR, RED, &mut sink).unwrap();
+        let report = tree.verify(&mut rt, &keys, &[], &mut sink).unwrap();
+        assert!(format!("{report}").contains("root is red"), "{report}");
+    }
+
+    #[test]
     fn bst_order_survives_deletes() {
         let (mut rt, pool, mut sink) = testutil::pool_fixture();
         let mut tree = RbTree::create(&mut rt, pool, 16, &mut sink).unwrap();
@@ -435,12 +594,8 @@ mod tests {
             assert!(tree.remove(&mut rt, k, &mut sink).unwrap());
         }
         let inorder = tree.keys_in_order(&mut rt, &mut sink).unwrap();
-        let mut expect: Vec<u64> = keys
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % 3 != 0)
-            .map(|(_, k)| *k)
-            .collect();
+        let mut expect: Vec<u64> =
+            keys.iter().enumerate().filter(|(i, _)| i % 3 != 0).map(|(_, k)| *k).collect();
         expect.sort_unstable();
         assert_eq!(inorder, expect);
     }

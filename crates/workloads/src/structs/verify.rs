@@ -1,0 +1,141 @@
+//! Post-recovery invariant checkers for the persistent structures.
+//!
+//! After a simulated crash and recovery, a structure must be *internally
+//! consistent* (shape invariants hold) and *externally correct* (exactly
+//! the committed keys are present). The fault-injection campaigns
+//! (`pmo-experiments`' `faultsim`) re-open each structure and run these
+//! checkers; a clean report means the redo-log protocol preserved the
+//! structure across that crash point.
+//!
+//! Checkers never panic on a corrupt structure — corruption is the
+//! *observation*, not a bug in the checker — and they are cycle-safe:
+//! a torn pointer that produces a cycle or a shared subtree is reported
+//! as a violation instead of hanging the traversal. Runtime errors
+//! (e.g. [`pmo_runtime::RuntimeError::MediaError`] from a poisoned NVM
+//! line) propagate as `Err` so the caller can distinguish "the structure
+//! is wrong" from "the medium is unreadable".
+
+use std::collections::BTreeSet;
+
+use pmo_runtime::{PmRuntime, Result};
+use pmo_trace::TraceSink;
+
+use super::KeyedStructure;
+
+/// Cap on recorded violations: one bad pointer can cascade into thousands
+/// of downstream complaints, and the first few localize the damage.
+const MAX_VIOLATIONS: usize = 32;
+
+/// The outcome of an invariant check.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Nodes reached by the traversal.
+    pub nodes_visited: u64,
+    /// Human-readable invariant violations (empty = structure is intact).
+    pub violations: Vec<String>,
+}
+
+impl CheckReport {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub(crate) fn violation(&mut self, msg: String) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(msg);
+        }
+    }
+}
+
+impl std::fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            write!(f, "clean ({} nodes)", self.nodes_visited)
+        } else {
+            write!(f, "{} violation(s): {}", self.violations.len(), self.violations.join("; "))
+        }
+    }
+}
+
+/// A structure that can verify its own shape and contents after recovery.
+pub trait CheckedStructure: KeyedStructure {
+    /// Checks every structural invariant and that the key set is exactly
+    /// `required` plus any subset of `optional` (keys whose inserting
+    /// transaction was in flight when the crash hit — the redo protocol
+    /// makes them all-or-nothing, so presence and absence are both
+    /// legal).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (unreadable media, detached pool);
+    /// invariant violations are reported in the [`CheckReport`], not as
+    /// errors.
+    fn verify(
+        &self,
+        rt: &mut PmRuntime,
+        required: &[u64],
+        optional: &[u64],
+        sink: &mut dyn TraceSink,
+    ) -> Result<CheckReport>;
+}
+
+/// Shared membership check: `found` must contain every required key, no
+/// key outside required ∪ optional, and no duplicates.
+pub(crate) fn check_membership(
+    found: &[u64],
+    required: &[u64],
+    optional: &[u64],
+    report: &mut CheckReport,
+) {
+    let required: BTreeSet<u64> = required.iter().copied().collect();
+    let optional: BTreeSet<u64> = optional.iter().copied().collect();
+    let mut seen = BTreeSet::new();
+    for &k in found {
+        if !seen.insert(k) {
+            report.violation(format!("key {k:#x} appears more than once"));
+        }
+        if !required.contains(&k) && !optional.contains(&k) {
+            report.violation(format!("key {k:#x} present but never committed"));
+        }
+    }
+    for &k in &required {
+        if !seen.contains(&k) {
+            report.violation(format!("committed key {k:#x} lost"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_flags_losses_extras_and_duplicates() {
+        let mut report = CheckReport::default();
+        check_membership(&[1, 2, 2, 9], &[1, 2, 3], &[4], &mut report);
+        let text = format!("{report}");
+        assert!(text.contains("0x2 appears more than once"), "{text}");
+        assert!(text.contains("0x9 present but never committed"), "{text}");
+        assert!(text.contains("committed key 0x3 lost"), "{text}");
+        assert_eq!(report.violations.len(), 3);
+    }
+
+    #[test]
+    fn membership_accepts_optional_in_flight_keys() {
+        for found in [vec![1u64, 2], vec![1, 2, 7]] {
+            let mut report = CheckReport::default();
+            check_membership(&found, &[1, 2], &[7], &mut report);
+            assert!(report.is_clean(), "{report}");
+        }
+    }
+
+    #[test]
+    fn violation_list_is_bounded() {
+        let mut report = CheckReport::default();
+        let extras: Vec<u64> = (100..1000).collect();
+        check_membership(&extras, &[], &[], &mut report);
+        assert_eq!(report.violations.len(), MAX_VIOLATIONS);
+    }
+}

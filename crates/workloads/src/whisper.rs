@@ -23,8 +23,8 @@ use pmo_trace::{OpKind, Perm, PmoId, TraceEvent, TraceSink, Va};
 
 use crate::config::WhisperConfig;
 use crate::guard::PerAccessGuard;
-use crate::zipf::Zipf;
 use crate::structs::{KeyedStructure, LruList, PersistentHashmap, RbTree};
+use crate::zipf::Zipf;
 use crate::Workload;
 
 /// Which WHISPER-like benchmark to run (Table III).
@@ -145,9 +145,8 @@ impl WhisperWorkload {
         let cfg = &self.config;
         let mut rt = PmRuntime::new();
         let rng = StdRng::seed_from_u64(cfg.seed);
-        let pool = rt
-            .pool_create("whisper", cfg.pmo_bytes, Mode::private(), sink)
-            .expect("pool creation");
+        let pool =
+            rt.pool_create("whisper", cfg.pmo_bytes, Mode::private(), sink).expect("pool creation");
         // In per-transaction mode the setup (structure creation and
         // population) runs inside one permission window; in per-access
         // mode the guard brackets each access instead.
@@ -173,10 +172,8 @@ impl WhisperWorkload {
                     PersistentHashmap::with_buckets(&mut state.rt, pool, 4096, 64, sink)
                         .expect("map"),
                 );
-                state.log = state
-                    .rt
-                    .pmalloc(pool, LOG_SLOTS * LOG_SLOT_BYTES, sink)
-                    .expect("log area");
+                state.log =
+                    state.rt.pmalloc(pool, LOG_SLOTS * LOG_SLOT_BYTES, sink).expect("log area");
             }
             WhisperBench::Ycsb => {
                 state.records = state
@@ -189,10 +186,8 @@ impl WhisperWorkload {
                     .rt
                     .pmalloc(pool, cfg.records * u64::from(RECORD_BYTES), sink)
                     .expect("customer table");
-                state.log = state
-                    .rt
-                    .pmalloc(pool, LOG_SLOTS * LOG_SLOT_BYTES, sink)
-                    .expect("order log");
+                state.log =
+                    state.rt.pmalloc(pool, LOG_SLOTS * LOG_SLOT_BYTES, sink).expect("order log");
             }
             WhisperBench::Ctree => {
                 state.tree = Some(RbTree::create(&mut state.rt, pool, 64, sink).expect("tree"));
@@ -209,8 +204,7 @@ impl WhisperWorkload {
                     PersistentHashmap::with_buckets(&mut state.rt, pool, 4096, 64, sink)
                         .expect("dict"),
                 );
-                state.lru =
-                    Some(LruList::open(&mut state.rt, pool, meta, 64, sink).expect("lru"));
+                state.lru = Some(LruList::open(&mut state.rt, pool, meta, 64, sink).expect("lru"));
             }
         }
         if !self.config.per_access_guard {
@@ -276,7 +270,12 @@ impl WhisperWorkload {
             }
             WhisperBench::Ctree => {
                 let key = state.rng.gen::<u64>();
-                state.tree.as_mut().expect("tree").insert(&mut state.rt, key, sink).expect("insert");
+                state
+                    .tree
+                    .as_mut()
+                    .expect("tree")
+                    .insert(&mut state.rt, key, sink)
+                    .expect("insert");
             }
             WhisperBench::Hashmap => {
                 let key = state.rng.gen::<u64>();
@@ -431,6 +430,6 @@ mod tests {
         // With 256 possible keys and 300 ops, some gets must have hit,
         // exercising LRU touches: the dict must stay below 256 entries.
         assert!(state.map.as_ref().unwrap().len() <= 256);
-        assert!(state.lru.as_ref().unwrap().len() >= 1);
+        assert!(!state.lru.as_ref().unwrap().is_empty());
     }
 }

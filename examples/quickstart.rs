@@ -48,6 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  fault: {fault}");
     }
     assert_eq!(report.scheme_stats.faults, 1, "the out-of-window read");
-    println!("\ntemporal isolation enforced — see examples/server_isolation.rs for spatial isolation");
+    println!(
+        "\ntemporal isolation enforced — see examples/server_isolation.rs for spatial isolation"
+    );
     Ok(())
 }

@@ -43,12 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = TraceFile::open(&path)?;
     println!("\n{:<12} {:>14} {:>12}", "scheme", "cycles", "faults");
     let mut lowerbound = 0u64;
-    for kind in [
-        SchemeKind::Lowerbound,
-        SchemeKind::LibMpk,
-        SchemeKind::MpkVirt,
-        SchemeKind::DomainVirt,
-    ] {
+    for kind in
+        [SchemeKind::Lowerbound, SchemeKind::LibMpk, SchemeKind::MpkVirt, SchemeKind::DomainVirt]
+    {
         let report = replay_source(&trace, kind, &config);
         if kind == SchemeKind::Lowerbound {
             lowerbound = report.cycles;

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 
-use pmo_repro::runtime::{AttachIntent, Mode, Oid, PmRuntime, RuntimeError};
+use pmo_repro::runtime::{AttachIntent, FaultPlan, Mode, Oid, PmRuntime, PoolHealth, RuntimeError};
 use pmo_repro::trace::NullSink;
 
 const ACCOUNTS: u32 = 8;
@@ -119,6 +119,83 @@ proptest! {
         let root = rt.pool_root(pool, u64::from(ACCOUNTS) * 8, &mut sink).unwrap();
         let _ = pool;
         prop_assert_eq!(total(&mut rt, root), u64::from(ACCOUNTS) * INITIAL);
+    }
+
+    /// Torn cache-line writes at the crash: each dirty line may persist
+    /// fully, revert fully, or tear word-by-word. The redo-log protocol
+    /// persists every durable step before depending on it, so the bank's
+    /// total must still be conserved at every crash point.
+    #[test]
+    fn transfers_are_atomic_under_torn_writes(
+        fail_after in 0u64..60,
+        seed in any::<u64>(),
+        from in 0u32..ACCOUNTS,
+        to in 0u32..ACCOUNTS,
+        amount in 1u64..500,
+    ) {
+        let (mut rt, root) = setup();
+        let mut sink = NullSink::new();
+        let pool = root.pool();
+        rt.inject_fault(pool, FaultPlan::torn_write(fail_after, seed)).unwrap();
+        let result = transfer(&mut rt, root, from, to, amount);
+        rt.crash();
+        let pool = rt.pool_open("bank", AttachIntent::ReadWrite, &mut sink).unwrap();
+        let root = rt.pool_root(pool, u64::from(ACCOUNTS) * 8, &mut sink).unwrap();
+        prop_assert_eq!(total(&mut rt, root), u64::from(ACCOUNTS) * INITIAL);
+        // A transfer that reported success stays durable through a torn
+        // crash: the home locations were already persisted at commit.
+        if result.is_ok() && from != to {
+            let a = rt.read_u64(root, from * 8, &mut sink).unwrap();
+            prop_assert_eq!(a, INITIAL - amount, "committed debit lost or torn");
+        }
+    }
+
+    /// NVM media errors at the crash: recently-written lines may become
+    /// unreadable. Every outcome must be typed and bounded — a clean
+    /// recovery conserves the total, damaged accounts read back as
+    /// `MediaError`, and an unrecoverable pool is quarantined (stickily)
+    /// rather than served with silent corruption.
+    #[test]
+    fn media_errors_degrade_gracefully(
+        fail_after in 0u64..60,
+        seed in any::<u64>(),
+        from in 0u32..ACCOUNTS,
+        to in 0u32..ACCOUNTS,
+        amount in 1u64..500,
+    ) {
+        let (mut rt, root) = setup();
+        let mut sink = NullSink::new();
+        let pool = root.pool();
+        rt.inject_fault(pool, FaultPlan::media_error(fail_after, seed)).unwrap();
+        let _ = transfer(&mut rt, root, from, to, amount);
+        rt.crash();
+        match rt.pool_open("bank", AttachIntent::ReadWrite, &mut sink) {
+            Ok(pool) => {
+                let root = rt.pool_root(pool, u64::from(ACCOUNTS) * 8, &mut sink).unwrap();
+                let mut sum = 0u64;
+                let mut unreadable = 0u32;
+                for i in 0..ACCOUNTS {
+                    match rt.read_u64(root, i * 8, &mut sink) {
+                        Ok(v) => sum += v,
+                        Err(RuntimeError::MediaError { .. }) => unreadable += 1,
+                        Err(other) => prop_assert!(false, "untyped read failure: {other}"),
+                    }
+                }
+                if unreadable == 0 {
+                    prop_assert_eq!(sum, u64::from(ACCOUNTS) * INITIAL);
+                }
+            }
+            Err(RuntimeError::PoolQuarantined { .. }) => {
+                // Quarantine is sticky until the operator intervenes.
+                let again = rt.pool_open("bank", AttachIntent::ReadWrite, &mut sink);
+                prop_assert!(
+                    matches!(again, Err(RuntimeError::PoolQuarantined { .. })),
+                    "quarantine must be sticky, got {again:?}"
+                );
+                prop_assert_eq!(rt.pool_health("bank").unwrap(), PoolHealth::Quarantined);
+            }
+            Err(other) => prop_assert!(false, "untyped attach failure: {other}"),
+        }
     }
 }
 

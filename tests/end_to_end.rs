@@ -88,7 +88,8 @@ fn single_pmo_whisper_mpk_equals_mpk_virt() {
     // Table V: "hardware MPK virtualization enjoys the same performance
     // as the default MPK because the benchmarks have only one PMO".
     let sim = SimConfig::isca2020();
-    let cfg = WhisperConfig { txns: 400, records: 256, pmo_bytes: 8 << 20, ..WhisperConfig::quick() };
+    let cfg =
+        WhisperConfig { txns: 400, records: 256, pmo_bytes: 8 << 20, ..WhisperConfig::quick() };
     let reports = run_whisper(
         WhisperBench::Hashmap,
         &cfg,
@@ -158,7 +159,8 @@ fn breakdown_buckets_fill_where_the_paper_says() {
 #[test]
 fn whisper_traces_carry_persistence_traffic() {
     let sim = SimConfig::isca2020();
-    let cfg = WhisperConfig { txns: 200, records: 128, pmo_bytes: 8 << 20, ..WhisperConfig::quick() };
+    let cfg =
+        WhisperConfig { txns: 200, records: 128, pmo_bytes: 8 << 20, ..WhisperConfig::quick() };
     for bench in [WhisperBench::Echo, WhisperBench::Ycsb, WhisperBench::Tpcc] {
         let reports = run_whisper(bench, &cfg, &[SchemeKind::Unprotected], &sim);
         let r = &reports[0];

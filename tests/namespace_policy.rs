@@ -84,10 +84,7 @@ fn delete_requires_owner_and_detachment() {
 
     // Wrong user: refused.
     rt.set_uid(2);
-    assert!(matches!(
-        rt.pool_delete("scratch"),
-        Err(RuntimeError::PermissionDenied { .. })
-    ));
+    assert!(matches!(rt.pool_delete("scratch"), Err(RuntimeError::PermissionDenied { .. })));
 
     // Owner, detached: destroyed for good.
     rt.set_uid(1);

@@ -115,10 +115,7 @@ fn storage_ops() -> impl Strategy<Value = Vec<StorageOp>> {
     let write = (0u16..960, prop::collection::vec(any::<u8>(), 1..48))
         .prop_map(|(o, d)| StorageOp::Write(o, d));
     let flush = (0u16..960, 1u16..64).prop_map(|(o, l)| StorageOp::FlushRange(o, l));
-    prop::collection::vec(
-        prop_oneof![4 => write, 2 => flush, 1 => Just(StorageOp::Crash)],
-        1..60,
-    )
+    prop::collection::vec(prop_oneof![4 => write, 2 => flush, 1 => Just(StorageOp::Crash)], 1..60)
 }
 
 proptest! {
@@ -252,9 +249,8 @@ fn arb_event() -> impl Strategy<Value = pmo_repro::trace::TraceEvent> {
         any::<u32>().prop_map(|t| TraceEvent::ThreadSwitch { thread: ThreadId::new(t) }),
         any::<u64>().prop_map(|va| TraceEvent::Flush { va }),
         Just(TraceEvent::Fence),
-        any::<bool>().prop_map(|end| TraceEvent::Op {
-            kind: if end { OpKind::End } else { OpKind::Begin }
-        }),
+        any::<bool>()
+            .prop_map(|end| TraceEvent::Op { kind: if end { OpKind::End } else { OpKind::Begin } }),
     ]
 }
 
@@ -292,7 +288,6 @@ proptest! {
         ops in prop::collection::vec((0u8..8, 1u32..6, 0u64..4096u64), 1..150)
     ) {
         use pmo_repro::protect::scheme::SchemeKind;
-        use pmo_repro::protect::ProtectionScheme as _;
         use pmo_repro::simarch::SimConfig;
         use pmo_repro::trace::{AuditViolation, PermAudit, TraceEvent, TraceSink};
 

@@ -82,11 +82,7 @@ fn check_equivalence(domains: u32, kinds: &[SchemeKind], seeds: std::ops::Range<
         let oracle = decisions(SchemeKind::Lowerbound, domains, &ops);
         for &kind in kinds {
             let got = decisions(kind, domains, &ops);
-            assert_eq!(
-                got.len(),
-                oracle.len(),
-                "{kind} seed {seed}: access count mismatch"
-            );
+            assert_eq!(got.len(), oracle.len(), "{kind} seed {seed}: access count mismatch");
             for (i, (g, o)) in got.iter().zip(&oracle).enumerate() {
                 assert_eq!(
                     g, o,
@@ -104,12 +100,7 @@ fn all_schemes_match_oracle_within_key_capacity() {
     // <= 14 domains: even stock MPK and guarded libmpk have keys for all.
     check_equivalence(
         12,
-        &[
-            SchemeKind::DefaultMpk,
-            SchemeKind::LibMpk,
-            SchemeKind::MpkVirt,
-            SchemeKind::DomainVirt,
-        ],
+        &[SchemeKind::DefaultMpk, SchemeKind::LibMpk, SchemeKind::MpkVirt, SchemeKind::DomainVirt],
         0..6,
     );
 }

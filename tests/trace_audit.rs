@@ -52,9 +52,7 @@ fn micro_traces_have_no_unguarded_accesses() {
             .collect();
         assert!(unguarded.is_empty(), "{bench}: {unguarded:?}");
         // The only residue is the always-readable baseline grants.
-        assert!(violations
-            .iter()
-            .all(|v| matches!(v, AuditViolation::WindowLeftOpen { .. })));
+        assert!(violations.iter().all(|v| matches!(v, AuditViolation::WindowLeftOpen { .. })));
     }
 }
 
@@ -74,9 +72,7 @@ fn server_trace_is_per_thread_disciplined() {
     let violations = audit.finish();
     // Handlers only ever touch their own client's PMO, under a grant.
     assert!(
-        !violations
-            .iter()
-            .any(|v| matches!(v, AuditViolation::UnguardedAccess { .. })),
+        !violations.iter().any(|v| matches!(v, AuditViolation::UnguardedAccess { .. })),
         "{violations:?}"
     );
 }

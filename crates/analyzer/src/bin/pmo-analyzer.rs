@@ -1,0 +1,280 @@
+//! Static-analysis front-end: check recorded or generated PMO traces.
+//!
+//! ```text
+//! pmo-analyzer --all                        # every built-in workload
+//! pmo-analyzer --workload micro:AVL --workload whisper:Echo
+//! pmo-analyzer --trace run.pmot --strict    # analyze a recorded trace
+//! pmo-analyzer --all --json report.json --record traces/
+//! ```
+//!
+//! Workload specs: `micro[:AVL|RBT|BT|LL|SS]`,
+//! `whisper[:Echo|YCSB|TPCC|C-tree|Hashmap|Redis]`, `server`. A family
+//! name without a bench selects the whole family.
+//!
+//! The permission-window policy defaults per trace family — the strict
+//! "≤2 enabled PMOs, all windows closed" discipline for WHISPER-style
+//! traces, the always-readable multi-PMO baseline for micro/server and
+//! recorded files — and can be forced with `--strict` / `--baseline`.
+//! Exits non-zero iff any source produces an error-severity diagnostic
+//! (lints never fail the run).
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pmo_analyzer::{standard_analyzer, AnalysisReport, PermWindowPass};
+use pmo_trace::{TeeSink, TraceFile, TraceFileWriter};
+use pmo_workloads::{
+    MicroBench, MicroConfig, MicroWorkload, ServerConfig, ServerWorkload, WhisperBench,
+    WhisperConfig, WhisperWorkload, Workload,
+};
+
+/// One analysis source.
+enum Job {
+    File(PathBuf),
+    Micro(MicroBench),
+    Whisper(WhisperBench),
+    Server,
+}
+
+/// Forced window policy, overriding the per-family default.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Policy {
+    Strict,
+    Baseline,
+}
+
+fn arg_values(flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            if let Some(v) = args.next() {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+fn parse_spec(spec: &str) -> Option<Vec<Job>> {
+    let lower = spec.to_ascii_lowercase();
+    if lower == "server" {
+        return Some(vec![Job::Server]);
+    }
+    if let Some(bench) = lower.strip_prefix("micro") {
+        let bench = bench.strip_prefix(':').unwrap_or("");
+        if bench.is_empty() {
+            return Some(MicroBench::ALL.iter().copied().map(Job::Micro).collect());
+        }
+        let b = MicroBench::ALL.iter().copied().find(|b| b.label().eq_ignore_ascii_case(bench))?;
+        return Some(vec![Job::Micro(b)]);
+    }
+    if let Some(bench) = lower.strip_prefix("whisper") {
+        let bench = bench.strip_prefix(':').unwrap_or("");
+        if bench.is_empty() {
+            return Some(WhisperBench::ALL.iter().copied().map(Job::Whisper).collect());
+        }
+        let b =
+            WhisperBench::ALL.iter().copied().find(|b| b.label().eq_ignore_ascii_case(bench))?;
+        return Some(vec![Job::Whisper(b)]);
+    }
+    None
+}
+
+fn window_pass(default_strict: bool, forced: Option<Policy>) -> PermWindowPass {
+    let strict = match forced {
+        Some(Policy::Strict) => true,
+        Some(Policy::Baseline) => false,
+        None => default_strict,
+    };
+    if strict {
+        PermWindowPass::strict()
+    } else {
+        PermWindowPass::baseline()
+    }
+}
+
+fn analyze_file(path: &Path, forced: Option<Policy>) -> io::Result<AnalysisReport> {
+    let mut analyzer = standard_analyzer(&path.display().to_string(), window_pass(false, forced));
+    TraceFile::open(path)?.stream_into(&mut analyzer)?;
+    Ok(analyzer.finish())
+}
+
+fn analyze_workload(
+    name: &str,
+    workload: &mut dyn Workload,
+    default_strict: bool,
+    forced: Option<Policy>,
+    record_dir: Option<&Path>,
+) -> io::Result<AnalysisReport> {
+    let mut analyzer = standard_analyzer(name, window_pass(default_strict, forced));
+    if let Some(dir) = record_dir {
+        let path = dir.join(format!("{name}.pmot"));
+        let mut writer = TraceFileWriter::create(&path)?;
+        let mut tee = TeeSink::new(&mut writer, &mut analyzer);
+        workload.generate(&mut tee);
+        writer.finish()?;
+    } else {
+        workload.generate(&mut analyzer);
+    }
+    Ok(analyzer.finish())
+}
+
+/// CI-sized workload configurations: deterministic, a few seconds total.
+fn micro_config() -> MicroConfig {
+    MicroConfig {
+        pmos: 12,
+        active_pmos: 12,
+        pmo_bytes: 1 << 20,
+        initial_nodes: 12,
+        ops: 150,
+        ..MicroConfig::quick()
+    }
+}
+
+fn whisper_config() -> WhisperConfig {
+    WhisperConfig { txns: 150, records: 256, pmo_bytes: 8 << 20, ..WhisperConfig::quick() }
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        clients: 8,
+        requests: 200,
+        quantum: 3,
+        initial_records: 16,
+        pmo_bytes: 1 << 20,
+        ..ServerConfig::default()
+    }
+}
+
+fn run_job(
+    job: &Job,
+    forced: Option<Policy>,
+    record_dir: Option<&Path>,
+) -> io::Result<AnalysisReport> {
+    match job {
+        Job::File(path) => analyze_file(path, forced),
+        Job::Micro(bench) => {
+            let mut w = MicroWorkload::new(*bench, micro_config());
+            analyze_workload(&format!("micro-{bench}"), &mut w, false, forced, record_dir)
+        }
+        Job::Whisper(bench) => {
+            let mut w = WhisperWorkload::new(*bench, whisper_config());
+            // Per-transaction windows close cleanly: hold the trace to
+            // the paper's strict discipline.
+            analyze_workload(&format!("whisper-{bench}"), &mut w, true, forced, record_dir)
+        }
+        Job::Server => {
+            let mut w = ServerWorkload::new(server_config());
+            analyze_workload("server", &mut w, false, forced, record_dir)
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: pmo-analyzer [--trace FILE]... [--workload SPEC]... [--all]\n\
+     \x20                   [--strict | --baseline] [--record DIR] [--json PATH] [--show-lints]\n\
+     \n\
+     SPEC: micro[:AVL|RBT|BT|LL|SS] | whisper[:Echo|YCSB|TPCC|C-tree|Hashmap|Redis] | server"
+}
+
+fn main() -> ExitCode {
+    if has_flag("--help") || has_flag("-h") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
+    let forced = match (has_flag("--strict"), has_flag("--baseline")) {
+        (true, true) => {
+            eprintln!("--strict and --baseline are mutually exclusive");
+            return ExitCode::FAILURE;
+        }
+        (true, false) => Some(Policy::Strict),
+        (false, true) => Some(Policy::Baseline),
+        (false, false) => None,
+    };
+
+    let mut jobs: Vec<Job> = Vec::new();
+    for path in arg_values("--trace") {
+        jobs.push(Job::File(PathBuf::from(path)));
+    }
+    for spec in arg_values("--workload") {
+        match parse_spec(&spec) {
+            Some(parsed) => jobs.extend(parsed),
+            None => {
+                eprintln!("unknown workload spec '{spec}'\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if has_flag("--all") {
+        jobs.extend(MicroBench::ALL.iter().copied().map(Job::Micro));
+        jobs.extend(WhisperBench::ALL.iter().copied().map(Job::Whisper));
+        jobs.push(Job::Server);
+    }
+    if jobs.is_empty() {
+        eprintln!("nothing to analyze\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    let record_dir = arg_values("--record").pop().map(PathBuf::from);
+    if let Some(dir) = &record_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let show_lints = has_flag("--show-lints");
+    let mut reports: Vec<AnalysisReport> = Vec::new();
+    for job in &jobs {
+        match run_job(job, forced, record_dir.as_deref()) {
+            Ok(report) => {
+                println!(
+                    "analyzed {} events from {}: {} error(s), {} lint(s)",
+                    report.events,
+                    report.source,
+                    report.errors().count(),
+                    report.lints().count(),
+                );
+                for d in report.errors() {
+                    println!("  {d}");
+                }
+                if show_lints {
+                    for d in report.lints() {
+                        println!("  {d}");
+                    }
+                }
+                reports.push(report);
+            }
+            Err(e) => {
+                eprintln!("analysis failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let errors: usize = reports.iter().map(|r| r.errors().count()).sum();
+    let lints: usize = reports.iter().map(|r| r.lints().count()).sum();
+    println!("{} source(s) analyzed: {errors} error(s), {lints} lint(s)", reports.len());
+
+    if let Some(path) = arg_values("--json").pop() {
+        let body: Vec<String> = reports.iter().map(AnalysisReport::to_json).collect();
+        let json = format!("[{}]", body.join(","));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,407 @@
+//! The shared diagnostics engine: violation classes, severities,
+//! positioned diagnostics, the pass trait, and the multi-pass driver.
+
+use std::fmt;
+
+use pmo_trace::{ThreadId, TraceEvent, TraceSink};
+
+/// How bad a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A correctness violation: the trace breaks a discipline the paper's
+    /// crash-consistency or isolation argument depends on.
+    Error,
+    /// A performance lint: the trace is correct but wasteful.
+    Lint,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Lint => "lint",
+        })
+    }
+}
+
+/// Every violation class any pass can report, unified so reports and
+/// machine-readable output share one taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ViolationClass {
+    /// A cache line written this transaction was still dirty (never
+    /// flushed) when the commit flag was set or cleared.
+    UnflushedDirtyAtCommit,
+    /// A cache line was flushed but no fence ordered the flush before the
+    /// commit flag was set: the log may persist *after* the flag.
+    UnfencedFlushAtCommit,
+    /// An in-place (home-location) store executed while the commit flag's
+    /// line was not yet persisted: write-ahead-log discipline broken.
+    StoreWithoutPersistedLog,
+    /// A line was flushed although it had no unpersisted store (wasted
+    /// `clwb`).
+    DuplicateFlush,
+    /// A fence with no preceding flush since the last fence (wasted
+    /// `sfence`).
+    UselessFence,
+    /// Two threads accessed the same PMO line without a happens-before
+    /// edge, at least one access being a write.
+    CrossThreadRace,
+    /// An access raced a detach/revoke: it hit a region whose mapping was
+    /// torn down without an intervening ranged shootdown (the paper's
+    /// stale-translation hazard, §IV.B).
+    StaleWindowAccess,
+    /// An access outside any permission window (from [`pmo_trace::PermAudit`]).
+    UnguardedAccess,
+    /// More simultaneously enabled domains than the discipline allows.
+    TooManyOpenWindows,
+    /// A grant never revoked before the trace ended.
+    WindowLeftOpen,
+    /// A PMO detached while a thread still held a grant on it.
+    DetachedWhileGranted,
+}
+
+impl ViolationClass {
+    /// Stable machine-readable name (used in JSON output).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationClass::UnflushedDirtyAtCommit => "unflushed-dirty-at-commit",
+            ViolationClass::UnfencedFlushAtCommit => "unfenced-flush-at-commit",
+            ViolationClass::StoreWithoutPersistedLog => "store-without-persisted-log",
+            ViolationClass::DuplicateFlush => "duplicate-flush",
+            ViolationClass::UselessFence => "useless-fence",
+            ViolationClass::CrossThreadRace => "cross-thread-race",
+            ViolationClass::StaleWindowAccess => "stale-window-access",
+            ViolationClass::UnguardedAccess => "unguarded-access",
+            ViolationClass::TooManyOpenWindows => "too-many-open-windows",
+            ViolationClass::WindowLeftOpen => "window-left-open",
+            ViolationClass::DetachedWhileGranted => "detached-while-granted",
+        }
+    }
+}
+
+impl fmt::Display for ViolationClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, anchored to a trace position so it can be reproduced
+/// deterministically (same workload + seed, or same trace file, always
+/// yields the same position).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which pass produced it.
+    pub pass: &'static str,
+    /// The violation class.
+    pub class: ViolationClass,
+    /// Error or lint.
+    pub severity: Severity,
+    /// The thread executing when the violation fired.
+    pub thread: ThreadId,
+    /// 0-based index of the offending event in the analyzed stream
+    /// (`u64::MAX` at end-of-trace findings is never used; end findings
+    /// carry the stream length instead).
+    pub position: u64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at event {} (thread {}): {} ({})",
+            self.severity, self.pass, self.position, self.thread, self.message, self.class
+        )
+    }
+}
+
+/// Position + thread context handed to passes with every event.
+#[derive(Clone, Copy, Debug)]
+pub struct EventCtx {
+    /// 0-based index of this event in the analyzed stream.
+    pub pos: u64,
+    /// The thread executing this event.
+    pub thread: ThreadId,
+}
+
+/// One analysis pass over the event stream.
+pub trait AnalyzerPass {
+    /// Short stable pass name (used in diagnostics and JSON).
+    fn name(&self) -> &'static str;
+    /// Observes one event, appending any diagnostics it triggers.
+    fn check(&mut self, ctx: EventCtx, ev: &TraceEvent, out: &mut Vec<Diagnostic>);
+    /// Ends the pass (end-of-trace findings go here). `ctx.pos` is the
+    /// stream length.
+    fn finish(&mut self, ctx: EventCtx, out: &mut Vec<Diagnostic>);
+}
+
+/// The multi-pass driver: a [`TraceSink`] that feeds every event to each
+/// registered pass and collects positioned diagnostics.
+///
+/// Streamable: it can sit in a [`pmo_trace::TeeSink`] next to the timing
+/// simulator, or consume a recorded/on-disk trace.
+pub struct Analyzer {
+    passes: Vec<Box<dyn AnalyzerPass>>,
+    diagnostics: Vec<Diagnostic>,
+    source: String,
+    pos: u64,
+    thread: ThreadId,
+}
+
+impl fmt::Debug for Analyzer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Analyzer")
+            .field("passes", &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .field("diagnostics", &self.diagnostics.len())
+            .field("pos", &self.pos)
+            .finish()
+    }
+}
+
+impl Analyzer {
+    /// Creates an empty driver. `source` describes where the trace comes
+    /// from (file path, or `workload@seed`) — it is the repro pointer
+    /// printed with every report.
+    #[must_use]
+    pub fn new(source: impl Into<String>) -> Self {
+        Analyzer {
+            passes: Vec::new(),
+            diagnostics: Vec::new(),
+            source: source.into(),
+            pos: 0,
+            thread: ThreadId::MAIN,
+        }
+    }
+
+    /// Registers a pass (builder style).
+    #[must_use]
+    pub fn with_pass(mut self, pass: impl AnalyzerPass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Events analyzed so far.
+    #[must_use]
+    pub fn events_seen(&self) -> u64 {
+        self.pos
+    }
+
+    /// Diagnostics collected so far (streaming callers can poll this).
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Ends every pass and produces the report.
+    #[must_use]
+    pub fn finish(mut self) -> AnalysisReport {
+        let ctx = EventCtx { pos: self.pos, thread: self.thread };
+        for pass in &mut self.passes {
+            pass.finish(ctx, &mut self.diagnostics);
+        }
+        AnalysisReport { source: self.source, events: self.pos, diagnostics: self.diagnostics }
+    }
+}
+
+impl TraceSink for Analyzer {
+    fn event(&mut self, ev: TraceEvent) {
+        if let TraceEvent::ThreadSwitch { thread } = ev {
+            self.thread = thread;
+        }
+        let ctx = EventCtx { pos: self.pos, thread: self.thread };
+        for pass in &mut self.passes {
+            pass.check(ctx, &ev, &mut self.diagnostics);
+        }
+        self.pos += 1;
+    }
+}
+
+/// The result of analyzing one trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// Where the trace came from (the deterministic repro pointer).
+    pub source: String,
+    /// Number of events analyzed.
+    pub events: u64,
+    /// Every finding, in trace order per pass.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Lint-severity findings.
+    pub fn lints(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Lint)
+    }
+
+    /// Whether the trace has no correctness violations (lints allowed).
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// Whether the trace produced no diagnostics at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Machine-readable JSON (hand-rolled; stable field names).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"source\":{},", json_string(&self.source)));
+        out.push_str(&format!("\"events\":{},", self.events));
+        out.push_str(&format!("\"errors\":{},", self.errors().count()));
+        out.push_str(&format!("\"lints\":{},", self.lints().count()));
+        out.push_str("\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"pass\":{},\"class\":{},\"severity\":\"{}\",\"thread\":{},\
+                 \"position\":{},\"message\":{}}}",
+                json_string(d.pass),
+                json_string(d.class.name()),
+                d.severity,
+                d.thread.raw(),
+                d.position,
+                json_string(&d.message),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "analyzed {} events from {}: {} error(s), {} lint(s)",
+            self.events,
+            self.source,
+            self.errors().count(),
+            self.lints().count()
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountPass {
+        seen: u64,
+    }
+
+    impl AnalyzerPass for CountPass {
+        fn name(&self) -> &'static str {
+            "count"
+        }
+        fn check(&mut self, ctx: EventCtx, _ev: &TraceEvent, out: &mut Vec<Diagnostic>) {
+            self.seen += 1;
+            if ctx.pos == 1 {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    class: ViolationClass::UselessFence,
+                    severity: Severity::Lint,
+                    thread: ctx.thread,
+                    position: ctx.pos,
+                    message: "second event".into(),
+                });
+            }
+        }
+        fn finish(&mut self, ctx: EventCtx, out: &mut Vec<Diagnostic>) {
+            out.push(Diagnostic {
+                pass: self.name(),
+                class: ViolationClass::WindowLeftOpen,
+                severity: Severity::Error,
+                thread: ctx.thread,
+                position: ctx.pos,
+                message: format!("saw {}", self.seen),
+            });
+        }
+    }
+
+    #[test]
+    fn driver_positions_and_threads() {
+        let mut a = Analyzer::new("test").with_pass(CountPass { seen: 0 });
+        a.event(TraceEvent::Fence);
+        a.event(TraceEvent::ThreadSwitch { thread: ThreadId::new(5) });
+        a.event(TraceEvent::Fence);
+        let report = a.finish();
+        assert_eq!(report.events, 3);
+        assert_eq!(report.diagnostics.len(), 2);
+        assert_eq!(report.diagnostics[0].position, 1);
+        assert_eq!(report.diagnostics[0].thread, ThreadId::new(5), "switch applies to its event");
+        assert_eq!(report.diagnostics[1].position, 3, "finish carries stream length");
+        assert!(!report.passed());
+        assert!(!report.is_clean());
+        assert_eq!(report.lints().count(), 1);
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let report = Analyzer::new("empty").finish();
+        assert!(report.is_clean());
+        assert!(report.passed());
+        assert!(report.to_json().contains("\"errors\":0"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn report_display_lists_diagnostics() {
+        let report = AnalysisReport {
+            source: "s".into(),
+            events: 1,
+            diagnostics: vec![Diagnostic {
+                pass: "p",
+                class: ViolationClass::CrossThreadRace,
+                severity: Severity::Error,
+                thread: ThreadId::MAIN,
+                position: 0,
+                message: "msg".into(),
+            }],
+        };
+        let text = report.to_string();
+        assert!(text.contains("cross-thread-race"));
+        assert!(text.contains("1 error(s)"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Multi-pass static analysis over PMO traces.
+//!
+//! The paper's security argument (§VI.D) and its crash-consistency story
+//! both rest on disciplines the *program* and *OS* must follow: tight
+//! permission windows, store→flush→fence→commit ordering, and TLB
+//! shootdowns completed before any reuse of a revoked mapping or evicted
+//! key. ERIM proves the analogous WRPKRU property by static binary
+//! inspection; fault injection (the `faultsim` campaign) samples crash
+//! points probabilistically. This crate checks the underlying ordering
+//! rules across *whole* traces instead:
+//!
+//! * [`PersistOrderPass`] — persist-ordering / crash-consistency checking
+//!   in the PMTest/XFDetector mold (write-ahead-log discipline, dirty or
+//!   unfenced lines at commit, duplicate-flush / useless-fence lints);
+//! * [`RacePass`] — a vector-clock happens-before detector for
+//!   cross-thread races on PMO lines and the stale-translation hazard
+//!   (access racing a revoke with no intervening ranged shootdown);
+//! * [`PermWindowPass`] — the existing [`pmo_trace::PermAudit`]
+//!   permission-window audit, lifted into the framework with positioned
+//!   diagnostics.
+//!
+//! Every checker is self-validated by seeded-bug mutation testing
+//! ([`mutate`]): each known-bad pattern is planted into a clean trace and
+//! the corresponding pass must catch it.
+//!
+//! The [`Analyzer`] driver is itself a [`pmo_trace::TraceSink`], so it
+//! can analyze a recorded trace, a `.pmot` file, or stream live next to
+//! the timing simulator through a `TeeSink`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diag;
+mod mutate;
+mod permwindow;
+mod persist;
+mod race;
+
+pub use diag::{
+    json_string, AnalysisReport, Analyzer, AnalyzerPass, Diagnostic, EventCtx, Severity,
+    ViolationClass,
+};
+pub use mutate::{seed_bug, SeededBug};
+pub use permwindow::PermWindowPass;
+pub use persist::PersistOrderPass;
+pub use race::RacePass;
+
+/// An [`Analyzer`] with all three standard passes: persist ordering,
+/// happens-before races, and the given permission-window policy.
+#[must_use]
+pub fn standard_analyzer(source: &str, windows: PermWindowPass) -> Analyzer {
+    Analyzer::new(source)
+        .with_pass(PersistOrderPass::new())
+        .with_pass(RacePass::new())
+        .with_pass(windows)
+}

@@ -1,0 +1,229 @@
+//! Seeded-bug trace mutation, for checker self-validation.
+//!
+//! Each [`SeededBug`] surgically injects one known-bad pattern into a
+//! recorded trace. The mutation tests assert that the corresponding pass
+//! catches each class (and that unmutated traces stay silent), which is
+//! the analyzer's own correctness argument: a checker that cannot find a
+//! planted bug cannot be trusted to prove its absence.
+//!
+//! Mutations are targeted, not random: each one locates the load-bearing
+//! event for its bug class (the log flush guarding the first commit, the
+//! fence ordering it, the shootdown after a detach, the final revoke, the
+//! first PMO store) so the seeded trace is guaranteed to exhibit the bug
+//! rather than a coincidentally-legal reordering.
+
+use pmo_trace::{PmoId, ThreadId, TraceEvent, Va};
+
+use crate::diag::ViolationClass;
+
+/// A known-bad pattern to plant in a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeededBug {
+    /// Drop the last log flush before the first commit-flag store.
+    DroppedFlush,
+    /// Move the fence ordering the log flushes to after the commit store.
+    ReorderedFence,
+    /// Remove the shootdown after a detach and access the stale region.
+    RevokeWithoutShootdown,
+    /// Remove the final permission revoke.
+    WindowLeftOpen,
+    /// Add an unsynchronized cross-thread store to a written PMO line.
+    CrossThreadStore,
+}
+
+impl SeededBug {
+    /// Every bug class.
+    pub const ALL: [SeededBug; 5] = [
+        SeededBug::DroppedFlush,
+        SeededBug::ReorderedFence,
+        SeededBug::RevokeWithoutShootdown,
+        SeededBug::WindowLeftOpen,
+        SeededBug::CrossThreadStore,
+    ];
+
+    /// Short label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SeededBug::DroppedFlush => "dropped-flush",
+            SeededBug::ReorderedFence => "reordered-fence",
+            SeededBug::RevokeWithoutShootdown => "revoke-without-shootdown",
+            SeededBug::WindowLeftOpen => "window-left-open",
+            SeededBug::CrossThreadStore => "cross-thread-store",
+        }
+    }
+
+    /// The violation class the corresponding pass must report.
+    #[must_use]
+    pub fn expected_class(self) -> ViolationClass {
+        match self {
+            SeededBug::DroppedFlush => ViolationClass::UnflushedDirtyAtCommit,
+            SeededBug::ReorderedFence => ViolationClass::UnfencedFlushAtCommit,
+            SeededBug::RevokeWithoutShootdown => ViolationClass::StaleWindowAccess,
+            SeededBug::WindowLeftOpen => ViolationClass::WindowLeftOpen,
+            SeededBug::CrossThreadStore => ViolationClass::CrossThreadRace,
+        }
+    }
+}
+
+impl std::fmt::Display for SeededBug {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Finds the index of the first store to any pool's commit-flag field
+/// (`base + 32`), i.e. the first transaction's commit point.
+fn first_commit_store(events: &[TraceEvent]) -> Option<usize> {
+    let mut flag_vas: Vec<(Va, Va)> = Vec::new(); // (flag va, end)
+    for (i, ev) in events.iter().enumerate() {
+        match *ev {
+            TraceEvent::Attach { base, size, .. } => flag_vas.push((base + 32, base + size)),
+            TraceEvent::Store { va, .. } if flag_vas.iter().any(|&(f, _)| f == va) => {
+                return Some(i)
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Injects `bug` into `events`, returning the mutated trace, or `None`
+/// when the trace lacks the shape the mutation needs (e.g. no
+/// transaction commit to corrupt).
+#[must_use]
+pub fn seed_bug(events: &[TraceEvent], bug: SeededBug) -> Option<Vec<TraceEvent>> {
+    let mut out: Vec<TraceEvent> = events.to_vec();
+    match bug {
+        SeededBug::DroppedFlush => {
+            let ci = first_commit_store(events)?;
+            let fi = (0..ci).rev().find(|&i| matches!(events[i], TraceEvent::Flush { .. }))?;
+            out.remove(fi);
+        }
+        SeededBug::ReorderedFence => {
+            let ci = first_commit_store(events)?;
+            let fi = (0..ci).rev().find(|&i| matches!(events[i], TraceEvent::Fence))?;
+            out.remove(fi);
+            // The commit store shifted down one slot; re-insert the fence
+            // right after it.
+            out.insert(ci, TraceEvent::Fence);
+        }
+        SeededBug::RevokeWithoutShootdown => {
+            // Find a shootdown whose pmo has a known attached range.
+            let mut regions: Vec<(PmoId, Va)> = Vec::new();
+            let mut found: Option<(usize, Va)> = None;
+            for (i, ev) in events.iter().enumerate() {
+                match *ev {
+                    TraceEvent::Attach { pmo, base, .. } => regions.push((pmo, base)),
+                    TraceEvent::Shootdown { pmo } => {
+                        if let Some(&(_, base)) = regions.iter().find(|(p, _)| *p == pmo) {
+                            found = Some((i, base));
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let (si, base) = found?;
+            // Replace the shootdown with an access into the now-stale
+            // region: exactly the use-after-revoke the paper's shootdown
+            // ordering forbids.
+            out[si] = TraceEvent::Load { va: base + 0x80, size: 8 };
+        }
+        SeededBug::WindowLeftOpen => {
+            let ri = (0..events.len()).rev().find(|&i| {
+                matches!(events[i], TraceEvent::SetPerm { perm: pmo_trace::Perm::None, .. })
+            })?;
+            out.remove(ri);
+        }
+        SeededBug::CrossThreadStore => {
+            // Fork a thread right after the first attach, then have it
+            // store — with no synchronization — to a line the original
+            // thread wrote after the fork. The intruding store goes just
+            // before any detach (a detach's shootdown would order it).
+            let ai = events.iter().position(|ev| matches!(ev, TraceEvent::Attach { .. }))?;
+            let (base, end) = match events[ai] {
+                TraceEvent::Attach { base, size, .. } => (base, base + size),
+                _ => unreachable!("position matched an attach"),
+            };
+            let forked_from = events[..ai]
+                .iter()
+                .rev()
+                .find_map(|ev| match ev {
+                    TraceEvent::ThreadSwitch { thread } => Some(*thread),
+                    _ => None,
+                })
+                .unwrap_or(ThreadId::MAIN);
+            let line = events[ai + 1..].iter().find_map(|ev| match *ev {
+                TraceEvent::Store { va, .. } if va >= base && va < end => Some(va & !63),
+                _ => None,
+            })?;
+            let intruder = ThreadId::new(99);
+            out.insert(ai + 1, TraceEvent::ThreadSwitch { thread: intruder });
+            out.insert(ai + 2, TraceEvent::ThreadSwitch { thread: forked_from });
+            let at = events
+                .iter()
+                .enumerate()
+                .skip(ai + 1)
+                .find(|(_, ev)| matches!(ev, TraceEvent::Detach { .. }))
+                .map_or(out.len(), |(di, _)| di + 2);
+            out.insert(at, TraceEvent::ThreadSwitch { thread: intruder });
+            out.insert(at + 1, TraceEvent::Store { va: line, size: 8 });
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_classes_are_distinct() {
+        let labels: std::collections::BTreeSet<_> =
+            SeededBug::ALL.iter().map(|b| b.label()).collect();
+        assert_eq!(labels.len(), SeededBug::ALL.len());
+        for b in SeededBug::ALL {
+            assert!(!b.to_string().is_empty());
+            let _ = b.expected_class();
+        }
+    }
+
+    #[test]
+    fn mutations_need_matching_trace_shape() {
+        // An empty trace supports no mutation.
+        for bug in SeededBug::ALL {
+            assert!(seed_bug(&[], bug).is_none(), "{bug}");
+        }
+    }
+
+    #[test]
+    fn dropped_flush_removes_one_event() {
+        let events = vec![
+            TraceEvent::Attach { pmo: PmoId::new(1), base: 0x1000, size: 0x1000, nvm: true },
+            TraceEvent::Store { va: 0x1040, size: 8 },
+            TraceEvent::Flush { va: 0x1040 },
+            TraceEvent::Fence,
+            TraceEvent::Store { va: 0x1020, size: 8 }, // commit flag (base + 32)
+        ];
+        let mutated = seed_bug(&events, SeededBug::DroppedFlush).unwrap();
+        assert_eq!(mutated.len(), events.len() - 1);
+        assert!(!mutated.iter().any(|e| matches!(e, TraceEvent::Flush { .. })));
+    }
+
+    #[test]
+    fn reordered_fence_keeps_length() {
+        let events = vec![
+            TraceEvent::Attach { pmo: PmoId::new(1), base: 0x1000, size: 0x1000, nvm: true },
+            TraceEvent::Store { va: 0x1040, size: 8 },
+            TraceEvent::Flush { va: 0x1040 },
+            TraceEvent::Fence,
+            TraceEvent::Store { va: 0x1020, size: 8 },
+        ];
+        let mutated = seed_bug(&events, SeededBug::ReorderedFence).unwrap();
+        assert_eq!(mutated.len(), events.len());
+        // The fence now follows the commit store.
+        assert!(matches!(mutated[3], TraceEvent::Store { va: 0x1020, .. }));
+        assert!(matches!(mutated[4], TraceEvent::Fence));
+    }
+}

@@ -1,0 +1,172 @@
+//! Pass 3: the permission-window audit, migrated into the framework.
+//!
+//! Wraps [`pmo_trace::PermAudit`] (which stays available standalone) and
+//! lifts its violations into positioned [`Diagnostic`]s: the wrapper
+//! feeds each event through the auditor and assigns the current trace
+//! position to every violation that appears.
+//!
+//! Policy knobs mirror how the repo's own tests use the auditor: the
+//! paper's strict "at most two enabled PMOs" rule for single-PMO
+//! (WHISPER-style) traces, an unlimited-window variant for the multi-PMO
+//! baseline protocol, and an optional end-of-trace leak check (off for
+//! workloads that intentionally hold read grants for their lifetime).
+
+use pmo_trace::{AuditViolation, PermAudit, TraceSink};
+
+use crate::diag::{AnalyzerPass, Diagnostic, EventCtx, Severity, ViolationClass};
+
+/// The permission-window pass.
+#[derive(Debug)]
+pub struct PermWindowPass {
+    audit: Option<PermAudit>,
+    flag_open_at_end: bool,
+    reported: usize,
+}
+
+impl Default for PermWindowPass {
+    fn default() -> Self {
+        Self::strict()
+    }
+}
+
+impl PermWindowPass {
+    /// The paper's strict discipline: at most two enabled PMOs, every
+    /// window closed by the end of the trace.
+    #[must_use]
+    pub fn strict() -> Self {
+        PermWindowPass { audit: Some(PermAudit::new()), flag_open_at_end: true, reported: 0 }
+    }
+
+    /// Allows up to `max` simultaneously enabled domains per thread.
+    #[must_use]
+    pub fn with_max_open_windows(max: usize) -> Self {
+        PermWindowPass {
+            audit: Some(PermAudit::with_max_open_windows(max)),
+            flag_open_at_end: true,
+            reported: 0,
+        }
+    }
+
+    /// The multi-PMO baseline policy: unlimited windows, and grants held
+    /// at end of trace are by design (always-readable baseline), not
+    /// leaks.
+    #[must_use]
+    pub fn baseline() -> Self {
+        PermWindowPass {
+            audit: Some(PermAudit::with_max_open_windows(usize::MAX)),
+            flag_open_at_end: false,
+            reported: 0,
+        }
+    }
+
+    /// Disables the end-of-trace open-window check (builder style).
+    #[must_use]
+    pub fn allow_open_at_end(mut self) -> Self {
+        self.flag_open_at_end = false;
+        self
+    }
+
+    fn lift(v: &AuditViolation, pos: u64) -> Diagnostic {
+        let (class, thread) = match v {
+            AuditViolation::UnguardedAccess { thread, .. } => {
+                (ViolationClass::UnguardedAccess, *thread)
+            }
+            AuditViolation::TooManyOpenWindows { thread, .. } => {
+                (ViolationClass::TooManyOpenWindows, *thread)
+            }
+            AuditViolation::WindowLeftOpen { thread, .. } => {
+                (ViolationClass::WindowLeftOpen, *thread)
+            }
+            AuditViolation::DetachedWhileGranted { thread, .. } => {
+                (ViolationClass::DetachedWhileGranted, *thread)
+            }
+        };
+        Diagnostic {
+            pass: "perm-window",
+            class,
+            severity: Severity::Error,
+            thread,
+            position: pos,
+            message: v.to_string(),
+        }
+    }
+}
+
+impl AnalyzerPass for PermWindowPass {
+    fn name(&self) -> &'static str {
+        "perm-window"
+    }
+
+    fn check(&mut self, ctx: EventCtx, ev: &pmo_trace::TraceEvent, out: &mut Vec<Diagnostic>) {
+        let audit = self.audit.as_mut().expect("check after finish");
+        audit.event(*ev);
+        let seen = audit.violations();
+        for v in &seen[self.reported..] {
+            out.push(Self::lift(v, ctx.pos));
+        }
+        self.reported = seen.len();
+    }
+
+    fn finish(&mut self, ctx: EventCtx, out: &mut Vec<Diagnostic>) {
+        let violations = self.audit.take().expect("finish once").finish();
+        for v in &violations[self.reported..] {
+            // Everything past `reported` is an end-of-trace finding
+            // (still-open windows).
+            if self.flag_open_at_end {
+                out.push(Self::lift(v, ctx.pos));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Analyzer;
+    use pmo_trace::{Perm, PmoId, TraceEvent};
+
+    const BASE: u64 = 0x30_0000;
+
+    fn attach(a: &mut Analyzer) {
+        a.event(TraceEvent::Attach { pmo: PmoId::new(1), base: BASE, size: 1 << 20, nvm: true });
+    }
+
+    #[test]
+    fn clean_window_is_silent() {
+        let mut a = Analyzer::new("t").with_pass(PermWindowPass::strict());
+        attach(&mut a);
+        a.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadWrite });
+        a.store(BASE + 8, 8);
+        a.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::None });
+        assert!(a.finish().is_clean());
+    }
+
+    #[test]
+    fn unguarded_access_is_positioned() {
+        let mut a = Analyzer::new("t").with_pass(PermWindowPass::strict());
+        attach(&mut a); // event 0
+        a.store(BASE + 8, 8); // event 1: no grant
+        let report = a.finish();
+        let d = report.errors().next().expect("one violation");
+        assert_eq!(d.class, ViolationClass::UnguardedAccess);
+        assert_eq!(d.position, 1);
+    }
+
+    #[test]
+    fn open_window_flagged_at_end_under_strict() {
+        let mut a = Analyzer::new("t").with_pass(PermWindowPass::strict());
+        attach(&mut a);
+        a.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadWrite });
+        let report = a.finish();
+        assert!(report.errors().any(|d| d.class == ViolationClass::WindowLeftOpen));
+    }
+
+    #[test]
+    fn baseline_policy_allows_held_grants() {
+        let mut a = Analyzer::new("t").with_pass(PermWindowPass::baseline());
+        attach(&mut a);
+        a.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadOnly });
+        a.load(BASE + 8, 8);
+        assert!(a.finish().is_clean());
+    }
+}

@@ -1,0 +1,470 @@
+//! Pass 1: persist-ordering / crash-consistency checking (the PMTest /
+//! XFDetector mold, over `pmo-trace` events).
+//!
+//! The checker shadows every persistent cache line through a three-state
+//! machine (`Dirty` → `FlushPending` → `Persisted`; stores dirty, `Flush`
+//! arms the writeback, `Fence` makes armed writebacks durable) and
+//! enforces the runtime's redo-log commit protocol at its two ordering
+//! points:
+//!
+//! * when the commit flag is **set**, every log-area line written this
+//!   transaction must be `Persisted` — a `Dirty` log line means the
+//!   commit flag can reach NVM before the log it covers
+//!   ([`ViolationClass::UnflushedDirtyAtCommit`]), a `FlushPending` one
+//!   means the flush was issued but never fenced
+//!   ([`ViolationClass::UnfencedFlushAtCommit`]);
+//! * while the flag is set, every in-place (home-location) store requires
+//!   the flag's own line to be `Persisted` first — otherwise the home
+//!   write is not covered by a durable log record
+//!   ([`ViolationClass::StoreWithoutPersistedLog`]); and when the flag is
+//!   **cleared**, the home lines must themselves be persisted.
+//!
+//! Two performance lints ride along: flushing a line with nothing dirty
+//! on it ([`ViolationClass::DuplicateFlush`]) and fencing with no flush
+//! to order ([`ViolationClass::UselessFence`]).
+//!
+//! Lines never stored in the trace may still be flushed without a lint:
+//! pool creation and recovery initialize headers in kernel context, whose
+//! stores are not part of the user-level trace.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use pmo_runtime::{hdr, heap_base_for, HEADER_SIZE, LINE};
+use pmo_trace::{PmoId, TraceEvent, Va};
+
+use crate::diag::{AnalyzerPass, Diagnostic, EventCtx, Severity, ViolationClass};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LineState {
+    Dirty,
+    FlushPending,
+    Persisted,
+}
+
+#[derive(Debug)]
+struct PoolState {
+    pmo: PmoId,
+    end: Va,
+    /// The redo-log area `[log_start, log_end)`.
+    log_start: Va,
+    log_end: Va,
+    /// VA of the commit-flag field (`base + hdr::COMMIT_FLAG`).
+    flag_va: Va,
+    /// Line holding the commit flag (the header line).
+    flag_line: Va,
+    /// Whether the commit flag is currently set (store-toggled).
+    commit_open: bool,
+    /// Lines stored in place while the flag was set.
+    home_lines: BTreeSet<Va>,
+}
+
+/// The persist-ordering / crash-consistency pass.
+#[derive(Debug, Default)]
+pub struct PersistOrderPass {
+    /// base -> pool protocol state.
+    pools: BTreeMap<Va, PoolState>,
+    /// Shadow state per cache line (only lines inside attached pools).
+    lines: HashMap<Va, LineState>,
+    /// `Flush` events since the last `Fence`.
+    flushes_since_fence: u64,
+}
+
+impl PersistOrderPass {
+    /// Creates the pass.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pool_base_of(&self, va: Va) -> Option<Va> {
+        let (base, pool) = self.pools.range(..=va).next_back()?;
+        (va < pool.end).then_some(*base)
+    }
+
+    fn purge_lines(&mut self, base: Va, end: Va) {
+        self.lines.retain(|va, _| *va < base || *va >= end);
+    }
+
+    fn diag(
+        ctx: EventCtx,
+        class: ViolationClass,
+        severity: Severity,
+        message: String,
+    ) -> Diagnostic {
+        Diagnostic {
+            pass: "persist-order",
+            class,
+            severity,
+            thread: ctx.thread,
+            position: ctx.pos,
+            message,
+        }
+    }
+
+    /// Emits a diagnostic per non-persisted log line at the commit point.
+    fn check_log_persisted(&self, base: Va, ctx: EventCtx, out: &mut Vec<Diagnostic>) {
+        let pool = &self.pools[&base];
+        let mut line = pool.log_start & !(LINE - 1);
+        while line < pool.log_end {
+            match self.lines.get(&line) {
+                Some(LineState::Dirty) => out.push(Self::diag(
+                    ctx,
+                    ViolationClass::UnflushedDirtyAtCommit,
+                    Severity::Error,
+                    format!(
+                        "commit flag of pmo {} set while log line {line:#x} is dirty (never flushed)",
+                        pool.pmo
+                    ),
+                )),
+                Some(LineState::FlushPending) => out.push(Self::diag(
+                    ctx,
+                    ViolationClass::UnfencedFlushAtCommit,
+                    Severity::Error,
+                    format!(
+                        "commit flag of pmo {} set while log line {line:#x} is flushed but unfenced",
+                        pool.pmo
+                    ),
+                )),
+                _ => {}
+            }
+            line += LINE;
+        }
+    }
+
+    fn check_home_persisted(&self, base: Va, ctx: EventCtx, out: &mut Vec<Diagnostic>) {
+        let pool = &self.pools[&base];
+        for &line in &pool.home_lines {
+            match self.lines.get(&line) {
+                Some(LineState::Dirty) => out.push(Self::diag(
+                    ctx,
+                    ViolationClass::UnflushedDirtyAtCommit,
+                    Severity::Error,
+                    format!(
+                        "commit flag of pmo {} cleared while home line {line:#x} is dirty",
+                        pool.pmo
+                    ),
+                )),
+                Some(LineState::FlushPending) => out.push(Self::diag(
+                    ctx,
+                    ViolationClass::UnfencedFlushAtCommit,
+                    Severity::Error,
+                    format!(
+                        "commit flag of pmo {} cleared while home line {line:#x} is unfenced",
+                        pool.pmo
+                    ),
+                )),
+                _ => {}
+            }
+        }
+    }
+
+    fn store(&mut self, va: Va, size: u8, ctx: EventCtx, out: &mut Vec<Diagnostic>) {
+        let Some(base) = self.pool_base_of(va) else { return };
+        // The commit flag is an 8-byte field only ever written whole; a
+        // store at exactly its VA toggles the protocol phase.
+        if va == self.pools[&base].flag_va {
+            if self.pools[&base].commit_open {
+                self.check_home_persisted(base, ctx, out);
+                let pool = self.pools.get_mut(&base).expect("present");
+                pool.commit_open = false;
+                pool.home_lines.clear();
+            } else {
+                self.check_log_persisted(base, ctx, out);
+                let pool = self.pools.get_mut(&base).expect("present");
+                pool.commit_open = true;
+                pool.home_lines.clear();
+            }
+        } else if self.pools[&base].commit_open {
+            // In-place store under an open commit: write-ahead discipline
+            // requires the durable commit flag (hence the log) first.
+            let pool = &self.pools[&base];
+            if self.lines.get(&pool.flag_line) != Some(&LineState::Persisted) {
+                out.push(Self::diag(
+                    ctx,
+                    ViolationClass::StoreWithoutPersistedLog,
+                    Severity::Error,
+                    format!(
+                        "in-place store at {va:#x} in pmo {} before the commit flag persisted",
+                        pool.pmo
+                    ),
+                ));
+            }
+            let end = va + u64::from(size).max(1);
+            let pool = self.pools.get_mut(&base).expect("present");
+            let mut line = va & !(LINE - 1);
+            while line < end {
+                pool.home_lines.insert(line);
+                line += LINE;
+            }
+        }
+        // Every store dirties its line(s).
+        let end = va + u64::from(size).max(1);
+        let mut line = va & !(LINE - 1);
+        while line < end {
+            self.lines.insert(line, LineState::Dirty);
+            line += LINE;
+        }
+    }
+
+    fn flush(&mut self, va: Va, ctx: EventCtx, out: &mut Vec<Diagnostic>) {
+        self.flushes_since_fence += 1;
+        let line = va & !(LINE - 1);
+        if self.pool_base_of(line).is_none() {
+            return;
+        }
+        match self.lines.get(&line) {
+            Some(LineState::Dirty) | None => {
+                // Never-stored lines get an initialization flush without a
+                // lint (the dirtying stores ran in kernel context).
+                self.lines.insert(line, LineState::FlushPending);
+            }
+            Some(LineState::FlushPending) => out.push(Self::diag(
+                ctx,
+                ViolationClass::DuplicateFlush,
+                Severity::Lint,
+                format!("line {line:#x} flushed again before the pending flush was fenced"),
+            )),
+            Some(LineState::Persisted) => out.push(Self::diag(
+                ctx,
+                ViolationClass::DuplicateFlush,
+                Severity::Lint,
+                format!("flush of clean line {line:#x} (already persisted, nothing dirty)"),
+            )),
+        }
+    }
+
+    fn fence(&mut self, ctx: EventCtx, out: &mut Vec<Diagnostic>) {
+        if self.flushes_since_fence == 0 {
+            out.push(Self::diag(
+                ctx,
+                ViolationClass::UselessFence,
+                Severity::Lint,
+                "fence with no flush since the previous fence (nothing to order)".to_string(),
+            ));
+        }
+        self.flushes_since_fence = 0;
+        for state in self.lines.values_mut() {
+            if *state == LineState::FlushPending {
+                *state = LineState::Persisted;
+            }
+        }
+    }
+}
+
+impl AnalyzerPass for PersistOrderPass {
+    fn name(&self) -> &'static str {
+        "persist-order"
+    }
+
+    fn check(&mut self, ctx: EventCtx, ev: &TraceEvent, out: &mut Vec<Diagnostic>) {
+        match *ev {
+            TraceEvent::Attach { pmo, base, size, .. } => {
+                // A (re-)attach resets all shadow state for the range: the
+                // crash/recovery path between detach and attach is kernel
+                // work outside the trace.
+                self.purge_lines(base, base + size);
+                self.pools.insert(
+                    base,
+                    PoolState {
+                        pmo,
+                        end: base + size,
+                        log_start: base + HEADER_SIZE,
+                        log_end: base + heap_base_for(size),
+                        flag_va: base + hdr::COMMIT_FLAG,
+                        flag_line: (base + hdr::COMMIT_FLAG) & !(LINE - 1),
+                        commit_open: false,
+                        home_lines: BTreeSet::new(),
+                    },
+                );
+            }
+            TraceEvent::Detach { pmo } => {
+                if let Some((&base, pool)) = self.pools.iter().find(|(_, p)| p.pmo == pmo) {
+                    let end = pool.end;
+                    self.pools.remove(&base);
+                    self.purge_lines(base, end);
+                }
+            }
+            TraceEvent::Store { va, size } => self.store(va, size, ctx, out),
+            TraceEvent::Flush { va } => self.flush(va, ctx, out),
+            TraceEvent::Fence => self.fence(ctx, out),
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, _ctx: EventCtx, _out: &mut Vec<Diagnostic>) {
+        // A commit left open at end of trace is legal: a crash (or the
+        // fault injector) may truncate a trace mid-protocol, and that is
+        // exactly the case recovery handles.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Analyzer;
+    use pmo_trace::TraceSink;
+
+    const BASE: Va = 0x10_0000;
+    const SIZE: u64 = 1 << 20;
+
+    fn analyzer() -> Analyzer {
+        Analyzer::new("persist-test").with_pass(PersistOrderPass::new())
+    }
+
+    fn attach(a: &mut Analyzer) {
+        a.event(TraceEvent::Attach { pmo: PmoId::new(1), base: BASE, size: SIZE, nvm: true });
+    }
+
+    fn flag_va() -> Va {
+        BASE + hdr::COMMIT_FLAG
+    }
+
+    fn log_va() -> Va {
+        BASE + HEADER_SIZE
+    }
+
+    /// store -> flush -> fence on the log, flag set+persisted, home
+    /// store+persist, flag cleared: the clean protocol.
+    fn clean_commit(a: &mut Analyzer) {
+        a.store(log_va(), 8);
+        a.event(TraceEvent::Flush { va: log_va() });
+        a.event(TraceEvent::Fence);
+        a.store(flag_va(), 8);
+        a.event(TraceEvent::Flush { va: BASE });
+        a.event(TraceEvent::Fence);
+        let home = BASE + heap_base_for(SIZE);
+        a.store(home, 8);
+        a.event(TraceEvent::Flush { va: home & !(LINE - 1) });
+        a.event(TraceEvent::Fence);
+        a.store(flag_va(), 8);
+        a.event(TraceEvent::Flush { va: BASE });
+        a.event(TraceEvent::Fence);
+    }
+
+    #[test]
+    fn clean_protocol_is_silent() {
+        let mut a = analyzer();
+        attach(&mut a);
+        clean_commit(&mut a);
+        clean_commit(&mut a); // a second transaction reuses the log
+        let report = a.finish();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn dirty_log_line_at_commit() {
+        let mut a = analyzer();
+        attach(&mut a);
+        a.store(log_va(), 8);
+        // No flush/fence: straight to the commit flag.
+        a.store(flag_va(), 8);
+        let report = a.finish();
+        assert!(
+            report.errors().any(|d| d.class == ViolationClass::UnflushedDirtyAtCommit),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn unfenced_log_flush_at_commit() {
+        let mut a = analyzer();
+        attach(&mut a);
+        a.store(log_va(), 8);
+        a.event(TraceEvent::Flush { va: log_va() });
+        // Fence missing.
+        a.store(flag_va(), 8);
+        let report = a.finish();
+        assert!(report.errors().any(|d| d.class == ViolationClass::UnfencedFlushAtCommit));
+    }
+
+    #[test]
+    fn home_store_before_flag_persisted() {
+        let mut a = analyzer();
+        attach(&mut a);
+        a.store(log_va(), 8);
+        a.event(TraceEvent::Flush { va: log_va() });
+        a.event(TraceEvent::Fence);
+        a.store(flag_va(), 8);
+        // Flag never flushed: home store races it to NVM.
+        a.store(BASE + heap_base_for(SIZE), 8);
+        let report = a.finish();
+        assert!(report.errors().any(|d| d.class == ViolationClass::StoreWithoutPersistedLog));
+    }
+
+    #[test]
+    fn unpersisted_home_line_at_clear() {
+        let mut a = analyzer();
+        attach(&mut a);
+        a.store(log_va(), 8);
+        a.event(TraceEvent::Flush { va: log_va() });
+        a.event(TraceEvent::Fence);
+        a.store(flag_va(), 8);
+        a.event(TraceEvent::Flush { va: BASE });
+        a.event(TraceEvent::Fence);
+        a.store(BASE + heap_base_for(SIZE), 8);
+        // Home line never persisted before the flag clears.
+        a.store(flag_va(), 8);
+        let report = a.finish();
+        assert!(report.errors().any(|d| d.class == ViolationClass::UnflushedDirtyAtCommit));
+    }
+
+    #[test]
+    fn open_commit_at_trace_end_is_legal() {
+        let mut a = analyzer();
+        attach(&mut a);
+        a.store(log_va(), 8);
+        a.event(TraceEvent::Flush { va: log_va() });
+        a.event(TraceEvent::Fence);
+        a.store(flag_va(), 8); // crash here: recovery's job
+        let report = a.finish();
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn duplicate_flush_lint() {
+        let mut a = analyzer();
+        attach(&mut a);
+        let home = BASE + heap_base_for(SIZE);
+        a.store(home, 8);
+        a.event(TraceEvent::Flush { va: home & !(LINE - 1) });
+        a.event(TraceEvent::Fence);
+        a.event(TraceEvent::Flush { va: home & !(LINE - 1) }); // clean line
+        let report = a.finish();
+        assert!(report.passed(), "lints are not violations");
+        assert!(report.lints().any(|d| d.class == ViolationClass::DuplicateFlush));
+    }
+
+    #[test]
+    fn useless_fence_lint() {
+        let mut a = analyzer();
+        attach(&mut a);
+        a.event(TraceEvent::Fence);
+        let report = a.finish();
+        assert!(report.lints().any(|d| d.class == ViolationClass::UselessFence));
+    }
+
+    #[test]
+    fn init_flush_of_unstored_line_is_silent() {
+        let mut a = analyzer();
+        attach(&mut a);
+        // pool_create's header persist: flush with no traced store.
+        a.event(TraceEvent::Flush { va: BASE });
+        a.event(TraceEvent::Fence);
+        let report = a.finish();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn reattach_resets_protocol_state() {
+        let mut a = analyzer();
+        attach(&mut a);
+        a.store(log_va(), 8);
+        a.event(TraceEvent::Flush { va: log_va() });
+        a.event(TraceEvent::Fence);
+        a.store(flag_va(), 8); // commit open, then crash (no clear)
+        attach(&mut a); // re-attach after recovery
+        clean_commit(&mut a);
+        let report = a.finish();
+        assert!(report.is_clean(), "{report}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Pass 2: happens-before isolation race detection.
+//!
+//! A FastTrack-style vector-clock detector specialized to the trace
+//! vocabulary. Happens-before edges come from the events that order
+//! threads in this machine model:
+//!
+//! * program order within a thread;
+//! * thread creation: the first `ThreadSwitch` to a never-seen thread
+//!   forks it from the switching-away thread (it inherits that thread's
+//!   clock) — later switches are just scheduling and create no edges;
+//! * `Shootdown` completion: a ranged shootdown is a global
+//!   synchronization barrier — the initiating core IPIs every other core
+//!   and waits for acknowledgement (§IV.B), so all clocks join.
+//!
+//! Two error classes:
+//!
+//! * [`ViolationClass::CrossThreadRace`]: two threads touch the same PMO
+//!   cache line without a happens-before edge and at least one is a
+//!   write;
+//! * [`ViolationClass::StaleWindowAccess`]: the paper's stale-translation
+//!   hazard — an access lands in a region whose PMO was detached (or its
+//!   key revoked/evicted) with no intervening ranged shootdown, i.e. the
+//!   access may be served by a stale DTTLB/PTLB entry.
+
+use std::collections::{BTreeMap, HashMap};
+
+use pmo_runtime::LINE;
+use pmo_trace::{PmoId, TraceEvent, Va};
+
+use crate::diag::{AnalyzerPass, Diagnostic, EventCtx, Severity, ViolationClass};
+
+/// Sparse vector clock: thread raw id -> logical time.
+type Clock = BTreeMap<u32, u64>;
+
+fn clock_join(into: &mut Clock, other: &Clock) {
+    for (&t, &v) in other {
+        let e = into.entry(t).or_insert(0);
+        *e = (*e).max(v);
+    }
+}
+
+#[derive(Debug, Default)]
+struct LineMeta {
+    /// The last write: (thread, epoch at write).
+    last_write: Option<(u32, u64)>,
+    /// Reads since the last write: thread -> epoch.
+    reads: BTreeMap<u32, u64>,
+}
+
+/// The happens-before race / stale-window pass.
+#[derive(Debug)]
+pub struct RacePass {
+    clocks: HashMap<u32, Clock>,
+    current: u32,
+    /// Attached regions: base -> (end, pmo).
+    regions: BTreeMap<Va, (Va, PmoId)>,
+    /// Detached-without-shootdown hazard windows: (base, end, pmo).
+    stale: Vec<(Va, Va, PmoId)>,
+    lines: HashMap<Va, LineMeta>,
+}
+
+impl Default for RacePass {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RacePass {
+    /// Creates the pass (main thread running, clock started).
+    #[must_use]
+    pub fn new() -> Self {
+        let mut clocks = HashMap::new();
+        clocks.insert(0, Clock::from([(0, 1)]));
+        RacePass {
+            clocks,
+            current: 0,
+            regions: BTreeMap::new(),
+            stale: Vec::new(),
+            lines: HashMap::new(),
+        }
+    }
+
+    fn region_of(&self, va: Va) -> Option<PmoId> {
+        let (_, (end, pmo)) = self.regions.range(..=va).next_back()?;
+        (va < *end).then_some(*pmo)
+    }
+
+    fn stale_region_of(&self, va: Va) -> Option<PmoId> {
+        self.stale.iter().find(|(base, end, _)| va >= *base && va < *end).map(|(_, _, p)| *p)
+    }
+
+    fn diag(ctx: EventCtx, class: ViolationClass, message: String) -> Diagnostic {
+        Diagnostic {
+            pass: "hb-race",
+            class,
+            severity: Severity::Error,
+            thread: ctx.thread,
+            position: ctx.pos,
+            message,
+        }
+    }
+
+    fn access(&mut self, va: Va, size: u8, write: bool, ctx: EventCtx, out: &mut Vec<Diagnostic>) {
+        let Some(pmo) = self.region_of(va) else {
+            if let Some(stale_pmo) = self.stale_region_of(va) {
+                out.push(Self::diag(
+                    ctx,
+                    ViolationClass::StaleWindowAccess,
+                    format!(
+                        "{} at {va:#x} races the revoke of pmo {stale_pmo}: mapping torn down \
+                         with no intervening ranged shootdown",
+                        if write { "store" } else { "load" },
+                    ),
+                ));
+            }
+            return;
+        };
+        // Bump this thread's own component once per access: each access
+        // gets a distinct epoch.
+        let me = self.current;
+        let epoch = {
+            let clock = self.clocks.get_mut(&me).expect("current thread has a clock");
+            let e = clock.entry(me).or_insert(0);
+            *e += 1;
+            *e
+        };
+        let my_clock = self.clocks[&me].clone();
+        let seen = |t: u32| my_clock.get(&t).copied().unwrap_or(0);
+        let end = va + u64::from(size).max(1);
+        let mut line = va & !(LINE - 1);
+        while line < end {
+            let meta = self.lines.entry(line).or_default();
+            if let Some((wt, we)) = meta.last_write {
+                if wt != me && seen(wt) < we {
+                    out.push(Self::diag(
+                        ctx,
+                        ViolationClass::CrossThreadRace,
+                        format!(
+                            "thread {me} {} line {line:#x} of pmo {pmo} unordered with thread \
+                             {wt}'s write",
+                            if write { "writes" } else { "reads" },
+                        ),
+                    ));
+                }
+            }
+            if write {
+                for (&rt, &re) in &meta.reads {
+                    if rt != me && seen(rt) < re {
+                        out.push(Self::diag(
+                            ctx,
+                            ViolationClass::CrossThreadRace,
+                            format!(
+                                "thread {me} writes line {line:#x} of pmo {pmo} unordered with \
+                                 thread {rt}'s read"
+                            ),
+                        ));
+                    }
+                }
+                meta.last_write = Some((me, epoch));
+                meta.reads.clear();
+            } else {
+                meta.reads.insert(me, epoch);
+            }
+            line += LINE;
+        }
+    }
+}
+
+impl AnalyzerPass for RacePass {
+    fn name(&self) -> &'static str {
+        "hb-race"
+    }
+
+    fn check(&mut self, ctx: EventCtx, ev: &TraceEvent, out: &mut Vec<Diagnostic>) {
+        match *ev {
+            TraceEvent::ThreadSwitch { thread } => {
+                let t = thread.raw();
+                if !self.clocks.contains_key(&t) {
+                    // Fork: the new thread inherits the forking thread's
+                    // history and starts its own component.
+                    let mut clock = self.clocks[&self.current].clone();
+                    let e = clock.entry(t).or_insert(0);
+                    *e += 1;
+                    self.clocks.insert(t, clock);
+                }
+                self.current = t;
+            }
+            TraceEvent::Shootdown { pmo } => {
+                // Global barrier: every core acknowledges the IPI.
+                let mut merged = Clock::new();
+                for clock in self.clocks.values() {
+                    clock_join(&mut merged, clock);
+                }
+                for clock in self.clocks.values_mut() {
+                    *clock = merged.clone();
+                }
+                self.stale.retain(|(_, _, p)| *p != pmo);
+            }
+            TraceEvent::Attach { pmo, base, size, .. } => {
+                // A fresh mapping: old hazards and line history for the
+                // range are gone (the OS cannot hand out a range whose
+                // shootdown it still owes).
+                let end = base + size;
+                self.stale.retain(|(b, e, _)| *e <= base || *b >= end);
+                self.lines.retain(|va, _| *va < base || *va >= end);
+                self.regions.insert(base, (end, pmo));
+            }
+            TraceEvent::Detach { pmo } => {
+                if let Some((&base, &(end, _))) = self.regions.iter().find(|(_, (_, p))| *p == pmo)
+                {
+                    self.regions.remove(&base);
+                    self.stale.push((base, end, pmo));
+                }
+            }
+            TraceEvent::Load { va, size } => self.access(va, size, false, ctx, out),
+            TraceEvent::Store { va, size } => self.access(va, size, true, ctx, out),
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, _ctx: EventCtx, _out: &mut Vec<Diagnostic>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Analyzer;
+    use pmo_trace::{ThreadId, TraceSink};
+
+    const BASE: Va = 0x20_0000;
+
+    fn analyzer() -> Analyzer {
+        Analyzer::new("race-test").with_pass(RacePass::new())
+    }
+
+    fn attach(a: &mut Analyzer, pmo: u32, base: Va) {
+        a.event(TraceEvent::Attach { pmo: PmoId::new(pmo), base, size: 1 << 20, nvm: true });
+    }
+
+    fn switch(a: &mut Analyzer, t: u32) {
+        a.event(TraceEvent::ThreadSwitch { thread: ThreadId::new(t) });
+    }
+
+    #[test]
+    fn single_thread_is_clean() {
+        let mut a = analyzer();
+        attach(&mut a, 1, BASE);
+        a.store(BASE + 0x100, 8);
+        a.load(BASE + 0x100, 8);
+        a.store(BASE + 0x100, 8);
+        assert!(a.finish().is_clean());
+    }
+
+    #[test]
+    fn fork_orders_earlier_accesses() {
+        let mut a = analyzer();
+        attach(&mut a, 1, BASE);
+        a.store(BASE + 0x100, 8); // main writes
+        switch(&mut a, 1); // thread 1 forks from main: ordered
+        a.store(BASE + 0x100, 8);
+        assert!(a.finish().is_clean());
+    }
+
+    #[test]
+    fn unordered_cross_thread_write_races() {
+        let mut a = analyzer();
+        attach(&mut a, 1, BASE);
+        switch(&mut a, 1); // fork thread 1 (before main's write)
+        switch(&mut a, 0); // back to main
+        a.store(BASE + 0x100, 8); // main writes after the fork
+        switch(&mut a, 1); // no new edge
+        a.store(BASE + 0x100, 8); // t1 cannot have seen main's write
+        let report = a.finish();
+        assert!(report.errors().any(|d| d.class == ViolationClass::CrossThreadRace), "{report}");
+    }
+
+    #[test]
+    fn read_write_race_detected() {
+        let mut a = analyzer();
+        attach(&mut a, 1, BASE);
+        switch(&mut a, 1);
+        switch(&mut a, 0);
+        a.load(BASE + 0x100, 8); // main reads
+        switch(&mut a, 1);
+        a.store(BASE + 0x100, 8); // t1's write races the read
+        let report = a.finish();
+        assert!(report.errors().any(|d| d.class == ViolationClass::CrossThreadRace));
+    }
+
+    #[test]
+    fn concurrent_reads_do_not_race() {
+        let mut a = analyzer();
+        attach(&mut a, 1, BASE);
+        a.store(BASE + 0x100, 8); // main writes first
+        switch(&mut a, 1); // fork: ordered after the write
+        switch(&mut a, 0);
+        a.load(BASE + 0x100, 8);
+        switch(&mut a, 1);
+        a.load(BASE + 0x100, 8); // two unordered reads: fine
+        assert!(a.finish().is_clean());
+    }
+
+    #[test]
+    fn shootdown_is_a_barrier() {
+        let mut a = analyzer();
+        attach(&mut a, 1, BASE);
+        attach(&mut a, 2, BASE + (2 << 20));
+        switch(&mut a, 1);
+        switch(&mut a, 0);
+        a.store(BASE + 0x100, 8);
+        // Detach + shootdown of the *other* pmo still syncs every core.
+        a.event(TraceEvent::Detach { pmo: PmoId::new(2) });
+        a.event(TraceEvent::Shootdown { pmo: PmoId::new(2) });
+        switch(&mut a, 1);
+        a.store(BASE + 0x100, 8); // now ordered after main's store
+        assert!(a.finish().is_clean());
+    }
+
+    #[test]
+    fn stale_window_access_detected() {
+        let mut a = analyzer();
+        attach(&mut a, 1, BASE);
+        a.store(BASE + 0x100, 8);
+        a.event(TraceEvent::Detach { pmo: PmoId::new(1) });
+        // No shootdown: this access may hit a stale translation.
+        a.load(BASE + 0x100, 8);
+        let report = a.finish();
+        assert!(report.errors().any(|d| d.class == ViolationClass::StaleWindowAccess), "{report}");
+    }
+
+    #[test]
+    fn shootdown_clears_stale_window() {
+        let mut a = analyzer();
+        attach(&mut a, 1, BASE);
+        a.store(BASE + 0x100, 8);
+        a.event(TraceEvent::Detach { pmo: PmoId::new(1) });
+        a.event(TraceEvent::Shootdown { pmo: PmoId::new(1) });
+        a.load(BASE + 0x100, 8); // a plain wild access, not a stale one
+        assert!(a.finish().is_clean());
+    }
+}

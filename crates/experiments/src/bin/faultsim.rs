@@ -11,6 +11,8 @@
 //! ```
 //!
 //! Exits non-zero if any trial violates a workload invariant or panics.
+//! Each trial's trace is permission-audited by default (`--no-audit`
+//! opts out); `--json PATH` writes the survival matrix as JSON.
 
 use std::process::ExitCode;
 
@@ -44,6 +46,9 @@ fn main() -> ExitCode {
     let mut cfg = FaultsimConfig::for_scale(scale);
     if let Some(seed) = arg_value("--seed").as_deref().and_then(parse_u64) {
         cfg.campaign_seed = seed;
+    }
+    if std::env::args().any(|a| a == "--no-audit") {
+        cfg.audit = false;
     }
 
     // Repro mode: replay exactly one trial from a printed failure line.
@@ -88,6 +93,12 @@ fn main() -> ExitCode {
     std::panic::set_hook(default_hook);
 
     println!("(scale: {scale:?})\n{report}");
+    if let Some(path) = arg_value("--json") {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {

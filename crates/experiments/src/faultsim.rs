@@ -33,8 +33,9 @@
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use pmo_analyzer::{Analyzer, PermWindowPass};
 use pmo_runtime::{AttachIntent, FaultPlan, Mode, PmRuntime, RuntimeError};
-use pmo_trace::{FaultKind, NullSink, PmoId, TraceSink};
+use pmo_trace::{FaultKind, NullSink, Perm, PmoId, TraceEvent, TraceSink};
 use pmo_workloads::structs::{
     AvlTree, BplusTree, CheckedStructure, LinkedList, PersistentHashmap, RbTree,
 };
@@ -137,6 +138,10 @@ pub struct FaultsimConfig {
     /// Crash points per `(workload, kind)` cell: exhaustive when the op
     /// phase has at most this many stores, evenly sampled otherwise.
     pub max_points_per_cell: usize,
+    /// Run the permission-window audit over every trial's trace,
+    /// classifying audit errors as [`Outcome::Violation`] (`--no-audit`
+    /// opts out).
+    pub audit: bool,
 }
 
 impl FaultsimConfig {
@@ -150,6 +155,7 @@ impl FaultsimConfig {
                 fault_inserts: 4,
                 value_bytes: 32,
                 max_points_per_cell: 96,
+                audit: true,
             },
             Scale::Paper => FaultsimConfig {
                 campaign_seed: 0x1505,
@@ -157,6 +163,7 @@ impl FaultsimConfig {
                 fault_inserts: 12,
                 value_bytes: 64,
                 max_points_per_cell: 256,
+                audit: true,
             },
         }
     }
@@ -292,6 +299,59 @@ impl CampaignReport {
     pub fn is_clean(&self) -> bool {
         self.failures.is_empty()
     }
+
+    /// Renders the survival matrix as a JSON object (for CI artifacts).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut cells = String::new();
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                cells.push(',');
+            }
+            let _ = write!(
+                cells,
+                "{{\"workload\":{},\"fault\":{},\"points\":{},\"op_stores\":{},\
+                 \"recovered\":{},\"degraded\":{},\"quarantined\":{},\"violations\":{},\
+                 \"panics\":{},\"unreached\":{}}}",
+                pmo_analyzer::json_string(c.workload.label()),
+                pmo_analyzer::json_string(&c.kind.to_string()),
+                c.points,
+                c.op_stores,
+                c.counts.recovered,
+                c.counts.degraded,
+                c.counts.quarantined,
+                c.counts.violations,
+                c.counts.panics,
+                c.counts.unreached,
+            );
+        }
+        let mut failures = String::new();
+        for (i, fail) in self.failures.iter().enumerate() {
+            if i > 0 {
+                failures.push(',');
+            }
+            let _ = write!(
+                failures,
+                "{{\"workload\":{},\"fault\":{},\"after\":{},\"fault_seed\":{},\
+                 \"outcome\":{},\"detail\":{}}}",
+                pmo_analyzer::json_string(fail.workload.label()),
+                pmo_analyzer::json_string(&fail.kind.to_string()),
+                fail.after,
+                fail.fault_seed,
+                pmo_analyzer::json_string(&format!("{:?}", fail.outcome)),
+                pmo_analyzer::json_string(&fail.detail),
+            );
+        }
+        format!(
+            "{{\"campaign_seed\":{},\"trials\":{},\"clean\":{},\"cells\":[{}],\"failures\":[{}]}}",
+            self.campaign_seed,
+            self.trials,
+            self.is_clean(),
+            cells,
+            failures,
+        )
+    }
 }
 
 impl fmt::Display for CampaignReport {
@@ -380,6 +440,10 @@ fn setup<S: CheckedStructure>(
     let pool = rt
         .pool_create(POOL_NAME, POOL_BYTES, Mode::private(), sink)
         .expect("faultsim: pool_create");
+    // The harness plays the role of the application's permission
+    // protocol: one write window around the trial's life, revoked at the
+    // end, so the audit can prove every access lands inside it.
+    sink.event(TraceEvent::SetPerm { pmo: pool, perm: Perm::ReadWrite });
     let mut s = S::create(&mut rt, pool, cfg.value_bytes, sink).expect("faultsim: create");
     let mut committed = Vec::new();
     for op in 0..cfg.warmup_inserts {
@@ -417,8 +481,9 @@ pub fn measure_workload(cfg: &FaultsimConfig, workload: FaultWorkload) -> u64 {
     }
 }
 
-/// Runs one trial body (everything that may legitimately return a typed
-/// error). Panics escape to the [`catch_unwind`] in [`run_trial`].
+/// Runs one trial, auditing its trace when [`FaultsimConfig::audit`] is
+/// set: an audit error on an otherwise-passing trial is reclassified as
+/// [`Outcome::Violation`].
 fn trial<S: CheckedStructure>(
     cfg: &FaultsimConfig,
     workload: FaultWorkload,
@@ -426,8 +491,31 @@ fn trial<S: CheckedStructure>(
     after: u64,
     fault_seed: u64,
 ) -> TrialResult {
-    let mut sink = NullSink::new();
-    let (mut rt, pool, mut s, mut required) = setup::<S>(cfg, workload, &mut sink);
+    if !cfg.audit {
+        return trial_body::<S>(cfg, workload, kind, after, fault_seed, &mut NullSink::new());
+    }
+    let mut analyzer = Analyzer::new("faultsim-trial").with_pass(PermWindowPass::baseline());
+    let result = trial_body::<S>(cfg, workload, kind, after, fault_seed, &mut analyzer);
+    let audit = analyzer.finish();
+    if audit.passed() || matches!(result.outcome, Outcome::Violation | Outcome::Panicked) {
+        result
+    } else {
+        let first = audit.errors().next().expect("failed audit has an error").to_string();
+        TrialResult::new(Outcome::Violation, format!("permission audit: {first}"))
+    }
+}
+
+/// One trial body (everything that may legitimately return a typed
+/// error). Panics escape to the [`catch_unwind`] in [`run_trial`].
+fn trial_body<S: CheckedStructure>(
+    cfg: &FaultsimConfig,
+    workload: FaultWorkload,
+    kind: FaultKind,
+    after: u64,
+    fault_seed: u64,
+    sink: &mut dyn TraceSink,
+) -> TrialResult {
+    let (mut rt, pool, mut s, mut required) = setup::<S>(cfg, workload, sink);
 
     // Arm the fault only for the op phase: the sweep space is "every
     // store a post-warmup transactional insert performs".
@@ -441,7 +529,7 @@ fn trial<S: CheckedStructure>(
     let mut crashed = false;
     for op in 0..cfg.fault_inserts {
         let key = cfg.key_at(workload, cfg.warmup_inserts + op);
-        match txn_insert(&mut rt, pool, &mut s, key, &mut sink) {
+        match txn_insert(&mut rt, pool, &mut s, key, &mut *sink) {
             Ok(()) => required.push(key),
             Err(RuntimeError::PowerFailure) => {
                 in_flight.push(key);
@@ -461,12 +549,17 @@ fn trial<S: CheckedStructure>(
     }
 
     // The process dies; unflushed lines revert, torn/media damage lands.
+    // Permission state is volatile, so the crash also ends the window.
+    sink.event(TraceEvent::SetPerm { pmo: pool, perm: Perm::None });
     drop(s);
     rt.crash();
 
     // Re-open through normal recovery.
-    let pool = match rt.pool_open(POOL_NAME, AttachIntent::ReadWrite, &mut sink) {
-        Ok(id) => id,
+    let pool = match rt.pool_open(POOL_NAME, AttachIntent::ReadWrite, &mut *sink) {
+        Ok(id) => {
+            sink.event(TraceEvent::SetPerm { pmo: id, perm: Perm::ReadWrite });
+            id
+        }
         Err(RuntimeError::PoolQuarantined { reason, .. }) => {
             return TrialResult::new(Outcome::Quarantined, format!("quarantined: {reason}"));
         }
@@ -477,7 +570,7 @@ fn trial<S: CheckedStructure>(
             );
         }
     };
-    let s = match S::create(&mut rt, pool, cfg.value_bytes, &mut sink) {
+    let s = match S::create(&mut rt, pool, cfg.value_bytes, &mut *sink) {
         Ok(s) => s,
         Err(RuntimeError::MediaError { offset, .. }) => {
             return TrialResult::new(
@@ -492,7 +585,7 @@ fn trial<S: CheckedStructure>(
             );
         }
     };
-    match s.verify(&mut rt, &required, &in_flight, &mut sink) {
+    let result = match s.verify(&mut rt, &required, &in_flight, &mut *sink) {
         Ok(report) if report.is_clean() => TrialResult::new(Outcome::Recovered, report.to_string()),
         Ok(report) => TrialResult::new(Outcome::Violation, report.to_string()),
         Err(RuntimeError::MediaError { offset, .. }) => TrialResult::new(
@@ -502,7 +595,9 @@ fn trial<S: CheckedStructure>(
         Err(other) => {
             TrialResult::new(Outcome::Violation, format!("unexpected verify error: {other}"))
         }
-    }
+    };
+    sink.event(TraceEvent::SetPerm { pmo: pool, perm: Perm::None });
+    result
 }
 
 /// Runs one fully-parameterized trial, converting panics into
@@ -598,7 +693,37 @@ mod tests {
             fault_inserts: 2,
             value_bytes: 16,
             max_points_per_cell: 24,
+            audit: true,
         }
+    }
+
+    #[test]
+    fn survival_matrix_json_is_well_formed() {
+        let report = CampaignReport {
+            campaign_seed: 7,
+            trials: 2,
+            cells: vec![MatrixCell {
+                workload: FaultWorkload::Avl,
+                kind: FaultKind::TornWrite,
+                counts: CellCounts { recovered: 2, ..CellCounts::default() },
+                points: 2,
+                op_stores: 2,
+            }],
+            failures: vec![TrialFailure {
+                workload: FaultWorkload::List,
+                kind: FaultKind::MediaError,
+                after: 3,
+                fault_seed: 9,
+                outcome: Outcome::Violation,
+                detail: "broke a \"chain\"".to_string(),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"workload\":\"avl\""), "{json}");
+        assert!(json.contains("\"fault\":\"torn-write\""), "{json}");
+        assert!(json.contains("\"clean\":false"), "{json}");
+        // Quotes inside failure details are escaped.
+        assert!(json.contains("broke a \\\"chain\\\""), "{json}");
     }
 
     #[test]

@@ -1,22 +1,70 @@
 //! Shared replay drivers: run one workload under many schemes, windowing
 //! the measurement to the operation phase (the paper measures steady
 //! state, not population).
+//!
+//! Every run is statically audited by default: the trace is teed into a
+//! [`pmo_analyzer`] permission-window pass alongside the simulator, and
+//! an audit error is a harness bug (panic). Pass `--no-audit` on the
+//! command line (or call [`run_windowed_unaudited`]) to opt out.
 
+use pmo_analyzer::{Analyzer, PermWindowPass};
 use pmo_protect::SchemeKind;
 use pmo_sim::{Replay, ReplayReport};
 use pmo_simarch::SimConfig;
+use pmo_trace::TeeSink;
 use pmo_workloads::{
     MicroBench, MicroConfig, MicroWorkload, WhisperBench, WhisperConfig, WhisperWorkload, Workload,
 };
+
+/// Whether `--no-audit` was passed to the running binary.
+fn audit_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| !std::env::args().any(|a| a == "--no-audit"))
+}
 
 /// Runs `workload` under `kind`, returning the report windowed to the
 /// measured (post-setup) phase.
 ///
 /// # Panics
 ///
-/// Panics if the workload raises any protection fault: benchmark traces
-/// are permission-clean by construction, so a fault is a harness bug.
+/// Panics if the workload raises any protection fault or fails the
+/// permission-window audit: benchmark traces are permission-clean by
+/// construction, so either is a harness bug.
 pub fn run_windowed(
+    workload: &mut dyn Workload,
+    kind: SchemeKind,
+    config: &SimConfig,
+) -> ReplayReport {
+    if !audit_enabled() {
+        return run_windowed_unaudited(workload, kind, config);
+    }
+    let name = workload.name();
+    let mut replay = Replay::new(kind, config);
+    // The multi-PMO baseline policy covers every workload family: no
+    // window cap, held read grants allowed, unguarded accesses flagged.
+    let mut analyzer = Analyzer::new(&name).with_pass(PermWindowPass::baseline());
+    workload.setup(&mut TeeSink::new(&mut replay, &mut analyzer));
+    let snapshot = replay.snapshot();
+    workload.run(&mut TeeSink::new(&mut replay, &mut analyzer));
+    let audit = analyzer.finish();
+    assert!(audit.passed(), "[{kind}] {name}: permission audit failed:\n{audit}");
+    let report = replay.finish().since(&snapshot);
+    assert!(
+        !report.faulted(),
+        "[{kind}] {name}: {} protection faults, first: {:?}",
+        report.scheme_stats.faults,
+        report.faults.first()
+    );
+    report
+}
+
+/// [`run_windowed`] without the permission-window audit (what
+/// `--no-audit` selects).
+///
+/// # Panics
+///
+/// Panics if the workload raises any protection fault.
+pub fn run_windowed_unaudited(
     workload: &mut dyn Workload,
     kind: SchemeKind,
     config: &SimConfig,

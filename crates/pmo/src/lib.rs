@@ -51,7 +51,7 @@ mod txn;
 
 pub use addrspace::{granule_for, AddressSpace, GRANULES};
 pub use error::{Result, RuntimeError};
-pub use layout::{heap_base_for, log_bytes_for, HEADER_SIZE};
+pub use layout::{hdr, heap_base_for, log_bytes_for, HEADER_SIZE};
 pub use namespace::{AttachIntent, Mode, Namespace, PoolEntry, PoolHealth, Uid};
 pub use oid::Oid;
 pub use runtime::{Attachment, PmRuntime, RecoveryReport};

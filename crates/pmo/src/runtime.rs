@@ -179,7 +179,12 @@ impl PmRuntime {
         put(hdr::LOG_BASE, HEADER_SIZE);
         put(hdr::LOG_SIZE, log_bytes_for(size));
         entry.storage.flush_range(0, HEADER_SIZE);
-        self.attach_named(name, AttachIntent::ReadWrite, None, sink)
+        let id = self.attach_named(name, AttachIntent::ReadWrite, None, sink)?;
+        // Trace the header persist (clwb + fence) now that the attach
+        // event established the pool's address range: analyzer coverage
+        // must match what the fault model actually reverts.
+        self.persist_header(id, sink)?;
+        Ok(id)
     }
 
     /// `pool_open(name, mode)`: attaches an existing pool with the given
@@ -243,6 +248,7 @@ impl PmRuntime {
                 self.aspace.release(att.base, att.region);
                 self.ns.release(id, intent)?;
                 sink.event(TraceEvent::Detach { pmo: id });
+                sink.event(TraceEvent::Shootdown { pmo: id });
                 Err(e)
             }
         }
@@ -259,6 +265,9 @@ impl PmRuntime {
         self.free_lists.remove(&id);
         self.ns.release(id, att.intent)?;
         sink.event(TraceEvent::Detach { pmo: id });
+        // The detach system call completes its ranged shootdown before
+        // returning (§IV.B); record that ordering in the trace.
+        sink.event(TraceEvent::Shootdown { pmo: id });
         Ok(())
     }
 

@@ -186,6 +186,9 @@ impl TraceSink for Replay {
             // Injected-fault markers carry no timing cost; they exist so
             // fault-injection campaigns can replay the exact crash point.
             TraceEvent::Fault { .. } => {}
+            // Shootdown completion markers are free: each scheme already
+            // charges its shootdown IPIs inside the detach/evict cost model.
+            TraceEvent::Shootdown { .. } => {}
         }
     }
 }

@@ -125,6 +125,18 @@ pub enum TraceEvent {
         /// What kind of fault fired.
         kind: FaultKind,
     },
+    /// A ranged TLB/PTLB shootdown for one PMO's mappings completed
+    /// (§IV.B: detach and key eviction must invalidate stale translations
+    /// on every core before the mapping or key is reused).
+    ///
+    /// The replay cost model charges shootdowns inside the detach system
+    /// call itself; this marker exists so trace-level analyses can verify
+    /// the ordering discipline (no reuse window without an intervening
+    /// shootdown).
+    Shootdown {
+        /// PMO whose translations were invalidated.
+        pmo: PmoId,
+    },
 }
 
 impl TraceEvent {
@@ -152,7 +164,8 @@ impl TraceEvent {
             | TraceEvent::Detach { .. }
             | TraceEvent::ThreadSwitch { .. }
             | TraceEvent::Op { .. }
-            | TraceEvent::Fault { .. } => 0,
+            | TraceEvent::Fault { .. }
+            | TraceEvent::Shootdown { .. } => 0,
         }
     }
 }
@@ -174,6 +187,7 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Op { kind: OpKind::Begin } => f.write_str("op-begin"),
             TraceEvent::Op { kind: OpKind::End } => f.write_str("op-end"),
             TraceEvent::Fault { pmo, kind } => write!(f, "fault pmo={pmo} kind={kind}"),
+            TraceEvent::Shootdown { pmo } => write!(f, "shootdown pmo={pmo}"),
         }
     }
 }
@@ -205,6 +219,7 @@ mod tests {
                 .instruction_count(),
             0
         );
+        assert_eq!(TraceEvent::Shootdown { pmo: PmoId::new(3) }.instruction_count(), 0);
     }
 
     #[test]
@@ -223,6 +238,7 @@ mod tests {
             TraceEvent::Fault { pmo: PmoId::new(2), kind: FaultKind::PowerFailure },
             TraceEvent::Fault { pmo: PmoId::new(2), kind: FaultKind::TornWrite },
             TraceEvent::Fault { pmo: PmoId::new(2), kind: FaultKind::MediaError },
+            TraceEvent::Shootdown { pmo: PmoId::new(2) },
         ];
         for e in events {
             assert!(!format!("{e}").is_empty());

@@ -35,6 +35,7 @@ fn encode(ev: &TraceEvent) -> [u8; RECORD_BYTES] {
             };
             (10, 0, 0, code, pmo.raw())
         }
+        TraceEvent::Shootdown { pmo } => (11, 0, 0, 0, pmo.raw()),
     };
     let mut rec = [0u8; RECORD_BYTES];
     rec[0] = tag;
@@ -76,6 +77,7 @@ fn decode(rec: &[u8; RECORD_BYTES]) -> io::Result<TraceEvent> {
                 }
             },
         },
+        11 => TraceEvent::Shootdown { pmo: PmoId::from_raw(d) },
         other => {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -249,6 +251,7 @@ mod tests {
             TraceEvent::Fault { pmo: PmoId::new(7), kind: FaultKind::TornWrite },
             TraceEvent::Fault { pmo: PmoId::new(7), kind: FaultKind::MediaError },
             TraceEvent::Detach { pmo: PmoId::new(7) },
+            TraceEvent::Shootdown { pmo: PmoId::new(7) },
         ]
     }
 
@@ -262,11 +265,11 @@ mod tests {
         for ev in sample() {
             writer.event(ev);
         }
-        assert_eq!(writer.len(), 15);
-        assert_eq!(writer.finish().unwrap(), 15);
+        assert_eq!(writer.len(), 16);
+        assert_eq!(writer.finish().unwrap(), 16);
 
         let file = TraceFile::open(&path).unwrap();
-        assert_eq!(file.len(), 15);
+        assert_eq!(file.len(), 16);
         assert!(!file.is_empty());
         let mut replayed = RecordedTrace::new();
         file.replay(&mut replayed);

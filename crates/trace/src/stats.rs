@@ -31,6 +31,8 @@ pub struct EventCounts {
     pub ops: u64,
     /// Number of injected-fault markers.
     pub faults: u64,
+    /// Number of ranged-shootdown completion markers.
+    pub shootdowns: u64,
 }
 
 impl EventCounts {
@@ -58,6 +60,7 @@ impl EventCounts {
                 }
             }
             TraceEvent::Fault { .. } => self.faults += 1,
+            TraceEvent::Shootdown { .. } => self.shootdowns += 1,
         }
     }
 

@@ -15,6 +15,8 @@
 //!   virtualization);
 //! - [`sim`] — the trace-replay simulator driver;
 //! - [`workloads`] — WHISPER-like and multi-PMO benchmarks;
+//! - [`analyzer`] — multi-pass static analysis over traces (persist
+//!   ordering, happens-before races, permission windows);
 //! - [`experiments`] — the per-table/per-figure experiment runners.
 //!
 //! # Quickstart
@@ -35,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use pmo_analyzer as analyzer;
 pub use pmo_experiments as experiments;
 pub use pmo_protect as protect;
 pub use pmo_runtime as runtime;

@@ -205,6 +205,28 @@ proptest! {
     }
 
     #[test]
+    fn perm_lattice_laws_hold(a in 0u8..3, b in 0u8..3, c in 0u8..3) {
+        let perms = [Perm::None, Perm::ReadOnly, Perm::ReadWrite];
+        let (a, b, c) = (perms[a as usize], perms[b as usize], perms[c as usize]);
+        // meet and join are commutative, associative, and idempotent.
+        prop_assert_eq!(a.meet(b), b.meet(a));
+        prop_assert_eq!(a.join(b), b.join(a));
+        prop_assert_eq!(a.meet(b).meet(c), a.meet(b.meet(c)));
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+        prop_assert_eq!(a.meet(a), a);
+        prop_assert_eq!(a.join(a), a);
+        // Absorption ties the two operations into one lattice.
+        prop_assert_eq!(a.meet(a.join(b)), a);
+        prop_assert_eq!(a.join(a.meet(b)), a);
+        // The lattice order agrees with the derived Ord: meet is the
+        // smaller element, join the larger.
+        prop_assert_eq!(a.meet(b), a.min(b));
+        prop_assert_eq!(a.join(b), a.max(b));
+        prop_assert_eq!(a.meet(b) <= a, true);
+        prop_assert_eq!(a.join(b) >= a, true);
+    }
+
+    #[test]
     fn pkru_updates_are_independent(ops in prop::collection::vec((0u8..16, 0u8..3), 1..40)) {
         let perms = [Perm::None, Perm::ReadOnly, Perm::ReadWrite];
         let mut reg = Pkru::ALL_DENIED;
@@ -233,7 +255,7 @@ proptest! {
 // ---------------------------------------------------------------------
 
 fn arb_event() -> impl Strategy<Value = pmo_repro::trace::TraceEvent> {
-    use pmo_repro::trace::{OpKind, ThreadId, TraceEvent};
+    use pmo_repro::trace::{FaultKind, OpKind, ThreadId, TraceEvent};
     prop_oneof![
         (1u32..100_000).prop_map(|count| TraceEvent::Compute { count }),
         (any::<u64>(), 1u8..=64).prop_map(|(va, size)| TraceEvent::Load { va, size }),
@@ -251,6 +273,12 @@ fn arb_event() -> impl Strategy<Value = pmo_repro::trace::TraceEvent> {
         Just(TraceEvent::Fence),
         any::<bool>()
             .prop_map(|end| TraceEvent::Op { kind: if end { OpKind::End } else { OpKind::Begin } }),
+        (1u32.., 0u8..3).prop_map(|(pmo, k)| TraceEvent::Fault {
+            pmo: PmoId::new(pmo),
+            kind: [FaultKind::PowerFailure, FaultKind::TornWrite, FaultKind::MediaError]
+                [k as usize],
+        }),
+        (1u32..).prop_map(|pmo| TraceEvent::Shootdown { pmo: PmoId::new(pmo) }),
     ]
 }
 

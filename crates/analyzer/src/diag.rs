@@ -58,6 +58,20 @@ pub enum ViolationClass {
     WindowLeftOpen,
     /// A PMO detached while a thread still held a grant on it.
     DetachedWhileGranted,
+    /// A TLB or DTTLB entry still granted access through a protection key
+    /// after the key was reassigned to another domain (missing ranged
+    /// shootdown, the model checker's §IV.B invariant).
+    StaleKeyGrant,
+    /// The materialized PKRU register disagreed with the DTT-derived
+    /// permission set for the running thread.
+    PkruDesync,
+    /// A PTLB entry granted a permission the PT (or the revocation that
+    /// should have invalidated it) no longer allows.
+    PtlbDesync,
+    /// The two hardware designs (MPK virtualization and domain
+    /// virtualization) disagreed on an allow/deny decision the paper's
+    /// three-legality rule fixes uniquely.
+    SchemeDivergence,
 }
 
 impl ViolationClass {
@@ -76,6 +90,10 @@ impl ViolationClass {
             ViolationClass::TooManyOpenWindows => "too-many-open-windows",
             ViolationClass::WindowLeftOpen => "window-left-open",
             ViolationClass::DetachedWhileGranted => "detached-while-granted",
+            ViolationClass::StaleKeyGrant => "stale-key-grant",
+            ViolationClass::PkruDesync => "pkru-desync",
+            ViolationClass::PtlbDesync => "ptlb-desync",
+            ViolationClass::SchemeDivergence => "scheme-divergence",
         }
     }
 }

@@ -6,7 +6,7 @@
 //! Permission Table. Walked in parallel with the page table on a TLB miss
 //! (and shallower than it), so it adds no latency to that path.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pmo_trace::{PmoId, Va};
 
@@ -16,7 +16,7 @@ use crate::radix::RangeRadix;
 #[derive(Debug, Default)]
 pub struct DomainRangeTable {
     tree: RangeRadix<PmoId>,
-    regions: HashMap<PmoId, (Va, u64)>,
+    regions: BTreeMap<PmoId, (Va, u64)>,
 }
 
 impl DomainRangeTable {

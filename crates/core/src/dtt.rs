@@ -7,7 +7,7 @@
 //! table ([`RangeRadix`]); holds permissions *for all threads* (the DTTLB
 //! caches only the running thread's).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pmo_trace::{Perm, PmoId, ThreadId, Va};
 
@@ -23,12 +23,12 @@ pub struct DttEntry {
     pub key: Option<u8>,
     /// Per-thread domain permission. Threads absent from the map hold
     /// [`Perm::None`] (the paper's default: inaccessible).
-    perms: HashMap<ThreadId, Perm>,
+    perms: BTreeMap<ThreadId, Perm>,
 }
 
 impl DttEntry {
     fn new(pmo: PmoId) -> Self {
-        DttEntry { pmo, key: None, perms: HashMap::new() }
+        DttEntry { pmo, key: None, perms: BTreeMap::new() }
     }
 
     /// The permission `thread` holds for this domain.
@@ -51,7 +51,7 @@ impl DttEntry {
 #[derive(Debug, Default)]
 pub struct DomainTranslationTable {
     tree: RangeRadix<DttEntry>,
-    regions: HashMap<PmoId, (Va, u64)>,
+    regions: BTreeMap<PmoId, (Va, u64)>,
 }
 
 impl DomainTranslationTable {
@@ -113,6 +113,11 @@ impl DomainTranslationTable {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.tree.is_empty()
+    }
+
+    /// Iterates over every attached domain ID (model-checker inspection).
+    pub fn domains(&self) -> impl Iterator<Item = PmoId> + '_ {
+        self.regions.keys().copied()
     }
 }
 

@@ -129,6 +129,12 @@ impl Dttlb {
     pub fn capacity(&self) -> usize {
         self.entries.len()
     }
+
+    /// Iterates over every valid entry without touching replacement state
+    /// (model-checker inspection).
+    pub fn entries(&self) -> impl Iterator<Item = &DttlbEntry> + '_ {
+        self.entries.iter().flatten()
+    }
 }
 
 #[cfg(test)]

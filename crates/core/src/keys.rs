@@ -96,6 +96,12 @@ impl KeyAllocator {
         self.repl.touch(key);
     }
 
+    /// Iterates over every `key → owning domain` assignment
+    /// (model-checker inspection).
+    pub fn assignments(&self) -> impl Iterator<Item = (u8, PmoId)> + '_ {
+        self.owner.iter().enumerate().filter_map(|(k, o)| o.map(|d| (k as u8, d)))
+    }
+
     /// Picks a victim key for reassignment (PLRU among in-use, non-reserved
     /// keys) and hands it to `new_domain`. Returns `(key, evicted_domain)`.
     ///
@@ -105,21 +111,33 @@ impl KeyAllocator {
     /// first).
     pub fn evict_and_assign(&mut self, new_domain: PmoId) -> (u8, PmoId) {
         assert!(self.in_use() > 0, "no key to evict");
-        // Walk PLRU victims until we land on an evictable key.
-        loop {
+        // Walk PLRU victims until we land on an evictable key. The walk
+        // must be bounded: with a non-power-of-two key count the tree can
+        // park on a phantom leaf that aliases to key 0, and touching key 0
+        // does not move it, so an unbounded rotation livelocks.
+        for _ in 0..2 * self.owner.len() {
             let candidate = self.repl.victim();
             let usable = candidate != 0
                 && !self.reserved.contains(&candidate)
                 && self.owner[candidate as usize].is_some();
             if usable {
-                let victim = self.owner[candidate as usize].take().expect("checked above");
-                self.owner[candidate as usize] = Some(new_domain);
-                self.repl.touch(candidate);
-                return (candidate, victim);
+                return self.reassign(candidate, new_domain);
             }
             // Rotate the PLRU away from the unusable candidate.
             self.repl.touch(candidate);
         }
+        // PLRU never surfaced an evictable key: take the lowest in-use one.
+        let candidate = (1..self.owner.len())
+            .find(|&k| self.owner[k].is_some() && !self.reserved.contains(&(k as u8)))
+            .expect("in_use > 0 guarantees an evictable key") as u8;
+        self.reassign(candidate, new_domain)
+    }
+
+    fn reassign(&mut self, key: u8, new_domain: PmoId) -> (u8, PmoId) {
+        let victim = self.owner[key as usize].take().expect("key is in use");
+        self.owner[key as usize] = Some(new_domain);
+        self.repl.touch(key);
+        (key, victim)
     }
 }
 
@@ -184,7 +202,7 @@ mod tests {
             ka.alloc(d(i)).unwrap();
         }
         let hot = ka.key_of(d(1)).unwrap();
-        let mut victims = std::collections::HashSet::new();
+        let mut victims = std::collections::BTreeSet::new();
         for round in 0..32u32 {
             ka.touch(hot);
             let (key, victim) = ka.evict_and_assign(d(100 + round));
@@ -208,6 +226,30 @@ mod tests {
         // Eviction also avoids the reserved key.
         let (key, _) = ka.evict_and_assign(d(100));
         assert_ne!(key, 15);
+    }
+
+    #[test]
+    fn tiny_allocator_sustains_eviction_pressure() {
+        // Regression: with 3 architected keys (2 usable) the tree-PLRU
+        // parks on a phantom leaf aliasing to key 0 and an unbounded
+        // victim walk livelocks. 3 domains cycling over 2 keys must keep
+        // making progress and preserve the owner/key bijection.
+        let mut ka = KeyAllocator::new(3);
+        assert_eq!(ka.usable(), 2);
+        ka.alloc(d(1)).unwrap();
+        ka.alloc(d(2)).unwrap();
+        for round in 0..64u32 {
+            let incoming = d(1 + round % 3);
+            if ka.key_of(incoming).is_some() {
+                continue;
+            }
+            let (key, victim) = ka.evict_and_assign(incoming);
+            assert!(key == 1 || key == 2, "only usable keys are reassigned");
+            assert_ne!(victim, incoming);
+            assert_eq!(ka.owner(key), Some(incoming));
+            assert_eq!(ka.key_of(victim), None);
+            assert_eq!(ka.in_use(), 2);
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! (typed to the scheme's per-page payload), the radix page table with
 //! demand paging, and the registry of attached PMO regions.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use pmo_simarch::{vpn, MemKind, PageTable, Pte, SimConfig, TlbHierarchy, PAGE_SIZE};
 use pmo_trace::{Perm, PmoId, Va};
@@ -112,7 +112,7 @@ pub struct MmuBase<P> {
     /// The process page table.
     pub page_table: PageTable,
     regions: BTreeMap<Va, Region>,
-    by_pmo: HashMap<PmoId, Va>,
+    by_pmo: BTreeMap<PmoId, Va>,
     next_pfn: u64,
     demand_maps: u64,
 }
@@ -125,7 +125,7 @@ impl<P: Copy> MmuBase<P> {
             tlb: TlbHierarchy::new(config),
             page_table: PageTable::new(),
             regions: BTreeMap::new(),
-            by_pmo: HashMap::new(),
+            by_pmo: BTreeMap::new(),
             next_pfn: 1,
             demand_maps: 0,
         }
@@ -172,6 +172,11 @@ impl<P: Copy> MmuBase<P> {
     #[must_use]
     pub fn regions_len(&self) -> usize {
         self.regions.len()
+    }
+
+    /// Iterates over every attached region (model-checker inspection).
+    pub fn regions(&self) -> impl Iterator<Item = &Region> + '_ {
+        self.regions.values()
     }
 
     /// Walks the page table, demand-mapping on first touch.

@@ -4,15 +4,15 @@
 //! permission for the thread" (§IV.E). The PTLB caches it per core; dirty
 //! PTLB evictions and context switches write back here.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pmo_trace::{Perm, PmoId, ThreadId};
 
 /// The process-wide Permission Table.
 #[derive(Debug, Default)]
 pub struct PermissionTable {
-    perms: HashMap<(PmoId, ThreadId), Perm>,
-    domains: HashMap<PmoId, u32>, // live-domain registry (attach refcount)
+    perms: BTreeMap<(PmoId, ThreadId), Perm>,
+    domains: BTreeMap<PmoId, u32>, // live-domain registry (attach refcount)
 }
 
 impl PermissionTable {
@@ -63,6 +63,12 @@ impl PermissionTable {
     #[must_use]
     pub fn domains(&self) -> usize {
         self.domains.len()
+    }
+
+    /// Iterates over every stored `(domain, thread) → perm` entry
+    /// (model-checker inspection; absent pairs hold [`Perm::None`]).
+    pub fn entries(&self) -> impl Iterator<Item = ((PmoId, ThreadId), Perm)> + '_ {
+        self.perms.iter().map(|(&k, &v)| (k, v))
     }
 }
 

@@ -99,6 +99,12 @@ impl Ptlb {
     pub fn capacity(&self) -> usize {
         self.entries.len()
     }
+
+    /// Iterates over every valid entry without touching replacement state
+    /// (model-checker inspection).
+    pub fn entries(&self) -> impl Iterator<Item = &PtlbEntry> + '_ {
+        self.entries.iter().flatten()
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! (4KB → depth 4, 2MB → depth 3, 1GB → depth 2, 512GB → depth 1), so a
 //! walk resolves any address in at most four steps.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pmo_trace::Va;
 
@@ -39,12 +39,12 @@ enum Slot<T> {
 }
 
 struct Node<T> {
-    children: HashMap<u16, Slot<T>>,
+    children: BTreeMap<u16, Slot<T>>,
 }
 
 impl<T> Node<T> {
     fn new() -> Self {
-        Node { children: HashMap::new() }
+        Node { children: BTreeMap::new() }
     }
 }
 

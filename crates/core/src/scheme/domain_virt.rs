@@ -16,7 +16,7 @@ use crate::fault::ProtectionFault;
 use crate::mmu::{granule_covering, DomPayload, MmuBase, Region};
 use crate::pt::PermissionTable;
 use crate::ptlb::{Ptlb, PtlbEntry};
-use crate::scheme::{AccessResult, ProtectionScheme, SchemeKind, SchemeStats};
+use crate::scheme::{AccessResult, ProtectionScheme, ProtocolBug, SchemeKind, SchemeStats};
 
 /// Hardware domain virtualization.
 #[derive(Debug)]
@@ -25,6 +25,7 @@ pub struct DomainVirt {
     drt: DomainRangeTable,
     pt: PermissionTable,
     ptlb: Ptlb,
+    bug: Option<ProtocolBug>,
     cfg: SimConfig,
     current: ThreadId,
     stats: SchemeStats,
@@ -35,16 +36,48 @@ impl DomainVirt {
     /// Creates the scheme.
     #[must_use]
     pub fn new(config: &SimConfig) -> Self {
+        Self::with_bug(config, None)
+    }
+
+    /// Creates the scheme with an optional planted [`ProtocolBug`]
+    /// (model-checker self-validation only).
+    #[must_use]
+    pub fn with_bug(config: &SimConfig, bug: Option<ProtocolBug>) -> Self {
         DomainVirt {
             mmu: MmuBase::new(config),
             drt: DomainRangeTable::new(),
             pt: PermissionTable::new(),
             ptlb: Ptlb::new(config.ptlb_entries),
+            bug,
             cfg: config.clone(),
             current: ThreadId::MAIN,
             stats: SchemeStats::default(),
             breakdown: CostBreakdown::default(),
         }
+    }
+
+    /// The Permission Table (model-checker inspection).
+    #[must_use]
+    pub fn pt(&self) -> &PermissionTable {
+        &self.pt
+    }
+
+    /// The per-core PTLB (model-checker inspection).
+    #[must_use]
+    pub fn ptlb(&self) -> &Ptlb {
+        &self.ptlb
+    }
+
+    /// The DRT (model-checker inspection).
+    #[must_use]
+    pub fn drt(&self) -> &DomainRangeTable {
+        &self.drt
+    }
+
+    /// The MMU (TLB hierarchy + regions; model-checker inspection).
+    #[must_use]
+    pub fn mmu(&self) -> &MmuBase<DomPayload> {
+        &self.mmu
     }
 
     /// The PTLB/PT permission check for a domain access (Figure 5, steps
@@ -95,7 +128,9 @@ impl ProtectionScheme for DomainVirt {
         if let Some((_, removed)) = self.mmu.detach_region(pmo) {
             self.stats.tlb_entries_invalidated += removed;
         }
-        self.ptlb.invalidate(pmo);
+        if self.bug != Some(ProtocolBug::SkipPtlbInvalidateOnDetach) {
+            self.ptlb.invalidate(pmo);
+        }
         self.pt.remove_domain(pmo);
         self.drt.detach(pmo);
         let cycles = self.cfg.attach_kernel_cycles + self.cfg.syscall_cycles;
@@ -175,12 +210,15 @@ impl ProtectionScheme for DomainVirt {
     fn context_switch(&mut self, to: ThreadId) -> u64 {
         // Flush thread-specific PTLB state (dirty entries write back to the
         // PT); the TLB's domain IDs remain valid and are NOT flushed.
-        let dirty = self.ptlb.flush();
-        let cycles = dirty.len() as u64 * self.cfg.ptlb_entry_op_cycles;
-        for entry in dirty {
-            self.pt.set(entry.pmo, self.current, entry.perm);
+        let mut cycles = 0;
+        if self.bug != Some(ProtocolBug::SkipPtlbFlushOnSwitch) {
+            let dirty = self.ptlb.flush();
+            cycles = dirty.len() as u64 * self.cfg.ptlb_entry_op_cycles;
+            for entry in dirty {
+                self.pt.set(entry.pmo, self.current, entry.perm);
+            }
+            self.breakdown.entry_changes += cycles;
         }
-        self.breakdown.entry_changes += cycles;
         self.current = to;
         self.stats.context_switches += 1;
         cycles

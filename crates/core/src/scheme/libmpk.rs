@@ -11,7 +11,7 @@
 //! "17.4x slowdown per permission update" overhead the hardware designs
 //! remove.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pmo_simarch::{vpn, MemKind, SimConfig, TlbStats};
 use pmo_trace::{AccessKind, Perm, PmoId, ThreadId, Va};
@@ -34,7 +34,7 @@ pub struct LibMpk {
     /// The per-thread permission each thread *wants* for each domain
     /// (libmpk's virtual PKRU; materialized into the real PKRU for mapped
     /// domains).
-    desired: HashMap<(ThreadId, PmoId), Perm>,
+    desired: BTreeMap<(ThreadId, PmoId), Perm>,
     cfg: SimConfig,
     current: ThreadId,
     stats: SchemeStats,
@@ -53,7 +53,7 @@ impl LibMpk {
         LibMpk {
             mmu: MmuBase::new(config),
             keys,
-            desired: HashMap::new(),
+            desired: BTreeMap::new(),
             cfg: config.clone(),
             current: ThreadId::MAIN,
             stats: SchemeStats::default(),

@@ -6,7 +6,7 @@
 //! domain semantics functionally, so every scheme can be checked for
 //! identical allow/deny behaviour against it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pmo_simarch::{vpn, MemKind, SimConfig, TlbStats};
 use pmo_trace::{AccessKind, Perm, PmoId, ThreadId, Va};
@@ -20,7 +20,7 @@ use crate::scheme::{AccessResult, ProtectionScheme, SchemeKind, SchemeStats};
 #[derive(Debug)]
 pub struct Lowerbound {
     mmu: MmuBase<PlainPayload>,
-    perms: HashMap<(ThreadId, PmoId), Perm>,
+    perms: BTreeMap<(ThreadId, PmoId), Perm>,
     wrpkru_cycles: u64,
     attach_cycles: u64,
     current: ThreadId,
@@ -34,7 +34,7 @@ impl Lowerbound {
     pub fn new(config: &SimConfig) -> Self {
         Lowerbound {
             mmu: MmuBase::new(config),
-            perms: HashMap::new(),
+            perms: BTreeMap::new(),
             wrpkru_cycles: config.wrpkru_cycles,
             attach_cycles: config.attach_kernel_cycles + config.syscall_cycles,
             current: ThreadId::MAIN,

@@ -30,7 +30,7 @@ pub use unprotected::Unprotected;
 use std::fmt;
 
 use pmo_simarch::{MemKind, SimConfig, TlbStats};
-use pmo_trace::{AccessKind, Perm, PmoId, ThreadId, Va};
+use pmo_trace::{AccessKind, Perm, PmoId, ThreadId, TraceEvent, Va};
 
 use crate::breakdown::CostBreakdown;
 use crate::fault::ProtectionFault;
@@ -121,6 +121,63 @@ pub trait ProtectionScheme {
 
     /// TLB statistics so far.
     fn tlb_stats(&self) -> TlbStats;
+
+    /// Drains protocol-level trace events the scheme emitted internally
+    /// since the last drain (today: [`TraceEvent::Shootdown`] on the
+    /// key-eviction path of MPK virtualization, so the hb-race pass and
+    /// the model checker see the same shootdown signal as `pool_close`).
+    /// Schemes with no internal events return nothing (the default).
+    fn drain_events(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+}
+
+/// A protocol bug planted into a scheme at construction time, for
+/// model-checker self-validation (the state-machine analogue of
+/// `pmo-analyzer`'s trace-level `SeededBug` mutations): a checker that
+/// cannot catch a planted coherence bug cannot be trusted to prove its
+/// absence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolBug {
+    /// MPK-virt: skip the ranged TLB shootdown when a key is reassigned
+    /// to another domain (the victim's stale key keeps granting).
+    SkipEvictionShootdown,
+    /// MPK-virt: leave the PKRU register stale after a SETPERM on a
+    /// domain that currently holds a key.
+    SkipPkruUpdateOnSetPerm,
+    /// Domain-virt: skip the PTLB invalidation on detach (a re-attached
+    /// domain inherits the stale cached permission).
+    SkipPtlbInvalidateOnDetach,
+    /// Domain-virt: skip the PTLB flush on a context switch (the incoming
+    /// thread inherits the outgoing thread's cached permissions).
+    SkipPtlbFlushOnSwitch,
+}
+
+impl ProtocolBug {
+    /// Every plantable bug class.
+    pub const ALL: [ProtocolBug; 4] = [
+        ProtocolBug::SkipEvictionShootdown,
+        ProtocolBug::SkipPkruUpdateOnSetPerm,
+        ProtocolBug::SkipPtlbInvalidateOnDetach,
+        ProtocolBug::SkipPtlbFlushOnSwitch,
+    ];
+
+    /// Short label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolBug::SkipEvictionShootdown => "skip-eviction-shootdown",
+            ProtocolBug::SkipPkruUpdateOnSetPerm => "skip-pkru-update-on-setperm",
+            ProtocolBug::SkipPtlbInvalidateOnDetach => "skip-ptlb-invalidate-on-detach",
+            ProtocolBug::SkipPtlbFlushOnSwitch => "skip-ptlb-flush-on-switch",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolBug {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// Identifies a scheme; use [`SchemeKind::build`] to construct one.

@@ -5,7 +5,7 @@
 //! domain falls back to *domainless* — the security weakening that
 //! motivates the paper (§IV.B).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pmo_simarch::{vpn, MemKind, SimConfig, TlbStats};
 use pmo_trace::{AccessKind, Perm, PmoId, ThreadId, Va};
@@ -23,7 +23,7 @@ pub struct DefaultMpk {
     mmu: MmuBase<PkPayload>,
     keys: KeyAllocator,
     /// Per-thread PKRU registers (default: all keys denied).
-    pkru: HashMap<ThreadId, Pkru>,
+    pkru: BTreeMap<ThreadId, Pkru>,
     cfg: SimConfig,
     current: ThreadId,
     stats: SchemeStats,
@@ -37,7 +37,7 @@ impl DefaultMpk {
         DefaultMpk {
             mmu: MmuBase::new(config),
             keys: KeyAllocator::new(config.pkeys),
-            pkru: HashMap::new(),
+            pkru: BTreeMap::new(),
             cfg: config.clone(),
             current: ThreadId::MAIN,
             stats: SchemeStats::default(),

@@ -9,7 +9,7 @@
 //! overhead (Table VII).
 
 use pmo_simarch::{vpn, MemKind, SimConfig, TlbStats};
-use pmo_trace::{AccessKind, Perm, PmoId, ThreadId, Va};
+use pmo_trace::{AccessKind, Perm, PmoId, ThreadId, TraceEvent, Va};
 
 use crate::breakdown::CostBreakdown;
 use crate::dtt::DomainTranslationTable;
@@ -17,7 +17,8 @@ use crate::dttlb::{Dttlb, DttlbEntry};
 use crate::fault::ProtectionFault;
 use crate::keys::KeyAllocator;
 use crate::mmu::{granule_covering, MmuBase, PkPayload, Region};
-use crate::scheme::{AccessResult, ProtectionScheme, SchemeKind, SchemeStats};
+use crate::pkru::{Pkru, NUM_KEYS};
+use crate::scheme::{AccessResult, ProtectionScheme, ProtocolBug, SchemeKind, SchemeStats};
 
 /// Hardware MPK virtualization.
 #[derive(Debug)]
@@ -26,6 +27,14 @@ pub struct MpkVirt {
     dtt: DomainTranslationTable,
     dttlb: Dttlb,
     keys: KeyAllocator,
+    /// The materialized per-core PKRU register the access check reads.
+    /// Kept coherent with the DTT by SETPERM, key assignment/eviction,
+    /// detach, and the context-switch rebuild — the coherence obligation
+    /// the model checker's `pkru-desync` invariant verifies.
+    pkru: Pkru,
+    /// Protocol events (eviction shootdowns) awaiting `drain_events`.
+    pending: Vec<TraceEvent>,
+    bug: Option<ProtocolBug>,
     cfg: SimConfig,
     current: ThreadId,
     stats: SchemeStats,
@@ -34,13 +43,34 @@ pub struct MpkVirt {
 
 impl MpkVirt {
     /// Creates the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config asks for more keys than the 32-bit PKRU
+    /// architecturally encodes.
     #[must_use]
     pub fn new(config: &SimConfig) -> Self {
+        Self::with_bug(config, None)
+    }
+
+    /// Creates the scheme with an optional planted [`ProtocolBug`]
+    /// (model-checker self-validation only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config asks for more keys than the 32-bit PKRU
+    /// architecturally encodes.
+    #[must_use]
+    pub fn with_bug(config: &SimConfig, bug: Option<ProtocolBug>) -> Self {
+        assert!(config.pkeys as usize <= NUM_KEYS, "PKRU encodes at most {NUM_KEYS} keys");
         MpkVirt {
             mmu: MmuBase::new(config),
             dtt: DomainTranslationTable::new(),
             dttlb: Dttlb::new(config.dttlb_entries),
             keys: KeyAllocator::new(config.pkeys),
+            pkru: Pkru::ALL_DENIED,
+            pending: Vec::new(),
+            bug,
             cfg: config.clone(),
             current: ThreadId::MAIN,
             stats: SchemeStats::default(),
@@ -48,13 +78,45 @@ impl MpkVirt {
         }
     }
 
-    /// The domain permission the running thread holds for protection key
-    /// `key` — the PKRU check, derived from the authoritative DTT state.
-    fn pkru_perm(&self, key: u8) -> Perm {
-        match self.keys.owner(key) {
-            Some(pmo) => self.dtt.entry(pmo).map_or(Perm::None, |e| e.perm(self.current)),
-            None => Perm::None,
+    /// Reconstructs the PKRU for the current thread from the authoritative
+    /// key-assignment and DTT state (the context-switch WRPKRU restore).
+    fn rebuild_pkru(&self) -> Pkru {
+        let mut pkru = Pkru::ALL_DENIED;
+        for (key, pmo) in self.keys.assignments() {
+            let perm = self.dtt.entry(pmo).map_or(Perm::None, |e| e.perm(self.current));
+            pkru = pkru.with_perm(key, perm);
         }
+        pkru
+    }
+
+    /// The materialized PKRU register (model-checker inspection).
+    #[must_use]
+    pub fn pkru(&self) -> Pkru {
+        self.pkru
+    }
+
+    /// The key allocator (model-checker inspection).
+    #[must_use]
+    pub fn key_allocator(&self) -> &KeyAllocator {
+        &self.keys
+    }
+
+    /// The DTT (model-checker inspection).
+    #[must_use]
+    pub fn dtt(&self) -> &DomainTranslationTable {
+        &self.dtt
+    }
+
+    /// The per-core DTTLB (model-checker inspection).
+    #[must_use]
+    pub fn dttlb(&self) -> &Dttlb {
+        &self.dttlb
+    }
+
+    /// The MMU (TLB hierarchy + regions; model-checker inspection).
+    #[must_use]
+    pub fn mmu(&self) -> &MmuBase<PkPayload> {
+        &self.mmu
     }
 
     /// Resolves the protection key for a PMO address on a TLB miss:
@@ -116,12 +178,17 @@ impl MpkVirt {
                 // paper counts these "subsequent TLB misses resulting from
                 // TLB invalidations" as invalidation overhead, and so do
                 // we — charged here, at the shootdown.
-                if let Some(victim_region) = self.mmu.region_of(victim) {
-                    let removed = self.mmu.shootdown(&victim_region);
-                    self.stats.tlb_entries_invalidated += removed;
-                    let refills = removed * self.cfg.tlb_miss_penalty;
-                    *cycles += refills;
-                    self.breakdown.tlb_invalidation += refills;
+                if self.bug == Some(ProtocolBug::SkipEvictionShootdown) {
+                    // Planted bug: the victim's TLB entries keep the key.
+                } else {
+                    if let Some(victim_region) = self.mmu.region_of(victim) {
+                        let removed = self.mmu.shootdown(&victim_region);
+                        self.stats.tlb_entries_invalidated += removed;
+                        let refills = removed * self.cfg.tlb_miss_penalty;
+                        *cycles += refills;
+                        self.breakdown.tlb_invalidation += refills;
+                    }
+                    self.pending.push(TraceEvent::Shootdown { pmo: victim });
                 }
                 let shoot = self.cfg.tlb_invalidation_cycles * u64::from(self.cfg.threads);
                 *cycles += shoot;
@@ -133,6 +200,8 @@ impl MpkVirt {
         // PKRU reflects the new domain behind the key (Figure 4, step 11).
         *cycles += self.cfg.pkru_update_cycles;
         self.breakdown.entry_changes += self.cfg.pkru_update_cycles;
+        let perm = self.dtt.entry(pmo).map_or(Perm::None, |e| e.perm(self.current));
+        self.pkru = self.pkru.with_perm(key, perm);
         let entry = self.dttlb.lookup(va).expect("present");
         entry.key = Some(key);
         entry.dirty = true;
@@ -167,7 +236,9 @@ impl ProtectionScheme for MpkVirt {
         }
         self.dttlb.invalidate_pmo(pmo);
         self.dtt.detach(pmo);
-        self.keys.free(pmo);
+        if let Some(key) = self.keys.free(pmo) {
+            self.pkru = self.pkru.with_perm(key, Perm::None);
+        }
         let cycles = self.cfg.attach_kernel_cycles + self.cfg.syscall_cycles;
         self.breakdown.software += cycles;
         cycles
@@ -189,6 +260,9 @@ impl ProtectionScheme for MpkVirt {
         }
         if let Some(key) = self.keys.key_of(pmo) {
             self.keys.touch(key);
+            if self.bug != Some(ProtocolBug::SkipPkruUpdateOnSetPerm) {
+                self.pkru = self.pkru.with_perm(key, perm);
+            }
             cycles += self.cfg.pkru_update_cycles;
             self.breakdown.entry_changes += self.cfg.pkru_update_cycles;
         }
@@ -216,8 +290,10 @@ impl ProtectionScheme for MpkVirt {
                 }
             }
         };
+        // The hardware check reads the materialized PKRU register, not the
+        // DTT: a stale register is a real (catchable) protection bug.
         let domain_perm =
-            if payload.pkey == 0 { Perm::ReadWrite } else { self.pkru_perm(payload.pkey) };
+            if payload.pkey == 0 { Perm::ReadWrite } else { self.pkru.perm(payload.pkey) };
         let effective = domain_perm.meet(payload.page_perm);
         let fault = if effective.allows(kind) {
             None
@@ -243,6 +319,7 @@ impl ProtectionScheme for MpkVirt {
         cycles += self.cfg.wrpkru_cycles; // PKRU restore for the new thread
         self.breakdown.software += self.cfg.wrpkru_cycles;
         self.current = to;
+        self.pkru = self.rebuild_pkru();
         self.stats.context_switches += 1;
         cycles
     }
@@ -261,6 +338,10 @@ impl ProtectionScheme for MpkVirt {
 
     fn tlb_stats(&self) -> TlbStats {
         *self.mmu.tlb.stats()
+    }
+
+    fn drain_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.pending)
     }
 }
 

@@ -11,10 +11,29 @@ use pmo_analyzer::{Analyzer, PermWindowPass};
 use pmo_protect::SchemeKind;
 use pmo_sim::{Replay, ReplayReport};
 use pmo_simarch::SimConfig;
-use pmo_trace::TeeSink;
+use pmo_trace::{TraceEvent, TraceSink};
 use pmo_workloads::{
     MicroBench, MicroConfig, MicroWorkload, WhisperBench, WhisperConfig, WhisperWorkload, Workload,
 };
+
+/// Tees each workload event into the replay, then forwards the event plus
+/// any protocol events the scheme emitted while handling it (key-eviction
+/// shootdowns) to the analyzer — so the audit sees the same shootdown
+/// signal on the eviction path as on `pool_close`/attach-rollback.
+struct AuditedSink<'a> {
+    replay: &'a mut Replay,
+    analyzer: &'a mut Analyzer,
+}
+
+impl TraceSink for AuditedSink<'_> {
+    fn event(&mut self, ev: TraceEvent) {
+        self.replay.event(ev);
+        self.analyzer.event(ev);
+        for protocol_ev in self.replay.drain_protocol_events() {
+            self.analyzer.event(protocol_ev);
+        }
+    }
+}
 
 /// Whether `--no-audit` was passed to the running binary.
 fn audit_enabled() -> bool {
@@ -43,9 +62,9 @@ pub fn run_windowed(
     // The multi-PMO baseline policy covers every workload family: no
     // window cap, held read grants allowed, unguarded accesses flagged.
     let mut analyzer = Analyzer::new(&name).with_pass(PermWindowPass::baseline());
-    workload.setup(&mut TeeSink::new(&mut replay, &mut analyzer));
+    workload.setup(&mut AuditedSink { replay: &mut replay, analyzer: &mut analyzer });
     let snapshot = replay.snapshot();
-    workload.run(&mut TeeSink::new(&mut replay, &mut analyzer));
+    workload.run(&mut AuditedSink { replay: &mut replay, analyzer: &mut analyzer });
     let audit = analyzer.finish();
     assert!(audit.passed(), "[{kind}] {name}: permission audit failed:\n{audit}");
     let report = replay.finish().since(&snapshot);

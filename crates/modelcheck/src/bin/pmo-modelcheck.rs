@@ -1,0 +1,190 @@
+//! DPOR model-checking front-end for the PMO coherence protocols.
+//!
+//! ```text
+//! pmo-modelcheck                              # quick campaign: every scenario
+//! pmo-modelcheck --list-scenarios
+//! pmo-modelcheck --scenario key-evict-storm --depth 16
+//! pmo-modelcheck --json modelcheck-report.json
+//! pmo-modelcheck --seeded                     # seeded-bug self-validation
+//! pmo-modelcheck --replay key-evict-storm@0.1.0.0.1.1.0
+//! pmo-modelcheck --replay setperm-vs-access@0.1.0 --bug skip-pkru-update-on-setperm
+//! ```
+//!
+//! Exits non-zero when any explored schedule violates an invariant
+//! (campaign mode), when a planted bug escapes detection (`--seeded`), or
+//! when a replayed schedule reports a violation.
+
+use std::io;
+use std::path::Path;
+use std::process::ExitCode;
+
+use pmo_modelcheck::{
+    builtin, explore, find, parse_schedule, replay_schedule, scenarios::seeded_checks, Campaign,
+    ExploreLimits,
+};
+use pmo_protect::ProtocolBug;
+
+fn arg_values(flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            if let Some(v) = args.next() {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+fn parse_bug(label: &str) -> Option<ProtocolBug> {
+    ProtocolBug::ALL.iter().copied().find(|b| b.label() == label)
+}
+
+fn limits_from_args() -> Result<ExploreLimits, String> {
+    let mut limits = ExploreLimits::default();
+    if let Some(depth) = arg_values("--depth").last() {
+        limits.max_depth = depth.parse().map_err(|_| format!("bad --depth {depth:?}"))?;
+    }
+    if let Some(cap) = arg_values("--max-schedules").last() {
+        limits.max_schedules = cap.parse().map_err(|_| format!("bad --max-schedules {cap:?}"))?;
+    }
+    Ok(limits)
+}
+
+fn list_scenarios() {
+    println!("{:<26} {:>8} {:>8} {:>6}  about", "scenario", "threads", "ops", "keys");
+    for s in builtin() {
+        println!(
+            "{:<26} {:>8} {:>8} {:>6}  {}",
+            s.name,
+            s.program.threads.len(),
+            s.program.total_ops(),
+            s.config.pkeys - 1,
+            s.about
+        );
+    }
+    println!("\nreplay: pmo-modelcheck --replay <scenario>@<schedule> [--bug <label>]");
+    println!("bugs:   {}", bug_labels().join(", "));
+}
+
+fn bug_labels() -> Vec<&'static str> {
+    ProtocolBug::ALL.iter().map(|b| b.label()).collect()
+}
+
+fn run_replay(spec: &str, bug: Option<ProtocolBug>) -> Result<bool, String> {
+    let (name, sched) =
+        spec.split_once('@').ok_or_else(|| format!("bad --replay {spec:?} (want name@0.1.0)"))?;
+    let scenario = find(name).ok_or_else(|| format!("unknown scenario {name:?}"))?;
+    let schedule = parse_schedule(sched)?;
+    let outcome = replay_schedule(&scenario, bug, &schedule)?;
+    println!("{}", outcome.report);
+    Ok(outcome.violations.is_empty())
+}
+
+fn run_seeded(limits: &ExploreLimits) -> bool {
+    let mut all_caught = true;
+    for check in seeded_checks() {
+        let scenario = find(check.scenario).expect("seeded checks reference builtin scenarios");
+        let out = explore(&scenario, Some(check.bug), limits);
+        let witness = out.violations.iter().find(|v| v.class == check.expect);
+        match witness {
+            Some(v) => {
+                // The counterexample must also replay deterministically.
+                let replayed = replay_schedule(&scenario, Some(check.bug), &v.schedule)
+                    .map(|r| r.violations.iter().any(|rv| rv.class == check.expect))
+                    .unwrap_or(false);
+                if replayed {
+                    println!(
+                        "PASS {:<32} -> {} in {} schedules (repro {}@{})",
+                        check.bug.label(),
+                        check.expect,
+                        out.schedules,
+                        check.scenario,
+                        v.schedule_string()
+                    );
+                } else {
+                    all_caught = false;
+                    println!(
+                        "FAIL {:<32} -> caught but replay did not reproduce it",
+                        check.bug.label()
+                    );
+                }
+            }
+            None => {
+                all_caught = false;
+                println!(
+                    "FAIL {:<32} -> expected {} in {}, explored {} schedules, found {:?}",
+                    check.bug.label(),
+                    check.expect,
+                    check.scenario,
+                    out.schedules,
+                    out.violations.iter().map(|v| v.class).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+    all_caught
+}
+
+fn run_campaign(limits: &ExploreLimits, selected: &[String]) -> Result<Campaign, String> {
+    let mut campaign = Campaign::default();
+    let scenarios = if selected.is_empty() {
+        builtin()
+    } else {
+        selected
+            .iter()
+            .map(|name| find(name).ok_or_else(|| format!("unknown scenario {name:?}")))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    for scenario in &scenarios {
+        campaign.runs.push(explore(scenario, None, limits));
+    }
+    Ok(campaign)
+}
+
+fn real_main() -> Result<bool, String> {
+    if has_flag("--list-scenarios") {
+        list_scenarios();
+        return Ok(true);
+    }
+    let limits = limits_from_args()?;
+    let bug = match arg_values("--bug").last() {
+        Some(label) => Some(parse_bug(label).ok_or_else(|| {
+            format!("unknown --bug {label:?} (known: {})", bug_labels().join(", "))
+        })?),
+        None => None,
+    };
+    if let Some(spec) = arg_values("--replay").last() {
+        return run_replay(spec, bug);
+    }
+    if has_flag("--seeded") {
+        return Ok(run_seeded(&limits));
+    }
+    if bug.is_some() {
+        return Err("--bug requires --replay (use --seeded for validation campaigns)".into());
+    }
+    let campaign = run_campaign(&limits, &arg_values("--scenario"))?;
+    print!("{campaign}");
+    if let Some(path) = arg_values("--json").last() {
+        std::fs::write(Path::new(&path), campaign.to_json())
+            .map_err(|e: io::Error| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(campaign.passed())
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("pmo-modelcheck: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! `pmo-modelcheck`: stateless DPOR model checking of the PMO coherence
+//! protocols.
+//!
+//! The paper's isolation argument (§IV.B, §VI.D) depends on several
+//! *protocol* invariants that individual tests only sample: a DTTLB or
+//! TLB entry must never grant through a protection key after the key was
+//! evicted and shootdown completed; the PT and PTLB must never disagree
+//! about a revoked permission; a thread's PKRU must always reflect
+//! exactly its attached set; and the MPK-virtualization and
+//! domain-virtualization designs must render identical allow/deny
+//! verdicts on every access. This crate checks those invariants over
+//! *every* thread interleaving (up to a bound) of small adversarial
+//! programs:
+//!
+//! * [`program`] — the op/program/scenario model and the DPOR dependency
+//!   relation;
+//! * [`world`] — one explored state: both protection schemes run in
+//!   lockstep against a permission oracle, with the five invariants
+//!   re-checked after every step;
+//! * [`explore`] — Flanagan–Godefroid dynamic partial-order reduction
+//!   with sleep sets over stateless re-execution;
+//! * [`scenarios`] — the built-in scenario suite and the seeded-bug
+//!   self-validation matrix;
+//! * [`replay`] — deterministic counterexample replay through
+//!   [`pmo_analyzer`] into positioned diagnostics.
+//!
+//! Violations carry the exact schedule that triggers them
+//! (`--replay scenario@0.1.0.2`), so every counterexample is a
+//! deterministic repro, not a flaky observation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod program;
+pub mod replay;
+pub mod report;
+pub mod scenarios;
+pub mod world;
+
+pub use explore::{explore, ExploreLimits};
+pub use program::{dependent, model_config, Op, Program, Scenario, GB1, POOL_BYTES};
+pub use replay::{replay_schedule, ModelCheckPass, ReplayOutcome};
+pub use report::{
+    naive_schedules, parse_schedule, schedule_string, Campaign, ExploreOutcome, Violation,
+};
+pub use scenarios::{builtin, find, seeded_checks, SeededCheck};
+pub use world::{Finding, World};

@@ -1,0 +1,196 @@
+//! Multi-threaded PMO programs: the inputs the model checker explores.
+//!
+//! A [`Program`] is a fixed per-thread sequence of protection operations
+//! (attach/detach/SETPERM/load/store). The explorer enumerates thread
+//! interleavings of these sequences; a *schedule* is the sequence of
+//! thread indices chosen at each step.
+
+use std::fmt;
+
+use pmo_simarch::{SetAssocGeometry, SimConfig};
+use pmo_trace::{AccessKind, Perm, PmoId, Va};
+
+/// 1 GiB: the domain placement stride (domain `i` lives at `i * GB1`).
+pub const GB1: u64 = 1 << 30;
+
+/// Bytes of pool actually backed per model domain (4 pages: small enough
+/// to keep page walks cheap, large enough for distinct-page accesses).
+pub const POOL_BYTES: u64 = 16 << 10;
+
+/// One protection operation a thread executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Attach `pmo` at its canonical base (`pmo * GB1`, [`POOL_BYTES`]).
+    Attach {
+        /// Domain to attach.
+        pmo: PmoId,
+    },
+    /// Detach `pmo`.
+    Detach {
+        /// Domain to detach.
+        pmo: PmoId,
+    },
+    /// SETPERM: set the executing thread's permission for `pmo`.
+    SetPerm {
+        /// Target domain.
+        pmo: PmoId,
+        /// New absolute permission.
+        perm: Perm,
+    },
+    /// A load/store at `pmo`'s base plus `offset` (< [`POOL_BYTES`]).
+    Access {
+        /// Target domain.
+        pmo: PmoId,
+        /// Byte offset inside the pool.
+        offset: u64,
+        /// Read or write.
+        kind: AccessKind,
+    },
+}
+
+impl Op {
+    /// The domain this operation targets.
+    #[must_use]
+    pub fn pmo(self) -> PmoId {
+        match self {
+            Op::Attach { pmo }
+            | Op::Detach { pmo }
+            | Op::SetPerm { pmo, .. }
+            | Op::Access { pmo, .. } => pmo,
+        }
+    }
+
+    /// Whether the operation can allocate, evict, or free a protection
+    /// key under MPK virtualization. Under key pressure (more domains
+    /// than usable keys) two such operations never commute — whoever runs
+    /// first may steal the other's key — so the DPOR dependency relation
+    /// must couple them even across distinct domains.
+    #[must_use]
+    pub fn key_coupled(self) -> bool {
+        matches!(self, Op::Access { .. } | Op::Attach { .. } | Op::Detach { .. })
+    }
+
+    /// The canonical base VA of a model domain.
+    #[must_use]
+    pub fn base_of(pmo: PmoId) -> Va {
+        u64::from(pmo.raw()) * GB1
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Attach { pmo } => write!(f, "attach(P{})", pmo.raw()),
+            Op::Detach { pmo } => write!(f, "detach(P{})", pmo.raw()),
+            Op::SetPerm { pmo, perm } => write!(f, "setperm(P{}, {perm:?})", pmo.raw()),
+            Op::Access { pmo, offset, kind } => {
+                let op = match kind {
+                    AccessKind::Read => "load",
+                    AccessKind::Write => "store",
+                };
+                write!(f, "{op}(P{}+{offset:#x})", pmo.raw())
+            }
+        }
+    }
+}
+
+/// Whether two operations of *different* threads are dependent (may not
+/// commute). Over-approximates: same-domain operations always conflict,
+/// and under key pressure any two key-consuming operations conflict
+/// through the shared key allocator.
+#[must_use]
+pub fn dependent(a: Op, b: Op, key_pressure: bool) -> bool {
+    a.pmo() == b.pmo() || (key_pressure && a.key_coupled() && b.key_coupled())
+}
+
+/// A fixed multi-threaded program: `threads[i]` is the op sequence of
+/// thread index `i` (thread 0 is [`pmo_trace::ThreadId::MAIN`]).
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Per-thread operation sequences.
+    pub threads: Vec<Vec<Op>>,
+}
+
+impl Program {
+    /// Total operations across all threads (the maximal schedule length).
+    #[must_use]
+    pub fn total_ops(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// Per-thread op counts.
+    #[must_use]
+    pub fn op_counts(&self) -> Vec<usize> {
+        self.threads.iter().map(Vec::len).collect()
+    }
+}
+
+/// A named, self-contained model-checking input: a program, the domains
+/// attached before exploration starts, and the (shrunken) hardware
+/// configuration that makes the interesting transitions reachable within
+/// the depth bound.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Stable scenario name (CLI selector, report key).
+    pub name: &'static str,
+    /// One-line description shown by `--list-scenarios`.
+    pub about: &'static str,
+    /// Domains attached (with no permissions) before the program runs.
+    pub setup: Vec<PmoId>,
+    /// The explored program.
+    pub program: Program,
+    /// Simulated hardware configuration.
+    pub config: SimConfig,
+    /// Whether the domain count exceeds the usable key count, coupling
+    /// key-consuming operations in the dependency relation.
+    pub key_pressure: bool,
+}
+
+/// The shrunken Table II configuration model checking uses: tiny TLBs,
+/// DTTLB, and PTLB so capacity evictions and key reassignment are
+/// reachable within a dozen operations, and `pkeys` usable keys so key
+/// pressure is a scenario choice rather than a 16-domain prerequisite.
+#[must_use]
+pub fn model_config(pkeys: u32, dttlb_entries: u32, ptlb_entries: u32) -> SimConfig {
+    let mut cfg = SimConfig::isca2020();
+    cfg.pkeys = pkeys;
+    cfg.dttlb_entries = dttlb_entries;
+    cfg.ptlb_entries = ptlb_entries;
+    // 8-entry 2-way L1 TLB over a 16-entry 2-way L2: invariant sweeps
+    // stay cheap and capacity effects appear with a handful of pages.
+    cfg.l1_tlb = SetAssocGeometry::new(8, 2);
+    cfg.l2_tlb = SetAssocGeometry::new(16, 2);
+    cfg.threads = 3;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dependency_is_symmetric_and_overapproximate() {
+        let p1 = PmoId::new(1);
+        let p2 = PmoId::new(2);
+        let a = Op::Access { pmo: p1, offset: 0, kind: AccessKind::Read };
+        let b = Op::SetPerm { pmo: p1, perm: Perm::ReadWrite };
+        let c = Op::Access { pmo: p2, offset: 0, kind: AccessKind::Write };
+        let d = Op::SetPerm { pmo: p2, perm: Perm::None };
+        assert!(dependent(a, b, false), "same domain always conflicts");
+        assert!(!dependent(a, c, false), "distinct domains commute without pressure");
+        assert!(dependent(a, c, true), "key pressure couples accesses");
+        assert!(!dependent(b, d, true), "SETPERM never consumes a key");
+        for (x, y) in [(a, b), (a, c), (b, d)] {
+            for kp in [false, true] {
+                assert_eq!(dependent(x, y, kp), dependent(y, x, kp));
+            }
+        }
+    }
+
+    #[test]
+    fn op_display_is_compact() {
+        let op = Op::Access { pmo: PmoId::new(3), offset: 4096, kind: AccessKind::Write };
+        assert_eq!(op.to_string(), "store(P3+0x1000)");
+        assert_eq!(Op::Detach { pmo: PmoId::new(1) }.to_string(), "detach(P1)");
+    }
+}

@@ -1,0 +1,193 @@
+//! Deterministic counterexample replay.
+//!
+//! A violating schedule reported by [`crate::explore`] is re-executed
+//! verbatim; the [`World`]'s event stream (the same [`TraceEvent`]s the
+//! timing simulator records) is then fed through a [`pmo_analyzer::Analyzer`]
+//! carrying a [`ModelCheckPass`], producing positioned [`Diagnostic`]s
+//! whose `source` is the `scenario@schedule` repro string. Because the
+//! world is deterministic, replaying the schedule reproduces the exact
+//! violation — this is the checker's evidence trail.
+
+use pmo_analyzer::{
+    AnalysisReport, Analyzer, AnalyzerPass, Diagnostic, EventCtx, Severity, ViolationClass,
+};
+use pmo_protect::ProtocolBug;
+use pmo_trace::{TraceEvent, TraceSink};
+
+use crate::program::Scenario;
+use crate::report::{schedule_string, Violation};
+use crate::world::World;
+
+/// An [`AnalyzerPass`] that anchors model-checker findings to trace
+/// positions: the replay engine records at which event index each
+/// invariant broke, and this pass emits the matching [`Diagnostic`] when
+/// the analyzed stream reaches that index. This routes counterexamples
+/// through the same diagnostic machinery (`--json`, severity filters,
+/// positions) as the trace analyzer's own passes.
+#[derive(Debug, Default)]
+pub struct ModelCheckPass {
+    pending: Vec<(u64, ViolationClass, String)>,
+}
+
+impl ModelCheckPass {
+    /// A pass that will emit `class`/`message` when the stream reaches
+    /// `position`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a finding at a trace position.
+    pub fn record(&mut self, position: u64, class: ViolationClass, message: String) {
+        self.pending.push((position, class, message));
+    }
+}
+
+impl AnalyzerPass for ModelCheckPass {
+    fn name(&self) -> &'static str {
+        "modelcheck"
+    }
+
+    fn check(&mut self, ctx: EventCtx, _ev: &TraceEvent, out: &mut Vec<Diagnostic>) {
+        for (_, class, message) in self.pending.iter().filter(|(pos, ..)| *pos == ctx.pos) {
+            out.push(Diagnostic {
+                pass: "modelcheck",
+                class: *class,
+                severity: Severity::Error,
+                thread: ctx.thread,
+                position: ctx.pos,
+                message: message.clone(),
+            });
+        }
+    }
+
+    fn finish(&mut self, ctx: EventCtx, out: &mut Vec<Diagnostic>) {
+        // Findings past the stream end (empty trace edge case) still
+        // surface rather than vanish.
+        for (pos, class, message) in self.pending.iter().filter(|(pos, ..)| *pos >= ctx.pos) {
+            out.push(Diagnostic {
+                pass: "modelcheck",
+                class: *class,
+                severity: Severity::Error,
+                thread: ctx.thread,
+                position: *pos,
+                message: message.clone(),
+            });
+        }
+    }
+}
+
+/// The result of replaying one schedule.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Analyzer report over the replayed trace: one positioned
+    /// [`Diagnostic`] per invariant violation, `source` set to the
+    /// `scenario@schedule` repro string.
+    pub report: AnalysisReport,
+    /// The violations in model-checker form (with schedule context).
+    pub violations: Vec<Violation>,
+}
+
+/// Re-executes `schedule` (a sequence of thread indices) against a fresh
+/// [`World`] for `scenario` and runs the resulting event stream through
+/// the analyzer.
+///
+/// The schedule may be a prefix of a maximal execution (violation
+/// counterexamples are); steps naming an exhausted or out-of-range
+/// thread are rejected.
+///
+/// # Errors
+///
+/// Returns a description when a schedule step names a thread with no
+/// remaining operations.
+pub fn replay_schedule(
+    scenario: &Scenario,
+    bug: Option<ProtocolBug>,
+    schedule: &[u32],
+) -> Result<ReplayOutcome, String> {
+    let nthreads = scenario.program.threads.len();
+    let mut world = World::new(scenario, bug);
+    let mut consumed = vec![0usize; nthreads];
+    let mut pass = ModelCheckPass::new();
+    let mut violations = Vec::new();
+
+    for (step, &t) in schedule.iter().enumerate() {
+        let thread = t as usize;
+        if thread >= nthreads {
+            return Err(format!("step {step}: thread {t} out of range (program has {nthreads})"));
+        }
+        let Some(&op) = scenario.program.threads[thread].get(consumed[thread]) else {
+            return Err(format!("step {step}: thread {t} has no operations left"));
+        };
+        consumed[thread] += 1;
+        for finding in world.step(t, op) {
+            pass.record(world.position(), finding.class, finding.message.clone());
+            violations.push(Violation {
+                scenario: scenario.name.to_string(),
+                class: finding.class,
+                thread: finding.thread,
+                step,
+                schedule: schedule[..=step].to_vec(),
+                message: finding.message,
+            });
+        }
+    }
+
+    let source = format!("{}@{}", scenario.name, schedule_string(schedule));
+    let mut analyzer = Analyzer::new(source).with_pass(pass);
+    for &ev in world.trace() {
+        analyzer.event(ev);
+    }
+    Ok(ReplayOutcome { report: analyzer.finish(), violations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, ExploreLimits};
+    use crate::scenarios;
+
+    #[test]
+    fn clean_replay_produces_clean_report() {
+        let scenario = scenarios::find("setperm-vs-access").unwrap();
+        // Round-robin over both threads: a complete maximal schedule.
+        let out = replay_schedule(&scenario, None, &[0, 1, 0, 1, 0, 1]).unwrap();
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.report.passed());
+        assert!(out.report.events > 0, "replay must produce a trace");
+    }
+
+    #[test]
+    fn replay_rejects_exhausted_threads() {
+        let scenario = scenarios::find("setperm-vs-access").unwrap();
+        assert!(replay_schedule(&scenario, None, &[0, 0, 0, 0]).is_err());
+        assert!(replay_schedule(&scenario, None, &[7]).is_err());
+    }
+
+    #[test]
+    fn seeded_counterexamples_replay_deterministically() {
+        for check in scenarios::seeded_checks() {
+            let scenario = scenarios::find(check.scenario).unwrap();
+            let out = explore(&scenario, Some(check.bug), &ExploreLimits::default());
+            let witness = out
+                .violations
+                .iter()
+                .find(|v| v.class == check.expect)
+                .unwrap_or_else(|| panic!("{:?} not caught in {}", check.bug, check.scenario));
+            let replay = replay_schedule(&scenario, Some(check.bug), &witness.schedule)
+                .expect("reported schedule must be executable");
+            assert!(
+                replay.violations.iter().any(|v| v.class == check.expect),
+                "{:?}: replay of {} lost the violation",
+                check.bug,
+                witness.schedule_string()
+            );
+            let diag = replay
+                .report
+                .diagnostics
+                .iter()
+                .find(|d| d.pass == "modelcheck" && d.class == check.expect);
+            assert!(diag.is_some(), "{:?}: no positioned diagnostic in report", check.bug);
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! The checked state: both hardware designs run in lockstep against a
+//! pure permission oracle, with safety invariants evaluated after every
+//! operation.
+//!
+//! The oracle is the paper's §IV.A contract reduced to its logical core:
+//! a thread may access an attached PMO iff its last SETPERM for that
+//! domain allows the access kind; memory outside any attached PMO is
+//! ordinary anonymous memory (always accessible). Both schemes must agree
+//! with the oracle (and hence each other) on every allow/deny decision,
+//! and their caches — TLB keys, DTTLB, PKRU, PTLB — must never be
+//! observably ahead of or behind that contract.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pmo_analyzer::ViolationClass;
+use pmo_protect::scheme::{DomainVirt, MpkVirt, ProtectionScheme};
+use pmo_protect::{Perm, ProtocolBug};
+use pmo_simarch::PAGE_BITS;
+use pmo_trace::{AccessKind, PmoId, ThreadId, TraceEvent};
+
+use crate::program::{Op, Scenario, POOL_BYTES};
+
+/// One invariant violation detected at a step (scenario/schedule context
+/// is attached by the explorer, trace position by the replayer).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated invariant's diagnostic class.
+    pub class: ViolationClass,
+    /// Thread (index) that was running when the invariant broke.
+    pub thread: u32,
+    /// What went wrong, with the observed vs expected state.
+    pub message: String,
+}
+
+/// The logical permission state: attachment set plus per-(thread, domain)
+/// SETPERM grants, updated in schedule order.
+#[derive(Clone, Debug, Default)]
+struct Oracle {
+    attached: BTreeSet<PmoId>,
+    perms: BTreeMap<(u32, PmoId), Perm>,
+}
+
+impl Oracle {
+    fn attach(&mut self, pmo: PmoId) {
+        self.attached.insert(pmo);
+        self.clear_perms(pmo);
+    }
+
+    fn detach(&mut self, pmo: PmoId) {
+        self.attached.remove(&pmo);
+        self.clear_perms(pmo);
+    }
+
+    fn clear_perms(&mut self, pmo: PmoId) {
+        self.perms.retain(|&(_, p), _| p != pmo);
+    }
+
+    fn set_perm(&mut self, thread: u32, pmo: PmoId, perm: Perm) {
+        // SETPERM on a detached domain is a no-op (there is no PT/DTT row
+        // to update); the schemes likewise have nothing to write.
+        if self.attached.contains(&pmo) {
+            self.perms.insert((thread, pmo), perm);
+        }
+    }
+
+    fn perm(&self, thread: u32, pmo: PmoId) -> Perm {
+        self.perms.get(&(thread, pmo)).copied().unwrap_or(Perm::None)
+    }
+
+    fn allows(&self, thread: u32, pmo: PmoId, kind: AccessKind) -> bool {
+        if !self.attached.contains(&pmo) {
+            // Detached: the VA range is ordinary anonymous memory,
+            // demand-mapped read-write on touch.
+            return true;
+        }
+        self.perm(thread, pmo).allows(kind)
+    }
+}
+
+/// Both designs plus the oracle, advanced one operation at a time.
+pub struct World {
+    mpk: MpkVirt,
+    dom: DomainVirt,
+    oracle: Oracle,
+    /// The trace recorded so far (replayable through `pmo-analyzer`).
+    trace: Vec<TraceEvent>,
+    current: u32,
+    shootdowns_drained: u64,
+}
+
+impl World {
+    /// Builds the initial state for a scenario, attaching its setup
+    /// domains; `bug` plants a [`ProtocolBug`] into whichever scheme the
+    /// bug targets (self-validation runs).
+    #[must_use]
+    pub fn new(scenario: &Scenario, bug: Option<ProtocolBug>) -> Self {
+        let mut world = World {
+            mpk: MpkVirt::with_bug(&scenario.config, bug),
+            dom: DomainVirt::with_bug(&scenario.config, bug),
+            oracle: Oracle::default(),
+            trace: Vec::new(),
+            current: 0,
+            shootdowns_drained: 0,
+        };
+        for &pmo in &scenario.setup {
+            world.do_attach(pmo);
+        }
+        world
+    }
+
+    /// The trace recorded so far.
+    #[must_use]
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Index of the last recorded trace event (diagnostic anchor).
+    #[must_use]
+    pub fn position(&self) -> u64 {
+        (self.trace.len() as u64).saturating_sub(1)
+    }
+
+    fn do_attach(&mut self, pmo: PmoId) {
+        let base = Op::base_of(pmo);
+        self.mpk.attach(pmo, base, POOL_BYTES, true);
+        self.dom.attach(pmo, base, POOL_BYTES, true);
+        self.oracle.attach(pmo);
+        self.trace.push(TraceEvent::Attach { pmo, base, size: POOL_BYTES, nvm: true });
+    }
+
+    /// Executes one operation by thread index `thread` (context-switching
+    /// both schemes if it differs from the running thread) and returns
+    /// every invariant violation observable afterwards.
+    pub fn step(&mut self, thread: u32, op: Op) -> Vec<Finding> {
+        if thread != self.current {
+            let tid = ThreadId::new(thread);
+            self.mpk.context_switch(tid);
+            self.dom.context_switch(tid);
+            self.current = thread;
+            self.trace.push(TraceEvent::ThreadSwitch { thread: tid });
+        }
+        let mut findings = Vec::new();
+        match op {
+            Op::Attach { pmo } => self.do_attach(pmo),
+            Op::Detach { pmo } => {
+                self.mpk.detach(pmo);
+                self.dom.detach(pmo);
+                self.oracle.detach(pmo);
+                self.trace.push(TraceEvent::Detach { pmo });
+            }
+            Op::SetPerm { pmo, perm } => {
+                self.mpk.set_perm(pmo, perm);
+                self.dom.set_perm(pmo, perm);
+                self.oracle.set_perm(thread, pmo, perm);
+                self.trace.push(TraceEvent::SetPerm { pmo, perm });
+            }
+            Op::Access { pmo, offset, kind } => {
+                let va = Op::base_of(pmo) + offset;
+                let mpk_ok = self.mpk.access(va, kind).allowed();
+                let dom_ok = self.dom.access(va, kind).allowed();
+                let expect = self.oracle.allows(thread, pmo, kind);
+                if mpk_ok != expect || dom_ok != expect {
+                    findings.push(Finding {
+                        class: ViolationClass::SchemeDivergence,
+                        thread,
+                        message: format!(
+                            "{op}: oracle {} but MpkVirt {} / DomainVirt {}",
+                            verdict(expect),
+                            verdict(mpk_ok),
+                            verdict(dom_ok),
+                        ),
+                    });
+                }
+                // Mirror the replay engine: denied accesses leave no
+                // memory event in the trace.
+                if expect {
+                    self.trace.push(match kind {
+                        AccessKind::Read => TraceEvent::Load { va, size: 8 },
+                        AccessKind::Write => TraceEvent::Store { va, size: 8 },
+                    });
+                }
+            }
+        }
+        for ev in self.mpk.drain_events() {
+            if matches!(ev, TraceEvent::Shootdown { .. }) {
+                self.shootdowns_drained += 1;
+            }
+            self.trace.push(ev);
+        }
+        self.check_invariants(&mut findings);
+        findings
+    }
+
+    /// Evaluates every state invariant against the current machine state.
+    fn check_invariants(&self, findings: &mut Vec<Finding>) {
+        self.check_shootdown_completeness(findings);
+        self.check_stale_tlb_keys(findings);
+        self.check_stale_dttlb_keys(findings);
+        self.check_pkru(findings);
+        self.check_ptlb(findings);
+    }
+
+    /// Every key eviction must have published a ranged shootdown (§IV.B:
+    /// reassigning a key without invalidating the victim's translations
+    /// leaves the old domain readable through the new domain's grants).
+    fn check_shootdown_completeness(&self, findings: &mut Vec<Finding>) {
+        let evictions = self.mpk.stats().key_evictions;
+        if evictions > self.shootdowns_drained {
+            findings.push(Finding {
+                class: ViolationClass::StaleKeyGrant,
+                thread: self.current,
+                message: format!(
+                    "{evictions} key eviction(s) but only {} ranged shootdown(s) issued",
+                    self.shootdowns_drained
+                ),
+            });
+        }
+    }
+
+    /// No TLB entry may carry a protection key whose current owner does
+    /// not cover that page: such an entry lets the old domain's pages be
+    /// checked against the new domain's PKRU bits.
+    fn check_stale_tlb_keys(&self, findings: &mut Vec<Finding>) {
+        let keys = self.mpk.key_allocator();
+        for (vpn, payload) in self.mpk.mmu().tlb.entries() {
+            if payload.pkey == 0 {
+                continue;
+            }
+            let va = vpn << PAGE_BITS;
+            let owner = keys.owner(payload.pkey);
+            let covered = owner
+                .and_then(|pmo| self.mpk.mmu().region_of(pmo))
+                .is_some_and(|region| region.covers(va));
+            if !covered {
+                findings.push(Finding {
+                    class: ViolationClass::StaleKeyGrant,
+                    thread: self.current,
+                    message: format!(
+                        "TLB entry for va {va:#x} still tagged key {} now owned by {}",
+                        payload.pkey,
+                        owner.map_or_else(|| "nobody".into(), |p| format!("P{}", p.raw())),
+                    ),
+                });
+            }
+        }
+    }
+
+    /// A DTTLB entry caching a key must agree with the key allocator.
+    fn check_stale_dttlb_keys(&self, findings: &mut Vec<Finding>) {
+        let keys = self.mpk.key_allocator();
+        for entry in self.mpk.dttlb().entries() {
+            if let Some(key) = entry.key {
+                if keys.owner(key) != Some(entry.pmo) {
+                    findings.push(Finding {
+                        class: ViolationClass::StaleKeyGrant,
+                        thread: self.current,
+                        message: format!(
+                            "DTTLB caches key {key} for P{} but the allocator disagrees",
+                            entry.pmo.raw()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// The materialized PKRU must grant, for every assigned key, exactly
+    /// the running thread's logical permission for the owning domain.
+    fn check_pkru(&self, findings: &mut Vec<Finding>) {
+        let pkru = self.mpk.pkru();
+        for (key, pmo) in self.mpk.key_allocator().assignments() {
+            let expect = if self.oracle.attached.contains(&pmo) {
+                self.oracle.perm(self.current, pmo)
+            } else {
+                Perm::None
+            };
+            let actual = pkru.perm(key);
+            if actual != expect {
+                findings.push(Finding {
+                    class: ViolationClass::PkruDesync,
+                    thread: self.current,
+                    message: format!(
+                        "PKRU grants {actual:?} via key {key} for P{} but thread {} holds \
+                         {expect:?}",
+                        pmo.raw(),
+                        self.current
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Every PTLB entry for an attached domain must hold exactly the
+    /// running thread's logical permission (the PTLB is thread-private
+    /// state: a context switch flushes it, a detach invalidates it).
+    /// Entries for detached domains are ignored — the DRT no longer maps
+    /// any VA to them, so they are unreachable until a re-attach makes
+    /// them (checkably) stale.
+    fn check_ptlb(&self, findings: &mut Vec<Finding>) {
+        for entry in self.dom.ptlb().entries() {
+            if !self.oracle.attached.contains(&entry.pmo) {
+                continue;
+            }
+            let expect = self.oracle.perm(self.current, entry.pmo);
+            if entry.perm != expect {
+                findings.push(Finding {
+                    class: ViolationClass::PtlbDesync,
+                    thread: self.current,
+                    message: format!(
+                        "PTLB caches {:?} for P{} but thread {} holds {expect:?}",
+                        entry.perm,
+                        entry.pmo.raw(),
+                        self.current
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn verdict(allowed: bool) -> &'static str {
+    if allowed {
+        "allows"
+    } else {
+        "denies"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{model_config, Program};
+
+    fn tiny_scenario() -> Scenario {
+        Scenario {
+            name: "test",
+            about: "",
+            setup: vec![PmoId::new(1), PmoId::new(2)],
+            program: Program { threads: vec![vec![], vec![]] },
+            config: model_config(8, 4, 4),
+            key_pressure: false,
+        }
+    }
+
+    #[test]
+    fn clean_steps_produce_no_findings() {
+        let scenario = tiny_scenario();
+        let mut world = World::new(&scenario, None);
+        let p1 = PmoId::new(1);
+        let steps = [
+            (0, Op::SetPerm { pmo: p1, perm: Perm::ReadWrite }),
+            (0, Op::Access { pmo: p1, offset: 0, kind: AccessKind::Write }),
+            (1, Op::Access { pmo: p1, offset: 0, kind: AccessKind::Read }),
+            (1, Op::SetPerm { pmo: p1, perm: Perm::ReadOnly }),
+            (1, Op::Access { pmo: p1, offset: 0, kind: AccessKind::Read }),
+            (0, Op::Detach { pmo: p1 }),
+        ];
+        for (thread, op) in steps {
+            let findings = world.step(thread, op);
+            assert!(findings.is_empty(), "unexpected findings at {op}: {findings:?}");
+        }
+        assert!(world.trace().iter().any(|e| matches!(e, TraceEvent::ThreadSwitch { .. })));
+    }
+
+    #[test]
+    fn planted_pkru_desync_is_caught() {
+        let scenario = tiny_scenario();
+        let mut world = World::new(&scenario, Some(ProtocolBug::SkipPkruUpdateOnSetPerm));
+        let p1 = PmoId::new(1);
+        world.step(0, Op::SetPerm { pmo: p1, perm: Perm::ReadWrite });
+        // First access assigns the key (PKRU update at assignment is
+        // correct), so the planted bug is still invisible...
+        assert!(world
+            .step(0, Op::Access { pmo: p1, offset: 0, kind: AccessKind::Write })
+            .is_empty());
+        // ...until a SETPERM on the key-holding domain skips the update.
+        let findings = world.step(0, Op::SetPerm { pmo: p1, perm: Perm::None });
+        assert!(
+            findings.iter().any(|f| f.class == ViolationClass::PkruDesync),
+            "expected pkru-desync, got {findings:?}"
+        );
+    }
+
+    #[test]
+    fn planted_ptlb_flush_skip_is_caught_on_switch() {
+        let scenario = tiny_scenario();
+        let mut world = World::new(&scenario, Some(ProtocolBug::SkipPtlbFlushOnSwitch));
+        let p1 = PmoId::new(1);
+        world.step(0, Op::SetPerm { pmo: p1, perm: Perm::ReadWrite });
+        let findings = world.step(1, Op::Access { pmo: p1, offset: 0, kind: AccessKind::Read });
+        assert!(
+            findings.iter().any(|f| f.class == ViolationClass::PtlbDesync
+                || f.class == ViolationClass::SchemeDivergence),
+            "stale PTLB for the incoming thread must be caught, got {findings:?}"
+        );
+    }
+}

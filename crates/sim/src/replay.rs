@@ -92,6 +92,13 @@ impl Replay {
         self.scheme.as_ref()
     }
 
+    /// Drains protocol-level events the scheme emitted internally since
+    /// the last drain (ranged shootdowns on the key-eviction path), so
+    /// audit sinks can fold them into the analyzed stream.
+    pub fn drain_protocol_events(&mut self) -> Vec<TraceEvent> {
+        self.scheme.drain_events()
+    }
+
     fn charge_compute(&mut self, instructions: u32) {
         let exact = f64::from(instructions) * self.cfg.base_cpi + self.cpi_carry;
         let whole = exact.floor();

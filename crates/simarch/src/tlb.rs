@@ -139,6 +139,12 @@ impl<P: Copy> Tlb<P> {
     pub fn capacity(&self) -> usize {
         self.geometry.entries as usize
     }
+
+    /// Iterates over every valid `(vpn, payload)` entry without updating
+    /// recency (model-checker inspection).
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &P)> + '_ {
+        self.entries.iter().flatten().filter_map(|e| e.as_ref().map(|(v, p)| (*v, p)))
+    }
 }
 
 /// Outcome of a hierarchy lookup.
@@ -247,6 +253,13 @@ impl<P: Copy> TlbHierarchy<P> {
     #[must_use]
     pub fn l2(&self) -> &Tlb<P> {
         &self.l2
+    }
+
+    /// Iterates over every valid `(vpn, payload)` entry in both levels
+    /// without updating recency (a VPN cached in both levels appears
+    /// twice; model-checker inspection).
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &P)> + '_ {
+        self.l1.entries().chain(self.l2.entries())
     }
 }
 

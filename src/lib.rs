@@ -39,6 +39,7 @@
 
 pub use pmo_analyzer as analyzer;
 pub use pmo_experiments as experiments;
+pub use pmo_modelcheck as modelcheck;
 pub use pmo_protect as protect;
 pub use pmo_runtime as runtime;
 pub use pmo_sim as sim;

@@ -1,0 +1,100 @@
+//! Self-validation of the DPOR model checker: planted protocol bugs must
+//! be caught with the expected diagnostic class, counterexamples must
+//! replay deterministically, and clean protocols must survive exhaustive
+//! exploration.
+
+use pmo_repro::modelcheck::{
+    builtin, explore, find, replay_schedule, scenarios::seeded_checks, ExploreLimits,
+};
+
+#[test]
+fn every_seeded_protocol_bug_is_caught_with_expected_class() {
+    for check in seeded_checks() {
+        let scenario = find(check.scenario).expect("seeded checks reference builtin scenarios");
+        let out = explore(&scenario, Some(check.bug), &ExploreLimits::default());
+        assert!(
+            out.violations.iter().any(|v| v.class == check.expect),
+            "{:?} escaped {} ({} schedules explored, found {:?})",
+            check.bug,
+            check.scenario,
+            out.schedules,
+            out.violations.iter().map(|v| v.class).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn counterexamples_replay_deterministically_through_the_analyzer() {
+    for check in seeded_checks() {
+        let scenario = find(check.scenario).unwrap();
+        let out = explore(&scenario, Some(check.bug), &ExploreLimits::default());
+        let witness =
+            out.violations.iter().find(|v| v.class == check.expect).expect("caught above");
+        let mut renders = Vec::new();
+        for _ in 0..2 {
+            let replay = replay_schedule(&scenario, Some(check.bug), &witness.schedule)
+                .expect("reported schedule is executable");
+            assert!(
+                replay.violations.iter().any(|v| v.class == check.expect),
+                "{:?}: schedule {} did not reproduce",
+                check.bug,
+                witness.schedule_string()
+            );
+            assert!(
+                replay
+                    .report
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.pass == "modelcheck" && d.class == check.expect),
+                "{:?}: no positioned diagnostic emitted through pmo-analyzer",
+                check.bug
+            );
+            assert!(!replay.report.passed(), "report must fail on a violation");
+            renders.push(replay.report.to_json());
+        }
+        assert_eq!(renders[0], renders[1], "{:?}: replay must be deterministic", check.bug);
+    }
+}
+
+#[test]
+fn clean_protocols_pass_exhaustive_exploration() {
+    // A cheap subset (the stress scenarios run in CI's quick campaign).
+    for name in ["setperm-vs-access", "key-evict-storm", "detach-race", "three-thread-handoff"] {
+        let scenario = find(name).unwrap();
+        let out = explore(&scenario, None, &ExploreLimits::default());
+        assert!(out.violations.is_empty(), "{name}: {:?}", out.violations);
+        assert!(!out.truncated, "{name} must be explored exhaustively");
+        assert!(out.schedules > 0);
+    }
+}
+
+#[test]
+fn dpor_prunes_but_never_misses_dependent_interleavings() {
+    let disjoint = find("disjoint-domains").unwrap();
+    let out = explore(&disjoint, None, &ExploreLimits::default());
+    assert!(
+        (out.schedules as u128) < out.naive,
+        "independent threads must be pruned ({} vs {})",
+        out.schedules,
+        out.naive
+    );
+
+    // Fully-dependent programs are the other extreme: nothing commutes,
+    // so DPOR must degenerate to complete enumeration (a completeness
+    // cross-check for the backtracking logic).
+    let contention = find("contention-stress").unwrap();
+    let out = explore(&contention, None, &ExploreLimits::default());
+    assert_eq!(out.schedules as u128, out.naive, "all-dependent ops admit no pruning");
+}
+
+#[test]
+fn campaign_volume_meets_the_bar() {
+    // The acceptance bar: >= 10k distinct schedules across >= 6 scenarios.
+    let mut schedules = 0u64;
+    let scenarios = builtin();
+    assert!(scenarios.len() >= 6);
+    for scenario in &scenarios {
+        schedules += explore(scenario, None, &ExploreLimits::default()).schedules;
+    }
+    assert!(schedules >= 10_000, "campaign explored only {schedules} schedules");
+}

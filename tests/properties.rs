@@ -11,7 +11,7 @@
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-use pmo_repro::protect::{Pkru, RangeRadix};
+use pmo_repro::protect::{KeyAllocator, Pkru, RangeRadix};
 use pmo_repro::runtime::{Mode, Oid, PmRuntime, PoolStorage};
 use pmo_repro::trace::{AccessKind, NullSink, Perm, PmoId};
 use pmo_repro::workloads::structs::{
@@ -184,6 +184,123 @@ proptest! {
         }
         for &slot in &removed {
             prop_assert!(radix.lookup(slot * GB1).is_none());
+        }
+    }
+
+    // The DTT's radix table must agree with a BTreeMap oracle under
+    // arbitrary mixed-granule insert/remove/lookup sequences: each slot
+    // gets a 1 GiB-aligned base (aligned for every granule) and a granule
+    // chosen by slot, so 4 KiB, 2 MiB, and 1 GiB entries coexist at
+    // different tree depths and probes exercise both in-region hits and
+    // past-the-granule misses.
+    #[test]
+    fn radix_mixed_granules_match_btreemap_oracle(
+        ops in prop::collection::vec((0u64..64, 0u8..3, 0u64..(1u64 << 30)), 1..150)
+    ) {
+        const GB1: u64 = 1 << 30;
+        let granules = [0x1000u64, 0x20_0000, 0x4000_0000];
+        let mut radix: RangeRadix<u64> = RangeRadix::new();
+        // slot -> (granule, value)
+        let mut model: std::collections::BTreeMap<u64, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for (i, &(slot, action, offset)) in ops.iter().enumerate() {
+            match action {
+                0 => {
+                    if let std::collections::btree_map::Entry::Vacant(slot_entry) =
+                        model.entry(slot)
+                    {
+                        let granule = granules[(slot % 3) as usize];
+                        radix.insert(slot * GB1, granule, i as u64);
+                        slot_entry.insert((granule, i as u64));
+                    }
+                }
+                1 => {
+                    let expected = model.remove(&slot).map(|(_, v)| v);
+                    prop_assert_eq!(radix.remove(slot * GB1), expected);
+                }
+                _ => {
+                    let hit = radix.lookup(slot * GB1 + offset);
+                    match model.get(&slot) {
+                        Some(&(granule, value)) if offset < granule => {
+                            let hit = hit.expect("oracle says mapped");
+                            prop_assert_eq!(hit.base, slot * GB1);
+                            prop_assert_eq!(hit.granule, granule);
+                            prop_assert_eq!(*hit.value, value);
+                        }
+                        _ => prop_assert!(hit.is_none(), "oracle says unmapped"),
+                    }
+                }
+            }
+            prop_assert_eq!(radix.len(), model.len());
+            prop_assert_eq!(radix.is_empty(), model.is_empty());
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Key allocation under pressure.
+    // -----------------------------------------------------------------
+
+    // The key allocator must maintain the domain↔key bijection under
+    // arbitrary acquire/free/touch sequences with more domains than
+    // usable keys, evicting exactly when (and only when) every usable
+    // key is taken — the regime the MPK-virt eviction protocol (and the
+    // model checker's key-pressure scenarios) depends on.
+    #[test]
+    fn key_allocator_keeps_bijection_under_pressure(
+        ops in prop::collection::vec((1u32..7, 0u8..3), 1..200)
+    ) {
+        let mut ka = KeyAllocator::new(4); // 3 usable keys, up to 6 domains
+        let usable = ka.usable();
+        // key -> owning domain
+        let mut model: std::collections::BTreeMap<u8, PmoId> =
+            std::collections::BTreeMap::new();
+        for &(raw, action) in &ops {
+            let domain = PmoId::new(raw);
+            match action {
+                0 => {
+                    // Acquire a key, evicting a PLRU victim when full.
+                    if ka.key_of(domain).is_none() {
+                        let full = model.len() as u32 == usable;
+                        match ka.alloc(domain) {
+                            Some(key) => {
+                                prop_assert!(!full, "alloc must fail only when full");
+                                prop_assert!(model.insert(key, domain).is_none());
+                            }
+                            None => {
+                                prop_assert!(full, "alloc must succeed while keys remain");
+                                let (key, victim) = ka.evict_and_assign(domain);
+                                prop_assert_eq!(model.insert(key, domain), Some(victim));
+                                prop_assert!(ka.key_of(victim).is_none());
+                            }
+                        }
+                    }
+                }
+                1 => {
+                    let expected = model
+                        .iter()
+                        .find(|(_, &d)| d == domain)
+                        .map(|(&k, _)| k);
+                    prop_assert_eq!(ka.free(domain), expected);
+                    if let Some(key) = expected {
+                        model.remove(&key);
+                    }
+                }
+                _ => {
+                    if let Some(key) = ka.key_of(domain) {
+                        ka.touch(key); // PLRU hint: must not change ownership
+                    }
+                }
+            }
+            // The assignment view, key_of, and owner must agree exactly.
+            prop_assert_eq!(ka.in_use() as usize, model.len());
+            let assignments: std::collections::BTreeMap<u8, PmoId> =
+                ka.assignments().collect();
+            prop_assert_eq!(&assignments, &model);
+            for (&key, &d) in &model {
+                prop_assert!(key != 0, "NULL key is never assigned");
+                prop_assert_eq!(ka.owner(key), Some(d));
+                prop_assert_eq!(ka.key_of(d), Some(key));
+            }
         }
     }
 

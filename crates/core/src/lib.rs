@@ -69,7 +69,9 @@ pub use pkru::{Pkru, NUM_KEYS};
 pub use pt::PermissionTable;
 pub use ptlb::{Ptlb, PtlbEntry};
 pub use radix::{RangeHit, RangeRadix};
-pub use scheme::{AccessResult, ProtectionScheme, ProtocolBug, SchemeKind, SchemeStats};
+pub use scheme::{
+    AccessResult, AnyScheme, FastHint, ProtectionScheme, ProtocolBug, SchemeKind, SchemeStats,
+};
 
 // Re-export the identifiers shared through `pmo-trace` so downstream users
 // need only this crate for the protection API.

@@ -50,6 +50,13 @@ impl Ptlb {
         self.entries[way].as_mut()
     }
 
+    /// Associative lookup without touching replacement state (the replay
+    /// fast path validates its cached permission against this).
+    #[must_use]
+    pub fn probe(&self, pmo: PmoId) -> Option<&PtlbEntry> {
+        self.entries.iter().flatten().find(|entry| entry.pmo == pmo)
+    }
+
     /// Inserts an entry, evicting the PLRU victim if full; returns the
     /// victim for writeback.
     pub fn insert(&mut self, entry: PtlbEntry) -> Option<PtlbEntry> {

@@ -16,7 +16,9 @@ use crate::fault::ProtectionFault;
 use crate::mmu::{granule_covering, DomPayload, MmuBase, Region};
 use crate::pt::PermissionTable;
 use crate::ptlb::{Ptlb, PtlbEntry};
-use crate::scheme::{AccessResult, ProtectionScheme, ProtocolBug, SchemeKind, SchemeStats};
+use crate::scheme::{
+    AccessResult, FastHint, ProtectionScheme, ProtocolBug, SchemeKind, SchemeStats,
+};
 
 /// Hardware domain virtualization.
 #[derive(Debug)]
@@ -238,6 +240,40 @@ impl ProtectionScheme for DomainVirt {
 
     fn tlb_stats(&self) -> TlbStats {
         *self.mmu.tlb.stats()
+    }
+
+    fn fast_hint(&self, va: Va) -> Option<FastHint> {
+        let payload = self.mmu.tlb.probe_l1(vpn(va))?;
+        if payload.domain.is_null() {
+            // Domainless: no PTLB consultation (Figure 5, step 3).
+            return Some(FastHint {
+                cycles: self.mmu.tlb.l1_latency(),
+                mem: payload.mem,
+                effective: payload.page_perm,
+                access_latency: 0,
+                thread: self.current,
+                held: Perm::ReadWrite,
+                fault_pmo: Some(payload.domain),
+            });
+        }
+        // Only memoize when the PTLB also holds the domain: a PTLB miss
+        // walks the PT and fills, which must stay on the slow path.
+        let entry = self.ptlb.probe(payload.domain)?;
+        Some(FastHint {
+            cycles: self.mmu.tlb.l1_latency() + self.cfg.ptlb_access_cycles,
+            mem: payload.mem,
+            effective: entry.perm.meet(payload.page_perm),
+            access_latency: self.cfg.ptlb_access_cycles,
+            thread: self.current,
+            held: entry.perm,
+            fault_pmo: Some(payload.domain),
+        })
+    }
+
+    fn note_fast_hits(&mut self, hint: &FastHint, hits: u64, denied: u64) {
+        self.mmu.tlb.note_l1_hits(hits);
+        self.stats.faults += denied;
+        self.breakdown.access_latency += hint.access_latency * hits;
     }
 }
 

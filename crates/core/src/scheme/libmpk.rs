@@ -20,7 +20,7 @@ use crate::breakdown::CostBreakdown;
 use crate::fault::ProtectionFault;
 use crate::keys::KeyAllocator;
 use crate::mmu::{granule_covering, MmuBase, PkPayload, Region};
-use crate::scheme::{AccessResult, ProtectionScheme, SchemeKind, SchemeStats};
+use crate::scheme::{AccessResult, FastHint, ProtectionScheme, SchemeKind, SchemeStats};
 
 /// The guard key tagging pages of evicted (unmapped) domains, when the
 /// guard-key mode is enabled (`SimConfig::libmpk_guard_key`).
@@ -269,6 +269,36 @@ impl ProtectionScheme for LibMpk {
 
     fn tlb_stats(&self) -> TlbStats {
         *self.mmu.tlb.stats()
+    }
+
+    fn fast_hint(&self, va: Va) -> Option<FastHint> {
+        let payload = self.mmu.tlb.probe_l1(vpn(va))?;
+        if self.cfg.libmpk_guard_key && payload.pkey == GUARD_KEY {
+            // Guard-keyed accesses fault into the library and remap the
+            // domain — they mutate cross-page state and must stay slow.
+            return None;
+        }
+        let domain_perm = if payload.pkey == 0 {
+            Perm::ReadWrite
+        } else {
+            self.keys
+                .owner(payload.pkey)
+                .map_or(Perm::None, |pmo| self.desired_perm(self.current, pmo))
+        };
+        Some(FastHint {
+            cycles: self.mmu.tlb.l1_latency(),
+            mem: payload.mem,
+            effective: domain_perm.meet(payload.page_perm),
+            access_latency: 0,
+            thread: self.current,
+            held: domain_perm,
+            fault_pmo: Some(self.keys.owner(payload.pkey).unwrap_or(PmoId::NULL)),
+        })
+    }
+
+    fn note_fast_hits(&mut self, _hint: &FastHint, hits: u64, denied: u64) {
+        self.mmu.tlb.note_l1_hits(hits);
+        self.stats.faults += denied;
     }
 }
 

@@ -14,7 +14,7 @@ use pmo_trace::{AccessKind, Perm, PmoId, ThreadId, Va};
 use crate::breakdown::CostBreakdown;
 use crate::fault::ProtectionFault;
 use crate::mmu::{granule_covering, MmuBase, PlainPayload, Region};
-use crate::scheme::{AccessResult, ProtectionScheme, SchemeKind, SchemeStats};
+use crate::scheme::{AccessResult, FastHint, ProtectionScheme, SchemeKind, SchemeStats};
 
 /// Ideal MPK-virtualization lowerbound.
 #[derive(Debug)]
@@ -151,6 +151,31 @@ impl ProtectionScheme for Lowerbound {
 
     fn tlb_stats(&self) -> TlbStats {
         *self.mmu.tlb.stats()
+    }
+
+    fn fast_hint(&self, va: Va) -> Option<FastHint> {
+        let payload = self.mmu.tlb.probe_l1(vpn(va))?;
+        let (effective, held, fault_pmo) = match self.mmu.region_at(va) {
+            Some(region) => {
+                let domain = self.domain_perm(region.pmo);
+                (domain.meet(payload.page_perm), domain, Some(region.pmo))
+            }
+            None => (payload.page_perm, payload.page_perm, None),
+        };
+        Some(FastHint {
+            cycles: self.mmu.tlb.l1_latency(),
+            mem: payload.mem,
+            effective,
+            access_latency: 0,
+            thread: self.current,
+            held,
+            fault_pmo,
+        })
+    }
+
+    fn note_fast_hits(&mut self, _hint: &FastHint, hits: u64, denied: u64) {
+        self.mmu.tlb.note_l1_hits(hits);
+        self.stats.faults += denied;
     }
 }
 

@@ -81,6 +81,58 @@ pub struct SchemeStats {
     pub domainless_fallbacks: u64,
 }
 
+/// A memoized per-page access verdict for the replay fast path.
+///
+/// Captures everything a *warm* (L1-TLB-hit, PTLB-hit) access to one page
+/// computes — modeled cycles, memory backing, and the effective permission
+/// — so consecutive accesses to the same page can skip the TLB/DTT/PT
+/// machinery entirely. A hint is only valid while the scheme state is
+/// untouched: any attach/detach/set-perm/context-switch/shootdown, or any
+/// access to a *different* page, invalidates it. The hint memoizes the
+/// simulator's work, never the simulated costs: replaying through a hint
+/// must charge exactly the cycles and produce exactly the fault the slow
+/// path would.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FastHint {
+    /// Scheme-side cycles per access (TLB hit latency, plus the PTLB
+    /// access latency under domain virtualization).
+    pub cycles: u64,
+    /// Memory backing of the page (drives DRAM vs NVM latency).
+    pub mem: MemKind,
+    /// The effective permission (page ∧ domain) the verdict applies.
+    pub effective: Perm,
+    /// Cycles per access attributed to `CostBreakdown::access_latency`
+    /// (non-zero only under domain virtualization's per-access PTLB read).
+    pub access_latency: u64,
+    /// Thread the hint was computed for (reported in faults).
+    pub thread: ThreadId,
+    /// Permission reported as "held" if the access is denied.
+    pub held: Perm,
+    /// `Some(pmo)` if a denial is a domain violation against `pmo`;
+    /// `None` if it is a plain page-permission fault.
+    pub fault_pmo: Option<PmoId>,
+}
+
+impl FastHint {
+    /// The fault a denied access through this hint raises — identical to
+    /// what the slow path would construct.
+    #[must_use]
+    pub fn fault(&self, va: Va, attempted: AccessKind) -> ProtectionFault {
+        match self.fault_pmo {
+            Some(pmo) => ProtectionFault::DomainDenied {
+                thread: self.thread,
+                pmo,
+                attempted,
+                held: self.held,
+                va,
+            },
+            None => {
+                ProtectionFault::PageDenied { thread: self.thread, attempted, held: self.held, va }
+            }
+        }
+    }
+}
+
 /// A protection scheme: the MMU-integrated domain machinery of §IV.
 ///
 /// The replay engine (`pmo-sim`) drives this trait once per trace event.
@@ -130,6 +182,21 @@ pub trait ProtectionScheme {
     fn drain_events(&mut self) -> Vec<TraceEvent> {
         Vec::new()
     }
+
+    /// Computes a memoized verdict for subsequent accesses to `va`'s page,
+    /// or `None` when the page is not warm in the L1 TLB (or warm accesses
+    /// to it mutate scheme state, as libmpk guard-key pages do). Must not
+    /// mutate any state: accounting for accesses served through the hint
+    /// is settled later via [`ProtectionScheme::note_fast_hits`].
+    fn fast_hint(&self, _va: Va) -> Option<FastHint> {
+        None
+    }
+
+    /// Settles the accounting for `hits` accesses (of which `denied` were
+    /// denied) served through a [`FastHint`] since it was issued: credits
+    /// the skipped L1 TLB hits, fault counts, and per-access latency
+    /// attribution so stats match a slow-path replay exactly.
+    fn note_fast_hits(&mut self, _hint: &FastHint, _hits: u64, _denied: u64) {}
 }
 
 /// A protocol bug planted into a scheme at construction time, for
@@ -221,6 +288,20 @@ impl SchemeKind {
         }
     }
 
+    /// Constructs the scheme as a statically dispatched [`AnyScheme`]
+    /// (what the replay engine uses on its hot path).
+    #[must_use]
+    pub fn build_any(self, config: &SimConfig) -> AnyScheme {
+        match self {
+            SchemeKind::Unprotected => AnyScheme::Unprotected(Unprotected::new(config)),
+            SchemeKind::Lowerbound => AnyScheme::Lowerbound(Lowerbound::new(config)),
+            SchemeKind::DefaultMpk => AnyScheme::DefaultMpk(DefaultMpk::new(config)),
+            SchemeKind::LibMpk => AnyScheme::LibMpk(LibMpk::new(config)),
+            SchemeKind::MpkVirt => AnyScheme::MpkVirt(MpkVirt::new(config)),
+            SchemeKind::DomainVirt => AnyScheme::DomainVirt(DomainVirt::new(config)),
+        }
+    }
+
     /// Short label used in experiment tables.
     #[must_use]
     pub fn label(self) -> &'static str {
@@ -238,6 +319,98 @@ impl SchemeKind {
 impl fmt::Display for SchemeKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// Closed enum over every scheme, for static dispatch on the replay hot
+/// path (a `match` the branch predictor resolves per-replay, instead of a
+/// `Box<dyn ProtectionScheme>` vtable load per access). Build one with
+/// [`SchemeKind::build_any`].
+#[allow(clippy::large_enum_variant)] // one scheme per replay; size is irrelevant
+#[derive(Debug)]
+pub enum AnyScheme {
+    /// No protection (baseline).
+    Unprotected(Unprotected),
+    /// Ideal MPK virtualization.
+    Lowerbound(Lowerbound),
+    /// Stock Intel MPK.
+    DefaultMpk(DefaultMpk),
+    /// Software MPK virtualization.
+    LibMpk(LibMpk),
+    /// Hardware MPK virtualization (design 1).
+    MpkVirt(MpkVirt),
+    /// Hardware domain virtualization (design 2).
+    DomainVirt(DomainVirt),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $s:ident => $body:expr) => {
+        match $self {
+            AnyScheme::Unprotected($s) => $body,
+            AnyScheme::Lowerbound($s) => $body,
+            AnyScheme::DefaultMpk($s) => $body,
+            AnyScheme::LibMpk($s) => $body,
+            AnyScheme::MpkVirt($s) => $body,
+            AnyScheme::DomainVirt($s) => $body,
+        }
+    };
+}
+
+impl ProtectionScheme for AnyScheme {
+    fn name(&self) -> &'static str {
+        dispatch!(self, s => s.name())
+    }
+
+    fn kind(&self) -> SchemeKind {
+        dispatch!(self, s => s.kind())
+    }
+
+    fn attach(&mut self, pmo: PmoId, base: Va, size: u64, nvm: bool) -> u64 {
+        dispatch!(self, s => s.attach(pmo, base, size, nvm))
+    }
+
+    fn detach(&mut self, pmo: PmoId) -> u64 {
+        dispatch!(self, s => s.detach(pmo))
+    }
+
+    fn set_perm(&mut self, pmo: PmoId, perm: Perm) -> u64 {
+        dispatch!(self, s => s.set_perm(pmo, perm))
+    }
+
+    fn access(&mut self, va: Va, kind: AccessKind) -> AccessResult {
+        dispatch!(self, s => s.access(va, kind))
+    }
+
+    fn context_switch(&mut self, to: ThreadId) -> u64 {
+        dispatch!(self, s => s.context_switch(to))
+    }
+
+    fn current_thread(&self) -> ThreadId {
+        dispatch!(self, s => s.current_thread())
+    }
+
+    fn breakdown(&self) -> CostBreakdown {
+        dispatch!(self, s => s.breakdown())
+    }
+
+    fn stats(&self) -> SchemeStats {
+        dispatch!(self, s => s.stats())
+    }
+
+    fn tlb_stats(&self) -> TlbStats {
+        dispatch!(self, s => s.tlb_stats())
+    }
+
+    fn drain_events(&mut self) -> Vec<TraceEvent> {
+        dispatch!(self, s => s.drain_events())
+    }
+
+    fn fast_hint(&self, va: Va) -> Option<FastHint> {
+        dispatch!(self, s => s.fast_hint(va))
+    }
+
+    fn note_fast_hits(&mut self, hint: &FastHint, hits: u64, denied: u64) {
+        dispatch!(self, s => s.note_fast_hits(hint, hits, denied));
     }
 }
 

@@ -15,7 +15,7 @@ use crate::fault::ProtectionFault;
 use crate::keys::KeyAllocator;
 use crate::mmu::{granule_covering, MmuBase, PkPayload, Region};
 use crate::pkru::Pkru;
-use crate::scheme::{AccessResult, ProtectionScheme, SchemeKind, SchemeStats};
+use crate::scheme::{AccessResult, FastHint, ProtectionScheme, SchemeKind, SchemeStats};
 
 /// Stock MPK.
 #[derive(Debug)]
@@ -181,6 +181,29 @@ impl ProtectionScheme for DefaultMpk {
 
     fn tlb_stats(&self) -> TlbStats {
         *self.mmu.tlb.stats()
+    }
+
+    fn fast_hint(&self, va: Va) -> Option<FastHint> {
+        let payload = self.mmu.tlb.probe_l1(vpn(va))?;
+        let domain_perm = if payload.pkey == 0 {
+            Perm::ReadWrite
+        } else {
+            self.pkru_of(self.current).perm(payload.pkey)
+        };
+        Some(FastHint {
+            cycles: self.mmu.tlb.l1_latency(),
+            mem: payload.mem,
+            effective: domain_perm.meet(payload.page_perm),
+            access_latency: 0,
+            thread: self.current,
+            held: domain_perm,
+            fault_pmo: Some(self.keys.owner(payload.pkey).unwrap_or(PmoId::NULL)),
+        })
+    }
+
+    fn note_fast_hits(&mut self, _hint: &FastHint, hits: u64, denied: u64) {
+        self.mmu.tlb.note_l1_hits(hits);
+        self.stats.faults += denied;
     }
 }
 

@@ -18,7 +18,9 @@ use crate::fault::ProtectionFault;
 use crate::keys::KeyAllocator;
 use crate::mmu::{granule_covering, MmuBase, PkPayload, Region};
 use crate::pkru::{Pkru, NUM_KEYS};
-use crate::scheme::{AccessResult, ProtectionScheme, ProtocolBug, SchemeKind, SchemeStats};
+use crate::scheme::{
+    AccessResult, FastHint, ProtectionScheme, ProtocolBug, SchemeKind, SchemeStats,
+};
 
 /// Hardware MPK virtualization.
 #[derive(Debug)]
@@ -342,6 +344,28 @@ impl ProtectionScheme for MpkVirt {
 
     fn drain_events(&mut self) -> Vec<TraceEvent> {
         std::mem::take(&mut self.pending)
+    }
+
+    fn fast_hint(&self, va: Va) -> Option<FastHint> {
+        let payload = self.mmu.tlb.probe_l1(vpn(va))?;
+        // TLB hits never consult the DTTLB or reassign keys: the verdict
+        // is a pure function of the payload and the materialized PKRU.
+        let domain_perm =
+            if payload.pkey == 0 { Perm::ReadWrite } else { self.pkru.perm(payload.pkey) };
+        Some(FastHint {
+            cycles: self.mmu.tlb.l1_latency(),
+            mem: payload.mem,
+            effective: domain_perm.meet(payload.page_perm),
+            access_latency: 0,
+            thread: self.current,
+            held: domain_perm,
+            fault_pmo: Some(self.keys.owner(payload.pkey).unwrap_or(PmoId::NULL)),
+        })
+    }
+
+    fn note_fast_hits(&mut self, _hint: &FastHint, hits: u64, denied: u64) {
+        self.mmu.tlb.note_l1_hits(hits);
+        self.stats.faults += denied;
     }
 }
 

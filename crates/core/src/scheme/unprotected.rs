@@ -5,7 +5,7 @@ use pmo_trace::{AccessKind, Perm, PmoId, ThreadId, Va};
 
 use crate::breakdown::CostBreakdown;
 use crate::mmu::{granule_covering, MmuBase, PlainPayload, Region};
-use crate::scheme::{AccessResult, ProtectionScheme, SchemeKind, SchemeStats};
+use crate::scheme::{AccessResult, FastHint, ProtectionScheme, SchemeKind, SchemeStats};
 
 /// Baseline scheme: virtual memory only, no domain machinery, permission
 /// switches are free (the baseline binary contains none).
@@ -119,6 +119,24 @@ impl ProtectionScheme for Unprotected {
 
     fn tlb_stats(&self) -> TlbStats {
         *self.mmu.tlb.stats()
+    }
+
+    fn fast_hint(&self, va: Va) -> Option<FastHint> {
+        let payload = self.mmu.tlb.probe_l1(vpn(va))?;
+        Some(FastHint {
+            cycles: self.mmu.tlb.l1_latency(),
+            mem: payload.mem,
+            effective: payload.page_perm,
+            access_latency: 0,
+            thread: self.current,
+            held: payload.page_perm,
+            fault_pmo: None,
+        })
+    }
+
+    fn note_fast_hits(&mut self, _hint: &FastHint, hits: u64, denied: u64) {
+        self.mmu.tlb.note_l1_hits(hits);
+        self.stats.faults += denied;
     }
 }
 

@@ -1,4 +1,4 @@
-use pmo_experiments::{report_for, run_micro, Scale};
+use pmo_experiments::{report_for, run_micro, RunOptions, Scale};
 use pmo_protect::SchemeKind;
 use pmo_simarch::SimConfig;
 use pmo_workloads::MicroBench;
@@ -12,6 +12,7 @@ fn main() {
             &cfg,
             &[SchemeKind::Lowerbound, SchemeKind::LibMpk, SchemeKind::MpkVirt],
             &sim,
+            RunOptions::default(),
         );
         let lb = report_for(&reports, SchemeKind::Lowerbound);
         let lm = report_for(&reports, SchemeKind::LibMpk);

@@ -9,7 +9,7 @@ use pmo_protect::SchemeKind;
 use pmo_simarch::SimConfig;
 use pmo_workloads::{MicroBench, ServerConfig, ServerWorkload};
 
-use crate::runner::{report_for, run_micro, run_windowed};
+use crate::runner::{report_for, run_micro, run_windowed, RunOptions};
 use crate::text::{f, TextTable};
 use crate::Scale;
 
@@ -44,7 +44,8 @@ const DEFAULT_COL2: &str = "domain-virt % over lowerbound";
 
 fn both_overheads(sim: &SimConfig, scale: Scale, active: u32) -> (f64, f64) {
     let kinds = [SchemeKind::Lowerbound, SchemeKind::MpkVirt, SchemeKind::DomainVirt];
-    let reports = run_micro(MicroBench::Rbt, &scale.micro_config(active), &kinds, sim);
+    let reports =
+        run_micro(MicroBench::Rbt, &scale.micro_config(active), &kinds, sim, RunOptions::default());
     let lb = report_for(&reports, SchemeKind::Lowerbound);
     (
         report_for(&reports, SchemeKind::MpkVirt).overhead_pct_over(lb),
@@ -114,7 +115,7 @@ pub fn context_switch_quantum(base: &SimConfig) -> Ablation {
                     pmo_bytes: 8 << 20,
                     seed: 0x5e7e,
                 });
-                run_windowed(&mut workload, kind, base)
+                run_windowed(&mut workload, kind, base, RunOptions::default())
             };
             let lb = run(SchemeKind::Lowerbound);
             let d1 = run(SchemeKind::MpkVirt).overhead_pct_over(&lb);
@@ -155,7 +156,8 @@ pub fn domain_size(base: &SimConfig) -> (Ablation, Ablation) {
                     seed: 0xd0_517e,
                 };
                 let kinds = [SchemeKind::Lowerbound, kind, SchemeKind::DomainVirt];
-                let reports = run_micro(MicroBench::Rbt, &config, &kinds, base);
+                let reports =
+                    run_micro(MicroBench::Rbt, &config, &kinds, base, RunOptions::default());
                 let lb = report_for(&reports, SchemeKind::Lowerbound);
                 AblationPoint {
                     value: mb,
@@ -205,7 +207,7 @@ pub fn switch_granularity(base: &SimConfig) -> Ablation {
                         seed: 0x7ab1e5,
                     },
                 );
-                run_windowed(&mut workload, kind, base)
+                run_windowed(&mut workload, kind, base, RunOptions::default())
             };
             let baseline = run(SchemeKind::Unprotected);
             let d1 = run(SchemeKind::MpkVirt).overhead_pct_over(&baseline);

@@ -1,0 +1,245 @@
+//! Campaign + replay-throughput benchmark with a tracked trajectory.
+//!
+//! Runs the quick campaigns serially and at `--jobs N` (asserting the
+//! outputs are byte-identical), measures single-thread replay throughput
+//! with the same-page fast path off and on (asserting the reports are
+//! field-identical), and appends one entry to `BENCH_campaign.json` so
+//! the performance trajectory is tracked across commits.
+//!
+//! ```text
+//! cargo run --release -p pmo-experiments --bin benchtrend
+//! cargo run --release -p pmo-experiments --bin benchtrend -- --jobs 4 --out BENCH_campaign.json
+//! ```
+//!
+//! Exits non-zero if any determinism or equivalence check fails.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pmo_experiments::faultsim::FaultsimConfig;
+use pmo_experiments::{faultsim, table5, table6, RunOptions, Scale};
+use pmo_protect::SchemeKind;
+use pmo_sim::{Replay, ReplayReport};
+use pmo_simarch::SimConfig;
+use pmo_trace::{RecordedTrace, TraceSource};
+use pmo_workloads::{MicroBench, MicroConfig, MicroWorkload, Workload};
+
+/// Replay-throughput measurement repetitions (best-of to damp noise).
+const REPS: u32 = 3;
+
+struct CampaignRow {
+    name: &'static str,
+    wall_jobs1: u64,
+    wall_jobsn: u64,
+}
+
+/// Times `render(jobs)` at 1 and `jobs` workers and asserts the two
+/// serialized outputs are byte-identical.
+fn time_campaign(name: &'static str, jobs: usize, render: impl Fn(usize) -> String) -> CampaignRow {
+    let started = Instant::now();
+    let serial = render(1);
+    let wall_jobs1 = started.elapsed().as_nanos() as u64;
+    let started = Instant::now();
+    let parallel = render(jobs);
+    let wall_jobsn = started.elapsed().as_nanos() as u64;
+    assert_eq!(serial, parallel, "{name}: --jobs {jobs} output diverged from --jobs 1");
+    println!(
+        "campaign {name:<16} jobs=1 {:>8.1} ms   jobs={jobs} {:>8.1} ms   speedup {:.2}x",
+        wall_jobs1 as f64 / 1e6,
+        wall_jobsn as f64 / 1e6,
+        wall_jobs1 as f64 / wall_jobsn as f64,
+    );
+    CampaignRow { name, wall_jobs1, wall_jobsn }
+}
+
+/// The two replay-throughput traces: a pointer-chasing AVL sweep over 32
+/// PMOs (adversarial for the fast path — low same-page locality, lots of
+/// cache and TLB misses) and a string-swap array workload (the paper's
+/// common case — long runs of same-domain, same-page accesses).
+fn replay_traces() -> Vec<(&'static str, RecordedTrace)> {
+    let record = |bench, pmos, initial_nodes, ops| {
+        let config = MicroConfig {
+            pmos,
+            active_pmos: pmos,
+            pmo_bytes: 8 << 20,
+            initial_nodes,
+            ops,
+            insert_pct: 90,
+            value_bytes: 64,
+            seed: 0xbe9c,
+        };
+        let mut workload = MicroWorkload::new(bench, config);
+        let mut trace = RecordedTrace::new();
+        workload.setup(&mut trace);
+        workload.run(&mut trace);
+        trace
+    };
+    vec![
+        ("pointer-chase", record(MicroBench::Avl, 32, 64, 20_000)),
+        ("string-swap", record(MicroBench::StringSwap, 4, 64, 150_000)),
+    ]
+}
+
+struct ReplayRow {
+    trace: &'static str,
+    scheme: SchemeKind,
+    events: u64,
+    wall_walk: u64,
+    wall_fast: u64,
+}
+
+/// Best-of-`REPS` wall time replaying `trace` under `kind`; returns the
+/// (unstamped, deterministic) report of the last rep.
+fn time_replay(trace: &RecordedTrace, kind: SchemeKind, fast: bool) -> (u64, ReplayReport) {
+    let sim = SimConfig::isca2020();
+    let mut best = u64::MAX;
+    let mut last = None;
+    for _ in 0..REPS {
+        let mut replay = Replay::new(kind, &sim);
+        replay.set_fast_path(fast);
+        let started = Instant::now();
+        trace.replay(&mut replay);
+        let report = replay.finish();
+        best = best.min(started.elapsed().as_nanos() as u64);
+        last = Some(report);
+    }
+    (best, last.expect("at least one rep"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    let jobs = RunOptions::from_args().jobs.max(1);
+    let jobs = if args.iter().any(|a| a == "--jobs") { jobs } else { host_parallelism.max(2) };
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_campaign.json".to_string());
+    let sim = SimConfig::isca2020();
+    println!("benchtrend: host parallelism {host_parallelism}, fanning with --jobs {jobs}\n");
+
+    // Part 1: campaign wall clock, serial vs parallel, byte-identical.
+    let campaigns = [
+        time_campaign("faultsim-quick", jobs, |j| {
+            let cfg = FaultsimConfig::for_scale(Scale::Quick);
+            faultsim::run_campaign(&cfg, j).to_json()
+        }),
+        time_campaign("table5-quick", jobs, |j| {
+            let opts = RunOptions { jobs: j, ..RunOptions::default() };
+            table5::table5(Scale::Quick, &sim, opts).to_string()
+        }),
+        time_campaign("table6-quick", jobs, |j| {
+            let opts = RunOptions { jobs: j, ..RunOptions::default() };
+            table6::table6(Scale::Quick, &sim, opts).to_string()
+        }),
+    ];
+
+    // Part 2: single-thread replay throughput, radix/DTT/PT walk on every
+    // access vs the memoized same-page fast path, identical reports.
+    let mut rows = Vec::new();
+    for (label, trace) in &replay_traces() {
+        println!();
+        for kind in SchemeKind::ALL {
+            let (wall_walk, report_walk) = time_replay(trace, kind, false);
+            let (wall_fast, report_fast) = time_replay(trace, kind, true);
+            assert_eq!(
+                report_walk, report_fast,
+                "{label}/{kind}: fast-path report diverged from full-walk report"
+            );
+            let events = report_walk.counts.events;
+            println!(
+                "replay {label:<14} {kind:<12} {events:>9} events   walk {:>7.1} ms   \
+                 fast {:>7.1} ms   {:>5.1} -> {:>5.1} Mev/s   speedup {:.2}x",
+                wall_walk as f64 / 1e6,
+                wall_fast as f64 / 1e6,
+                events as f64 * 1e3 / wall_walk as f64,
+                events as f64 * 1e3 / wall_fast as f64,
+                wall_walk as f64 / wall_fast as f64,
+            );
+            rows.push(ReplayRow { trace: label, scheme: kind, events, wall_walk, wall_fast });
+        }
+    }
+    let total_events: u64 = rows.iter().map(|r| r.events).sum();
+    let total_walk: u64 = rows.iter().map(|r| r.wall_walk).sum();
+    let total_fast: u64 = rows.iter().map(|r| r.wall_fast).sum();
+    let overall = total_walk as f64 / total_fast as f64;
+    println!(
+        "\nreplay overall: {:.1} -> {:.1} Mev/s, speedup {overall:.2}x",
+        total_events as f64 * 1e3 / total_walk as f64,
+        total_events as f64 * 1e3 / total_fast as f64,
+    );
+
+    // Part 3: append the trajectory entry.
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut entry = String::new();
+    let _ = write!(
+        entry,
+        "{{\"unix_secs\":{unix_secs},\"host_parallelism\":{host_parallelism},\"jobs\":{jobs},\
+         \"campaigns\":["
+    );
+    for (i, c) in campaigns.iter().enumerate() {
+        if i > 0 {
+            entry.push(',');
+        }
+        let _ = write!(
+            entry,
+            "{{\"name\":\"{}\",\"wall_nanos_jobs1\":{},\"wall_nanos_jobsn\":{},\
+             \"speedup\":{:.3}}}",
+            c.name,
+            c.wall_jobs1,
+            c.wall_jobsn,
+            c.wall_jobs1 as f64 / c.wall_jobsn as f64,
+        );
+    }
+    entry.push_str("],\"replay\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            entry.push(',');
+        }
+        let _ = write!(
+            entry,
+            "{{\"trace\":\"{}\",\"scheme\":\"{}\",\"events\":{},\"wall_nanos_walk\":{},\
+             \"wall_nanos_fast\":{},\"events_per_sec_walk\":{:.0},\
+             \"events_per_sec_fast\":{:.0},\"speedup\":{:.3}}}",
+            r.trace,
+            r.scheme,
+            r.events,
+            r.wall_walk,
+            r.wall_fast,
+            r.events as f64 * 1e9 / r.wall_walk as f64,
+            r.events as f64 * 1e9 / r.wall_fast as f64,
+            r.wall_walk as f64 / r.wall_fast as f64,
+        );
+    }
+    let _ = write!(
+        entry,
+        "],\"replay_overall\":{{\"events\":{total_events},\
+         \"events_per_sec_walk\":{:.0},\"events_per_sec_fast\":{:.0},\"speedup\":{overall:.3}}}}}",
+        total_events as f64 * 1e9 / total_walk as f64,
+        total_events as f64 * 1e9 / total_fast as f64,
+    );
+    if let Err(e) = append_entry(&out, &entry) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("appended trajectory entry to {out}");
+    ExitCode::SUCCESS
+}
+
+/// Appends `entry` to the JSON array in `path`, creating the file (or
+/// restarting the array if the file isn't one) as needed.
+fn append_entry(path: &str, entry: &str) -> std::io::Result<()> {
+    let trimmed = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| s.trim_end().strip_suffix(']').map(|t| t.trim_end().to_string()));
+    let body = match trimmed {
+        Some(t) if t.ends_with('[') => format!("{t}\n  {entry}\n]\n"),
+        Some(t) => format!("{t},\n  {entry}\n]\n"),
+        None => format!("[\n  {entry}\n]\n"),
+    };
+    std::fs::write(path, body)
+}

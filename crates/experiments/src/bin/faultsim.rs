@@ -12,15 +12,18 @@
 //!
 //! Exits non-zero if any trial violates a workload invariant or panics.
 //! Each trial's trace is permission-audited by default (`--no-audit`
-//! opts out); `--json PATH` writes the survival matrix as JSON.
+//! opts out); `--json PATH` writes the survival matrix as JSON;
+//! `--jobs N` fans trials across N worker threads (the matrix is
+//! byte-identical at any job count).
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use pmo_experiments::faultsim::{
     fault_kind_from_label, measure_workload, run_campaign, run_trial, FaultWorkload,
     FaultsimConfig, Outcome,
 };
-use pmo_experiments::Scale;
+use pmo_experiments::{RunOptions, Scale};
 
 /// Returns the value following `flag` on the command line, if any.
 fn arg_value(flag: &str) -> Option<String> {
@@ -89,7 +92,9 @@ fn main() -> ExitCode {
     // silence the default "thread panicked" spew while trials run.
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
-    let report = run_campaign(&cfg);
+    let started = Instant::now();
+    let mut report = run_campaign(&cfg, RunOptions::from_args().jobs);
+    report.wall_nanos = started.elapsed().as_nanos() as u64;
     std::panic::set_hook(default_hook);
 
     println!("(scale: {scale:?})\n{report}");

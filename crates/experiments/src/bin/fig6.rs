@@ -1,13 +1,13 @@
 //! Regenerates Figure 6 (overhead vs number of PMOs, per benchmark).
 //! Pass --full for the paper's scale.
 
-use pmo_experiments::{fig6::fig6, Scale};
+use pmo_experiments::{fig6::fig6, RunOptions, Scale};
 use pmo_simarch::SimConfig;
 
 fn main() {
     let scale = Scale::from_args();
     let sim = SimConfig::isca2020();
-    let result = fig6(scale, &sim);
+    let result = fig6(scale, &sim, RunOptions::from_args());
     println!("(scale: {scale:?})\n{result}");
     if std::env::args().any(|a| a == "--csv") {
         std::fs::create_dir_all("results").expect("results dir");

@@ -1,13 +1,13 @@
 //! Regenerates Figure 7 (average overheads and libmpk speedup factors).
 //! Pass --full for the paper's scale.
 
-use pmo_experiments::{fig6::fig6, fig7::fig7, Scale};
+use pmo_experiments::{fig6::fig6, fig7::fig7, RunOptions, Scale};
 use pmo_simarch::SimConfig;
 
 fn main() {
     let scale = Scale::from_args();
     let sim = SimConfig::isca2020();
-    let f6 = fig6(scale, &sim);
+    let f6 = fig6(scale, &sim, RunOptions::from_args());
     let f7 = fig7(&f6);
     println!("(scale: {scale:?})\n{f7}");
     if std::env::args().any(|a| a == "--csv") {

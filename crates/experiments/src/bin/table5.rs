@@ -1,11 +1,11 @@
 //! Regenerates Table V (WHISPER single-PMO overheads). Pass --full for
 //! the paper's scale.
 
-use pmo_experiments::{table5::table5, Scale};
+use pmo_experiments::{table5::table5, RunOptions, Scale};
 use pmo_simarch::SimConfig;
 
 fn main() {
     let scale = Scale::from_args();
     let sim = SimConfig::isca2020();
-    println!("(scale: {scale:?})\n{}", table5(scale, &sim));
+    println!("(scale: {scale:?})\n{}", table5(scale, &sim, RunOptions::from_args()));
 }

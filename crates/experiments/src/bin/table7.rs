@@ -1,11 +1,11 @@
 //! Regenerates Table VII (overhead breakdown at the maximum PMO count).
 //! Pass --full for the paper's scale.
 
-use pmo_experiments::{table7::table7, Scale};
+use pmo_experiments::{table7::table7, RunOptions, Scale};
 use pmo_simarch::SimConfig;
 
 fn main() {
     let scale = Scale::from_args();
     let sim = SimConfig::isca2020();
-    println!("(scale: {scale:?})\n{}", table7(scale, &sim));
+    println!("(scale: {scale:?})\n{}", table7(scale, &sim, RunOptions::from_args()));
 }

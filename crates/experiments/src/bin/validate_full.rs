@@ -4,7 +4,7 @@
 //!
 //! Usage: validate_full [--bench AVL|RBT|BT|LL|SS] [--ops N]
 
-use pmo_experiments::{report_for, run_micro};
+use pmo_experiments::{report_for, run_micro, RunOptions};
 use pmo_protect::SchemeKind;
 use pmo_simarch::SimConfig;
 use pmo_workloads::{MicroBench, MicroConfig};
@@ -40,7 +40,7 @@ fn main() {
     );
     let kinds =
         [SchemeKind::Lowerbound, SchemeKind::LibMpk, SchemeKind::MpkVirt, SchemeKind::DomainVirt];
-    let reports = run_micro(bench, &config, &kinds, &sim);
+    let reports = run_micro(bench, &config, &kinds, &sim, RunOptions::from_args());
     let lb = report_for(&reports, SchemeKind::Lowerbound);
     println!("lowerbound: {} cycles, {:.0} switches/sec", lb.cycles, lb.switches_per_sec(&sim));
     let mut overheads = std::collections::HashMap::new();

@@ -289,6 +289,10 @@ pub struct CampaignReport {
     pub campaign_seed: u64,
     /// Total trials executed.
     pub trials: u64,
+    /// Host wall-clock time the campaign took, in nanoseconds. Left 0 by
+    /// [`run_campaign`] (its output is deterministic); the CLI layer
+    /// stamps it after the run.
+    pub wall_nanos: u64,
 }
 
 impl CampaignReport {
@@ -298,6 +302,20 @@ impl CampaignReport {
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// Trials completed per host wall-clock second — the campaign-level
+    /// throughput metric of the bench trajectory (named uniformly with
+    /// [`pmo_sim::ReplayReport::events_per_sec`]; a trial is the
+    /// campaign's unit of replayed work). 0.0 until `wall_nanos` has
+    /// been stamped.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.trials as f64 * 1e9 / self.wall_nanos as f64
+        }
     }
 
     /// Renders the survival matrix as a JSON object (for CI artifacts).
@@ -344,10 +362,13 @@ impl CampaignReport {
             );
         }
         format!(
-            "{{\"campaign_seed\":{},\"trials\":{},\"clean\":{},\"cells\":[{}],\"failures\":[{}]}}",
+            "{{\"campaign_seed\":{},\"trials\":{},\"clean\":{},\"wall_nanos\":{},\
+             \"events_per_sec\":{:.1},\"cells\":[{}],\"failures\":[{}]}}",
             self.campaign_seed,
             self.trials,
             self.is_clean(),
+            self.wall_nanos,
+            self.events_per_sec(),
             cells,
             failures,
         )
@@ -646,17 +667,41 @@ fn crash_points(op_stores: u64, limit: usize) -> Vec<u64> {
 
 /// Runs the full campaign: every workload × every fault kind × the swept
 /// crash points.
+///
+/// Each trial is a pure function of `(campaign_seed, workload, kind,
+/// after)`, so trials fan across `jobs` worker threads and are tallied
+/// back in the canonical workload/kind/point order — the report (and its
+/// serialized forms) is byte-identical at any job count.
 #[must_use]
-pub fn run_campaign(cfg: &FaultsimConfig) -> CampaignReport {
+pub fn run_campaign(cfg: &FaultsimConfig, jobs: usize) -> CampaignReport {
     let mut report =
         CampaignReport { campaign_seed: cfg.campaign_seed, ..CampaignReport::default() };
-    for workload in FaultWorkload::ALL {
+    // Phase 1: size each workload's op phase (one cheap fault-free run
+    // per workload, itself fanned out).
+    let sized = crate::pool::parallel_map(jobs, FaultWorkload::ALL.to_vec(), |workload| {
         let op_stores = measure_workload(cfg, workload);
         let points = crash_points(op_stores, cfg.max_points_per_cell);
+        (workload, op_stores, points)
+    });
+    // Phase 2: flatten every (workload, kind, crash point) trial
+    // coordinate and run them all, order-preserving.
+    let mut coords = Vec::new();
+    for (workload, _, points) in &sized {
+        for kind in FAULT_KINDS {
+            for &after in points {
+                coords.push((*workload, kind, after));
+            }
+        }
+    }
+    let results =
+        crate::pool::parallel_map(jobs, coords, |(w, k, after)| run_trial(cfg, w, k, after));
+    // Phase 3: serial canonical tally (identical to the jobs=1 loop).
+    let mut results = results.into_iter();
+    for (workload, op_stores, points) in sized {
         for kind in FAULT_KINDS {
             let mut counts = CellCounts::default();
             for &after in &points {
-                let result = run_trial(cfg, workload, kind, after);
+                let result = results.next().expect("one result per coordinate");
                 counts.tally(&result.outcome);
                 report.trials += 1;
                 if matches!(result.outcome, Outcome::Violation | Outcome::Panicked) {
@@ -717,6 +762,7 @@ mod tests {
                 outcome: Outcome::Violation,
                 detail: "broke a \"chain\"".to_string(),
             }],
+            wall_nanos: 0,
         };
         let json = report.to_json();
         assert!(json.contains("\"workload\":\"avl\""), "{json}");
@@ -762,11 +808,21 @@ mod tests {
 
     #[test]
     fn small_campaign_has_no_violations_or_panics() {
-        let report = run_campaign(&tiny());
+        let report = run_campaign(&tiny(), 1);
         assert!(report.is_clean(), "{report}");
         assert!(report.trials > 0);
         let recovered: u64 = report.cells.iter().map(|c| c.counts.recovered).sum();
         assert!(recovered > 0, "{report}");
+    }
+
+    #[test]
+    fn parallel_campaign_is_byte_identical_to_serial() {
+        // The campaign executor's determinism contract: the merged report
+        // (text and JSON) never depends on the job count.
+        let serial = run_campaign(&tiny(), 1);
+        let parallel = run_campaign(&tiny(), 4);
+        assert_eq!(serial.to_json(), parallel.to_json());
+        assert_eq!(format!("{serial}"), format!("{parallel}"));
     }
 
     #[test]

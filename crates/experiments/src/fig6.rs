@@ -7,7 +7,8 @@ use pmo_protect::SchemeKind;
 use pmo_simarch::SimConfig;
 use pmo_workloads::MicroBench;
 
-use crate::runner::{report_for, run_micro};
+use crate::pool::parallel_map;
+use crate::runner::{report_for, run_micro, RunOptions};
 use crate::text::{f, TextTable};
 use crate::Scale;
 
@@ -40,27 +41,37 @@ pub struct Fig6 {
     pub series: Vec<Fig6Series>,
 }
 
-/// Runs the Figure 6 sweep.
+/// Runs the Figure 6 sweep. Every (benchmark, PMO-count) cell is an
+/// independent 4-scheme replay, fanned across `opts.jobs` workers and
+/// reassembled in canonical benchmark/sweep order — the result is
+/// byte-identical at any job count.
 #[must_use]
-pub fn fig6(scale: Scale, sim: &SimConfig) -> Fig6 {
+pub fn fig6(scale: Scale, sim: &SimConfig, opts: RunOptions) -> Fig6 {
     let kinds =
         [SchemeKind::Lowerbound, SchemeKind::LibMpk, SchemeKind::MpkVirt, SchemeKind::DomainVirt];
-    let mut series = Vec::new();
-    for bench in MicroBench::ALL {
-        let mut points = Vec::new();
-        for pmos in scale.pmo_sweep() {
-            let config = scale.micro_config(pmos);
-            let reports = run_micro(bench, &config, &kinds, sim);
-            let lb = report_for(&reports, SchemeKind::Lowerbound);
-            points.push(Fig6Point {
-                pmos,
-                libmpk_pct: report_for(&reports, SchemeKind::LibMpk).overhead_pct_over(lb),
-                mpk_virt_pct: report_for(&reports, SchemeKind::MpkVirt).overhead_pct_over(lb),
-                domain_virt_pct: report_for(&reports, SchemeKind::DomainVirt).overhead_pct_over(lb),
-            });
+    let sweep = scale.pmo_sweep();
+    let cells: Vec<(MicroBench, u32)> = MicroBench::ALL
+        .into_iter()
+        .flat_map(|bench| sweep.iter().map(move |&pmos| (bench, pmos)))
+        .collect();
+    // Workers run whole cells; the inner per-scheme loop stays serial so
+    // the thread count is exactly `jobs`.
+    let points = parallel_map(opts.jobs, cells, |(bench, pmos)| {
+        let config = scale.micro_config(pmos);
+        let reports = run_micro(bench, &config, &kinds, sim, opts.serial());
+        let lb = report_for(&reports, SchemeKind::Lowerbound);
+        Fig6Point {
+            pmos,
+            libmpk_pct: report_for(&reports, SchemeKind::LibMpk).overhead_pct_over(lb),
+            mpk_virt_pct: report_for(&reports, SchemeKind::MpkVirt).overhead_pct_over(lb),
+            domain_virt_pct: report_for(&reports, SchemeKind::DomainVirt).overhead_pct_over(lb),
         }
-        series.push(Fig6Series { bench: bench.label(), points });
-    }
+    });
+    let series = MicroBench::ALL
+        .into_iter()
+        .zip(points.chunks(sweep.len()))
+        .map(|(bench, points)| Fig6Series { bench: bench.label(), points: points.to_vec() })
+        .collect();
     Fig6 { series }
 }
 

@@ -23,6 +23,7 @@ pub mod ablations;
 pub mod faultsim;
 pub mod fig6;
 pub mod fig7;
+pub mod pool;
 mod runner;
 mod scale;
 pub mod table5;
@@ -31,7 +32,7 @@ pub mod table7;
 pub mod table8;
 pub mod text;
 
-pub use runner::{report_for, run_micro, run_whisper, run_windowed};
+pub use runner::{report_for, run_micro, run_whisper, run_windowed, RunOptions};
 pub use scale::Scale;
 
 #[cfg(test)]

@@ -4,8 +4,9 @@
 //!
 //! Every run is statically audited by default: the trace is teed into a
 //! [`pmo_analyzer`] permission-window pass alongside the simulator, and
-//! an audit error is a harness bug (panic). Pass `--no-audit` on the
-//! command line (or call [`run_windowed_unaudited`]) to opt out.
+//! an audit error is a harness bug (panic). Binaries parse `--no-audit`
+//! and `--jobs N` into [`RunOptions`] at the CLI layer and thread the
+//! options down explicitly — the library never sniffs `argv`.
 
 use pmo_analyzer::{Analyzer, PermWindowPass};
 use pmo_protect::SchemeKind;
@@ -15,6 +16,54 @@ use pmo_trace::{TraceEvent, TraceSink};
 use pmo_workloads::{
     MicroBench, MicroConfig, MicroWorkload, WhisperBench, WhisperConfig, WhisperWorkload, Workload,
 };
+
+use crate::pool::parallel_map;
+
+/// How the shared drivers run: whether the permission audit tees along,
+/// and how many worker threads fan independent cells out.
+///
+/// Results never depend on `jobs` — campaign cells are independent and
+/// merged in canonical order, so any `jobs` value produces byte-identical
+/// reports to `jobs = 1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Tee the trace into the permission-window audit (on by default;
+    /// `--no-audit` clears it).
+    pub audit: bool,
+    /// Worker threads for independent campaign cells (`--jobs N`;
+    /// 1 = fully serial).
+    pub jobs: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { audit: true, jobs: 1 }
+    }
+}
+
+impl RunOptions {
+    /// Parses `--no-audit` and `--jobs N` from the process arguments
+    /// (CLI-layer helper for the experiment binaries).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let jobs = args
+            .iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1);
+        RunOptions { audit: !args.iter().any(|a| a == "--no-audit"), jobs }
+    }
+
+    /// This configuration with parallelism stripped — for nested drivers
+    /// that already run inside a worker thread.
+    #[must_use]
+    pub fn serial(self) -> Self {
+        RunOptions { jobs: 1, ..self }
+    }
+}
 
 /// Tees each workload event into the replay, then forwards the event plus
 /// any protocol events the scheme emitted while handling it (key-eviction
@@ -35,12 +84,6 @@ impl TraceSink for AuditedSink<'_> {
     }
 }
 
-/// Whether `--no-audit` was passed to the running binary.
-fn audit_enabled() -> bool {
-    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ENABLED.get_or_init(|| !std::env::args().any(|a| a == "--no-audit"))
-}
-
 /// Runs `workload` under `kind`, returning the report windowed to the
 /// measured (post-setup) phase.
 ///
@@ -53,8 +96,9 @@ pub fn run_windowed(
     workload: &mut dyn Workload,
     kind: SchemeKind,
     config: &SimConfig,
+    opts: RunOptions,
 ) -> ReplayReport {
-    if !audit_enabled() {
+    if !opts.audit {
         return run_windowed_unaudited(workload, kind, config);
     }
     let name = workload.name();
@@ -104,36 +148,35 @@ pub fn run_windowed_unaudited(
 }
 
 /// Runs a fresh instance of a microbenchmark under every scheme in
-/// `kinds` (same seed → same trace, the paper's methodology).
+/// `kinds` (same seed → same trace, the paper's methodology). Schemes
+/// are independent cells, fanned across `opts.jobs` workers; reports
+/// come back in `kinds` order regardless.
 pub fn run_micro(
     bench: MicroBench,
     config: &MicroConfig,
     kinds: &[SchemeKind],
     sim: &SimConfig,
+    opts: RunOptions,
 ) -> Vec<ReplayReport> {
-    kinds
-        .iter()
-        .map(|&kind| {
-            let mut workload = MicroWorkload::new(bench, config.clone());
-            run_windowed(&mut workload, kind, sim)
-        })
-        .collect()
+    parallel_map(opts.jobs, kinds.to_vec(), |kind| {
+        let mut workload = MicroWorkload::new(bench, config.clone());
+        run_windowed(&mut workload, kind, sim, opts)
+    })
 }
 
-/// Runs a fresh instance of a WHISPER benchmark under every scheme.
+/// Runs a fresh instance of a WHISPER benchmark under every scheme, one
+/// independent cell per scheme across `opts.jobs` workers.
 pub fn run_whisper(
     bench: WhisperBench,
     config: &WhisperConfig,
     kinds: &[SchemeKind],
     sim: &SimConfig,
+    opts: RunOptions,
 ) -> Vec<ReplayReport> {
-    kinds
-        .iter()
-        .map(|&kind| {
-            let mut workload = WhisperWorkload::new(bench, config.clone());
-            run_windowed(&mut workload, kind, sim)
-        })
-        .collect()
+    parallel_map(opts.jobs, kinds.to_vec(), |kind| {
+        let mut workload = WhisperWorkload::new(bench, config.clone());
+        run_windowed(&mut workload, kind, sim, opts)
+    })
 }
 
 /// Finds the report for `kind` in a `run_*` result.
@@ -166,7 +209,13 @@ mod tests {
     #[test]
     fn micro_runs_clean_under_all_schemes() {
         let sim = SimConfig::isca2020();
-        let reports = run_micro(MicroBench::Avl, &tiny_micro(), &SchemeKind::ALL, &sim);
+        let reports = run_micro(
+            MicroBench::Avl,
+            &tiny_micro(),
+            &SchemeKind::ALL,
+            &sim,
+            RunOptions::default(),
+        );
         assert_eq!(reports.len(), 6);
         for r in &reports {
             assert_eq!(r.ops, 60, "{}: windowed ops", r.scheme);
@@ -180,6 +229,29 @@ mod tests {
     }
 
     #[test]
+    fn parallel_jobs_match_serial_byte_for_byte() {
+        // The determinism contract of the campaign executor: reports from
+        // a 4-worker fan-out equal the serial run field-for-field, and
+        // their serialized forms are byte-identical.
+        let sim = SimConfig::isca2020();
+        let cfg = tiny_micro();
+        let serial =
+            run_micro(MicroBench::Avl, &cfg, &SchemeKind::ALL, &sim, RunOptions::default());
+        let parallel = run_micro(
+            MicroBench::Avl,
+            &cfg,
+            &SchemeKind::ALL,
+            &sim,
+            RunOptions { jobs: 4, ..RunOptions::default() },
+        );
+        assert_eq!(serial, parallel);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.to_json(), p.to_json());
+            assert_eq!(format!("{s}"), format!("{p}"));
+        }
+    }
+
+    #[test]
     fn whisper_runs_clean() {
         let sim = SimConfig::isca2020();
         let cfg =
@@ -189,6 +261,7 @@ mod tests {
             &cfg,
             &[SchemeKind::Unprotected, SchemeKind::DefaultMpk, SchemeKind::DomainVirt],
             &sim,
+            RunOptions { jobs: 2, ..RunOptions::default() },
         );
         let base = report_for(&reports, SchemeKind::Unprotected);
         let mpk = report_for(&reports, SchemeKind::DefaultMpk);
@@ -201,10 +274,30 @@ mod tests {
         let cfg = tiny_micro();
         let report = {
             let mut w = MicroWorkload::new(MicroBench::LinkedList, cfg.clone());
-            run_windowed(&mut w, SchemeKind::Lowerbound, &sim)
+            run_windowed(&mut w, SchemeKind::Lowerbound, &sim, RunOptions::default())
         };
         // 2 switches per measured op only (population switches windowed out).
         assert_eq!(report.counts.set_perms, 2 * 60);
         assert_eq!(report.ops, 60);
+    }
+
+    #[test]
+    fn unaudited_option_matches_unaudited_fn() {
+        let sim = SimConfig::isca2020();
+        let cfg = tiny_micro();
+        let via_opts = {
+            let mut w = MicroWorkload::new(MicroBench::Avl, cfg.clone());
+            run_windowed(
+                &mut w,
+                SchemeKind::DomainVirt,
+                &sim,
+                RunOptions { audit: false, ..RunOptions::default() },
+            )
+        };
+        let direct = {
+            let mut w = MicroWorkload::new(MicroBench::Avl, cfg.clone());
+            run_windowed_unaudited(&mut w, SchemeKind::DomainVirt, &sim)
+        };
+        assert_eq!(via_opts, direct);
     }
 }

@@ -7,7 +7,8 @@ use pmo_protect::SchemeKind;
 use pmo_simarch::SimConfig;
 use pmo_workloads::WhisperBench;
 
-use crate::runner::{report_for, run_whisper};
+use crate::pool::parallel_map;
+use crate::runner::{report_for, run_whisper, RunOptions};
 use crate::text::{f, grouped, TextTable};
 use crate::Scale;
 
@@ -35,32 +36,34 @@ pub struct Table5 {
     pub average: Table5Row,
 }
 
-/// Runs the Table V experiment.
+/// Runs the Table V experiment. Each benchmark is an independent cell,
+/// fanned across `opts.jobs` workers; rows land in the canonical
+/// benchmark order whatever the job count, so the table is byte-identical
+/// to a serial run.
 #[must_use]
-pub fn table5(scale: Scale, sim: &SimConfig) -> Table5 {
+pub fn table5(scale: Scale, sim: &SimConfig, opts: RunOptions) -> Table5 {
     let kinds = [
         SchemeKind::Unprotected,
         SchemeKind::DefaultMpk,
         SchemeKind::MpkVirt,
         SchemeKind::DomainVirt,
     ];
-    let mut rows = Vec::new();
-    for bench in WhisperBench::ALL {
+    let rows = parallel_map(opts.jobs, WhisperBench::ALL.to_vec(), |bench| {
         let mut config = scale.whisper_config();
         if bench == WhisperBench::Redis {
             config.txns *= scale.redis_factor();
         }
-        let reports = run_whisper(bench, &config, &kinds, sim);
+        let reports = run_whisper(bench, &config, &kinds, sim, opts.serial());
         let base = report_for(&reports, SchemeKind::Unprotected);
         let mpk = report_for(&reports, SchemeKind::DefaultMpk);
-        rows.push(Table5Row {
+        Table5Row {
             bench: bench.label(),
             switches_per_sec: mpk.switches_per_sec(sim),
             mpk_pct: mpk.overhead_pct_over(base),
             mpk_virt_pct: report_for(&reports, SchemeKind::MpkVirt).overhead_pct_over(base),
             domain_virt_pct: report_for(&reports, SchemeKind::DomainVirt).overhead_pct_over(base),
-        });
-    }
+        }
+    });
     let n = rows.len() as f64;
     let average = Table5Row {
         bench: "Average",

@@ -7,7 +7,8 @@ use pmo_protect::SchemeKind;
 use pmo_simarch::SimConfig;
 use pmo_workloads::MicroBench;
 
-use crate::runner::{report_for, run_micro};
+use crate::pool::parallel_map;
+use crate::runner::{report_for, run_micro, RunOptions};
 use crate::text::{f, grouped, TextTable};
 use crate::Scale;
 
@@ -30,21 +31,21 @@ pub struct Table6 {
 }
 
 /// Runs the Table VI experiment (at the scale's maximum PMO count).
+/// Benchmarks fan across `opts.jobs` workers; rows keep canonical order.
 #[must_use]
-pub fn table6(scale: Scale, sim: &SimConfig) -> Table6 {
+pub fn table6(scale: Scale, sim: &SimConfig, opts: RunOptions) -> Table6 {
     let kinds = [SchemeKind::Unprotected, SchemeKind::Lowerbound];
     let config = scale.micro_config(scale.max_pmos());
-    let mut rows = Vec::new();
-    for bench in MicroBench::ALL {
-        let reports = run_micro(bench, &config, &kinds, sim);
+    let rows = parallel_map(opts.jobs, MicroBench::ALL.to_vec(), |bench| {
+        let reports = run_micro(bench, &config, &kinds, sim, opts.serial());
         let base = report_for(&reports, SchemeKind::Unprotected);
         let lb = report_for(&reports, SchemeKind::Lowerbound);
-        rows.push(Table6Row {
+        Table6Row {
             bench: bench.label(),
             switches_per_sec: lb.switches_per_sec(sim),
             lowerbound_pct: lb.overhead_pct_over(base),
-        });
-    }
+        }
+    });
     Table6 { rows }
 }
 

@@ -7,7 +7,8 @@ use pmo_protect::SchemeKind;
 use pmo_simarch::SimConfig;
 use pmo_workloads::MicroBench;
 
-use crate::runner::{report_for, run_micro};
+use crate::pool::parallel_map;
+use crate::runner::{report_for, run_micro, RunOptions};
 use crate::text::{f, TextTable};
 use crate::Scale;
 
@@ -56,15 +57,14 @@ pub struct Table7 {
 }
 
 /// Runs the Table VII experiment at the scale's maximum PMO count.
+/// Benchmarks fan across `opts.jobs` workers; columns keep canonical
+/// order.
 #[must_use]
-pub fn table7(scale: Scale, sim: &SimConfig) -> Table7 {
+pub fn table7(scale: Scale, sim: &SimConfig, opts: RunOptions) -> Table7 {
     let kinds = [SchemeKind::Lowerbound, SchemeKind::MpkVirt, SchemeKind::DomainVirt];
     let config = scale.micro_config(scale.max_pmos());
-    let mut benches = Vec::new();
-    let mut mpk_virt = Vec::new();
-    let mut domain_virt = Vec::new();
-    for bench in MicroBench::ALL {
-        let reports = run_micro(bench, &config, &kinds, sim);
+    let cells = parallel_map(opts.jobs, MicroBench::ALL.to_vec(), |bench| {
+        let reports = run_micro(bench, &config, &kinds, sim, opts.serial());
         let lb = report_for(&reports, SchemeKind::Lowerbound);
         let cell = |kind: SchemeKind| {
             let r = report_for(&reports, kind);
@@ -78,9 +78,15 @@ pub fn table7(scale: Scale, sim: &SimConfig) -> Table7 {
                 measured_total: r.overhead_pct_over(lb),
             }
         };
-        benches.push(bench.label());
-        mpk_virt.push(cell(SchemeKind::MpkVirt));
-        domain_virt.push(cell(SchemeKind::DomainVirt));
+        (bench.label(), cell(SchemeKind::MpkVirt), cell(SchemeKind::DomainVirt))
+    });
+    let mut benches = Vec::new();
+    let mut mpk_virt = Vec::new();
+    let mut domain_virt = Vec::new();
+    for (label, d1, d2) in cells {
+        benches.push(label);
+        mpk_virt.push(d1);
+        domain_virt.push(d2);
     }
     Table7 { pmos: scale.max_pmos(), benches, mpk_virt, domain_virt }
 }

@@ -5,6 +5,7 @@
 //! pmo-modelcheck --list-scenarios
 //! pmo-modelcheck --scenario key-evict-storm --depth 16
 //! pmo-modelcheck --json modelcheck-report.json
+//! pmo-modelcheck --jobs 4                     # fan scenarios across 4 workers
 //! pmo-modelcheck --seeded                     # seeded-bug self-validation
 //! pmo-modelcheck --replay key-evict-storm@0.1.0.0.1.1.0
 //! pmo-modelcheck --replay setperm-vs-access@0.1.0 --bug skip-pkru-update-on-setperm
@@ -131,7 +132,11 @@ fn run_seeded(limits: &ExploreLimits) -> bool {
     all_caught
 }
 
-fn run_campaign(limits: &ExploreLimits, selected: &[String]) -> Result<Campaign, String> {
+fn run_campaign(
+    limits: &ExploreLimits,
+    selected: &[String],
+    jobs: usize,
+) -> Result<Campaign, String> {
     let mut campaign = Campaign::default();
     let scenarios = if selected.is_empty() {
         builtin()
@@ -141,9 +146,11 @@ fn run_campaign(limits: &ExploreLimits, selected: &[String]) -> Result<Campaign,
             .map(|name| find(name).ok_or_else(|| format!("unknown scenario {name:?}")))
             .collect::<Result<Vec<_>, _>>()?
     };
-    for scenario in &scenarios {
-        campaign.runs.push(explore(scenario, None, limits));
-    }
+    // Scenario explorations are independent; fan them across the workers
+    // and keep the runs in the canonical scenario order so the campaign
+    // report is byte-identical at any job count.
+    campaign.runs =
+        pmo_experiments::pool::parallel_map(jobs, scenarios, |s| explore(&s, None, limits));
     Ok(campaign)
 }
 
@@ -168,7 +175,11 @@ fn real_main() -> Result<bool, String> {
     if bug.is_some() {
         return Err("--bug requires --replay (use --seeded for validation campaigns)".into());
     }
-    let campaign = run_campaign(&limits, &arg_values("--scenario"))?;
+    let jobs = match arg_values("--jobs").last() {
+        Some(n) => n.parse::<usize>().map_err(|_| format!("bad --jobs {n:?}"))?.max(1),
+        None => 1,
+    };
+    let campaign = run_campaign(&limits, &arg_values("--scenario"), jobs)?;
     print!("{campaign}");
     if let Some(path) = arg_values("--json").last() {
         std::fs::write(Path::new(&path), campaign.to_json())

@@ -1,8 +1,16 @@
 //! The trace-replay engine: one protection scheme + the memory hierarchy,
 //! driven by a stream of trace events.
+//!
+//! The engine dispatches to the scheme through the closed [`AnyScheme`]
+//! enum (no vtable on the hot path) and memoizes consecutive same-page
+//! accesses through a one-entry [`FastHint`] cache: translation and
+//! permission verdict are reused, so repeated hits skip the TLB/DTT/PT
+//! machinery while charging exactly the modeled cycles the slow path
+//! would. The fast path memoizes the *simulator's* work, never the
+//! *simulated* costs.
 
-use pmo_protect::{ProtectionFault, ProtectionScheme, SchemeKind};
-use pmo_simarch::{CacheHierarchy, MemKind, SimConfig};
+use pmo_protect::{AnyScheme, FastHint, ProtectionFault, ProtectionScheme, SchemeKind};
+use pmo_simarch::{vpn, CacheHierarchy, MemKind, SimConfig};
 use pmo_trace::{AccessKind, EventCounts, OpKind, TraceEvent, TraceSink, TraceSource};
 
 use crate::report::{ReplayReport, ReplaySnapshot};
@@ -18,8 +26,32 @@ pub enum FaultPolicy {
     Panic,
 }
 
-/// Maximum number of individual faults retained in the report.
+/// Maximum number of individual faults retained in the report; faults
+/// beyond the cap are counted in [`ReplayReport::faults_dropped`].
 const FAULT_LOG_CAP: usize = 32;
+
+/// Sentinel for [`FastEntry::line`] when no line is known resident (the
+/// arming access faulted, so it never reached the caches).
+const NO_LINE: u64 = u64::MAX;
+
+/// The armed fast-path entry: a memoized verdict for one page, plus the
+/// accounting (hits served, hits denied) still owed to the scheme.
+///
+/// Nested inside it is a one-line cache memo: `line` is the last line
+/// accessed through this entry — it is L1-resident, because nothing has
+/// touched the caches since its access — with `line_reads`/`line_writes`
+/// repeat hits batched and still owed to the L1 stats. Consecutive
+/// same-line accesses therefore skip the cache walk entirely and charge
+/// the (constant) L1 hit latency.
+struct FastEntry {
+    page: u64,
+    hint: FastHint,
+    hits: u64,
+    denied: u64,
+    line: u64,
+    line_reads: u64,
+    line_writes: u64,
+}
 
 /// A replay in progress. Implements [`TraceSink`], so workload generators
 /// can stream events straight into it; call [`Replay::finish`] for the
@@ -45,14 +77,22 @@ const FAULT_LOG_CAP: usize = 32;
 /// ```
 pub struct Replay {
     cfg: SimConfig,
-    scheme: Box<dyn ProtectionScheme>,
+    scheme: AnyScheme,
     caches: CacheHierarchy,
     cycles: u64,
     cpi_carry: f64,
     counts: EventCounts,
     faults: Vec<ProtectionFault>,
+    faults_dropped: u64,
     policy: FaultPolicy,
     ops: u64,
+    fast_enabled: bool,
+    fast: Option<FastEntry>,
+    fast_hits_total: u64,
+    /// `log2(line_bytes)` and the L1 hit latency, copied out of the
+    /// config so the hot path doesn't chase through the hierarchy.
+    line_shift: u32,
+    l1_hit_cycles: u64,
 }
 
 impl Replay {
@@ -61,14 +101,20 @@ impl Replay {
     pub fn new(kind: SchemeKind, config: &SimConfig) -> Self {
         Replay {
             cfg: config.clone(),
-            scheme: kind.build(config),
+            scheme: kind.build_any(config),
             caches: CacheHierarchy::new(config),
             cycles: 0,
             cpi_carry: 0.0,
             counts: EventCounts::default(),
             faults: Vec::new(),
+            faults_dropped: 0,
             policy: FaultPolicy::Record,
             ops: 0,
+            fast_enabled: true,
+            fast: None,
+            fast_hits_total: 0,
+            line_shift: config.line_bytes.trailing_zeros(),
+            l1_hit_cycles: config.l1d_latency,
         }
     }
 
@@ -80,16 +126,35 @@ impl Replay {
         replay
     }
 
+    /// Enables or disables the same-page fast path (on by default). The
+    /// modeled results are identical either way — this exists so the
+    /// equivalence can be asserted and the speedup measured.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        if !enabled {
+            self.flush_fast();
+        }
+        self.fast_enabled = enabled;
+    }
+
+    /// Accesses served by the memoized fast path so far (observability for
+    /// benchmarks and invalidation tests; not part of the report).
+    #[must_use]
+    pub fn fast_path_hits(&self) -> u64 {
+        self.fast_hits_total
+    }
+
     /// Cycles simulated so far.
     #[must_use]
     pub fn cycles(&self) -> u64 {
         self.cycles
     }
 
-    /// The scheme being driven (for inspection in tests).
+    /// The scheme being driven (for inspection in tests). Scheme-side
+    /// counters are settled at [`Replay::snapshot`]/[`Replay::finish`];
+    /// between accesses they may lag by the currently batched fast hits.
     #[must_use]
     pub fn scheme(&self) -> &dyn ProtectionScheme {
-        self.scheme.as_ref()
+        &self.scheme
     }
 
     /// Drains protocol-level events the scheme emitted internally since
@@ -106,22 +171,114 @@ impl Replay {
         self.cycles += whole as u64;
     }
 
+    /// Settles the batched fast-path accounting (scheme-side hit counts
+    /// and the nested line-memo cache hits) and disarms the entry. Must
+    /// run before any scheme-state mutation and before reading scheme or
+    /// cache counters (snapshot/finish).
+    fn flush_fast(&mut self) {
+        if let Some(entry) = self.fast.take() {
+            if entry.hits > 0 {
+                self.scheme.note_fast_hits(&entry.hint, entry.hits, entry.denied);
+            }
+            if entry.line != NO_LINE {
+                self.caches.note_line_hits(
+                    entry.line << self.line_shift,
+                    entry.line_reads,
+                    entry.line_writes,
+                );
+            }
+        }
+    }
+
+    /// Settles only the nested line memo's batched L1 hits, keeping the
+    /// page entry armed. Must run before anything else touches or reads
+    /// the caches (a slow-path access, a line flush, the final report).
+    fn settle_line(&mut self) {
+        if let Some(entry) = &mut self.fast {
+            if entry.line != NO_LINE && entry.line_reads + entry.line_writes > 0 {
+                self.caches.note_line_hits(
+                    entry.line << self.line_shift,
+                    entry.line_reads,
+                    entry.line_writes,
+                );
+                entry.line_reads = 0;
+                entry.line_writes = 0;
+            }
+        }
+    }
+
+    fn record_fault(&mut self, fault: ProtectionFault) {
+        if self.faults.len() < FAULT_LOG_CAP {
+            self.faults.push(fault);
+        } else {
+            self.faults_dropped += 1;
+        }
+    }
+
     fn memory_access(&mut self, va: u64, size: u8, kind: AccessKind) {
         debug_assert!(size > 0 && size <= 64, "access size {size} out of range");
+        if let Some(entry) = &mut self.fast {
+            if entry.page == vpn(va) {
+                let hint = entry.hint;
+                entry.hits += 1;
+                self.fast_hits_total += 1;
+                self.cycles += hint.cycles;
+                if hint.effective.allows(kind) {
+                    let line = va >> self.line_shift;
+                    if line == entry.line {
+                        // Nothing touched the caches since this line was
+                        // accessed: a guaranteed L1 hit. Batch the stats
+                        // bump and charge the constant hit latency.
+                        if kind.is_write() {
+                            entry.line_writes += 1;
+                        } else {
+                            entry.line_reads += 1;
+                        }
+                        self.cycles += self.l1_hit_cycles;
+                    } else {
+                        self.settle_line();
+                        self.cycles += self.caches.access(va, hint.mem, kind.is_write());
+                        if let Some(entry) = &mut self.fast {
+                            entry.line = line;
+                        }
+                    }
+                } else {
+                    entry.denied += 1;
+                    let fault = hint.fault(va, kind);
+                    if self.policy == FaultPolicy::Panic {
+                        panic!("protection fault during strict replay: {fault}");
+                    }
+                    self.record_fault(fault);
+                }
+                return;
+            }
+        }
+        self.flush_fast();
         let result = self.scheme.access(va, kind);
         self.cycles += result.cycles;
+        let mut accessed_line = NO_LINE;
         match result.fault {
             None => {
                 self.cycles += self.caches.access(va, result.mem, kind.is_write());
+                accessed_line = va >> self.line_shift;
             }
             Some(fault) => {
                 if self.policy == FaultPolicy::Panic {
                     panic!("protection fault during strict replay: {fault}");
                 }
-                if self.faults.len() < FAULT_LOG_CAP {
-                    self.faults.push(fault);
-                }
+                self.record_fault(fault);
             }
+        }
+        if self.fast_enabled {
+            self.fast = self.scheme.fast_hint(va).map(|hint| FastEntry {
+                page: vpn(va),
+                hint,
+                hits: 0,
+                denied: 0,
+                line: accessed_line,
+                line_reads: 0,
+                line_writes: 0,
+            });
         }
     }
 
@@ -129,7 +286,8 @@ impl Replay {
     /// can later be windowed to just the measured phase (e.g. excluding
     /// population) via [`ReplayReport::since`].
     #[must_use]
-    pub fn snapshot(&self) -> ReplaySnapshot {
+    pub fn snapshot(&mut self) -> ReplaySnapshot {
+        self.flush_fast();
         ReplaySnapshot {
             cycles: self.cycles,
             breakdown: self.scheme.breakdown(),
@@ -140,7 +298,8 @@ impl Replay {
 
     /// Consumes the replay, producing the report.
     #[must_use]
-    pub fn finish(self) -> ReplayReport {
+    pub fn finish(mut self) -> ReplayReport {
+        self.flush_fast();
         let tlb = self.scheme.tlb_stats();
         ReplayReport {
             scheme: self.scheme.kind(),
@@ -155,7 +314,9 @@ impl Replay {
             nvm_reads: self.caches.memory().nvm_reads(),
             nvm_writes: self.caches.memory().nvm_writes(),
             faults: self.faults,
+            faults_dropped: self.faults_dropped,
             ops: self.ops,
+            wall_nanos: 0,
         }
     }
 }
@@ -168,20 +329,29 @@ impl TraceSink for Replay {
             TraceEvent::Load { va, size } => self.memory_access(va, size, AccessKind::Read),
             TraceEvent::Store { va, size } => self.memory_access(va, size, AccessKind::Write),
             TraceEvent::SetPerm { pmo, perm } => {
+                self.flush_fast();
                 self.cycles += self.scheme.set_perm(pmo, perm);
             }
             TraceEvent::Attach { pmo, base, size, nvm } => {
+                self.flush_fast();
                 self.cycles += self.scheme.attach(pmo, base, size, nvm);
             }
             TraceEvent::Detach { pmo } => {
+                self.flush_fast();
                 self.cycles += self.scheme.detach(pmo);
             }
             TraceEvent::ThreadSwitch { thread } => {
+                self.flush_fast();
                 self.cycles += self.scheme.context_switch(thread);
             }
             TraceEvent::Flush { va } => {
                 // clwb issue cost; the drain is asynchronous. PMO flushes
-                // target NVM lines.
+                // target NVM lines. Touches only the caches, so the fast
+                // entry stays armed — but the line memo's batched hits
+                // (a pending dirty bit in particular) must land before
+                // the writeback, and clwb *retains* the line, so the memo
+                // itself stays valid too.
+                self.settle_line();
                 self.cycles += self.cfg.clwb_cycles;
                 self.caches.flush_line(va, MemKind::Nvm);
             }
@@ -194,8 +364,11 @@ impl TraceSink for Replay {
             // fault-injection campaigns can replay the exact crash point.
             TraceEvent::Fault { .. } => {}
             // Shootdown completion markers are free: each scheme already
-            // charges its shootdown IPIs inside the detach/evict cost model.
-            TraceEvent::Shootdown { .. } => {}
+            // charges its shootdown IPIs inside the detach/evict cost
+            // model. Conservatively drop the memoized verdict anyway.
+            TraceEvent::Shootdown { .. } => {
+                self.flush_fast();
+            }
         }
     }
 }
@@ -226,7 +399,7 @@ pub fn replay_source_all(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmo_trace::{Perm, PmoId, RecordedTrace};
+    use pmo_trace::{Perm, PmoId, RecordedTrace, ThreadId};
 
     const BASE: u64 = 0x40_0000_0000;
 
@@ -242,6 +415,52 @@ mod tests {
             t.event(TraceEvent::Op { kind: OpKind::End });
         }
         t
+    }
+
+    /// A trace designed to stress the fast path: many PMOs, long runs of
+    /// same-page accesses, denied accesses, thread switches, shootdown
+    /// markers, flushes, and page-crossing strides.
+    fn stress_trace() -> RecordedTrace {
+        let mut t = RecordedTrace::new();
+        for i in 1..=20u64 {
+            t.event(TraceEvent::Attach {
+                pmo: PmoId::new(i as u32),
+                base: i * (1 << 30),
+                size: 8 << 20,
+                nvm: true,
+            });
+        }
+        for round in 0..4u64 {
+            for i in 1..=20u64 {
+                let base = i * (1 << 30) + round * 4096;
+                t.event(TraceEvent::SetPerm { pmo: PmoId::new(i as u32), perm: Perm::ReadWrite });
+                // Long same-page run.
+                for k in 0..16u64 {
+                    t.store(base + k * 64, 8);
+                    t.load(base + k * 64, 8);
+                }
+                t.event(TraceEvent::Flush { va: base });
+                t.event(TraceEvent::Fence);
+                // Read-only: same-page writes now deny.
+                t.event(TraceEvent::SetPerm { pmo: PmoId::new(i as u32), perm: Perm::ReadOnly });
+                t.load(base, 8);
+                t.store(base + 8, 8); // denied
+                t.store(base + 16, 8); // denied, same page (fast-path deny)
+                t.event(TraceEvent::SetPerm { pmo: PmoId::new(i as u32), perm: Perm::None });
+                t.event(TraceEvent::ThreadSwitch { thread: ThreadId::new((round % 2) as u32) });
+                t.event(TraceEvent::Op { kind: OpKind::End });
+            }
+            t.event(TraceEvent::Shootdown { pmo: PmoId::new(1) });
+        }
+        t
+    }
+
+    fn replay_with_fast(trace: &RecordedTrace, kind: SchemeKind, fast: bool) -> ReplayReport {
+        let cfg = SimConfig::isca2020();
+        let mut replay = Replay::new(kind, &cfg);
+        replay.set_fast_path(fast);
+        trace.replay(&mut replay);
+        replay.finish()
     }
 
     #[test]
@@ -278,6 +497,119 @@ mod tests {
     }
 
     #[test]
+    fn fast_path_is_equivalent_across_schemes() {
+        // The acceptance bar of the fast lane: every modeled number —
+        // cycles, breakdown buckets, scheme stats, TLB stats, cache stats,
+        // recorded faults — is byte-identical with the fast path on or
+        // off, for every scheme, on a trace that exercises allowed runs,
+        // denied runs, invalidation events, and page crossings.
+        for trace in [legit_trace(), stress_trace()] {
+            for kind in SchemeKind::ALL {
+                let slow = replay_with_fast(&trace, kind, false);
+                let fast = replay_with_fast(&trace, kind, true);
+                assert_eq!(slow, fast, "{kind}: fast path diverged from slow path");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_actually_engages() {
+        let trace = stress_trace();
+        let cfg = SimConfig::isca2020();
+        let mut replay = Replay::new(SchemeKind::DomainVirt, &cfg);
+        trace.replay(&mut replay);
+        let hits = replay.fast_path_hits();
+        assert!(hits > 1000, "same-page runs must be served fast, got {hits}");
+    }
+
+    #[test]
+    fn line_memo_settles_dirty_bit_before_clwb() {
+        // Batched same-line stores carry a pending dirty bit; a clwb
+        // between them must see it (and count the memory write) exactly
+        // as the unmemoized replay would. The persist idiom — store run,
+        // clwb, fence, store run on the same line — is the worst case.
+        let mut t = RecordedTrace::new();
+        t.event(TraceEvent::Attach { pmo: PmoId::new(1), base: BASE, size: 8 << 20, nvm: true });
+        t.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadWrite });
+        for round in 0..8u64 {
+            for word in 0..8u64 {
+                t.store(BASE + round * 64 + word * 8, 8);
+            }
+            t.event(TraceEvent::Flush { va: BASE + round * 64 });
+            t.event(TraceEvent::Fence);
+            // Re-dirty the just-cleaned line, then read it back.
+            t.store(BASE + round * 64, 8);
+            t.load(BASE + round * 64, 8);
+        }
+        for kind in SchemeKind::ALL {
+            let slow = replay_with_fast(&t, kind, false);
+            let fast = replay_with_fast(&t, kind, true);
+            assert_eq!(slow, fast, "{kind}: line memo diverged around clwb");
+            assert!(fast.nvm_writes >= 8, "{kind}: clwb of dirty lines must reach NVM");
+        }
+    }
+
+    #[test]
+    fn fast_path_invalidated_by_setperm() {
+        // Regression: a SetPerm between two same-page accesses must change
+        // the verdict — the memoized entry may not outlive the event.
+        let cfg = SimConfig::isca2020();
+        let mut replay = Replay::new(SchemeKind::DomainVirt, &cfg);
+        replay.event(TraceEvent::Attach {
+            pmo: PmoId::new(1),
+            base: BASE,
+            size: 1 << 20,
+            nvm: true,
+        });
+        replay.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadWrite });
+        replay.store(BASE, 8);
+        replay.store(BASE + 8, 8); // fast hit, allowed
+        assert_eq!(replay.fast_path_hits(), 1);
+        replay.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::None });
+        replay.store(BASE + 16, 8); // slow again: must now be denied
+        let report = replay.finish();
+        assert_eq!(report.scheme_stats.faults, 1, "revoked permission must deny");
+        assert_eq!(report.faults.len(), 1);
+        assert!(report.faults[0].is_domain_violation());
+    }
+
+    #[test]
+    fn fast_path_invalidated_by_shootdown_marker() {
+        let cfg = SimConfig::isca2020();
+        let mut replay = Replay::new(SchemeKind::MpkVirt, &cfg);
+        replay.event(TraceEvent::Attach {
+            pmo: PmoId::new(1),
+            base: BASE,
+            size: 1 << 20,
+            nvm: true,
+        });
+        replay.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadWrite });
+        replay.store(BASE, 8);
+        replay.event(TraceEvent::Shootdown { pmo: PmoId::new(1) });
+        // The entry was dropped: this access re-walks instead of hitting.
+        replay.store(BASE + 8, 8);
+        assert_eq!(replay.fast_path_hits(), 0, "shootdown must disarm the fast entry");
+        replay.store(BASE + 16, 8);
+        assert_eq!(replay.fast_path_hits(), 1, "re-armed after the slow access");
+        assert!(!replay.finish().faulted());
+    }
+
+    #[test]
+    fn faults_beyond_cap_are_counted_not_lost() {
+        let mut t = RecordedTrace::new();
+        t.event(TraceEvent::Attach { pmo: PmoId::new(1), base: BASE, size: 1 << 20, nvm: true });
+        for i in 0..40u64 {
+            t.store(BASE + i * 8, 8); // no permission granted: all denied
+        }
+        for fast in [false, true] {
+            let report = replay_with_fast(&t, SchemeKind::DomainVirt, fast);
+            assert_eq!(report.faults.len(), 32, "log capped at FAULT_LOG_CAP");
+            assert_eq!(report.faults_dropped, 8, "overflow is counted (fast={fast})");
+            assert_eq!(report.scheme_stats.faults, 40);
+        }
+    }
+
+    #[test]
     fn faults_are_recorded_not_fatal() {
         let mut t = RecordedTrace::new();
         t.event(TraceEvent::Attach { pmo: PmoId::new(1), base: BASE, size: 1 << 20, nvm: true });
@@ -300,6 +632,22 @@ mod tests {
             nvm: true,
         });
         replay.store(BASE, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "protection fault")]
+    fn strict_mode_panics_on_fast_path_denial() {
+        let cfg = SimConfig::isca2020();
+        let mut replay = Replay::strict(SchemeKind::DomainVirt, &cfg);
+        replay.event(TraceEvent::Attach {
+            pmo: PmoId::new(1),
+            base: BASE,
+            size: 1 << 20,
+            nvm: true,
+        });
+        replay.event(TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadOnly });
+        replay.load(BASE, 8); // arms the fast entry
+        replay.store(BASE + 8, 8); // fast-path deny must still panic
     }
 
     #[test]

@@ -7,7 +7,7 @@ use pmo_simarch::{CacheStats, SimConfig, TlbStats};
 use pmo_trace::EventCounts;
 
 /// Everything a replay run produces.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ReplayReport {
     /// Which scheme ran.
     pub scheme: SchemeKind,
@@ -33,8 +33,14 @@ pub struct ReplayReport {
     pub nvm_writes: u64,
     /// Protection faults recorded (first few; count in `scheme_stats`).
     pub faults: Vec<ProtectionFault>,
+    /// Faults beyond the retained-log cap: counted, not silently lost.
+    pub faults_dropped: u64,
     /// Completed workload operations (`Op::End` markers).
     pub ops: u64,
+    /// Host wall-clock time the replay took, in nanoseconds. Always 0
+    /// when the report leaves the (deterministic) simulator; harnesses
+    /// that are allowed to read the clock stamp it afterwards.
+    pub wall_nanos: u64,
 }
 
 /// Cumulative state captured at a phase boundary of a replay
@@ -115,6 +121,39 @@ impl ReplayReport {
     pub fn faulted(&self) -> bool {
         self.scheme_stats.faults > 0
     }
+
+    /// Trace events replayed per host wall-clock second — the simulator-
+    /// throughput metric tracked by the bench trajectory. 0.0 until
+    /// `wall_nanos` has been stamped.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.counts.events as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+
+    /// Serializes the headline numbers as one JSON object (hand-rolled;
+    /// the workspace has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"scheme\":\"{}\",\"cycles\":{},\"instructions\":{},\"events\":{},\
+             \"ops\":{},\"ipc\":{:.4},\"faults\":{},\"faults_dropped\":{},\
+             \"wall_nanos\":{},\"events_per_sec\":{:.1}}}",
+            self.scheme,
+            self.cycles,
+            self.instructions,
+            self.counts.events,
+            self.ops,
+            self.ipc(),
+            self.scheme_stats.faults,
+            self.faults_dropped,
+            self.wall_nanos,
+            self.events_per_sec(),
+        )
+    }
 }
 
 impl fmt::Display for ReplayReport {
@@ -139,7 +178,11 @@ impl fmt::Display for ReplayReport {
             self.scheme_stats.key_evictions,
             self.scheme_stats.shootdowns,
             self.scheme_stats.faults
-        )
+        )?;
+        if self.faults_dropped > 0 {
+            write!(f, " ({} dropped from the log)", self.faults_dropped)?;
+        }
+        Ok(())
     }
 }
 
@@ -161,7 +204,9 @@ mod tests {
             nvm_reads: 0,
             nvm_writes: 0,
             faults: Vec::new(),
+            faults_dropped: 0,
             ops: 10,
+            wall_nanos: 0,
         }
     }
 
@@ -184,8 +229,29 @@ mod tests {
         assert_eq!(zero.ipc(), 0.0);
         assert_eq!(zero.overhead_pct_over(&zero), 0.0);
         assert_eq!(zero.speedup_over(&zero), 0.0);
+        assert_eq!(zero.events_per_sec(), 0.0, "unstamped wall clock yields no rate");
         let mut no_ops = report(10);
         no_ops.ops = 0;
         assert_eq!(no_ops.cycles_per_op(), 0.0);
+    }
+
+    #[test]
+    fn throughput_and_json() {
+        let mut r = report(1000);
+        r.counts.events = 500;
+        r.wall_nanos = 250_000_000; // 0.25 s -> 2000 events/sec
+        assert!((r.events_per_sec() - 2000.0).abs() < 1e-9);
+        let json = r.to_json();
+        assert!(json.contains("\"wall_nanos\":250000000"), "{json}");
+        assert!(json.contains("\"events_per_sec\":2000.0"), "{json}");
+        assert!(json.contains("\"faults_dropped\":0"), "{json}");
+    }
+
+    #[test]
+    fn dropped_faults_surface_in_display() {
+        let mut r = report(1000);
+        assert!(!format!("{r}").contains("dropped"));
+        r.faults_dropped = 3;
+        assert!(format!("{r}").contains("(3 dropped from the log)"));
     }
 }

@@ -146,6 +146,30 @@ impl Cache {
         }
     }
 
+    /// Settles `reads + writes` batched repeat accesses to a line that is
+    /// still resident: the exact equivalent of calling [`Cache::access`]
+    /// that many times while the line stays cached (each would be a pure
+    /// hit — the hit counters grow, a write marks the line dirty, and the
+    /// replacement state is touched; repeat touches of an already-MRU way
+    /// are idempotent, so one touch settles the batch).
+    ///
+    /// The caller must guarantee residency: the line was accessed and no
+    /// cache state changed since (no other access, fill, or flush).
+    pub fn note_line_hits(&mut self, va: u64, reads: u64, writes: u64) {
+        let line = va >> self.line_bits();
+        let set = self.index(line);
+        let Some(way) = self.tags[set].iter().position(|t| *t == Some(line)) else {
+            debug_assert!(false, "line-hit batch settled against a non-resident line");
+            return;
+        };
+        self.repl[set].touch(way as u8);
+        if writes > 0 {
+            self.dirty[set][way] = true;
+        }
+        self.stats.read_hits += reads;
+        self.stats.write_hits += writes;
+    }
+
     /// Accumulated statistics.
     #[must_use]
     pub fn stats(&self) -> &CacheStats {
@@ -234,6 +258,20 @@ impl CacheHierarchy {
             true
         } else {
             false
+        }
+    }
+
+    /// The latency [`CacheHierarchy::access`] charges for an L1 hit.
+    #[must_use]
+    pub fn l1_hit_latency(&self) -> u64 {
+        self.l1_latency
+    }
+
+    /// Settles batched repeat hits on a still-resident L1 line — see
+    /// [`Cache::note_line_hits`] for the exactness contract.
+    pub fn note_line_hits(&mut self, va: u64, reads: u64, writes: u64) {
+        if reads + writes > 0 {
+            self.l1.note_line_hits(va, reads, writes);
         }
     }
 

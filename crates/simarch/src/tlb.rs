@@ -237,6 +237,27 @@ impl<P: Copy> TlbHierarchy<P> {
         removed
     }
 
+    /// Probes the L1 level without updating recency or statistics (the
+    /// replay fast path validates its cached verdict against this).
+    #[must_use]
+    pub fn probe_l1(&self, vpn: u64) -> Option<P> {
+        self.l1.probe(vpn)
+    }
+
+    /// L1 lookup latency in cycles (what a warm hit charges).
+    #[must_use]
+    pub fn l1_latency(&self) -> u64 {
+        self.l1_latency
+    }
+
+    /// Credits `n` L1 hits that were served by a memoized fast path
+    /// without going through [`TlbHierarchy::lookup`]. Recency is not
+    /// touched: the fast path only batches consecutive same-VPN hits, for
+    /// which repeated tree-PLRU touches are idempotent.
+    pub fn note_l1_hits(&mut self, n: u64) {
+        self.stats.l1_hits += n;
+    }
+
     /// Accumulated statistics.
     #[must_use]
     pub fn stats(&self) -> &TlbStats {

@@ -9,6 +9,9 @@ use crate::{PmoId, TraceEvent, TraceSink};
 /// [`CountingSink`](crate::CountingSink) or [`EventCounts::observe`]).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EventCounts {
+    /// Total trace events observed (one per [`TraceEvent`], regardless of
+    /// kind) — the denominator for replay-throughput rates.
+    pub events: u64,
     /// Total non-memory instructions (sum of `Compute.count`).
     pub computes: u64,
     /// Number of loads.
@@ -44,6 +47,7 @@ impl EventCounts {
 
     /// Updates the counters for one event.
     pub fn observe(&mut self, ev: &TraceEvent) {
+        self.events += 1;
         match ev {
             TraceEvent::Compute { count } => self.computes += u64::from(*count),
             TraceEvent::Load { .. } => self.loads += 1,
@@ -264,6 +268,7 @@ mod tests {
         counts.observe(&TraceEvent::Flush { va: 0x40 });
         assert_eq!(counts.instructions(), 14);
         assert_eq!(counts.memory_accesses(), 1);
+        assert_eq!(counts.events, 5, "one event counted per observe");
         assert!(!format!("{counts}").is_empty());
     }
 

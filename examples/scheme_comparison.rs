@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example scheme_comparison`
 
-use pmo_repro::experiments::{report_for, run_micro};
+use pmo_repro::experiments::{report_for, run_micro, RunOptions};
 use pmo_repro::protect::SchemeKind;
 use pmo_repro::simarch::SimConfig;
 use pmo_repro::workloads::{MicroBench, MicroConfig};
@@ -26,7 +26,8 @@ fn main() {
         config.pmos, config.ops
     );
 
-    let reports = run_micro(MicroBench::Rbt, &config, &SchemeKind::ALL, &sim);
+    let reports =
+        run_micro(MicroBench::Rbt, &config, &SchemeKind::ALL, &sim, RunOptions::default());
     let lowerbound = report_for(&reports, SchemeKind::Lowerbound).cycles;
 
     println!(

@@ -1,7 +1,7 @@
 //! End-to-end pipeline tests: real workloads → trace → replay → reports,
 //! asserting the relationships the paper's evaluation rests on.
 
-use pmo_repro::experiments::{report_for, run_micro, run_whisper};
+use pmo_repro::experiments::{report_for, run_micro, run_whisper, RunOptions};
 use pmo_repro::protect::SchemeKind;
 use pmo_repro::simarch::SimConfig;
 use pmo_repro::workloads::{MicroBench, MicroConfig, WhisperBench, WhisperConfig};
@@ -23,7 +23,8 @@ fn micro_config(active: u32) -> MicroConfig {
 fn every_benchmark_replays_clean_under_every_scheme() {
     let sim = SimConfig::isca2020();
     for bench in MicroBench::ALL {
-        let reports = run_micro(bench, &micro_config(24), &SchemeKind::ALL, &sim);
+        let reports =
+            run_micro(bench, &micro_config(24), &SchemeKind::ALL, &sim, RunOptions::default());
         for r in &reports {
             assert!(!r.faulted(), "{bench:?}/{}: faults", r.scheme);
             assert_eq!(r.ops, 600, "{bench:?}/{}", r.scheme);
@@ -39,7 +40,13 @@ fn every_benchmark_replays_clean_under_every_scheme() {
 fn cycle_ordering_matches_the_paper() {
     let sim = SimConfig::isca2020();
     // 64 PMOs: enough pressure that every effect is visible.
-    let reports = run_micro(MicroBench::Rbt, &micro_config(64), &SchemeKind::ALL, &sim);
+    let reports = run_micro(
+        MicroBench::Rbt,
+        &micro_config(64),
+        &SchemeKind::ALL,
+        &sim,
+        RunOptions::default(),
+    );
     let cycles = |k| report_for(&reports, k).cycles;
 
     // The baseline has no permission-switch cost.
@@ -65,6 +72,7 @@ fn crossover_between_the_hardware_designs() {
             &micro_config(active),
             &[SchemeKind::Lowerbound, kind],
             &sim,
+            RunOptions::default(),
         );
         let lb = report_for(&reports, SchemeKind::Lowerbound);
         report_for(&reports, kind).overhead_pct_over(lb)
@@ -100,6 +108,7 @@ fn single_pmo_whisper_mpk_equals_mpk_virt() {
             SchemeKind::DomainVirt,
         ],
         &sim,
+        RunOptions::default(),
     );
     let base = report_for(&reports, SchemeKind::Unprotected);
     let mpk = report_for(&reports, SchemeKind::DefaultMpk).overhead_pct_over(base);
@@ -122,8 +131,20 @@ fn single_pmo_whisper_mpk_equals_mpk_virt() {
 #[test]
 fn reports_are_deterministic() {
     let sim = SimConfig::isca2020();
-    let a = run_micro(MicroBench::Avl, &micro_config(16), &[SchemeKind::MpkVirt], &sim);
-    let b = run_micro(MicroBench::Avl, &micro_config(16), &[SchemeKind::MpkVirt], &sim);
+    let a = run_micro(
+        MicroBench::Avl,
+        &micro_config(16),
+        &[SchemeKind::MpkVirt],
+        &sim,
+        RunOptions::default(),
+    );
+    let b = run_micro(
+        MicroBench::Avl,
+        &micro_config(16),
+        &[SchemeKind::MpkVirt],
+        &sim,
+        RunOptions::default(),
+    );
     assert_eq!(a[0].cycles, b[0].cycles);
     assert_eq!(a[0].breakdown, b[0].breakdown);
     assert_eq!(a[0].tlb, b[0].tlb);
@@ -137,6 +158,7 @@ fn breakdown_buckets_fill_where_the_paper_says() {
         &micro_config(96),
         &[SchemeKind::MpkVirt, SchemeKind::DomainVirt, SchemeKind::LibMpk],
         &sim,
+        RunOptions::default(),
     );
     let mpk_virt = report_for(&reports, SchemeKind::MpkVirt);
     // Design 1: TLB invalidations dominate (Table VII).
@@ -162,7 +184,8 @@ fn whisper_traces_carry_persistence_traffic() {
     let cfg =
         WhisperConfig { txns: 200, records: 128, pmo_bytes: 8 << 20, ..WhisperConfig::quick() };
     for bench in [WhisperBench::Echo, WhisperBench::Ycsb, WhisperBench::Tpcc] {
-        let reports = run_whisper(bench, &cfg, &[SchemeKind::Unprotected], &sim);
+        let reports =
+            run_whisper(bench, &cfg, &[SchemeKind::Unprotected], &sim, RunOptions::default());
         let r = &reports[0];
         assert!(r.counts.flushes > 0, "{bench:?} flushes");
         assert!(r.counts.fences > 0, "{bench:?} fences");

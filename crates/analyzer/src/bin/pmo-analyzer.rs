@@ -16,7 +16,10 @@
 //! traces, the always-readable multi-PMO baseline for micro/server and
 //! recorded files — and can be forced with `--strict` / `--baseline`.
 //! Exits non-zero iff any source produces an error-severity diagnostic
-//! (lints never fail the run).
+//! (lints never fail the run). Under `--strict` a truncated diagnostics
+//! log (findings dropped beyond the retained-log cap) also fails the
+//! run: a strict verdict must rest on the complete finding set, never a
+//! silently truncated sample.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -235,8 +238,13 @@ fn main() -> ExitCode {
     for job in &jobs {
         match run_job(job, forced, record_dir.as_deref()) {
             Ok(report) => {
+                let truncated = if report.complete() {
+                    String::new()
+                } else {
+                    format!(" ({} dropped from the log)", report.dropped())
+                };
                 println!(
-                    "analyzed {} events from {}: {} error(s), {} lint(s)",
+                    "analyzed {} events from {}: {} error(s), {} lint(s){truncated}",
                     report.events,
                     report.source,
                     report.errors().count(),
@@ -261,7 +269,14 @@ fn main() -> ExitCode {
 
     let errors: usize = reports.iter().map(|r| r.errors().count()).sum();
     let lints: usize = reports.iter().map(|r| r.lints().count()).sum();
+    let dropped: u64 = reports.iter().map(AnalysisReport::dropped).sum();
     println!("{} source(s) analyzed: {errors} error(s), {lints} lint(s)", reports.len());
+
+    // Strict mode refuses to pass a verdict on a truncated finding set.
+    let strict_truncation = forced == Some(Policy::Strict) && dropped > 0;
+    if strict_truncation {
+        eprintln!("--strict: diagnostics log truncated ({dropped} finding(s) dropped); failing");
+    }
 
     if let Some(path) = arg_values("--json").pop() {
         let body: Vec<String> = reports.iter().map(AnalysisReport::to_json).collect();
@@ -272,7 +287,9 @@ fn main() -> ExitCode {
         }
     }
 
-    if errors == 0 {
+    // `passed` (not the retained-error count) so errors dropped beyond
+    // the retained-log cap still fail the run.
+    if reports.iter().all(AnalysisReport::passed) && !strict_truncation {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,0 +1,777 @@
+//! Exhaustive crash-image enumeration under the x86 persistency model.
+//!
+//! Fault-injection campaigns (`faultsim`) *sample* crash points; this
+//! pass *enumerates*. For every fence-delimited window of a trace it
+//! computes the complete set of distinct memory images a power failure
+//! anywhere inside that window could leave on NVM, under the
+//! line-granularity buffered persistency model the simulator implements:
+//!
+//! * stores land in a volatile cache at cache-line (64 B) granularity;
+//! * a dirty line may persist *spontaneously* at any moment (cache
+//!   eviction), at whatever value it holds then;
+//! * `clwb` (a [`TraceEvent::Flush`]) forces writeback, but durability
+//!   is only guaranteed once the next `sfence` ([`TraceEvent::Fence`])
+//!   retires;
+//! * lines persist independently of one another — there is no ordering
+//!   between lines within a window.
+//!
+//! Consequently, within one window each line's reachable persisted
+//! states are: its persisted state at window entry, plus its content
+//! after each store applied to it during the window. Lines are
+//! independent, so the reachable *images* are the cartesian product of
+//! the per-line candidate sets. At a fence the window settles: lines
+//! flushed during the window become durable at their value as of the
+//! last flush; lines left dirty carry both their persisted and current
+//! values into the next window as candidates.
+//!
+//! Each element of the product gets a deterministic *rank* (a
+//! mixed-radix index over the per-line candidate lists, lines in
+//! ascending order), which serves as a stable reproduction id: the same
+//! trace always enumerates the same image at the same
+//! `(window, rank)`. Images are deduplicated by a canonical
+//! order-independent hash ([`image_hash`]) that can be compared
+//! directly against the hash of a real pool's
+//! `PoolStorage::line_image()`.
+//!
+//! ## Soundness bound
+//!
+//! The model is *line-atomic*: every 64-byte line persists entirely at
+//! one of its candidate values. Sub-line torn writes
+//! (`FaultKind::TornWrite` mixes words from two candidate values inside
+//! one line) and media errors (poisoned lines) produce images outside
+//! the enumerated set; those classes are covered by the sampling
+//! campaign, not this enumeration. Reconstruction also requires the
+//! trace to contain the pool's birth (pool creation re-emits the header
+//! formatting as valued stores), and enumeration is only sound for
+//! pools whose stores all carry data: a plain [`TraceEvent::Store`]
+//! (no payload) makes the pool *opaque* and excludes it, counted in
+//! [`EnumResult::opaque_pools`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pmo_trace::{PmoId, ThreadId, TraceEvent, Va};
+
+use crate::diag::{Diagnostic, Severity, ViolationClass};
+
+/// Cache-line size the persistency model works at.
+pub const LINE: u64 = 64;
+
+/// One cache line's bytes.
+pub type LineImage = [u8; LINE as usize];
+
+/// Pass name used in diagnostics.
+pub const PASS_NAME: &str = "crash-enum";
+
+/// Enumeration limits; all caps are deterministic (count-based, never
+/// time- or randomness-based) and every drop is counted, never silent.
+#[derive(Clone, Copy, Debug)]
+pub struct EnumConfig {
+    /// Cap on distinct ranks expanded per (window, pool). Ranks
+    /// `0..cap` (mixed-radix order) are kept; the rest are counted in
+    /// [`WindowImages::images_dropped`].
+    pub max_images_per_window: u64,
+    /// Cap on emitted [`WindowImages`]; excess windows are counted in
+    /// [`EnumResult::windows_dropped`].
+    pub max_windows: usize,
+}
+
+impl Default for EnumConfig {
+    fn default() -> Self {
+        EnumConfig { max_images_per_window: 4096, max_windows: 4096 }
+    }
+}
+
+/// The candidate persisted states of one cache line within a window.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LineChoices {
+    /// Line index within the pool (offset / 64).
+    pub line: u64,
+    /// Distinct reachable persisted states, in first-reached order;
+    /// `states[0]` is always the window-entry persisted state.
+    pub states: Vec<LineImage>,
+}
+
+/// One enumerated crash image, identified by its mixed-radix rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashImage {
+    /// Mixed-radix rank over the window's [`LineChoices`] (ascending
+    /// line order, first line least significant). Stable repro id.
+    pub rank: u64,
+    /// Canonical image hash (see [`image_hash`]).
+    pub hash: u64,
+}
+
+/// All crash images reachable within one fence-delimited window for one
+/// pool.
+#[derive(Clone, Debug)]
+pub struct WindowImages {
+    /// 0-based fence-delimited window ordinal within the trace.
+    pub window: u64,
+    /// Event index of the first event inside the window.
+    pub start_pos: u64,
+    /// Event index one past the window (the fence, or trace length for
+    /// the final partial window).
+    pub end_pos: u64,
+    /// The pool.
+    pub pmo: PmoId,
+    /// Attached base VA of the pool.
+    pub base: Va,
+    /// Pool size in bytes.
+    pub size: u64,
+    /// Persisted state at window entry for every tracked line (sorted
+    /// by line; all-zero lines omitted — an untracked line is zero).
+    pub entry_lines: Vec<(u64, LineImage)>,
+    /// Lines with more than one reachable state this window (sorted by
+    /// line). Empty means the window has exactly one image: the entry
+    /// state.
+    pub choices: Vec<LineChoices>,
+    /// Distinct images, deduplicated by hash, ranks ascending.
+    pub images: Vec<CrashImage>,
+    /// Ranks beyond [`EnumConfig::max_images_per_window`], not
+    /// expanded. When nonzero the enumeration for this window is a
+    /// sound prefix, not exhaustive.
+    pub images_dropped: u64,
+}
+
+impl WindowImages {
+    /// Total size of the un-deduplicated product space.
+    #[must_use]
+    pub fn product_size(&self) -> u64 {
+        let mut total: u64 = 1;
+        for c in &self.choices {
+            total = total.saturating_mul(c.states.len() as u64);
+        }
+        total
+    }
+
+    /// The mixed-radix digits of `rank` (one per entry of
+    /// [`WindowImages::choices`], same order).
+    #[must_use]
+    pub fn digits(&self, rank: u64) -> Vec<usize> {
+        let mut digits = Vec::with_capacity(self.choices.len());
+        let mut r = rank;
+        for c in &self.choices {
+            let radix = c.states.len() as u64;
+            digits.push((r % radix) as usize);
+            r /= radix;
+        }
+        digits
+    }
+
+    /// Materializes the full sparse line image for `rank`: entry lines
+    /// with each choice line substituted by its selected state.
+    /// All-zero lines are omitted (a missing line reads as zero), so
+    /// the result is directly comparable with
+    /// `PoolStorage::line_image()`.
+    #[must_use]
+    pub fn image_lines(&self, rank: u64) -> Vec<(u64, LineImage)> {
+        let digits = self.digits(rank);
+        let chosen: BTreeMap<u64, LineImage> =
+            self.choices.iter().zip(&digits).map(|(c, &d)| (c.line, c.states[d])).collect();
+        let mut out: BTreeMap<u64, LineImage> = self.entry_lines.iter().copied().collect();
+        for (line, img) in chosen {
+            out.insert(line, img);
+        }
+        out.into_iter().filter(|(_, img)| img.iter().any(|&b| b != 0)).collect()
+    }
+}
+
+/// The result of enumerating a whole trace.
+#[derive(Clone, Debug, Default)]
+pub struct EnumResult {
+    /// Emitted windows (only windows with store/flush activity on a
+    /// pool produce an entry — quiet windows add no new images).
+    pub windows: Vec<WindowImages>,
+    /// Total fence-delimited windows in the trace (including the final
+    /// partial window when the trace does not end on a fence).
+    pub total_windows: u64,
+    /// Windows with activity that were not emitted because
+    /// [`EnumConfig::max_windows`] was reached.
+    pub windows_dropped: u64,
+    /// Pools excluded because a payload-less store made their contents
+    /// unreconstructable. Images for these pools are *not* enumerated.
+    pub opaque_pools: Vec<PmoId>,
+}
+
+impl EnumResult {
+    /// Every distinct image hash enumerated for `pmo`, across all
+    /// windows. A real crash image of the pool (at line granularity)
+    /// must hash into this set unless drops occurred.
+    #[must_use]
+    pub fn pool_hashes(&self, pmo: PmoId) -> BTreeSet<u64> {
+        self.windows
+            .iter()
+            .filter(|w| w.pmo == pmo)
+            .flat_map(|w| w.images.iter().map(|i| i.hash))
+            .collect()
+    }
+
+    /// Sum of distinct images across all windows.
+    #[must_use]
+    pub fn total_images(&self) -> u64 {
+        self.windows.iter().map(|w| w.images.len() as u64).sum()
+    }
+
+    /// Sum of dropped (unexpanded) ranks across all windows.
+    #[must_use]
+    pub fn total_dropped(&self) -> u64 {
+        self.windows.iter().map(|w| w.images_dropped).sum::<u64>()
+    }
+
+    /// Whether every reachable image was expanded: nothing dropped and
+    /// no pool opaque.
+    #[must_use]
+    pub fn exhaustive(&self) -> bool {
+        self.windows_dropped == 0 && self.total_dropped() == 0 && self.opaque_pools.is_empty()
+    }
+}
+
+/// splitmix64 — the same deterministic mixer the storage fault model
+/// uses.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One line's contribution to an image hash: 0 for an all-zero line
+/// (absent lines read as zero, so they must not contribute), otherwise
+/// a mix over the line index and its eight words.
+#[must_use]
+pub fn line_contribution(line: u64, bytes: &LineImage) -> u64 {
+    if bytes.iter().all(|&b| b == 0) {
+        return 0;
+    }
+    let mut h = mix(line.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    for w in bytes.chunks_exact(8) {
+        h = mix(h ^ u64::from_le_bytes(w.try_into().expect("8-byte chunk")));
+    }
+    h
+}
+
+/// Canonical order-independent hash of a sparse line image: the
+/// wrapping sum of every non-zero line's [`line_contribution`]. Because
+/// addition commutes, hashing `PoolStorage::line_image()` output and
+/// hashing an enumerated image agree regardless of line order, and the
+/// enumerator can update a hash incrementally as it walks ranks.
+#[must_use]
+pub fn image_hash(lines: &[(u64, LineImage)]) -> u64 {
+    lines.iter().fold(0u64, |acc, (line, bytes)| acc.wrapping_add(line_contribution(*line, bytes)))
+}
+
+/// Per-line tracking state.
+#[derive(Clone)]
+struct LineTrack {
+    /// Durable content.
+    persisted: LineImage,
+    /// Cache content (last stored value).
+    current: LineImage,
+    /// Value captured by the last flush this window, pending the fence.
+    flushed: Option<LineImage>,
+    /// Reachable persisted states this window (deduplicated,
+    /// first-reached order, `[0]` = window-entry persisted state).
+    candidates: Vec<LineImage>,
+}
+
+impl LineTrack {
+    fn new() -> Self {
+        let zero = [0u8; LINE as usize];
+        LineTrack { persisted: zero, current: zero, flushed: None, candidates: vec![zero] }
+    }
+
+    fn push_candidate(&mut self, img: LineImage) {
+        if !self.candidates.contains(&img) {
+            self.candidates.push(img);
+        }
+    }
+
+    /// Settles the line at a fence: flushed content becomes durable,
+    /// and next window's candidates are recomputed.
+    fn settle(&mut self) {
+        if let Some(v) = self.flushed.take() {
+            self.persisted = v;
+        }
+        self.candidates.clear();
+        self.candidates.push(self.persisted);
+        if self.current != self.persisted {
+            self.candidates.push(self.current);
+        }
+    }
+}
+
+/// Per-pool tracking state.
+struct PoolTrack {
+    pmo: PmoId,
+    base: Va,
+    size: u64,
+    lines: BTreeMap<u64, LineTrack>,
+    /// Saw a store or flush in the current window.
+    active: bool,
+    /// Saw a payload-less store: contents unreconstructable.
+    opaque: bool,
+}
+
+impl PoolTrack {
+    fn contains(&self, va: Va) -> bool {
+        va >= self.base && va < self.base + self.size
+    }
+
+    fn line_of(&self, va: Va) -> u64 {
+        (va - self.base) / LINE
+    }
+}
+
+/// Streaming crash-image enumerator. Feed events in order (or use
+/// [`enumerate`] for a slice), then [`CrashEnumerator::finish`].
+pub struct CrashEnumerator {
+    config: EnumConfig,
+    pools: Vec<PoolTrack>,
+    result: EnumResult,
+    window: u64,
+    window_start: u64,
+    pos: u64,
+}
+
+impl CrashEnumerator {
+    /// New enumerator with the given limits.
+    #[must_use]
+    pub fn new(config: EnumConfig) -> Self {
+        CrashEnumerator {
+            config,
+            pools: Vec::new(),
+            result: EnumResult::default(),
+            window: 0,
+            window_start: 0,
+            pos: 0,
+        }
+    }
+
+    /// Observes one event.
+    pub fn event(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::Attach { pmo, base, size, nvm }
+                if nvm && !self.pools.iter().any(|p| p.pmo == pmo) =>
+            {
+                self.pools.push(PoolTrack {
+                    pmo,
+                    base,
+                    size,
+                    lines: BTreeMap::new(),
+                    active: false,
+                    opaque: false,
+                });
+            }
+            TraceEvent::StoreData { va, size, data } => {
+                self.apply_store(va, size, data);
+            }
+            TraceEvent::Store { va, .. } => {
+                // A store with no payload: whatever pool it hits can no
+                // longer be reconstructed byte-exactly.
+                if let Some(p) = self.pools.iter_mut().find(|p| p.contains(va)) {
+                    if !p.opaque {
+                        p.opaque = true;
+                        self.result.opaque_pools.push(p.pmo);
+                    }
+                }
+            }
+            TraceEvent::Flush { va } => {
+                if let Some(p) = self.pools.iter_mut().find(|p| p.contains(va)) {
+                    let line = p.line_of(va);
+                    p.active = true;
+                    let t = p.lines.entry(line).or_insert_with(LineTrack::new);
+                    t.flushed = Some(t.current);
+                }
+            }
+            TraceEvent::Fence => {
+                self.close_window(self.pos + 1);
+            }
+            _ => {}
+        }
+        self.pos += 1;
+    }
+
+    fn apply_store(&mut self, va: Va, size: u8, data: u64) {
+        let Some(p) = self.pools.iter_mut().find(|p| p.contains(va)) else {
+            return;
+        };
+        p.active = true;
+        let bytes = data.to_le_bytes();
+        // A chunked store is at most 8 bytes but need not be aligned,
+        // so it can straddle two lines; apply byte-wise per line.
+        let mut touched: Vec<u64> = Vec::with_capacity(2);
+        for (i, &b) in bytes.iter().take(size as usize).enumerate() {
+            let off = va - p.base + i as u64;
+            if off >= p.size {
+                break;
+            }
+            let line = off / LINE;
+            let t = p.lines.entry(line).or_insert_with(LineTrack::new);
+            t.current[(off % LINE) as usize] = b;
+            if !touched.contains(&line) {
+                touched.push(line);
+            }
+        }
+        for line in touched {
+            let t = p.lines.get_mut(&line).expect("just inserted");
+            let img = t.current;
+            t.push_candidate(img);
+        }
+    }
+
+    /// Closes the current window at `end_pos`: emits images for active
+    /// pools, settles every line, advances the window counter.
+    fn close_window(&mut self, end_pos: u64) {
+        let window = self.window;
+        let start_pos = self.window_start;
+        let cap = self.config.max_images_per_window;
+        for p in &mut self.pools {
+            if p.active && !p.opaque {
+                if self.result.windows.len() < self.config.max_windows {
+                    let entry_lines: Vec<(u64, LineImage)> = p
+                        .lines
+                        .iter()
+                        .filter(|(_, t)| t.candidates[0].iter().any(|&b| b != 0))
+                        .map(|(&line, t)| (line, t.candidates[0]))
+                        .collect();
+                    let choices: Vec<LineChoices> = p
+                        .lines
+                        .iter()
+                        .filter(|(_, t)| t.candidates.len() > 1)
+                        .map(|(&line, t)| LineChoices { line, states: t.candidates.clone() })
+                        .collect();
+                    let base_sum = image_hash(&entry_lines);
+                    // Per choice line, each state's hash delta versus
+                    // the entry state; image hashes then come from
+                    // wrapping sums, never from re-hashing whole
+                    // images.
+                    let deltas: Vec<Vec<u64>> = choices
+                        .iter()
+                        .map(|c| {
+                            let entry = line_contribution(c.line, &c.states[0]);
+                            c.states
+                                .iter()
+                                .map(|s| line_contribution(c.line, s).wrapping_sub(entry))
+                                .collect()
+                        })
+                        .collect();
+                    let mut total: u64 = 1;
+                    for c in &choices {
+                        total = total.saturating_mul(c.states.len() as u64);
+                    }
+                    let expand = total.min(cap);
+                    let mut seen: BTreeSet<u64> = BTreeSet::new();
+                    let mut images: Vec<CrashImage> = Vec::new();
+                    let mut digits: Vec<usize> = vec![0; choices.len()];
+                    for rank in 0..expand {
+                        let mut h = base_sum;
+                        for (i, &d) in digits.iter().enumerate() {
+                            h = h.wrapping_add(deltas[i][d]);
+                        }
+                        if seen.insert(h) {
+                            images.push(CrashImage { rank, hash: h });
+                        }
+                        // Odometer step.
+                        for (i, d) in digits.iter_mut().enumerate() {
+                            *d += 1;
+                            if *d < choices[i].states.len() {
+                                break;
+                            }
+                            *d = 0;
+                        }
+                    }
+                    self.result.windows.push(WindowImages {
+                        window,
+                        start_pos,
+                        end_pos,
+                        pmo: p.pmo,
+                        base: p.base,
+                        size: p.size,
+                        entry_lines,
+                        choices,
+                        images,
+                        images_dropped: total - expand,
+                    });
+                } else {
+                    self.result.windows_dropped += 1;
+                }
+            }
+            p.active = false;
+            for t in p.lines.values_mut() {
+                t.settle();
+            }
+        }
+        self.window += 1;
+        self.window_start = end_pos;
+    }
+
+    /// Ends the trace: emits the final partial window (if any events
+    /// followed the last fence) and returns the result.
+    #[must_use]
+    pub fn finish(mut self) -> EnumResult {
+        if self.pos > self.window_start || self.window == 0 {
+            self.close_window(self.pos);
+        }
+        self.result.total_windows = self.window;
+        self.result
+    }
+}
+
+/// Enumerates a whole recorded trace.
+#[must_use]
+pub fn enumerate(events: &[TraceEvent], config: EnumConfig) -> EnumResult {
+    let mut e = CrashEnumerator::new(config);
+    for ev in events {
+        e.event(ev);
+    }
+    e.finish()
+}
+
+/// Runs `oracle` over every enumerated image and lifts failures into
+/// positioned diagnostics. The oracle returns `Some(detail)` when the
+/// image recovers into an invariant-violating state, `None` when it is
+/// acceptable (recovered clean, or gracefully quarantined).
+pub fn verify_images<F>(result: &EnumResult, mut oracle: F) -> Vec<Diagnostic>
+where
+    F: FnMut(&WindowImages, &CrashImage) -> Option<String>,
+{
+    let mut out = Vec::new();
+    for w in &result.windows {
+        for img in &w.images {
+            if let Some(detail) = oracle(w, img) {
+                out.push(Diagnostic {
+                    pass: PASS_NAME,
+                    class: ViolationClass::CrashImageViolation,
+                    severity: Severity::Error,
+                    thread: ThreadId::MAIN,
+                    position: w.end_pos,
+                    message: format!(
+                        "crash image window={} rank={} hash={:#018x} pmo={}: {detail}",
+                        w.window, img.rank, img.hash, w.pmo
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: Va = 0x1000;
+
+    fn attach() -> TraceEvent {
+        TraceEvent::Attach { pmo: PmoId::new(1), base: BASE, size: 4096, nvm: true }
+    }
+
+    fn st(off: u64, data: u64) -> TraceEvent {
+        TraceEvent::StoreData { va: BASE + off, size: 8, data }
+    }
+
+    fn flush(off: u64) -> TraceEvent {
+        TraceEvent::Flush { va: BASE + off }
+    }
+
+    fn line_with(off: u64, data: u64) -> (u64, LineImage) {
+        let mut img = [0u8; LINE as usize];
+        img[(off % LINE) as usize..][..8].copy_from_slice(&data.to_le_bytes());
+        (off / LINE, img)
+    }
+
+    #[test]
+    fn single_store_window_has_two_images() {
+        let r = enumerate(&[attach(), st(0, 7), TraceEvent::Fence], EnumConfig::default());
+        assert_eq!(r.total_windows, 1);
+        assert_eq!(r.windows.len(), 1);
+        let w = &r.windows[0];
+        assert_eq!(w.choices.len(), 1);
+        assert_eq!(w.images.len(), 2, "line absent (zero) or holding 7");
+        let hashes = r.pool_hashes(PmoId::new(1));
+        assert!(hashes.contains(&image_hash(&[])), "the all-zero image is reachable");
+        assert!(hashes.contains(&image_hash(&[line_with(0, 7)])));
+        assert!(r.exhaustive());
+    }
+
+    #[test]
+    fn flush_does_not_remove_entry_candidate_within_window() {
+        // store, clwb, store again, fence: mid-window the line can still
+        // be at its entry state (clwb is not durable until the fence),
+        // at 7, or at 9 — three images.
+        let r = enumerate(
+            &[attach(), st(0, 7), flush(0), st(0, 9), TraceEvent::Fence],
+            EnumConfig::default(),
+        );
+        let w = &r.windows[0];
+        assert_eq!(w.images.len(), 3);
+        // After the fence the flush settled at 7 and the line is dirty
+        // at 9: the next window carries both.
+        let r2 = enumerate(
+            &[
+                attach(),
+                st(0, 7),
+                flush(0),
+                st(0, 9),
+                TraceEvent::Fence,
+                st(64, 1),
+                TraceEvent::Fence,
+            ],
+            EnumConfig::default(),
+        );
+        let w2 = &r2.windows[1];
+        let carry = w2.choices.iter().find(|c| c.line == 0).expect("line 0 still dirty");
+        assert_eq!(carry.states.len(), 2);
+        assert_eq!(carry.states[0], line_with(0, 7).1, "persisted = value at last flush");
+        assert_eq!(carry.states[1], line_with(0, 9).1, "current = last store");
+    }
+
+    #[test]
+    fn settled_lines_stop_contributing_choices() {
+        let r = enumerate(
+            &[
+                attach(),
+                st(0, 7),
+                flush(0),
+                TraceEvent::Fence,
+                st(64, 5),
+                flush(64),
+                TraceEvent::Fence,
+            ],
+            EnumConfig::default(),
+        );
+        assert_eq!(r.windows.len(), 2);
+        let w2 = &r.windows[1];
+        assert_eq!(w2.choices.len(), 1, "only line 1 is in play in window 1");
+        assert_eq!(w2.choices[0].line, 1);
+        // Window 1's entry image contains settled line 0.
+        assert_eq!(w2.entry_lines, vec![line_with(0, 7)]);
+        // Its richest image is both lines set.
+        let both = image_hash(&[line_with(0, 7), line_with(64, 5)]);
+        assert!(w2.images.iter().any(|i| i.hash == both));
+    }
+
+    #[test]
+    fn identical_values_deduplicate() {
+        // Two stores writing the same value produce one extra
+        // candidate, not two; rewriting the entry value adds none.
+        let r =
+            enumerate(&[attach(), st(0, 7), st(0, 7), TraceEvent::Fence], EnumConfig::default());
+        assert_eq!(r.windows[0].choices[0].states.len(), 2);
+        let r2 =
+            enumerate(&[attach(), st(0, 7), st(0, 0), TraceEvent::Fence], EnumConfig::default());
+        // Candidates: zero (entry), 7, zero again (deduped) => 2.
+        assert_eq!(r2.windows[0].choices[0].states.len(), 2);
+        // But the two *images* hash distinctly from each other.
+        assert_eq!(r2.windows[0].images.len(), 2);
+    }
+
+    #[test]
+    fn unaligned_store_straddles_two_lines() {
+        let r = enumerate(
+            &[
+                attach(),
+                TraceEvent::StoreData { va: BASE + 60, size: 8, data: u64::MAX },
+                TraceEvent::Fence,
+            ],
+            EnumConfig::default(),
+        );
+        let w = &r.windows[0];
+        assert_eq!(w.choices.len(), 2, "lines 0 and 1 both gained a candidate");
+        assert_eq!(w.images.len(), 4);
+        let mut l0 = [0u8; 64];
+        l0[60..].fill(0xff);
+        let mut l1 = [0u8; 64];
+        l1[..4].fill(0xff);
+        assert!(w.images.iter().any(|i| i.hash == image_hash(&[(0, l0), (1, l1)])));
+        assert!(w.images.iter().any(|i| i.hash == image_hash(&[(0, l0)])), "line 0 persists alone");
+    }
+
+    #[test]
+    fn image_lines_round_trip_hashes() {
+        let events = [
+            attach(),
+            st(0, 7),
+            st(8, 9),
+            st(64, 3),
+            TraceEvent::Fence,
+            st(128, 1),
+            TraceEvent::Fence,
+        ];
+        let r = enumerate(&events, EnumConfig::default());
+        for w in &r.windows {
+            for img in &w.images {
+                assert_eq!(image_hash(&w.image_lines(img.rank)), img.hash, "window {}", w.window);
+            }
+        }
+    }
+
+    #[test]
+    fn payloadless_store_makes_pool_opaque() {
+        let r = enumerate(
+            &[attach(), TraceEvent::Store { va: BASE, size: 8 }, st(64, 3), TraceEvent::Fence],
+            EnumConfig::default(),
+        );
+        assert!(r.windows.is_empty());
+        assert_eq!(r.opaque_pools, vec![PmoId::new(1)]);
+        assert!(!r.exhaustive());
+    }
+
+    #[test]
+    fn image_cap_counts_drops() {
+        // 13 lines with 2 states each = 8192 raw images; cap at 16.
+        let mut events = vec![attach()];
+        for i in 0..13 {
+            events.push(st(i * 64, i + 1));
+        }
+        events.push(TraceEvent::Fence);
+        let cfg = EnumConfig { max_images_per_window: 16, ..EnumConfig::default() };
+        let r = enumerate(&events, cfg);
+        let w = &r.windows[0];
+        assert_eq!(w.images.len(), 16);
+        assert_eq!(w.images_dropped, 8192 - 16);
+        assert!(!r.exhaustive());
+    }
+
+    #[test]
+    fn final_partial_window_is_emitted() {
+        let r = enumerate(&[attach(), st(0, 7)], EnumConfig::default());
+        assert_eq!(r.total_windows, 1);
+        assert_eq!(r.windows.len(), 1);
+        assert_eq!(r.windows[0].end_pos, 2);
+        assert_eq!(r.windows[0].images.len(), 2);
+    }
+
+    #[test]
+    fn stores_outside_any_pool_are_ignored() {
+        let r = enumerate(
+            &[attach(), TraceEvent::StoreData { va: 0x10, size: 8, data: 5 }, TraceEvent::Fence],
+            EnumConfig::default(),
+        );
+        assert!(r.windows.is_empty(), "no activity inside the pool");
+    }
+
+    #[test]
+    fn verify_images_positions_diagnostics_at_window_end() {
+        let r = enumerate(&[attach(), st(0, 7), TraceEvent::Fence], EnumConfig::default());
+        let zero_hash = image_hash(&[]);
+        let diags =
+            verify_images(&r, |_, img| (img.hash != zero_hash).then(|| "planted".to_string()));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].class, ViolationClass::CrashImageViolation);
+        assert_eq!(diags[0].position, 3);
+        assert!(diags[0].message.contains("rank=1"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn mixed_radix_ranks_are_stable() {
+        let events = [attach(), st(0, 7), st(64, 3), TraceEvent::Fence];
+        let a = enumerate(&events, EnumConfig::default());
+        let b = enumerate(&events, EnumConfig::default());
+        let ra: Vec<_> = a.windows[0].images.iter().map(|i| (i.rank, i.hash)).collect();
+        let rb: Vec<_> = b.windows[0].images.iter().map(|i| (i.rank, i.hash)).collect();
+        assert_eq!(ra, rb);
+        // rank 0 = everything at entry state (all zero here).
+        assert_eq!(a.windows[0].images[0].hash, image_hash(&[]));
+    }
+}

@@ -72,6 +72,15 @@ pub enum ViolationClass {
     /// virtualization) disagreed on an allow/deny decision the paper's
     /// three-legality rule fixes uniquely.
     SchemeDivergence,
+    /// A crash image allowed by the persistency model recovered into a
+    /// state that violates a workload invariant (found by exhaustive
+    /// crash-image enumeration, not sampling).
+    CrashImageViolation,
+    /// A store landed inside an open permission-switch gate: between a
+    /// write-revoking `SetPerm` and the shootdown (or re-grant) that
+    /// settles it, a store hit the pool — the window ERIM's gate
+    /// inspection forbids.
+    StoreInSwitchGate,
 }
 
 impl ViolationClass {
@@ -94,6 +103,8 @@ impl ViolationClass {
             ViolationClass::PkruDesync => "pkru-desync",
             ViolationClass::PtlbDesync => "ptlb-desync",
             ViolationClass::SchemeDivergence => "scheme-divergence",
+            ViolationClass::CrashImageViolation => "crash-image-violation",
+            ViolationClass::StoreInSwitchGate => "store-in-switch-gate",
         }
     }
 }
@@ -155,6 +166,14 @@ pub trait AnalyzerPass {
     fn finish(&mut self, ctx: EventCtx, out: &mut Vec<Diagnostic>);
 }
 
+/// How many diagnostics a report retains. Like the simulator's fault
+/// log, the retained list is bounded so a pathological trace cannot blow
+/// up memory — but overflow is *counted* per severity
+/// ([`AnalysisReport::errors_dropped`] / [`AnalysisReport::lints_dropped`]),
+/// never silently lost: [`AnalysisReport::passed`] still fails on dropped
+/// errors and strict consumers refuse any truncated report.
+const DIAG_LOG_CAP: usize = 4096;
+
 /// The multi-pass driver: a [`TraceSink`] that feeds every event to each
 /// registered pass and collects positioned diagnostics.
 ///
@@ -163,6 +182,8 @@ pub trait AnalyzerPass {
 pub struct Analyzer {
     passes: Vec<Box<dyn AnalyzerPass>>,
     diagnostics: Vec<Diagnostic>,
+    errors_dropped: u64,
+    lints_dropped: u64,
     source: String,
     pos: u64,
     thread: ThreadId,
@@ -187,9 +208,22 @@ impl Analyzer {
         Analyzer {
             passes: Vec::new(),
             diagnostics: Vec::new(),
+            errors_dropped: 0,
+            lints_dropped: 0,
             source: source.into(),
             pos: 0,
             thread: ThreadId::MAIN,
+        }
+    }
+
+    /// Trims the retained list to [`DIAG_LOG_CAP`], counting overflow per
+    /// severity (called after every batch of pass output).
+    fn enforce_cap(&mut self) {
+        while self.diagnostics.len() > DIAG_LOG_CAP {
+            match self.diagnostics.pop().expect("list is over the cap").severity {
+                Severity::Error => self.errors_dropped += 1,
+                Severity::Lint => self.lints_dropped += 1,
+            }
         }
     }
 
@@ -219,7 +253,14 @@ impl Analyzer {
         for pass in &mut self.passes {
             pass.finish(ctx, &mut self.diagnostics);
         }
-        AnalysisReport { source: self.source, events: self.pos, diagnostics: self.diagnostics }
+        self.enforce_cap();
+        AnalysisReport {
+            source: self.source,
+            events: self.pos,
+            diagnostics: self.diagnostics,
+            errors_dropped: self.errors_dropped,
+            lints_dropped: self.lints_dropped,
+        }
     }
 }
 
@@ -232,6 +273,7 @@ impl TraceSink for Analyzer {
         for pass in &mut self.passes {
             pass.check(ctx, &ev, &mut self.diagnostics);
         }
+        self.enforce_cap();
         self.pos += 1;
     }
 }
@@ -243,31 +285,53 @@ pub struct AnalysisReport {
     pub source: String,
     /// Number of events analyzed.
     pub events: u64,
-    /// Every finding, in trace order per pass.
+    /// Retained findings, in trace order per pass (bounded; overflow is
+    /// counted in `errors_dropped` / `lints_dropped`).
     pub diagnostics: Vec<Diagnostic>,
+    /// Error diagnostics beyond the retained-log cap: counted, not
+    /// silently lost ([`AnalysisReport::passed`] fails on these too).
+    pub errors_dropped: u64,
+    /// Lint diagnostics beyond the retained-log cap.
+    pub lints_dropped: u64,
 }
 
 impl AnalysisReport {
-    /// Error-severity findings.
+    /// Retained error-severity findings (`errors_dropped` more may have
+    /// been truncated; see [`AnalysisReport::complete`]).
     pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
         self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
     }
 
-    /// Lint-severity findings.
+    /// Retained lint-severity findings.
     pub fn lints(&self) -> impl Iterator<Item = &Diagnostic> {
         self.diagnostics.iter().filter(|d| d.severity == Severity::Lint)
     }
 
-    /// Whether the trace has no correctness violations (lints allowed).
+    /// Whether the trace has no correctness violations, retained *or*
+    /// dropped (lints allowed).
     #[must_use]
     pub fn passed(&self) -> bool {
-        self.errors().next().is_none()
+        self.errors_dropped == 0 && self.errors().next().is_none()
     }
 
     /// Whether the trace produced no diagnostics at all.
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.diagnostics.is_empty()
+        self.diagnostics.is_empty() && self.errors_dropped == 0 && self.lints_dropped == 0
+    }
+
+    /// Whether the retained list holds *every* diagnostic the passes
+    /// produced. Strict consumers (`pmo-analyzer --strict`, the harness
+    /// audits) fail a truncated report rather than reason from a sample.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.errors_dropped == 0 && self.lints_dropped == 0
+    }
+
+    /// Total diagnostics dropped beyond the retained-log cap.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.errors_dropped + self.lints_dropped
     }
 
     /// Machine-readable JSON (hand-rolled; stable field names).
@@ -278,6 +342,8 @@ impl AnalysisReport {
         out.push_str(&format!("\"events\":{},", self.events));
         out.push_str(&format!("\"errors\":{},", self.errors().count()));
         out.push_str(&format!("\"lints\":{},", self.lints().count()));
+        out.push_str(&format!("\"errors_dropped\":{},", self.errors_dropped));
+        out.push_str(&format!("\"lints_dropped\":{},", self.lints_dropped));
         out.push_str("\"diagnostics\":[");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
@@ -301,7 +367,7 @@ impl AnalysisReport {
 
 impl fmt::Display for AnalysisReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
+        write!(
             f,
             "analyzed {} events from {}: {} error(s), {} lint(s)",
             self.events,
@@ -309,6 +375,10 @@ impl fmt::Display for AnalysisReport {
             self.errors().count(),
             self.lints().count()
         )?;
+        if !self.complete() {
+            write!(f, " ({} dropped from the log)", self.dropped())?;
+        }
+        writeln!(f)?;
         for d in &self.diagnostics {
             writeln!(f, "  {d}")?;
         }
@@ -398,6 +468,60 @@ mod tests {
         assert!(report.to_json().contains("\"errors\":0"));
     }
 
+    /// Emits `per_event` error diagnostics on every event.
+    struct FloodPass {
+        per_event: usize,
+    }
+
+    impl AnalyzerPass for FloodPass {
+        fn name(&self) -> &'static str {
+            "flood"
+        }
+        fn check(&mut self, ctx: EventCtx, _ev: &TraceEvent, out: &mut Vec<Diagnostic>) {
+            for _ in 0..self.per_event {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    class: ViolationClass::UnguardedAccess,
+                    severity: Severity::Error,
+                    thread: ctx.thread,
+                    position: ctx.pos,
+                    message: "flood".into(),
+                });
+            }
+        }
+        fn finish(&mut self, _ctx: EventCtx, _out: &mut Vec<Diagnostic>) {}
+    }
+
+    #[test]
+    fn diagnostics_beyond_the_cap_are_counted_not_lost() {
+        let mut a = Analyzer::new("flood").with_pass(FloodPass { per_event: 1000 });
+        for _ in 0..5 {
+            a.event(TraceEvent::Fence);
+        }
+        let report = a.finish();
+        assert_eq!(report.diagnostics.len(), DIAG_LOG_CAP, "retained list is capped");
+        assert_eq!(report.errors_dropped, 5000 - DIAG_LOG_CAP as u64, "overflow is counted");
+        assert!(!report.complete());
+        assert!(!report.passed(), "dropped errors still fail the trace");
+        assert!(report
+            .to_json()
+            .contains(&format!("\"errors_dropped\":{}", report.errors_dropped)));
+        assert!(report.to_string().contains("dropped from the log"));
+        // Retained diagnostics are the earliest ones, in trace order.
+        assert_eq!(report.diagnostics[0].position, 0);
+        assert!(report.diagnostics.windows(2).all(|w| w[0].position <= w[1].position));
+    }
+
+    #[test]
+    fn reports_under_the_cap_are_complete() {
+        let mut a = Analyzer::new("small").with_pass(FloodPass { per_event: 2 });
+        a.event(TraceEvent::Fence);
+        let report = a.finish();
+        assert_eq!(report.diagnostics.len(), 2);
+        assert!(report.complete());
+        assert_eq!(report.dropped(), 0);
+    }
+
     #[test]
     fn json_escaping() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
@@ -409,6 +533,8 @@ mod tests {
         let report = AnalysisReport {
             source: "s".into(),
             events: 1,
+            errors_dropped: 0,
+            lints_dropped: 0,
             diagnostics: vec![Diagnostic {
                 pass: "p",
                 class: ViolationClass::CrossThreadRace,

@@ -1,0 +1,211 @@
+//! ERIM-style permission-switch gate integrity.
+//!
+//! ERIM's binary inspection proves that every WRPKRU is immediately
+//! followed by its sanctioned gate sequence — no instruction may sneak
+//! between the permission switch and the point where the new policy has
+//! fully settled. The analogous window here is the span between a
+//! *write-revoking* [`TraceEvent::SetPerm`] and the event that settles
+//! it: the ranged [`TraceEvent::Shootdown`] (which guarantees no core
+//! still holds a stale writable translation), the next `SetPerm` for
+//! the same domain (an explicit re-grant supersedes the revoke), or the
+//! domain's detach. A store by the revoking thread into the domain
+//! during that span can only land through a stale translation — the
+//! exact hole the paper's shootdown ordering (§IV.B) closes.
+//!
+//! The pass is thread-local by construction (a `SetPerm` changes the
+//! *executing thread's* permission), so gates are keyed by
+//! `(thread, pmo)`.
+
+use std::collections::BTreeMap;
+
+use pmo_trace::{PmoId, ThreadId, TraceEvent, Va};
+
+use crate::diag::{AnalyzerPass, Diagnostic, EventCtx, Severity, ViolationClass};
+
+/// Detects stores inside an open permission-switch gate.
+#[derive(Default)]
+pub struct GatePass {
+    /// Attached regions: pmo -> (base, size).
+    regions: BTreeMap<PmoId, (Va, u64)>,
+    /// Current per-(thread, pmo) permission, to recognize revocations.
+    perms: BTreeMap<(ThreadId, PmoId), pmo_trace::Perm>,
+    /// Open gates: (thread, pmo) -> position of the revoking SetPerm.
+    open: BTreeMap<(ThreadId, PmoId), u64>,
+}
+
+impl GatePass {
+    /// New pass.
+    #[must_use]
+    pub fn new() -> Self {
+        GatePass::default()
+    }
+
+    fn store(&mut self, ctx: EventCtx, va: Va, out: &mut Vec<Diagnostic>) {
+        let Some((&pmo, _)) =
+            self.regions.iter().find(|(_, &(base, size))| va >= base && va < base + size)
+        else {
+            return;
+        };
+        if let Some(&opened_at) = self.open.get(&(ctx.thread, pmo)) {
+            out.push(Diagnostic {
+                pass: self.name(),
+                class: ViolationClass::StoreInSwitchGate,
+                severity: Severity::Error,
+                thread: ctx.thread,
+                position: ctx.pos,
+                message: format!(
+                    "store to {va:#x} (pmo {pmo}) inside the switch gate opened by the \
+                     write-revoking SetPerm at event {opened_at}: the write can only land \
+                     through a translation the revoke should have invalidated"
+                ),
+            });
+        }
+    }
+}
+
+impl AnalyzerPass for GatePass {
+    fn name(&self) -> &'static str {
+        "switch-gate"
+    }
+
+    fn check(&mut self, ctx: EventCtx, ev: &TraceEvent, out: &mut Vec<Diagnostic>) {
+        match *ev {
+            TraceEvent::Attach { pmo, base, size, .. } => {
+                self.regions.insert(pmo, (base, size));
+            }
+            TraceEvent::Detach { pmo } => {
+                self.regions.remove(&pmo);
+                self.open.retain(|&(_, p), _| p != pmo);
+                self.perms.retain(|&(_, p), _| p != pmo);
+            }
+            TraceEvent::Shootdown { pmo } => {
+                // The shootdown settles every thread's pending revoke for
+                // this domain: stale translations are gone machine-wide.
+                self.open.retain(|&(_, p), _| p != pmo);
+            }
+            TraceEvent::SetPerm { pmo, perm } => {
+                let key = (ctx.thread, pmo);
+                let prev = self.perms.insert(key, perm).unwrap_or_default();
+                if prev.allows_write() && !perm.allows_write() {
+                    self.open.insert(key, ctx.pos);
+                } else {
+                    // Any other explicit switch supersedes a pending
+                    // revoke for this thread.
+                    self.open.remove(&key);
+                }
+            }
+            TraceEvent::Store { va, .. } | TraceEvent::StoreData { va, .. } => {
+                self.store(ctx, va, out);
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, _ctx: EventCtx, _out: &mut Vec<Diagnostic>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmo_trace::Perm;
+
+    const BASE: Va = 0x4000;
+
+    fn run(events: &[TraceEvent]) -> Vec<Diagnostic> {
+        let mut pass = GatePass::new();
+        let mut out = Vec::new();
+        for (i, ev) in events.iter().enumerate() {
+            pass.check(EventCtx { pos: i as u64, thread: ThreadId::MAIN }, ev, &mut out);
+        }
+        pass.finish(EventCtx { pos: events.len() as u64, thread: ThreadId::MAIN }, &mut out);
+        out
+    }
+
+    fn attach() -> TraceEvent {
+        TraceEvent::Attach { pmo: PmoId::new(1), base: BASE, size: 4096, nvm: true }
+    }
+
+    fn perm(p: Perm) -> TraceEvent {
+        TraceEvent::SetPerm { pmo: PmoId::new(1), perm: p }
+    }
+
+    #[test]
+    fn store_after_revoke_before_shootdown_fires() {
+        let diags = run(&[
+            attach(),
+            perm(Perm::ReadWrite),
+            TraceEvent::Store { va: BASE + 8, size: 8 },
+            perm(Perm::None),
+            TraceEvent::Store { va: BASE + 8, size: 8 },
+        ]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].class, ViolationClass::StoreInSwitchGate);
+        assert_eq!(diags[0].position, 4);
+    }
+
+    #[test]
+    fn shootdown_closes_the_gate() {
+        let diags = run(&[
+            attach(),
+            perm(Perm::ReadWrite),
+            perm(Perm::None),
+            TraceEvent::Shootdown { pmo: PmoId::new(1) },
+            TraceEvent::Store { va: BASE, size: 8 },
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn regrant_closes_the_gate() {
+        let diags = run(&[
+            attach(),
+            perm(Perm::ReadWrite),
+            perm(Perm::None),
+            perm(Perm::ReadWrite),
+            TraceEvent::StoreData { va: BASE, size: 8, data: 1 },
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn downgrade_to_readonly_opens_a_gate() {
+        let diags = run(&[
+            attach(),
+            perm(Perm::ReadWrite),
+            perm(Perm::ReadOnly),
+            TraceEvent::Store { va: BASE + 128, size: 8 },
+        ]);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn revoke_without_prior_write_grant_opens_nothing() {
+        // None -> ReadOnly never allowed writes, so there is no stale
+        // writable translation to worry about.
+        let diags = run(&[attach(), perm(Perm::ReadOnly), TraceEvent::Store { va: BASE, size: 8 }]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn stores_outside_the_region_are_ignored() {
+        let diags = run(&[
+            attach(),
+            perm(Perm::ReadWrite),
+            perm(Perm::None),
+            TraceEvent::Store { va: 0x10, size: 8 },
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn detach_clears_gate_state() {
+        let diags = run(&[
+            attach(),
+            perm(Perm::ReadWrite),
+            perm(Perm::None),
+            TraceEvent::Detach { pmo: PmoId::new(1) },
+            TraceEvent::Store { va: BASE, size: 8 },
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -15,9 +15,18 @@
 //! * [`RacePass`] — a vector-clock happens-before detector for
 //!   cross-thread races on PMO lines and the stale-translation hazard
 //!   (access racing a revoke with no intervening ranged shootdown);
+//! * [`GatePass`] — ERIM-style switch-gate integrity: no store may land
+//!   between a write-revoking `SetPerm` and the shootdown (or re-grant)
+//!   that settles it;
 //! * [`PermWindowPass`] — the existing [`pmo_trace::PermAudit`]
 //!   permission-window audit, lifted into the framework with positioned
 //!   diagnostics.
+//!
+//! Beyond the streaming passes, [`enumerate`] performs exhaustive
+//! crash-image enumeration: per fence-delimited window it computes every
+//! memory image the persistency model allows a power failure to leave
+//! behind, so recovery can be verified against *all* of them
+//! ([`verify_images`]) instead of a sampled few.
 //!
 //! Every checker is self-validated by seeded-bug mutation testing
 //! ([`mutate`]): each known-bad pattern is planted into a clean trace and
@@ -30,27 +39,36 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod crashenum;
 mod diag;
+mod gate;
 mod mutate;
 mod permwindow;
 mod persist;
 mod race;
 
+pub use crashenum::{
+    enumerate, image_hash, line_contribution, verify_images, CrashEnumerator, CrashImage,
+    EnumConfig, EnumResult, LineChoices, LineImage, WindowImages,
+};
 pub use diag::{
     json_string, AnalysisReport, Analyzer, AnalyzerPass, Diagnostic, EventCtx, Severity,
     ViolationClass,
 };
+pub use gate::GatePass;
 pub use mutate::{seed_bug, SeededBug};
 pub use permwindow::PermWindowPass;
 pub use persist::PersistOrderPass;
 pub use race::RacePass;
 
-/// An [`Analyzer`] with all three standard passes: persist ordering,
-/// happens-before races, and the given permission-window policy.
+/// An [`Analyzer`] with all four standard passes: persist ordering,
+/// happens-before races, switch-gate integrity, and the given
+/// permission-window policy.
 #[must_use]
 pub fn standard_analyzer(source: &str, windows: PermWindowPass) -> Analyzer {
     Analyzer::new(source)
         .with_pass(PersistOrderPass::new())
         .with_pass(RacePass::new())
+        .with_pass(GatePass::new())
         .with_pass(windows)
 }

@@ -29,16 +29,21 @@ pub enum SeededBug {
     WindowLeftOpen,
     /// Add an unsynchronized cross-thread store to a written PMO line.
     CrossThreadStore,
+    /// Insert a store between a write-revoking `SetPerm` and the event
+    /// that settles it (shootdown / next switch) — ERIM's forbidden
+    /// gate window.
+    StoreInGate,
 }
 
 impl SeededBug {
     /// Every bug class.
-    pub const ALL: [SeededBug; 5] = [
+    pub const ALL: [SeededBug; 6] = [
         SeededBug::DroppedFlush,
         SeededBug::ReorderedFence,
         SeededBug::RevokeWithoutShootdown,
         SeededBug::WindowLeftOpen,
         SeededBug::CrossThreadStore,
+        SeededBug::StoreInGate,
     ];
 
     /// Short label.
@@ -50,6 +55,7 @@ impl SeededBug {
             SeededBug::RevokeWithoutShootdown => "revoke-without-shootdown",
             SeededBug::WindowLeftOpen => "window-left-open",
             SeededBug::CrossThreadStore => "cross-thread-store",
+            SeededBug::StoreInGate => "store-in-gate",
         }
     }
 
@@ -62,6 +68,7 @@ impl SeededBug {
             SeededBug::RevokeWithoutShootdown => ViolationClass::StaleWindowAccess,
             SeededBug::WindowLeftOpen => ViolationClass::WindowLeftOpen,
             SeededBug::CrossThreadStore => ViolationClass::CrossThreadRace,
+            SeededBug::StoreInGate => ViolationClass::StoreInSwitchGate,
         }
     }
 }
@@ -72,17 +79,37 @@ impl std::fmt::Display for SeededBug {
     }
 }
 
-/// Finds the index of the first store to any pool's commit-flag field
-/// (`base + 32`), i.e. the first transaction's commit point.
+/// The target address of a store event (valued or not).
+fn store_va(ev: &TraceEvent) -> Option<Va> {
+    match *ev {
+        TraceEvent::Store { va, .. } | TraceEvent::StoreData { va, .. } => Some(va),
+        _ => None,
+    }
+}
+
+/// The target address of a store that could *set* a commit flag: plain
+/// stores (value unknown) and valued stores writing nonzero. Valued
+/// stores of zero are flag clears (or the pool-creation formatting of the
+/// header) and never open a commit.
+fn flag_setting_store_va(ev: &TraceEvent) -> Option<Va> {
+    match *ev {
+        TraceEvent::Store { va, .. } => Some(va),
+        TraceEvent::StoreData { va, data, .. } if data != 0 => Some(va),
+        _ => None,
+    }
+}
+
+/// Finds the index of the first flag-setting store to any pool's
+/// commit-flag field (`base + 32`), i.e. the first transaction's commit
+/// point.
 fn first_commit_store(events: &[TraceEvent]) -> Option<usize> {
     let mut flag_vas: Vec<(Va, Va)> = Vec::new(); // (flag va, end)
     for (i, ev) in events.iter().enumerate() {
-        match *ev {
-            TraceEvent::Attach { base, size, .. } => flag_vas.push((base + 32, base + size)),
-            TraceEvent::Store { va, .. } if flag_vas.iter().any(|&(f, _)| f == va) => {
-                return Some(i)
-            }
-            _ => {}
+        if let TraceEvent::Attach { base, size, .. } = *ev {
+            flag_vas.push((base + 32, base + size));
+        } else if flag_setting_store_va(ev).is_some_and(|va| flag_vas.iter().any(|&(f, _)| f == va))
+        {
+            return Some(i);
         }
     }
     None
@@ -154,10 +181,10 @@ pub fn seed_bug(events: &[TraceEvent], bug: SeededBug) -> Option<Vec<TraceEvent>
                     _ => None,
                 })
                 .unwrap_or(ThreadId::MAIN);
-            let line = events[ai + 1..].iter().find_map(|ev| match *ev {
-                TraceEvent::Store { va, .. } if va >= base && va < end => Some(va & !63),
-                _ => None,
-            })?;
+            let line = events[ai + 1..]
+                .iter()
+                .find_map(|ev| store_va(ev).filter(|&va| va >= base && va < end))
+                .map(|va| va & !63)?;
             let intruder = ThreadId::new(99);
             out.insert(ai + 1, TraceEvent::ThreadSwitch { thread: intruder });
             out.insert(ai + 2, TraceEvent::ThreadSwitch { thread: forked_from });
@@ -169,6 +196,38 @@ pub fn seed_bug(events: &[TraceEvent], bug: SeededBug) -> Option<Vec<TraceEvent>
                 .map_or(out.len(), |(di, _)| di + 2);
             out.insert(at, TraceEvent::ThreadSwitch { thread: intruder });
             out.insert(at + 1, TraceEvent::Store { va: line, size: 8 });
+        }
+        SeededBug::StoreInGate => {
+            // Find the last write-revoking SetPerm (previous permission
+            // allowed writes, new one does not) for an attached pool and
+            // slip a store in right behind it, before the shootdown or
+            // re-grant that would settle the revoke.
+            let mut bases: Vec<(PmoId, Va)> = Vec::new();
+            let mut perms: Vec<(PmoId, pmo_trace::Perm)> = Vec::new();
+            let mut target: Option<(usize, Va)> = None;
+            for (i, ev) in events.iter().enumerate() {
+                match *ev {
+                    TraceEvent::Attach { pmo, base, .. } => bases.push((pmo, base)),
+                    TraceEvent::SetPerm { pmo, perm } => {
+                        let prev = perms
+                            .iter()
+                            .find(|(p, _)| *p == pmo)
+                            .map_or(pmo_trace::Perm::None, |&(_, q)| q);
+                        if prev.allows_write() && !perm.allows_write() {
+                            if let Some(&(_, base)) = bases.iter().find(|(p, _)| *p == pmo) {
+                                target = Some((i, base));
+                            }
+                        }
+                        match perms.iter_mut().find(|(p, _)| *p == pmo) {
+                            Some(slot) => slot.1 = perm,
+                            Option::None => perms.push((pmo, perm)),
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let (si, base) = target?;
+            out.insert(si + 1, TraceEvent::Store { va: base + 0x40, size: 8 });
         }
     }
     Some(out)

@@ -27,7 +27,7 @@
 //! pool creation and recovery initialize headers in kernel context, whose
 //! stores are not part of the user-level trace.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use pmo_runtime::{hdr, heap_base_for, HEADER_SIZE, LINE};
 use pmo_trace::{PmoId, TraceEvent, Va};
@@ -64,7 +64,7 @@ pub struct PersistOrderPass {
     /// base -> pool protocol state.
     pools: BTreeMap<Va, PoolState>,
     /// Shadow state per cache line (only lines inside attached pools).
-    lines: HashMap<Va, LineState>,
+    lines: BTreeMap<Va, LineState>,
     /// `Flush` events since the last `Fence`.
     flushes_since_fence: u64,
 }
@@ -158,20 +158,32 @@ impl PersistOrderPass {
         }
     }
 
-    fn store(&mut self, va: Va, size: u8, ctx: EventCtx, out: &mut Vec<Diagnostic>) {
+    fn store(
+        &mut self,
+        va: Va,
+        size: u8,
+        data: Option<u64>,
+        ctx: EventCtx,
+        out: &mut Vec<Diagnostic>,
+    ) {
         let Some(base) = self.pool_base_of(va) else { return };
-        // The commit flag is an 8-byte field only ever written whole; a
-        // store at exactly its VA toggles the protocol phase.
+        // The commit flag is an 8-byte field only ever written whole. A
+        // valued store tells us the flag's new value directly; a legacy
+        // (unvalued) store toggles the protocol phase blindly. Idempotent
+        // valued writes (e.g. header formatting storing 0 over a clear
+        // flag) change no phase.
         if va == self.pools[&base].flag_va {
-            if self.pools[&base].commit_open {
-                self.check_home_persisted(base, ctx, out);
-                let pool = self.pools.get_mut(&base).expect("present");
-                pool.commit_open = false;
-                pool.home_lines.clear();
-            } else {
+            let was_open = self.pools[&base].commit_open;
+            let now_open = data.map_or(!was_open, |v| v != 0);
+            if now_open && !was_open {
                 self.check_log_persisted(base, ctx, out);
                 let pool = self.pools.get_mut(&base).expect("present");
                 pool.commit_open = true;
+                pool.home_lines.clear();
+            } else if !now_open && was_open {
+                self.check_home_persisted(base, ctx, out);
+                let pool = self.pools.get_mut(&base).expect("present");
+                pool.commit_open = false;
                 pool.home_lines.clear();
             }
         } else if self.pools[&base].commit_open {
@@ -284,7 +296,10 @@ impl AnalyzerPass for PersistOrderPass {
                     self.purge_lines(base, end);
                 }
             }
-            TraceEvent::Store { va, size } => self.store(va, size, ctx, out),
+            TraceEvent::Store { va, size } => self.store(va, size, None, ctx, out),
+            TraceEvent::StoreData { va, size, data } => {
+                self.store(va, size, Some(data), ctx, out);
+            }
             TraceEvent::Flush { va } => self.flush(va, ctx, out),
             TraceEvent::Fence => self.fence(ctx, out),
             _ => {}

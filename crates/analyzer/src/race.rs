@@ -22,7 +22,7 @@
 //!   key revoked/evicted) with no intervening ranged shootdown, i.e. the
 //!   access may be served by a stale DTTLB/PTLB entry.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use pmo_runtime::LINE;
 use pmo_trace::{PmoId, TraceEvent, Va};
@@ -50,13 +50,13 @@ struct LineMeta {
 /// The happens-before race / stale-window pass.
 #[derive(Debug)]
 pub struct RacePass {
-    clocks: HashMap<u32, Clock>,
+    clocks: BTreeMap<u32, Clock>,
     current: u32,
     /// Attached regions: base -> (end, pmo).
     regions: BTreeMap<Va, (Va, PmoId)>,
     /// Detached-without-shootdown hazard windows: (base, end, pmo).
     stale: Vec<(Va, Va, PmoId)>,
-    lines: HashMap<Va, LineMeta>,
+    lines: BTreeMap<Va, LineMeta>,
 }
 
 impl Default for RacePass {
@@ -69,14 +69,14 @@ impl RacePass {
     /// Creates the pass (main thread running, clock started).
     #[must_use]
     pub fn new() -> Self {
-        let mut clocks = HashMap::new();
+        let mut clocks = BTreeMap::new();
         clocks.insert(0, Clock::from([(0, 1)]));
         RacePass {
             clocks,
             current: 0,
             regions: BTreeMap::new(),
             stale: Vec::new(),
-            lines: HashMap::new(),
+            lines: BTreeMap::new(),
         }
     }
 
@@ -213,7 +213,9 @@ impl AnalyzerPass for RacePass {
                 }
             }
             TraceEvent::Load { va, size } => self.access(va, size, false, ctx, out),
-            TraceEvent::Store { va, size } => self.access(va, size, true, ctx, out),
+            TraceEvent::Store { va, size } | TraceEvent::StoreData { va, size, .. } => {
+                self.access(va, size, true, ctx, out);
+            }
             _ => {}
         }
     }

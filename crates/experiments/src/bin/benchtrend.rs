@@ -13,6 +13,11 @@
 //!
 //! Exits non-zero if any determinism or equivalence check fails.
 
+// This binary *is* the wall-clock harness: it times deterministic runs
+// and stamps the trajectory, so the clock reads the determinism wall
+// bans elsewhere are its entire purpose.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -102,6 +107,15 @@ fn time_replay(trace: &RecordedTrace, kind: SchemeKind, fast: bool) -> (u64, Rep
         trace.replay(&mut replay);
         let report = replay.finish();
         best = best.min(started.elapsed().as_nanos() as u64);
+        // Benchmark traces are fault-free by construction: a faulting (or
+        // fault-log-truncated) replay means the trajectory entry would be
+        // timing a broken run, so fail loudly instead of recording it.
+        assert!(
+            !report.faulted() && report.fault_log_complete(),
+            "[{kind}] timed replay faulted: {} faults ({} dropped from the log)",
+            report.scheme_stats.faults,
+            report.faults_dropped,
+        );
         last = Some(report);
     }
     (best, last.expect("at least one rep"))
@@ -178,8 +192,9 @@ fn main() -> ExitCode {
     let mut entry = String::new();
     let _ = write!(
         entry,
-        "{{\"unix_secs\":{unix_secs},\"host_parallelism\":{host_parallelism},\"jobs\":{jobs},\
-         \"campaigns\":["
+        "{{\"unix_secs\":{unix_secs},\"git_sha\":{},\"host_parallelism\":{host_parallelism},\
+         \"jobs\":{jobs},\"campaigns\":[",
+        pmo_analyzer::json_string(&git_sha()),
     );
     for (i, c) in campaigns.iter().enumerate() {
         if i > 0 {
@@ -228,6 +243,20 @@ fn main() -> ExitCode {
     }
     println!("appended trajectory entry to {out}");
     ExitCode::SUCCESS
+}
+
+/// The commit this entry measures, so the bench trajectory is
+/// attributable per PR; `"unknown"` outside a git checkout.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Appends `entry` to the JSON array in `path`, creating the file (or

@@ -92,6 +92,9 @@ fn main() -> ExitCode {
     // silence the default "thread panicked" spew while trials run.
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
+    // Wall-clock stamping is the one sanctioned clock read: the campaign
+    // itself is deterministic and stamped only after it finishes.
+    #[allow(clippy::disallowed_methods)]
     let started = Instant::now();
     let mut report = run_campaign(&cfg, RunOptions::from_args().jobs);
     report.wall_nanos = started.elapsed().as_nanos() as u64;

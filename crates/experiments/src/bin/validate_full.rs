@@ -43,11 +43,10 @@ fn main() {
     let reports = run_micro(bench, &config, &kinds, &sim, RunOptions::from_args());
     let lb = report_for(&reports, SchemeKind::Lowerbound);
     println!("lowerbound: {} cycles, {:.0} switches/sec", lb.cycles, lb.switches_per_sec(&sim));
-    let mut overheads = std::collections::HashMap::new();
+    let overhead_of = |kind: SchemeKind| report_for(&reports, kind).overhead_pct_over(lb);
     for kind in [SchemeKind::LibMpk, SchemeKind::MpkVirt, SchemeKind::DomainVirt] {
         let r = report_for(&reports, kind);
         let pct = r.overhead_pct_over(lb);
-        overheads.insert(kind, pct);
         println!(
             "{:<12} overhead {:>8.1}%  (evictions {}, shootdowns {}, tlb-inval {}, \
              dttlb-miss {}, ptlb-miss {})",
@@ -62,7 +61,7 @@ fn main() {
     }
     println!(
         "\nspeedup vs libmpk: mpk-virt {:.1}x, domain-virt {:.1}x  (paper at 1024 PMOs: 10.6x, 52.5x)",
-        overheads[&SchemeKind::LibMpk] / overheads[&SchemeKind::MpkVirt],
-        overheads[&SchemeKind::LibMpk] / overheads[&SchemeKind::DomainVirt],
+        overhead_of(SchemeKind::LibMpk) / overhead_of(SchemeKind::MpkVirt),
+        overhead_of(SchemeKind::LibMpk) / overhead_of(SchemeKind::DomainVirt),
     );
 }

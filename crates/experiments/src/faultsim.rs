@@ -518,7 +518,21 @@ fn trial<S: CheckedStructure>(
     let mut analyzer = Analyzer::new("faultsim-trial").with_pass(PermWindowPass::baseline());
     let result = trial_body::<S>(cfg, workload, kind, after, fault_seed, &mut analyzer);
     let audit = analyzer.finish();
-    if audit.passed() || matches!(result.outcome, Outcome::Violation | Outcome::Panicked) {
+    if matches!(result.outcome, Outcome::Violation | Outcome::Panicked) {
+        return result;
+    }
+    // A truncated audit can hide findings, so it fails the trial outright
+    // — the harness never passes a verdict on an incomplete log.
+    if !audit.complete() {
+        return TrialResult::new(
+            Outcome::Violation,
+            format!(
+                "permission audit truncated: {} finding(s) dropped from the log",
+                audit.dropped()
+            ),
+        );
+    }
+    if audit.passed() {
         result
     } else {
         let first = audit.errors().next().expect("failed audit has an error").to_string();

@@ -11,6 +11,7 @@
 //! | Table VII (overhead breakdown at max PMOs) | [`table7::table7`] | `table7` |
 //! | Table VIII (area overheads) | [`table8::table8`] | `table8` |
 //! | Robustness (crash/fault survival matrix) | [`faultsim::run_campaign`] | `faultsim` |
+//! | Recovery verification (exhaustive crash images) | [`crashenum::run_campaign`] | `crashenum` |
 //!
 //! All binaries accept `--full` to run at the paper's scale; the default
 //! is a quick configuration that preserves every structural property
@@ -20,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod crashenum;
 pub mod faultsim;
 pub mod fig6;
 pub mod fig7;

@@ -111,11 +111,17 @@ pub fn run_windowed(
     workload.run(&mut AuditedSink { replay: &mut replay, analyzer: &mut analyzer });
     let audit = analyzer.finish();
     assert!(audit.passed(), "[{kind}] {name}: permission audit failed:\n{audit}");
+    assert!(
+        audit.complete(),
+        "[{kind}] {name}: permission audit truncated ({} finding(s) dropped)",
+        audit.dropped()
+    );
     let report = replay.finish().since(&snapshot);
     assert!(
         !report.faulted(),
-        "[{kind}] {name}: {} protection faults, first: {:?}",
+        "[{kind}] {name}: {} protection faults ({} dropped from the log), first: {:?}",
         report.scheme_stats.faults,
+        report.faults_dropped,
         report.faults.first()
     );
     report
@@ -139,9 +145,10 @@ pub fn run_windowed_unaudited(
     let report = replay.finish().since(&snapshot);
     assert!(
         !report.faulted(),
-        "[{kind}] {}: {} protection faults, first: {:?}",
+        "[{kind}] {}: {} protection faults ({} dropped from the log), first: {:?}",
         workload.name(),
         report.scheme_stats.faults,
+        report.faults_dropped,
         report.faults.first()
     );
     report

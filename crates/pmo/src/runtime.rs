@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use pmo_trace::{PmoId, TraceEvent, TraceSink, Va};
+use pmo_trace::{Perm, PmoId, TraceEvent, TraceSink, Va};
 
 use crate::addrspace::AddressSpace;
 use crate::error::{Result, RuntimeError};
@@ -180,9 +180,30 @@ impl PmRuntime {
         put(hdr::LOG_SIZE, log_bytes_for(size));
         entry.storage.flush_range(0, HEADER_SIZE);
         let id = self.attach_named(name, AttachIntent::ReadWrite, None, sink)?;
-        // Trace the header persist (clwb + fence) now that the attach
-        // event established the pool's address range: analyzer coverage
-        // must match what the fault model actually reverts.
+        // Re-emit the header formatting as valued stores, then trace the
+        // header persist (clwb + fence), now that the attach event
+        // established the pool's address range: a trace recorded from
+        // pool birth thus carries the complete byte image of the pool,
+        // which crash-image enumeration depends on, and analyzer
+        // coverage matches what the fault model actually reverts.
+        let base = self.attachment(id)?.base;
+        // The formatting stores are sanctioned: open a write window around
+        // them so raw (unguarded) traces still pass the permission audit.
+        // Guarded sinks wrap each store in its own window too; SetPerm is
+        // idempotent under the audit, so the nesting is harmless.
+        sink.event(TraceEvent::SetPerm { pmo: id, perm: Perm::ReadWrite });
+        for (field, value) in [
+            (hdr::MAGIC, POOL_MAGIC),
+            (hdr::HEAP_TOP, heap_base_for(size)),
+            (hdr::ROOT_OID, 0),
+            (hdr::ROOT_SIZE, 0),
+            (hdr::COMMIT_FLAG, 0),
+            (hdr::LOG_BASE, HEADER_SIZE),
+            (hdr::LOG_SIZE, log_bytes_for(size)),
+        ] {
+            sink.store_valued(base + field, 8, value);
+        }
+        sink.event(TraceEvent::SetPerm { pmo: id, perm: Perm::None });
         self.persist_header(id, sink)?;
         Ok(id)
     }
@@ -280,6 +301,42 @@ impl PmRuntime {
     /// another user.
     pub fn pool_delete(&mut self, name: &str) -> Result<()> {
         self.ns.destroy(name, self.uid)
+    }
+
+    /// Materializes a pool from an enumerated crash image: registers a
+    /// fresh, *unformatted* pool of `size` bytes and installs each
+    /// `(line, bytes)` pair directly onto media as persisted state. No
+    /// trace events are emitted (this is kernel context, like recovery
+    /// itself). A subsequent [`PmRuntime::pool_open`] runs the real
+    /// recovery path against exactly this image — which is the point:
+    /// crash-image enumeration hands every image it derives from a trace
+    /// to the same recovery code a genuine power failure would exercise.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is taken, the size is zero, or a line lies
+    /// outside the pool.
+    pub fn materialize_pool(
+        &mut self,
+        name: &str,
+        size: u64,
+        mode: Mode,
+        lines: &[(u64, [u8; LINE as usize])],
+    ) -> Result<PmoId> {
+        for &(line, _) in lines {
+            if line * LINE >= size {
+                return Err(RuntimeError::InvalidOid {
+                    oid: line * LINE,
+                    reason: "crash-image line lies outside the pool",
+                });
+            }
+        }
+        let id = self.ns.create(name, size, mode, self.uid)?;
+        let entry = self.ns.entry_mut(id).expect("just created");
+        for (line, img) in lines {
+            entry.storage.install_line(*line, img);
+        }
+        Ok(id)
     }
 
     /// `pool_root(pool, size)`: returns the root object, allocating it on
@@ -425,7 +482,7 @@ impl PmRuntime {
                 }
             }
         }
-        emit_chunked(sink, va, buf.len() as u64, false);
+        emit_chunked_load(sink, va, buf.len() as u64);
         Ok(())
     }
 
@@ -477,7 +534,7 @@ impl PmRuntime {
         }
         let entry = self.ns.entry_mut(oid.pool())?;
         entry.storage.write(u64::from(oid.offset()), bytes)?;
-        emit_chunked(sink, va, bytes.len() as u64, true);
+        emit_chunked_store(sink, va, bytes);
         Ok(())
     }
 
@@ -722,7 +779,7 @@ impl PmRuntime {
         let base = self.attachment(id)?.base;
         let entry = self.ns.entry_mut(id)?;
         entry.storage.write(field, &value.to_le_bytes())?;
-        sink.store(base + field, 8);
+        sink.store_valued(base + field, 8, value);
         Ok(())
     }
 
@@ -763,7 +820,7 @@ impl PmRuntime {
         buf[..4].copy_from_slice(&size.to_le_bytes());
         buf[4..].copy_from_slice(&magic.to_le_bytes());
         entry.storage.write(u64::from(off), &buf)?;
-        sink.store(base + u64::from(off), 8);
+        sink.store_valued(base + u64::from(off), 8, u64::from_le_bytes(buf));
         Ok(())
     }
 
@@ -859,14 +916,50 @@ impl PmRuntime {
             }
             Err(e) => return Err(e),
         }
-        match entry.storage.read(hdr::COMMIT_FLAG, &mut buf) {
-            Ok(()) => {}
-            Err(RuntimeError::MediaError { .. }) => {
-                return quarantine(entry, name, "commit flag is unreadable")
+        // Header sanity: a crash during pool formatting (or a torn header
+        // line) can persist the magic ahead of the rest of the header.
+        // Accepting such a pool would hand the allocator and the redo
+        // logger corrupt geometry — exhaustive crash-image enumeration
+        // found exactly that — so anything inconsistent quarantines.
+        let size = entry.storage.size();
+        let mut fields = [0u64; 6];
+        for (slot, off) in fields.iter_mut().zip([
+            hdr::HEAP_TOP,
+            hdr::ROOT_OID,
+            hdr::ROOT_SIZE,
+            hdr::COMMIT_FLAG,
+            hdr::LOG_BASE,
+            hdr::LOG_SIZE,
+        ]) {
+            match entry.storage.read(off, &mut buf) {
+                Ok(()) => *slot = u64::from_le_bytes(buf),
+                Err(RuntimeError::MediaError { .. }) => {
+                    return quarantine(entry, name, "pool header is unreadable")
+                }
+                Err(e) => return Err(e),
             }
-            Err(e) => return Err(e),
         }
-        if u64::from_le_bytes(buf) == 0 {
+        let [heap_top, root_oid, root_size, commit_flag, log_base, log_size] = fields;
+        if log_base != HEADER_SIZE || log_size != log_bytes_for(size) {
+            return quarantine(entry, name, "log geometry in the pool header is corrupt");
+        }
+        if heap_top < heap_base_for(size) || heap_top > size {
+            return quarantine(entry, name, "heap bound in the pool header is corrupt");
+        }
+        if commit_flag > 1 {
+            return quarantine(entry, name, "commit flag in the pool header is corrupt");
+        }
+        if root_oid != 0 {
+            let root = crate::oid::Oid::from_raw(root_oid);
+            let offset = u64::from(root.offset());
+            if root.pool() != id
+                || offset < heap_base_for(size)
+                || offset.saturating_add(root_size) > size
+            {
+                return quarantine(entry, name, "root object in the pool header is corrupt");
+            }
+        }
+        if commit_flag == 0 {
             return Ok(None);
         }
         let report = match crate::txn::replay_log_raw(&mut entry.storage) {
@@ -882,17 +975,28 @@ impl PmRuntime {
     }
 }
 
-/// Emits Load/Store events in <=8-byte chunks (modelling word-sized moves).
-fn emit_chunked(sink: &mut dyn TraceSink, va: Va, len: u64, is_store: bool) {
+/// Emits Load events in <=8-byte chunks (modelling word-sized moves).
+fn emit_chunked_load(sink: &mut dyn TraceSink, va: Va, len: u64) {
     let mut done = 0;
     while done < len {
         let chunk = (len - done).min(8) as u8;
-        if is_store {
-            sink.store(va + done, chunk);
-        } else {
-            sink.load(va + done, chunk);
-        }
+        sink.load(va + done, chunk);
         done += u64::from(chunk);
+    }
+}
+
+/// Emits valued Store events in <=8-byte chunks (modelling word-sized
+/// moves). Each chunk carries its written bytes, so a recorded trace is
+/// sufficient to reconstruct the exact memory image any crash would
+/// leave behind (the crash-image enumeration pass depends on this).
+fn emit_chunked_store(sink: &mut dyn TraceSink, va: Va, bytes: &[u8]) {
+    let mut done = 0;
+    while done < bytes.len() {
+        let chunk = (bytes.len() - done).min(8);
+        let mut word = [0u8; 8];
+        word[..chunk].copy_from_slice(&bytes[done..done + chunk]);
+        sink.store_valued(va + done as u64, chunk as u8, u64::from_le_bytes(word));
+        done += chunk;
     }
 }
 
@@ -906,6 +1010,49 @@ mod tests {
         let mut sink = NullSink::new();
         let id = rt.pool_create("p", size, Mode::private(), &mut sink).unwrap();
         (rt, id)
+    }
+
+    #[test]
+    fn materialized_pool_recovers_like_the_original() {
+        // Build a real pool, capture its persisted line image, and
+        // materialize that image into a second runtime: pool_open must
+        // run recovery and hand back the same data.
+        let mut sink = NullSink::new();
+        let (mut rt, id) = rt_with_pool(1 << 20);
+        let oid = rt.pmalloc(id, 64, &mut sink).unwrap();
+        rt.write_bytes(oid, 0, &[0x5a; 64], &mut sink).unwrap();
+        rt.persist(oid, 0, 64, &mut sink).unwrap();
+        let image = rt.storage(id).unwrap().line_image();
+        rt.pool_close(id, &mut sink).unwrap();
+
+        let mut rt2 = PmRuntime::new();
+        rt2.materialize_pool("copy", 1 << 20, Mode::private(), &image).unwrap();
+        let id2 = rt2.pool_open("copy", AttachIntent::ReadWrite, &mut sink).unwrap();
+        assert_eq!(rt2.pool_health("copy").unwrap(), PoolHealth::Healthy);
+        let oid2 = Oid::new(id2, oid.offset()); // same layout, same slot
+        let mut buf = [0u8; 64];
+        rt2.read_bytes(oid2, 0, &mut buf, &mut sink).unwrap();
+        assert_eq!(buf, [0x5a; 64]);
+        rt2.pool_close(id2, &mut sink).unwrap();
+    }
+
+    #[test]
+    fn materialized_garbage_is_quarantined() {
+        let mut rt = PmRuntime::new();
+        let mut sink = NullSink::new();
+        rt.materialize_pool("junk", 4096, Mode::private(), &[(0, [0xff; 64])]).unwrap();
+        assert!(matches!(
+            rt.pool_open("junk", AttachIntent::ReadWrite, &mut sink),
+            Err(RuntimeError::PoolQuarantined { .. })
+        ));
+        assert_eq!(rt.pool_health("junk").unwrap(), PoolHealth::Quarantined);
+    }
+
+    #[test]
+    fn materialize_rejects_out_of_range_lines() {
+        let mut rt = PmRuntime::new();
+        assert!(rt.materialize_pool("far", 4096, Mode::private(), &[(64, [0; 64])]).is_err());
+        assert!(!rt.namespace().contains("far"), "failed materialization registers nothing");
     }
 
     #[test]

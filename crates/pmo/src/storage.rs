@@ -365,6 +365,48 @@ impl PoolStorage {
         self.write_raw(base, &torn[..avail]);
     }
 
+    /// The pool's current (CPU-visible) byte image at cache-line
+    /// granularity: every line with any non-zero byte, sorted by line
+    /// index. Zero lines are omitted — a fresh pool reads as zero, so
+    /// installing the returned pairs into a new pool of the same size
+    /// reproduces the image exactly.
+    #[must_use]
+    pub fn line_image(&self) -> Vec<(u64, [u8; LINE as usize])> {
+        let mut chunk_indices: Vec<u64> = self.chunks.keys().copied().collect();
+        chunk_indices.sort_unstable();
+        let mut out = Vec::new();
+        for chunk_idx in chunk_indices {
+            let chunk = &self.chunks[&chunk_idx];
+            for i in 0..(CHUNK / LINE) {
+                let span = (i * LINE) as usize..((i + 1) * LINE) as usize;
+                let bytes = &chunk[span];
+                if bytes.iter().any(|&b| b != 0) {
+                    let mut img = [0u8; LINE as usize];
+                    img.copy_from_slice(bytes);
+                    out.push((chunk_idx * (CHUNK / LINE) + i, img));
+                }
+            }
+        }
+        out
+    }
+
+    /// Installs a cache line's image directly onto media: no store
+    /// counter, no fault countdown, no pre-image capture. The line is
+    /// *persisted* after the call (a later crash does not revert it).
+    /// This is the crash-image materialization primitive: an enumerated
+    /// image is a set of persisted lines, by definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line lies outside the pool.
+    pub fn install_line(&mut self, line: u64, img: &[u8; LINE as usize]) {
+        let base = line * LINE;
+        assert!(base < self.size, "installed line {line} lies outside the pool");
+        let avail = (self.size - base).min(LINE) as usize;
+        self.write_raw(base, &img[..avail]);
+        self.unflushed.remove(&line);
+    }
+
     /// Number of lines an injected media fault currently leaves
     /// unreadable.
     #[must_use]
@@ -602,6 +644,39 @@ mod tests {
         s.crash();
         assert_eq!(s.armed_fault(), None);
         s.write(0, &[4]).unwrap();
+    }
+
+    #[test]
+    fn line_image_roundtrips_through_install() {
+        let mut s = PoolStorage::new(16384);
+        s.write(0, &[0xAB; 64]).unwrap();
+        s.write(5000, &[0xCD; 16]).unwrap(); // chunk 1, mid-line
+        s.flush_range(0, 16384);
+        let image = s.line_image();
+        let lines: Vec<u64> = image.iter().map(|&(l, _)| l).collect();
+        assert_eq!(lines, vec![0, 78], "sorted, zero lines omitted");
+        let mut fresh = PoolStorage::new(16384);
+        for (line, img) in &image {
+            fresh.install_line(*line, img);
+        }
+        assert_eq!(fresh.line_image(), image, "install reproduces the image");
+        assert_eq!(fresh.stores(), 0, "install bypasses the store counter");
+        // Installed lines are persisted: a crash does not revert them.
+        fresh.crash();
+        let mut buf = [0u8; 16];
+        fresh.read(5000, &mut buf).unwrap();
+        assert_eq!(buf, [0xCD; 16]);
+    }
+
+    #[test]
+    fn install_line_bypasses_armed_fault() {
+        let mut s = PoolStorage::new(256);
+        s.inject_fault(FaultPlan::power_failure(0));
+        assert_eq!(s.write(0, &[1]), Err(RuntimeError::PowerFailure));
+        s.install_line(0, &[7u8; 64]); // kernel-context install still works
+        let mut buf = [0u8; 1];
+        s.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [7]);
     }
 
     #[test]

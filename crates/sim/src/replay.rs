@@ -328,6 +328,11 @@ impl TraceSink for Replay {
             TraceEvent::Compute { count } => self.charge_compute(count),
             TraceEvent::Load { va, size } => self.memory_access(va, size, AccessKind::Read),
             TraceEvent::Store { va, size } => self.memory_access(va, size, AccessKind::Write),
+            // Valued stores cost exactly what plain stores cost; the data
+            // payload only matters to persistency-model analyses.
+            TraceEvent::StoreData { va, size, .. } => {
+                self.memory_access(va, size, AccessKind::Write);
+            }
             TraceEvent::SetPerm { pmo, perm } => {
                 self.flush_fast();
                 self.cycles += self.scheme.set_perm(pmo, perm);

@@ -122,6 +122,17 @@ impl ReplayReport {
         self.scheme_stats.faults > 0
     }
 
+    /// Whether the retained fault log holds *every* fault the replay
+    /// raised (`faults_dropped == 0`).
+    ///
+    /// Strict harnesses must fail a run whose log is incomplete rather
+    /// than reason from a truncated sample: a dropped fault is exactly as
+    /// much of a finding as a retained one.
+    #[must_use]
+    pub fn fault_log_complete(&self) -> bool {
+        self.faults_dropped == 0
+    }
+
     /// Trace events replayed per host wall-clock second — the simulator-
     /// throughput metric tracked by the bench trajectory. 0.0 until
     /// `wall_nanos` has been stamped.
@@ -251,7 +262,9 @@ mod tests {
     fn dropped_faults_surface_in_display() {
         let mut r = report(1000);
         assert!(!format!("{r}").contains("dropped"));
+        assert!(r.fault_log_complete());
         r.faults_dropped = 3;
         assert!(format!("{r}").contains("(3 dropped from the log)"));
+        assert!(!r.fault_log_complete(), "a truncated log is never complete");
     }
 }

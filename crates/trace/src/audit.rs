@@ -189,7 +189,9 @@ impl TraceSink for PermAudit {
             }
             TraceEvent::ThreadSwitch { thread } => self.current = thread,
             TraceEvent::Load { va, .. } => self.check_access(va, false),
-            TraceEvent::Store { va, .. } => self.check_access(va, true),
+            TraceEvent::Store { va, .. } | TraceEvent::StoreData { va, .. } => {
+                self.check_access(va, true);
+            }
             _ => {}
         }
     }

@@ -73,6 +73,23 @@ pub enum TraceEvent {
         /// Access size in bytes (1..=64).
         size: u8,
     },
+    /// A store of `size` bytes to virtual address `va` that also carries
+    /// the written bytes (little-endian in the low `size` bytes of
+    /// `data`), so persistency-model analyses can reconstruct the exact
+    /// memory image a crash would leave behind.
+    ///
+    /// Runtimes chunk data writes to at most 8 bytes per store, so one
+    /// `u64` payload suffices. Replay-wise this is identical to
+    /// [`TraceEvent::Store`]; old (v1) trace files simply never contain
+    /// it.
+    StoreData {
+        /// Virtual address.
+        va: Va,
+        /// Access size in bytes (1..=8).
+        size: u8,
+        /// The written bytes, little-endian in the low `size` bytes.
+        data: u64,
+    },
     /// The running thread changes its own permission for a domain
     /// (the paper's user-level SETPERM instruction; WRPKRU under MPK).
     SetPerm {
@@ -143,7 +160,10 @@ impl TraceEvent {
     /// Whether this event is a load or store.
     #[must_use]
     pub const fn is_memory_access(&self) -> bool {
-        matches!(self, TraceEvent::Load { .. } | TraceEvent::Store { .. })
+        matches!(
+            self,
+            TraceEvent::Load { .. } | TraceEvent::Store { .. } | TraceEvent::StoreData { .. }
+        )
     }
 
     /// Number of retired instructions this event represents.
@@ -157,6 +177,7 @@ impl TraceEvent {
             TraceEvent::Compute { count } => *count as u64,
             TraceEvent::Load { .. }
             | TraceEvent::Store { .. }
+            | TraceEvent::StoreData { .. }
             | TraceEvent::SetPerm { .. }
             | TraceEvent::Flush { .. }
             | TraceEvent::Fence => 1,
@@ -176,6 +197,9 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Compute { count } => write!(f, "compute x{count}"),
             TraceEvent::Load { va, size } => write!(f, "ld {size}B @{va:#x}"),
             TraceEvent::Store { va, size } => write!(f, "st {size}B @{va:#x}"),
+            TraceEvent::StoreData { va, size, data } => {
+                write!(f, "st {size}B @{va:#x} = {data:#x}")
+            }
             TraceEvent::SetPerm { pmo, perm } => write!(f, "setperm pmo={pmo} {perm}"),
             TraceEvent::Attach { pmo, base, size, nvm } => {
                 write!(f, "attach pmo={pmo} base={base:#x} size={size} nvm={nvm}")
@@ -200,6 +224,7 @@ mod tests {
     fn memory_access_classification() {
         assert!(TraceEvent::Load { va: 0, size: 8 }.is_memory_access());
         assert!(TraceEvent::Store { va: 0, size: 8 }.is_memory_access());
+        assert!(TraceEvent::StoreData { va: 0, size: 8, data: 0xfeed }.is_memory_access());
         assert!(!TraceEvent::Fence.is_memory_access());
         assert!(!TraceEvent::Compute { count: 3 }.is_memory_access());
     }
@@ -208,6 +233,7 @@ mod tests {
     fn instruction_counts() {
         assert_eq!(TraceEvent::Compute { count: 17 }.instruction_count(), 17);
         assert_eq!(TraceEvent::Load { va: 0, size: 4 }.instruction_count(), 1);
+        assert_eq!(TraceEvent::StoreData { va: 0, size: 8, data: 7 }.instruction_count(), 1);
         assert_eq!(
             TraceEvent::SetPerm { pmo: PmoId::new(1), perm: Perm::ReadOnly }.instruction_count(),
             1
@@ -228,6 +254,7 @@ mod tests {
             TraceEvent::Compute { count: 1 },
             TraceEvent::Load { va: 0x10, size: 8 },
             TraceEvent::Store { va: 0x18, size: 8 },
+            TraceEvent::StoreData { va: 0x18, size: 8, data: 0xdead_beef },
             TraceEvent::SetPerm { pmo: PmoId::new(2), perm: Perm::ReadWrite },
             TraceEvent::Attach { pmo: PmoId::new(2), base: 0x1000, size: 4096, nvm: true },
             TraceEvent::Detach { pmo: PmoId::new(2) },

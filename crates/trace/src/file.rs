@@ -12,7 +12,11 @@ use std::path::Path;
 use crate::{FaultKind, OpKind, Perm, PmoId, ThreadId, TraceEvent, TraceSink, TraceSource};
 
 const MAGIC: u32 = 0x504d_4f54; // "PMOT"
-const VERSION: u32 = 1;
+/// Current format version. v2 added the valued-store record (tag 12);
+/// records are otherwise unchanged, so v1 files stay readable.
+const VERSION: u32 = 2;
+/// Oldest version [`TraceFile::open`] still accepts.
+const MIN_VERSION: u32 = 1;
 const RECORD_BYTES: usize = 22;
 
 fn encode(ev: &TraceEvent) -> [u8; RECORD_BYTES] {
@@ -36,6 +40,7 @@ fn encode(ev: &TraceEvent) -> [u8; RECORD_BYTES] {
             (10, 0, 0, code, pmo.raw())
         }
         TraceEvent::Shootdown { pmo } => (11, 0, 0, 0, pmo.raw()),
+        TraceEvent::StoreData { va, size, data } => (12, va, data, size, 0),
     };
     let mut rec = [0u8; RECORD_BYTES];
     rec[0] = tag;
@@ -78,6 +83,7 @@ fn decode(rec: &[u8; RECORD_BYTES]) -> io::Result<TraceEvent> {
             },
         },
         11 => TraceEvent::Shootdown { pmo: PmoId::from_raw(d) },
+        12 => TraceEvent::StoreData { va: a, size: c, data: b },
         other => {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -172,7 +178,7 @@ impl TraceFile {
         if magic != MAGIC {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "not a PMO trace file"));
         }
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unsupported trace version {version}"),
@@ -241,6 +247,7 @@ mod tests {
             TraceEvent::SetPerm { pmo: PmoId::new(7), perm: Perm::ReadWrite },
             TraceEvent::Load { va: 0x2000_0000_0040, size: 8 },
             TraceEvent::Store { va: 0x2000_0000_0048, size: 4 },
+            TraceEvent::StoreData { va: 0x2000_0000_0050, size: 8, data: 0xa11c_0c0a_dead_beef },
             TraceEvent::Compute { count: 1234 },
             TraceEvent::Flush { va: 0x2000_0000_0040 },
             TraceEvent::Fence,
@@ -265,11 +272,11 @@ mod tests {
         for ev in sample() {
             writer.event(ev);
         }
-        assert_eq!(writer.len(), 16);
-        assert_eq!(writer.finish().unwrap(), 16);
+        assert_eq!(writer.len(), 17);
+        assert_eq!(writer.finish().unwrap(), 17);
 
         let file = TraceFile::open(&path).unwrap();
-        assert_eq!(file.len(), 16);
+        assert_eq!(file.len(), 17);
         assert!(!file.is_empty());
         let mut replayed = RecordedTrace::new();
         file.replay(&mut replayed);
@@ -298,6 +305,45 @@ mod tests {
         let mut bad = [0u8; RECORD_BYTES];
         bad[0] = 250;
         assert!(decode(&bad).is_err());
+    }
+
+    #[test]
+    fn version1_files_still_open() {
+        let dir = std::env::temp_dir().join(format!("pmo-trace-v1-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1.pmot");
+
+        // A v1 file: same header layout, version field 1, no tag-12
+        // records (v1 writers could not produce them).
+        let legacy: Vec<TraceEvent> =
+            sample().into_iter().filter(|e| !matches!(e, TraceEvent::StoreData { .. })).collect();
+        let mut body = Vec::new();
+        body.extend_from_slice(&MAGIC.to_le_bytes());
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&(legacy.len() as u64).to_le_bytes());
+        for ev in &legacy {
+            body.extend_from_slice(&encode(ev));
+        }
+        std::fs::write(&path, body).unwrap();
+
+        let file = TraceFile::open(&path).unwrap();
+        let mut replayed = RecordedTrace::new();
+        file.replay(&mut replayed);
+        assert_eq!(replayed.events(), legacy.as_slice());
+
+        // A future version is still rejected.
+        let mut future = std::fs::read(&path).unwrap();
+        future[4..8].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        std::fs::write(&path, future).unwrap();
+        assert!(TraceFile::open(&path).is_err());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn valued_store_packs_full_payload() {
+        let ev = TraceEvent::StoreData { va: u64::MAX, size: 8, data: u64::MAX };
+        assert_eq!(decode(&encode(&ev)).unwrap(), ev);
     }
 
     #[test]

@@ -21,6 +21,13 @@ pub trait TraceSink {
         self.event(TraceEvent::Store { va, size });
     }
 
+    /// Convenience: record a store that carries its written bytes
+    /// (little-endian in the low `size` bytes of `data`, `size <= 8`).
+    fn store_valued(&mut self, va: Va, size: u8, data: u64) {
+        debug_assert!(size <= 8, "valued stores carry at most 8 bytes");
+        self.event(TraceEvent::StoreData { va, size, data });
+    }
+
     /// Convenience: record `count` non-memory instructions.
     fn compute(&mut self, count: u32) {
         if count > 0 {
@@ -273,6 +280,7 @@ mod tests {
         let mut trace = RecordedTrace::new();
         trace.load(0x10, 4);
         trace.store(0x20, 8);
+        trace.store_valued(0x28, 4, 0x1234);
         trace.compute(5);
         trace.compute(0); // zero-count compute is elided
         assert_eq!(
@@ -280,6 +288,7 @@ mod tests {
             &[
                 TraceEvent::Load { va: 0x10, size: 4 },
                 TraceEvent::Store { va: 0x20, size: 8 },
+                TraceEvent::StoreData { va: 0x28, size: 4, data: 0x1234 },
                 TraceEvent::Compute { count: 5 },
             ]
         );

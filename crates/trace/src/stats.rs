@@ -51,7 +51,7 @@ impl EventCounts {
         match ev {
             TraceEvent::Compute { count } => self.computes += u64::from(*count),
             TraceEvent::Load { .. } => self.loads += 1,
-            TraceEvent::Store { .. } => self.stores += 1,
+            TraceEvent::Store { .. } | TraceEvent::StoreData { .. } => self.stores += 1,
             TraceEvent::SetPerm { .. } => self.set_perms += 1,
             TraceEvent::Attach { .. } => self.attaches += 1,
             TraceEvent::Detach { .. } => self.detaches += 1,
@@ -188,7 +188,9 @@ impl TraceSink for TraceStats {
                 self.regions.retain(|_, (_, p)| *p != pmo);
             }
             TraceEvent::Load { va, .. } => self.observe_access(va, false),
-            TraceEvent::Store { va, .. } => self.observe_access(va, true),
+            TraceEvent::Store { va, .. } | TraceEvent::StoreData { va, .. } => {
+                self.observe_access(va, true);
+            }
             _ => {}
         }
     }
@@ -278,6 +280,21 @@ mod tests {
         counts.observe(&TraceEvent::Op { kind: crate::OpKind::Begin });
         counts.observe(&TraceEvent::Op { kind: crate::OpKind::End });
         assert_eq!(counts.ops, 1);
+    }
+
+    #[test]
+    fn valued_stores_count_as_stores() {
+        let mut stats = TraceStats::new();
+        stats.event(TraceEvent::Attach {
+            pmo: PmoId::new(1),
+            base: 0x1000,
+            size: 0x1000,
+            nvm: true,
+        });
+        stats.store_valued(0x1008, 8, 0xabcd);
+        assert_eq!(stats.counts().stores, 1);
+        assert_eq!(stats.pmo_stores(), 1);
+        assert_eq!(stats.accesses_for(PmoId::new(1)), 1);
     }
 
     #[test]

@@ -52,9 +52,11 @@ impl<S: TraceSink> TraceSink for PerAccessGuard<S> {
                 self.regions.retain(|(_, _, p)| *p != pmo);
                 self.inner.event(ev);
             }
-            TraceEvent::Load { va, .. } | TraceEvent::Store { va, .. } => match self.pmo_at(va) {
+            TraceEvent::Load { va, .. }
+            | TraceEvent::Store { va, .. }
+            | TraceEvent::StoreData { va, .. } => match self.pmo_at(va) {
                 Some(pmo) => {
-                    let perm = if matches!(ev, TraceEvent::Store { .. }) {
+                    let perm = if !matches!(ev, TraceEvent::Load { .. }) {
                         Perm::ReadWrite
                     } else {
                         Perm::ReadOnly

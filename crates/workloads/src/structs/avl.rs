@@ -204,7 +204,7 @@ impl super::CheckedStructure for AvlTree {
         optional: &[u64],
         sink: &mut dyn TraceSink,
     ) -> Result<super::CheckReport> {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         let mut report = super::CheckReport::default();
         // Snapshot the reachable tree into volatile nodes. Each persistent
         // node is visited once; an edge to an already-seen node (a cycle or
@@ -217,7 +217,7 @@ impl super::CheckedStructure for AvlTree {
         }
         let cap = required.len() + optional.len() + 1;
         let mut nodes: Vec<V> = Vec::new();
-        let mut seen: HashMap<u64, usize> = HashMap::new();
+        let mut seen: BTreeMap<u64, usize> = BTreeMap::new();
         let mut corrupt_shape = false;
         // Stack of (oid, parent slot to patch with the new index).
         let mut stack: Vec<(Oid, Option<(usize, bool)>)> = vec![(self.root, None)];

@@ -290,10 +290,10 @@ impl super::CheckedStructure for BplusTree {
         optional: &[u64],
         sink: &mut dyn TraceSink,
     ) -> Result<super::CheckReport> {
-        use std::collections::HashSet;
+        use std::collections::BTreeSet;
         let mut report = super::CheckReport::default();
         let cap = 2 * (required.len() + optional.len()) + 16;
-        let mut seen: HashSet<u64> = HashSet::new();
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
         let mut corrupt_shape = false;
         // Leaves in left-to-right order, with their depth (for the
         // uniform-depth invariant) and OID (for the chain check).

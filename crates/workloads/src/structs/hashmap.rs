@@ -174,10 +174,10 @@ impl super::CheckedStructure for PersistentHashmap {
         optional: &[u64],
         sink: &mut dyn TraceSink,
     ) -> Result<super::CheckReport> {
-        use std::collections::HashSet;
+        use std::collections::BTreeSet;
         let mut report = super::CheckReport::default();
         let cap = required.len() + optional.len() + 1;
-        let mut seen: HashSet<u64> = HashSet::new();
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
         let mut keys = Vec::new();
         'buckets: for b in 0..self.nbuckets {
             let mut cur = rt.read_oid(self.buckets, (b * 8) as u32, sink)?;

@@ -70,13 +70,13 @@ impl super::CheckedStructure for LinkedList {
         optional: &[u64],
         sink: &mut dyn TraceSink,
     ) -> Result<super::CheckReport> {
-        use std::collections::HashSet;
+        use std::collections::BTreeSet;
         let mut report = super::CheckReport::default();
         // Reachability walk from the head. A torn NEXT pointer can close a
         // cycle; the visited set turns that into a violation instead of an
         // infinite walk.
         let cap = required.len() + optional.len() + 1;
-        let mut seen: HashSet<u64> = HashSet::new();
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
         let mut keys = Vec::new();
         let mut cur = self.head;
         while !cur.is_null() {

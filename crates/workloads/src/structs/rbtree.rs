@@ -277,7 +277,7 @@ impl super::CheckedStructure for RbTree {
         optional: &[u64],
         sink: &mut dyn TraceSink,
     ) -> Result<super::CheckReport> {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         let mut report = super::CheckReport::default();
         struct V {
             key: u64,
@@ -287,7 +287,7 @@ impl super::CheckedStructure for RbTree {
         }
         let cap = required.len() + optional.len() + 1;
         let mut nodes: Vec<V> = Vec::new();
-        let mut seen: HashMap<u64, usize> = HashMap::new();
+        let mut seen: BTreeMap<u64, usize> = BTreeMap::new();
         let mut corrupt_shape = false;
         // (node oid, expected parent oid, patch slot in the parent snapshot)
         type Frame = (Oid, Oid, Option<(usize, bool)>);

@@ -24,6 +24,8 @@ use super::KeyedStructure;
 
 /// Cap on recorded violations: one bad pointer can cascade into thousands
 /// of downstream complaints, and the first few localize the damage.
+/// Overflow is *counted* in [`CheckReport::violations_dropped`], never
+/// silently lost.
 const MAX_VIOLATIONS: usize = 32;
 
 /// The outcome of an invariant check.
@@ -31,20 +33,39 @@ const MAX_VIOLATIONS: usize = 32;
 pub struct CheckReport {
     /// Nodes reached by the traversal.
     pub nodes_visited: u64,
-    /// Human-readable invariant violations (empty = structure is intact).
+    /// Human-readable invariant violations (empty = structure is intact),
+    /// capped at the first few that localize the damage.
     pub violations: Vec<String>,
+    /// Violations beyond the retained cap: counted so a truncated report
+    /// can never read as smaller damage than the checker actually found.
+    pub violations_dropped: u64,
 }
 
 impl CheckReport {
-    /// Whether every invariant held.
+    /// Whether every invariant held (dropped violations count too).
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.violations_dropped == 0
+    }
+
+    /// Whether the retained list holds every violation found
+    /// (`violations_dropped == 0`).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.violations_dropped == 0
+    }
+
+    /// Total violations found, retained and dropped.
+    #[must_use]
+    pub fn total_violations(&self) -> u64 {
+        self.violations.len() as u64 + self.violations_dropped
     }
 
     pub(crate) fn violation(&mut self, msg: String) {
         if self.violations.len() < MAX_VIOLATIONS {
             self.violations.push(msg);
+        } else {
+            self.violations_dropped += 1;
         }
     }
 }
@@ -54,7 +75,11 @@ impl std::fmt::Display for CheckReport {
         if self.is_clean() {
             write!(f, "clean ({} nodes)", self.nodes_visited)
         } else {
-            write!(f, "{} violation(s): {}", self.violations.len(), self.violations.join("; "))
+            write!(f, "{} violation(s): {}", self.total_violations(), self.violations.join("; "))?;
+            if !self.is_complete() {
+                write!(f, " ({} more dropped from the log)", self.violations_dropped)?;
+            }
+            Ok(())
         }
     }
 }
@@ -132,10 +157,16 @@ mod tests {
     }
 
     #[test]
-    fn violation_list_is_bounded() {
+    fn violation_list_is_bounded_and_overflow_is_counted() {
         let mut report = CheckReport::default();
         let extras: Vec<u64> = (100..1000).collect();
         check_membership(&extras, &[], &[], &mut report);
         assert_eq!(report.violations.len(), MAX_VIOLATIONS);
+        assert_eq!(report.violations_dropped, 900 - MAX_VIOLATIONS as u64);
+        assert!(!report.is_complete());
+        assert_eq!(report.total_violations(), 900);
+        let text = format!("{report}");
+        assert!(text.contains("900 violation(s)"), "{text}");
+        assert!(text.contains("(868 more dropped from the log)"), "{text}");
     }
 }

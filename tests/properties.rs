@@ -377,6 +377,11 @@ fn arb_event() -> impl Strategy<Value = pmo_repro::trace::TraceEvent> {
         (1u32..100_000).prop_map(|count| TraceEvent::Compute { count }),
         (any::<u64>(), 1u8..=64).prop_map(|(va, size)| TraceEvent::Load { va, size }),
         (any::<u64>(), 1u8..=64).prop_map(|(va, size)| TraceEvent::Store { va, size }),
+        (any::<u64>(), 1u8..=8, any::<u64>()).prop_map(|(va, size, data)| TraceEvent::StoreData {
+            va,
+            size,
+            data
+        }),
         (1u32.., 0u8..3).prop_map(|(pmo, p)| TraceEvent::SetPerm {
             pmo: PmoId::new(pmo),
             perm: [Perm::None, Perm::ReadOnly, Perm::ReadWrite][p as usize],
@@ -421,6 +426,86 @@ proptest! {
         file.replay(&mut replayed);
         prop_assert_eq!(replayed.events(), events.as_slice());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // -----------------------------------------------------------------
+    // Crash-image enumeration is closed under the persistency model:
+    // whatever subset of a window's stores a power failure lets persist
+    // (per line: the entry state or the content after any store, lines
+    // independent), the resulting image hashes into the enumerated set.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn crash_enumeration_contains_every_legal_persist_choice(
+        ops in prop::collection::vec(
+            (0u64..4, 0u64..8, any::<u64>(), 0u8..6),
+            0..12,
+        ),
+        first_data in any::<u64>(),
+        choice_seed in any::<u64>(),
+    ) {
+        use pmo_repro::analyzer::{enumerate, image_hash, EnumConfig, LineImage};
+        use pmo_repro::trace::TraceEvent;
+
+        const LINE: usize = 64;
+        const LINES: usize = 4;
+        let base = 1u64 << 30;
+        let pmo = PmoId::new(1);
+
+        // Build the trace and, in parallel, an independent reference
+        // model of each line's reachable persisted states: the zero
+        // entry state plus the line content after every store to it.
+        let mut events = vec![TraceEvent::Attach {
+            pmo,
+            base,
+            size: (LINES * LINE) as u64,
+            nvm: true,
+        }];
+        let mut current = [[0u8; LINE]; LINES];
+        let mut candidates: Vec<Vec<LineImage>> =
+            (0..LINES).map(|_| vec![[0u8; LINE]]).collect();
+        let mut store = |events: &mut Vec<TraceEvent>, line: u64, word: u64, data: u64| {
+            events.push(TraceEvent::StoreData { va: base + line * 64 + word * 8, size: 8, data });
+            let (l, w) = (line as usize, word as usize);
+            current[l][w * 8..w * 8 + 8].copy_from_slice(&data.to_le_bytes());
+            let img = current[l];
+            if !candidates[l].contains(&img) {
+                candidates[l].push(img);
+            }
+        };
+        store(&mut events, 0, 0, first_data); // ensure the window has activity
+        for &(line, word, data, kind) in &ops {
+            if kind < 5 {
+                store(&mut events, line, word, data);
+            } else {
+                // A flush changes what settles at the next fence, never
+                // what a crash inside this window can leave behind.
+                events.push(TraceEvent::Flush { va: base + line * 64 });
+            }
+        }
+
+        let result = enumerate(&events, EnumConfig {
+            max_images_per_window: 1 << 20,
+            max_windows: 16,
+        });
+        prop_assert!(result.exhaustive(), "caps must not truncate this product");
+        let hashes = result.pool_hashes(pmo);
+
+        // Pick an arbitrary legal persist choice per line and hash it.
+        let mut image: Vec<(u64, LineImage)> = Vec::new();
+        for (l, cands) in candidates.iter().enumerate() {
+            let pick = ((choice_seed >> (8 * l)) as usize) % cands.len();
+            let img = cands[pick];
+            if img.iter().any(|&b| b != 0) {
+                image.push((l as u64, img));
+            }
+        }
+        let hash = image_hash(&image);
+        prop_assert!(
+            hashes.contains(&hash),
+            "legal image (choice seed {choice_seed:#x}) missing from {} enumerated hashes",
+            hashes.len()
+        );
     }
 
     // -----------------------------------------------------------------

@@ -23,7 +23,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use pmo_experiments::faultsim::FaultsimConfig;
-use pmo_experiments::{faultsim, table5, table6, RunOptions, Scale};
+use pmo_experiments::soak::SoakConfig;
+use pmo_experiments::{faultsim, soak, table5, table6, RunOptions, Scale};
 use pmo_protect::SchemeKind;
 use pmo_sim::{Replay, ReplayReport};
 use pmo_simarch::SimConfig;
@@ -135,10 +136,16 @@ fn main() -> ExitCode {
     println!("benchtrend: host parallelism {host_parallelism}, fanning with --jobs {jobs}\n");
 
     // Part 1: campaign wall clock, serial vs parallel, byte-identical.
+    let soak_cfg = SoakConfig::for_scale(Scale::Quick);
     let campaigns = [
         time_campaign("faultsim-quick", jobs, |j| {
             let cfg = FaultsimConfig::for_scale(Scale::Quick);
             faultsim::run_campaign(&cfg, j).to_json()
+        }),
+        time_campaign("soak-quick", jobs, |j| {
+            let report = soak::run_soak(&soak_cfg, j);
+            assert!(report.is_clean(), "soak-quick campaign must stay clean:\n{report}");
+            report.to_json()
         }),
         time_campaign("table5-quick", jobs, |j| {
             let opts = RunOptions { jobs: j, ..RunOptions::default() };
@@ -210,7 +217,21 @@ fn main() -> ExitCode {
             c.wall_jobs1 as f64 / c.wall_jobsn as f64,
         );
     }
-    entry.push_str("],\"replay\":[");
+    // The soak's headline throughput: tenant-ops applied per wall second
+    // across the whole multi-tenant campaign (64 tenants x 24 ops at
+    // quick scale), at both job counts.
+    let soak_row = campaigns.iter().find(|c| c.name == "soak-quick").expect("soak row");
+    let soak_ops = soak_cfg.total_ops();
+    let _ = write!(
+        entry,
+        "],\"soak\":{{\"tenants\":{},\"ops\":{},\"tenant_ops_per_sec_jobs1\":{:.0},\
+         \"tenant_ops_per_sec_jobsn\":{:.0}}}",
+        soak_cfg.tenants(),
+        soak_ops,
+        soak_ops as f64 * 1e9 / soak_row.wall_jobs1 as f64,
+        soak_ops as f64 * 1e9 / soak_row.wall_jobsn as f64,
+    );
+    entry.push_str(",\"replay\":[");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
             entry.push(',');

@@ -52,6 +52,17 @@ const POOL_NAME: &str = "faultsim";
 pub const FAULT_KINDS: [FaultKind; 3] =
     [FaultKind::PowerFailure, FaultKind::TornWrite, FaultKind::MediaError];
 
+/// Retry budget for re-applying the transaction a fault interrupted
+/// after recovery verifies clean. Exhausting it classifies the trial
+/// [`Outcome::Degraded`] and is counted per cell.
+pub const REAPPLY_LIMIT: u64 = 4;
+
+/// Cap on replayable failures kept in [`CampaignReport::failures`].
+/// Overflow is never silent: the excess is counted in
+/// [`CampaignReport::failures_dropped`], which also fails
+/// [`CampaignReport::is_clean`].
+pub const FAILURE_LOG_CAP: usize = 64;
+
 /// SplitMix64-style finalizer used for all campaign-level derivations
 /// (key streams, per-trial fault seeds). Pure, so every trial is
 /// replayable from its printed parameters.
@@ -208,11 +219,16 @@ pub struct TrialResult {
     pub outcome: Outcome,
     /// What happened, for repro lines and logs.
     pub detail: String,
+    /// Attempts spent re-applying the interrupted transaction after a
+    /// verified recovery (0 when the trial never reached re-apply).
+    pub retries: u64,
+    /// Whether the re-apply budget ([`REAPPLY_LIMIT`]) was exhausted.
+    pub retry_exhausted: bool,
 }
 
 impl TrialResult {
     fn new(outcome: Outcome, detail: impl Into<String>) -> Self {
-        TrialResult { outcome, detail: detail.into() }
+        TrialResult { outcome, detail: detail.into(), retries: 0, retry_exhausted: false }
     }
 }
 
@@ -231,11 +247,17 @@ pub struct CellCounts {
     pub panics: u64,
     /// Trials whose fault never fired.
     pub unreached: u64,
+    /// Re-apply attempts spent on interrupted transactions after
+    /// verified recovery (cells are per-kind, so this is the per-kind
+    /// retry counter).
+    pub retried: u64,
+    /// Trials whose re-apply budget was exhausted.
+    pub retry_exhausted: u64,
 }
 
 impl CellCounts {
-    fn tally(&mut self, outcome: &Outcome) {
-        match outcome {
+    fn tally(&mut self, result: &TrialResult) {
+        match result.outcome {
             Outcome::Recovered => self.recovered += 1,
             Outcome::Degraded => self.degraded += 1,
             Outcome::Quarantined => self.quarantined += 1,
@@ -243,6 +265,8 @@ impl CellCounts {
             Outcome::Panicked => self.panics += 1,
             Outcome::Unreached => self.unreached += 1,
         }
+        self.retried += result.retries;
+        self.retry_exhausted += u64::from(result.retry_exhausted);
     }
 }
 
@@ -278,13 +302,30 @@ pub struct TrialFailure {
     pub detail: String,
 }
 
+/// Per-fault-kind totals aggregated across every workload's cell.
+#[derive(Clone, Copy, Debug)]
+pub struct KindTotals {
+    /// Fault kind these totals aggregate.
+    pub kind: FaultKind,
+    /// Re-apply attempts across the kind's recovered trials.
+    pub retries: u64,
+    /// Trials whose re-apply budget was exhausted.
+    pub retry_exhausted: u64,
+    /// Trials that ended with bounded, typed data loss.
+    pub degraded: u64,
+}
+
 /// Full campaign results: the survival matrix plus replayable failures.
 #[derive(Clone, Debug, Default)]
 pub struct CampaignReport {
     /// One cell per `(workload, kind)` pair.
     pub cells: Vec<MatrixCell>,
-    /// Every violation/panic, with repro parameters.
+    /// Violations/panics with repro parameters, capped at
+    /// [`FAILURE_LOG_CAP`] entries (overflow counted below).
     pub failures: Vec<TrialFailure>,
+    /// Failing trials dropped once the failure log hit its cap — never
+    /// silent, and any nonzero value fails [`CampaignReport::is_clean`].
+    pub failures_dropped: u64,
     /// Campaign seed the run derived everything from.
     pub campaign_seed: u64,
     /// Total trials executed.
@@ -301,7 +342,26 @@ impl CampaignReport {
     /// quarantine/media errors, never as silent damage or crashes).
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.failures.is_empty()
+        self.failures.is_empty() && self.failures_dropped == 0
+    }
+
+    /// Per-kind retry/exhaustion/degradation totals, in [`FAULT_KINDS`]
+    /// order (cells are per-`(workload, kind)`, so kinds aggregate over
+    /// workloads).
+    #[must_use]
+    pub fn kind_totals(&self) -> Vec<KindTotals> {
+        FAULT_KINDS
+            .into_iter()
+            .map(|kind| {
+                let mut totals = KindTotals { kind, retries: 0, retry_exhausted: 0, degraded: 0 };
+                for c in self.cells.iter().filter(|c| c.kind == kind) {
+                    totals.retries += c.counts.retried;
+                    totals.retry_exhausted += c.counts.retry_exhausted;
+                    totals.degraded += c.counts.degraded;
+                }
+                totals
+            })
+            .collect()
     }
 
     /// Trials completed per host wall-clock second — the campaign-level
@@ -331,7 +391,7 @@ impl CampaignReport {
                 cells,
                 "{{\"workload\":{},\"fault\":{},\"points\":{},\"op_stores\":{},\
                  \"recovered\":{},\"degraded\":{},\"quarantined\":{},\"violations\":{},\
-                 \"panics\":{},\"unreached\":{}}}",
+                 \"panics\":{},\"unreached\":{},\"retried\":{},\"retry_exhausted\":{}}}",
                 pmo_analyzer::json_string(c.workload.label()),
                 pmo_analyzer::json_string(&c.kind.to_string()),
                 c.points,
@@ -342,6 +402,22 @@ impl CampaignReport {
                 c.counts.violations,
                 c.counts.panics,
                 c.counts.unreached,
+                c.counts.retried,
+                c.counts.retry_exhausted,
+            );
+        }
+        let mut kinds = String::new();
+        for (i, t) in self.kind_totals().iter().enumerate() {
+            if i > 0 {
+                kinds.push(',');
+            }
+            let _ = write!(
+                kinds,
+                "{{\"fault\":{},\"retries\":{},\"retry_exhausted\":{},\"degraded\":{}}}",
+                pmo_analyzer::json_string(&t.kind.to_string()),
+                t.retries,
+                t.retry_exhausted,
+                t.degraded,
             );
         }
         let mut failures = String::new();
@@ -363,14 +439,17 @@ impl CampaignReport {
         }
         format!(
             "{{\"campaign_seed\":{},\"trials\":{},\"clean\":{},\"wall_nanos\":{},\
-             \"events_per_sec\":{:.1},\"cells\":[{}],\"failures\":[{}]}}",
+             \"events_per_sec\":{:.1},\"cells\":[{}],\"kinds\":[{}],\"failures\":[{}],\
+             \"failures_dropped\":{}}}",
             self.campaign_seed,
             self.trials,
             self.is_clean(),
             self.wall_nanos,
             self.events_per_sec(),
             cells,
+            kinds,
             failures,
+            self.failures_dropped,
         )
     }
 }
@@ -414,6 +493,16 @@ impl fmt::Display for CampaignReport {
             )?;
         }
         writeln!(f, "(points `N*` = exhaustive sweep of every op-phase store)")?;
+        for t in self.kind_totals() {
+            writeln!(
+                f,
+                "kind {:<14} retried {:>5}  retry-exhausted {:>3}  degraded {:>5}",
+                t.kind.to_string(),
+                t.retries,
+                t.retry_exhausted,
+                t.degraded,
+            )?;
+        }
         for fail in &self.failures {
             writeln!(
                 f,
@@ -427,10 +516,21 @@ impl fmt::Display for CampaignReport {
                 fail.fault_seed,
             )?;
         }
+        if self.failures_dropped > 0 {
+            writeln!(
+                f,
+                "(+{} more failing trial(s) dropped past the {FAILURE_LOG_CAP}-entry log cap)",
+                self.failures_dropped
+            )?;
+        }
         if self.is_clean() {
             writeln!(f, "campaign clean: zero invariant violations, zero panics")?;
         } else {
-            writeln!(f, "campaign FAILED: {} violating/panicking trial(s)", self.failures.len())?;
+            writeln!(
+                f,
+                "campaign FAILED: {} violating/panicking trial(s)",
+                self.failures.len() as u64 + self.failures_dropped
+            )?;
         }
         Ok(())
     }
@@ -524,19 +624,23 @@ fn trial<S: CheckedStructure>(
     // A truncated audit can hide findings, so it fails the trial outright
     // — the harness never passes a verdict on an incomplete log.
     if !audit.complete() {
-        return TrialResult::new(
+        let mut r = TrialResult::new(
             Outcome::Violation,
             format!(
                 "permission audit truncated: {} finding(s) dropped from the log",
                 audit.dropped()
             ),
         );
+        r.retries = result.retries;
+        return r;
     }
     if audit.passed() {
         result
     } else {
         let first = audit.errors().next().expect("failed audit has an error").to_string();
-        TrialResult::new(Outcome::Violation, format!("permission audit: {first}"))
+        let mut r = TrialResult::new(Outcome::Violation, format!("permission audit: {first}"));
+        r.retries = result.retries;
+        r
     }
 }
 
@@ -605,7 +709,7 @@ fn trial_body<S: CheckedStructure>(
             );
         }
     };
-    let s = match S::create(&mut rt, pool, cfg.value_bytes, &mut *sink) {
+    let mut s = match S::create(&mut rt, pool, cfg.value_bytes, &mut *sink) {
         Ok(s) => s,
         Err(RuntimeError::MediaError { offset, .. }) => {
             return TrialResult::new(
@@ -621,7 +725,9 @@ fn trial_body<S: CheckedStructure>(
         }
     };
     let result = match s.verify(&mut rt, &required, &in_flight, &mut *sink) {
-        Ok(report) if report.is_clean() => TrialResult::new(Outcome::Recovered, report.to_string()),
+        Ok(report) if report.is_clean() => {
+            reapply_in_flight(&mut rt, pool, &mut s, &in_flight, &mut required, sink)
+        }
         Ok(report) => TrialResult::new(Outcome::Violation, report.to_string()),
         Err(RuntimeError::MediaError { offset, .. }) => TrialResult::new(
             Outcome::Degraded,
@@ -632,6 +738,79 @@ fn trial_body<S: CheckedStructure>(
         }
     };
     sink.event(TraceEvent::SetPerm { pmo: pool, perm: Perm::None });
+    result
+}
+
+/// The application-level half of the recovery contract: a pool whose
+/// recovery verified clean must also resume service, so the transaction
+/// the fault interrupted is re-applied under a bounded retry budget
+/// ([`REAPPLY_LIMIT`]) and the structure is re-verified with its key now
+/// required. The replay is idempotent whether or not the original commit
+/// survived (inserts overwrite values in place), mirroring how a real
+/// application retries its interrupted write after crash recovery.
+fn reapply_in_flight<S: CheckedStructure>(
+    rt: &mut PmRuntime,
+    pool: PmoId,
+    s: &mut S,
+    in_flight: &[u64],
+    required: &mut Vec<u64>,
+    sink: &mut dyn TraceSink,
+) -> TrialResult {
+    let Some(&key) = in_flight.first() else {
+        return TrialResult::new(Outcome::Recovered, "recovered (no in-flight transaction)");
+    };
+    let mut retries = 0;
+    loop {
+        if retries >= REAPPLY_LIMIT {
+            let mut r = TrialResult::new(
+                Outcome::Degraded,
+                format!("re-apply budget exhausted after {retries} attempt(s) for key {key:#x}"),
+            );
+            r.retries = retries;
+            r.retry_exhausted = true;
+            return r;
+        }
+        retries += 1;
+        match txn_insert(rt, pool, s, key, sink) {
+            Ok(()) => break,
+            Err(RuntimeError::PowerFailure) => {
+                rt.txn_discard();
+            }
+            Err(RuntimeError::MediaError { offset, .. }) => {
+                rt.txn_discard();
+                let mut r = TrialResult::new(
+                    Outcome::Degraded,
+                    format!("re-apply hit media error at offset {offset:#x}"),
+                );
+                r.retries = retries;
+                return r;
+            }
+            Err(other) => {
+                let mut r = TrialResult::new(
+                    Outcome::Violation,
+                    format!("unexpected re-apply error: {other}"),
+                );
+                r.retries = retries;
+                return r;
+            }
+        }
+    }
+    required.push(key);
+    let mut result = match s.verify(rt, required, &[], sink) {
+        Ok(report) if report.is_clean() => TrialResult::new(Outcome::Recovered, report.to_string()),
+        Ok(report) => {
+            TrialResult::new(Outcome::Violation, format!("post-re-apply verify: {report}"))
+        }
+        Err(RuntimeError::MediaError { offset, .. }) => TrialResult::new(
+            Outcome::Degraded,
+            format!("post-re-apply structure unreadable at offset {offset:#x}"),
+        ),
+        Err(other) => TrialResult::new(
+            Outcome::Violation,
+            format!("unexpected post-re-apply verify error: {other}"),
+        ),
+    };
+    result.retries = retries;
     result
 }
 
@@ -716,17 +895,21 @@ pub fn run_campaign(cfg: &FaultsimConfig, jobs: usize) -> CampaignReport {
             let mut counts = CellCounts::default();
             for &after in &points {
                 let result = results.next().expect("one result per coordinate");
-                counts.tally(&result.outcome);
+                counts.tally(&result);
                 report.trials += 1;
                 if matches!(result.outcome, Outcome::Violation | Outcome::Panicked) {
-                    report.failures.push(TrialFailure {
-                        workload,
-                        kind,
-                        after,
-                        fault_seed: cfg.fault_seed(workload, kind, after),
-                        outcome: result.outcome.clone(),
-                        detail: result.detail,
-                    });
+                    if report.failures.len() < FAILURE_LOG_CAP {
+                        report.failures.push(TrialFailure {
+                            workload,
+                            kind,
+                            after,
+                            fault_seed: cfg.fault_seed(workload, kind, after),
+                            outcome: result.outcome.clone(),
+                            detail: result.detail,
+                        });
+                    } else {
+                        report.failures_dropped += 1;
+                    }
                 }
             }
             report.cells.push(MatrixCell {
@@ -764,7 +947,7 @@ mod tests {
             cells: vec![MatrixCell {
                 workload: FaultWorkload::Avl,
                 kind: FaultKind::TornWrite,
-                counts: CellCounts { recovered: 2, ..CellCounts::default() },
+                counts: CellCounts { recovered: 2, retried: 5, ..CellCounts::default() },
                 points: 2,
                 op_stores: 2,
             }],
@@ -776,14 +959,52 @@ mod tests {
                 outcome: Outcome::Violation,
                 detail: "broke a \"chain\"".to_string(),
             }],
+            failures_dropped: 0,
             wall_nanos: 0,
         };
         let json = report.to_json();
         assert!(json.contains("\"workload\":\"avl\""), "{json}");
         assert!(json.contains("\"fault\":\"torn-write\""), "{json}");
         assert!(json.contains("\"clean\":false"), "{json}");
+        assert!(json.contains("\"retried\":5"), "{json}");
+        assert!(json.contains("\"failures_dropped\":0"), "{json}");
+        // Per-kind totals aggregate the cells (one torn-write cell here).
+        assert!(
+            json.contains(
+                "{\"fault\":\"torn-write\",\"retries\":5,\"retry_exhausted\":0,\"degraded\":0}"
+            ),
+            "{json}"
+        );
         // Quotes inside failure details are escaped.
         assert!(json.contains("broke a \\\"chain\\\""), "{json}");
+    }
+
+    #[test]
+    fn failure_log_truncation_is_counted_and_fails_clean() {
+        let report = CampaignReport {
+            campaign_seed: 7,
+            trials: 100,
+            failures_dropped: 3,
+            ..CampaignReport::default()
+        };
+        assert!(!report.is_clean());
+        assert!(report.to_json().contains("\"failures_dropped\":3"));
+        let text = format!("{report}");
+        assert!(text.contains("+3 more failing trial(s) dropped"), "{text}");
+        assert!(text.contains("campaign FAILED: 3 violating/panicking trial(s)"), "{text}");
+    }
+
+    #[test]
+    fn recovered_trial_reapplies_the_interrupted_op() {
+        // A power failure at the first op-phase store interrupts a
+        // transaction; after recovery the trial re-applies it (one
+        // attempt — no fault is armed anymore) and re-verifies with the
+        // key required.
+        let cfg = tiny();
+        let r = run_trial(&cfg, FaultWorkload::List, FaultKind::PowerFailure, 0);
+        assert_eq!(r.outcome, Outcome::Recovered, "{}", r.detail);
+        assert_eq!(r.retries, 1, "{}", r.detail);
+        assert!(!r.retry_exhausted);
     }
 
     #[test]
@@ -827,6 +1048,13 @@ mod tests {
         assert!(report.trials > 0);
         let recovered: u64 = report.cells.iter().map(|c| c.counts.recovered).sum();
         assert!(recovered > 0, "{report}");
+        // Power-failure trials that crashed mid-transaction re-apply the
+        // interrupted op after recovery, so the per-kind retry counter
+        // must be live.
+        let power = &report.kind_totals()[0];
+        assert_eq!(power.kind, FaultKind::PowerFailure);
+        assert!(power.retries > 0, "{report}");
+        assert_eq!(power.retry_exhausted, 0, "{report}");
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod fig7;
 pub mod pool;
 mod runner;
 mod scale;
+pub mod soak;
 pub mod table5;
 pub mod table6;
 pub mod table7;

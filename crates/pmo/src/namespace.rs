@@ -117,6 +117,30 @@ pub struct PoolEntry {
 }
 
 impl PoolEntry {
+    /// Lifts a sticky quarantine after the media has been scrubbed.
+    ///
+    /// Quarantine exists because the pool's recovery metadata cannot be
+    /// trusted; releasing it is only safe once nothing of the damaged
+    /// image remains, so this refuses while any poisoned line survives.
+    /// Returns the reason the pool had been quarantined for (so callers
+    /// can log what was recovered from). A repeat media error after
+    /// release re-quarantines exactly like the first: release clears the
+    /// flag, never the mechanism.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`RuntimeError::PoolQuarantined`] if poisoned lines
+    /// remain on media (scrub first).
+    pub fn release_quarantine(&mut self) -> Result<Option<&'static str>> {
+        if self.storage.poisoned_lines() > 0 {
+            return Err(RuntimeError::PoolQuarantined {
+                name: self.name.clone(),
+                reason: "media still poisoned; scrub before releasing quarantine",
+            });
+        }
+        Ok(self.quarantined.take())
+    }
+
     /// The pool's current health.
     #[must_use]
     pub fn health(&self) -> PoolHealth {
@@ -255,7 +279,9 @@ impl Namespace {
         Ok(self.pools.get_mut(&name).expect("indexes in sync"))
     }
 
-    fn entry_mut_by_name(&mut self, name: &str) -> Result<&mut PoolEntry> {
+    /// Looks up a pool mutably by name (the scrub/quarantine-release
+    /// path operates on pools that may refuse ID-based attach).
+    pub fn entry_mut_by_name(&mut self, name: &str) -> Result<&mut PoolEntry> {
         self.pools.get_mut(name).ok_or_else(|| RuntimeError::NoSuchPool(name.to_string()))
     }
 

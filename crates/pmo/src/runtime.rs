@@ -43,6 +43,16 @@ pub struct RecoveryReport {
     pub truncated_entries: u64,
 }
 
+/// Report of a pool scrub (maintenance wipe + reformat).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Poisoned media lines the scrub remapped.
+    pub poisoned_cleared: u64,
+    /// The quarantine reason the scrub lifted, if the pool had been
+    /// quarantined.
+    pub quarantine_released: Option<&'static str>,
+}
+
 /// The runtime's open durable transaction: writes against its pool are
 /// staged here instead of hitting storage, and applied atomically (via
 /// the redo log) at commit.
@@ -51,6 +61,10 @@ struct ActiveTxn {
     pool: PmoId,
     /// Staged writes: (pool offset, bytes), in program order.
     writes: Vec<(u32, Vec<u8>)>,
+    /// Frees staged by [`PmRuntime::pfree`]: (alloc-header offset, slot
+    /// size). Pushed onto the volatile free lists only at commit, so a
+    /// discarded transaction never recycles memory it failed to unlink.
+    frees: Vec<(u32, u64)>,
 }
 
 /// The per-process PMO runtime.
@@ -168,17 +182,7 @@ impl PmRuntime {
         let id = self.ns.create(name, size, mode, self.uid)?;
         // Initialize the persistent header.
         let entry = self.ns.entry_mut(id).expect("just created");
-        let mut put = |off: u64, v: u64| {
-            entry.storage.write(off, &v.to_le_bytes()).expect("header fits");
-        };
-        put(hdr::MAGIC, POOL_MAGIC);
-        put(hdr::HEAP_TOP, heap_base_for(size));
-        put(hdr::ROOT_OID, 0);
-        put(hdr::ROOT_SIZE, 0);
-        put(hdr::COMMIT_FLAG, 0);
-        put(hdr::LOG_BASE, HEADER_SIZE);
-        put(hdr::LOG_SIZE, log_bytes_for(size));
-        entry.storage.flush_range(0, HEADER_SIZE);
+        format_header(&mut entry.storage, size);
         let id = self.attach_named(name, AttachIntent::ReadWrite, None, sink)?;
         // Re-emit the header formatting as valued stores, then trace the
         // header persist (clwb + fence), now that the attach event
@@ -303,6 +307,37 @@ impl PmRuntime {
         self.ns.destroy(name, self.uid)
     }
 
+    /// `pool_scrub(name)`: wipes a pool's media back to zero, reformats
+    /// a fresh header, and releases any sticky quarantine, making the
+    /// pool attachable again. Contents are lost by design — this is the
+    /// operator's recovery path for a quarantined pool, trading data for
+    /// availability once forensics are done. A repeat media error after
+    /// the scrub quarantines again exactly like the first: scrubbing
+    /// clears the flag, never the mechanism.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool does not exist, the caller does not own it, or
+    /// anyone (including the caller) has it attached.
+    pub fn pool_scrub(&mut self, name: &str) -> Result<ScrubReport> {
+        let uid = self.uid;
+        let entry = self.ns.entry_mut_by_name(name)?;
+        if entry.owner != uid {
+            return Err(RuntimeError::PermissionDenied {
+                name: name.to_string(),
+                reason: "only the owner may scrub a pool",
+            });
+        }
+        if entry.readers > 0 || entry.writers > 0 {
+            return Err(RuntimeError::ExclusivelyHeld(name.to_string()));
+        }
+        let poisoned_cleared = entry.storage.scrub();
+        let size = entry.storage.size();
+        format_header(&mut entry.storage, size);
+        let quarantine_released = entry.release_quarantine()?;
+        Ok(ScrubReport { poisoned_cleared, quarantine_released })
+    }
+
     /// Materializes a pool from an enumerated crash image: registers a
     /// fresh, *unformatted* pool of `size` bytes and installs each
     /// `(line, bytes)` pair directly onto media as persisted state. No
@@ -404,6 +439,13 @@ impl PmRuntime {
 
     /// `pfree(oid)`: frees a persistent allocation.
     ///
+    /// Inside an open transaction the free is as failure-atomic as the
+    /// caller's unlink writes: the allocation-header flip is staged with
+    /// them and the (volatile) free-list push is deferred to commit. A
+    /// discarded or crashed transaction therefore leaves the allocation
+    /// live — it is still reachable from the structure the unlink never
+    /// reached.
+    ///
     /// # Errors
     ///
     /// Fails if the OID does not reference a live allocation.
@@ -420,8 +462,19 @@ impl PmRuntime {
                 reason: "not a live allocation",
             });
         }
-        self.write_alloc_header(id, hdr_off, size, FREED_MAGIC, sink)?;
         let slot = slot_size(u64::from(size));
+        if self.txn.as_ref().is_some_and(|t| t.pool == id) {
+            let mut buf = [0u8; 8];
+            buf[..4].copy_from_slice(&size.to_le_bytes());
+            buf[4..].copy_from_slice(&FREED_MAGIC.to_le_bytes());
+            self.write_bytes(Oid::new(id, hdr_off), 0, &buf, sink)?;
+            if let Some(txn) = &mut self.txn {
+                txn.frees.push((hdr_off, slot));
+            }
+            sink.compute(10);
+            return Ok(());
+        }
+        self.write_alloc_header(id, hdr_off, size, FREED_MAGIC, sink)?;
         self.free_lists.entry(id).or_default().entry(slot).or_default().push(hdr_off);
         sink.compute(10);
         Ok(())
@@ -646,7 +699,7 @@ impl PmRuntime {
                 reason: "transaction on read-only attachment",
             });
         }
-        self.txn = Some(ActiveTxn { pool, writes: Vec::new() });
+        self.txn = Some(ActiveTxn { pool, writes: Vec::new(), frees: Vec::new() });
         Ok(())
     }
 
@@ -680,7 +733,7 @@ impl PmRuntime {
     /// protocol (the staging is consumed either way; recover by crashing
     /// and re-attaching).
     pub fn txn_commit(&mut self, sink: &mut dyn TraceSink) -> Result<()> {
-        let Some(ActiveTxn { pool, writes }) = self.txn.take() else {
+        let Some(ActiveTxn { pool, writes, frees }) = self.txn.take() else {
             return Ok(());
         };
         if writes.is_empty() {
@@ -724,6 +777,10 @@ impl PmRuntime {
         // (4) Clear the flag.
         self.write_header_u64(pool, hdr::COMMIT_FLAG, 0, sink)?;
         self.flush_header_line(pool, hdr::COMMIT_FLAG, sink)?;
+        // The transaction is durable: its staged frees may now recycle.
+        for (hdr_off, slot) in frees {
+            self.free_lists.entry(pool).or_default().entry(slot).or_default().push(hdr_off);
+        }
         Ok(())
     }
 
@@ -739,6 +796,32 @@ impl PmRuntime {
         self.last_recovery = None;
         self.txn = None;
         lost
+    }
+
+    /// Simulates a fatal fault confined to *one* attached pool — the
+    /// fault-domain primitive the multi-tenant server builds on. The
+    /// pool's unflushed lines revert (or tear / poison, per any armed
+    /// [`FaultPlan`]), its attachment is torn down (emitting Detach +
+    /// Shootdown trace events, like the detach system call), and a
+    /// transaction staged against it evaporates. Every other pool,
+    /// attachment, and open transaction is untouched. Returns the number
+    /// of lines lost.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool is not attached.
+    pub fn crash_pool(&mut self, id: PmoId, sink: &mut dyn TraceSink) -> Result<u64> {
+        let att = self.attached.remove(&id).ok_or(RuntimeError::NotAttached(id))?;
+        if self.txn.as_ref().is_some_and(|t| t.pool == id) {
+            self.txn = None;
+        }
+        self.aspace.release(att.base, att.region);
+        self.free_lists.remove(&id);
+        self.ns.release(id, att.intent)?;
+        let lost = self.ns.entry_mut(id)?.storage.crash();
+        sink.event(TraceEvent::Detach { pmo: id });
+        sink.event(TraceEvent::Shootdown { pmo: id });
+        Ok(lost)
     }
 
     /// Info about one attachment.
@@ -834,6 +917,25 @@ impl PmRuntime {
         let entry = self.ns.entry(id)?;
         let mut buf = [0u8; 8];
         entry.storage.read(u64::from(off), &mut buf)?;
+        // Read-your-writes: a header flip staged by an in-transaction
+        // pfree must be visible (it is how a double free inside the
+        // same transaction is caught).
+        if let Some(txn) = &self.txn {
+            if txn.pool == id {
+                let start = u64::from(off);
+                for (w_off, data) in &txn.writes {
+                    let w_start = u64::from(*w_off);
+                    let w_end = w_start + data.len() as u64;
+                    let lo = start.max(w_start);
+                    let hi = (start + 8).min(w_end);
+                    if lo < hi {
+                        buf[(lo - start) as usize..(hi - start) as usize].copy_from_slice(
+                            &data[(lo - w_start) as usize..(hi - w_start) as usize],
+                        );
+                    }
+                }
+            }
+        }
         sink.load(base + u64::from(off), 8);
         Ok((
             u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")),
@@ -975,6 +1077,25 @@ impl PmRuntime {
     }
 }
 
+/// Formats a pool's persistent header in place — magic, heap top, empty
+/// root, clear commit flag, log geometry — then flushes the header.
+/// Runs at pool creation and again when a scrub reformats a pool; the
+/// caller re-emits the stores as trace events if an attachment exists.
+fn format_header(storage: &mut crate::storage::PoolStorage, size: u64) {
+    for (field, value) in [
+        (hdr::MAGIC, POOL_MAGIC),
+        (hdr::HEAP_TOP, heap_base_for(size)),
+        (hdr::ROOT_OID, 0),
+        (hdr::ROOT_SIZE, 0),
+        (hdr::COMMIT_FLAG, 0),
+        (hdr::LOG_BASE, HEADER_SIZE),
+        (hdr::LOG_SIZE, log_bytes_for(size)),
+    ] {
+        storage.write(field, &value.to_le_bytes()).expect("header fits");
+    }
+    storage.flush_range(0, HEADER_SIZE);
+}
+
 /// Emits Load events in <=8-byte chunks (modelling word-sized moves).
 fn emit_chunked_load(sink: &mut dyn TraceSink, va: Va, len: u64) {
     let mut done = 0;
@@ -1112,6 +1233,38 @@ mod tests {
         // Double free is rejected.
         rt.pfree(b, &mut sink).unwrap();
         assert!(matches!(rt.pfree(b, &mut sink), Err(RuntimeError::InvalidOid { .. })));
+    }
+
+    #[test]
+    fn pfree_in_txn_is_failure_atomic() {
+        // A pfree staged inside a transaction must die with a discard:
+        // the allocation stays live (its unlink writes never reached
+        // storage either) and the slot must not be recycled. Found by
+        // the multi-tenant server's chaos interleavings: an eagerly
+        // freed node whose remove transaction was aborted stayed linked
+        // in the structure while durably marked dead.
+        let (mut rt, id) = rt_with_pool(1 << 20);
+        let mut sink = NullSink::new();
+        let a = rt.pmalloc(id, 48, &mut sink).unwrap();
+        rt.write_u64(a, 0, 42, &mut sink).unwrap();
+        rt.persist(a, 0, 8, &mut sink).unwrap();
+        rt.txn_begin(id).unwrap();
+        rt.pfree(a, &mut sink).unwrap();
+        // A double free inside the same transaction sees the staged
+        // header flip and is rejected.
+        assert!(matches!(rt.pfree(a, &mut sink), Err(RuntimeError::InvalidOid { .. })));
+        rt.txn_discard();
+        // Still live after the abort: data intact, not recycled, and
+        // freeable again.
+        assert_eq!(rt.read_u64(a, 0, &mut sink).unwrap(), 42);
+        let b = rt.pmalloc(id, 48, &mut sink).unwrap();
+        assert_ne!(a, b, "aborted free must not recycle the slot");
+        // A committed transactional free recycles as usual.
+        rt.txn_begin(id).unwrap();
+        rt.pfree(a, &mut sink).unwrap();
+        rt.txn_commit(&mut sink).unwrap();
+        let c = rt.pmalloc(id, 48, &mut sink).unwrap();
+        assert_eq!(a, c, "committed free recycles the slot");
     }
 
     #[test]
@@ -1328,6 +1481,163 @@ mod tests {
         }
         assert!(quarantined > 0, "some seed must poison header or log");
         assert!(recovered > 0, "some seed must leave recovery metadata intact");
+    }
+
+    /// Drives "p" into quarantine by poisoning recovery metadata mid-
+    /// commit (sweeping seeds until one sticks) and returns the runtime.
+    fn quarantined_fixture() -> PmRuntime {
+        for seed in 0..64u64 {
+            let mut rt = PmRuntime::new();
+            let mut sink = NullSink::new();
+            let id = rt.pool_create("p", 1 << 20, Mode::private(), &mut sink).unwrap();
+            let obj = rt.pmalloc(id, 64, &mut sink).unwrap();
+            rt.inject_fault(id, FaultPlan::media_error(4, seed)).unwrap();
+            let mut tx = rt.begin_txn(id, &mut sink).unwrap();
+            tx.write_u64(obj, 0, 0xabcd).unwrap();
+            let _ = tx.commit();
+            rt.crash();
+            if matches!(
+                rt.pool_open("p", AttachIntent::ReadWrite, &mut sink),
+                Err(RuntimeError::PoolQuarantined { .. })
+            ) {
+                return rt;
+            }
+        }
+        panic!("no seed in 0..64 quarantined the pool");
+    }
+
+    #[test]
+    fn scrub_releases_quarantine_and_pool_readmits() {
+        let mut rt = quarantined_fixture();
+        let mut sink = NullSink::new();
+        assert_eq!(rt.pool_health("p").unwrap(), PoolHealth::Quarantined);
+        let report = rt.pool_scrub("p").unwrap();
+        assert!(report.quarantine_released.is_some(), "scrub lifts the quarantine");
+        // The pool re-admits through the normal attach path, factory
+        // fresh: healthy, recovery clean, old contents gone by design.
+        let id = rt.pool_open("p", AttachIntent::ReadWrite, &mut sink).unwrap();
+        assert_eq!(rt.pool_health("p").unwrap(), PoolHealth::Healthy);
+        assert_eq!(rt.last_recovery(), None);
+        let obj = rt.pmalloc(id, 64, &mut sink).unwrap();
+        rt.write_u64(obj, 0, 7, &mut sink).unwrap();
+        assert_eq!(rt.read_u64(obj, 0, &mut sink).unwrap(), 7);
+        rt.pool_close(id, &mut sink).unwrap();
+    }
+
+    #[test]
+    fn requarantine_after_scrub_still_sticks() {
+        // Scrubbing releases the flag, never the mechanism: a repeat
+        // media error after re-admission must quarantine again.
+        let mut rt = quarantined_fixture();
+        let mut sink = NullSink::new();
+        rt.pool_scrub("p").unwrap();
+        for seed in 0..64u64 {
+            let id = rt.pool_open("p", AttachIntent::ReadWrite, &mut sink).unwrap();
+            let obj = rt.pmalloc(id, 64, &mut sink).unwrap();
+            rt.inject_fault(id, FaultPlan::media_error(4, seed)).unwrap();
+            let mut tx = rt.begin_txn(id, &mut sink).unwrap();
+            tx.write_u64(obj, 0, 0xbeef).unwrap();
+            let _ = tx.commit();
+            rt.crash();
+            match rt.pool_open("p", AttachIntent::ReadWrite, &mut sink) {
+                Err(RuntimeError::PoolQuarantined { .. }) => {
+                    assert_eq!(rt.pool_health("p").unwrap(), PoolHealth::Quarantined);
+                    // Sticky until the next explicit scrub.
+                    assert!(matches!(
+                        rt.pool_open("p", AttachIntent::ReadWrite, &mut sink),
+                        Err(RuntimeError::PoolQuarantined { .. })
+                    ));
+                    return;
+                }
+                Ok(id) => rt.pool_close(id, &mut sink).unwrap(),
+                Err(other) => panic!("unexpected error for seed {seed}: {other}"),
+            }
+            // This seed recovered cleanly; wipe and try the next one.
+            rt.pool_scrub("p").unwrap();
+        }
+        panic!("no seed in 0..64 re-quarantined the scrubbed pool");
+    }
+
+    #[test]
+    fn scrub_refused_while_attached_or_for_non_owner() {
+        let (mut rt, id) = rt_with_pool(1 << 20);
+        let mut sink = NullSink::new();
+        assert!(matches!(rt.pool_scrub("p"), Err(RuntimeError::ExclusivelyHeld(_))));
+        rt.pool_close(id, &mut sink).unwrap();
+        rt.set_uid(9);
+        assert!(matches!(rt.pool_scrub("p"), Err(RuntimeError::PermissionDenied { .. })));
+        rt.set_uid(0);
+        assert!(rt.pool_scrub("p").is_ok());
+        assert!(matches!(rt.pool_scrub("ghost"), Err(RuntimeError::NoSuchPool(_))));
+    }
+
+    #[test]
+    fn crash_pool_is_a_fault_domain() {
+        // Two tenants, two pools. Crashing one pool must lose only its
+        // unflushed lines, tear down only its attachment, and leave the
+        // other tenant's pool fully live — the isolation property the
+        // multi-tenant server builds on.
+        let mut rt = PmRuntime::new();
+        let mut sink = NullSink::new();
+        let a = rt.pool_create("a", 1 << 20, Mode::private(), &mut sink).unwrap();
+        let b = rt.pool_create("b", 1 << 20, Mode::private(), &mut sink).unwrap();
+        let oa = rt.pmalloc(a, 64, &mut sink).unwrap();
+        let ob = rt.pmalloc(b, 64, &mut sink).unwrap();
+        rt.write_u64(oa, 0, 1, &mut sink).unwrap();
+        rt.persist(oa, 0, 8, &mut sink).unwrap();
+        rt.write_u64(oa, 8, 2, &mut sink).unwrap(); // unflushed: dies with a
+        rt.write_u64(ob, 0, 3, &mut sink).unwrap(); // unflushed: must survive
+        let mut trace = RecordedTrace::new();
+        let lost = rt.crash_pool(a, &mut trace).unwrap();
+        assert!(lost > 0, "pool a had unflushed lines");
+        // Only pool a detached; the events landed in the trace.
+        assert!(rt.attachment(a).is_err());
+        assert!(rt.attachment(b).is_ok());
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Detach { pmo } if *pmo == a)));
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Shootdown { pmo } if *pmo == a)));
+        // Pool b is untouched: even its unflushed write is still visible.
+        assert_eq!(rt.read_u64(ob, 0, &mut sink).unwrap(), 3);
+        // Pool a re-opens through recovery; persisted data survived,
+        // unflushed data did not.
+        let a = rt.pool_open("a", AttachIntent::ReadWrite, &mut sink).unwrap();
+        assert_eq!(rt.read_u64(oa, 0, &mut sink).unwrap(), 1);
+        assert_eq!(rt.read_u64(oa, 8, &mut sink).unwrap(), 0);
+        let _ = a;
+        // Crashing a detached pool is refused.
+        assert!(matches!(
+            rt.crash_pool(PmoId::new(99), &mut sink),
+            Err(RuntimeError::NotAttached(_))
+        ));
+    }
+
+    #[test]
+    fn crash_pool_discards_only_its_transaction() {
+        let mut rt = PmRuntime::new();
+        let mut sink = NullSink::new();
+        let a = rt.pool_create("a", 1 << 20, Mode::private(), &mut sink).unwrap();
+        let b = rt.pool_create("b", 1 << 20, Mode::private(), &mut sink).unwrap();
+        let ob = rt.pmalloc(b, 64, &mut sink).unwrap();
+        // Txn open on b: crashing a must leave it staged.
+        rt.txn_begin(b).unwrap();
+        rt.write_u64(ob, 0, 5, &mut sink).unwrap();
+        rt.crash_pool(a, &mut sink).unwrap();
+        assert_eq!(rt.txn_active(), Some(b));
+        rt.txn_commit(&mut sink).unwrap();
+        assert_eq!(rt.read_u64(ob, 0, &mut sink).unwrap(), 5);
+        // Txn open on b: crashing b evaporates the staging.
+        rt.txn_begin(b).unwrap();
+        rt.write_u64(ob, 0, 6, &mut sink).unwrap();
+        rt.crash_pool(b, &mut sink).unwrap();
+        assert_eq!(rt.txn_active(), None);
+        let b = rt.pool_open("b", AttachIntent::ReadWrite, &mut sink).unwrap();
+        assert_eq!(rt.read_u64(ob, 0, &mut sink).unwrap(), 5, "staged write never landed");
+        let _ = b;
     }
 
     #[test]

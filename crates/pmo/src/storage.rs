@@ -407,6 +407,27 @@ impl PoolStorage {
         self.unflushed.remove(&line);
     }
 
+    /// Scrubs the pool's media back to a factory-fresh state: every byte
+    /// reads as zero again, unflushed lines are discarded (nothing left
+    /// to revert), media poison is cleared (the controller remaps every
+    /// damaged line), and any armed fault plan is disarmed. Lifetime
+    /// store/flush counters survive — a scrub is maintenance, not a new
+    /// device.
+    ///
+    /// This is the recovery half of quarantine release: a quarantined
+    /// pool's contents are preserved for forensics until the operator
+    /// explicitly scrubs, after which the pool can be reformatted and
+    /// re-admitted. Returns the number of poisoned lines cleared.
+    pub fn scrub(&mut self) -> u64 {
+        let cleared = self.poisoned.len() as u64;
+        self.chunks.clear();
+        self.unflushed.clear();
+        self.poisoned.clear();
+        self.touched.clear();
+        self.plan = None;
+        cleared
+    }
+
     /// Number of lines an injected media fault currently leaves
     /// unreadable.
     #[must_use]
@@ -677,6 +698,51 @@ mod tests {
         let mut buf = [0u8; 1];
         s.read(0, &mut buf).unwrap();
         assert_eq!(buf, [7]);
+    }
+
+    #[test]
+    fn scrub_clears_media_poison_and_armed_faults() {
+        let mut s = PoolStorage::new(64 * 64);
+        s.inject_fault(FaultPlan::media_error(u64::MAX, 3));
+        for line in 0..64u64 {
+            s.write(line * 64, &[5u8; 64]).unwrap();
+        }
+        s.crash();
+        assert!(s.poisoned_lines() > 0, "seed 3 poisons some touched lines");
+        let stores_before = s.stores();
+        // Arm another fault, then scrub: poison, contents, and the plan
+        // all go; counters survive.
+        s.inject_fault(FaultPlan::power_failure(0));
+        let cleared = s.scrub();
+        assert!(cleared > 0, "scrub reports the poisoned lines it cleared");
+        assert_eq!(s.poisoned_lines(), 0);
+        assert_eq!(s.unflushed_lines(), 0);
+        assert_eq!(s.armed_fault(), None, "scrub disarms the fault plan");
+        assert_eq!(s.resident_chunks(), 0, "scrubbed media is zero again");
+        assert_eq!(s.stores(), stores_before, "lifetime counters survive");
+        let mut buf = [0u8; 8];
+        s.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+        s.write(0, &[1u8; 8]).unwrap(); // no armed fault fires
+    }
+
+    #[test]
+    fn scrub_then_repoison_still_works() {
+        // A scrub must not make later media faults any less sticky.
+        let mut s = PoolStorage::new(64 * 64);
+        s.inject_fault(FaultPlan::media_error(u64::MAX, 3));
+        for line in 0..64u64 {
+            s.write(line * 64, &[5u8; 64]).unwrap();
+        }
+        s.crash();
+        s.scrub();
+        assert_eq!(s.poisoned_lines(), 0);
+        s.inject_fault(FaultPlan::media_error(u64::MAX, 3));
+        for line in 0..64u64 {
+            s.write(line * 64, &[6u8; 64]).unwrap();
+        }
+        s.crash();
+        assert!(s.poisoned_lines() > 0, "post-scrub faults poison exactly as before");
     }
 
     #[test]

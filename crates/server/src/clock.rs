@@ -1,0 +1,57 @@
+//! Injected logical time.
+//!
+//! The server never reads wall-clock time (the crate's clippy wall bans
+//! `Instant::now`): every latency, timeout, and backoff is measured in
+//! *logical ticks* advanced by the server itself — one tick per trace
+//! event an operation emits, plus the ticks a backoff sleeps. Two runs
+//! with the same seeds therefore observe byte-identical timelines, which
+//! is what makes chaos campaigns replayable and `--jobs`-invariant.
+
+/// A deterministic, monotonically advancing tick counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LogicalClock {
+    now: u64,
+}
+
+impl LogicalClock {
+    /// A clock at tick zero.
+    #[must_use]
+    pub fn new() -> Self {
+        LogicalClock::default()
+    }
+
+    /// The current tick.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the clock by `ticks` (saturating; the clock never wraps
+    /// backwards).
+    pub fn advance(&mut self, ticks: u64) {
+        self.now = self.now.saturating_add(ticks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut clock = LogicalClock::new();
+        assert_eq!(clock.now(), 0);
+        clock.advance(5);
+        clock.advance(0);
+        clock.advance(3);
+        assert_eq!(clock.now(), 8);
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let mut clock = LogicalClock::new();
+        clock.advance(u64::MAX);
+        clock.advance(10);
+        assert_eq!(clock.now(), u64::MAX);
+    }
+}

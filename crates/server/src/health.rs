@@ -1,0 +1,164 @@
+//! The per-tenant degradation ladder.
+//!
+//! Tenant health is a small state machine the server drives as chaos
+//! lands: `Healthy → Degraded (read-only) → Quarantined → Recovering →
+//! Healthy`, with `Evicted` as the key-pressure branch (`Healthy/Degraded
+//! → Evicted → Healthy`). Transitions outside the ladder are server
+//! bugs and panic loudly (chaos campaigns classify panics as failures).
+
+use std::fmt;
+
+/// One tenant's position on the degradation ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TenantHealth {
+    /// Serving reads and writes normally.
+    Healthy,
+    /// Pool has unreadable data lines: reads are served (and may surface
+    /// typed media errors); the next write escalates to recovery.
+    Degraded,
+    /// The pool's recovery metadata is damaged; the tenant is detached
+    /// and must pass through the scrub path.
+    Quarantined,
+    /// Scrub in progress: media wiped, header reformatted, re-admission
+    /// pending.
+    Recovering,
+    /// Detached by admission control under key pressure; durable state
+    /// is intact and re-admission is a plain re-attach.
+    Evicted,
+}
+
+impl TenantHealth {
+    /// Whether the ladder allows a `self → next` step.
+    #[must_use]
+    pub fn can_step(self, next: TenantHealth) -> bool {
+        use TenantHealth::{Degraded, Evicted, Healthy, Quarantined, Recovering};
+        matches!(
+            (self, next),
+            (Healthy, Degraded | Quarantined | Evicted)
+                | (Degraded, Healthy | Quarantined | Evicted)
+                | (Quarantined, Recovering)
+                | (Recovering, Healthy | Quarantined)
+                | (Evicted, Healthy | Degraded)
+        )
+    }
+}
+
+impl fmt::Display for TenantHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TenantHealth::Healthy => "healthy",
+            TenantHealth::Degraded => "degraded",
+            TenantHealth::Quarantined => "quarantined",
+            TenantHealth::Recovering => "recovering",
+            TenantHealth::Evicted => "evicted",
+        })
+    }
+}
+
+/// Ladder transition counters (one slot per tenant).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthCounters {
+    /// Steps into [`TenantHealth::Degraded`].
+    pub degradations: u64,
+    /// Steps into [`TenantHealth::Quarantined`].
+    pub quarantines: u64,
+    /// Steps into [`TenantHealth::Recovering`] (scrubs started).
+    pub recoveries: u64,
+    /// Steps into [`TenantHealth::Evicted`].
+    pub evictions: u64,
+    /// Steps back into [`TenantHealth::Healthy`] from anywhere.
+    pub readmissions: u64,
+}
+
+/// One tenant's health state plus its transition history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthSlot {
+    state: TenantHealth,
+    counters: HealthCounters,
+}
+
+impl Default for HealthSlot {
+    fn default() -> Self {
+        HealthSlot { state: TenantHealth::Healthy, counters: HealthCounters::default() }
+    }
+}
+
+impl HealthSlot {
+    /// Current ladder position.
+    #[must_use]
+    pub fn state(&self) -> TenantHealth {
+        self.state
+    }
+
+    /// Accumulated transition counters.
+    #[must_use]
+    pub fn counters(&self) -> HealthCounters {
+        self.counters
+    }
+
+    /// Steps the ladder to `next`, counting the transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ladder forbids `current → next` — a server bug,
+    /// surfaced loudly so chaos campaigns classify it as a failure.
+    pub fn step(&mut self, next: TenantHealth) {
+        assert!(self.state.can_step(next), "illegal health transition {} -> {next}", self.state);
+        match next {
+            TenantHealth::Healthy => self.counters.readmissions += 1,
+            TenantHealth::Degraded => self.counters.degradations += 1,
+            TenantHealth::Quarantined => self.counters.quarantines += 1,
+            TenantHealth::Recovering => self.counters.recoveries += 1,
+            TenantHealth::Evicted => self.counters.evictions += 1,
+        }
+        self.state = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TenantHealth::{Degraded, Evicted, Healthy, Quarantined, Recovering};
+
+    #[test]
+    fn the_full_ladder_walks() {
+        let mut slot = HealthSlot::default();
+        for step in [Degraded, Quarantined, Recovering, Healthy, Evicted, Healthy] {
+            slot.step(step);
+        }
+        let c = slot.counters();
+        assert_eq!(c.degradations, 1);
+        assert_eq!(c.quarantines, 1);
+        assert_eq!(c.recoveries, 1);
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.readmissions, 2);
+        assert_eq!(slot.state(), Healthy);
+    }
+
+    #[test]
+    fn degraded_can_heal_in_place() {
+        // Full-line overwrites repair poisoned lines, so Degraded may
+        // step straight back to Healthy without a scrub.
+        let mut slot = HealthSlot::default();
+        slot.step(Degraded);
+        slot.step(Healthy);
+        assert_eq!(slot.state(), Healthy);
+    }
+
+    #[test]
+    fn quarantine_only_exits_through_recovering() {
+        assert!(!Quarantined.can_step(Healthy));
+        assert!(!Quarantined.can_step(Degraded));
+        assert!(!Quarantined.can_step(Evicted));
+        assert!(Quarantined.can_step(Recovering));
+        // A scrub interrupted by fresh damage may re-quarantine.
+        assert!(Recovering.can_step(Quarantined));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal health transition")]
+    fn illegal_step_panics() {
+        let mut slot = HealthSlot::default();
+        slot.step(Recovering); // Healthy -> Recovering skips quarantine
+    }
+}

@@ -1,0 +1,1166 @@
+//! The sharded multi-tenant pool server.
+//!
+//! A [`PoolServer`] is one *shard*: a single-threaded manager owning one
+//! [`PmRuntime`], one [`KeyAllocator`], and N tenants, each with its own
+//! pool (= fault domain) and persistent structure. Tenant operations are
+//! interleaved by the caller (the soak campaign's deterministic
+//! scheduler); the server emits a [`TraceEvent::ThreadSwitch`] whenever
+//! the serving tenant changes, so one shard trace audits like a
+//! multi-threaded execution.
+//!
+//! Robustness machinery, per tenant:
+//!
+//! * **fault domains** — chaos fired against one tenant's pool crashes
+//!   only that pool ([`PmRuntime::crash_pool`]); other tenants never
+//!   observe it;
+//! * **retry policy** — transient faults re-admit and retry with bounded
+//!   attempts and seeded backoff ([`RetryPolicy`]);
+//! * **degradation ladder** — media damage degrades the tenant to
+//!   read-only; writes (and quarantine) escalate through the
+//!   scrub/release path ([`PmRuntime::pool_scrub`]) back to healthy;
+//! * **admission control** — pools hold protection keys while attached;
+//!   past the 16-key cliff the PLRU allocator evicts a victim tenant,
+//!   which transparently re-admits on its next operation.
+
+use std::collections::BTreeMap;
+
+use pmo_protect::KeyAllocator;
+use pmo_runtime::{AttachIntent, FaultPlan, Mode, PmRuntime, PoolHealth, RuntimeError};
+use pmo_trace::{FaultKind, Perm, PmoId, ThreadId, TraceEvent, TraceSink};
+use pmo_workloads::structs::{
+    AvlTree, BplusTree, KeyedStructure, LinkedList, PersistentHashmap, RbTree,
+};
+
+use crate::clock::LogicalClock;
+use crate::health::{HealthCounters, HealthSlot, TenantHealth};
+use crate::policy::{classify, FaultClass, RetryDecision, RetryPolicy};
+
+/// Tenant identifier within a shard (also the tenant's [`ThreadId`]).
+pub type TenantId = u32;
+
+/// Latency samples kept per tenant; beyond the cap samples are counted
+/// but dropped (counted truncation, never silent).
+pub const LATENCY_SAMPLE_CAP: usize = 4096;
+
+/// The persistent structure a tenant runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// AVL tree.
+    Avl,
+    /// Red-black tree.
+    Rbt,
+    /// B+tree.
+    Bplus,
+    /// Sorted linked list.
+    List,
+    /// Chained hashmap.
+    Hashmap,
+}
+
+impl WorkloadKind {
+    /// Every workload, in canonical order.
+    pub const ALL: [WorkloadKind; 5] = [
+        WorkloadKind::Avl,
+        WorkloadKind::Rbt,
+        WorkloadKind::Bplus,
+        WorkloadKind::List,
+        WorkloadKind::Hashmap,
+    ];
+
+    /// Short label for reports and repro lines.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Avl => "avl",
+            WorkloadKind::Rbt => "rbtree",
+            WorkloadKind::Bplus => "bplus",
+            WorkloadKind::List => "list",
+            WorkloadKind::Hashmap => "hashmap",
+        }
+    }
+
+    /// Parses a label back into a workload.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        WorkloadKind::ALL.into_iter().find(|w| w.label() == label)
+    }
+}
+
+/// Type-erased handle over the tenant's structure.
+#[derive(Debug)]
+enum Handle {
+    Avl(AvlTree),
+    Rbt(RbTree),
+    Bplus(BplusTree),
+    List(LinkedList),
+    Hashmap(PersistentHashmap),
+}
+
+impl Handle {
+    fn create(
+        kind: WorkloadKind,
+        rt: &mut PmRuntime,
+        pool: PmoId,
+        value_bytes: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Handle, RuntimeError> {
+        Ok(match kind {
+            WorkloadKind::Avl => Handle::Avl(AvlTree::create(rt, pool, value_bytes, sink)?),
+            WorkloadKind::Rbt => Handle::Rbt(RbTree::create(rt, pool, value_bytes, sink)?),
+            WorkloadKind::Bplus => Handle::Bplus(BplusTree::create(rt, pool, value_bytes, sink)?),
+            WorkloadKind::List => Handle::List(LinkedList::create(rt, pool, value_bytes, sink)?),
+            WorkloadKind::Hashmap => {
+                Handle::Hashmap(PersistentHashmap::create(rt, pool, value_bytes, sink)?)
+            }
+        })
+    }
+
+    fn insert(
+        &mut self,
+        rt: &mut PmRuntime,
+        key: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(), RuntimeError> {
+        match self {
+            Handle::Avl(s) => s.insert(rt, key, sink),
+            Handle::Rbt(s) => s.insert(rt, key, sink),
+            Handle::Bplus(s) => s.insert(rt, key, sink),
+            Handle::List(s) => s.insert(rt, key, sink),
+            Handle::Hashmap(s) => s.insert(rt, key, sink),
+        }
+    }
+
+    fn remove(
+        &mut self,
+        rt: &mut PmRuntime,
+        key: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<bool, RuntimeError> {
+        match self {
+            Handle::Avl(s) => s.remove(rt, key, sink),
+            Handle::Rbt(s) => s.remove(rt, key, sink),
+            Handle::Bplus(s) => s.remove(rt, key, sink),
+            Handle::List(s) => s.remove(rt, key, sink),
+            Handle::Hashmap(s) => s.remove(rt, key, sink),
+        }
+    }
+
+    fn contains(
+        &mut self,
+        rt: &mut PmRuntime,
+        key: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<bool, RuntimeError> {
+        match self {
+            Handle::Avl(s) => s.contains(rt, key, sink),
+            Handle::Rbt(s) => s.contains(rt, key, sink),
+            Handle::Bplus(s) => s.contains(rt, key, sink),
+            Handle::List(s) => s.contains(rt, key, sink),
+            Handle::Hashmap(s) => s.contains(rt, key, sink),
+        }
+    }
+}
+
+/// One tenant operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Insert `key` (transactional).
+    Insert(u64),
+    /// Remove `key` (transactional); reports whether it was present.
+    Remove(u64),
+    /// Membership probe (read-only).
+    Contains(u64),
+}
+
+impl Op {
+    /// Whether the operation mutates the structure.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        matches!(self, Op::Insert(_) | Op::Remove(_))
+    }
+
+    /// The key the operation targets.
+    #[must_use]
+    pub fn key(self) -> u64 {
+        match self {
+            Op::Insert(k) | Op::Remove(k) | Op::Contains(k) => k,
+        }
+    }
+}
+
+/// How one operation concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// The operation executed; for remove/contains, whether the key was
+    /// present.
+    Applied {
+        /// Membership result (always `true` for inserts).
+        present: bool,
+    },
+    /// A read hit a typed media error on a degraded pool (bounded,
+    /// reported loss — never silent damage).
+    MediaFault,
+    /// The transient-retry budget ran out; the tenant remains registered
+    /// and later operations start fresh.
+    GaveUp,
+}
+
+/// Everything one [`PoolServer::op`] call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpReport {
+    /// How the operation concluded.
+    pub outcome: OpOutcome,
+    /// Logical ticks the operation took, including recovery and backoff.
+    pub latency: u64,
+    /// Transient retries performed within this operation.
+    pub retries: u64,
+    /// Whether recovery scrubbed the tenant's pool (all prior contents
+    /// gone; callers must reset their expectations for this tenant).
+    pub wiped: bool,
+    /// Tenants evicted by admission control while serving this
+    /// operation.
+    pub evictions: u64,
+}
+
+/// Per-tenant robustness counters (the soak campaign aggregates these).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Operations served (every [`PoolServer::op`] call).
+    pub ops: u64,
+    /// Operations that concluded [`OpOutcome::Applied`].
+    pub applied: u64,
+    /// Transient retries across all operations.
+    pub retries: u64,
+    /// Operations that exhausted the retry budget.
+    pub exhausted: u64,
+    /// Chaos faults that fired against this tenant's pool.
+    pub faults: u64,
+    /// Typed media errors observed (reads of poisoned lines).
+    pub media_errors: u64,
+    /// Writes that escalated a degraded pool into the scrub path.
+    pub media_escalations: u64,
+    /// Scrub recoveries (each wipes the tenant's pool).
+    pub wipes: u64,
+    /// Latency samples dropped beyond [`LATENCY_SAMPLE_CAP`].
+    pub latency_dropped: u64,
+}
+
+/// Deterministic latency percentiles over a tenant's recorded samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Samples recorded (excluding dropped ones).
+    pub samples: u64,
+    /// Samples dropped by the cap.
+    pub dropped: u64,
+    /// Median latency in logical ticks.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Worst observed latency.
+    pub max: u64,
+}
+
+/// Nearest-rank percentile (`numer/denom`, e.g. 999/1000) over an
+/// ascending-sorted slice. Returns 0 for an empty slice.
+#[must_use]
+pub fn nearest_rank(sorted: &[u64], numer: u64, denom: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (n * numer).div_ceil(denom).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+/// One registered tenant.
+#[derive(Debug)]
+pub struct Tenant {
+    name: String,
+    workload: WorkloadKind,
+    pool: Option<PmoId>,
+    handle: Option<Handle>,
+    health: HealthSlot,
+    counters: TenantCounters,
+    armed: Option<FaultKind>,
+    latencies: Vec<u64>,
+}
+
+impl Tenant {
+    /// The tenant's pool name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The structure this tenant runs.
+    #[must_use]
+    pub fn workload(&self) -> WorkloadKind {
+        self.workload
+    }
+
+    /// Current ladder position.
+    #[must_use]
+    pub fn health(&self) -> TenantHealth {
+        self.health.state()
+    }
+
+    /// Ladder transition counters.
+    #[must_use]
+    pub fn health_counters(&self) -> HealthCounters {
+        self.health.counters()
+    }
+
+    /// Robustness counters.
+    #[must_use]
+    pub fn counters(&self) -> TenantCounters {
+        self.counters
+    }
+
+    /// Whether the tenant currently holds an attachment (and a key).
+    #[must_use]
+    pub fn attached(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Raw latency samples, in operation order (capped at
+    /// [`LATENCY_SAMPLE_CAP`]; the overflow count is in
+    /// [`TenantCounters::latency_dropped`]).
+    #[must_use]
+    pub fn latencies(&self) -> &[u64] {
+        &self.latencies
+    }
+
+    /// Deterministic latency percentiles over this tenant's operations.
+    #[must_use]
+    pub fn latency_summary(&self) -> LatencySummary {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        LatencySummary {
+            samples: sorted.len() as u64,
+            dropped: self.counters.latency_dropped,
+            p50: nearest_rank(&sorted, 50, 100),
+            p99: nearest_rank(&sorted, 99, 100),
+            p999: nearest_rank(&sorted, 999, 1000),
+            max: sorted.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Shard configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Architected protection keys (16 for MPK; key 0 is reserved, so
+    /// `keys - 1` tenants attach concurrently before eviction starts).
+    pub keys: u32,
+    /// Pool size per tenant.
+    pub pool_bytes: u64,
+    /// Value payload bytes for tenant structures.
+    pub value_bytes: u32,
+    /// Retry/backoff policy for transient faults.
+    pub policy: RetryPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            keys: 16,
+            pool_bytes: 1 << 20,
+            value_bytes: 32,
+            policy: RetryPolicy::default(),
+        }
+    }
+}
+
+/// A sink adapter that counts events flowing through it, so the server
+/// can advance its logical clock by the work an operation performed.
+struct CountingTee<'a> {
+    inner: &'a mut dyn TraceSink,
+    events: u64,
+}
+
+impl TraceSink for CountingTee<'_> {
+    fn event(&mut self, ev: TraceEvent) {
+        self.events += 1;
+        self.inner.event(ev);
+    }
+}
+
+/// One shard of the multi-tenant pool service.
+#[derive(Debug)]
+pub struct PoolServer {
+    rt: PmRuntime,
+    keys: KeyAllocator,
+    clock: LogicalClock,
+    cfg: ServerConfig,
+    tenants: BTreeMap<TenantId, Tenant>,
+    current: Option<TenantId>,
+}
+
+impl PoolServer {
+    /// Creates an empty shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.keys` is outside `2..=64` (the [`KeyAllocator`]
+    /// contract).
+    #[must_use]
+    pub fn new(cfg: ServerConfig) -> Self {
+        PoolServer {
+            rt: PmRuntime::new(),
+            keys: KeyAllocator::new(cfg.keys),
+            clock: LogicalClock::new(),
+            cfg,
+            tenants: BTreeMap::new(),
+            current: None,
+        }
+    }
+
+    /// Registers a tenant. Its pool is created lazily on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant id is already registered.
+    pub fn register(&mut self, t: TenantId, workload: WorkloadKind) {
+        let prev = self.tenants.insert(
+            t,
+            Tenant {
+                name: format!("tenant-{t:05}"),
+                workload,
+                pool: None,
+                handle: None,
+                health: HealthSlot::default(),
+                counters: TenantCounters::default(),
+                armed: None,
+                latencies: Vec::new(),
+            },
+        );
+        assert!(prev.is_none(), "tenant {t} registered twice");
+    }
+
+    /// The shard's logical clock.
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Protection keys currently assigned.
+    #[must_use]
+    pub fn keys_in_use(&self) -> u32 {
+        self.keys.in_use()
+    }
+
+    /// Looks up a tenant.
+    #[must_use]
+    pub fn tenant(&self, t: TenantId) -> Option<&Tenant> {
+        self.tenants.get(&t)
+    }
+
+    /// Iterates over `(id, tenant)` in id order.
+    pub fn tenants(&self) -> impl Iterator<Item = (TenantId, &Tenant)> {
+        self.tenants.iter().map(|(id, ten)| (*id, ten))
+    }
+
+    /// Arms a chaos fault against `t`'s pool (attaching it first if
+    /// needed, which may evict a victim; the count is returned). The
+    /// fault fires on a later store, from where the server runs its
+    /// normal fault-domain recovery.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the tenant cannot be admitted (e.g. currently
+    /// quarantined: recovery happens on its next operation, after which
+    /// chaos can be re-armed).
+    pub fn inject_chaos(
+        &mut self,
+        t: TenantId,
+        plan: FaultPlan,
+        sink: &mut dyn TraceSink,
+    ) -> Result<u64, RuntimeError> {
+        assert!(self.tenants.contains_key(&t), "tenant {t} not registered");
+        self.switch_thread(t, sink);
+        let mut evictions = 0;
+        if self.tenants[&t].pool.is_none() {
+            evictions = self.attach_tenant(t, sink)?;
+        }
+        let pool = self.tenants[&t].pool.expect("attached above");
+        self.rt.inject_fault(pool, plan)?;
+        self.tenants.get_mut(&t).expect("registered").armed = Some(plan.kind);
+        Ok(evictions)
+    }
+
+    /// Serves one tenant operation, running the full robustness ladder
+    /// (re-admission, transient retry with backoff, media escalation,
+    /// scrub recovery) as needed.
+    ///
+    /// # Errors
+    ///
+    /// Only hard errors (programming bugs, resource exhaustion)
+    /// propagate; every chaos outcome is absorbed into the returned
+    /// [`OpReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant is not registered, or on an illegal health
+    /// ladder transition (a server bug).
+    pub fn op(
+        &mut self,
+        t: TenantId,
+        op: Op,
+        sink: &mut dyn TraceSink,
+    ) -> Result<OpReport, RuntimeError> {
+        assert!(self.tenants.contains_key(&t), "tenant {t} not registered");
+        self.switch_thread(t, sink);
+        let start = self.clock.now();
+        let mut report = OpReport {
+            outcome: OpOutcome::GaveUp,
+            latency: 0,
+            retries: 0,
+            wiped: false,
+            evictions: 0,
+        };
+        self.tenants.get_mut(&t).expect("registered").counters.ops += 1;
+        let mut attempt: u32 = 0;
+        let max_steps = self.cfg.policy.max_attempts as usize + 8;
+        for _ in 0..max_steps {
+            // Ladder-driven recovery work, before the measured attempt.
+            let state = self.tenants[&t].health.state();
+            if state == TenantHealth::Quarantined {
+                match self.wipe(t, sink) {
+                    Ok(evictions) => {
+                        report.wiped = true;
+                        report.evictions += evictions;
+                        continue;
+                    }
+                    Err(e) => {
+                        self.note_recovery_failure(t, &e)?;
+                        continue;
+                    }
+                }
+            }
+            if op.is_write() && state == TenantHealth::Degraded {
+                // Deterministic media damage never heals by retrying the
+                // same reads: escalate the write through the scrub path.
+                self.tenants.get_mut(&t).expect("registered").counters.media_escalations += 1;
+                self.step_health(t, TenantHealth::Quarantined);
+                continue;
+            }
+            if self.tenants[&t].pool.is_none() {
+                match self.attach_tenant(t, sink) {
+                    Ok(evictions) => report.evictions += evictions,
+                    Err(e) => {
+                        self.note_recovery_failure(t, &e)?;
+                        continue;
+                    }
+                }
+            }
+            // The measured attempt: one tick per trace event emitted.
+            let mut tee = CountingTee { inner: sink, events: 0 };
+            let result = self.run_attached_op(t, op, &mut tee);
+            let events = tee.events;
+            self.clock.advance(events.max(1));
+            match result {
+                Ok(present) => {
+                    report.outcome = OpOutcome::Applied { present };
+                    let ten = self.tenants.get_mut(&t).expect("registered");
+                    ten.counters.applied += 1;
+                    break;
+                }
+                Err(RuntimeError::PowerFailure) => {
+                    attempt += 1;
+                    self.on_chaos_fired(t, sink)?;
+                    match self.cfg.policy.decide(FaultClass::Transient, attempt, u64::from(t)) {
+                        RetryDecision::RetryAfter(ticks) => {
+                            self.clock.advance(ticks);
+                            report.retries += 1;
+                            self.tenants.get_mut(&t).expect("registered").counters.retries += 1;
+                        }
+                        RetryDecision::Escalate | RetryDecision::GiveUp => {
+                            self.tenants.get_mut(&t).expect("registered").counters.exhausted += 1;
+                            report.outcome = OpOutcome::GaveUp;
+                            break;
+                        }
+                    }
+                }
+                Err(RuntimeError::MediaError { .. }) => {
+                    let ten = self.tenants.get_mut(&t).expect("registered");
+                    ten.counters.media_errors += 1;
+                    if ten.health.state() == TenantHealth::Healthy {
+                        ten.health.step(TenantHealth::Degraded);
+                    }
+                    if !op.is_write() {
+                        report.outcome = OpOutcome::MediaFault;
+                        break;
+                    }
+                    // A write: loop back; the Degraded branch escalates.
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        let latency = self.clock.now() - start;
+        report.latency = latency;
+        let ten = self.tenants.get_mut(&t).expect("registered");
+        if ten.latencies.len() < LATENCY_SAMPLE_CAP {
+            ten.latencies.push(latency);
+        } else {
+            ten.counters.latency_dropped += 1;
+        }
+        Ok(report)
+    }
+
+    /// Verifies the key-allocation invariants the admission controller
+    /// must maintain: every assigned key maps to exactly one attached
+    /// tenant pool, no tenant holds two keys, and every attached tenant
+    /// holds exactly one key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_key_invariants(&self) -> Result<(), String> {
+        let mut seen_pools = std::collections::BTreeSet::new();
+        for (key, pool) in self.keys.assignments() {
+            if !seen_pools.insert(pool) {
+                return Err(format!("pool {pool} holds more than one key"));
+            }
+            let holders: Vec<TenantId> = self
+                .tenants
+                .iter()
+                .filter(|(_, ten)| ten.pool == Some(pool))
+                .map(|(id, _)| *id)
+                .collect();
+            if holders.len() != 1 {
+                return Err(format!(
+                    "key {key} -> pool {pool} is held by {} tenants (want exactly 1)",
+                    holders.len()
+                ));
+            }
+            if self.rt.attachment(pool).is_err() {
+                return Err(format!("key {key} assigned to detached pool {pool}"));
+            }
+        }
+        for (id, ten) in &self.tenants {
+            if let Some(pool) = ten.pool {
+                if self.keys.key_of(pool).is_none() {
+                    return Err(format!("attached tenant {id} (pool {pool}) holds no key"));
+                }
+            }
+        }
+        if self.keys.in_use() > self.keys.usable() {
+            return Err(format!(
+                "{} keys in use exceeds {} usable",
+                self.keys.in_use(),
+                self.keys.usable()
+            ));
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Internals
+    // ---------------------------------------------------------------
+
+    fn switch_thread(&mut self, t: TenantId, sink: &mut dyn TraceSink) {
+        if self.current != Some(t) {
+            sink.event(TraceEvent::ThreadSwitch { thread: ThreadId::new(t) });
+            self.current = Some(t);
+            self.clock.advance(1);
+        }
+    }
+
+    fn step_health(&mut self, t: TenantId, next: TenantHealth) {
+        self.tenants.get_mut(&t).expect("registered").health.step(next);
+    }
+
+    /// Classifies a failure of a recovery step (attach or scrub). A
+    /// quarantine steps the ladder and lets the caller loop; anything
+    /// else is a hard error.
+    fn note_recovery_failure(&mut self, t: TenantId, e: &RuntimeError) -> Result<(), RuntimeError> {
+        match classify(e) {
+            FaultClass::Quarantine => {
+                let state = self.tenants[&t].health.state();
+                if state != TenantHealth::Quarantined {
+                    self.step_health(t, TenantHealth::Quarantined);
+                }
+                Ok(())
+            }
+            _ => Err(e.clone()),
+        }
+    }
+
+    /// Attaches a registered-but-detached tenant: opens (or creates) its
+    /// pool, takes a protection key (evicting a PLRU victim past the
+    /// cliff), and rebuilds the structure handle. Returns the number of
+    /// victims evicted.
+    fn attach_tenant(
+        &mut self,
+        t: TenantId,
+        sink: &mut dyn TraceSink,
+    ) -> Result<u64, RuntimeError> {
+        let (name, workload) = {
+            let ten = &self.tenants[&t];
+            debug_assert!(ten.pool.is_none(), "attach_tenant on an attached tenant");
+            (ten.name.clone(), ten.workload)
+        };
+        let pool = if self.rt.namespace().contains(&name) {
+            self.rt.pool_open(&name, AttachIntent::ReadWrite, sink)?
+        } else {
+            self.rt.pool_create(&name, self.cfg.pool_bytes, Mode::private(), sink)?
+        };
+        let mut evictions = 0;
+        if self.keys.alloc(pool).is_none() {
+            let (_key, victim_pool) = self.keys.evict_and_assign(pool);
+            self.evict_tenant_of(victim_pool, sink)?;
+            self.switch_thread(t, sink);
+            evictions = 1;
+        }
+        // The tenant's write window spans its attachment (the server
+        // plays the application's permission protocol, as faultsim
+        // does); every detach path below revokes it first.
+        sink.event(TraceEvent::SetPerm { pmo: pool, perm: Perm::ReadWrite });
+        match Handle::create(workload, &mut self.rt, pool, self.cfg.value_bytes, sink) {
+            Ok(handle) => {
+                let ten = self.tenants.get_mut(&t).expect("registered");
+                ten.pool = Some(pool);
+                ten.handle = Some(handle);
+                match ten.health.state() {
+                    TenantHealth::Evicted | TenantHealth::Recovering => {
+                        ten.health.step(TenantHealth::Healthy);
+                    }
+                    _ => {}
+                }
+                // Chaos may have poisoned data lines during the crash
+                // that detached us; surface that on the ladder.
+                if self.rt.pool_health(&name)? == PoolHealth::Degraded
+                    && self.tenants[&t].health.state() == TenantHealth::Healthy
+                {
+                    self.step_health(t, TenantHealth::Degraded);
+                }
+                Ok(evictions)
+            }
+            Err(e) => {
+                // Roll the admission back fully so the key map and the
+                // runtime agree the tenant is detached.
+                sink.event(TraceEvent::SetPerm { pmo: pool, perm: Perm::None });
+                self.keys.free(pool);
+                self.rt.pool_close(pool, sink)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Detaches the tenant owning `victim_pool` because admission
+    /// control reassigned its key.
+    fn evict_tenant_of(
+        &mut self,
+        victim_pool: PmoId,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(), RuntimeError> {
+        let victim = self
+            .tenants
+            .iter()
+            .find(|(_, ten)| ten.pool == Some(victim_pool))
+            .map(|(id, _)| *id)
+            .expect("every assigned key belongs to an attached tenant");
+        let ten = self.tenants.get_mut(&victim).expect("found above");
+        ten.pool = None;
+        ten.handle = None;
+        ten.health.step(TenantHealth::Evicted);
+        // The victim's window was granted on its own thread; revoke it
+        // there so the detach finds no grant outstanding.
+        self.switch_thread(victim, sink);
+        sink.event(TraceEvent::SetPerm { pmo: victim_pool, perm: Perm::None });
+        self.rt.pool_close(victim_pool, sink)?;
+        Ok(())
+    }
+
+    /// The scrub/release recovery ladder: detach (if needed), scrub the
+    /// pool (wiping it), re-admit, and climb back to healthy. Returns
+    /// victims evicted during re-admission.
+    fn wipe(&mut self, t: TenantId, sink: &mut dyn TraceSink) -> Result<u64, RuntimeError> {
+        let name = self.tenants[&t].name.clone();
+        if let Some(pool) = self.tenants.get_mut(&t).expect("registered").pool.take() {
+            self.tenants.get_mut(&t).expect("registered").handle = None;
+            self.keys.free(pool);
+            self.rt.txn_discard();
+            sink.event(TraceEvent::SetPerm { pmo: pool, perm: Perm::None });
+            self.rt.pool_close(pool, sink)?;
+        }
+        self.step_health(t, TenantHealth::Recovering);
+        self.rt.pool_scrub(&name)?;
+        self.tenants.get_mut(&t).expect("registered").counters.wipes += 1;
+        self.attach_tenant(t, sink)
+    }
+
+    /// Bookkeeping when an armed chaos fault fires: record the
+    /// [`TraceEvent::Fault`], crash the tenant's pool (fault domain:
+    /// nothing else is touched), and release its key.
+    fn on_chaos_fired(
+        &mut self,
+        t: TenantId,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(), RuntimeError> {
+        let ten = self.tenants.get_mut(&t).expect("registered");
+        ten.counters.faults += 1;
+        let kind = ten.armed.take().unwrap_or(FaultKind::PowerFailure);
+        let Some(pool) = ten.pool.take() else {
+            return Ok(());
+        };
+        ten.handle = None;
+        sink.event(TraceEvent::Fault { pmo: pool, kind });
+        // Permission state is volatile: the crash ends the window.
+        sink.event(TraceEvent::SetPerm { pmo: pool, perm: Perm::None });
+        self.keys.free(pool);
+        self.rt.crash_pool(pool, sink)?;
+        Ok(())
+    }
+
+    /// One measured attempt against an attached tenant, inside the
+    /// attachment-lifetime permission window [`attach_tenant`] opened.
+    /// A failed attempt discards its staged transaction so nothing of
+    /// it survives into the retry.
+    fn run_attached_op(
+        &mut self,
+        t: TenantId,
+        op: Op,
+        sink: &mut dyn TraceSink,
+    ) -> Result<bool, RuntimeError> {
+        let pool = self.tenants[&t].pool.expect("caller attached the tenant");
+        // Mark the tenant's key used so PLRU eviction prefers idle
+        // tenants over active ones.
+        if let Some(key) = self.keys.key_of(pool) {
+            self.keys.touch(key);
+        }
+        let mut handle = self
+            .tenants
+            .get_mut(&t)
+            .expect("registered")
+            .handle
+            .take()
+            .expect("attached tenant has a handle");
+        let result = run_txn_op(&mut self.rt, &mut handle, pool, op, sink);
+        if result.is_err() {
+            // A fault mid-transaction leaves staged writes behind;
+            // nothing of the failed attempt may survive.
+            self.rt.txn_discard();
+        }
+        self.tenants.get_mut(&t).expect("registered").handle = Some(handle);
+        result
+    }
+}
+
+/// Runs one operation; writes are wrapped in a durable transaction so a
+/// chaos fault can never tear a structure operation in half.
+fn run_txn_op(
+    rt: &mut PmRuntime,
+    handle: &mut Handle,
+    pool: PmoId,
+    op: Op,
+    sink: &mut dyn TraceSink,
+) -> Result<bool, RuntimeError> {
+    match op {
+        Op::Contains(key) => handle.contains(rt, key, sink),
+        Op::Insert(key) => {
+            rt.txn_begin(pool)?;
+            handle.insert(rt, key, sink)?;
+            rt.txn_commit(sink)?;
+            Ok(true)
+        }
+        Op::Remove(key) => {
+            rt.txn_begin(pool)?;
+            let present = handle.remove(rt, key, sink)?;
+            rt.txn_commit(sink)?;
+            Ok(present)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmo_analyzer::{Analyzer, GatePass, PermWindowPass};
+    use pmo_trace::NullSink;
+
+    fn server() -> PoolServer {
+        PoolServer::new(ServerConfig { pool_bytes: 1 << 20, ..ServerConfig::default() })
+    }
+
+    #[test]
+    fn healthy_tenants_serve_ops_and_record_latency() {
+        let mut srv = server();
+        let mut sink = NullSink::new();
+        srv.register(1, WorkloadKind::Avl);
+        srv.register(2, WorkloadKind::Hashmap);
+        for k in 0..20u64 {
+            let r = srv.op(1, Op::Insert(k), &mut sink).unwrap();
+            assert_eq!(r.outcome, OpOutcome::Applied { present: true });
+            assert!(r.latency > 0);
+            let r = srv.op(2, Op::Insert(k * 7), &mut sink).unwrap();
+            assert_eq!(r.outcome, OpOutcome::Applied { present: true });
+        }
+        let r = srv.op(1, Op::Contains(5), &mut sink).unwrap();
+        assert_eq!(r.outcome, OpOutcome::Applied { present: true });
+        let r = srv.op(1, Op::Remove(5), &mut sink).unwrap();
+        assert_eq!(r.outcome, OpOutcome::Applied { present: true });
+        let r = srv.op(1, Op::Contains(5), &mut sink).unwrap();
+        assert_eq!(r.outcome, OpOutcome::Applied { present: false });
+        let ten = srv.tenant(1).unwrap();
+        assert_eq!(ten.health(), TenantHealth::Healthy);
+        assert_eq!(ten.counters().ops, 23);
+        assert_eq!(ten.counters().applied, 23);
+        let lat = ten.latency_summary();
+        assert_eq!(lat.samples, 23);
+        assert!(lat.p50 > 0 && lat.p50 <= lat.p99 && lat.p99 <= lat.p999);
+        assert!(lat.p999 <= lat.max);
+        srv.check_key_invariants().unwrap();
+    }
+
+    #[test]
+    fn power_failure_chaos_retries_and_isolates() {
+        let mut srv = server();
+        let mut sink = NullSink::new();
+        srv.register(1, WorkloadKind::List);
+        srv.register(2, WorkloadKind::Rbt);
+        for k in 0..8u64 {
+            srv.op(1, Op::Insert(k), &mut sink).unwrap();
+            srv.op(2, Op::Insert(k), &mut sink).unwrap();
+        }
+        srv.inject_chaos(1, FaultPlan::power_failure(3), &mut sink).unwrap();
+        // Drive tenant 1 until the fault fires; the op must recover and
+        // apply within its retry budget.
+        let mut fired = false;
+        for k in 8..24u64 {
+            let r = srv.op(1, Op::Insert(k), &mut sink).unwrap();
+            assert_eq!(r.outcome, OpOutcome::Applied { present: true }, "k={k}");
+            if r.retries > 0 {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "chaos must fire within the driven ops");
+        let c = srv.tenant(1).unwrap().counters();
+        assert_eq!(c.faults, 1);
+        assert!(c.retries > 0);
+        assert_eq!(c.exhausted, 0);
+        // Tenant 2 never noticed: still healthy, data intact.
+        assert_eq!(srv.tenant(2).unwrap().health(), TenantHealth::Healthy);
+        let r = srv.op(2, Op::Contains(3), &mut sink).unwrap();
+        assert_eq!(r.outcome, OpOutcome::Applied { present: true });
+        // Tenant 1's committed data survived the power failure.
+        let r = srv.op(1, Op::Contains(0), &mut sink).unwrap();
+        assert_eq!(r.outcome, OpOutcome::Applied { present: true });
+        srv.check_key_invariants().unwrap();
+    }
+
+    #[test]
+    fn media_chaos_walks_the_ladder_and_recovers() {
+        // Sweep seeds until media chaos leaves damage, then verify the
+        // ladder: degraded/quarantined -> scrub -> healthy again, with
+        // the other tenant untouched throughout.
+        for seed in 0..32u64 {
+            let mut srv = server();
+            let mut sink = NullSink::new();
+            srv.register(1, WorkloadKind::Hashmap);
+            srv.register(2, WorkloadKind::Avl);
+            for k in 0..6u64 {
+                srv.op(1, Op::Insert(k), &mut sink).unwrap();
+                srv.op(2, Op::Insert(k), &mut sink).unwrap();
+            }
+            srv.inject_chaos(1, FaultPlan::media_error(2, seed), &mut sink).unwrap();
+            let mut wiped = false;
+            for k in 6..40u64 {
+                let r = srv.op(1, Op::Insert(k), &mut sink).unwrap();
+                srv.check_key_invariants().unwrap();
+                if r.wiped {
+                    wiped = true;
+                    break;
+                }
+            }
+            let h = srv.tenant(1).unwrap().health();
+            assert!(
+                h == TenantHealth::Healthy || h == TenantHealth::Degraded,
+                "tenant 1 must keep serving (health {h})"
+            );
+            // Isolation: tenant 2 is pristine.
+            assert_eq!(srv.tenant(2).unwrap().health(), TenantHealth::Healthy);
+            let r = srv.op(2, Op::Contains(2), &mut sink).unwrap();
+            assert_eq!(r.outcome, OpOutcome::Applied { present: true });
+            if wiped {
+                let hc = srv.tenant(1).unwrap().health_counters();
+                assert!(hc.quarantines > 0);
+                assert!(hc.recoveries > 0);
+                assert!(srv.tenant(1).unwrap().counters().wipes > 0);
+                return; // exercised the full ladder
+            }
+        }
+        panic!("no seed in 0..32 drove the scrub ladder");
+    }
+
+    #[test]
+    fn key_pressure_evicts_and_readmits() {
+        // 4 architected keys = 3 usable: the 4th tenant forces a PLRU
+        // eviction; evicted tenants transparently re-admit with their
+        // durable state intact.
+        let mut srv = PoolServer::new(ServerConfig { keys: 4, ..ServerConfig::default() });
+        let mut sink = NullSink::new();
+        for t in 1..=6u32 {
+            srv.register(t, WorkloadKind::List);
+        }
+        let mut evictions = 0;
+        for round in 0..4u64 {
+            for t in 1..=6u32 {
+                let r = srv.op(t, Op::Insert(round * 10 + u64::from(t)), &mut sink).unwrap();
+                assert_eq!(r.outcome, OpOutcome::Applied { present: true });
+                evictions += r.evictions;
+                srv.check_key_invariants().unwrap();
+                assert!(srv.keys_in_use() <= 3);
+            }
+        }
+        assert!(evictions > 0, "6 tenants over 3 keys must evict");
+        // Every tenant's data survived its evictions.
+        for t in 1..=6u32 {
+            let r = srv.op(t, Op::Contains(u64::from(t)), &mut sink).unwrap();
+            assert_eq!(r.outcome, OpOutcome::Applied { present: true }, "tenant {t}");
+            assert!(srv.tenant(t).unwrap().health_counters().readmissions > 0 || t > 3);
+        }
+    }
+
+    #[test]
+    fn chaos_trace_passes_the_permission_audit() {
+        // The server's window discipline must hold even when chaos fires
+        // mid-operation and tenants interleave: record everything and
+        // run the permission + gate audits.
+        let mut analyzer = Analyzer::new("server-chaos")
+            .with_pass(PermWindowPass::baseline())
+            .with_pass(GatePass::new());
+        let mut srv = server();
+        srv.register(1, WorkloadKind::Avl);
+        srv.register(2, WorkloadKind::Bplus);
+        for k in 0..6u64 {
+            srv.op(1, Op::Insert(k), &mut analyzer).unwrap();
+            srv.op(2, Op::Insert(k), &mut analyzer).unwrap();
+        }
+        srv.inject_chaos(1, FaultPlan::power_failure(2), &mut analyzer).unwrap();
+        for k in 6..16u64 {
+            srv.op(1, Op::Insert(k), &mut analyzer).unwrap();
+            srv.op(2, Op::Contains(k % 6), &mut analyzer).unwrap();
+        }
+        let report = analyzer.finish();
+        assert!(report.complete(), "audit log truncated");
+        assert!(
+            report.passed(),
+            "audit errors: {:?}",
+            report.errors().map(ToString::to_string).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn seeded_interleavings_race_attach_detach_and_chaos() {
+        // Concurrent attach/detach racing fault injection: each seed
+        // drives a different interleaving of tenant ops (attach on
+        // demand, PLRU detach under 3-usable-key pressure) with chaos
+        // armed mid-stream against arbitrary tenants. At every step the
+        // key allocator must hold its bijection (never double-assign a
+        // domain key), and the whole interleaved trace must pass the
+        // permission-window and switch-gate audits.
+        for seed in 0..8u64 {
+            let mut analyzer = Analyzer::new("server-interleave")
+                .with_pass(PermWindowPass::baseline())
+                .with_pass(GatePass::new());
+            let mut srv = PoolServer::new(ServerConfig { keys: 4, ..ServerConfig::default() });
+            for t in 0..6u32 {
+                srv.register(t, WorkloadKind::ALL[t as usize % WorkloadKind::ALL.len()]);
+            }
+            let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                state >> 16
+            };
+            for step in 0..96u64 {
+                let t = (next() % 6) as u32;
+                match next() % 8 {
+                    0 => {
+                        // Arm chaos against a (possibly detached) tenant:
+                        // the arm itself may force an eviction race.
+                        let after = next() % 4 + 1;
+                        let plan = match next() % 3 {
+                            0 => FaultPlan::power_failure(after),
+                            1 => FaultPlan::torn_write(after, next()),
+                            _ => FaultPlan::media_error(after, next()),
+                        };
+                        srv.inject_chaos(t, plan, &mut analyzer).unwrap();
+                    }
+                    1 => {
+                        srv.op(t, Op::Remove(next() % 16), &mut analyzer).unwrap();
+                    }
+                    2 => {
+                        srv.op(t, Op::Contains(next() % 16), &mut analyzer).unwrap();
+                    }
+                    _ => {
+                        srv.op(t, Op::Insert(next() % 16), &mut analyzer).unwrap();
+                    }
+                }
+                srv.check_key_invariants()
+                    .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
+                assert!(srv.keys_in_use() <= 3, "seed {seed} step {step}: key over-commit");
+            }
+            let report = analyzer.finish();
+            assert!(report.complete(), "seed {seed}: audit log truncated");
+            assert!(
+                report.passed(),
+                "seed {seed} audit errors: {:?}",
+                report.errors().map(ToString::to_string).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhausts_to_gave_up() {
+        // Arm chaos that fires instantly on every re-admission attempt:
+        // impossible here because a plan is consumed by its crash — so
+        // instead verify exhaustion by re-arming between retries via a
+        // tiny budget of 1 attempt (no retry allowed).
+        let mut srv = PoolServer::new(ServerConfig {
+            policy: RetryPolicy { max_attempts: 1, ..RetryPolicy::default() },
+            ..ServerConfig::default()
+        });
+        let mut sink = NullSink::new();
+        srv.register(1, WorkloadKind::List);
+        srv.op(1, Op::Insert(1), &mut sink).unwrap();
+        srv.inject_chaos(1, FaultPlan::power_failure(1), &mut sink).unwrap();
+        let mut gave_up = false;
+        for k in 2..12u64 {
+            let r = srv.op(1, Op::Insert(k), &mut sink).unwrap();
+            if r.outcome == OpOutcome::GaveUp {
+                gave_up = true;
+                break;
+            }
+        }
+        assert!(gave_up, "budget of 1 must give up when chaos fires");
+        assert_eq!(srv.tenant(1).unwrap().counters().exhausted, 1);
+        // The tenant is not dead: the next op re-admits and applies.
+        let r = srv.op(1, Op::Insert(99), &mut sink).unwrap();
+        assert_eq!(r.outcome, OpOutcome::Applied { present: true });
+        srv.check_key_invariants().unwrap();
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&sorted, 50, 100), 50);
+        assert_eq!(nearest_rank(&sorted, 99, 100), 99);
+        assert_eq!(nearest_rank(&sorted, 999, 1000), 100);
+        assert_eq!(nearest_rank(&[], 50, 100), 0);
+        assert_eq!(nearest_rank(&[7], 999, 1000), 7);
+    }
+
+    #[test]
+    fn workload_labels_roundtrip() {
+        for w in WorkloadKind::ALL {
+            assert_eq!(WorkloadKind::from_label(w.label()), Some(w));
+        }
+        assert_eq!(WorkloadKind::from_label("nope"), None);
+    }
+}

@@ -81,6 +81,17 @@ pub enum ViolationClass {
     /// settles it, a store hit the pool — the window ERIM's gate
     /// inspection forbids.
     StoreInSwitchGate,
+    /// A concrete protection scheme diverged from the executable
+    /// permission-oracle spec under the simulation relation: an allow/deny
+    /// verdict differed, the abstraction of its state drifted from the
+    /// spec state, or a cached grant was observably ahead of or behind
+    /// the spec (refinement checker).
+    RefinementDivergence,
+    /// A trace-observable information flow from a domain's stores to a
+    /// thread that never held any permission on that domain: perturbing
+    /// the domain's data changed what the unauthorized thread read
+    /// (noninterference checker).
+    NoninterferenceLeak,
 }
 
 impl ViolationClass {
@@ -105,6 +116,8 @@ impl ViolationClass {
             ViolationClass::SchemeDivergence => "scheme-divergence",
             ViolationClass::CrashImageViolation => "crash-image-violation",
             ViolationClass::StoreInSwitchGate => "store-in-switch-gate",
+            ViolationClass::RefinementDivergence => "refinement-divergence",
+            ViolationClass::NoninterferenceLeak => "noninterference-leak",
         }
     }
 }

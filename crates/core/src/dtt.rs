@@ -37,6 +37,12 @@ impl DttEntry {
         self.perms.get(&thread).copied().unwrap_or(Perm::None)
     }
 
+    /// Iterates over every stored `thread → perm` row (abstraction-function
+    /// inspection; absent threads hold [`Perm::None`]).
+    pub fn thread_perms(&self) -> impl Iterator<Item = (ThreadId, Perm)> + '_ {
+        self.perms.iter().map(|(&t, &p)| (t, p))
+    }
+
     /// Sets `thread`'s permission.
     pub fn set_perm(&mut self, thread: ThreadId, perm: Perm) {
         if perm == Perm::None {

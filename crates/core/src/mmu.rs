@@ -2,7 +2,7 @@
 //! (typed to the scheme's per-page payload), the radix page table with
 //! demand paging, and the registry of attached PMO regions.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use pmo_simarch::{vpn, MemKind, PageTable, Pte, SimConfig, TlbHierarchy, PAGE_SIZE};
 use pmo_trace::{Perm, PmoId, Va};
@@ -113,6 +113,11 @@ pub struct MmuBase<P> {
     pub page_table: PageTable,
     regions: BTreeMap<Va, Region>,
     by_pmo: BTreeMap<PmoId, Va>,
+    /// Page-aligned VAs demand-mapped as anonymous memory (outside any
+    /// region at map time). Tracked so [`MmuBase::attach_region`] can
+    /// replace exactly these mappings — `mmap(MAP_FIXED)` semantics —
+    /// without walking the whole reserved granule.
+    anon_pages: BTreeSet<Va>,
     next_pfn: u64,
     demand_maps: u64,
 }
@@ -126,20 +131,36 @@ impl<P: Copy> MmuBase<P> {
             page_table: PageTable::new(),
             regions: BTreeMap::new(),
             by_pmo: BTreeMap::new(),
+            anon_pages: BTreeSet::new(),
             next_pfn: 1,
             demand_maps: 0,
         }
     }
 
-    /// Registers an attached region.
+    /// Registers an attached region, replacing any anonymous mappings the
+    /// process demand-mapped in the reserved range while the PMO was
+    /// detached (`mmap(MAP_FIXED)` semantics: the fixed mapping discards
+    /// whatever was there, and their TLB entries with it — a stale
+    /// anonymous PTE would otherwise keep granting read-write access to
+    /// the re-attached domain's addresses). Returns the number of TLB
+    /// entries invalidated.
     ///
     /// # Panics
     ///
     /// Panics if the PMO is already attached (attach-layer invariant).
-    pub fn attach_region(&mut self, region: Region) {
+    pub fn attach_region(&mut self, region: Region) -> u64 {
         let prior = self.by_pmo.insert(region.pmo, region.base);
         assert!(prior.is_none(), "PMO already attached in MMU");
+        let end = region.base + region.granule;
+        let stale: Vec<Va> = self.anon_pages.range(region.base..end).copied().collect();
+        let mut removed = 0;
+        for va in stale {
+            self.page_table.unmap_range(va, PAGE_SIZE);
+            self.anon_pages.remove(&va);
+            removed += self.tlb.invalidate_range(vpn(va), vpn(va) + 1);
+        }
         self.regions.insert(region.base, region);
+        removed
     }
 
     /// Removes a region on detach: unmaps its pages and invalidates its
@@ -221,6 +242,7 @@ impl<P: Copy> MmuBase<P> {
                 self.next_pfn += 1;
                 self.demand_maps += 1;
                 self.page_table.map_page(va & !(PAGE_SIZE - 1), pte);
+                self.anon_pages.insert(va & !(PAGE_SIZE - 1));
                 Ok((pte, None))
             }
         }
@@ -297,6 +319,27 @@ mod tests {
         assert!(m.region_at(GB1 - 1).is_none());
         assert_eq!(m.regions_len(), 2);
         assert_eq!(m.region_of(PmoId::new(2)).unwrap().base, 2 * GB1);
+    }
+
+    #[test]
+    fn attach_replaces_anonymous_mappings_in_range() {
+        let mut m = mmu();
+        // Touch an address inside the (future) region while nothing is
+        // attached: an anonymous read-write DRAM page appears.
+        let (pte, r) = m.walk_or_map(GB1 + 0x1000, |_| 0).unwrap();
+        assert!(r.is_none());
+        assert_eq!(pte.mem, MemKind::Dram);
+        m.tlb.fill(vpn(GB1 + 0x1000), PkPayload { pkey: 0, page_perm: pte.perm, mem: pte.mem });
+        // Attaching over it must discard the anonymous page and its TLB
+        // entries (MAP_FIXED), so the next touch maps the PMO page.
+        let removed = m.attach_region(region(1, GB1));
+        assert_eq!(removed, 2, "stale entry removed from both TLB levels");
+        let (pte2, r2) = m.walk_or_map(GB1 + 0x1000, |_| 3).unwrap();
+        assert_eq!(r2.unwrap().pmo, PmoId::new(1));
+        assert_eq!(pte2.mem, MemKind::Nvm, "PMO page, not the stale anonymous one");
+        assert_eq!(pte2.pkey, 3);
+        // A second attach elsewhere with no stale pages removes nothing.
+        assert_eq!(m.attach_region(region(2, 2 * GB1)), 0);
     }
 
     #[test]

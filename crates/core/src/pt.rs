@@ -70,6 +70,12 @@ impl PermissionTable {
     pub fn entries(&self) -> impl Iterator<Item = ((PmoId, ThreadId), Perm)> + '_ {
         self.perms.iter().map(|(&k, &v)| (k, v))
     }
+
+    /// Iterates over every registered domain ID (abstraction-function
+    /// inspection: the attached set as this design sees it).
+    pub fn domain_ids(&self) -> impl Iterator<Item = PmoId> + '_ {
+        self.domains.keys().copied()
+    }
 }
 
 #[cfg(test)]

@@ -118,7 +118,8 @@ impl ProtectionScheme for DomainVirt {
 
     fn attach(&mut self, pmo: PmoId, base: Va, size: u64, nvm: bool) -> u64 {
         let granule = granule_covering(base, size);
-        self.mmu.attach_region(Region { pmo, base, granule, pool_size: size, nvm });
+        let removed = self.mmu.attach_region(Region { pmo, base, granule, pool_size: size, nvm });
+        self.stats.tlb_entries_invalidated += removed;
         self.drt.attach(pmo, base, granule);
         self.pt.add_domain(pmo);
         let cycles = self.cfg.attach_kernel_cycles + self.cfg.syscall_cycles;
@@ -146,6 +147,14 @@ impl ProtectionScheme for DomainVirt {
         let mut cycles = self.cfg.wrpkru_cycles + self.cfg.ptlb_entry_op_cycles;
         self.breakdown.permission_change += self.cfg.wrpkru_cycles;
         self.breakdown.entry_changes += self.cfg.ptlb_entry_op_cycles;
+        if !self.pt.contains(pmo) {
+            // SETPERM on a detached domain is a no-op: there is no PT row
+            // to update, and caching a grant in the PTLB here would leave
+            // a stale entry that outlives a later re-attach (the entry is
+            // never invalidated, because detach already ran). Found by
+            // exhaustive small-world refinement checking.
+            return cycles;
+        }
         if let Some(entry) = self.ptlb.lookup(pmo) {
             entry.perm = perm;
             entry.dirty = true;
@@ -381,6 +390,21 @@ mod tests {
         s.context_switch(ThreadId::MAIN);
         assert!(s.access(GB1, AccessKind::Write).allowed());
         assert!(!s.access(2 * GB1, AccessKind::Read).allowed(), "main lacks pmo2");
+    }
+
+    #[test]
+    fn setperm_on_detached_domain_leaves_no_stale_ptlb_grant() {
+        // Regression: SETPERM after detach used to insert a dirty PTLB
+        // entry for the dead domain; a later re-attach then honored that
+        // stale cached grant without any SETPERM ever succeeding.
+        let mut s = scheme_with(1);
+        s.detach(PmoId::new(1));
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        s.attach(PmoId::new(1), GB1, 8 << 20, true);
+        assert!(
+            !s.access(GB1, AccessKind::Read).allowed(),
+            "re-attached domain must start inaccessible"
+        );
     }
 
     #[test]

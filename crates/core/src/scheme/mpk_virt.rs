@@ -225,7 +225,8 @@ impl ProtectionScheme for MpkVirt {
 
     fn attach(&mut self, pmo: PmoId, base: Va, size: u64, nvm: bool) -> u64 {
         let granule = granule_covering(base, size);
-        self.mmu.attach_region(Region { pmo, base, granule, pool_size: size, nvm });
+        let removed = self.mmu.attach_region(Region { pmo, base, granule, pool_size: size, nvm });
+        self.stats.tlb_entries_invalidated += removed;
         self.dtt.attach(pmo, base, granule);
         let cycles = self.cfg.attach_kernel_cycles + self.cfg.syscall_cycles;
         self.breakdown.software += cycles;

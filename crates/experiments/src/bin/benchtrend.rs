@@ -23,8 +23,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use pmo_experiments::faultsim::FaultsimConfig;
+use pmo_experiments::refine::RefineConfig;
 use pmo_experiments::soak::SoakConfig;
-use pmo_experiments::{faultsim, soak, table5, table6, RunOptions, Scale};
+use pmo_experiments::{faultsim, refine, soak, table5, table6, RunOptions, Scale};
 use pmo_protect::SchemeKind;
 use pmo_sim::{Replay, ReplayReport};
 use pmo_simarch::SimConfig;
@@ -137,6 +138,11 @@ fn main() -> ExitCode {
 
     // Part 1: campaign wall clock, serial vs parallel, byte-identical.
     let soak_cfg = SoakConfig::for_scale(Scale::Quick);
+    let refine_cfg = RefineConfig::for_scale(Scale::Quick);
+    // Enumeration + DPOR throughput of the refine campaign, captured
+    // from inside the timing closure so the worlds run exactly twice.
+    let refine_programs = std::cell::Cell::new(0u64);
+    let refine_schedules = std::cell::Cell::new(0u64);
     let campaigns = [
         time_campaign("faultsim-quick", jobs, |j| {
             let cfg = FaultsimConfig::for_scale(Scale::Quick);
@@ -145,6 +151,13 @@ fn main() -> ExitCode {
         time_campaign("soak-quick", jobs, |j| {
             let report = soak::run_soak(&soak_cfg, j);
             assert!(report.is_clean(), "soak-quick campaign must stay clean:\n{report}");
+            report.to_json()
+        }),
+        time_campaign("refine-quick", jobs, |j| {
+            let report = refine::run_campaign(&refine_cfg, j);
+            assert!(report.is_clean(), "refine-quick campaign must stay clean:\n{report}");
+            refine_programs.set(report.total_programs());
+            refine_schedules.set(report.total_schedules());
             report.to_json()
         }),
         time_campaign("table5-quick", jobs, |j| {
@@ -230,6 +243,22 @@ fn main() -> ExitCode {
         soak_ops,
         soak_ops as f64 * 1e9 / soak_row.wall_jobs1 as f64,
         soak_ops as f64 * 1e9 / soak_row.wall_jobsn as f64,
+    );
+    // The refine campaign's headline throughput: canonical programs
+    // verified and DPOR-distinct schedules explored per wall second over
+    // the exhaustive quick worlds, at both job counts.
+    let refine_row = campaigns.iter().find(|c| c.name == "refine-quick").expect("refine row");
+    let _ = write!(
+        entry,
+        ",\"refine\":{{\"programs\":{},\"schedules\":{},\
+         \"programs_per_sec_jobs1\":{:.0},\"programs_per_sec_jobsn\":{:.0},\
+         \"schedules_per_sec_jobs1\":{:.0},\"schedules_per_sec_jobsn\":{:.0}}}",
+        refine_programs.get(),
+        refine_schedules.get(),
+        refine_programs.get() as f64 * 1e9 / refine_row.wall_jobs1 as f64,
+        refine_programs.get() as f64 * 1e9 / refine_row.wall_jobsn as f64,
+        refine_schedules.get() as f64 * 1e9 / refine_row.wall_jobs1 as f64,
+        refine_schedules.get() as f64 * 1e9 / refine_row.wall_jobsn as f64,
     );
     entry.push_str(",\"replay\":[");
     for (i, r) in rows.iter().enumerate() {

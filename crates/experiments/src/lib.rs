@@ -12,6 +12,7 @@
 //! | Table VIII (area overheads) | [`table8::table8`] | `table8` |
 //! | Robustness (crash/fault survival matrix) | [`faultsim::run_campaign`] | `faultsim` |
 //! | Recovery verification (exhaustive crash images) | [`crashenum::run_campaign`] | `crashenum` |
+//! | Refinement + noninterference (exhaustive small worlds) | [`refine::run_campaign`] | `refine` |
 //!
 //! All binaries accept `--full` to run at the paper's scale; the default
 //! is a quick configuration that preserves every structural property
@@ -26,6 +27,7 @@ pub mod faultsim;
 pub mod fig6;
 pub mod fig7;
 pub mod pool;
+pub mod refine;
 mod runner;
 mod scale;
 pub mod soak;

@@ -1,113 +1,9 @@
-//! A deterministic fixed-size worker pool for fanning independent
-//! campaign cells across threads.
+//! Deterministic worker pool re-export.
 //!
-//! [`parallel_map`] preserves input order in its output no matter how the
-//! scheduler interleaves the workers, so campaign results merged from a
-//! parallel run are byte-identical to a `jobs = 1` run: parallelism moves
-//! wall-clock time, never output bytes. Plain `std` threads — the
-//! workspace takes no external dependencies.
+//! [`parallel_map`] lives in `pmo-simarch` (the workspace's lowest common
+//! dependency) so that crates below the experiment layer — the model
+//! checker's campaign driver in particular — can fan work without
+//! depending on this crate. The campaign code here keeps using it under
+//! its historical `crate::pool` path.
 
-use std::sync::Mutex;
-
-/// Maps `work` over `items` on up to `jobs` worker threads, returning the
-/// results in input order.
-///
-/// Workers pull the next unclaimed item from a shared cursor, so uneven
-/// item costs balance automatically. With `jobs <= 1` (or a single item)
-/// this degenerates to a plain serial map on the calling thread — no
-/// threads are spawned, which keeps single-job runs bit-for-bit on the
-/// exact code path they always had.
-///
-/// # Panics
-///
-/// A panic inside `work` propagates to the caller (at scope join when
-/// parallel, immediately when serial).
-pub fn parallel_map<I, O, F>(jobs: usize, items: Vec<I>, work: F) -> Vec<O>
-where
-    I: Send,
-    O: Send,
-    F: Fn(I) -> O + Sync,
-{
-    let workers = jobs.min(items.len());
-    if workers <= 1 {
-        return items.into_iter().map(work).collect();
-    }
-    let count = items.len();
-    let queue = Mutex::new(items.into_iter().enumerate());
-    let mut slots: Vec<Mutex<Option<O>>> = Vec::new();
-    slots.resize_with(count, || Mutex::new(None));
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| loop {
-                    // Hold the queue lock only to claim an index; the
-                    // work itself runs unlocked.
-                    let claimed = queue.lock().unwrap().next();
-                    match claimed {
-                        Some((index, item)) => {
-                            let result = work(item);
-                            *slots[index].lock().unwrap() = Some(result);
-                        }
-                        None => break,
-                    }
-                })
-            })
-            .collect();
-        for handle in handles {
-            // Re-raise a worker panic with its original payload so the
-            // caller sees the real failure, not "a scoped thread
-            // panicked".
-            if let Err(payload) = handle.join() {
-                std::panic::resume_unwind(payload);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("worker filled every claimed slot"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn preserves_input_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let serial = parallel_map(1, items.clone(), |x| x * x);
-        let parallel = parallel_map(4, items, |x| x * x);
-        assert_eq!(serial, parallel);
-        assert_eq!(parallel[7], 49);
-    }
-
-    #[test]
-    fn runs_every_item_exactly_once() {
-        let hits = AtomicUsize::new(0);
-        let out = parallel_map(8, (0..37).collect::<Vec<i32>>(), |x| {
-            hits.fetch_add(1, Ordering::SeqCst);
-            x + 1
-        });
-        assert_eq!(hits.load(Ordering::SeqCst), 37);
-        assert_eq!(out.len(), 37);
-        assert_eq!(out[36], 37);
-    }
-
-    #[test]
-    fn zero_jobs_and_empty_inputs_are_fine() {
-        assert_eq!(parallel_map(0, vec![1, 2, 3], |x| x * 10), vec![10, 20, 30]);
-        assert_eq!(parallel_map(4, Vec::<i32>::new(), |x| x), Vec::<i32>::new());
-    }
-
-    #[test]
-    #[should_panic(expected = "boom")]
-    fn worker_panics_propagate() {
-        let _ = parallel_map(4, vec![1, 2, 3, 4], |x| {
-            if x == 3 {
-                panic!("boom");
-            }
-            x
-        });
-    }
-}
+pub use pmo_simarch::pool::parallel_map;

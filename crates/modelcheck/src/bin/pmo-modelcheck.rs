@@ -149,8 +149,7 @@ fn run_campaign(
     // Scenario explorations are independent; fan them across the workers
     // and keep the runs in the canonical scenario order so the campaign
     // report is byte-identical at any job count.
-    campaign.runs =
-        pmo_experiments::pool::parallel_map(jobs, scenarios, |s| explore(&s, None, limits));
+    campaign.runs = pmo_simarch::pool::parallel_map(jobs, scenarios, |s| explore(&s, None, limits));
     Ok(campaign)
 }
 

@@ -15,7 +15,7 @@ use pmo_protect::ProtocolBug;
 
 use crate::program::{dependent, Op, Scenario};
 use crate::report::{ExploreOutcome, Violation};
-use crate::world::World;
+use crate::world::{CheckMode, World};
 
 /// Exploration bounds.
 #[derive(Clone, Copy, Debug)]
@@ -49,14 +49,29 @@ struct Frame {
     sleep: BTreeSet<usize>,
 }
 
-/// Exhaustively explores `scenario` under the given bounds, returning
-/// statistics and every distinct invariant violation found. A planted
-/// `bug` turns the run into a self-validation campaign.
+/// Exhaustively explores `scenario` under the given bounds in
+/// [`CheckMode::Invariants`], returning statistics and every distinct
+/// invariant violation found. A planted `bug` turns the run into a
+/// self-validation campaign.
 #[must_use]
 pub fn explore(
     scenario: &Scenario,
     bug: Option<ProtocolBug>,
     limits: &ExploreLimits,
+) -> ExploreOutcome {
+    explore_mode(scenario, bug, limits, CheckMode::Invariants)
+}
+
+/// [`explore`] with an explicit [`CheckMode`]. In [`CheckMode::Refine`]
+/// every completed (non-sleep-blocked) execution additionally runs the
+/// world's end-of-execution checks — the noninterference pass — and any
+/// leak is reported against the full schedule that produced it.
+#[must_use]
+pub fn explore_mode(
+    scenario: &Scenario,
+    bug: Option<ProtocolBug>,
+    limits: &ExploreLimits,
+    mode: CheckMode,
 ) -> ExploreOutcome {
     let nthreads = scenario.program.threads.len();
     let kp = scenario.key_pressure;
@@ -67,7 +82,7 @@ pub fn explore(
     loop {
         // ---- Execute the schedule selected by `frames`, extending it to
         // a maximal (or bounded, or violating) execution. ----
-        let mut world = World::new(scenario, bug);
+        let mut world = World::with_mode(scenario, bug, mode);
         let mut consumed = vec![0usize; nthreads];
         let mut exec: Vec<(usize, Op)> = Vec::new();
         let mut sleep_blocked = false;
@@ -154,6 +169,30 @@ pub fn explore(
             out.sleep_blocked += 1;
         } else {
             out.schedules += 1;
+            // End-of-execution checks (noninterference, refine mode only):
+            // anchored at the last executed step of this schedule.
+            let end = world.end_checks();
+            if !end.is_empty() {
+                let schedule: Vec<u32> = exec.iter().map(|&(t, _)| t as u32).collect();
+                let step = exec.len().saturating_sub(1);
+                for finding in end {
+                    out.violation_count += 1;
+                    let key = format!(
+                        "{}|{}|{}|{}",
+                        finding.class, finding.thread, step, finding.message
+                    );
+                    if seen.insert(key) {
+                        out.violations.push(Violation {
+                            scenario: scenario.name.to_string(),
+                            class: finding.class,
+                            thread: finding.thread,
+                            step,
+                            schedule: schedule.clone(),
+                            message: finding.message,
+                        });
+                    }
+                }
+            }
         }
 
         // ---- Vector-clock race analysis: seed backtrack points. ----
@@ -232,7 +271,7 @@ mod tests {
 
     fn two_thread_scenario(threads: Vec<Vec<Op>>, key_pressure: bool) -> Scenario {
         Scenario {
-            name: "unit",
+            name: "unit".into(),
             about: "",
             setup: vec![PmoId::new(1), PmoId::new(2)],
             program: Program { threads },

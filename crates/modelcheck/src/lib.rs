@@ -22,7 +22,15 @@
 //! * [`scenarios`] — the built-in scenario suite and the seeded-bug
 //!   self-validation matrix;
 //! * [`replay`] — deterministic counterexample replay through
-//!   [`pmo_analyzer`] into positioned diagnostics.
+//!   [`pmo_analyzer`] into positioned diagnostics;
+//! * [`spec`] — the executable abstract specification: a permission
+//!   oracle state machine with atomic transitions and no hardware state;
+//! * [`refine`] — abstraction functions mapping each design's concrete
+//!   state back onto the spec, and the perturb-and-compare
+//!   noninterference pass;
+//! * [`enumerate`] — exhaustive, symmetry-reduced enumeration of every
+//!   small-world program up to bounded ops/threads/domains, with a
+//!   Burnside closed-form count cross-check.
 //!
 //! Violations carry the exact schedule that triggers them
 //! (`--replay scenario@0.1.0.2`), so every counterexample is a
@@ -31,18 +39,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod enumerate;
 pub mod explore;
 pub mod program;
+pub mod refine;
 pub mod replay;
 pub mod report;
 pub mod scenarios;
+pub mod spec;
 pub mod world;
 
-pub use explore::{explore, ExploreLimits};
+pub use enumerate::{enumerate_canonical, orbit_count, raw_count, to_scenario, WorldBounds};
+pub use explore::{explore, explore_mode, ExploreLimits};
 pub use program::{dependent, model_config, Op, Program, Scenario, GB1, POOL_BYTES};
-pub use replay::{replay_schedule, ModelCheckPass, ReplayOutcome};
+pub use refine::{alpha_dom, alpha_mpk, noninterference, AccessObs, NiLeak};
+pub use replay::{replay_schedule, replay_schedule_mode, ModelCheckPass, ReplayOutcome};
 pub use report::{
     naive_schedules, parse_schedule, schedule_string, Campaign, ExploreOutcome, Violation,
 };
 pub use scenarios::{builtin, find, seeded_checks, SeededCheck};
-pub use world::{Finding, World};
+pub use spec::SpecMachine;
+pub use world::{CheckMode, Finding, World};

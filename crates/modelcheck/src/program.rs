@@ -131,8 +131,10 @@ impl Program {
 /// the depth bound.
 #[derive(Clone, Debug)]
 pub struct Scenario {
-    /// Stable scenario name (CLI selector, report key).
-    pub name: &'static str,
+    /// Stable scenario name (CLI selector, report key). Built-in
+    /// scenarios use fixed names; enumerated small-world programs mint
+    /// `world@index` names so every counterexample stays addressable.
+    pub name: String,
     /// One-line description shown by `--list-scenarios`.
     pub about: &'static str,
     /// Domains attached (with no permissions) before the program runs.

@@ -16,7 +16,7 @@ use pmo_trace::{TraceEvent, TraceSink};
 
 use crate::program::Scenario;
 use crate::report::{schedule_string, Violation};
-use crate::world::World;
+use crate::world::{CheckMode, World};
 
 /// An [`AnalyzerPass`] that anchors model-checker findings to trace
 /// positions: the replay engine records at which event index each
@@ -105,8 +105,26 @@ pub fn replay_schedule(
     bug: Option<ProtocolBug>,
     schedule: &[u32],
 ) -> Result<ReplayOutcome, String> {
+    replay_schedule_mode(scenario, bug, schedule, CheckMode::Invariants)
+}
+
+/// [`replay_schedule`] with an explicit [`CheckMode`]. In
+/// [`CheckMode::Refine`] the end-of-execution noninterference pass runs
+/// after the last step and its findings are anchored at the final trace
+/// position.
+///
+/// # Errors
+///
+/// Returns a description when a schedule step names a thread with no
+/// remaining operations.
+pub fn replay_schedule_mode(
+    scenario: &Scenario,
+    bug: Option<ProtocolBug>,
+    schedule: &[u32],
+    mode: CheckMode,
+) -> Result<ReplayOutcome, String> {
     let nthreads = scenario.program.threads.len();
-    let mut world = World::new(scenario, bug);
+    let mut world = World::with_mode(scenario, bug, mode);
     let mut consumed = vec![0usize; nthreads];
     let mut pass = ModelCheckPass::new();
     let mut violations = Vec::new();
@@ -131,6 +149,18 @@ pub fn replay_schedule(
                 message: finding.message,
             });
         }
+    }
+
+    for finding in world.end_checks() {
+        pass.record(world.position(), finding.class, finding.message.clone());
+        violations.push(Violation {
+            scenario: scenario.name.to_string(),
+            class: finding.class,
+            thread: finding.thread,
+            step: schedule.len().saturating_sub(1),
+            schedule: schedule.to_vec(),
+            message: finding.message,
+        });
     }
 
     let source = format!("{}@{}", scenario.name, schedule_string(schedule));

@@ -40,7 +40,7 @@ fn at(pmo: u32) -> Op {
 pub fn builtin() -> Vec<Scenario> {
     vec![
         Scenario {
-            name: "setperm-vs-access",
+            name: "setperm-vs-access".into(),
             about: "SETPERM racing loads/stores on the same domain across two threads",
             setup: vec![p(1), p(2)],
             program: Program {
@@ -53,7 +53,7 @@ pub fn builtin() -> Vec<Scenario> {
             key_pressure: false,
         },
         Scenario {
-            name: "disjoint-domains",
+            name: "disjoint-domains".into(),
             about: "fully independent per-thread domains: the DPOR best case",
             setup: vec![p(1), p(2)],
             program: Program {
@@ -66,7 +66,7 @@ pub fn builtin() -> Vec<Scenario> {
             key_pressure: false,
         },
         Scenario {
-            name: "key-evict-storm",
+            name: "key-evict-storm".into(),
             about: "3 domains over 2 usable keys: every schedule reassigns a key",
             setup: vec![p(1), p(2), p(3)],
             program: Program {
@@ -79,7 +79,7 @@ pub fn builtin() -> Vec<Scenario> {
             key_pressure: true,
         },
         Scenario {
-            name: "detach-race",
+            name: "detach-race".into(),
             about: "detach racing in-flight accesses on the same domain",
             setup: vec![p(1), p(2)],
             program: Program {
@@ -92,7 +92,7 @@ pub fn builtin() -> Vec<Scenario> {
             key_pressure: false,
         },
         Scenario {
-            name: "attach-detach-reattach",
+            name: "attach-detach-reattach".into(),
             about: "detach + re-attach must leave no stale cached grant behind",
             setup: vec![p(1), p(2)],
             program: Program {
@@ -105,7 +105,7 @@ pub fn builtin() -> Vec<Scenario> {
             key_pressure: false,
         },
         Scenario {
-            name: "three-thread-handoff",
+            name: "three-thread-handoff".into(),
             about: "three threads trading grants on one domain through context switches",
             setup: vec![p(1), p(2)],
             program: Program {
@@ -119,7 +119,7 @@ pub fn builtin() -> Vec<Scenario> {
             key_pressure: false,
         },
         Scenario {
-            name: "ptlb-writeback",
+            name: "ptlb-writeback".into(),
             about: "2-entry PTLB: capacity evictions write dirty grants back to the PT",
             setup: vec![p(1), p(2), p(3)],
             program: Program {
@@ -137,7 +137,7 @@ pub fn builtin() -> Vec<Scenario> {
             key_pressure: false,
         },
         Scenario {
-            name: "evict-then-access-victim",
+            name: "evict-then-access-victim".into(),
             about: "a key-eviction victim re-accessed after its grant is revoked",
             setup: vec![p(1), p(2), p(3)],
             program: Program {
@@ -150,7 +150,7 @@ pub fn builtin() -> Vec<Scenario> {
             key_pressure: true,
         },
         Scenario {
-            name: "contention-stress",
+            name: "contention-stress".into(),
             about: "3 threads x 4 ops all on one domain: nothing commutes, full interleaving space",
             setup: vec![p(1)],
             program: Program {
@@ -164,7 +164,7 @@ pub fn builtin() -> Vec<Scenario> {
             key_pressure: false,
         },
         Scenario {
-            name: "coherence-stress",
+            name: "coherence-stress".into(),
             about: "3 threads x 4 ops over 3 domains, 2 keys, 2-entry DTTLB/PTLB",
             setup: vec![p(1), p(2), p(3)],
             program: Program {
@@ -235,10 +235,10 @@ mod tests {
     fn scenario_names_are_unique_and_findable() {
         let all = builtin();
         assert!(all.len() >= 6, "the quick campaign needs at least 6 scenarios");
-        let names: BTreeSet<_> = all.iter().map(|s| s.name).collect();
+        let names: BTreeSet<_> = all.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names.len(), all.len());
         for s in &all {
-            assert!(find(s.name).is_some());
+            assert!(find(&s.name).is_some());
             assert!(!s.program.threads.is_empty());
             assert!(s.program.total_ops() > 0);
         }

@@ -1,16 +1,29 @@
-//! The checked state: both hardware designs run in lockstep against a
-//! pure permission oracle, with safety invariants evaluated after every
-//! operation.
+//! The checked state: both hardware designs run in lockstep against the
+//! executable abstract specification ([`SpecMachine`]), with safety
+//! checks evaluated after every operation.
 //!
-//! The oracle is the paper's §IV.A contract reduced to its logical core:
+//! The spec is the paper's §IV.A contract reduced to its logical core:
 //! a thread may access an attached PMO iff its last SETPERM for that
 //! domain allows the access kind; memory outside any attached PMO is
 //! ordinary anonymous memory (always accessible). Both schemes must agree
-//! with the oracle (and hence each other) on every allow/deny decision,
+//! with the spec (and hence each other) on every allow/deny decision,
 //! and their caches — TLB keys, DTTLB, PKRU, PTLB — must never be
 //! observably ahead of or behind that contract.
-
-use std::collections::{BTreeMap, BTreeSet};
+//!
+//! Two check modes share this machinery:
+//!
+//! * [`CheckMode::Invariants`] — the original campaign: verdict
+//!   comparison plus the five cache-coherence invariants, each reported
+//!   under its own diagnostic class.
+//! * [`CheckMode::Refine`] — the refinement checker: additionally
+//!   compares the abstraction of each concrete machine
+//!   ([`crate::refine::alpha_mpk`], [`crate::refine::alpha_dom`]) against
+//!   the spec state after every step, reports *every* divergence —
+//!   verdict, cache, or abstraction — uniformly as
+//!   `refinement-divergence` (the underlying condition is named in the
+//!   message), records an [`AccessObs`] per access, and runs the
+//!   perturb-and-compare noninterference pass over the recorded
+//!   observations at the end of each execution ([`World::end_checks`]).
 
 use pmo_analyzer::ViolationClass;
 use pmo_protect::scheme::{DomainVirt, MpkVirt, ProtectionScheme};
@@ -19,6 +32,8 @@ use pmo_simarch::PAGE_BITS;
 use pmo_trace::{AccessKind, PmoId, ThreadId, TraceEvent};
 
 use crate::program::{Op, Scenario, POOL_BYTES};
+use crate::refine::{alpha_dom, alpha_mpk, noninterference_all, render_abs, spec_state, AccessObs};
+use crate::spec::SpecMachine;
 
 /// One invariant violation detected at a step (scenario/schedule context
 /// is attached by the explorer, trace position by the replayer).
@@ -32,73 +47,53 @@ pub struct Finding {
     pub message: String,
 }
 
-/// The logical permission state: attachment set plus per-(thread, domain)
-/// SETPERM grants, updated in schedule order.
-#[derive(Clone, Debug, Default)]
-struct Oracle {
-    attached: BTreeSet<PmoId>,
-    perms: BTreeMap<(u32, PmoId), Perm>,
+/// Which checks run after every step (see module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CheckMode {
+    /// Verdict comparison + the five cache invariants (per-class
+    /// diagnostics). The original campaign mode.
+    #[default]
+    Invariants,
+    /// Invariants plus abstraction-function equality after every step,
+    /// all reported as `refinement-divergence`, plus the end-of-execution
+    /// noninterference pass.
+    Refine,
 }
 
-impl Oracle {
-    fn attach(&mut self, pmo: PmoId) {
-        self.attached.insert(pmo);
-        self.clear_perms(pmo);
-    }
-
-    fn detach(&mut self, pmo: PmoId) {
-        self.attached.remove(&pmo);
-        self.clear_perms(pmo);
-    }
-
-    fn clear_perms(&mut self, pmo: PmoId) {
-        self.perms.retain(|&(_, p), _| p != pmo);
-    }
-
-    fn set_perm(&mut self, thread: u32, pmo: PmoId, perm: Perm) {
-        // SETPERM on a detached domain is a no-op (there is no PT/DTT row
-        // to update); the schemes likewise have nothing to write.
-        if self.attached.contains(&pmo) {
-            self.perms.insert((thread, pmo), perm);
-        }
-    }
-
-    fn perm(&self, thread: u32, pmo: PmoId) -> Perm {
-        self.perms.get(&(thread, pmo)).copied().unwrap_or(Perm::None)
-    }
-
-    fn allows(&self, thread: u32, pmo: PmoId, kind: AccessKind) -> bool {
-        if !self.attached.contains(&pmo) {
-            // Detached: the VA range is ordinary anonymous memory,
-            // demand-mapped read-write on touch.
-            return true;
-        }
-        self.perm(thread, pmo).allows(kind)
-    }
-}
-
-/// Both designs plus the oracle, advanced one operation at a time.
+/// Both designs plus the spec machine, advanced one operation at a time.
 pub struct World {
     mpk: MpkVirt,
     dom: DomainVirt,
-    oracle: Oracle,
+    spec: SpecMachine,
+    mode: CheckMode,
     /// The trace recorded so far (replayable through `pmo-analyzer`).
     trace: Vec<TraceEvent>,
+    /// Access observations recorded for the noninterference pass
+    /// (refine mode only; empty otherwise).
+    obs: Vec<AccessObs>,
     current: u32,
     shootdowns_drained: u64,
 }
 
 impl World {
-    /// Builds the initial state for a scenario, attaching its setup
-    /// domains; `bug` plants a [`ProtocolBug`] into whichever scheme the
-    /// bug targets (self-validation runs).
+    /// Builds the initial state for a scenario in [`CheckMode::Invariants`],
+    /// attaching its setup domains; `bug` plants a [`ProtocolBug`] into
+    /// whichever scheme the bug targets (self-validation runs).
     #[must_use]
     pub fn new(scenario: &Scenario, bug: Option<ProtocolBug>) -> Self {
+        Self::with_mode(scenario, bug, CheckMode::Invariants)
+    }
+
+    /// Builds the initial state with an explicit check mode.
+    #[must_use]
+    pub fn with_mode(scenario: &Scenario, bug: Option<ProtocolBug>, mode: CheckMode) -> Self {
         let mut world = World {
             mpk: MpkVirt::with_bug(&scenario.config, bug),
             dom: DomainVirt::with_bug(&scenario.config, bug),
-            oracle: Oracle::default(),
+            spec: SpecMachine::new(),
+            mode,
             trace: Vec::new(),
+            obs: Vec::new(),
             current: 0,
             shootdowns_drained: 0,
         };
@@ -114,6 +109,18 @@ impl World {
         &self.trace
     }
 
+    /// The spec machine's current state.
+    #[must_use]
+    pub fn spec(&self) -> &SpecMachine {
+        &self.spec
+    }
+
+    /// The access observations recorded so far (refine mode).
+    #[must_use]
+    pub fn observations(&self) -> &[AccessObs] {
+        &self.obs
+    }
+
     /// Index of the last recorded trace event (diagnostic anchor).
     #[must_use]
     pub fn position(&self) -> u64 {
@@ -121,16 +128,22 @@ impl World {
     }
 
     fn do_attach(&mut self, pmo: PmoId) {
+        // EEXIST semantics: attaching an attached domain is a no-op at
+        // the World level — the spec refuses, so the schemes (which would
+        // panic on a double attach, as the real syscall would fail) are
+        // never called and no trace event is recorded.
+        if !self.spec.attach(pmo) {
+            return;
+        }
         let base = Op::base_of(pmo);
         self.mpk.attach(pmo, base, POOL_BYTES, true);
         self.dom.attach(pmo, base, POOL_BYTES, true);
-        self.oracle.attach(pmo);
         self.trace.push(TraceEvent::Attach { pmo, base, size: POOL_BYTES, nvm: true });
     }
 
     /// Executes one operation by thread index `thread` (context-switching
     /// both schemes if it differs from the running thread) and returns
-    /// every invariant violation observable afterwards.
+    /// every violation observable afterwards.
     pub fn step(&mut self, thread: u32, op: Op) -> Vec<Finding> {
         if thread != self.current {
             let tid = ThreadId::new(thread);
@@ -143,32 +156,46 @@ impl World {
         match op {
             Op::Attach { pmo } => self.do_attach(pmo),
             Op::Detach { pmo } => {
-                self.mpk.detach(pmo);
-                self.dom.detach(pmo);
-                self.oracle.detach(pmo);
-                self.trace.push(TraceEvent::Detach { pmo });
+                // ENOENT semantics, mirroring do_attach.
+                if self.spec.detach(pmo) {
+                    self.mpk.detach(pmo);
+                    self.dom.detach(pmo);
+                    self.trace.push(TraceEvent::Detach { pmo });
+                }
             }
             Op::SetPerm { pmo, perm } => {
                 self.mpk.set_perm(pmo, perm);
                 self.dom.set_perm(pmo, perm);
-                self.oracle.set_perm(thread, pmo, perm);
+                self.spec.set_perm(thread, pmo, perm);
                 self.trace.push(TraceEvent::SetPerm { pmo, perm });
             }
             Op::Access { pmo, offset, kind } => {
                 let va = Op::base_of(pmo) + offset;
                 let mpk_ok = self.mpk.access(va, kind).allowed();
                 let dom_ok = self.dom.access(va, kind).allowed();
-                let expect = self.oracle.allows(thread, pmo, kind);
+                let expect = self.spec.allows(thread, pmo, kind);
                 if mpk_ok != expect || dom_ok != expect {
                     findings.push(Finding {
                         class: ViolationClass::SchemeDivergence,
                         thread,
                         message: format!(
-                            "{op}: oracle {} but MpkVirt {} / DomainVirt {}",
+                            "{op}: spec {} but MpkVirt {} / DomainVirt {}",
                             verdict(expect),
                             verdict(mpk_ok),
                             verdict(dom_ok),
                         ),
+                    });
+                }
+                if self.mode == CheckMode::Refine {
+                    self.obs.push(AccessObs {
+                        thread,
+                        pmo,
+                        offset,
+                        kind,
+                        attached: self.spec.is_attached(pmo),
+                        spec_allowed: expect,
+                        mpk_allowed: mpk_ok,
+                        dom_allowed: dom_ok,
                     });
                 }
                 // Mirror the replay engine: denied accesses leave no
@@ -188,7 +215,64 @@ impl World {
             self.trace.push(ev);
         }
         self.check_invariants(&mut findings);
+        if self.mode == CheckMode::Refine {
+            self.check_alpha(&mut findings);
+            for f in &mut findings {
+                if f.class != ViolationClass::RefinementDivergence {
+                    f.message = format!("{}: {}", f.class.name(), f.message);
+                    f.class = ViolationClass::RefinementDivergence;
+                }
+            }
+        }
         findings
+    }
+
+    /// End-of-execution checks: in refine mode, the perturb-and-compare
+    /// noninterference pass over every recorded access observation, one
+    /// sweep per domain the program touched. Empty in invariants mode.
+    #[must_use]
+    pub fn end_checks(&self) -> Vec<Finding> {
+        if self.mode != CheckMode::Refine {
+            return Vec::new();
+        }
+        noninterference_all(&self.obs, &self.spec)
+            .into_iter()
+            .map(|leak| Finding {
+                class: ViolationClass::NoninterferenceLeak,
+                thread: leak.thread,
+                message: leak.message,
+            })
+            .collect()
+    }
+
+    /// Simulation-relation core: the abstraction of each concrete machine
+    /// must equal the spec state exactly after every step.
+    fn check_alpha(&self, findings: &mut Vec<Finding>) {
+        let spec = spec_state(&self.spec);
+        let mpk = alpha_mpk(&self.mpk);
+        if mpk != spec {
+            findings.push(Finding {
+                class: ViolationClass::RefinementDivergence,
+                thread: self.current,
+                message: format!(
+                    "alpha-mpk: abstraction {} != spec {}",
+                    render_abs(&mpk),
+                    render_abs(&spec)
+                ),
+            });
+        }
+        let dom = alpha_dom(&self.dom, self.current);
+        if dom != spec {
+            findings.push(Finding {
+                class: ViolationClass::RefinementDivergence,
+                thread: self.current,
+                message: format!(
+                    "alpha-dom: abstraction {} != spec {}",
+                    render_abs(&dom),
+                    render_abs(&spec)
+                ),
+            });
+        }
     }
 
     /// Evaluates every state invariant against the current machine state.
@@ -269,8 +353,8 @@ impl World {
     fn check_pkru(&self, findings: &mut Vec<Finding>) {
         let pkru = self.mpk.pkru();
         for (key, pmo) in self.mpk.key_allocator().assignments() {
-            let expect = if self.oracle.attached.contains(&pmo) {
-                self.oracle.perm(self.current, pmo)
+            let expect = if self.spec.is_attached(pmo) {
+                self.spec.perm(self.current, pmo)
             } else {
                 Perm::None
             };
@@ -298,10 +382,10 @@ impl World {
     /// them (checkably) stale.
     fn check_ptlb(&self, findings: &mut Vec<Finding>) {
         for entry in self.dom.ptlb().entries() {
-            if !self.oracle.attached.contains(&entry.pmo) {
+            if !self.spec.is_attached(entry.pmo) {
                 continue;
             }
-            let expect = self.oracle.perm(self.current, entry.pmo);
+            let expect = self.spec.perm(self.current, entry.pmo);
             if entry.perm != expect {
                 findings.push(Finding {
                     class: ViolationClass::PtlbDesync,
@@ -333,7 +417,7 @@ mod tests {
 
     fn tiny_scenario() -> Scenario {
         Scenario {
-            name: "test",
+            name: "test".into(),
             about: "",
             setup: vec![PmoId::new(1), PmoId::new(2)],
             program: Program { threads: vec![vec![], vec![]] },
@@ -392,6 +476,61 @@ mod tests {
             findings.iter().any(|f| f.class == ViolationClass::PtlbDesync
                 || f.class == ViolationClass::SchemeDivergence),
             "stale PTLB for the incoming thread must be caught, got {findings:?}"
+        );
+    }
+
+    #[test]
+    fn double_attach_and_detach_are_noops() {
+        let scenario = tiny_scenario();
+        let mut world = World::new(&scenario, None);
+        let p1 = PmoId::new(1);
+        let before = world.trace().len();
+        assert!(world.step(0, Op::Attach { pmo: p1 }).is_empty(), "EEXIST attach");
+        assert_eq!(world.trace().len(), before, "no-op attach records nothing");
+        assert!(world.step(0, Op::Detach { pmo: p1 }).is_empty());
+        assert!(world.step(0, Op::Detach { pmo: p1 }).is_empty(), "ENOENT detach");
+        assert!(world.step(0, Op::Attach { pmo: p1 }).is_empty(), "re-attach after detach");
+    }
+
+    #[test]
+    fn refine_mode_is_clean_on_clean_runs_and_records_observations() {
+        let scenario = tiny_scenario();
+        let mut world = World::with_mode(&scenario, None, CheckMode::Refine);
+        let p1 = PmoId::new(1);
+        let steps = [
+            (0, Op::SetPerm { pmo: p1, perm: Perm::ReadWrite }),
+            (0, Op::Access { pmo: p1, offset: 0, kind: AccessKind::Write }),
+            (1, Op::Access { pmo: p1, offset: 0, kind: AccessKind::Read }),
+            (0, Op::Detach { pmo: p1 }),
+            (0, Op::Access { pmo: p1, offset: 0, kind: AccessKind::Read }),
+        ];
+        for (thread, op) in steps {
+            let findings = world.step(thread, op);
+            assert!(findings.is_empty(), "refine divergence at {op}: {findings:?}");
+        }
+        assert_eq!(world.observations().len(), 3, "one observation per access");
+        assert!(world.end_checks().is_empty(), "clean run is noninterferent");
+    }
+
+    #[test]
+    fn refine_mode_reports_planted_bugs_as_refinement_divergence() {
+        let scenario = tiny_scenario();
+        let mut world = World::with_mode(
+            &scenario,
+            Some(ProtocolBug::SkipPkruUpdateOnSetPerm),
+            CheckMode::Refine,
+        );
+        let p1 = PmoId::new(1);
+        world.step(0, Op::SetPerm { pmo: p1, perm: Perm::ReadWrite });
+        world.step(0, Op::Access { pmo: p1, offset: 0, kind: AccessKind::Write });
+        let findings = world.step(0, Op::SetPerm { pmo: p1, perm: Perm::None });
+        assert!(
+            findings.iter().all(|f| f.class == ViolationClass::RefinementDivergence),
+            "refine mode reports uniformly, got {findings:?}"
+        );
+        assert!(
+            findings.iter().any(|f| f.message.starts_with("pkru-desync:")),
+            "the underlying condition is named in the message: {findings:?}"
         );
     }
 }

@@ -1,0 +1,120 @@
+//! Property-based validation of the small-world enumerator: for random
+//! bounds the emitted canonical set must match the Burnside closed form
+//! exactly, contain only canonical programs with no duplicates, and be
+//! closed under the thread/domain symmetry group (any relabeling of an
+//! emitted program canonicalizes back to it).
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use pmo_modelcheck::enumerate::{canonicalize, is_canonical, Codes, OPS_PER_DOMAIN};
+use pmo_modelcheck::{enumerate_canonical, orbit_count, raw_count, WorldBounds};
+
+/// All permutations of `1..=n` (n is at most 3 here, so this is tiny).
+fn perms(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut items: Vec<usize> = (1..=n).collect();
+    fn heap(k: usize, items: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(items.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, items, out);
+            if k.is_multiple_of(2) {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+    heap(items.len(), &mut items, &mut out);
+    out.sort();
+    out
+}
+
+/// Applies a thread permutation and a domain relabeling to a program.
+/// `tperm[i]` says which original thread lands in slot `i`;
+/// `dperm[d-1]` is the new id of domain `d`.
+fn relabel(codes: &Codes, tperm: &[usize], dperm: &[usize]) -> Codes {
+    tperm
+        .iter()
+        .map(|&src| {
+            codes[src - 1]
+                .iter()
+                .map(|&code| {
+                    let c = code as usize % OPS_PER_DOMAIN;
+                    let d = code as usize / OPS_PER_DOMAIN + 1;
+                    ((dperm[d - 1] - 1) * OPS_PER_DOMAIN + c) as u16
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The enumerator emits exactly one representative per symmetry
+    /// orbit: its count equals the Burnside closed form, every program
+    /// is canonical, and no two are equal.
+    #[test]
+    fn enumerator_matches_closed_form(
+        ops in 1usize..=3,
+        threads in 1usize..=3,
+        domains in 1usize..=2,
+    ) {
+        let bounds = WorldBounds { ops, threads, domains };
+        let worlds = enumerate_canonical(&bounds);
+
+        prop_assert_eq!(worlds.len() as u128, orbit_count(&bounds));
+        prop_assert!(orbit_count(&bounds) <= raw_count(&bounds));
+
+        let mut seen: BTreeSet<Codes> = BTreeSet::new();
+        for w in &worlds {
+            prop_assert!(is_canonical(w, &bounds), "non-canonical {w:?}");
+            prop_assert!(seen.insert(w.clone()), "duplicate {w:?}");
+        }
+    }
+
+    /// No two emitted programs are permutation-equivalent, and every
+    /// relabeling of an emitted program canonicalizes back to it: the
+    /// emitted set is a transversal of the S_M x S_K group action.
+    #[test]
+    fn emitted_programs_are_orbit_representatives(
+        ops in 1usize..=3,
+        threads in 1usize..=3,
+        domains in 1usize..=2,
+        pick in 0u64..,
+        tsel in 0u64..,
+        dsel in 0u64..,
+    ) {
+        let bounds = WorldBounds { ops, threads, domains };
+        let worlds = enumerate_canonical(&bounds);
+        let tperms = perms(threads);
+        let dperms = perms(domains);
+
+        // Every relabeling of a randomly chosen program canonicalizes
+        // back to the program itself...
+        let w = &worlds[pick as usize % worlds.len()];
+        let tperm = &tperms[tsel as usize % tperms.len()];
+        let dperm = &dperms[dsel as usize % dperms.len()];
+        let shuffled = relabel(w, tperm, dperm);
+        prop_assert_eq!(&canonicalize(&shuffled, &bounds), w);
+
+        // ...so two distinct emitted programs can never share an orbit
+        // (each is its own canonical form). Spot-check the full orbit of
+        // the chosen program against every other emitted program.
+        for tp in &tperms {
+            for dp in &dperms {
+                let variant = relabel(w, tp, dp);
+                for other in &worlds {
+                    if other != w {
+                        prop_assert_ne!(other, &variant);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -37,6 +37,7 @@ mod cache;
 mod config;
 mod memory;
 mod page_table;
+pub mod pool;
 mod replacement;
 mod stats;
 mod tlb;

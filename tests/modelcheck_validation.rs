@@ -1,10 +1,13 @@
 //! Self-validation of the DPOR model checker: planted protocol bugs must
 //! be caught with the expected diagnostic class, counterexamples must
 //! replay deterministically, and clean protocols must survive exhaustive
-//! exploration.
+//! exploration — in both the invariants mode and the refinement mode
+//! (executable spec + abstraction functions + noninterference).
 
+use pmo_repro::analyzer::ViolationClass;
 use pmo_repro::modelcheck::{
-    builtin, explore, find, replay_schedule, scenarios::seeded_checks, ExploreLimits,
+    builtin, explore, explore_mode, find, replay_schedule, replay_schedule_mode,
+    scenarios::seeded_checks, CheckMode, ExploreLimits,
 };
 
 #[test]
@@ -85,6 +88,76 @@ fn dpor_prunes_but_never_misses_dependent_interleavings() {
     let contention = find("contention-stress").unwrap();
     let out = explore(&contention, None, &ExploreLimits::default());
     assert_eq!(out.schedules as u128, out.naive, "all-dependent ops admit no pruning");
+}
+
+#[test]
+fn every_seeded_bug_is_a_refinement_failure_with_a_replayable_witness() {
+    // The refinement checker subsumes the invariant campaign: every
+    // planted protocol bug must surface as a refinement divergence (the
+    // underlying condition named in the message), and the witness
+    // schedule must replay to a positioned diagnostic whose source is the
+    // scenario@schedule repro id.
+    for check in seeded_checks() {
+        let scenario = find(check.scenario).unwrap();
+        let out =
+            explore_mode(&scenario, Some(check.bug), &ExploreLimits::default(), CheckMode::Refine);
+        let witness = out
+            .violations
+            .iter()
+            .find(|v| v.class == ViolationClass::RefinementDivergence)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{:?} not reported as refinement-divergence in {} (found {:?})",
+                    check.bug,
+                    check.scenario,
+                    out.violations.iter().map(|v| v.class).collect::<Vec<_>>()
+                )
+            });
+        assert!(
+            witness.message.contains(':'),
+            "{:?}: message must name the underlying condition: {}",
+            check.bug,
+            witness.message
+        );
+        let replay =
+            replay_schedule_mode(&scenario, Some(check.bug), &witness.schedule, CheckMode::Refine)
+                .expect("witness schedule is executable");
+        assert!(
+            replay.violations.iter().any(|v| v.class == ViolationClass::RefinementDivergence),
+            "{:?}: witness {} did not reproduce under replay",
+            check.bug,
+            witness.schedule_string()
+        );
+        let diag = replay
+            .report
+            .diagnostics
+            .iter()
+            .find(|d| d.class == ViolationClass::RefinementDivergence)
+            .expect("positioned refinement diagnostic");
+        assert_eq!(diag.pass, "modelcheck");
+        assert!(
+            replay.report.source.starts_with(check.scenario),
+            "repro id must be scenario@schedule, got {}",
+            replay.report.source
+        );
+    }
+}
+
+#[test]
+fn clean_schemes_are_refinement_clean_and_noninterferent() {
+    // Refine mode must stay silent on every built-in scenario with no
+    // planted bug: no verdict/abstraction divergence on any schedule, and
+    // no noninterference leak on any completed execution.
+    for scenario in builtin() {
+        let out = explore_mode(&scenario, None, &ExploreLimits::default(), CheckMode::Refine);
+        assert!(
+            out.violations.is_empty(),
+            "{}: refine mode found {:?}",
+            scenario.name,
+            out.violations
+        );
+        assert!(!out.truncated, "{} must be exhaustive", scenario.name);
+    }
 }
 
 #[test]

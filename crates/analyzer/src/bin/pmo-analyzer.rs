@@ -25,7 +25,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use pmo_analyzer::{standard_analyzer, AnalysisReport, PermWindowPass};
+use pmo_analyzer::{standard_analyzer, validate_inspection, AnalysisReport, PermWindowPass};
 use pmo_trace::{TeeSink, TraceFile, TraceFileWriter};
 use pmo_workloads::{
     MicroBench, MicroConfig, MicroWorkload, ServerConfig, ServerWorkload, WhisperBench,
@@ -182,8 +182,13 @@ fn run_job(
 fn usage() -> &'static str {
     "usage: pmo-analyzer [--trace FILE]... [--workload SPEC]... [--all]\n\
      \x20                   [--strict | --baseline] [--record DIR] [--json PATH] [--show-lints]\n\
+     \x20                   [--inspect-validate] [--inspect-json PATH]\n\
      \n\
-     SPEC: micro[:AVL|RBT|BT|LL|SS] | whisper[:Echo|YCSB|TPCC|C-tree|Hashmap|Redis] | server"
+     SPEC: micro[:AVL|RBT|BT|LL|SS] | whisper[:Echo|YCSB|TPCC|C-tree|Hashmap|Redis] | server\n\
+     \n\
+     --inspect-validate runs the binary-inspection seeded-bug suite (the\n\
+     clean trusted-monitor image must be silent; every planted key-update\n\
+     sequence must be caught) and fails the run if any case misses."
 }
 
 fn main() -> ExitCode {
@@ -220,7 +225,27 @@ fn main() -> ExitCode {
         jobs.extend(WhisperBench::ALL.iter().copied().map(Job::Whisper));
         jobs.push(Job::Server);
     }
+    // Binary-inspection self-validation is its own job kind: success
+    // means the seeded bugs WERE caught, so its verdict is tracked
+    // separately from the trace reports (whose errors fail the run).
+    let inspect_validation = if has_flag("--inspect-validate") {
+        let v = validate_inspection();
+        print!("{v}");
+        if let Some(path) = arg_values("--inspect-json").pop() {
+            if let Err(e) = std::fs::write(&path, v.to_json()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        Some(v)
+    } else {
+        None
+    };
+
     if jobs.is_empty() {
+        if let Some(v) = &inspect_validation {
+            return if v.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
         eprintln!("nothing to analyze\n{}", usage());
         return ExitCode::FAILURE;
     }
@@ -285,6 +310,11 @@ fn main() -> ExitCode {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
+    }
+
+    if inspect_validation.as_ref().is_some_and(|v| !v.passed()) {
+        eprintln!("--inspect-validate: seeded-bug suite failed; failing");
+        return ExitCode::FAILURE;
     }
 
     // `passed` (not the retained-error count) so errors dropped beyond

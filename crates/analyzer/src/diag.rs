@@ -92,6 +92,12 @@ pub enum ViolationClass {
     /// the domain's data changed what the unauthorized thread read
     /// (noninterference checker).
     NoninterferenceLeak,
+    /// A WRPKRU/XRSTOR-equivalent key-update byte sequence occurred in an
+    /// executable code image outside every registered call gate — ERIM's
+    /// binary-inspection property (§4.2). The sequence may start at any
+    /// byte offset (unaligned jumps make instruction boundaries
+    /// irrelevant), including inside an immediate or displacement.
+    UnsafeKeyUpdateSite,
 }
 
 impl ViolationClass {
@@ -118,6 +124,7 @@ impl ViolationClass {
             ViolationClass::StoreInSwitchGate => "store-in-switch-gate",
             ViolationClass::RefinementDivergence => "refinement-divergence",
             ViolationClass::NoninterferenceLeak => "noninterference-leak",
+            ViolationClass::UnsafeKeyUpdateSite => "unsafe-key-update-site",
         }
     }
 }

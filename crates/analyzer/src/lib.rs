@@ -18,6 +18,11 @@
 //! * [`GatePass`] — ERIM-style switch-gate integrity: no store may land
 //!   between a write-revoking `SetPerm` and the shootdown (or re-grant)
 //!   that settles it;
+//! * [`InspectPass`] — ERIM's *static* half, actually implemented here:
+//!   byte-level binary inspection of registered
+//!   [`pmo_trace::CodeImage`]s for WRPKRU/XRSTOR key-update sequences at
+//!   every byte offset (across instruction boundaries, inside
+//!   immediates) outside a registered call gate;
 //! * [`PermWindowPass`] — the existing [`pmo_trace::PermAudit`]
 //!   permission-window audit, lifted into the framework with positioned
 //!   diagnostics.
@@ -42,6 +47,7 @@
 mod crashenum;
 mod diag;
 mod gate;
+mod inspect;
 mod mutate;
 mod permwindow;
 mod persist;
@@ -56,19 +62,25 @@ pub use diag::{
     ViolationClass,
 };
 pub use gate::GatePass;
-pub use mutate::{seed_bug, SeededBug};
+pub use inspect::{
+    monitor_image, scan_image, validate_inspection, InspectCase, InspectPass, InspectValidation,
+    KeyUpdateKind, KeyUpdateSite, MONITOR_TEXT_BASE, WRPKRU,
+};
+pub use mutate::{seed_bug, seed_code_bug, SeededBug, SeededCodeBug};
 pub use permwindow::PermWindowPass;
 pub use persist::PersistOrderPass;
 pub use race::RacePass;
 
-/// An [`Analyzer`] with all four standard passes: persist ordering,
-/// happens-before races, switch-gate integrity, and the given
-/// permission-window policy.
+/// An [`Analyzer`] with all five standard passes: persist ordering,
+/// happens-before races, switch-gate integrity, binary inspection of the
+/// canonical trusted-monitor image, and the given permission-window
+/// policy.
 #[must_use]
 pub fn standard_analyzer(source: &str, windows: PermWindowPass) -> Analyzer {
     Analyzer::new(source)
         .with_pass(PersistOrderPass::new())
         .with_pass(RacePass::new())
         .with_pass(GatePass::new())
+        .with_pass(InspectPass::standard())
         .with_pass(windows)
 }

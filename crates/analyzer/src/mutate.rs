@@ -12,7 +12,7 @@
 //! first PMO store) so the seeded trace is guaranteed to exhibit the bug
 //! rather than a coincidentally-legal reordering.
 
-use pmo_trace::{PmoId, ThreadId, TraceEvent, Va};
+use pmo_trace::{CodeImage, PmoId, ThreadId, TraceEvent, Va};
 
 use crate::diag::ViolationClass;
 
@@ -77,6 +77,70 @@ impl std::fmt::Display for SeededBug {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
+}
+
+/// A known-bad pattern to plant in an executable *code image* rather
+/// than a trace: the binary-inspection analogue of [`SeededBug`],
+/// validating the ERIM-style scanner in
+/// [`crate::inspect::InspectPass`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeededCodeBug {
+    /// Append a literal WRPKRU instruction (`0F 01 EF`) outside every
+    /// registered gate — untrusted code carrying its own key update.
+    OutOfGateWrpkru,
+    /// Append a `mov eax, imm32` whose immediate bytes alias a WRPKRU:
+    /// the sequence lives *inside* an operand, executable via an
+    /// unaligned jump (ERIM §4.2's key subtlety).
+    WrpkruInImmediate,
+}
+
+impl SeededCodeBug {
+    /// Every code-bug class.
+    pub const ALL: [SeededCodeBug; 2] =
+        [SeededCodeBug::OutOfGateWrpkru, SeededCodeBug::WrpkruInImmediate];
+
+    /// Short label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SeededCodeBug::OutOfGateWrpkru => "out-of-gate-wrpkru",
+            SeededCodeBug::WrpkruInImmediate => "wrpkru-in-immediate",
+        }
+    }
+
+    /// The violation class the inspection pass must report.
+    #[must_use]
+    pub fn expected_class(self) -> ViolationClass {
+        match self {
+            SeededCodeBug::OutOfGateWrpkru | SeededCodeBug::WrpkruInImmediate => {
+                ViolationClass::UnsafeKeyUpdateSite
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SeededCodeBug {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Plants `bug` into a copy of `image`, appending the bad bytes after
+/// the existing code (outside every registered gate, which `CodeImage`
+/// gates never cover: appends only grow the ungated tail).
+#[must_use]
+pub fn seed_code_bug(image: &CodeImage, bug: SeededCodeBug) -> CodeImage {
+    let mut out = image.clone();
+    match bug {
+        SeededCodeBug::OutOfGateWrpkru => {
+            out.bytes.extend_from_slice(&[0x0F, 0x01, 0xEF]);
+        }
+        SeededCodeBug::WrpkruInImmediate => {
+            // mov eax, 0x00EF010F: bytes 0F 01 EF at immediate offset +1.
+            out.bytes.extend_from_slice(&[0xB8, 0x0F, 0x01, 0xEF, 0x00]);
+        }
+    }
+    out
 }
 
 /// The target address of a store event (valued or not).

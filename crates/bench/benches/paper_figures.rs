@@ -33,6 +33,8 @@ fn fig7_average(c: &mut Criterion) {
     let point = |pmos: u32, scale: f64| Fig6Point {
         pmos,
         libmpk_pct: 1000.0 * scale,
+        erim_pct: 400.0 * scale,
+        dpti_pct: 800.0 * scale,
         mpk_virt_pct: 100.0 * scale,
         domain_virt_pct: 20.0 * scale,
     };

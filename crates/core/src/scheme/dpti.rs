@@ -1,0 +1,404 @@
+//! Domain page-table isolation (DPTI): per-domain page tables, zero
+//! protection keys (after Canella et al.'s kernel-style page-table
+//! isolation, applied per protection domain).
+//!
+//! Each thread owns a page-table hierarchy whose PTEs encode its current
+//! domain permissions directly — the access check is free (the permission
+//! rides the ordinary page walk), and no keys exist to run out of. The
+//! costs move elsewhere: SETPERM is an `mprotect`-style kernel call that
+//! rewrites the pool's PTEs (plus a ranged shootdown when write access is
+//! revoked), and every context switch is a CR3 write that flushes the
+//! domain-tagged TLB entries.
+//!
+//! The model keeps the per-thread tables as permission maps and reads
+//! them through the *loaded* root (`cr3`) — so the planted
+//! stale-CR3-on-switch bug makes the incoming thread observably run on
+//! the outgoing thread's address space.
+
+use pmo_simarch::{vpn, MemKind, SimConfig, TlbStats};
+use pmo_trace::{AccessKind, Perm, PmoId, ThreadId, TraceEvent, Va};
+
+use std::collections::BTreeMap;
+
+use crate::breakdown::CostBreakdown;
+use crate::fault::ProtectionFault;
+use crate::mmu::{granule_covering, DomPayload, MmuBase, Region};
+use crate::scheme::{
+    AccessResult, FastHint, ProtectionScheme, ProtocolBug, SchemeKind, SchemeStats,
+};
+
+/// Domain page-table isolation.
+#[derive(Debug)]
+pub struct Dpti {
+    mmu: MmuBase<DomPayload>,
+    /// Per-thread page-table permission views: what thread `t`'s PTEs
+    /// encode for each attached domain. Canonical (no [`Perm::None`]
+    /// rows) so the refinement abstraction compares against the spec's
+    /// permission map directly.
+    tables: BTreeMap<ThreadId, BTreeMap<PmoId, Perm>>,
+    /// The loaded page-table root. Coherent with `current` only when the
+    /// kernel reloads CR3 on every switch — the obligation the planted
+    /// [`ProtocolBug::StaleCr3OnSwitch`] bug violates.
+    cr3: ThreadId,
+    /// Protocol events (revocation shootdowns) awaiting `drain_events`.
+    pending: Vec<TraceEvent>,
+    bug: Option<ProtocolBug>,
+    cfg: SimConfig,
+    current: ThreadId,
+    stats: SchemeStats,
+    breakdown: CostBreakdown,
+}
+
+impl Dpti {
+    /// Creates the scheme.
+    #[must_use]
+    pub fn new(config: &SimConfig) -> Self {
+        Self::with_bug(config, None)
+    }
+
+    /// Creates the scheme with an optional planted [`ProtocolBug`]
+    /// (model-checker self-validation only).
+    #[must_use]
+    pub fn with_bug(config: &SimConfig, bug: Option<ProtocolBug>) -> Self {
+        Dpti {
+            mmu: MmuBase::new(config),
+            tables: BTreeMap::new(),
+            cr3: ThreadId::MAIN,
+            pending: Vec::new(),
+            bug,
+            cfg: config.clone(),
+            current: ThreadId::MAIN,
+            stats: SchemeStats::default(),
+            breakdown: CostBreakdown::default(),
+        }
+    }
+
+    /// The per-thread page-table views (model-checker inspection).
+    #[must_use]
+    pub fn tables(&self) -> &BTreeMap<ThreadId, BTreeMap<PmoId, Perm>> {
+        &self.tables
+    }
+
+    /// The loaded page-table root (model-checker inspection).
+    #[must_use]
+    pub fn cr3(&self) -> ThreadId {
+        self.cr3
+    }
+
+    /// The MMU (TLB hierarchy + regions; model-checker inspection).
+    #[must_use]
+    pub fn mmu(&self) -> &MmuBase<DomPayload> {
+        &self.mmu
+    }
+
+    /// The permission the *loaded* page table encodes for `domain`.
+    fn loaded_perm(&self, domain: PmoId) -> Perm {
+        self.tables.get(&self.cr3).and_then(|t| t.get(&domain)).copied().unwrap_or(Perm::None)
+    }
+
+    /// Drops every thread's PTE permissions for `pmo` (attach/detach).
+    fn drop_domain_rows(&mut self, pmo: PmoId) {
+        for table in self.tables.values_mut() {
+            table.remove(&pmo);
+        }
+        self.tables.retain(|_, t| !t.is_empty());
+    }
+}
+
+impl ProtectionScheme for Dpti {
+    fn name(&self) -> &'static str {
+        "domain page-table isolation (per-domain page tables)"
+    }
+
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Dpti
+    }
+
+    fn attach(&mut self, pmo: PmoId, base: Va, size: u64, nvm: bool) -> u64 {
+        let granule = granule_covering(base, size);
+        let region = Region { pmo, base, granule, pool_size: size, nvm };
+        let removed = self.mmu.attach_region(region);
+        self.stats.tlb_entries_invalidated += removed;
+        self.drop_domain_rows(pmo);
+        // Attach clones the pool's mappings into the per-domain tables.
+        let cycles = self.cfg.attach_kernel_cycles
+            + self.cfg.syscall_cycles
+            + self.cfg.pte_write_cycles * region.pool_pages();
+        self.breakdown.software += cycles;
+        cycles
+    }
+
+    fn detach(&mut self, pmo: PmoId) -> u64 {
+        if let Some((_, removed)) = self.mmu.detach_region(pmo) {
+            self.stats.tlb_entries_invalidated += removed;
+        }
+        self.drop_domain_rows(pmo);
+        let cycles = self.cfg.attach_kernel_cycles + self.cfg.syscall_cycles;
+        self.breakdown.software += cycles;
+        cycles
+    }
+
+    fn set_perm(&mut self, pmo: PmoId, perm: Perm) -> u64 {
+        self.stats.set_perms += 1;
+        // SETPERM is an mprotect-style kernel call rewriting the calling
+        // thread's PTEs for the whole pool.
+        let mut cycles = self.cfg.syscall_cycles;
+        self.breakdown.software += self.cfg.syscall_cycles;
+        let Some(region) = self.mmu.region_of(pmo) else {
+            // No per-domain table exists for a detached domain: the call
+            // fails in the kernel before touching any PTE.
+            return cycles;
+        };
+        let pte_writes = self.cfg.pte_write_cycles * region.pool_pages();
+        cycles += pte_writes;
+        self.breakdown.permission_change += pte_writes;
+        let table = self.tables.entry(self.current).or_default();
+        let prev = table.get(&pmo).copied().unwrap_or(Perm::None);
+        if perm == Perm::None {
+            table.remove(&pmo);
+            if table.is_empty() {
+                self.tables.remove(&self.current);
+            }
+        } else {
+            table.insert(pmo, perm);
+        }
+        if prev.allows_write() && !perm.allows_write() {
+            // Revoking write access must shoot down the pool's cached
+            // translations before the revoke is architecturally visible.
+            let removed = self.mmu.shootdown(&region);
+            self.stats.tlb_entries_invalidated += removed;
+            let refills = removed * self.cfg.tlb_miss_penalty;
+            let shoot = self.cfg.tlb_invalidation_cycles * u64::from(self.cfg.threads);
+            cycles += refills + shoot;
+            self.stats.shootdowns += 1;
+            self.breakdown.tlb_invalidation += refills + shoot;
+            self.pending.push(TraceEvent::Shootdown { pmo });
+        }
+        cycles
+    }
+
+    fn access(&mut self, va: Va, kind: AccessKind) -> AccessResult {
+        let (payload, _, cycles) = self.mmu.tlb.lookup(vpn(va));
+        let payload = match payload {
+            Some(p) => p,
+            None => {
+                let domain = self.mmu.region_at(va).map_or(PmoId::NULL, |r| r.pmo);
+                match self.mmu.walk_or_map(va, |_| 0) {
+                    Ok((pte, _)) => {
+                        let p = DomPayload { domain, page_perm: pte.perm, mem: pte.mem };
+                        self.mmu.tlb.fill(vpn(va), p);
+                        p
+                    }
+                    Err(fault) => {
+                        self.stats.faults += 1;
+                        return AccessResult { cycles, mem: MemKind::Dram, fault: Some(fault) };
+                    }
+                }
+            }
+        };
+        // The permission rides the loaded page table's PTEs: no lookup
+        // structure, no extra latency — the check reads what CR3 points
+        // at, which is the whole point of the stale-CR3 hazard.
+        let domain_perm = if payload.domain.is_null() {
+            Perm::ReadWrite
+        } else {
+            self.loaded_perm(payload.domain)
+        };
+        let effective = domain_perm.meet(payload.page_perm);
+        let fault = if effective.allows(kind) {
+            None
+        } else {
+            self.stats.faults += 1;
+            Some(ProtectionFault::DomainDenied {
+                thread: self.current,
+                pmo: payload.domain,
+                attempted: kind,
+                held: domain_perm,
+                va,
+            })
+        };
+        AccessResult { cycles, mem: payload.mem, fault }
+    }
+
+    fn context_switch(&mut self, to: ThreadId) -> u64 {
+        let mut cycles = 0;
+        if self.bug == Some(ProtocolBug::StaleCr3OnSwitch) {
+            // Planted bug: the kernel skips the CR3 reload — the incoming
+            // thread keeps running on the outgoing thread's page tables.
+        } else {
+            self.cr3 = to;
+            // CR3 write flushes the domain-tagged (non-global) entries;
+            // each flushed entry is charged one future refill.
+            cycles += self.cfg.cr3_write_cycles;
+            let regions: Vec<Region> = self.mmu.regions().copied().collect();
+            let mut removed = 0;
+            for region in &regions {
+                removed += self.mmu.shootdown(region);
+            }
+            self.stats.tlb_entries_invalidated += removed;
+            let refills = removed * self.cfg.tlb_miss_penalty;
+            cycles += refills;
+            self.breakdown.tlb_invalidation += refills;
+            self.breakdown.software += self.cfg.cr3_write_cycles;
+        }
+        self.current = to;
+        self.stats.context_switches += 1;
+        cycles
+    }
+
+    fn current_thread(&self) -> ThreadId {
+        self.current
+    }
+
+    fn breakdown(&self) -> CostBreakdown {
+        self.breakdown
+    }
+
+    fn stats(&self) -> SchemeStats {
+        self.stats
+    }
+
+    fn tlb_stats(&self) -> TlbStats {
+        *self.mmu.tlb.stats()
+    }
+
+    fn drain_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.pending)
+    }
+
+    fn fast_hint(&self, va: Va) -> Option<FastHint> {
+        let payload = self.mmu.tlb.probe_l1(vpn(va))?;
+        let domain_perm = if payload.domain.is_null() {
+            Perm::ReadWrite
+        } else {
+            self.loaded_perm(payload.domain)
+        };
+        Some(FastHint {
+            cycles: self.mmu.tlb.l1_latency(),
+            mem: payload.mem,
+            effective: domain_perm.meet(payload.page_perm),
+            access_latency: 0,
+            thread: self.current,
+            held: domain_perm,
+            fault_pmo: Some(payload.domain),
+        })
+    }
+
+    fn note_fast_hits(&mut self, _hint: &FastHint, hits: u64, denied: u64) {
+        self.mmu.tlb.note_l1_hits(hits);
+        self.stats.faults += denied;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB1: u64 = 1 << 30;
+
+    fn scheme_with(n: u32) -> Dpti {
+        let mut s = Dpti::new(&SimConfig::isca2020());
+        for i in 1..=n {
+            s.attach(PmoId::new(i), u64::from(i) * GB1, 8 << 20, true);
+        }
+        s
+    }
+
+    #[test]
+    fn enforces_domain_permissions() {
+        let mut s = scheme_with(2);
+        assert!(!s.access(GB1, AccessKind::Read).allowed());
+        s.set_perm(PmoId::new(1), Perm::ReadOnly);
+        assert!(s.access(GB1, AccessKind::Read).allowed());
+        assert!(!s.access(GB1, AccessKind::Write).allowed());
+        assert!(!s.access(2 * GB1, AccessKind::Read).allowed());
+    }
+
+    #[test]
+    fn domain_access_has_zero_extra_latency() {
+        let mut s = scheme_with(1);
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        s.access(GB1, AccessKind::Write); // warm the TLB
+        let warm = s.access(GB1, AccessKind::Write);
+        assert_eq!(warm.cycles, 1, "permission rides the PTE: L1 TLB hit only");
+    }
+
+    #[test]
+    fn no_key_pressure_at_any_domain_count() {
+        let mut s = scheme_with(64);
+        for i in 1..=64u32 {
+            s.set_perm(PmoId::new(i), Perm::ReadWrite);
+            assert!(s.access(u64::from(i) * GB1, AccessKind::Write).allowed());
+        }
+        assert_eq!(s.stats().key_evictions, 0, "no keys exist to evict");
+        assert_eq!(s.stats().domainless_fallbacks, 0);
+    }
+
+    #[test]
+    fn setperm_pays_pte_rewrite_and_revoke_pays_shootdown() {
+        let mut s = scheme_with(1);
+        let cfg = SimConfig::isca2020();
+        let grant = s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        // 8MB pool = 2048 PTEs.
+        assert_eq!(grant, cfg.syscall_cycles + cfg.pte_write_cycles * 2048);
+        s.access(GB1, AccessKind::Write);
+        let revoke = s.set_perm(PmoId::new(1), Perm::None);
+        assert!(revoke > grant, "write revocation adds the shootdown");
+        assert_eq!(s.stats().shootdowns, 1);
+        let events = s.drain_events();
+        assert!(matches!(events[0], TraceEvent::Shootdown { pmo } if pmo == PmoId::new(1)));
+    }
+
+    #[test]
+    fn context_switch_loads_the_new_root() {
+        let mut s = scheme_with(2);
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        assert!(s.access(GB1, AccessKind::Write).allowed());
+        let cycles = s.context_switch(ThreadId::new(1));
+        assert!(cycles >= SimConfig::isca2020().cr3_write_cycles);
+        assert!(!s.access(GB1, AccessKind::Write).allowed(), "thread 1 has no PTE grant");
+        s.context_switch(ThreadId::MAIN);
+        assert!(s.access(GB1, AccessKind::Write).allowed(), "main's tables intact");
+    }
+
+    #[test]
+    fn setperm_on_detached_domain_is_a_noop() {
+        let mut s = scheme_with(1);
+        s.detach(PmoId::new(1));
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        s.attach(PmoId::new(1), GB1, 8 << 20, true);
+        assert!(
+            !s.access(GB1, AccessKind::Read).allowed(),
+            "re-attached domain must start inaccessible"
+        );
+    }
+
+    #[test]
+    fn thousand_domains_supported() {
+        let mut s = scheme_with(1000);
+        for i in (1..=1000u32).step_by(97) {
+            s.set_perm(PmoId::new(i), Perm::ReadWrite);
+            assert!(s.access(u64::from(i) * GB1, AccessKind::Write).allowed());
+            s.set_perm(PmoId::new(i), Perm::None);
+            assert!(!s.access(u64::from(i) * GB1, AccessKind::Write).allowed());
+        }
+        assert_eq!(s.stats().key_evictions, 0);
+    }
+
+    #[test]
+    fn planted_stale_cr3_bug_keeps_the_old_address_space() {
+        let mut s = Dpti::with_bug(&SimConfig::isca2020(), Some(ProtocolBug::StaleCr3OnSwitch));
+        s.attach(PmoId::new(1), GB1, 8 << 20, true);
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        s.context_switch(ThreadId::new(1));
+        assert!(
+            s.access(GB1, AccessKind::Write).allowed(),
+            "bug: thread 1 runs on main's page tables"
+        );
+        let mut clean = Dpti::new(&SimConfig::isca2020());
+        clean.attach(PmoId::new(1), GB1, 8 << 20, true);
+        clean.set_perm(PmoId::new(1), Perm::ReadWrite);
+        clean.context_switch(ThreadId::new(1));
+        assert!(!clean.access(GB1, AccessKind::Write).allowed());
+    }
+}

@@ -1,0 +1,455 @@
+//! ERIM-style intra-process isolation: call-gate sessions over raw MPK
+//! (Vahldiek-Oberwagner et al., USENIX Security'19).
+//!
+//! No new hardware: stock MPK keys and the per-thread PKRU, made safe by
+//! a *trusted monitor* reached only through call gates. Every permission
+//! switch runs the gate trampoline (WRPKRU plus the entry/exit sequence
+//! ERIM's binary inspection proves unique), and the monitor keeps the
+//! authoritative per-thread session table it restores the PKRU from on
+//! every context switch. Domains beyond the 15 usable keys are
+//! multiplexed in software: the monitor remaps a victim's key with
+//! `pkey_mprotect` (per-PTE rewrite + ranged shootdown), which is this
+//! scheme's key-pressure cliff.
+//!
+//! Gate exits that revoke write permission emit the
+//! [`TraceEvent::Shootdown`] settle event the analyzer's `GatePass`
+//! treats as closing the permission-switch gate.
+
+use pmo_simarch::{vpn, MemKind, SimConfig, TlbStats};
+use pmo_trace::{AccessKind, Perm, PmoId, ThreadId, TraceEvent, Va};
+
+use std::collections::BTreeMap;
+
+use crate::breakdown::CostBreakdown;
+use crate::fault::ProtectionFault;
+use crate::keys::KeyAllocator;
+use crate::mmu::{granule_covering, MmuBase, PkPayload, Region};
+use crate::pkru::{Pkru, NUM_KEYS};
+use crate::scheme::{
+    AccessResult, FastHint, ProtectionScheme, ProtocolBug, SchemeKind, SchemeStats,
+};
+
+/// ERIM: call-gate sessions over raw MPK.
+#[derive(Debug)]
+pub struct Erim {
+    mmu: MmuBase<PkPayload>,
+    keys: KeyAllocator,
+    /// The monitor's authoritative session table: the permission each
+    /// thread's last gate entry established per domain. Canonical (no
+    /// [`Perm::None`] rows) so the refinement abstraction can compare it
+    /// against the spec's permission map directly.
+    sessions: BTreeMap<(ThreadId, PmoId), Perm>,
+    /// The materialized per-core PKRU the hardware check reads. The gate
+    /// trampoline and the monitor's switch-time restore keep it coherent
+    /// with `sessions` — the obligation `pkru-desync` sweeps verify.
+    pkru: Pkru,
+    /// Protocol events (gate-exit settles, eviction shootdowns) awaiting
+    /// `drain_events`.
+    pending: Vec<TraceEvent>,
+    bug: Option<ProtocolBug>,
+    cfg: SimConfig,
+    current: ThreadId,
+    stats: SchemeStats,
+    breakdown: CostBreakdown,
+}
+
+impl Erim {
+    /// Creates the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config asks for more keys than the 32-bit PKRU
+    /// architecturally encodes.
+    #[must_use]
+    pub fn new(config: &SimConfig) -> Self {
+        Self::with_bug(config, None)
+    }
+
+    /// Creates the scheme with an optional planted [`ProtocolBug`]
+    /// (model-checker self-validation only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config asks for more keys than the 32-bit PKRU
+    /// architecturally encodes.
+    #[must_use]
+    pub fn with_bug(config: &SimConfig, bug: Option<ProtocolBug>) -> Self {
+        assert!(config.pkeys as usize <= NUM_KEYS, "PKRU encodes at most {NUM_KEYS} keys");
+        Erim {
+            mmu: MmuBase::new(config),
+            keys: KeyAllocator::new(config.pkeys),
+            sessions: BTreeMap::new(),
+            pkru: Pkru::ALL_DENIED,
+            pending: Vec::new(),
+            bug,
+            cfg: config.clone(),
+            current: ThreadId::MAIN,
+            stats: SchemeStats::default(),
+            breakdown: CostBreakdown::default(),
+        }
+    }
+
+    /// The materialized PKRU register (model-checker inspection).
+    #[must_use]
+    pub fn pkru(&self) -> Pkru {
+        self.pkru
+    }
+
+    /// The key allocator (model-checker inspection).
+    #[must_use]
+    pub fn key_allocator(&self) -> &KeyAllocator {
+        &self.keys
+    }
+
+    /// The monitor's session table (model-checker inspection).
+    #[must_use]
+    pub fn sessions(&self) -> &BTreeMap<(ThreadId, PmoId), Perm> {
+        &self.sessions
+    }
+
+    /// The MMU (TLB hierarchy + regions; model-checker inspection).
+    #[must_use]
+    pub fn mmu(&self) -> &MmuBase<PkPayload> {
+        &self.mmu
+    }
+
+    /// The session permission `thread` holds for `pmo`.
+    fn session_perm(&self, thread: ThreadId, pmo: PmoId) -> Perm {
+        self.sessions.get(&(thread, pmo)).copied().unwrap_or(Perm::None)
+    }
+
+    /// Reconstructs the PKRU for the current thread from the key
+    /// assignments and the monitor's session table (the switch-time
+    /// restore the monitor performs before resuming untrusted code).
+    fn rebuild_pkru(&self) -> Pkru {
+        let mut pkru = Pkru::ALL_DENIED;
+        for (key, pmo) in self.keys.assignments() {
+            pkru = pkru.with_perm(key, self.session_perm(self.current, pmo));
+        }
+        pkru
+    }
+
+    /// Resolves the protection key backing `pmo` on a TLB miss. Unlike
+    /// MPK virtualization there is no hardware DTT: a domain without a
+    /// key goes through the monitor's software remap (`pkey_mprotect` of
+    /// the whole pool plus a ranged shootdown of the victim).
+    fn resolve_key(&mut self, region: &Region, cycles: &mut u64) -> u8 {
+        if let Some(key) = self.keys.key_of(region.pmo) {
+            self.keys.touch(key);
+            return key;
+        }
+        let key = match self.keys.alloc(region.pmo) {
+            Some(key) => key,
+            None => {
+                let (key, victim) = self.keys.evict_and_assign(region.pmo);
+                self.stats.key_evictions += 1;
+                if let Some(victim_region) = self.mmu.region_of(victim) {
+                    let removed = self.mmu.shootdown(&victim_region);
+                    self.stats.tlb_entries_invalidated += removed;
+                    let refills = removed * self.cfg.tlb_miss_penalty;
+                    *cycles += refills;
+                    self.breakdown.tlb_invalidation += refills;
+                }
+                self.pending.push(TraceEvent::Shootdown { pmo: victim });
+                let shoot = self.cfg.tlb_invalidation_cycles * u64::from(self.cfg.threads);
+                *cycles += shoot;
+                self.stats.shootdowns += 1;
+                self.breakdown.tlb_invalidation += shoot;
+                self.pkru = self.pkru.with_perm(key, Perm::None);
+                key
+            }
+        };
+        // The monitor retags the pool's PTEs with the (re)assigned key.
+        let remap = self.cfg.syscall_cycles + self.cfg.pte_write_cycles * region.pool_pages();
+        *cycles += remap;
+        self.breakdown.software += remap;
+        self.pkru = self.pkru.with_perm(key, self.session_perm(self.current, region.pmo));
+        key
+    }
+}
+
+impl ProtectionScheme for Erim {
+    fn name(&self) -> &'static str {
+        "ERIM call gates over raw MPK"
+    }
+
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Erim
+    }
+
+    fn attach(&mut self, pmo: PmoId, base: Va, size: u64, nvm: bool) -> u64 {
+        let granule = granule_covering(base, size);
+        let removed = self.mmu.attach_region(Region { pmo, base, granule, pool_size: size, nvm });
+        self.stats.tlb_entries_invalidated += removed;
+        // A fresh attach starts every thread's session at no access.
+        self.sessions.retain(|&(_, p), _| p != pmo);
+        let cycles = self.cfg.attach_kernel_cycles + self.cfg.syscall_cycles;
+        self.breakdown.software += cycles;
+        cycles
+    }
+
+    fn detach(&mut self, pmo: PmoId) -> u64 {
+        if let Some((_, removed)) = self.mmu.detach_region(pmo) {
+            self.stats.tlb_entries_invalidated += removed;
+        }
+        self.sessions.retain(|&(_, p), _| p != pmo);
+        if let Some(key) = self.keys.free(pmo) {
+            self.pkru = self.pkru.with_perm(key, Perm::None);
+        }
+        let cycles = self.cfg.attach_kernel_cycles + self.cfg.syscall_cycles;
+        self.breakdown.software += cycles;
+        cycles
+    }
+
+    fn set_perm(&mut self, pmo: PmoId, perm: Perm) -> u64 {
+        self.stats.set_perms += 1;
+        // The call gate: WRPKRU plus the trampoline around it.
+        let cycles = self.cfg.wrpkru_cycles + self.cfg.erim_gate_cycles;
+        self.breakdown.permission_change += self.cfg.wrpkru_cycles;
+        self.breakdown.software += self.cfg.erim_gate_cycles;
+        if self.mmu.region_of(pmo).is_none() {
+            // SETPERM on a detached domain is a no-op: the monitor has no
+            // session row to update, and recording one would outlive a
+            // later re-attach.
+            return cycles;
+        }
+        let prev = self.session_perm(self.current, pmo);
+        if perm == Perm::None {
+            self.sessions.remove(&(self.current, pmo));
+        } else {
+            self.sessions.insert((self.current, pmo), perm);
+        }
+        if let Some(key) = self.keys.key_of(pmo) {
+            self.keys.touch(key);
+            let held = self.pkru.perm(key);
+            let downgrade = (held.allows_read() && !perm.allows_read())
+                || (held.allows_write() && !perm.allows_write());
+            if self.bug == Some(ProtocolBug::SkipGateExitKeyRestore) && downgrade {
+                // Planted bug: the gate-exit trampoline forgets the
+                // WRPKRU restore when the session drops privilege — the
+                // thread keeps the monitor-only PKRU value.
+            } else {
+                self.pkru = self.pkru.with_perm(key, perm);
+            }
+        }
+        if prev.allows_write() && !perm.allows_write() {
+            // Write-revoking gate exit: the settle event the analyzer's
+            // permission-switch gate (`GatePass`) waits for.
+            self.pending.push(TraceEvent::Shootdown { pmo });
+        }
+        cycles
+    }
+
+    fn access(&mut self, va: Va, kind: AccessKind) -> AccessResult {
+        let (payload, _, mut cycles) = self.mmu.tlb.lookup(vpn(va));
+        let payload = match payload {
+            Some(p) => p,
+            None => {
+                let region = self.mmu.region_at(va);
+                match self.mmu.walk_or_map(va, |_| 0) {
+                    Ok((pte, _)) => {
+                        let pkey = match region {
+                            Some(r) => self.resolve_key(&r, &mut cycles),
+                            None => 0,
+                        };
+                        let p = PkPayload { pkey, page_perm: pte.perm, mem: pte.mem };
+                        self.mmu.tlb.fill(vpn(va), p);
+                        p
+                    }
+                    Err(fault) => {
+                        self.stats.faults += 1;
+                        return AccessResult { cycles, mem: MemKind::Dram, fault: Some(fault) };
+                    }
+                }
+            }
+        };
+        // The hardware check reads the PKRU, exactly as under stock MPK.
+        let domain_perm =
+            if payload.pkey == 0 { Perm::ReadWrite } else { self.pkru.perm(payload.pkey) };
+        let effective = domain_perm.meet(payload.page_perm);
+        let fault = if effective.allows(kind) {
+            None
+        } else {
+            self.stats.faults += 1;
+            Some(ProtectionFault::DomainDenied {
+                thread: self.current,
+                pmo: self.keys.owner(payload.pkey).unwrap_or(PmoId::NULL),
+                attempted: kind,
+                held: domain_perm,
+                va,
+            })
+        };
+        AccessResult { cycles, mem: payload.mem, fault }
+    }
+
+    fn context_switch(&mut self, to: ThreadId) -> u64 {
+        // The monitor restores the incoming thread's PKRU from its
+        // session table (gate-mediated WRPKRU).
+        let cycles = self.cfg.wrpkru_cycles + self.cfg.erim_gate_cycles;
+        self.breakdown.software += cycles;
+        self.current = to;
+        self.pkru = self.rebuild_pkru();
+        self.stats.context_switches += 1;
+        cycles
+    }
+
+    fn current_thread(&self) -> ThreadId {
+        self.current
+    }
+
+    fn breakdown(&self) -> CostBreakdown {
+        self.breakdown
+    }
+
+    fn stats(&self) -> SchemeStats {
+        self.stats
+    }
+
+    fn tlb_stats(&self) -> TlbStats {
+        *self.mmu.tlb.stats()
+    }
+
+    fn drain_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.pending)
+    }
+
+    fn fast_hint(&self, va: Va) -> Option<FastHint> {
+        let payload = self.mmu.tlb.probe_l1(vpn(va))?;
+        let domain_perm =
+            if payload.pkey == 0 { Perm::ReadWrite } else { self.pkru.perm(payload.pkey) };
+        Some(FastHint {
+            cycles: self.mmu.tlb.l1_latency(),
+            mem: payload.mem,
+            effective: domain_perm.meet(payload.page_perm),
+            access_latency: 0,
+            thread: self.current,
+            held: domain_perm,
+            fault_pmo: Some(self.keys.owner(payload.pkey).unwrap_or(PmoId::NULL)),
+        })
+    }
+
+    fn note_fast_hits(&mut self, _hint: &FastHint, hits: u64, denied: u64) {
+        self.mmu.tlb.note_l1_hits(hits);
+        self.stats.faults += denied;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB1: u64 = 1 << 30;
+
+    fn scheme_with(n: u32) -> Erim {
+        let mut s = Erim::new(&SimConfig::isca2020());
+        for i in 1..=n {
+            s.attach(PmoId::new(i), u64::from(i) * GB1, 8 << 20, true);
+        }
+        s
+    }
+
+    #[test]
+    fn enforces_domain_permissions() {
+        let mut s = scheme_with(2);
+        assert!(!s.access(GB1, AccessKind::Read).allowed());
+        s.set_perm(PmoId::new(1), Perm::ReadOnly);
+        assert!(s.access(GB1, AccessKind::Read).allowed());
+        assert!(!s.access(GB1, AccessKind::Write).allowed());
+        assert!(!s.access(2 * GB1, AccessKind::Read).allowed(), "other domain untouched");
+    }
+
+    #[test]
+    fn gate_adds_trampoline_cost_to_setperm() {
+        let mut s = scheme_with(1);
+        let cfg = SimConfig::isca2020();
+        let cycles = s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        assert_eq!(cycles, cfg.wrpkru_cycles + cfg.erim_gate_cycles);
+    }
+
+    #[test]
+    fn key_pressure_goes_through_software_remap() {
+        let mut s = scheme_with(16);
+        for i in 1..=16u64 {
+            s.set_perm(PmoId::new(i as u32), Perm::ReadWrite);
+            assert!(s.access(i * GB1 + i * 4096, AccessKind::Write).allowed());
+        }
+        assert_eq!(s.stats().key_evictions, 1, "16th domain steals a key");
+        assert_eq!(s.stats().shootdowns, 1);
+        // The monitor's remap is a syscall plus a per-PTE rewrite of the
+        // 8MB pool — the cliff stock hardware virtualization avoids.
+        assert!(s.breakdown().software >= SimConfig::isca2020().syscall_cycles);
+    }
+
+    #[test]
+    fn victim_remains_logically_protected_and_reaccessible() {
+        let mut s = scheme_with(16);
+        for i in 1..=16u32 {
+            s.set_perm(PmoId::new(i), Perm::ReadWrite);
+            assert!(s.access(u64::from(i) * GB1, AccessKind::Write).allowed());
+        }
+        for i in 1..=16u32 {
+            assert!(s.access(u64::from(i) * GB1 + 64, AccessKind::Write).allowed());
+        }
+        s.set_perm(PmoId::new(5), Perm::None);
+        assert!(!s.access(5 * GB1, AccessKind::Write).allowed());
+    }
+
+    #[test]
+    fn context_switch_restores_per_thread_sessions() {
+        let mut s = scheme_with(2);
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        assert!(s.access(GB1, AccessKind::Write).allowed());
+        s.context_switch(ThreadId::new(7));
+        assert!(!s.access(GB1, AccessKind::Write).allowed(), "new thread has no session");
+        s.set_perm(PmoId::new(1), Perm::ReadOnly);
+        assert!(s.access(GB1, AccessKind::Read).allowed());
+        s.context_switch(ThreadId::MAIN);
+        assert!(s.access(GB1, AccessKind::Write).allowed(), "main thread's session intact");
+        assert_eq!(s.stats().context_switches, 2);
+    }
+
+    #[test]
+    fn write_revoking_gate_exit_emits_settle_event() {
+        let mut s = scheme_with(1);
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        assert!(s.drain_events().is_empty(), "grants do not settle");
+        s.set_perm(PmoId::new(1), Perm::ReadOnly);
+        let events = s.drain_events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], TraceEvent::Shootdown { pmo } if pmo == PmoId::new(1)));
+    }
+
+    #[test]
+    fn setperm_on_detached_domain_is_a_noop() {
+        let mut s = scheme_with(1);
+        s.detach(PmoId::new(1));
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        s.attach(PmoId::new(1), GB1, 8 << 20, true);
+        assert!(
+            !s.access(GB1, AccessKind::Read).allowed(),
+            "re-attached domain must start inaccessible"
+        );
+    }
+
+    #[test]
+    fn planted_gate_exit_bug_leaves_stale_pkru_grant() {
+        let mut s =
+            Erim::with_bug(&SimConfig::isca2020(), Some(ProtocolBug::SkipGateExitKeyRestore));
+        s.attach(PmoId::new(1), GB1, 8 << 20, true);
+        s.set_perm(PmoId::new(1), Perm::ReadWrite);
+        assert!(s.access(GB1, AccessKind::Write).allowed());
+        s.set_perm(PmoId::new(1), Perm::None);
+        assert!(
+            s.access(GB1, AccessKind::Write).allowed(),
+            "bug: the revoked grant must remain live in the stale PKRU"
+        );
+        let clean = {
+            let mut c = scheme_with(1);
+            c.set_perm(PmoId::new(1), Perm::ReadWrite);
+            c.access(GB1, AccessKind::Write);
+            c.set_perm(PmoId::new(1), Perm::None);
+            c.access(GB1, AccessKind::Write).allowed()
+        };
+        assert!(!clean, "without the bug the revoke takes effect");
+    }
+}

@@ -8,12 +8,16 @@
 //! | [`LibMpk`] | software MPK virtualization (Park et al., ATC'19) |
 //! | [`MpkVirt`] | **design 1**: hardware MPK virtualization (DTT+DTTLB) |
 //! | [`DomainVirt`] | **design 2**: hardware domain virtualization (DRT+PT+PTLB) |
+//! | [`Erim`] | ERIM call gates over raw MPK (Vahldiek-Oberwagner et al.) |
+//! | [`Dpti`] | domain page-table isolation, zero keys (Canella et al.) |
 //!
 //! Every scheme is *functional* (it actually tracks per-thread domain
 //! permissions and detects violations) and *timed* (it charges the Table II
 //! cycle costs and attributes them to [`CostBreakdown`] buckets).
 
 mod domain_virt;
+mod dpti;
+mod erim;
 mod libmpk;
 mod lowerbound;
 mod mpk;
@@ -21,6 +25,8 @@ mod mpk_virt;
 mod unprotected;
 
 pub use domain_virt::DomainVirt;
+pub use dpti::Dpti;
+pub use erim::Erim;
 pub use libmpk::LibMpk;
 pub use lowerbound::Lowerbound;
 pub use mpk::DefaultMpk;
@@ -218,15 +224,24 @@ pub enum ProtocolBug {
     /// Domain-virt: skip the PTLB flush on a context switch (the incoming
     /// thread inherits the outgoing thread's cached permissions).
     SkipPtlbFlushOnSwitch,
+    /// ERIM: the call-gate exit trampoline skips the WRPKRU restore after
+    /// a privilege-dropping SETPERM (the thread keeps the monitor's more
+    /// permissive PKRU value past the gate).
+    SkipGateExitKeyRestore,
+    /// DPTI: the kernel skips the CR3 reload on a context switch (the
+    /// incoming thread runs on the outgoing thread's page tables).
+    StaleCr3OnSwitch,
 }
 
 impl ProtocolBug {
     /// Every plantable bug class.
-    pub const ALL: [ProtocolBug; 4] = [
+    pub const ALL: [ProtocolBug; 6] = [
         ProtocolBug::SkipEvictionShootdown,
         ProtocolBug::SkipPkruUpdateOnSetPerm,
         ProtocolBug::SkipPtlbInvalidateOnDetach,
         ProtocolBug::SkipPtlbFlushOnSwitch,
+        ProtocolBug::SkipGateExitKeyRestore,
+        ProtocolBug::StaleCr3OnSwitch,
     ];
 
     /// Short label.
@@ -237,6 +252,8 @@ impl ProtocolBug {
             ProtocolBug::SkipPkruUpdateOnSetPerm => "skip-pkru-update-on-setperm",
             ProtocolBug::SkipPtlbInvalidateOnDetach => "skip-ptlb-invalidate-on-detach",
             ProtocolBug::SkipPtlbFlushOnSwitch => "skip-ptlb-flush-on-switch",
+            ProtocolBug::SkipGateExitKeyRestore => "skip-gate-exit-key-restore",
+            ProtocolBug::StaleCr3OnSwitch => "stale-cr3-on-switch",
         }
     }
 }
@@ -262,17 +279,24 @@ pub enum SchemeKind {
     MpkVirt,
     /// Hardware domain virtualization (design 2).
     DomainVirt,
+    /// ERIM call gates over raw MPK.
+    Erim,
+    /// Domain page-table isolation (zero keys).
+    Dpti,
 }
 
 impl SchemeKind {
-    /// All schemes, in the order the paper discusses them.
-    pub const ALL: [SchemeKind; 6] = [
+    /// All schemes: the paper's six in the order it discusses them, then
+    /// the related-work designs the comparison matrix grew to cover.
+    pub const ALL: [SchemeKind; 8] = [
         SchemeKind::Unprotected,
         SchemeKind::Lowerbound,
         SchemeKind::DefaultMpk,
         SchemeKind::LibMpk,
         SchemeKind::MpkVirt,
         SchemeKind::DomainVirt,
+        SchemeKind::Erim,
+        SchemeKind::Dpti,
     ];
 
     /// Constructs the scheme.
@@ -285,6 +309,8 @@ impl SchemeKind {
             SchemeKind::LibMpk => Box::new(LibMpk::new(config)),
             SchemeKind::MpkVirt => Box::new(MpkVirt::new(config)),
             SchemeKind::DomainVirt => Box::new(DomainVirt::new(config)),
+            SchemeKind::Erim => Box::new(Erim::new(config)),
+            SchemeKind::Dpti => Box::new(Dpti::new(config)),
         }
     }
 
@@ -299,6 +325,8 @@ impl SchemeKind {
             SchemeKind::LibMpk => AnyScheme::LibMpk(LibMpk::new(config)),
             SchemeKind::MpkVirt => AnyScheme::MpkVirt(MpkVirt::new(config)),
             SchemeKind::DomainVirt => AnyScheme::DomainVirt(DomainVirt::new(config)),
+            SchemeKind::Erim => AnyScheme::Erim(Erim::new(config)),
+            SchemeKind::Dpti => AnyScheme::Dpti(Dpti::new(config)),
         }
     }
 
@@ -312,6 +340,8 @@ impl SchemeKind {
             SchemeKind::LibMpk => "libmpk",
             SchemeKind::MpkVirt => "mpk-virt",
             SchemeKind::DomainVirt => "domain-virt",
+            SchemeKind::Erim => "erim",
+            SchemeKind::Dpti => "dpti",
         }
     }
 }
@@ -341,6 +371,10 @@ pub enum AnyScheme {
     MpkVirt(MpkVirt),
     /// Hardware domain virtualization (design 2).
     DomainVirt(DomainVirt),
+    /// ERIM call gates over raw MPK.
+    Erim(Erim),
+    /// Domain page-table isolation.
+    Dpti(Dpti),
 }
 
 macro_rules! dispatch {
@@ -352,6 +386,8 @@ macro_rules! dispatch {
             AnyScheme::LibMpk($s) => $body,
             AnyScheme::MpkVirt($s) => $body,
             AnyScheme::DomainVirt($s) => $body,
+            AnyScheme::Erim($s) => $body,
+            AnyScheme::Dpti($s) => $body,
         }
     };
 }
@@ -428,6 +464,8 @@ mod tests {
         assert_send::<LibMpk>();
         assert_send::<MpkVirt>();
         assert_send::<DomainVirt>();
+        assert_send::<Erim>();
+        assert_send::<Dpti>();
     }
 
     #[test]

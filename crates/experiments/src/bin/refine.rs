@@ -3,9 +3,11 @@
 //! of bounded small worlds, under every DPOR-distinct schedule, plus a
 //! perturb-and-compare noninterference pass per schedule.
 //!
-//! Default run verifies the quick worlds exhaustively; `--full` adds the
-//! larger paper-scale worlds. `--seeded` re-validates the four plantable
-//! protocol bugs: each must surface as a refinement failure with a
+//! Default run verifies the quick worlds exhaustively and prints a loud
+//! `SKIPPED (scale cap)` row — with the closed-form count of unverified
+//! canonical programs — for each paper-scale world it leaves out;
+//! `--full` adds those worlds. `--seeded` re-validates every plantable
+//! protocol bug: each must surface as a refinement failure with a
 //! deterministic witness, re-confirmed by replay.
 //!
 //! A single counterexample replays from its printed repro id:

@@ -1,5 +1,5 @@
 //! Figure 6: execution-time overhead over the lowerbound as the number of
-//! PMOs varies, for libmpk and the two hardware designs.
+//! PMOs varies, for libmpk, ERIM, DPTI and the two hardware designs.
 
 use std::fmt;
 
@@ -19,6 +19,11 @@ pub struct Fig6Point {
     pub pmos: u32,
     /// libmpk overhead over lowerbound, percent.
     pub libmpk_pct: f64,
+    /// ERIM call-gate overhead over lowerbound, percent (software key
+    /// multiplexing degrades past 15 domains).
+    pub erim_pct: f64,
+    /// DPTI overhead over lowerbound, percent (keyless, pays per-switch).
+    pub dpti_pct: f64,
     /// Hardware MPK-virtualization overhead, percent.
     pub mpk_virt_pct: f64,
     /// Hardware domain-virtualization overhead, percent.
@@ -42,13 +47,19 @@ pub struct Fig6 {
 }
 
 /// Runs the Figure 6 sweep. Every (benchmark, PMO-count) cell is an
-/// independent 4-scheme replay, fanned across `opts.jobs` workers and
+/// independent 6-scheme replay, fanned across `opts.jobs` workers and
 /// reassembled in canonical benchmark/sweep order — the result is
 /// byte-identical at any job count.
 #[must_use]
 pub fn fig6(scale: Scale, sim: &SimConfig, opts: RunOptions) -> Fig6 {
-    let kinds =
-        [SchemeKind::Lowerbound, SchemeKind::LibMpk, SchemeKind::MpkVirt, SchemeKind::DomainVirt];
+    let kinds = [
+        SchemeKind::Lowerbound,
+        SchemeKind::LibMpk,
+        SchemeKind::Erim,
+        SchemeKind::Dpti,
+        SchemeKind::MpkVirt,
+        SchemeKind::DomainVirt,
+    ];
     let sweep = scale.pmo_sweep();
     let cells: Vec<(MicroBench, u32)> = MicroBench::ALL
         .into_iter()
@@ -63,6 +74,8 @@ pub fn fig6(scale: Scale, sim: &SimConfig, opts: RunOptions) -> Fig6 {
         Fig6Point {
             pmos,
             libmpk_pct: report_for(&reports, SchemeKind::LibMpk).overhead_pct_over(lb),
+            erim_pct: report_for(&reports, SchemeKind::Erim).overhead_pct_over(lb),
+            dpti_pct: report_for(&reports, SchemeKind::Dpti).overhead_pct_over(lb),
             mpk_virt_pct: report_for(&reports, SchemeKind::MpkVirt).overhead_pct_over(lb),
             domain_virt_pct: report_for(&reports, SchemeKind::DomainVirt).overhead_pct_over(lb),
         }
@@ -76,17 +89,24 @@ pub fn fig6(scale: Scale, sim: &SimConfig, opts: RunOptions) -> Fig6 {
 }
 
 impl Fig6 {
-    /// Renders the sweep as CSV (`bench,pmos,libmpk_pct,mpk_virt_pct,
-    /// domain_virt_pct`), one row per benchmark x sweep point — ready for
-    /// external plotting of the paper's Figure 6.
+    /// Renders the sweep as CSV (`bench,pmos,libmpk_pct,erim_pct,
+    /// dpti_pct,mpk_virt_pct,domain_virt_pct`), one row per benchmark x
+    /// sweep point — ready for external plotting of the paper's Figure 6.
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("bench,pmos,libmpk_pct,mpk_virt_pct,domain_virt_pct\n");
+        let mut out =
+            String::from("bench,pmos,libmpk_pct,erim_pct,dpti_pct,mpk_virt_pct,domain_virt_pct\n");
         for s in &self.series {
             for p in &s.points {
                 out.push_str(&format!(
-                    "{},{},{:.4},{:.4},{:.4}\n",
-                    s.bench, p.pmos, p.libmpk_pct, p.mpk_virt_pct, p.domain_virt_pct
+                    "{},{},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+                    s.bench,
+                    p.pmos,
+                    p.libmpk_pct,
+                    p.erim_pct,
+                    p.dpti_pct,
+                    p.mpk_virt_pct,
+                    p.domain_virt_pct
                 ));
             }
         }
@@ -116,9 +136,13 @@ impl fmt::Display for Fig6 {
                 &[
                     "PMOs",
                     "libmpk %",
+                    "erim %",
+                    "dpti %",
                     "mpk-virt %",
                     "domain-virt %",
                     "log2(libmpk)",
+                    "log2(erim)",
+                    "log2(dpti)",
                     "log2(mpk-virt)",
                     "log2(domain-virt)",
                 ],
@@ -127,9 +151,13 @@ impl fmt::Display for Fig6 {
                 t.row(vec![
                     p.pmos.to_string(),
                     f(p.libmpk_pct, 1),
+                    f(p.erim_pct, 1),
+                    f(p.dpti_pct, 1),
                     f(p.mpk_virt_pct, 1),
                     f(p.domain_virt_pct, 1),
                     log2_or_dash(p.libmpk_pct),
+                    log2_or_dash(p.erim_pct),
+                    log2_or_dash(p.dpti_pct),
                     log2_or_dash(p.mpk_virt_pct),
                     log2_or_dash(p.domain_virt_pct),
                 ]);

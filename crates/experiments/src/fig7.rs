@@ -13,6 +13,10 @@ pub struct Fig7Point {
     pub pmos: u32,
     /// Mean libmpk overhead over lowerbound, percent.
     pub libmpk_pct: f64,
+    /// Mean ERIM call-gate overhead, percent.
+    pub erim_pct: f64,
+    /// Mean DPTI overhead, percent.
+    pub dpti_pct: f64,
     /// Mean hardware MPK-virtualization overhead, percent.
     pub mpk_virt_pct: f64,
     /// Mean hardware domain-virtualization overhead, percent.
@@ -42,6 +46,28 @@ impl Fig7Point {
             self.libmpk_pct / self.domain_virt_pct
         }
     }
+
+    /// Overhead-reduction factor of domain virtualization vs ERIM — the
+    /// ROADMAP-item-2 question of where hardware virtualization stops
+    /// winning against the strongest software scheme.
+    #[must_use]
+    pub fn domain_virt_vs_erim(&self) -> f64 {
+        if self.domain_virt_pct <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.erim_pct / self.domain_virt_pct
+        }
+    }
+
+    /// Overhead-reduction factor of domain virtualization vs DPTI.
+    #[must_use]
+    pub fn domain_virt_vs_dpti(&self) -> f64 {
+        if self.domain_virt_pct <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.dpti_pct / self.domain_virt_pct
+        }
+    }
 }
 
 /// The full Figure 7 result.
@@ -65,6 +91,8 @@ pub fn fig7(fig6: &Fig6) -> Fig7 {
         points.push(Fig7Point {
             pmos,
             libmpk_pct: mean(&|p| p.libmpk_pct),
+            erim_pct: mean(&|p| p.erim_pct),
+            dpti_pct: mean(&|p| p.dpti_pct),
             mpk_virt_pct: mean(&|p| p.mpk_virt_pct),
             domain_virt_pct: mean(&|p| p.domain_virt_pct),
         });
@@ -73,22 +101,28 @@ pub fn fig7(fig6: &Fig6) -> Fig7 {
 }
 
 impl Fig7 {
-    /// Renders the averaged sweep as CSV (`pmos,libmpk_pct,mpk_virt_pct,
-    /// domain_virt_pct,mpk_virt_speedup,domain_virt_speedup`).
+    /// Renders the averaged sweep as CSV (`pmos,libmpk_pct,erim_pct,
+    /// dpti_pct,mpk_virt_pct,domain_virt_pct,mpk_virt_speedup,
+    /// domain_virt_speedup,domain_virt_vs_erim,domain_virt_vs_dpti`).
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "pmos,libmpk_pct,mpk_virt_pct,domain_virt_pct,mpk_virt_speedup,domain_virt_speedup\n",
+            "pmos,libmpk_pct,erim_pct,dpti_pct,mpk_virt_pct,domain_virt_pct,\
+             mpk_virt_speedup,domain_virt_speedup,domain_virt_vs_erim,domain_virt_vs_dpti\n",
         );
         for p in &self.points {
             out.push_str(&format!(
-                "{},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+                "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
                 p.pmos,
                 p.libmpk_pct,
+                p.erim_pct,
+                p.dpti_pct,
                 p.mpk_virt_pct,
                 p.domain_virt_pct,
                 p.mpk_virt_speedup(),
-                p.domain_virt_speedup()
+                p.domain_virt_speedup(),
+                p.domain_virt_vs_erim(),
+                p.domain_virt_vs_dpti()
             ));
         }
         out
@@ -104,25 +138,33 @@ impl Fig7 {
 impl fmt::Display for Fig7 {
     fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut t = TextTable::new(
-            "Figure 7: overhead comparison to libmpk and lowerbound (mean of the five \
-             microbenchmarks; speedup = overhead reduction vs libmpk)",
+            "Figure 7: overhead comparison to libmpk, ERIM, DPTI and lowerbound (mean \
+             of the five microbenchmarks; speedup = overhead reduction vs libmpk)",
             &[
                 "PMOs",
                 "libmpk %",
+                "erim %",
+                "dpti %",
                 "mpk-virt %",
                 "domain-virt %",
                 "mpk-virt speedup",
                 "domain-virt speedup",
+                "dv vs erim",
+                "dv vs dpti",
             ],
         );
         for p in &self.points {
             t.row(vec![
                 p.pmos.to_string(),
                 f(p.libmpk_pct, 1),
+                f(p.erim_pct, 1),
+                f(p.dpti_pct, 1),
                 f(p.mpk_virt_pct, 1),
                 f(p.domain_virt_pct, 1),
                 format!("{}x", f(p.mpk_virt_speedup(), 1)),
                 format!("{}x", f(p.domain_virt_speedup(), 1)),
+                format!("{}x", f(p.domain_virt_vs_erim(), 1)),
+                format!("{}x", f(p.domain_virt_vs_dpti(), 1)),
             ]);
         }
         write!(out, "{t}")?;

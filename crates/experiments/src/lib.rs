@@ -59,33 +59,40 @@ mod tests {
     #[test]
     fn fig7_averages_fig6() {
         use fig6::{Fig6, Fig6Point, Fig6Series};
-        let mk = |a: f64, b: f64, c: f64| Fig6Point {
+        let mk = |a: f64, e: f64, d: f64, b: f64, c: f64| Fig6Point {
             pmos: 64,
             libmpk_pct: a,
+            erim_pct: e,
+            dpti_pct: d,
             mpk_virt_pct: b,
             domain_virt_pct: c,
         };
         let f6 = Fig6 {
             series: vec![
-                Fig6Series { bench: "A", points: vec![mk(100.0, 10.0, 5.0)] },
-                Fig6Series { bench: "B", points: vec![mk(300.0, 30.0, 15.0)] },
+                Fig6Series { bench: "A", points: vec![mk(100.0, 40.0, 20.0, 10.0, 5.0)] },
+                Fig6Series { bench: "B", points: vec![mk(300.0, 120.0, 60.0, 30.0, 15.0)] },
             ],
         };
         let f7 = fig7::fig7(&f6);
         let p = f7.at(64).unwrap();
         assert!((p.libmpk_pct - 200.0).abs() < 1e-9);
+        assert!((p.erim_pct - 80.0).abs() < 1e-9);
+        assert!((p.dpti_pct - 40.0).abs() < 1e-9);
         assert!((p.mpk_virt_pct - 20.0).abs() < 1e-9);
         assert!((p.mpk_virt_speedup() - 10.0).abs() < 1e-9);
         assert!((p.domain_virt_speedup() - 20.0).abs() < 1e-9);
+        assert!((p.domain_virt_vs_erim() - 8.0).abs() < 1e-9);
+        assert!((p.domain_virt_vs_dpti() - 4.0).abs() < 1e-9);
         assert!(!format!("{f7}").is_empty());
 
         // CSV exports carry every point with headers.
         let csv6 = f6.to_csv();
         assert!(csv6.starts_with("bench,pmos,"));
         assert_eq!(csv6.lines().count(), 1 + 2);
-        assert!(csv6.contains("A,64,100.0000,10.0000,5.0000"));
+        assert!(csv6.contains("A,64,100.0000,40.0000,20.0000,10.0000,5.0000"));
         let csv7 = f7.to_csv();
         assert!(csv7.starts_with("pmos,"));
-        assert!(csv7.contains("64,200.0000,20.0000,10.0000,10.0000,20.0000"));
+        assert!(csv7
+            .contains("64,200.0000,80.0000,40.0000,20.0000,10.0000,10.0000,20.0000,8.0000,4.0000"));
     }
 }

@@ -22,10 +22,16 @@
 //! The per-world canonical program count is cross-checked against the
 //! Burnside closed form: a mismatch means the enumerator dropped or
 //! duplicated an equivalence class and fails the campaign. `--seeded`
-//! re-validates the four plantable [`ProtocolBug`]s: each must surface as
+//! re-validates every plantable [`ProtocolBug`]: each must surface as
 //! a refinement failure on some enumerated program, with the witness
 //! schedule re-verified by replay. Reports are byte-identical at any
 //! `--jobs` count.
+//!
+//! Scale caps are never silent: worlds excluded by the selected
+//! [`Scale`] appear in the report (text and JSON) as explicit
+//! `SKIPPED` rows carrying the closed-form count of canonical programs
+//! that were *not* verified, so a quick run can't be mistaken for
+//! paper-scale coverage.
 
 use std::fmt;
 
@@ -70,6 +76,10 @@ impl RefineWorld {
 pub struct RefineConfig {
     /// Worlds enumerated, in report order.
     pub worlds: Vec<RefineWorld>,
+    /// Worlds the selected [`Scale`] excludes (the paper-scale worlds
+    /// under `quick`). Never silently dropped: the report carries one
+    /// loud row per skipped world with its unverified program count.
+    pub skipped: Vec<RefineWorld>,
     /// Per-program exploration bounds.
     pub limits: ExploreLimits,
     /// Distinct violations kept per world; the excess is counted in
@@ -105,23 +115,35 @@ impl RefineConfig {
                 ptlb: 2,
             },
         ];
-        if scale == Scale::Paper {
-            worlds.push(RefineWorld {
+        let paper_worlds = vec![
+            RefineWorld {
                 name: "w3",
                 bounds: WorldBounds { ops: 4, threads: 3, domains: 2 },
                 pkeys: 2,
                 dttlb: 2,
                 ptlb: 2,
-            });
-            worlds.push(RefineWorld {
+            },
+            RefineWorld {
                 name: "w4",
                 bounds: WorldBounds { ops: 5, threads: 2, domains: 2 },
                 pkeys: 3,
                 dttlb: 2,
                 ptlb: 2,
-            });
+            },
+        ];
+        let skipped = if scale == Scale::Paper {
+            worlds.extend(paper_worlds);
+            Vec::new()
+        } else {
+            paper_worlds
+        };
+        RefineConfig {
+            worlds,
+            skipped,
+            limits: ExploreLimits::default(),
+            max_violations: 20,
+            chunk: 512,
         }
-        RefineConfig { worlds, limits: ExploreLimits::default(), max_violations: 20, chunk: 512 }
     }
 
     /// The world named `name`, if configured.
@@ -194,6 +216,48 @@ impl WorldOutcome {
     }
 }
 
+/// One world excluded by the selected scale: everything needed to say
+/// loudly how much verification did *not* happen.
+#[derive(Clone, Debug)]
+pub struct SkippedWorld {
+    /// World name.
+    pub world: String,
+    /// Enumeration bounds it would have run at.
+    pub bounds: WorldBounds,
+    /// Raw (pre-reduction) program count, closed form.
+    pub raw: u128,
+    /// Burnside orbit count: canonical programs left unverified.
+    pub unverified: u128,
+}
+
+impl SkippedWorld {
+    /// Builds the row from a configured-but-excluded world.
+    #[must_use]
+    pub fn from_world(world: &RefineWorld) -> Self {
+        SkippedWorld {
+            world: world.name.to_string(),
+            bounds: world.bounds,
+            raw: enumerate::raw_count(&world.bounds),
+            unverified: enumerate::orbit_count(&world.bounds),
+        }
+    }
+
+    /// JSON object (stable field names).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"world\":{},\"ops\":{},\"threads\":{},\"domains\":{},\"raw\":{},\
+             \"unverified\":{}}}",
+            json_string(&self.world),
+            self.bounds.ops,
+            self.bounds.threads,
+            self.bounds.domains,
+            self.raw,
+            self.unverified,
+        )
+    }
+}
+
 /// One seeded-bug validation row: the bug, the first enumerated program
 /// that exposes it, and the replay verdict.
 #[derive(Clone, Debug)]
@@ -242,6 +306,9 @@ impl SeededOutcome {
 pub struct RefineReport {
     /// Per-world outcomes, in configuration order.
     pub worlds: Vec<WorldOutcome>,
+    /// Worlds excluded by the selected scale, each with its unverified
+    /// program count.
+    pub skipped: Vec<SkippedWorld>,
     /// Seeded-bug validation rows (`--seeded` only).
     pub seeded: Vec<SeededOutcome>,
     /// Wall time, stamped by the binary after the deterministic core
@@ -269,18 +336,28 @@ impl RefineReport {
         self.worlds.iter().map(|w| w.canonical).sum()
     }
 
+    /// Total canonical programs left unverified by scale caps.
+    #[must_use]
+    pub fn total_unverified(&self) -> u128 {
+        self.skipped.iter().map(|s| s.unverified).sum()
+    }
+
     /// JSON document (stable field names; `wall_nanos` is the only
     /// nondeterministic field).
     #[must_use]
     pub fn to_json(&self) -> String {
         let worlds = self.worlds.iter().map(WorldOutcome::to_json).collect::<Vec<_>>().join(",");
+        let skipped = self.skipped.iter().map(SkippedWorld::to_json).collect::<Vec<_>>().join(",");
         let seeded = self.seeded.iter().map(SeededOutcome::to_json).collect::<Vec<_>>().join(",");
         format!(
-            "{{\"clean\":{},\"programs\":{},\"schedules\":{},\"wall_nanos\":{},\
-             \"worlds\":[{worlds}],\"seeded\":[{seeded}]}}",
+            "{{\"clean\":{},\"programs\":{},\"schedules\":{},\
+             \"skipped_world_count\":{},\"unverified_programs\":{},\"wall_nanos\":{},\
+             \"worlds\":[{worlds}],\"skipped_worlds\":[{skipped}],\"seeded\":[{seeded}]}}",
             self.is_clean(),
             self.total_programs(),
             self.total_schedules(),
+            self.skipped.len(),
+            self.total_unverified(),
             self.wall_nanos,
         )
     }
@@ -308,12 +385,31 @@ impl fmt::Display for RefineReport {
                 if w.truncated > 0 { " (truncated)" } else { "" },
             )?;
         }
+        for s in &self.skipped {
+            writeln!(
+                f,
+                "{:<6} {:>14} {:>12} SKIPPED (scale cap): {} canonical programs NOT \
+                 verified at this scale; rerun with --full",
+                s.world,
+                format!("N{} M{} K{}", s.bounds.ops, s.bounds.threads, s.bounds.domains),
+                s.raw,
+                s.unverified,
+            )?;
+        }
         writeln!(
             f,
             "total: {} canonical programs, {} schedules explored",
             self.total_programs(),
             self.total_schedules()
         )?;
+        if !self.skipped.is_empty() {
+            writeln!(
+                f,
+                "skipped: {} world(s), {} canonical programs unverified (scale cap)",
+                self.skipped.len(),
+                self.total_unverified()
+            )?;
+        }
         for v in self.worlds.iter().flat_map(|w| &w.violations) {
             writeln!(f, "  {v}")?;
         }
@@ -430,6 +526,7 @@ pub fn run_world(world: &RefineWorld, cfg: &RefineConfig, jobs: usize) -> WorldO
 pub fn run_campaign(cfg: &RefineConfig, jobs: usize) -> RefineReport {
     RefineReport {
         worlds: cfg.worlds.iter().map(|w| run_world(w, cfg, jobs)).collect(),
+        skipped: cfg.skipped.iter().map(SkippedWorld::from_world).collect(),
         seeded: Vec::new(),
         wall_nanos: 0,
     }
@@ -542,6 +639,7 @@ mod tests {
                 dttlb: 4,
                 ptlb: 4,
             }],
+            skipped: Vec::new(),
             limits: ExploreLimits::default(),
             max_violations: 20,
             chunk: 64,
@@ -568,11 +666,38 @@ mod tests {
     }
 
     #[test]
+    fn quick_scale_reports_skipped_worlds_loudly() {
+        let quick = RefineConfig::for_scale(Scale::Quick);
+        assert_eq!(quick.skipped.len(), 2, "quick must carry w3/w4 as skipped");
+        let report = RefineReport {
+            worlds: Vec::new(),
+            skipped: quick.skipped.iter().map(SkippedWorld::from_world).collect(),
+            seeded: Vec::new(),
+            wall_nanos: 0,
+        };
+        assert!(report.total_unverified() > 0);
+        let text = report.to_string();
+        assert!(text.contains("SKIPPED (scale cap)"), "{text}");
+        assert!(text.contains("rerun with --full"), "{text}");
+        let json = report.to_json();
+        assert!(json.contains("\"skipped_world_count\":2"), "{json}");
+        assert!(
+            json.contains(&format!("\"unverified_programs\":{}", report.total_unverified())),
+            "{json}"
+        );
+        assert!(json.contains("\"world\":\"w3\""), "{json}");
+        // Paper scale skips nothing and says so in JSON.
+        let paper = RefineConfig::for_scale(Scale::Paper);
+        assert!(paper.skipped.is_empty());
+        assert_eq!(paper.worlds.len(), 4);
+    }
+
+    #[test]
     fn seeded_scan_finds_a_bug_with_a_replayable_witness() {
         // One bug end-to-end (the full matrix is integration-tested):
         // the PTLB switch-flush skip needs only two threads and two ops.
         let cfg = tiny_config();
-        let rows = run_seeded(&RefineConfig { worlds: cfg.worlds.clone(), ..cfg }, 2);
+        let rows = run_seeded(&RefineConfig { worlds: cfg.worlds.clone(), ..cfg.clone() }, 2);
         let row = rows
             .iter()
             .find(|r| r.bug == ProtocolBug::SkipPtlbFlushOnSwitch)

@@ -8,7 +8,7 @@
 //! and `--jobs N` into [`RunOptions`] at the CLI layer and thread the
 //! options down explicitly — the library never sniffs `argv`.
 
-use pmo_analyzer::{Analyzer, PermWindowPass};
+use pmo_analyzer::{Analyzer, InspectPass, PermWindowPass};
 use pmo_protect::SchemeKind;
 use pmo_sim::{Replay, ReplayReport};
 use pmo_simarch::SimConfig;
@@ -105,7 +105,12 @@ pub fn run_windowed(
     let mut replay = Replay::new(kind, config);
     // The multi-PMO baseline policy covers every workload family: no
     // window cap, held read grants allowed, unguarded accesses flagged.
-    let mut analyzer = Analyzer::new(&name).with_pass(PermWindowPass::baseline());
+    // Binary inspection of the trusted-monitor image rides along (ERIM's
+    // static half): a key-update sequence outside the registered call
+    // gate fails the audit like any other error.
+    let mut analyzer = Analyzer::new(&name)
+        .with_pass(PermWindowPass::baseline())
+        .with_pass(InspectPass::standard());
     workload.setup(&mut AuditedSink { replay: &mut replay, analyzer: &mut analyzer });
     let snapshot = replay.snapshot();
     workload.run(&mut AuditedSink { replay: &mut replay, analyzer: &mut analyzer });
@@ -223,7 +228,7 @@ mod tests {
             &sim,
             RunOptions::default(),
         );
-        assert_eq!(reports.len(), 6);
+        assert_eq!(reports.len(), SchemeKind::ALL.len());
         for r in &reports {
             assert_eq!(r.ops, 60, "{}: windowed ops", r.scheme);
             assert!(r.cycles > 0);

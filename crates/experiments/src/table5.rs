@@ -1,5 +1,6 @@
-//! Table V: single-PMO WHISPER overheads — default MPK vs the two
-//! hardware virtualization designs, relative to unprotected execution.
+//! Table V: single-PMO WHISPER overheads — default MPK, ERIM call gates,
+//! DPTI, and the two hardware virtualization designs, relative to
+//! unprotected execution.
 
 use std::fmt;
 
@@ -21,6 +22,10 @@ pub struct Table5Row {
     pub switches_per_sec: f64,
     /// Default-MPK overhead over the unprotected baseline, in percent.
     pub mpk_pct: f64,
+    /// ERIM call-gate overhead (software key multiplexing), in percent.
+    pub erim_pct: f64,
+    /// DPTI per-domain-page-table overhead, in percent.
+    pub dpti_pct: f64,
     /// Hardware MPK-virtualization overhead, in percent.
     pub mpk_virt_pct: f64,
     /// Hardware domain-virtualization overhead, in percent.
@@ -45,6 +50,8 @@ pub fn table5(scale: Scale, sim: &SimConfig, opts: RunOptions) -> Table5 {
     let kinds = [
         SchemeKind::Unprotected,
         SchemeKind::DefaultMpk,
+        SchemeKind::Erim,
+        SchemeKind::Dpti,
         SchemeKind::MpkVirt,
         SchemeKind::DomainVirt,
     ];
@@ -60,6 +67,8 @@ pub fn table5(scale: Scale, sim: &SimConfig, opts: RunOptions) -> Table5 {
             bench: bench.label(),
             switches_per_sec: mpk.switches_per_sec(sim),
             mpk_pct: mpk.overhead_pct_over(base),
+            erim_pct: report_for(&reports, SchemeKind::Erim).overhead_pct_over(base),
+            dpti_pct: report_for(&reports, SchemeKind::Dpti).overhead_pct_over(base),
             mpk_virt_pct: report_for(&reports, SchemeKind::MpkVirt).overhead_pct_over(base),
             domain_virt_pct: report_for(&reports, SchemeKind::DomainVirt).overhead_pct_over(base),
         }
@@ -69,6 +78,8 @@ pub fn table5(scale: Scale, sim: &SimConfig, opts: RunOptions) -> Table5 {
         bench: "Average",
         switches_per_sec: rows.iter().map(|r| r.switches_per_sec).sum::<f64>() / n,
         mpk_pct: rows.iter().map(|r| r.mpk_pct).sum::<f64>() / n,
+        erim_pct: rows.iter().map(|r| r.erim_pct).sum::<f64>() / n,
+        dpti_pct: rows.iter().map(|r| r.dpti_pct).sum::<f64>() / n,
         mpk_virt_pct: rows.iter().map(|r| r.mpk_virt_pct).sum::<f64>() / n,
         domain_virt_pct: rows.iter().map(|r| r.domain_virt_pct).sum::<f64>() / n,
     };
@@ -78,15 +89,25 @@ pub fn table5(scale: Scale, sim: &SimConfig, opts: RunOptions) -> Table5 {
 impl fmt::Display for Table5 {
     fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut t = TextTable::new(
-            "Table V: overhead of MPK vs. hardware MPK virtualization and domain \
-             virtualization for WHISPER with a single PMO (over unprotected baseline)",
-            &["Benchmark", "Switches/sec", "MPK %", "MPK virt %", "Domain virt %"],
+            "Table V: overhead of MPK, ERIM, DPTI, hardware MPK virtualization and \
+             domain virtualization for WHISPER with a single PMO (over unprotected baseline)",
+            &[
+                "Benchmark",
+                "Switches/sec",
+                "MPK %",
+                "ERIM %",
+                "DPTI %",
+                "MPK virt %",
+                "Domain virt %",
+            ],
         );
         for r in self.rows.iter().chain(std::iter::once(&self.average)) {
             t.row(vec![
                 r.bench.to_string(),
                 grouped(r.switches_per_sec),
                 f(r.mpk_pct, 2),
+                f(r.erim_pct, 2),
+                f(r.dpti_pct, 2),
                 f(r.mpk_virt_pct, 2),
                 f(r.domain_virt_pct, 2),
             ]);

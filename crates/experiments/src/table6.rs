@@ -1,5 +1,7 @@
 //! Table VI: lowerbound overheads and permission-switch frequencies for
-//! the multi-PMO microbenchmarks.
+//! the multi-PMO microbenchmarks, plus the two keyless-or-gated
+//! baselines (ERIM call gates, DPTI CR3 switches) at the same switch
+//! rate.
 
 use std::fmt;
 
@@ -21,6 +23,10 @@ pub struct Table6Row {
     pub switches_per_sec: f64,
     /// Lowerbound (WRPKRU-only) overhead over the baseline, in percent.
     pub lowerbound_pct: f64,
+    /// ERIM call-gate overhead at the same switch rate, in percent.
+    pub erim_pct: f64,
+    /// DPTI CR3-switch overhead at the same switch rate, in percent.
+    pub dpti_pct: f64,
 }
 
 /// The full Table VI result.
@@ -34,7 +40,8 @@ pub struct Table6 {
 /// Benchmarks fan across `opts.jobs` workers; rows keep canonical order.
 #[must_use]
 pub fn table6(scale: Scale, sim: &SimConfig, opts: RunOptions) -> Table6 {
-    let kinds = [SchemeKind::Unprotected, SchemeKind::Lowerbound];
+    let kinds =
+        [SchemeKind::Unprotected, SchemeKind::Lowerbound, SchemeKind::Erim, SchemeKind::Dpti];
     let config = scale.micro_config(scale.max_pmos());
     let rows = parallel_map(opts.jobs, MicroBench::ALL.to_vec(), |bench| {
         let reports = run_micro(bench, &config, &kinds, sim, opts.serial());
@@ -44,6 +51,8 @@ pub fn table6(scale: Scale, sim: &SimConfig, opts: RunOptions) -> Table6 {
             bench: bench.label(),
             switches_per_sec: lb.switches_per_sec(sim),
             lowerbound_pct: lb.overhead_pct_over(base),
+            erim_pct: report_for(&reports, SchemeKind::Erim).overhead_pct_over(base),
+            dpti_pct: report_for(&reports, SchemeKind::Dpti).overhead_pct_over(base),
         }
     });
     Table6 { rows }
@@ -52,12 +61,18 @@ pub fn table6(scale: Scale, sim: &SimConfig, opts: RunOptions) -> Table6 {
 impl fmt::Display for Table6 {
     fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut t = TextTable::new(
-            "Table VI: lowerbound overhead and permission switch frequencies for the \
-             multi-PMO benchmarks",
-            &["Benchmark", "Switches/sec", "Lowerbound overhead %"],
+            "Table VI: lowerbound, ERIM and DPTI overheads and permission switch \
+             frequencies for the multi-PMO benchmarks",
+            &["Benchmark", "Switches/sec", "Lowerbound overhead %", "ERIM %", "DPTI %"],
         );
         for r in &self.rows {
-            t.row(vec![r.bench.to_string(), grouped(r.switches_per_sec), f(r.lowerbound_pct, 2)]);
+            t.row(vec![
+                r.bench.to_string(),
+                grouped(r.switches_per_sec),
+                f(r.lowerbound_pct, 2),
+                f(r.erim_pct, 2),
+                f(r.dpti_pct, 2),
+            ]);
         }
         write!(out, "{t}")
     }

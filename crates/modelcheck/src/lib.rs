@@ -14,9 +14,9 @@
 //!
 //! * [`program`] — the op/program/scenario model and the DPOR dependency
 //!   relation;
-//! * [`world`] — one explored state: both protection schemes run in
-//!   lockstep against a permission oracle, with the five invariants
-//!   re-checked after every step;
+//! * [`world`] — one explored state: the four verifiable protection
+//!   machines run in lockstep against a permission oracle, with the
+//!   invariants re-checked after every step;
 //! * [`explore`] — Flanagan–Godefroid dynamic partial-order reduction
 //!   with sleep sets over stateless re-execution;
 //! * [`scenarios`] — the built-in scenario suite and the seeded-bug
@@ -52,7 +52,9 @@ pub mod world;
 pub use enumerate::{enumerate_canonical, orbit_count, raw_count, to_scenario, WorldBounds};
 pub use explore::{explore, explore_mode, ExploreLimits};
 pub use program::{dependent, model_config, Op, Program, Scenario, GB1, POOL_BYTES};
-pub use refine::{alpha_dom, alpha_mpk, noninterference, AccessObs, NiLeak};
+pub use refine::{
+    alpha_dom, alpha_dpti, alpha_erim, alpha_mpk, noninterference, AccessObs, NiLeak,
+};
 pub use replay::{replay_schedule, replay_schedule_mode, ModelCheckPass, ReplayOutcome};
 pub use report::{
     naive_schedules, parse_schedule, schedule_string, Campaign, ExploreOutcome, Violation,

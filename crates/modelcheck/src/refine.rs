@@ -4,7 +4,11 @@
 //! # Simulation relation
 //!
 //! The checker maintains `R(c, s) := alpha(c) == state(s) ∧ caches(c) ⊑ s`
-//! for both concrete designs `c` after every schedule step:
+//! for every concrete machine `c` — the paper's two designs plus the
+//! related-work schemes ERIM ([`alpha_erim`]: the session table is the
+//! logical state, key multiplexing is cache) and DPTI ([`alpha_dpti`]:
+//! the union of per-thread page-table rows, CR3 selection checked
+//! separately) — after every schedule step:
 //!
 //! * **Abstraction equality.** [`alpha_mpk`] reads the DTT — the
 //!   authoritative store design 1's SETPERM writes through immediately —
@@ -34,7 +38,7 @@
 
 use std::collections::BTreeMap;
 
-use pmo_protect::scheme::{DomainVirt, MpkVirt};
+use pmo_protect::scheme::{DomainVirt, Dpti, Erim, MpkVirt};
 use pmo_trace::{AccessKind, Perm, PmoId, ThreadId};
 
 use crate::spec::SpecMachine;
@@ -99,6 +103,50 @@ pub fn alpha_dom(dom: &DomainVirt, current: u32) -> AbsState {
     (attached, perms)
 }
 
+/// Abstraction function for ERIM (call-gate sessions over raw MPK).
+///
+/// ERIM's session table *is* its logical permission state: every call
+/// gate writes the thread's `(domain, perm)` session through
+/// immediately, and the protection-key multiplexing underneath (key
+/// assignments, software remaps under pressure, the materialized PKRU)
+/// is derived cache only. The abstraction is therefore the attached
+/// region set plus the session rows verbatim.
+#[must_use]
+pub fn alpha_erim(erim: &Erim) -> AbsState {
+    let mut attached: Vec<PmoId> = erim.mmu().regions().map(|r| r.pmo).collect();
+    attached.sort_unstable();
+    let mut perms = BTreeMap::new();
+    for (&(thread, pmo), &perm) in erim.sessions() {
+        if perm != Perm::None {
+            perms.insert((thread.raw(), pmo), perm);
+        }
+    }
+    (attached, perms)
+}
+
+/// Abstraction function for DPTI (per-domain page tables).
+///
+/// DPTI keeps one page-table permission map per thread; the kernel's
+/// SETPERM writes the calling thread's map directly (regardless of which
+/// root CR3 currently points at), so the abstraction is the union of
+/// every thread's rows. The loaded-root selection (CR3) is derived
+/// hardware state: [`crate::world::World`]'s DPTI sweep checks it
+/// separately, which is exactly where a stale CR3 becomes observable.
+#[must_use]
+pub fn alpha_dpti(dpti: &Dpti) -> AbsState {
+    let mut attached: Vec<PmoId> = dpti.mmu().regions().map(|r| r.pmo).collect();
+    attached.sort_unstable();
+    let mut perms = BTreeMap::new();
+    for (thread, rows) in dpti.tables() {
+        for (&pmo, &perm) in rows {
+            if perm != Perm::None {
+                perms.insert((thread.raw(), pmo), perm);
+            }
+        }
+    }
+    (attached, perms)
+}
+
 /// The spec state in [`AbsState`] form, for equality comparison.
 #[must_use]
 pub fn spec_state(spec: &SpecMachine) -> AbsState {
@@ -139,6 +187,20 @@ pub struct AccessObs {
     pub mpk_allowed: bool,
     /// Design 2's verdict.
     pub dom_allowed: bool,
+    /// ERIM's verdict (call-gate sessions over raw MPK).
+    pub erim_allowed: bool,
+    /// DPTI's verdict (per-domain page tables).
+    pub dpti_allowed: bool,
+}
+
+impl AccessObs {
+    /// Whether any concrete machine admitted the access: a concrete
+    /// allow returns data to the program, whatever the spec says, so
+    /// this is the noninterference pass's "the load observed" predicate.
+    #[must_use]
+    pub fn any_concrete_allowed(self) -> bool {
+        self.mpk_allowed || self.dom_allowed || self.erim_allowed || self.dpti_allowed
+    }
 }
 
 /// One noninterference violation: an unauthorized thread observed a
@@ -203,7 +265,7 @@ pub fn noninterference(obs: &[AccessObs], spec: &SpecMachine, target: PmoId) -> 
                 }
             }
             AccessKind::Read => {
-                if !(o.mpk_allowed || o.dom_allowed) {
+                if !o.any_concrete_allowed() {
                     continue;
                 }
                 if !o.attached {
@@ -288,6 +350,8 @@ mod tests {
             spec_allowed: allowed,
             mpk_allowed: allowed,
             dom_allowed: allowed,
+            erim_allowed: allowed,
+            dpti_allowed: allowed,
         }
     }
 
@@ -329,6 +393,24 @@ mod tests {
         let mut anon = obs(1, AccessKind::Read, true);
         anon.attached = false;
         assert!(noninterference(&[denied, anon], &spec, p1()).is_empty());
+    }
+
+    #[test]
+    fn a_leak_through_only_the_new_schemes_is_still_a_leak() {
+        // Only DPTI (then only ERIM) lets the unauthorized read through:
+        // the observe predicate must cover all four machines.
+        let spec = spec_with_grant(0);
+        for scheme in 0..2 {
+            let mut bad = obs(1, AccessKind::Read, false);
+            if scheme == 0 {
+                bad.dpti_allowed = true;
+            } else {
+                bad.erim_allowed = true;
+            }
+            assert!(bad.any_concrete_allowed());
+            let trace = [obs(0, AccessKind::Write, true), bad];
+            assert_eq!(noninterference(&trace, &spec, p1()).len(), 1, "scheme {scheme}");
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! eviction with ranged shootdown, DTTLB invalidation, PKRU rebuild, PTLB
 //! fill/writeback/flush, detach teardown — is reachable within a dozen
 //! operations, plus the seeded-bug expectations that validate the checker
-//! against the four plantable [`ProtocolBug`]s.
+//! against every plantable [`ProtocolBug`].
 
 use pmo_analyzer::ViolationClass;
 use pmo_protect::ProtocolBug;
@@ -220,6 +220,16 @@ pub fn seeded_checks() -> Vec<SeededCheck> {
         },
         SeededCheck {
             bug: ProtocolBug::SkipPtlbFlushOnSwitch,
+            scenario: "three-thread-handoff",
+            expect: ViolationClass::PtlbDesync,
+        },
+        SeededCheck {
+            bug: ProtocolBug::SkipGateExitKeyRestore,
+            scenario: "setperm-vs-access",
+            expect: ViolationClass::PkruDesync,
+        },
+        SeededCheck {
+            bug: ProtocolBug::StaleCr3OnSwitch,
             scenario: "three-thread-handoff",
             expect: ViolationClass::PtlbDesync,
         },

@@ -26,13 +26,16 @@
 //!   observations at the end of each execution ([`World::end_checks`]).
 
 use pmo_analyzer::ViolationClass;
-use pmo_protect::scheme::{DomainVirt, MpkVirt, ProtectionScheme};
+use pmo_protect::scheme::{DomainVirt, Dpti, Erim, MpkVirt, ProtectionScheme};
 use pmo_protect::{Perm, ProtocolBug};
 use pmo_simarch::PAGE_BITS;
 use pmo_trace::{AccessKind, PmoId, ThreadId, TraceEvent};
 
 use crate::program::{Op, Scenario, POOL_BYTES};
-use crate::refine::{alpha_dom, alpha_mpk, noninterference_all, render_abs, spec_state, AccessObs};
+use crate::refine::{
+    alpha_dom, alpha_dpti, alpha_erim, alpha_mpk, noninterference_all, render_abs, spec_state,
+    AccessObs,
+};
 use crate::spec::SpecMachine;
 
 /// One invariant violation detected at a step (scenario/schedule context
@@ -60,10 +63,14 @@ pub enum CheckMode {
     Refine,
 }
 
-/// Both designs plus the spec machine, advanced one operation at a time.
+/// Every concrete machine — the paper's two designs plus the
+/// related-work schemes ERIM and DPTI — run in lockstep against the spec
+/// machine, advanced one operation at a time.
 pub struct World {
     mpk: MpkVirt,
     dom: DomainVirt,
+    erim: Erim,
+    dpti: Dpti,
     spec: SpecMachine,
     mode: CheckMode,
     /// The trace recorded so far (replayable through `pmo-analyzer`).
@@ -90,6 +97,8 @@ impl World {
         let mut world = World {
             mpk: MpkVirt::with_bug(&scenario.config, bug),
             dom: DomainVirt::with_bug(&scenario.config, bug),
+            erim: Erim::with_bug(&scenario.config, bug),
+            dpti: Dpti::with_bug(&scenario.config, bug),
             spec: SpecMachine::new(),
             mode,
             trace: Vec::new(),
@@ -138,6 +147,8 @@ impl World {
         let base = Op::base_of(pmo);
         self.mpk.attach(pmo, base, POOL_BYTES, true);
         self.dom.attach(pmo, base, POOL_BYTES, true);
+        self.erim.attach(pmo, base, POOL_BYTES, true);
+        self.dpti.attach(pmo, base, POOL_BYTES, true);
         self.trace.push(TraceEvent::Attach { pmo, base, size: POOL_BYTES, nvm: true });
     }
 
@@ -149,6 +160,8 @@ impl World {
             let tid = ThreadId::new(thread);
             self.mpk.context_switch(tid);
             self.dom.context_switch(tid);
+            self.erim.context_switch(tid);
+            self.dpti.context_switch(tid);
             self.current = thread;
             self.trace.push(TraceEvent::ThreadSwitch { thread: tid });
         }
@@ -160,12 +173,16 @@ impl World {
                 if self.spec.detach(pmo) {
                     self.mpk.detach(pmo);
                     self.dom.detach(pmo);
+                    self.erim.detach(pmo);
+                    self.dpti.detach(pmo);
                     self.trace.push(TraceEvent::Detach { pmo });
                 }
             }
             Op::SetPerm { pmo, perm } => {
                 self.mpk.set_perm(pmo, perm);
                 self.dom.set_perm(pmo, perm);
+                self.erim.set_perm(pmo, perm);
+                self.dpti.set_perm(pmo, perm);
                 self.spec.set_perm(thread, pmo, perm);
                 self.trace.push(TraceEvent::SetPerm { pmo, perm });
             }
@@ -173,16 +190,20 @@ impl World {
                 let va = Op::base_of(pmo) + offset;
                 let mpk_ok = self.mpk.access(va, kind).allowed();
                 let dom_ok = self.dom.access(va, kind).allowed();
+                let erim_ok = self.erim.access(va, kind).allowed();
+                let dpti_ok = self.dpti.access(va, kind).allowed();
                 let expect = self.spec.allows(thread, pmo, kind);
-                if mpk_ok != expect || dom_ok != expect {
+                if mpk_ok != expect || dom_ok != expect || erim_ok != expect || dpti_ok != expect {
                     findings.push(Finding {
                         class: ViolationClass::SchemeDivergence,
                         thread,
                         message: format!(
-                            "{op}: spec {} but MpkVirt {} / DomainVirt {}",
+                            "{op}: spec {} but MpkVirt {} / DomainVirt {} / Erim {} / Dpti {}",
                             verdict(expect),
                             verdict(mpk_ok),
                             verdict(dom_ok),
+                            verdict(erim_ok),
+                            verdict(dpti_ok),
                         ),
                     });
                 }
@@ -196,6 +217,8 @@ impl World {
                         spec_allowed: expect,
                         mpk_allowed: mpk_ok,
                         dom_allowed: dom_ok,
+                        erim_allowed: erim_ok,
+                        dpti_allowed: dpti_ok,
                     });
                 }
                 // Mirror the replay engine: denied accesses leave no
@@ -214,6 +237,12 @@ impl World {
             }
             self.trace.push(ev);
         }
+        // ERIM and DPTI publish their own gate-exit/revoke settle events.
+        // The recorded trace (and the eviction-completeness count, which
+        // is MpkVirt's contract) stays canonical against MpkVirt, so
+        // these are drained but not re-recorded.
+        let _ = self.erim.drain_events();
+        let _ = self.dpti.drain_events();
         self.check_invariants(&mut findings);
         if self.mode == CheckMode::Refine {
             self.check_alpha(&mut findings);
@@ -273,6 +302,30 @@ impl World {
                 ),
             });
         }
+        let erim = alpha_erim(&self.erim);
+        if erim != spec {
+            findings.push(Finding {
+                class: ViolationClass::RefinementDivergence,
+                thread: self.current,
+                message: format!(
+                    "alpha-erim: abstraction {} != spec {}",
+                    render_abs(&erim),
+                    render_abs(&spec)
+                ),
+            });
+        }
+        let dpti = alpha_dpti(&self.dpti);
+        if dpti != spec {
+            findings.push(Finding {
+                class: ViolationClass::RefinementDivergence,
+                thread: self.current,
+                message: format!(
+                    "alpha-dpti: abstraction {} != spec {}",
+                    render_abs(&dpti),
+                    render_abs(&spec)
+                ),
+            });
+        }
     }
 
     /// Evaluates every state invariant against the current machine state.
@@ -282,6 +335,8 @@ impl World {
         self.check_stale_dttlb_keys(findings);
         self.check_pkru(findings);
         self.check_ptlb(findings);
+        self.check_erim_pkru(findings);
+        self.check_dpti_space(findings);
     }
 
     /// Every key eviction must have published a ranged shootdown (§IV.B:
@@ -380,6 +435,72 @@ impl World {
     /// Entries for detached domains are ignored — the DRT no longer maps
     /// any VA to them, so they are unreachable until a re-attach makes
     /// them (checkably) stale.
+    /// ERIM's materialized PKRU must grant, for every key the allocator
+    /// has assigned, exactly the running thread's session for the owning
+    /// domain. A call gate that skips the restore half of its exit path
+    /// (the planted [`ProtocolBug::SkipGateExitKeyRestore`]) leaves a
+    /// wider grant in PKRU than the session table records.
+    fn check_erim_pkru(&self, findings: &mut Vec<Finding>) {
+        let pkru = self.erim.pkru();
+        for (key, pmo) in self.erim.key_allocator().assignments() {
+            let expect = if self.spec.is_attached(pmo) {
+                self.spec.perm(self.current, pmo)
+            } else {
+                Perm::None
+            };
+            let actual = pkru.perm(key);
+            if actual != expect {
+                findings.push(Finding {
+                    class: ViolationClass::PkruDesync,
+                    thread: self.current,
+                    message: format!(
+                        "ERIM PKRU grants {actual:?} via key {key} for P{} but thread {} holds \
+                         {expect:?}",
+                        pmo.raw(),
+                        self.current
+                    ),
+                });
+            }
+        }
+    }
+
+    /// DPTI's loaded address space must be the running thread's: CR3 must
+    /// track every context switch, and the rows of the loaded per-thread
+    /// table must hold exactly the running thread's logical permission
+    /// for each attached domain. A skipped CR3 write (the planted
+    /// [`ProtocolBug::StaleCr3OnSwitch`]) leaves the previous thread's
+    /// page tables — and all their grants — live under the new thread.
+    fn check_dpti_space(&self, findings: &mut Vec<Finding>) {
+        if self.dpti.cr3().raw() != self.current {
+            findings.push(Finding {
+                class: ViolationClass::PtlbDesync,
+                thread: self.current,
+                message: format!(
+                    "DPTI CR3 still points at thread {}'s address space while thread {} runs",
+                    self.dpti.cr3().raw(),
+                    self.current
+                ),
+            });
+        }
+        let loaded = self.dpti.tables().get(&self.dpti.cr3());
+        for &pmo in self.spec.attached() {
+            let expect = self.spec.perm(self.current, pmo);
+            let actual = loaded.and_then(|rows| rows.get(&pmo)).copied().unwrap_or(Perm::None);
+            if actual != expect {
+                findings.push(Finding {
+                    class: ViolationClass::PtlbDesync,
+                    thread: self.current,
+                    message: format!(
+                        "DPTI loaded tables grant {actual:?} for P{} but thread {} holds \
+                         {expect:?}",
+                        pmo.raw(),
+                        self.current
+                    ),
+                });
+            }
+        }
+    }
+
     fn check_ptlb(&self, findings: &mut Vec<Finding>) {
         for entry in self.dom.ptlb().entries() {
             if !self.spec.is_attached(entry.pmo) {

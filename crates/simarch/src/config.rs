@@ -124,6 +124,18 @@ pub struct SimConfig {
     /// Width of the domain-ID field added to each TLB entry (10 bits).
     pub domain_id_bits: u32,
 
+    // ---- ERIM (call gates over raw MPK) ----
+    /// Cycles the ERIM call-gate trampoline adds around a WRPKRU-based
+    /// permission switch (argument save/restore, stack switch, and the
+    /// post-WRPKRU verification branch; Vahldiek-Oberwagner et al. §4).
+    pub erim_gate_cycles: u64,
+
+    // ---- Domain page-table isolation (DPTI) ----
+    /// Cycles for one CR3 write on a domain/thread switch (the TLB-tag
+    /// and pipeline-serialization cost of loading a new page-table root;
+    /// Canella et al. measure ~hundreds of cycles without PCID reuse).
+    pub cr3_write_cycles: u64,
+
     /// Whether libmpk reserves a *guard* protection key (key 15, which
     /// Linux reserves for kernel use anyway) to trap accesses to evicted
     /// domains via fault-and-remap. Default true: 14 usable keys and
@@ -184,6 +196,8 @@ impl SimConfig {
             ptlb_miss_cycles: 30,
             ptlb_entry_op_cycles: 1,
             domain_id_bits: 10,
+            erim_gate_cycles: 30,
+            cr3_write_cycles: 300,
             libmpk_guard_key: true,
             syscall_cycles: 1500,
             pte_write_cycles: 2,
@@ -265,7 +279,7 @@ impl fmt::Display for SimConfig {
             self.pkru_update_cycles,
             self.tlb_invalidation_cycles
         )?;
-        write!(
+        writeln!(
             f,
             "Domain virt.   PTLB {} entries, access {}cy, miss {}cy, entry-op {}cy, \
              {}-bit domain IDs",
@@ -274,6 +288,11 @@ impl fmt::Display for SimConfig {
             self.ptlb_miss_cycles,
             self.ptlb_entry_op_cycles,
             self.domain_id_bits
+        )?;
+        write!(
+            f,
+            "ERIM/DPTI      call gate {}cy, CR3 write {}cy",
+            self.erim_gate_cycles, self.cr3_write_cycles
         )
     }
 }
@@ -334,5 +353,7 @@ mod tests {
         assert!(text.contains("WRPKRU 27cy"));
         assert!(text.contains("TLB invalidation 286cy"));
         assert!(text.contains("PTLB 16 entries"));
+        assert!(text.contains("call gate 30cy"));
+        assert!(text.contains("CR3 write 300cy"));
     }
 }

@@ -1,0 +1,151 @@
+//! Per-thread executable code images with registered call-gate regions.
+//!
+//! ERIM's safety argument (Vahldiek-Oberwagner et al., USENIX Security
+//! '19) has two halves: a runtime half (the call-gate discipline the
+//! replayed schemes model) and a *static* half — binary inspection of the
+//! process's executable pages proving that no key-update instruction
+//! sequence exists outside the registered gates. This module supplies the
+//! trace-side vocabulary for the static half: a [`CodeImage`] records the
+//! byte stream a thread executes from, and its [`GateRegion`]s mark the
+//! byte ranges registered as trusted call gates. The analyzer's
+//! inspection pass scans these images for WRPKRU-equivalent sequences at
+//! *every* byte offset, because an unaligned indirect jump can execute a
+//! sequence hidden inside an immediate or spanning two intended
+//! instructions.
+
+use crate::ids::{ThreadId, Va};
+
+/// A registered call-gate byte range `[start, end)` inside a
+/// [`CodeImage`]: the only place a key-update sequence is allowed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GateRegion {
+    /// Human-readable gate name (e.g. `"pmo_set_perm"`).
+    pub name: String,
+    /// First byte offset of the gate, inclusive.
+    pub start: u64,
+    /// One past the last byte offset of the gate, exclusive.
+    pub end: u64,
+}
+
+impl GateRegion {
+    /// Whether the byte range `[start, end)` lies entirely inside this gate.
+    #[must_use]
+    pub fn contains(&self, start: u64, end: u64) -> bool {
+        start >= self.start && end <= self.end
+    }
+
+    /// Whether the byte range `[start, end)` overlaps this gate at all.
+    #[must_use]
+    pub fn overlaps(&self, start: u64, end: u64) -> bool {
+        start < self.end && end > self.start
+    }
+}
+
+/// The executable region of one thread, modeled as a raw instruction-byte
+/// stream plus the registered call gates inside it.
+///
+/// Images are deliberately *not* a [`TraceEvent`](crate::TraceEvent)
+/// variant: events are `Copy` and stream at tens of millions per trace,
+/// while an image is a one-time sidecar a workload registers with the
+/// inspection pass before (or independent of) replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodeImage {
+    /// Thread this image is mapped executable for.
+    pub thread: ThreadId,
+    /// Virtual address the image is loaded at (diagnostics report
+    /// `base + offset` so sites are clickable against the trace's VAs).
+    pub base: Va,
+    /// The raw instruction bytes, in execution order.
+    pub bytes: Vec<u8>,
+    /// Registered call gates, as byte ranges into `bytes`.
+    pub gates: Vec<GateRegion>,
+}
+
+impl CodeImage {
+    /// Creates an image with no registered gates.
+    #[must_use]
+    pub fn new(thread: ThreadId, base: Va, bytes: Vec<u8>) -> Self {
+        CodeImage { thread, base, bytes, gates: Vec::new() }
+    }
+
+    /// Registers a call gate covering `[start, end)` and returns the image
+    /// (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or falls outside the image bytes — a
+    /// gate that covers nothing (or bytes that do not exist) is a harness
+    /// bug, not a property to report.
+    #[must_use]
+    pub fn with_gate(mut self, name: &str, start: u64, end: u64) -> Self {
+        assert!(start < end, "gate '{name}' is empty ({start}..{end})");
+        assert!(
+            end <= self.bytes.len() as u64,
+            "gate '{name}' ends at {end}, past the {} image bytes",
+            self.bytes.len()
+        );
+        self.gates.push(GateRegion { name: name.to_string(), start, end });
+        self
+    }
+
+    /// The gate fully containing the byte range `[start, end)`, if any.
+    #[must_use]
+    pub fn gate_containing(&self, start: u64, end: u64) -> Option<&GateRegion> {
+        self.gates.iter().find(|g| g.contains(start, end))
+    }
+
+    /// The first gate the byte range `[start, end)` merely *overlaps*
+    /// (without being contained), if any — a sequence straddling a gate
+    /// boundary is neither provably trusted nor provably reachable.
+    #[must_use]
+    pub fn gate_straddling(&self, start: u64, end: u64) -> Option<&GateRegion> {
+        self.gates.iter().find(|g| g.overlaps(start, end) && !g.contains(start, end))
+    }
+
+    /// Number of image bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the image has no bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_containment_is_inclusive_exclusive() {
+        let img = CodeImage::new(ThreadId::MAIN, 0x4000, vec![0x90; 16]).with_gate("g", 4, 8);
+        assert!(img.gate_containing(4, 8).is_some());
+        assert!(img.gate_containing(5, 7).is_some());
+        assert!(img.gate_containing(4, 9).is_none());
+        assert!(img.gate_containing(3, 8).is_none());
+    }
+
+    #[test]
+    fn straddle_is_overlap_without_containment() {
+        let img = CodeImage::new(ThreadId::MAIN, 0, vec![0x90; 16]).with_gate("g", 4, 8);
+        assert!(img.gate_straddling(6, 10).is_some());
+        assert!(img.gate_straddling(2, 6).is_some());
+        assert!(img.gate_straddling(5, 7).is_none(), "contained is not a straddle");
+        assert!(img.gate_straddling(8, 12).is_none(), "adjacent is not an overlap");
+    }
+
+    #[test]
+    #[should_panic(expected = "past the")]
+    fn gates_must_fit_the_image() {
+        let _ = CodeImage::new(ThreadId::MAIN, 0, vec![0x90; 4]).with_gate("g", 2, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn gates_must_be_nonempty() {
+        let _ = CodeImage::new(ThreadId::MAIN, 0, vec![0x90; 4]).with_gate("g", 2, 2);
+    }
+}

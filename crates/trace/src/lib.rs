@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod audit;
+mod code;
 mod event;
 mod file;
 mod ids;
@@ -37,6 +38,7 @@ mod sink;
 mod stats;
 
 pub use audit::{AuditViolation, PermAudit};
+pub use code::{CodeImage, GateRegion};
 pub use event::{FaultKind, OpKind, TraceEvent};
 pub use file::{TraceFile, TraceFileWriter};
 pub use ids::{PmoId, ThreadId, Va};

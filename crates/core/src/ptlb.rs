@@ -57,6 +57,21 @@ impl Ptlb {
         self.entries.iter().flatten().find(|entry| entry.pmo == pmo)
     }
 
+    /// Touches the entry for `pmo` without reading or changing it; returns
+    /// whether it was present. The replay engine's permission-summary table
+    /// revalidates through this: a summary hit must update PTLB recency
+    /// exactly as the full [`Ptlb::lookup`] on the warm access path would.
+    #[inline]
+    pub fn touch(&mut self, pmo: PmoId) -> bool {
+        let Some(way) =
+            self.entries.iter().position(|e| e.as_ref().is_some_and(|entry| entry.pmo == pmo))
+        else {
+            return false;
+        };
+        self.repl.touch(way as u8);
+        true
+    }
+
     /// Inserts an entry, evicting the PLRU victim if full; returns the
     /// victim for writeback.
     pub fn insert(&mut self, entry: PtlbEntry) -> Option<PtlbEntry> {

@@ -284,6 +284,14 @@ impl ProtectionScheme for DomainVirt {
         self.stats.faults += denied;
         self.breakdown.access_latency += hint.access_latency * hits;
     }
+
+    fn fast_revalidate(&mut self, va: Va) -> bool {
+        let Some(payload) = self.mmu.tlb.touch_l1(vpn(va)) else { return false };
+        // Domainless pages skip the PTLB (Figure 5, step 3). Domain-backed
+        // pages must still have their PTLB entry resident — and touched, so
+        // PTLB replacement state matches what the memoized hit would do.
+        payload.domain.is_null() || self.ptlb.touch(payload.domain)
+    }
 }
 
 #[cfg(test)]

@@ -288,6 +288,13 @@ impl ProtectionScheme for Dpti {
         self.mmu.tlb.note_l1_hits(hits);
         self.stats.faults += denied;
     }
+
+    fn fast_revalidate(&mut self, va: Va) -> bool {
+        // Context switches flush domain-tagged entries and write-revoking
+        // SETPERMs shoot down the range, so TLB presence implies the
+        // stored verdict is still what a warm walk would compute.
+        self.mmu.tlb.touch_l1(vpn(va)).is_some()
+    }
 }
 
 #[cfg(test)]

@@ -300,6 +300,18 @@ impl ProtectionScheme for LibMpk {
         self.mmu.tlb.note_l1_hits(hits);
         self.stats.faults += denied;
     }
+
+    fn fast_revalidate(&mut self, va: Va) -> bool {
+        match self.mmu.tlb.touch_l1(vpn(va)) {
+            // Key stealing remaps the victim's pages to the guard key via
+            // pkey_mprotect, which shoots them out of the TLB — so a
+            // guard-keyed payload here can only mean a fresh walk brought
+            // the page back in; its summary entry must not be served (the
+            // warm guard-fault path mutates cross-page state).
+            Some(payload) => !(self.cfg.libmpk_guard_key && payload.pkey == GUARD_KEY),
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -177,6 +177,10 @@ impl ProtectionScheme for Lowerbound {
         self.mmu.tlb.note_l1_hits(hits);
         self.stats.faults += denied;
     }
+
+    fn fast_revalidate(&mut self, va: Va) -> bool {
+        self.mmu.tlb.touch_l1(vpn(va)).is_some()
+    }
 }
 
 #[cfg(test)]

@@ -203,6 +203,21 @@ pub trait ProtectionScheme {
     /// the skipped L1 TLB hits, fault counts, and per-access latency
     /// attribution so stats match a slow-path replay exactly.
     fn note_fast_hits(&mut self, _hint: &FastHint, _hits: u64, _denied: u64) {}
+
+    /// Revalidates a *stored* [`FastHint`] for `va`'s page before the
+    /// replay engine re-arms it from its permission-summary table:
+    /// returns whether the hint is still exact, and on success touches
+    /// exactly the recency state a warm (L1-TLB-hit) access to `va` would
+    /// touch — the L1 TLB way, plus the PTLB way under domain
+    /// virtualization. No statistics, no promotion, no other effects.
+    ///
+    /// Returning `false` means the page is no longer warm (the entry was
+    /// evicted, shot down, or remapped) and the caller must take the full
+    /// [`ProtectionScheme::access`] walk. The default is conservative:
+    /// schemes without a revalidation rule never serve summary hits.
+    fn fast_revalidate(&mut self, _va: Va) -> bool {
+        false
+    }
 }
 
 /// A protocol bug planted into a scheme at construction time, for
@@ -447,6 +462,10 @@ impl ProtectionScheme for AnyScheme {
 
     fn note_fast_hits(&mut self, hint: &FastHint, hits: u64, denied: u64) {
         dispatch!(self, s => s.note_fast_hits(hint, hits, denied));
+    }
+
+    fn fast_revalidate(&mut self, va: Va) -> bool {
+        dispatch!(self, s => s.fast_revalidate(va))
     }
 }
 

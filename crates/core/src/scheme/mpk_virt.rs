@@ -368,6 +368,13 @@ impl ProtectionScheme for MpkVirt {
         self.mmu.tlb.note_l1_hits(hits);
         self.stats.faults += denied;
     }
+
+    fn fast_revalidate(&mut self, va: Va) -> bool {
+        // Any state change that could stale a warm verdict (key eviction,
+        // SETPERM, detach) shoots the page out of the TLB first, so
+        // presence in the L1 TLB is the whole validity condition.
+        self.mmu.tlb.touch_l1(vpn(va)).is_some()
+    }
 }
 
 #[cfg(test)]

@@ -2,8 +2,10 @@
 //!
 //! Runs the quick campaigns serially and at `--jobs N` (asserting the
 //! outputs are byte-identical), measures single-thread replay throughput
-//! with the same-page fast path off and on (asserting the reports are
-//! field-identical), and appends one entry to `BENCH_campaign.json` so
+//! three ways — full walk on every access, the streamed same-page fast
+//! path, and the batched block engine (struct-of-arrays decode + summary
+//! table + run-length settlement) — asserting all three reports are
+//! field-identical, and appends one entry to `BENCH_campaign.json` so
 //! the performance trajectory is tracked across commits.
 //!
 //! ```text
@@ -11,7 +13,10 @@
 //! cargo run --release -p pmo-experiments --bin benchtrend -- --jobs 4 --out BENCH_campaign.json
 //! ```
 //!
-//! Exits non-zero if any determinism or equivalence check fails.
+//! Exits non-zero if any determinism or equivalence check fails, or if
+//! any replay row regresses more than [`GATE_TOLERANCE`] against the last
+//! recorded entry measured at the same host parallelism (the regression
+//! gate prints a delta table either way).
 
 // This binary *is* the wall-clock harness: it times deterministic runs
 // and stamps the trajectory, so the clock reads the determinism wall
@@ -29,11 +34,15 @@ use pmo_experiments::{faultsim, refine, soak, table5, table6, RunOptions, Scale}
 use pmo_protect::SchemeKind;
 use pmo_sim::{Replay, ReplayReport};
 use pmo_simarch::SimConfig;
-use pmo_trace::{RecordedTrace, TraceSource};
+use pmo_trace::{block, BlockTrace, RecordedTrace, TraceSource};
 use pmo_workloads::{MicroBench, MicroConfig, MicroWorkload, Workload};
 
 /// Replay-throughput measurement repetitions (best-of to damp noise).
 const REPS: u32 = 3;
+
+/// Allowed per-row events/sec regression against the previous trajectory
+/// entry before the gate fails the run.
+const GATE_TOLERANCE: f64 = 0.10;
 
 struct CampaignRow {
     name: &'static str,
@@ -96,38 +105,73 @@ struct ReplayRow {
     wall_fast: u64,
 }
 
-/// Best-of-`REPS` wall time replaying `trace` under `kind`; returns the
-/// (unstamped, deterministic) report of the last rep.
-fn time_replay(trace: &RecordedTrace, kind: SchemeKind, fast: bool) -> (u64, ReplayReport) {
+/// Asserts a timed replay produced a clean, untruncated report.
+fn assert_clean(kind: SchemeKind, report: &ReplayReport) {
+    // Benchmark traces are fault-free by construction: a faulting (or
+    // fault-log-truncated) replay means the trajectory entry would be
+    // timing a broken run, so fail loudly instead of recording it.
+    assert!(
+        !report.faulted() && report.fault_log_complete(),
+        "[{kind}] timed replay faulted: {} faults ({} dropped from the log)",
+        report.scheme_stats.faults,
+        report.faults_dropped,
+    );
+}
+
+/// Best-of-`REPS` wall times replaying the trace under `kind`: the full
+/// walk (fast path off, streamed events) as the slow lane, the batched
+/// block engine as the fast lane. The streamed fast path is run once,
+/// untimed, so all three reports can be asserted field-identical.
+fn time_replay(
+    trace: &RecordedTrace,
+    blocks: &BlockTrace,
+    kind: SchemeKind,
+) -> (u64, u64, ReplayReport) {
     let sim = SimConfig::isca2020();
-    let mut best = u64::MAX;
-    let mut last = None;
+    let mut best_walk = u64::MAX;
+    let mut report_walk = None;
     for _ in 0..REPS {
         let mut replay = Replay::new(kind, &sim);
-        replay.set_fast_path(fast);
+        replay.set_fast_path(false);
         let started = Instant::now();
         trace.replay(&mut replay);
         let report = replay.finish();
-        best = best.min(started.elapsed().as_nanos() as u64);
-        // Benchmark traces are fault-free by construction: a faulting (or
-        // fault-log-truncated) replay means the trajectory entry would be
-        // timing a broken run, so fail loudly instead of recording it.
-        assert!(
-            !report.faulted() && report.fault_log_complete(),
-            "[{kind}] timed replay faulted: {} faults ({} dropped from the log)",
-            report.scheme_stats.faults,
-            report.faults_dropped,
-        );
-        last = Some(report);
+        best_walk = best_walk.min(started.elapsed().as_nanos() as u64);
+        assert_clean(kind, &report);
+        report_walk = Some(report);
     }
-    (best, last.expect("at least one rep"))
+    let mut best_fast = u64::MAX;
+    let mut report_fast = None;
+    for _ in 0..REPS {
+        let mut replay = Replay::new(kind, &sim);
+        let started = Instant::now();
+        replay.replay_blocks(blocks);
+        let report = replay.finish();
+        best_fast = best_fast.min(started.elapsed().as_nanos() as u64);
+        assert_clean(kind, &report);
+        report_fast = Some(report);
+    }
+    let report_walk = report_walk.expect("at least one walk rep");
+    let report_fast = report_fast.expect("at least one fast rep");
+    assert_eq!(
+        report_walk, report_fast,
+        "[{kind}] batched block replay diverged from the full-walk report"
+    );
+    let mut streamed = Replay::new(kind, &sim);
+    trace.replay(&mut streamed);
+    assert_eq!(
+        report_walk,
+        streamed.finish(),
+        "[{kind}] streamed fast-path replay diverged from the full-walk report"
+    );
+    (best_walk, best_fast, report_walk)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
     let jobs = RunOptions::from_args().jobs.max(1);
-    let jobs = if args.iter().any(|a| a == "--jobs") { jobs } else { host_parallelism.max(2) };
+    let jobs = if args.iter().any(|a| a == "--jobs") { jobs } else { host_parallelism };
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -171,18 +215,14 @@ fn main() -> ExitCode {
     ];
 
     // Part 2: single-thread replay throughput, radix/DTT/PT walk on every
-    // access vs the memoized same-page fast path, identical reports.
+    // access (streamed) vs the batched block engine, identical reports.
     let mut rows = Vec::new();
     for (label, trace) in &replay_traces() {
         println!();
+        let blocks = block::block_trace_of(trace);
         for kind in SchemeKind::ALL {
-            let (wall_walk, report_walk) = time_replay(trace, kind, false);
-            let (wall_fast, report_fast) = time_replay(trace, kind, true);
-            assert_eq!(
-                report_walk, report_fast,
-                "{label}/{kind}: fast-path report diverged from full-walk report"
-            );
-            let events = report_walk.counts.events;
+            let (wall_walk, wall_fast, report) = time_replay(trace, &blocks, kind);
+            let events = report.counts.events;
             println!(
                 "replay {label:<14} {kind:<12} {events:>9} events   walk {:>7.1} ms   \
                  fast {:>7.1} ms   {:>5.1} -> {:>5.1} Mev/s   speedup {:.2}x",
@@ -204,6 +244,18 @@ fn main() -> ExitCode {
         total_events as f64 * 1e3 / total_walk as f64,
         total_events as f64 * 1e3 / total_fast as f64,
     );
+
+    // Regression gate: every replay row must hold its events/sec against
+    // the last trajectory entry recorded at this host parallelism. On
+    // failure the baseline entry is left as-is (nothing is appended), so
+    // the next run is still measured against the last good numbers.
+    if !regression_gate(&out, host_parallelism, &rows) {
+        eprintln!(
+            "benchtrend: replay throughput regression exceeds the {:.0}% tolerance",
+            GATE_TOLERANCE * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
 
     // Part 3: append the trajectory entry.
     let unix_secs = std::time::SystemTime::now()
@@ -293,6 +345,88 @@ fn main() -> ExitCode {
     }
     println!("appended trajectory entry to {out}");
     ExitCode::SUCCESS
+}
+
+/// A replay row parsed back out of a previous trajectory entry.
+struct BaselineRow {
+    trace: String,
+    scheme: String,
+    walk: f64,
+    fast: f64,
+}
+
+/// Extracts one `"key":"value"` string field from a JSON object slice.
+fn field_str(obj: &str, key: &str) -> Option<String> {
+    let rest = obj.split(&format!("\"{key}\":\"")).nth(1)?;
+    rest.split('"').next().map(str::to_string)
+}
+
+/// Extracts one numeric `"key":value` field from a JSON object slice.
+fn field_f64(obj: &str, key: &str) -> Option<f64> {
+    let rest = obj.split(&format!("\"{key}\":")).nth(1)?;
+    rest.split([',', '}']).next()?.trim().parse().ok()
+}
+
+/// The replay rows of the newest trajectory entry measured at this host
+/// parallelism. The trajectory file is machine-written, one entry per
+/// line, so a line-oriented field scan is exact — no JSON parser needed.
+fn baseline_rows(path: &str, host_parallelism: usize) -> Option<Vec<BaselineRow>> {
+    let body = std::fs::read_to_string(path).ok()?;
+    let needle = format!("\"host_parallelism\":{host_parallelism},");
+    let line = body.lines().rev().find(|l| l.contains(&needle) && l.contains("\"replay\":["))?;
+    let replay = line.split("\"replay\":[").nth(1)?.split(']').next()?;
+    let mut rows = Vec::new();
+    for obj in replay.split("},{") {
+        rows.push(BaselineRow {
+            trace: field_str(obj, "trace")?,
+            scheme: field_str(obj, "scheme")?,
+            walk: field_f64(obj, "events_per_sec_walk")?,
+            fast: field_f64(obj, "events_per_sec_fast")?,
+        });
+    }
+    Some(rows)
+}
+
+/// Compares every current replay row against the baseline entry and
+/// prints the delta table; returns false if any lane of any row lost
+/// more than [`GATE_TOLERANCE`] of its events/sec.
+fn regression_gate(path: &str, host_parallelism: usize, rows: &[ReplayRow]) -> bool {
+    let Some(baseline) = baseline_rows(path, host_parallelism) else {
+        println!(
+            "\nregression gate: no prior entry at host_parallelism {host_parallelism} \
+             in {path}; skipping"
+        );
+        return true;
+    };
+    println!(
+        "\nregression gate vs last entry at host_parallelism {host_parallelism} \
+         (tolerance -{:.0}%):",
+        GATE_TOLERANCE * 100.0
+    );
+    let mut ok = true;
+    for r in rows {
+        let scheme = r.scheme.to_string();
+        let Some(b) = baseline.iter().find(|b| b.trace == r.trace && b.scheme == scheme) else {
+            println!("  {:<14} {scheme:<12} new row (no baseline)", r.trace);
+            continue;
+        };
+        let walk = r.events as f64 * 1e9 / r.wall_walk as f64;
+        let fast = r.events as f64 * 1e9 / r.wall_fast as f64;
+        for (lane, now, then) in [("walk", walk, b.walk), ("fast", fast, b.fast)] {
+            let delta = now / then - 1.0;
+            let fail = delta < -GATE_TOLERANCE;
+            ok &= !fail;
+            println!(
+                "  {:<14} {scheme:<12} {lane}  {:>8.2} -> {:>8.2} Mev/s  {:>+6.1}%{}",
+                r.trace,
+                then / 1e6,
+                now / 1e6,
+                delta * 100.0,
+                if fail { "  REGRESSION" } else { "" },
+            );
+        }
+    }
+    ok
 }
 
 /// The commit this entry measures, so the bench trajectory is

@@ -12,7 +12,7 @@ use pmo_analyzer::{Analyzer, InspectPass, PermWindowPass};
 use pmo_protect::SchemeKind;
 use pmo_sim::{Replay, ReplayReport};
 use pmo_simarch::SimConfig;
-use pmo_trace::{TraceEvent, TraceSink};
+use pmo_trace::{block, RecordedTrace, TraceEvent, TraceSink};
 use pmo_workloads::{
     MicroBench, MicroConfig, MicroWorkload, WhisperBench, WhisperConfig, WhisperWorkload, Workload,
 };
@@ -133,7 +133,11 @@ pub fn run_windowed(
 }
 
 /// [`run_windowed`] without the permission-window audit (what
-/// `--no-audit` selects).
+/// `--no-audit` selects). The trace is recorded, block-encoded, and
+/// replayed through the batched struct-of-arrays engine — the audited
+/// path must stream (the analyzer tees protocol events per event), so
+/// this is the campaign drivers' fast lane; the two paths are asserted
+/// report-identical by the runner tests.
 ///
 /// # Panics
 ///
@@ -143,10 +147,14 @@ pub fn run_windowed_unaudited(
     kind: SchemeKind,
     config: &SimConfig,
 ) -> ReplayReport {
+    let mut setup = RecordedTrace::new();
+    workload.setup(&mut setup);
+    let mut run = RecordedTrace::new();
+    workload.run(&mut run);
     let mut replay = Replay::new(kind, config);
-    workload.setup(&mut replay);
+    replay.replay_blocks(&block::block_trace_of(&setup));
     let snapshot = replay.snapshot();
-    workload.run(&mut replay);
+    replay.replay_blocks(&block::block_trace_of(&run));
     let report = replay.finish().since(&snapshot);
     assert!(
         !report.faulted(),

@@ -2,7 +2,7 @@
 
 use crate::config::SetAssocGeometry;
 use crate::memory::{MainMemory, MemKind};
-use crate::replacement::{Policy, SetState};
+use crate::replacement::{Policy, ReplArray};
 use crate::stats::CacheStats;
 
 /// A functional (tags-only) set-associative cache.
@@ -13,14 +13,31 @@ use crate::stats::CacheStats;
 #[derive(Clone, Debug)]
 pub struct Cache {
     name: &'static str,
-    geometry: SetAssocGeometry,
     line_bytes: u32,
-    /// `tags[set][way]`: line address (va >> line_bits) or None.
-    tags: Vec<Vec<Option<u64>>>,
-    dirty: Vec<Vec<bool>>,
-    repl: Vec<SetState>,
+    ways: usize,
+    sets: u64,
+    /// `sets - 1` when the set count is a power of two (every shipped
+    /// geometry); the set index is then a mask instead of a `%`.
+    set_mask: u64,
+    pow2_sets: bool,
+    /// Flat `[set * ways + way]` tag words: the line address
+    /// (`va >> line_bits`) in the low 63 bits with the dirty flag packed
+    /// into bit 63 ([`DIRTY`]); [`EMPTY_LINE`] marks a free way. Packing
+    /// the dirty bit into the tag word (instead of a parallel
+    /// `Vec<bool>`) means an access touches one host cache line of
+    /// metadata per set, not two.
+    tags: Vec<u64>,
+    repl: ReplArray,
     stats: CacheStats,
 }
+
+/// Dirty flag, packed into the top bit of each tag word.
+const DIRTY: u64 = 1 << 63;
+
+/// Free-way marker in the tag lane (dirty bit clear — an empty way is
+/// never dirty). A real line address is `va >> 6` at most (58 bits), so
+/// it can never collide.
+const EMPTY_LINE: u64 = u64::MAX >> 1;
 
 /// Result of one cache access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,11 +66,13 @@ impl Cache {
         let ways = geometry.ways as usize;
         Cache {
             name,
-            geometry,
             line_bytes,
-            tags: vec![vec![None; ways]; sets],
-            dirty: vec![vec![false; ways]; sets],
-            repl: (0..sets).map(|_| SetState::new(policy, ways as u8)).collect(),
+            ways,
+            sets: sets as u64,
+            set_mask: (sets as u64).wrapping_sub(1),
+            pow2_sets: sets.is_power_of_two(),
+            tags: vec![EMPTY_LINE; sets * ways],
+            repl: ReplArray::new(policy, ways as u8, sets),
             stats: CacheStats::default(),
         }
     }
@@ -62,20 +81,43 @@ impl Cache {
         self.line_bytes.trailing_zeros()
     }
 
+    #[inline]
     fn index(&self, line: u64) -> usize {
-        (line % u64::from(self.geometry.sets())) as usize
+        if self.pow2_sets {
+            (line & self.set_mask) as usize
+        } else {
+            (line % self.sets) as usize
+        }
+    }
+
+    /// The way holding `line` within the set starting at `base`, if any.
+    /// Scans every way without early exit: the match position is random,
+    /// so a short-circuit scan mispredicts its exit branch almost every
+    /// access, while the full scan compiles to straight-line selects.
+    /// Compares with the dirty bit masked off.
+    #[inline]
+    fn way_of(&self, base: usize, line: u64) -> Option<usize> {
+        let mut found = usize::MAX;
+        for (w, &t) in self.tags[base..base + self.ways].iter().enumerate() {
+            if t & !DIRTY == line {
+                found = w;
+            }
+        }
+        (found != usize::MAX).then_some(found)
     }
 
     /// Accesses address `va`; returns hit/miss and any dirty writeback.
     ///
     /// On a miss the line is allocated (write-allocate for stores).
+    #[inline]
     pub fn access(&mut self, va: u64, is_write: bool) -> CacheAccess {
         let line = va >> self.line_bits();
         let set = self.index(line);
-        if let Some(way) = self.tags[set].iter().position(|t| *t == Some(line)) {
-            self.repl[set].touch(way as u8);
+        let base = set * self.ways;
+        if let Some(way) = self.way_of(base, line) {
+            self.repl.touch(set, way as u8);
             if is_write {
-                self.dirty[set][way] = true;
+                self.tags[base + way] |= DIRTY;
                 self.stats.write_hits += 1;
             } else {
                 self.stats.read_hits += 1;
@@ -94,22 +136,19 @@ impl Cache {
     /// Installs `line`, returning any dirty victim's line address.
     fn fill(&mut self, line: u64, dirty: bool) -> Option<u64> {
         let set = self.index(line);
-        let way = if let Some(free) = self.tags[set].iter().position(Option::is_none) {
-            free
-        } else {
-            self.repl[set].victim() as usize
-        };
+        let base = set * self.ways;
+        let way = self.way_of(base, EMPTY_LINE).unwrap_or_else(|| self.repl.victim(set) as usize);
         let mut writeback = None;
-        if let Some(old) = self.tags[set][way] {
-            if self.dirty[set][way] {
+        let old = self.tags[base + way];
+        if old != EMPTY_LINE {
+            if old & DIRTY != 0 {
                 self.stats.writebacks += 1;
-                writeback = Some(old);
+                writeback = Some(old & !DIRTY);
             }
             self.stats.evictions += 1;
         }
-        self.tags[set][way] = Some(line);
-        self.dirty[set][way] = dirty;
-        self.repl[set].touch(way as u8);
+        self.tags[base + way] = line | if dirty { DIRTY } else { 0 };
+        self.repl.touch(set, way as u8);
         writeback
     }
 
@@ -117,10 +156,11 @@ impl Cache {
     /// The line is *retained* (clean) — `clwb` semantics, unlike `clflush`.
     pub fn writeback_line(&mut self, va: u64) -> Option<bool> {
         let line = va >> self.line_bits();
-        let set = self.index(line);
-        let way = self.tags[set].iter().position(|t| *t == Some(line))?;
-        let was_dirty = self.dirty[set][way];
-        self.dirty[set][way] = false;
+        let base = self.index(line) * self.ways;
+        let way = self.way_of(base, line)?;
+        let t = &mut self.tags[base + way];
+        let was_dirty = *t & DIRTY != 0;
+        *t &= !DIRTY;
         Some(was_dirty)
     }
 
@@ -128,22 +168,16 @@ impl Cache {
     /// (`clflush` semantics).
     pub fn flush_line(&mut self, va: u64) -> Option<bool> {
         let line = va >> self.line_bits();
-        let set = self.index(line);
-        let way = self.tags[set].iter().position(|t| *t == Some(line))?;
-        let was_dirty = self.dirty[set][way];
-        self.tags[set][way] = None;
-        self.dirty[set][way] = false;
+        let base = self.index(line) * self.ways;
+        let way = self.way_of(base, line)?;
+        let was_dirty = self.tags[base + way] & DIRTY != 0;
+        self.tags[base + way] = EMPTY_LINE;
         Some(was_dirty)
     }
 
     /// Invalidates the whole cache (does not model writeback traffic).
     pub fn flush_all(&mut self) {
-        for set in &mut self.tags {
-            set.fill(None);
-        }
-        for set in &mut self.dirty {
-            set.fill(false);
-        }
+        self.tags.fill(EMPTY_LINE);
     }
 
     /// Settles `reads + writes` batched repeat accesses to a line that is
@@ -158,13 +192,14 @@ impl Cache {
     pub fn note_line_hits(&mut self, va: u64, reads: u64, writes: u64) {
         let line = va >> self.line_bits();
         let set = self.index(line);
-        let Some(way) = self.tags[set].iter().position(|t| *t == Some(line)) else {
+        let base = set * self.ways;
+        let Some(way) = self.way_of(base, line) else {
             debug_assert!(false, "line-hit batch settled against a non-resident line");
             return;
         };
-        self.repl[set].touch(way as u8);
+        self.repl.touch(set, way as u8);
         if writes > 0 {
-            self.dirty[set][way] = true;
+            self.tags[base + way] |= DIRTY;
         }
         self.stats.read_hits += reads;
         self.stats.write_hits += writes;
@@ -195,7 +230,10 @@ pub struct CacheHierarchy {
     l2: Cache,
     l1_latency: u64,
     l2_latency: u64,
-    mlp: f64,
+    /// MLP-scaled miss stall per [`MemKind`] (`[Dram, Nvm]`), precomputed
+    /// at construction so the miss path adds a constant instead of
+    /// dividing and rounding an `f64` per miss.
+    scaled_read: [u64; 2],
     memory: MainMemory,
 }
 
@@ -203,12 +241,14 @@ impl CacheHierarchy {
     /// Builds the hierarchy from a [`SimConfig`](crate::SimConfig).
     #[must_use]
     pub fn new(config: &crate::SimConfig) -> Self {
+        let mlp = config.mem_level_parallelism.max(1.0);
+        let scale = |lat: u64| (lat as f64 / mlp).round() as u64;
         CacheHierarchy {
             l1: Cache::new("L1D", config.l1d, config.line_bytes, Policy::TreePlru),
             l2: Cache::new("L2", config.l2, config.line_bytes, Policy::TreePlru),
             l1_latency: config.l1d_latency,
             l2_latency: config.l2_latency,
-            mlp: config.mem_level_parallelism.max(1.0),
+            scaled_read: [scale(config.dram_latency), scale(config.nvm_latency)],
             memory: MainMemory::new(config.dram_latency, config.nvm_latency),
         }
     }
@@ -235,7 +275,8 @@ impl CacheHierarchy {
         if l2.hit {
             return cycles;
         }
-        cycles += (self.memory.read(kind) as f64 / self.mlp).round() as u64;
+        let _ = self.memory.read(kind); // traffic counter; stall is pre-scaled
+        cycles += self.scaled_read[kind as usize];
         cycles
     }
 
@@ -265,6 +306,20 @@ impl CacheHierarchy {
     #[must_use]
     pub fn l1_hit_latency(&self) -> u64 {
         self.l1_latency
+    }
+
+    /// The L1 set index a line address (`va >> line_bits`) maps to — the
+    /// key of the replayer's per-set line memo, which mirrors L1 geometry
+    /// so a fill can only disturb the memo slot it indexes.
+    #[must_use]
+    pub fn l1_set_of_line(&self, line: u64) -> usize {
+        self.l1.index(line)
+    }
+
+    /// Number of L1 sets (the line-memo table size).
+    #[must_use]
+    pub fn l1_sets(&self) -> usize {
+        self.l1.sets as usize
     }
 
     /// Settles batched repeat hits on a still-resident L1 line — see

@@ -139,6 +139,130 @@ impl SetState {
     }
 }
 
+/// Replacement state for *every* set of one structure, packed one `u64`
+/// per set. This is what caches and TLBs embed: per-way tree-PLRU touch
+/// masks are precomputed once and shared across sets, so a touch is two
+/// table loads and one read-modify-write on the set's word — where a
+/// [`SetState`] per set costs 4 words of storage, an enum dispatch, and a
+/// data-dependent tree walk per touch. [`SetState`] remains the
+/// single-set reference implementation; the two are equivalence-tested.
+///
+/// True LRU packs the recency stack into nibbles of the set word and is
+/// therefore limited to 16 ways (every shipped LRU geometry is far
+/// smaller; tree-PLRU supports up to 64).
+#[derive(Clone, Debug)]
+pub struct ReplArray {
+    policy: Policy,
+    ways: u8,
+    /// One packed state word per set: tree bits (PLRU) or the nibble
+    /// recency stack, LRU way in the lowest nibble (LRU).
+    bits: Vec<u64>,
+    /// Per-way `(and_not, or)` touch masks (PLRU only): touching way `w`
+    /// points every tree node on its root-to-leaf path away from it.
+    touch_masks: Vec<(u64, u64)>,
+}
+
+impl ReplArray {
+    /// Creates replacement state for `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is 0, exceeds 64, or exceeds 16 under true LRU.
+    #[must_use]
+    pub fn new(policy: Policy, ways: u8, sets: usize) -> Self {
+        assert!(ways > 0 && ways <= 64, "ways must be in 1..=64");
+        let (init, touch_masks) = match policy {
+            Policy::Lru => {
+                assert!(ways <= 16, "packed true LRU supports at most 16 ways");
+                let mut stack = 0u64;
+                for w in 0..u64::from(ways) {
+                    stack |= w << (4 * w);
+                }
+                (stack, Vec::new())
+            }
+            Policy::TreePlru => {
+                let masks = (0..ways)
+                    .map(|way| {
+                        let leaves = u64::from(ways).next_power_of_two();
+                        let (mut and_not, mut or) = (0u64, 0u64);
+                        let (mut node, mut lo, mut hi) = (1u64, 0u64, leaves);
+                        while hi - lo > 1 {
+                            let mid = (lo + hi) / 2;
+                            if u64::from(way) >= mid {
+                                and_not |= 1 << (node - 1);
+                                lo = mid;
+                                node = node * 2 + 1;
+                            } else {
+                                or |= 1 << (node - 1);
+                                hi = mid;
+                                node *= 2;
+                            }
+                        }
+                        (!and_not, or)
+                    })
+                    .collect();
+                (0, masks)
+            }
+        };
+        ReplArray { policy, ways, bits: vec![init; sets], touch_masks }
+    }
+
+    /// Records a use of `way` in `set`.
+    #[inline]
+    pub fn touch(&mut self, set: usize, way: u8) {
+        match self.policy {
+            Policy::TreePlru => {
+                let (and, or) = self.touch_masks[way as usize];
+                let b = &mut self.bits[set];
+                *b = (*b & and) | or;
+            }
+            Policy::Lru => {
+                let b = &mut self.bits[set];
+                let stack = *b;
+                let mut rebuilt = 0u64;
+                let mut out = 0;
+                for pos in 0..u64::from(self.ways) {
+                    let w = (stack >> (4 * pos)) & 0xF;
+                    if w != u64::from(way) {
+                        rebuilt |= w << (4 * out);
+                        out += 1;
+                    }
+                }
+                debug_assert!(out == u64::from(self.ways) - 1, "way out of range");
+                rebuilt |= u64::from(way) << (4 * out);
+                *b = rebuilt;
+            }
+        }
+    }
+
+    /// The way `set` would evict next (state is not modified).
+    #[must_use]
+    #[inline]
+    pub fn victim(&self, set: usize) -> u8 {
+        match self.policy {
+            Policy::TreePlru => {
+                let bits = self.bits[set];
+                let leaves = u64::from(self.ways).next_power_of_two();
+                let (mut node, mut lo, mut hi) = (1u64, 0u64, leaves);
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if bits & (1 << (node - 1)) == 0 {
+                        hi = mid;
+                        node *= 2;
+                    } else {
+                        lo = mid;
+                        node = node * 2 + 1;
+                    }
+                }
+                // Non-power-of-two associativity: phantom leaves fold back
+                // into range (same bias as [`SetState::victim`]).
+                (lo as u8) % self.ways
+            }
+            Policy::Lru => (self.bits[set] & 0xF) as u8,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +340,33 @@ mod tests {
     fn touch_out_of_range_panics() {
         let mut s = SetState::new(Policy::TreePlru, 4);
         s.touch(4);
+    }
+
+    /// The packed array must agree with the reference single-set state on
+    /// every victim decision under identical touch streams.
+    #[test]
+    fn repl_array_matches_set_state() {
+        for policy in [Policy::Lru, Policy::TreePlru] {
+            for ways in [1u8, 2, 4, 6, 8, 16] {
+                let mut reference: Vec<SetState> =
+                    (0..3).map(|_| SetState::new(policy, ways)).collect();
+                let mut packed = ReplArray::new(policy, ways, 3);
+                let mut x = 0x9e3779b97f4a7c15u64;
+                for step in 0..500 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let set = (x >> 32) as usize % 3;
+                    let way = ((x >> 40) % u64::from(ways)) as u8;
+                    reference[set].touch(way);
+                    packed.touch(set, way);
+                    for (s, r) in reference.iter().enumerate() {
+                        assert_eq!(
+                            r.victim(),
+                            packed.victim(s),
+                            "policy {policy} ways {ways} step {step} set {s}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

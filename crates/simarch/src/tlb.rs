@@ -3,7 +3,7 @@
 //! domain-virtualization design).
 
 use crate::config::SetAssocGeometry;
-use crate::replacement::{Policy, SetState};
+use crate::replacement::{Policy, ReplArray};
 use crate::stats::TlbStats;
 
 /// Base page size: 4KB.
@@ -27,9 +27,33 @@ pub const fn vpn(va: u64) -> u64 {
 #[derive(Clone, Debug)]
 pub struct Tlb<P> {
     geometry: SetAssocGeometry,
-    entries: Vec<Vec<Option<(u64, P)>>>, // [set][way] -> (vpn, payload)
-    repl: Vec<SetState>,
+    ways: usize,
+    sets: u64,
+    /// `sets - 1` when the set count is a power of two (the common case for
+    /// every shipped geometry); the index is then a mask instead of a `%`.
+    set_mask: u64,
+    pow2_sets: bool,
+    /// VPN lane, flat `[set * ways + way]` — struct-of-arrays so way scans
+    /// and range shootdowns stream over packed `u64`s only ([`EMPTY_VPN`]
+    /// marks a free slot). The VPN lane alone defines validity: payloads
+    /// of invalidated slots are left stale and never observed, so bulk
+    /// invalidation touches nothing but this lane.
+    vpns: Vec<u64>,
+    /// One occupancy bitmask per set (bit `w` ⟺ `vpns[set*ways+w]` is
+    /// valid). Shootdowns skip empty sets on one load instead of
+    /// streaming their VPN words — the difference between a pool-wide
+    /// `Range_Flush` costing proportional-to-capacity or
+    /// proportional-to-occupancy host time, which matters when a
+    /// workload fires hundreds of thousands of them at a mostly-empty
+    /// 1536-entry L2 TLB.
+    valid: Vec<u64>,
+    payloads: Vec<Option<P>>,
+    repl: ReplArray,
 }
+
+/// Free-slot marker in the VPN lane. A real VPN is `va >> 12`, so it can
+/// never reach `u64::MAX`.
+const EMPTY_VPN: u64 = u64::MAX;
 
 impl<P: Copy> Tlb<P> {
     /// Creates an empty TLB.
@@ -37,61 +61,89 @@ impl<P: Copy> Tlb<P> {
     pub fn new(geometry: SetAssocGeometry, policy: Policy) -> Self {
         let sets = geometry.sets() as usize;
         let ways = geometry.ways as usize;
+        let pow2_sets = sets.is_power_of_two();
         Tlb {
             geometry,
-            entries: vec![vec![None; ways]; sets],
-            repl: (0..sets).map(|_| SetState::new(policy, ways as u8)).collect(),
+            ways,
+            sets: sets as u64,
+            set_mask: (sets as u64).wrapping_sub(1),
+            pow2_sets,
+            vpns: vec![EMPTY_VPN; sets * ways],
+            valid: vec![0; sets],
+            payloads: vec![None; sets * ways],
+            repl: ReplArray::new(policy, ways as u8, sets),
         }
     }
 
+    #[inline]
     fn set_of(&self, vpn: u64) -> usize {
-        (vpn % u64::from(self.geometry.sets())) as usize
+        if self.pow2_sets {
+            (vpn & self.set_mask) as usize
+        } else {
+            (vpn % self.sets) as usize
+        }
+    }
+
+    /// The way holding `vpn` within the set starting at `base`, if any.
+    #[inline]
+    fn way_of(&self, base: usize, vpn: u64) -> Option<usize> {
+        // Full scan without early exit: compiles to straight-line selects
+        // instead of an unpredictable short-circuit branch per way.
+        let mut found = usize::MAX;
+        for (w, &v) in self.vpns[base..base + self.ways].iter().enumerate() {
+            if v == vpn {
+                found = w;
+            }
+        }
+        (found != usize::MAX).then_some(found)
     }
 
     /// Looks up a VPN, updating recency. Returns the payload on a hit.
+    #[inline]
     pub fn lookup(&mut self, vpn: u64) -> Option<P> {
-        let set = self.set_of(vpn);
-        let way = self.entries[set].iter().position(|e| matches!(e, Some((v, _)) if *v == vpn))?;
-        self.repl[set].touch(way as u8);
-        self.entries[set][way].map(|(_, p)| p)
+        let base = self.set_of(vpn) * self.ways;
+        let way = self.way_of(base, vpn)?;
+        self.repl.touch(base / self.ways, way as u8);
+        self.payloads[base + way]
     }
 
     /// Looks up without updating recency (probe).
+    #[inline]
     #[must_use]
     pub fn probe(&self, vpn: u64) -> Option<P> {
-        let set = self.set_of(vpn);
-        self.entries[set].iter().find_map(|e| e.filter(|(v, _)| *v == vpn).map(|(_, p)| p))
+        let base = self.set_of(vpn) * self.ways;
+        self.way_of(base, vpn).and_then(|way| self.payloads[base + way])
     }
 
     /// Inserts a translation, returning any evicted entry.
     pub fn insert(&mut self, vpn: u64, payload: P) -> Option<(u64, P)> {
         let set = self.set_of(vpn);
+        let base = set * self.ways;
         // Replace in place on re-insert.
-        if let Some(way) =
-            self.entries[set].iter().position(|e| matches!(e, Some((v, _)) if *v == vpn))
-        {
-            self.entries[set][way] = Some((vpn, payload));
-            self.repl[set].touch(way as u8);
+        if let Some(way) = self.way_of(base, vpn) {
+            self.payloads[base + way] = Some(payload);
+            self.repl.touch(set, way as u8);
             return None;
         }
-        let way = if let Some(free) = self.entries[set].iter().position(Option::is_none) {
-            free
-        } else {
-            self.repl[set].victim() as usize
+        let way = self.way_of(base, EMPTY_VPN).unwrap_or_else(|| self.repl.victim(set) as usize);
+        let evicted = match self.vpns[base + way] {
+            EMPTY_VPN => None,
+            v => self.payloads[base + way].map(|p| (v, p)),
         };
-        let evicted = self.entries[set][way];
-        self.entries[set][way] = Some((vpn, payload));
-        self.repl[set].touch(way as u8);
+        self.vpns[base + way] = vpn;
+        self.valid[set] |= 1 << way;
+        self.payloads[base + way] = Some(payload);
+        self.repl.touch(set, way as u8);
         evicted
     }
 
     /// Invalidates one VPN; returns whether an entry was removed.
     pub fn invalidate(&mut self, vpn: u64) -> bool {
         let set = self.set_of(vpn);
-        if let Some(way) =
-            self.entries[set].iter().position(|e| matches!(e, Some((v, _)) if *v == vpn))
-        {
-            self.entries[set][way] = None;
+        let base = set * self.ways;
+        if let Some(way) = self.way_of(base, vpn) {
+            self.vpns[base + way] = EMPTY_VPN;
+            self.valid[set] &= !(1 << way);
             true
         } else {
             false
@@ -99,39 +151,42 @@ impl<P: Copy> Tlb<P> {
     }
 
     /// Invalidates every entry whose VPN lies in `[start_vpn, end_vpn)`;
-    /// returns the number removed (the `Range_Flush` of §IV.D).
+    /// returns the number removed (the `Range_Flush` of §IV.D). This runs
+    /// on every pool-wide shootdown: empty sets are skipped on one
+    /// occupancy-mask load, occupied sets get a branchless scan of their
+    /// packed VPN words; [`EMPTY_VPN`] can never land in the range
+    /// because `end_vpn` is exclusive.
     pub fn invalidate_range(&mut self, start_vpn: u64, end_vpn: u64) -> u64 {
         let mut removed = 0;
-        for set in &mut self.entries {
-            for slot in set.iter_mut() {
-                if let Some((v, _)) = slot {
-                    if *v >= start_vpn && *v < end_vpn {
-                        *slot = None;
-                        removed += 1;
-                    }
-                }
+        for (set, mask) in self.valid.iter_mut().enumerate() {
+            if *mask == 0 {
+                continue;
             }
+            let base = set * self.ways;
+            let mut cleared = 0u64;
+            for (w, v) in self.vpns[base..base + self.ways].iter_mut().enumerate() {
+                let hit = *v >= start_vpn && *v < end_vpn;
+                removed += u64::from(hit);
+                cleared |= u64::from(hit) << w;
+                *v = if hit { EMPTY_VPN } else { *v };
+            }
+            *mask &= !cleared;
         }
         removed
     }
 
     /// Invalidates everything; returns the number of entries removed.
     pub fn flush_all(&mut self) -> u64 {
-        let mut removed = 0;
-        for set in &mut self.entries {
-            for slot in set.iter_mut() {
-                if slot.take().is_some() {
-                    removed += 1;
-                }
-            }
-        }
+        let removed = self.occupancy() as u64;
+        self.vpns.fill(EMPTY_VPN);
+        self.valid.fill(0);
         removed
     }
 
     /// Number of valid entries (for tests and occupancy stats).
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().flatten().filter(|e| e.is_some()).count()
+        self.valid.iter().map(|m| m.count_ones() as usize).sum()
     }
 
     /// Total capacity.
@@ -143,7 +198,10 @@ impl<P: Copy> Tlb<P> {
     /// Iterates over every valid `(vpn, payload)` entry without updating
     /// recency (model-checker inspection).
     pub fn entries(&self) -> impl Iterator<Item = (u64, &P)> + '_ {
-        self.entries.iter().flatten().filter_map(|e| e.as_ref().map(|(v, p)| (*v, p)))
+        self.vpns
+            .iter()
+            .zip(&self.payloads)
+            .filter_map(|(&v, p)| (v != EMPTY_VPN).then_some(()).and(p.as_ref().map(|p| (v, p))))
     }
 }
 
@@ -242,6 +300,17 @@ impl<P: Copy> TlbHierarchy<P> {
     #[must_use]
     pub fn probe_l1(&self, vpn: u64) -> Option<P> {
         self.l1.probe(vpn)
+    }
+
+    /// Finds a VPN in the L1 level and touches its recency, with no
+    /// statistics and no promotion — exactly the L1 portion of what
+    /// [`TlbHierarchy::lookup`] does on an L1 hit. The replay engine's
+    /// permission-summary table revalidates its cached verdicts through
+    /// this: a summary hit must leave the replacement state exactly as the
+    /// full walk would have.
+    #[inline]
+    pub fn touch_l1(&mut self, vpn: u64) -> Option<P> {
+        self.l1.lookup(vpn)
     }
 
     /// L1 lookup latency in cycles (what a warm hit charges).

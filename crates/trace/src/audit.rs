@@ -9,7 +9,7 @@
 //! instruction stream and reports every violation of the window
 //! discipline, without running a simulator.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::{Perm, PmoId, ThreadId, TraceEvent, TraceSink, Va};
@@ -84,7 +84,7 @@ pub struct PermAudit {
     /// Attached regions: base -> (end, pmo).
     regions: BTreeMap<Va, (Va, PmoId)>,
     /// Open grants: (thread, pmo) -> perm.
-    grants: HashMap<(ThreadId, PmoId), Perm>,
+    grants: BTreeMap<(ThreadId, PmoId), Perm>,
     current: ThreadId,
     max_open_windows: usize,
     violations: Vec<AuditViolation>,
@@ -110,7 +110,7 @@ impl PermAudit {
     pub fn with_max_open_windows(max: usize) -> Self {
         PermAudit {
             regions: BTreeMap::new(),
-            grants: HashMap::new(),
+            grants: BTreeMap::new(),
             current: ThreadId::MAIN,
             max_open_windows: max,
             violations: Vec::new(),

@@ -9,7 +9,8 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use crate::{FaultKind, OpKind, Perm, PmoId, ThreadId, TraceEvent, TraceSink, TraceSource};
+use crate::block::{pack_record, unpack_record};
+use crate::{TraceEvent, TraceSink, TraceSource};
 
 const MAGIC: u32 = 0x504d_4f54; // "PMOT"
 /// Current format version. v2 added the valued-store record (tag 12);
@@ -20,28 +21,7 @@ const MIN_VERSION: u32 = 1;
 const RECORD_BYTES: usize = 22;
 
 fn encode(ev: &TraceEvent) -> [u8; RECORD_BYTES] {
-    let (tag, a, b, c, d): (u8, u64, u64, u8, u32) = match *ev {
-        TraceEvent::Compute { count } => (0, u64::from(count), 0, 0, 0),
-        TraceEvent::Load { va, size } => (1, va, 0, size, 0),
-        TraceEvent::Store { va, size } => (2, va, 0, size, 0),
-        TraceEvent::SetPerm { pmo, perm } => (3, 0, 0, perm.encode(), pmo.raw()),
-        TraceEvent::Attach { pmo, base, size, nvm } => (4, base, size, u8::from(nvm), pmo.raw()),
-        TraceEvent::Detach { pmo } => (5, 0, 0, 0, pmo.raw()),
-        TraceEvent::ThreadSwitch { thread } => (6, 0, 0, 0, thread.raw()),
-        TraceEvent::Flush { va } => (7, va, 0, 0, 0),
-        TraceEvent::Fence => (8, 0, 0, 0, 0),
-        TraceEvent::Op { kind } => (9, 0, 0, u8::from(matches!(kind, OpKind::End)), 0),
-        TraceEvent::Fault { pmo, kind } => {
-            let code = match kind {
-                FaultKind::PowerFailure => 0,
-                FaultKind::TornWrite => 1,
-                FaultKind::MediaError => 2,
-            };
-            (10, 0, 0, code, pmo.raw())
-        }
-        TraceEvent::Shootdown { pmo } => (11, 0, 0, 0, pmo.raw()),
-        TraceEvent::StoreData { va, size, data } => (12, va, data, size, 0),
-    };
+    let (tag, a, b, c, d) = pack_record(ev);
     let mut rec = [0u8; RECORD_BYTES];
     rec[0] = tag;
     rec[1..9].copy_from_slice(&a.to_le_bytes());
@@ -57,40 +37,7 @@ fn decode(rec: &[u8; RECORD_BYTES]) -> io::Result<TraceEvent> {
     let b = u64::from_le_bytes(rec[9..17].try_into().expect("8 bytes"));
     let c = rec[17];
     let d = u32::from_le_bytes(rec[18..22].try_into().expect("4 bytes"));
-    Ok(match tag {
-        0 => TraceEvent::Compute { count: a as u32 },
-        1 => TraceEvent::Load { va: a, size: c },
-        2 => TraceEvent::Store { va: a, size: c },
-        3 => TraceEvent::SetPerm { pmo: PmoId::from_raw(d), perm: Perm::decode(c) },
-        4 => TraceEvent::Attach { pmo: PmoId::from_raw(d), base: a, size: b, nvm: c != 0 },
-        5 => TraceEvent::Detach { pmo: PmoId::from_raw(d) },
-        6 => TraceEvent::ThreadSwitch { thread: ThreadId::new(d) },
-        7 => TraceEvent::Flush { va: a },
-        8 => TraceEvent::Fence,
-        9 => TraceEvent::Op { kind: if c != 0 { OpKind::End } else { OpKind::Begin } },
-        10 => TraceEvent::Fault {
-            pmo: PmoId::from_raw(d),
-            kind: match c {
-                0 => FaultKind::PowerFailure,
-                1 => FaultKind::TornWrite,
-                2 => FaultKind::MediaError,
-                other => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("unknown fault kind code {other}"),
-                    ))
-                }
-            },
-        },
-        11 => TraceEvent::Shootdown { pmo: PmoId::from_raw(d) },
-        12 => TraceEvent::StoreData { va: a, size: c, data: b },
-        other => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unknown trace record tag {other}"),
-            ))
-        }
-    })
+    unpack_record(tag, a, b, c, d)
 }
 
 /// A sink that streams events into a trace file as they arrive.
@@ -233,7 +180,7 @@ impl TraceSource for TraceFile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::RecordedTrace;
+    use crate::{FaultKind, OpKind, Perm, PmoId, RecordedTrace, ThreadId};
 
     fn sample() -> Vec<TraceEvent> {
         vec![

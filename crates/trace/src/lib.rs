@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod audit;
+pub mod block;
 mod code;
 mod event;
 mod file;
@@ -38,6 +39,7 @@ mod sink;
 mod stats;
 
 pub use audit::{AuditViolation, PermAudit};
+pub use block::{BlockReader, BlockTrace, EventBlock, LaneView};
 pub use code::{CodeImage, GateRegion};
 pub use event::{FaultKind, OpKind, TraceEvent};
 pub use file::{TraceFile, TraceFileWriter};

@@ -68,6 +68,47 @@ impl EventCounts {
         }
     }
 
+    /// Updates the counters for one packed record (tag plus the `a` and
+    /// `c` fields of the 22-byte record layout) without constructing a
+    /// [`TraceEvent`] — the block decoder's lane-scan equivalent of
+    /// [`EventCounts::observe`]. The caller must pass a valid tag.
+    pub fn observe_packed(&mut self, tag: u8, a: u64, c: u8) {
+        self.events += 1;
+        match tag {
+            0 => self.computes += a,
+            1 => self.loads += 1,
+            2 | 12 => self.stores += 1,
+            3 => self.set_perms += 1,
+            4 => self.attaches += 1,
+            5 => self.detaches += 1,
+            6 => self.thread_switches += 1,
+            7 => self.flushes += 1,
+            8 => self.fences += 1,
+            9 => self.ops += u64::from(c != 0),
+            10 => self.faults += 1,
+            11 => self.shootdowns += 1,
+            other => debug_assert!(false, "observe_packed on invalid tag {other}"),
+        }
+    }
+
+    /// Adds another set of counters field-wise (merging per-block counts
+    /// into a trace total).
+    pub fn merge(&mut self, other: &EventCounts) {
+        self.events += other.events;
+        self.computes += other.computes;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.set_perms += other.set_perms;
+        self.attaches += other.attaches;
+        self.detaches += other.detaches;
+        self.thread_switches += other.thread_switches;
+        self.flushes += other.flushes;
+        self.fences += other.fences;
+        self.ops += other.ops;
+        self.faults += other.faults;
+        self.shootdowns += other.shootdowns;
+    }
+
     /// Total retired instructions represented by the counted events.
     #[must_use]
     pub fn instructions(&self) -> u64 {

@@ -98,6 +98,11 @@ pub enum ViolationClass {
     /// byte offset (unaligned jumps make instruction boundaries
     /// irrelevant), including inside an immediate or displacement.
     UnsafeKeyUpdateSite,
+    /// The predictive-reordering pass hit one of its bounded-work caps
+    /// (event buffer, candidate budget, or finding budget): the counted
+    /// remainder was not explored. A lint, mirroring the diagnostics-log
+    /// truncation discipline — bounded, but never silently lossy.
+    PredictionTruncated,
 }
 
 impl ViolationClass {
@@ -125,6 +130,7 @@ impl ViolationClass {
             ViolationClass::RefinementDivergence => "refinement-divergence",
             ViolationClass::NoninterferenceLeak => "noninterference-leak",
             ViolationClass::UnsafeKeyUpdateSite => "unsafe-key-update-site",
+            ViolationClass::PredictionTruncated => "prediction-truncated",
         }
     }
 }

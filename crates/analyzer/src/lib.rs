@@ -25,7 +25,13 @@
 //!   immediates) outside a registered call gate;
 //! * [`PermWindowPass`] — the existing [`pmo_trace::PermAudit`]
 //!   permission-window audit, lifted into the framework with positioned
-//!   diagnostics.
+//!   diagnostics;
+//! * [`PredictPass`] — predictive reordering analysis: from one observed
+//!   schedule it builds a constraint model (program order, fork edges,
+//!   shootdown walls) and searches for *feasible reorderings* that would
+//!   manifest stale-window or persist-order violations the observed
+//!   schedule missed, verifying every candidate by replaying a concrete
+//!   witness trace through the manifest passes.
 //!
 //! Beyond the streaming passes, [`enumerate`] performs exhaustive
 //! crash-image enumeration: per fence-delimited window it computes every
@@ -51,6 +57,7 @@ mod inspect;
 mod mutate;
 mod permwindow;
 mod persist;
+mod predict;
 mod race;
 
 pub use crashenum::{
@@ -69,12 +76,16 @@ pub use inspect::{
 pub use mutate::{seed_bug, seed_code_bug, SeededBug, SeededCodeBug};
 pub use permwindow::PermWindowPass;
 pub use persist::PersistOrderPass;
+pub use predict::{
+    predict, witness_events, PredictPass, PredictedFinding, Prediction, PREDICT_CANDIDATE_CAP,
+    PREDICT_EVENT_CAP, PREDICT_FINDING_CAP,
+};
 pub use race::RacePass;
 
-/// An [`Analyzer`] with all five standard passes: persist ordering,
+/// An [`Analyzer`] with all six standard passes: persist ordering,
 /// happens-before races, switch-gate integrity, binary inspection of the
-/// canonical trusted-monitor image, and the given permission-window
-/// policy.
+/// canonical trusted-monitor image, the given permission-window policy,
+/// and predictive reordering analysis.
 #[must_use]
 pub fn standard_analyzer(source: &str, windows: PermWindowPass) -> Analyzer {
     Analyzer::new(source)
@@ -83,4 +94,5 @@ pub fn standard_analyzer(source: &str, windows: PermWindowPass) -> Analyzer {
         .with_pass(GatePass::new())
         .with_pass(InspectPass::standard())
         .with_pass(windows)
+        .with_pass(PredictPass::new())
 }

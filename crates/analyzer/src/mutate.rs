@@ -33,17 +33,26 @@ pub enum SeededBug {
     /// that settles it (shootdown / next switch) — ERIM's forbidden
     /// gate window.
     StoreInGate,
+    /// The libmpk/ERIM key-reuse-after-evict window, planted so that it
+    /// is *reordering-reachable only*: an unsynchronized intruder thread
+    /// touches the pool before the detach (observed order is silent) and
+    /// the detach's shootdown is removed — only a feasible reordering
+    /// that delays the intruder past the detach exposes the stale
+    /// window, so the predictive pass (not any manifest pass) must
+    /// catch it.
+    KeyReuseAfterEvict,
 }
 
 impl SeededBug {
     /// Every bug class.
-    pub const ALL: [SeededBug; 6] = [
+    pub const ALL: [SeededBug; 7] = [
         SeededBug::DroppedFlush,
         SeededBug::ReorderedFence,
         SeededBug::RevokeWithoutShootdown,
         SeededBug::WindowLeftOpen,
         SeededBug::CrossThreadStore,
         SeededBug::StoreInGate,
+        SeededBug::KeyReuseAfterEvict,
     ];
 
     /// Short label.
@@ -56,6 +65,7 @@ impl SeededBug {
             SeededBug::WindowLeftOpen => "window-left-open",
             SeededBug::CrossThreadStore => "cross-thread-store",
             SeededBug::StoreInGate => "store-in-gate",
+            SeededBug::KeyReuseAfterEvict => "key-reuse-after-evict",
         }
     }
 
@@ -69,6 +79,7 @@ impl SeededBug {
             SeededBug::WindowLeftOpen => ViolationClass::WindowLeftOpen,
             SeededBug::CrossThreadStore => ViolationClass::CrossThreadRace,
             SeededBug::StoreInGate => ViolationClass::StoreInSwitchGate,
+            SeededBug::KeyReuseAfterEvict => ViolationClass::StaleWindowAccess,
         }
     }
 }
@@ -292,6 +303,46 @@ pub fn seed_bug(events: &[TraceEvent], bug: SeededBug) -> Option<Vec<TraceEvent>
             }
             let (si, base) = target?;
             out.insert(si + 1, TraceEvent::Store { va: base + 0x40, size: 8 });
+        }
+        SeededBug::KeyReuseAfterEvict => {
+            // Fork an intruder right after the first attach, have it
+            // load a quiet line of the pool just *before* the pool's
+            // detach, and remove the detach's shootdown. In the observed
+            // order the access precedes the revoke, so every manifest
+            // pass is silent; delaying the intruder's block past the
+            // detach is a feasible reordering that lands the access in
+            // the stale window — the eviction/remap reuse hazard only
+            // the predictive pass can reach.
+            let ai = events.iter().position(|ev| matches!(ev, TraceEvent::Attach { .. }))?;
+            let (pmo, base, size) = match events[ai] {
+                TraceEvent::Attach { pmo, base, size, .. } => (pmo, base, size),
+                _ => unreachable!("position matched an attach"),
+            };
+            let di = events
+                .iter()
+                .position(|ev| matches!(ev, TraceEvent::Detach { pmo: p } if *p == pmo))?;
+            let si = events.iter().enumerate().skip(di).find_map(|(i, ev)| match ev {
+                TraceEvent::Shootdown { pmo: p } if *p == pmo => Some(i),
+                _ => None,
+            })?;
+            let thread_at = |upto: usize| {
+                events[..upto]
+                    .iter()
+                    .rev()
+                    .find_map(|ev| match ev {
+                        TraceEvent::ThreadSwitch { thread } => Some(*thread),
+                        _ => None,
+                    })
+                    .unwrap_or(ThreadId::MAIN)
+            };
+            let intruder = ThreadId::new(99);
+            // Highest-index edits first so positions stay valid.
+            out.remove(si);
+            out.insert(di, TraceEvent::ThreadSwitch { thread: intruder });
+            out.insert(di + 1, TraceEvent::Load { va: base + size - 64, size: 8 });
+            out.insert(di + 2, TraceEvent::ThreadSwitch { thread: thread_at(di) });
+            out.insert(ai + 1, TraceEvent::ThreadSwitch { thread: intruder });
+            out.insert(ai + 2, TraceEvent::ThreadSwitch { thread: thread_at(ai) });
         }
     }
     Some(out)

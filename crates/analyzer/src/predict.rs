@@ -1,0 +1,927 @@
+//! Pass 6: predictive reordering analysis (WCP / maximal-causality
+//! style).
+//!
+//! The streaming passes only flag violations that *manifest* in the
+//! observed interleaving, while the DPOR/refinement harness only scales
+//! to small worlds. This pass closes the gap from a single observed
+//! trace: it builds a constraint model of the execution and searches for
+//! *feasible reorderings* — schedules the synchronization in the trace
+//! does not forbid — that expose violations the observed schedule
+//! happened to miss.
+//!
+//! # Constraint model
+//!
+//! The trace is segmented into **blocks**: maximal same-thread event
+//! runs delimited by [`TraceEvent::ThreadSwitch`]. Blocks are the unit
+//! of reordering (the scheduler context-switches between events, never
+//! inside one). Edges over blocks:
+//!
+//! * **program order** — consecutive blocks of the same thread;
+//! * **fork** — a thread's first block is ordered after the block that
+//!   ran immediately before it (the forking thread's run), matching
+//!   [`crate::RacePass`]'s fork rule;
+//! * **shootdown walls** — a block containing a [`TraceEvent::Shootdown`]
+//!   is a global barrier (the initiating core IPIs every core and waits,
+//!   §IV.B): it is ordered after every observed-earlier block and before
+//!   every observed-later one.
+//!
+//! Deliberately *absent* is any access→`Detach` or flush→commit edge:
+//! that weakening (happens-before → a WCP-like "what the trace's own
+//! synchronization actually enforces") is exactly what lets the pass
+//! predict schedules the observed one did not take.
+//!
+//! # What is predictable here — and what is not
+//!
+//! Only *order-sensitive* violation classes gain anything from
+//! reordering:
+//!
+//! * **stale-window accesses** (`StaleWindowAccess`, the paper's §IV.B
+//!   hazard and the libmpk/ERIM key-reuse-after-evict window): an access
+//!   observed *before* an unsettled detach (no same-block shootdown) can
+//!   be delayed past it;
+//! * **persist-order violations** (`UnflushedDirtyAtCommit`,
+//!   `UnfencedFlushAtCommit`, `StoreWithoutPersistedLog`): another
+//!   thread's flush/fence that the commit-flag store depends on can be
+//!   delayed past the commit.
+//!
+//! Two classes are provably *not* reordering-reachable and generate no
+//! candidates: cross-thread races (the `hb-race` relation draws edges
+//! only from forks and shootdowns, so an unordered pair races in *every*
+//! feasible schedule — the manifest pass is already predictive), and
+//! switch-gate stores (`GatePass` is thread-local by construction, and
+//! program order within a thread is never reorderable).
+//!
+//! # Verify-before-emit
+//!
+//! Every candidate reordering is materialized as a concrete **witness
+//! trace** (a deterministic topological relinearization that delays
+//! exactly one block past another) and replayed through the manifest
+//! passes ([`crate::RacePass`] + [`crate::PersistOrderPass`]). A finding
+//! is emitted only when the expected class manifests at the reordered
+//! event's position in the witness *and* was absent at the original
+//! position in the observed order — the witness is the proof, and
+//! [`witness_events`] rebuilds it from the two endpoint positions for
+//! the repro path.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use pmo_runtime::{hdr, heap_base_for};
+use pmo_trace::{PmoId, ThreadId, TraceEvent, TraceSink, Va};
+
+use crate::diag::{AnalyzerPass, Diagnostic, EventCtx, Severity, ViolationClass};
+use crate::persist::PersistOrderPass;
+use crate::race::RacePass;
+
+/// How many events the streaming [`PredictPass`] buffers before it stops
+/// extending the model (overflow is counted and reported as a lint).
+pub const PREDICT_EVENT_CAP: usize = 1 << 20;
+
+/// How many candidate reorderings one prediction explores (counted).
+pub const PREDICT_CANDIDATE_CAP: usize = 4096;
+
+/// How many verified findings one prediction reports (counted).
+pub const PREDICT_FINDING_CAP: usize = 64;
+
+/// Per-detach cap on candidate accesses considered (nearest first).
+const PER_ANCHOR_CAP: usize = 64;
+
+/// Per-PMO cap on remembered accesses for stale-window candidates.
+const ACCESS_CAP: usize = 4096;
+
+/// One maximal same-thread run of events.
+#[derive(Clone, Copy, Debug)]
+struct Block {
+    thread: ThreadId,
+    /// First event index (a `ThreadSwitch` for every block but possibly
+    /// the first).
+    start: usize,
+    /// One past the last event index.
+    end: usize,
+    /// Whether the block contains a `Shootdown` (global barrier).
+    wall: bool,
+}
+
+fn blocks_of(events: &[TraceEvent]) -> Vec<Block> {
+    let mut starts = vec![0usize];
+    for (i, ev) in events.iter().enumerate() {
+        if i != 0 && matches!(ev, TraceEvent::ThreadSwitch { .. }) {
+            starts.push(i);
+        }
+    }
+    let mut blocks = Vec::with_capacity(starts.len());
+    for (bi, &start) in starts.iter().enumerate() {
+        let end = starts.get(bi + 1).copied().unwrap_or(events.len());
+        let thread = match events[start] {
+            TraceEvent::ThreadSwitch { thread } => thread,
+            _ => ThreadId::MAIN,
+        };
+        let wall = events[start..end].iter().any(|ev| matches!(ev, TraceEvent::Shootdown { .. }));
+        blocks.push(Block { thread, start, end, wall });
+    }
+    blocks
+}
+
+/// Block index containing event position `pos`.
+fn block_of(blocks: &[Block], pos: usize) -> usize {
+    blocks.partition_point(|b| b.start <= pos) - 1
+}
+
+/// Builds the constraint DAG over blocks: successor lists + in-degrees.
+/// Wall ordering is chained through consecutive walls so the edge count
+/// stays linear.
+fn build_dag(blocks: &[Block]) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let n = blocks.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    let mut last_of_thread: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut prev_wall: Option<usize> = None;
+    for b in 0..n {
+        let t = blocks[b].thread.raw();
+        match last_of_thread.get(&t) {
+            Some(&p) => {
+                succs[p].push(b);
+                indeg[b] += 1;
+            }
+            None if b > 0 => {
+                // Fork: ordered after whoever ran just before.
+                succs[b - 1].push(b);
+                indeg[b] += 1;
+            }
+            None => {}
+        }
+        last_of_thread.insert(t, b);
+        if blocks[b].wall {
+            // Everything since the previous wall (inclusive) precedes
+            // this wall; earlier blocks are ordered transitively.
+            let lo = prev_wall.unwrap_or(0);
+            for s in &mut succs[lo..b] {
+                s.push(b);
+                indeg[b] += 1;
+            }
+            prev_wall = Some(b);
+        } else if let Some(w) = prev_wall {
+            succs[w].push(b);
+            indeg[b] += 1;
+        }
+    }
+    (succs, indeg)
+}
+
+/// Kahn linearization with min-observed-index priority plus the virtual
+/// edge `anchor → moved`: the result is the observed order with exactly
+/// the moved block (and anything program-ordered after it) delayed until
+/// the anchor block has run. `None` when the constraint model orders the
+/// pair (the reordering is infeasible).
+fn linearize(
+    succs: &[Vec<usize>],
+    indeg: &[usize],
+    moved_block: usize,
+    anchor_block: usize,
+) -> Option<Vec<usize>> {
+    let n = succs.len();
+    let mut indeg = indeg.to_vec();
+    indeg[moved_block] += 1; // virtual edge anchor -> moved
+    let mut heap: BinaryHeap<Reverse<usize>> = BinaryHeap::new();
+    for (b, &d) in indeg.iter().enumerate() {
+        if d == 0 {
+            heap.push(Reverse(b));
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse(b)) = heap.pop() {
+        order.push(b);
+        let release = |s: usize, indeg: &mut Vec<usize>, heap: &mut BinaryHeap<Reverse<usize>>| {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                heap.push(Reverse(s));
+            }
+        };
+        for &s in &succs[b] {
+            release(s, &mut indeg, &mut heap);
+        }
+        if b == anchor_block {
+            release(moved_block, &mut indeg, &mut heap);
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// A witness trace plus the permuted positions of the two endpoints.
+struct Witness {
+    events: Vec<TraceEvent>,
+    moved_pos: u64,
+    anchor_pos: u64,
+}
+
+/// Emits the permuted trace for a block order, regenerating
+/// `ThreadSwitch` events (the originals are dropped; a switch is emitted
+/// whenever the running thread changes) and tracking where the two
+/// endpoint events land.
+fn emit_witness(
+    events: &[TraceEvent],
+    blocks: &[Block],
+    order: &[usize],
+    moved: usize,
+    anchor: usize,
+) -> Witness {
+    let mut out = Vec::with_capacity(events.len());
+    let mut cur = ThreadId::MAIN;
+    let (mut moved_pos, mut anchor_pos) = (0u64, 0u64);
+    for &b in order {
+        let blk = &blocks[b];
+        if blk.thread != cur {
+            out.push(TraceEvent::ThreadSwitch { thread: blk.thread });
+            cur = blk.thread;
+        }
+        for (i, ev) in events.iter().enumerate().take(blk.end).skip(blk.start) {
+            if matches!(ev, TraceEvent::ThreadSwitch { .. }) {
+                continue;
+            }
+            if i == moved {
+                moved_pos = out.len() as u64;
+            }
+            if i == anchor {
+                anchor_pos = out.len() as u64;
+            }
+            out.push(*ev);
+        }
+    }
+    Witness { events: out, moved_pos, anchor_pos }
+}
+
+/// Rebuilds the deterministic witness reordering for a predicted finding
+/// from its two endpoint positions: the trace in which the event at
+/// `moved` (and everything program-ordered after it) is delayed until
+/// just after the event at `anchor`. Returns the permuted trace plus the
+/// permuted positions of (`moved`, `anchor`), or `None` when the
+/// constraint model orders the pair.
+///
+/// This is the repro path: feeding the returned trace to the manifest
+/// passes re-manifests the predicted violation at the returned position.
+#[must_use]
+pub fn witness_events(
+    events: &[TraceEvent],
+    moved: u64,
+    anchor: u64,
+) -> Option<(Vec<TraceEvent>, u64, u64)> {
+    let (moved, anchor) = (moved as usize, anchor as usize);
+    if moved >= events.len() || anchor >= events.len() || moved >= anchor {
+        return None;
+    }
+    let blocks = blocks_of(events);
+    let (mb, ab) = (block_of(&blocks, moved), block_of(&blocks, anchor));
+    if mb == ab || blocks[mb].wall || blocks[ab].wall {
+        return None;
+    }
+    let (succs, indeg) = build_dag(&blocks);
+    let order = linearize(&succs, &indeg, mb, ab)?;
+    let w = emit_witness(events, &blocks, &order, moved, anchor);
+    Some((w.events, w.moved_pos, w.anchor_pos))
+}
+
+/// Which reordering shape a candidate explores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CandKind {
+    /// Delay an access past an unsettled detach (stale window).
+    Stale,
+    /// Delay a flush/fence past a commit-flag store (persist order).
+    Persist,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Candidate {
+    kind: CandKind,
+    /// Observed position of the event whose block is delayed.
+    moved: usize,
+    /// Observed position of the event it is delayed past.
+    anchor: usize,
+    /// The domain involved (for the message).
+    pmo: PmoId,
+    /// The moved event's address (access va, or flush va / 0 for fence).
+    va: Va,
+}
+
+/// One verified predicted finding: a feasible reordering that manifests
+/// a violation absent from the observed schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PredictedFinding {
+    /// The class the witness reordering manifests.
+    pub class: ViolationClass,
+    /// Observed position and thread of the delayed event.
+    pub moved: (u64, ThreadId),
+    /// Observed position and thread of the event it is delayed past.
+    pub anchor: (u64, ThreadId),
+    /// Position of the manifesting diagnostic inside the witness trace.
+    pub witness_position: u64,
+    /// Human-readable description carrying both endpoints.
+    pub message: String,
+}
+
+/// The outcome of one predictive analysis.
+#[derive(Clone, Debug, Default)]
+pub struct Prediction {
+    /// Events analyzed.
+    pub events: usize,
+    /// Blocks (maximal same-thread runs) in the constraint model.
+    pub blocks: usize,
+    /// Candidate reorderings explored.
+    pub candidates: usize,
+    /// Candidates beyond [`PREDICT_CANDIDATE_CAP`] (counted, not lost
+    /// silently).
+    pub candidates_dropped: usize,
+    /// Verified findings (each carries a replayable witness).
+    pub findings: Vec<PredictedFinding>,
+    /// Findings beyond [`PREDICT_FINDING_CAP`].
+    pub findings_dropped: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct DetachSite {
+    pos: usize,
+    block: usize,
+    thread: ThreadId,
+    pmo: PmoId,
+    base: Va,
+    end: Va,
+    /// A `Shootdown` for the same pmo inside the same block settles the
+    /// detach: the window never opens in any feasible order.
+    settled: bool,
+}
+
+struct PoolModel {
+    pmo: PmoId,
+    flag_va: Va,
+    log_end: Va,
+    commit_open: bool,
+}
+
+/// Runs the manifest passes the witness check replays: happens-before
+/// races/stale windows and persist ordering. Gate and permission-window
+/// policies are thread-local or thread-agnostic and are invariant under
+/// block reordering, so they add nothing here.
+fn manifest_replay(events: &[TraceEvent], source: &str) -> crate::diag::AnalysisReport {
+    let mut a = crate::diag::Analyzer::new(source)
+        .with_pass(RacePass::new())
+        .with_pass(PersistOrderPass::new());
+    for ev in events {
+        a.event(*ev);
+    }
+    a.finish()
+}
+
+fn accept_classes(kind: CandKind) -> &'static [ViolationClass] {
+    match kind {
+        CandKind::Stale => &[ViolationClass::StaleWindowAccess],
+        CandKind::Persist => &[
+            ViolationClass::UnflushedDirtyAtCommit,
+            ViolationClass::UnfencedFlushAtCommit,
+            ViolationClass::StoreWithoutPersistedLog,
+        ],
+    }
+}
+
+/// Collects candidate reorderings from one linear scan of the trace.
+#[allow(clippy::too_many_lines)]
+fn collect_candidates(events: &[TraceEvent], blocks: &[Block]) -> (Vec<Candidate>, usize) {
+    // Pre-scan: only pmos that are ever detached need access history.
+    let detached: BTreeSet<PmoId> = events
+        .iter()
+        .filter_map(|ev| match *ev {
+            TraceEvent::Detach { pmo } => Some(pmo),
+            _ => None,
+        })
+        .collect();
+
+    let mut regions: BTreeMap<PmoId, (Va, Va)> = BTreeMap::new();
+    let mut accesses: BTreeMap<PmoId, Vec<(usize, ThreadId, Va)>> = BTreeMap::new();
+    let mut detaches: Vec<DetachSite> = Vec::new();
+    let mut pools: BTreeMap<Va, PoolModel> = BTreeMap::new();
+    let mut last_fence: Option<(usize, ThreadId)> = None;
+    let mut last_log_flush: BTreeMap<Va, (usize, ThreadId, Va)> = BTreeMap::new();
+    let mut dropped = 0usize;
+    let mut cands: Vec<Candidate> = Vec::new();
+    let mut cur = ThreadId::MAIN;
+
+    let region_of = |regions: &BTreeMap<PmoId, (Va, Va)>, va: Va| {
+        regions
+            .iter()
+            .find(|(_, &(base, end))| va >= base && va < end)
+            .map(|(&p, &(base, end))| (p, base, end))
+    };
+
+    for (i, ev) in events.iter().enumerate() {
+        match *ev {
+            TraceEvent::ThreadSwitch { thread } => cur = thread,
+            TraceEvent::Attach { pmo, base, size, .. } => {
+                regions.insert(pmo, (base, base + size));
+                pools.insert(
+                    base,
+                    PoolModel {
+                        pmo,
+                        flag_va: base + hdr::COMMIT_FLAG,
+                        log_end: base + heap_base_for(size),
+                        commit_open: false,
+                    },
+                );
+            }
+            TraceEvent::Detach { pmo } => {
+                if let Some(&(base, end)) = regions.get(&pmo) {
+                    regions.remove(&pmo);
+                    detaches.push(DetachSite {
+                        pos: i,
+                        block: block_of(blocks, i),
+                        thread: cur,
+                        pmo,
+                        base,
+                        end,
+                        settled: false,
+                    });
+                }
+            }
+            TraceEvent::Shootdown { pmo } => {
+                let b = block_of(blocks, i);
+                if let Some(d) = detaches.iter_mut().rev().find(|d| d.pmo == pmo && d.block == b) {
+                    d.settled = true;
+                }
+            }
+            TraceEvent::Fence => last_fence = Some((i, cur)),
+            TraceEvent::Flush { va } => {
+                if let Some((&base, pool)) =
+                    pools.range(..=va).next_back().filter(|(_, p)| va < p.log_end)
+                {
+                    let _ = pool;
+                    last_log_flush.insert(base, (i, cur, va));
+                }
+            }
+            TraceEvent::Load { va, .. }
+            | TraceEvent::Store { va, .. }
+            | TraceEvent::StoreData { va, .. } => {
+                if let Some((pmo, _, _)) = region_of(&regions, va) {
+                    if detached.contains(&pmo) {
+                        let list = accesses.entry(pmo).or_default();
+                        if list.len() < ACCESS_CAP {
+                            list.push((i, cur, va));
+                        } else {
+                            dropped += 1;
+                        }
+                    }
+                }
+                // Commit-flag store: persist-order candidates.
+                let is_store = !matches!(ev, TraceEvent::Load { .. });
+                if is_store {
+                    if let Some((&base, pool)) = pools.range(..=va).next_back() {
+                        if va == pool.flag_va {
+                            let was_open = pool.commit_open;
+                            let now_open = match *ev {
+                                TraceEvent::StoreData { data, .. } => data != 0,
+                                _ => !was_open,
+                            };
+                            if now_open && !was_open {
+                                let anchor_block = block_of(blocks, i);
+                                let pool_pmo = pool.pmo;
+                                let mut push = |mp: usize, mt: ThreadId, mva: Va| {
+                                    if mt != cur && block_of(blocks, mp) != anchor_block {
+                                        cands.push(Candidate {
+                                            kind: CandKind::Persist,
+                                            moved: mp,
+                                            anchor: i,
+                                            pmo: pool_pmo,
+                                            va: mva,
+                                        });
+                                    }
+                                };
+                                if let Some((fp, ft)) = last_fence {
+                                    push(fp, ft, 0);
+                                }
+                                if let Some(&(fp, ft, fva)) = last_log_flush.get(&base) {
+                                    push(fp, ft, fva);
+                                }
+                            }
+                            let pool = pools.get_mut(&base).expect("present");
+                            pool.commit_open = now_open;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Stale-window candidates: for each unsettled detach, the nearest
+    // earlier cross-thread accesses into its region.
+    for d in &detaches {
+        if d.settled {
+            continue;
+        }
+        let Some(list) = accesses.get(&d.pmo) else { continue };
+        let mut taken = 0usize;
+        for &(pos, thread, va) in list.iter().rev() {
+            if pos >= d.pos || va < d.base || va >= d.end {
+                continue;
+            }
+            if thread == d.thread || block_of(blocks, pos) == d.block {
+                continue;
+            }
+            if taken == PER_ANCHOR_CAP {
+                dropped += 1;
+                continue;
+            }
+            taken += 1;
+            cands.push(Candidate {
+                kind: CandKind::Stale,
+                moved: pos,
+                anchor: d.pos,
+                pmo: d.pmo,
+                va,
+            });
+        }
+    }
+
+    // Deterministic order: by (anchor, moved), deduplicated.
+    cands.sort_by_key(|c| (c.anchor, c.moved));
+    cands.dedup_by_key(|c| (c.anchor, c.moved));
+    (cands, dropped)
+}
+
+fn moved_kind(ev: &TraceEvent) -> &'static str {
+    match ev {
+        TraceEvent::Load { .. } => "load",
+        TraceEvent::Store { .. } | TraceEvent::StoreData { .. } => "store",
+        TraceEvent::Flush { .. } => "flush",
+        TraceEvent::Fence => "fence",
+        _ => "event",
+    }
+}
+
+/// Runs the full predictive analysis over an event slice: builds the
+/// constraint model, generates targeted candidate reorderings, and
+/// verifies each against the manifest passes before reporting. Pure and
+/// deterministic: the same events always yield the same prediction.
+#[must_use]
+pub fn predict(events: &[TraceEvent]) -> Prediction {
+    let mut out = Prediction { events: events.len(), ..Prediction::default() };
+    if events.is_empty() {
+        return out;
+    }
+    let blocks = blocks_of(events);
+    out.blocks = blocks.len();
+    let (mut cands, pre_dropped) = collect_candidates(events, &blocks);
+    out.candidates_dropped = pre_dropped;
+    if cands.len() > PREDICT_CANDIDATE_CAP {
+        out.candidates_dropped += cands.len() - PREDICT_CANDIDATE_CAP;
+        cands.truncate(PREDICT_CANDIDATE_CAP);
+    }
+    out.candidates = cands.len();
+    if cands.is_empty() {
+        return out;
+    }
+
+    let (succs, indeg) = build_dag(&blocks);
+    // Baseline: classes already manifest at a position in the observed
+    // order never become predictions (they belong to the manifest pass).
+    let baseline: BTreeSet<(u64, &'static str)> = manifest_replay(events, "predict-baseline")
+        .errors()
+        .map(|d| (d.position, d.class.name()))
+        .collect();
+
+    let mut seen: BTreeSet<(&'static str, u64)> = BTreeSet::new();
+    for c in cands {
+        let (mb, ab) = (block_of(&blocks, c.moved), block_of(&blocks, c.anchor));
+        if mb == ab || blocks[mb].wall || blocks[ab].wall {
+            continue;
+        }
+        let Some(order) = linearize(&succs, &indeg, mb, ab) else { continue };
+        let w = emit_witness(events, &blocks, &order, c.moved, c.anchor);
+        let expected_pos = match c.kind {
+            CandKind::Stale => w.moved_pos,
+            CandKind::Persist => w.anchor_pos,
+        };
+        let accept = accept_classes(c.kind);
+        let rep = manifest_replay(&w.events, "predict-witness");
+        let Some(hit) =
+            rep.errors().find(|d| d.position == expected_pos && accept.contains(&d.class))
+        else {
+            continue;
+        };
+        let orig_pos = match c.kind {
+            CandKind::Stale => c.moved,
+            CandKind::Persist => c.anchor,
+        } as u64;
+        if baseline.contains(&(orig_pos, hit.class.name())) {
+            continue;
+        }
+        if !seen.insert((hit.class.name(), orig_pos)) {
+            continue;
+        }
+        if out.findings.len() == PREDICT_FINDING_CAP {
+            out.findings_dropped += 1;
+            continue;
+        }
+        let mt = blocks[mb].thread;
+        let at = blocks[ab].thread;
+        let message = match c.kind {
+            CandKind::Stale => format!(
+                "predicted stale window: {} at {:#x} by thread {mt} (event {}) can be \
+                 delayed past the unsettled detach of pmo {} by thread {at} (event {}); \
+                 witness reordering manifests {} at witness position {}",
+                moved_kind(&events[c.moved]),
+                c.va,
+                c.moved,
+                c.pmo,
+                c.anchor,
+                hit.class,
+                w.moved_pos,
+            ),
+            CandKind::Persist => format!(
+                "predicted persist-order violation: {} by thread {mt} (event {}) can be \
+                 delayed past the commit-flag store by thread {at} (event {}); witness \
+                 reordering manifests {} at witness position {}",
+                moved_kind(&events[c.moved]),
+                c.moved,
+                c.anchor,
+                hit.class,
+                w.anchor_pos,
+            ),
+        };
+        out.findings.push(PredictedFinding {
+            class: hit.class,
+            moved: (c.moved as u64, mt),
+            anchor: (c.anchor as u64, at),
+            witness_position: expected_pos,
+            message,
+        });
+    }
+    out
+}
+
+/// The streaming wrapper: buffers events (bounded by
+/// [`PREDICT_EVENT_CAP`], overflow counted) and runs [`predict`] at end
+/// of trace, emitting one error diagnostic per verified finding plus a
+/// truncation lint when anything was dropped.
+#[derive(Default)]
+pub struct PredictPass {
+    buf: Vec<TraceEvent>,
+    overflow: usize,
+}
+
+impl PredictPass {
+    /// New pass.
+    #[must_use]
+    pub fn new() -> Self {
+        PredictPass::default()
+    }
+}
+
+impl AnalyzerPass for PredictPass {
+    fn name(&self) -> &'static str {
+        "predict"
+    }
+
+    fn check(&mut self, _ctx: EventCtx, ev: &TraceEvent, _out: &mut Vec<Diagnostic>) {
+        if self.buf.len() < PREDICT_EVENT_CAP {
+            self.buf.push(*ev);
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    fn finish(&mut self, ctx: EventCtx, out: &mut Vec<Diagnostic>) {
+        let prediction = predict(&self.buf);
+        for f in &prediction.findings {
+            out.push(Diagnostic {
+                pass: self.name(),
+                class: f.class,
+                severity: Severity::Error,
+                thread: f.moved.1,
+                position: f.moved.0,
+                message: f.message.clone(),
+            });
+        }
+        let dropped = self.overflow + prediction.candidates_dropped + prediction.findings_dropped;
+        if dropped > 0 {
+            out.push(Diagnostic {
+                pass: self.name(),
+                class: ViolationClass::PredictionTruncated,
+                severity: Severity::Lint,
+                thread: ctx.thread,
+                position: ctx.pos,
+                message: format!(
+                    "prediction truncated: {} events beyond the buffer cap, {} candidates \
+                     and {} findings beyond their caps (counted, not silently lost)",
+                    self.overflow, prediction.candidates_dropped, prediction.findings_dropped
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmo_runtime::HEADER_SIZE;
+
+    const BASE: Va = 0x20_0000;
+    const SIZE: u64 = 1 << 20;
+
+    fn attach() -> TraceEvent {
+        TraceEvent::Attach { pmo: PmoId::new(1), base: BASE, size: SIZE, nvm: true }
+    }
+
+    fn switch(t: u32) -> TraceEvent {
+        TraceEvent::ThreadSwitch { thread: ThreadId::new(t) }
+    }
+
+    fn flag_va() -> Va {
+        BASE + hdr::COMMIT_FLAG
+    }
+
+    fn log_va() -> Va {
+        BASE + HEADER_SIZE
+    }
+
+    #[test]
+    fn single_thread_trace_has_no_candidates() {
+        let events = [
+            attach(),
+            TraceEvent::Store { va: BASE + 0x100, size: 8 },
+            TraceEvent::Detach { pmo: PmoId::new(1) },
+        ];
+        let p = predict(&events);
+        assert_eq!(p.candidates, 0, "same-thread pairs are program-ordered");
+        assert!(p.findings.is_empty());
+    }
+
+    #[test]
+    fn stale_window_reordering_predicted() {
+        // t1's load is observed *before* the unsettled detach: manifest
+        // passes are silent, but delaying t1 past the detach is feasible.
+        let events = [
+            attach(),
+            TraceEvent::Store { va: BASE + 0x100, size: 8 },
+            switch(1),
+            TraceEvent::Load { va: BASE + 0x200, size: 8 },
+            switch(0),
+            TraceEvent::Detach { pmo: PmoId::new(1) },
+        ];
+        assert!(manifest_replay(&events, "t").passed(), "observed order is clean");
+        let p = predict(&events);
+        assert_eq!(p.findings.len(), 1, "{p:?}");
+        let f = &p.findings[0];
+        assert_eq!(f.class, ViolationClass::StaleWindowAccess);
+        assert_eq!(f.moved, (3, ThreadId::new(1)));
+        assert_eq!(f.anchor, (5, ThreadId::MAIN));
+        assert!(f.message.contains("event 3") && f.message.contains("event 5"), "{}", f.message);
+    }
+
+    #[test]
+    fn predicted_witness_replays_through_the_repro_path() {
+        let events = [
+            attach(),
+            TraceEvent::Store { va: BASE + 0x100, size: 8 },
+            switch(1),
+            TraceEvent::Load { va: BASE + 0x200, size: 8 },
+            switch(0),
+            TraceEvent::Detach { pmo: PmoId::new(1) },
+        ];
+        let p = predict(&events);
+        let f = &p.findings[0];
+        let (witness, moved_pos, _) =
+            witness_events(&events, f.moved.0, f.anchor.0).expect("witness rebuilds");
+        assert_eq!(moved_pos, f.witness_position);
+        let rep = manifest_replay(&witness, "repro");
+        assert!(
+            rep.errors().any(|d| d.class == f.class && d.position == f.witness_position),
+            "{rep}"
+        );
+    }
+
+    #[test]
+    fn shootdown_in_detach_block_settles_the_window() {
+        let events = [
+            attach(),
+            switch(1),
+            TraceEvent::Load { va: BASE + 0x200, size: 8 },
+            switch(0),
+            TraceEvent::Detach { pmo: PmoId::new(1) },
+            TraceEvent::Shootdown { pmo: PmoId::new(1) },
+        ];
+        let p = predict(&events);
+        assert!(p.findings.is_empty(), "settled detach cannot open a window: {p:?}");
+    }
+
+    #[test]
+    fn wall_between_endpoints_makes_reordering_infeasible() {
+        // A shootdown (of an unrelated pmo) between the access and the
+        // detach is a global barrier: the pair is ordered.
+        let events = [
+            attach(),
+            TraceEvent::Attach {
+                pmo: PmoId::new(2),
+                base: BASE + (2 << 20),
+                size: SIZE,
+                nvm: true,
+            },
+            switch(1),
+            TraceEvent::Load { va: BASE + 0x200, size: 8 },
+            switch(0),
+            TraceEvent::Detach { pmo: PmoId::new(2) },
+            TraceEvent::Shootdown { pmo: PmoId::new(2) },
+            TraceEvent::Detach { pmo: PmoId::new(1) },
+        ];
+        let p = predict(&events);
+        assert!(p.findings.is_empty(), "{p:?}");
+    }
+
+    #[test]
+    fn persist_order_reordering_predicted() {
+        // t1 flushes and fences t0's log line; t0 then sets the commit
+        // flag. Observed order persists the log first — but nothing
+        // orders t1's block before the commit.
+        let events = [
+            attach(),
+            TraceEvent::Store { va: log_va(), size: 8 },
+            switch(1),
+            TraceEvent::Flush { va: log_va() },
+            TraceEvent::Fence,
+            switch(0),
+            TraceEvent::Store { va: flag_va(), size: 8 },
+        ];
+        assert!(manifest_replay(&events, "t").passed(), "observed order is clean");
+        let p = predict(&events);
+        assert!(
+            p.findings.iter().any(|f| f.class == ViolationClass::UnflushedDirtyAtCommit),
+            "{p:?}"
+        );
+        let f = &p.findings[0];
+        assert_eq!(f.anchor.0, 6, "anchor is the commit store");
+        assert!(f.message.contains("commit-flag store"), "{}", f.message);
+    }
+
+    #[test]
+    fn same_thread_persist_protocol_is_not_reorderable() {
+        let events = [
+            attach(),
+            TraceEvent::Store { va: log_va(), size: 8 },
+            TraceEvent::Flush { va: log_va() },
+            TraceEvent::Fence,
+            TraceEvent::Store { va: flag_va(), size: 8 },
+        ];
+        let p = predict(&events);
+        assert!(p.findings.is_empty(), "{p:?}");
+    }
+
+    #[test]
+    fn manifest_violations_are_not_re_predicted() {
+        // Access *after* an unsettled detach: the manifest RacePass
+        // already fires; predict must stay silent on it.
+        let events = [
+            attach(),
+            TraceEvent::Store { va: BASE + 0x100, size: 8 },
+            TraceEvent::Detach { pmo: PmoId::new(1) },
+            switch(1),
+            TraceEvent::Load { va: BASE + 0x100, size: 8 },
+        ];
+        assert!(!manifest_replay(&events, "t").passed(), "manifestly stale");
+        let p = predict(&events);
+        assert!(p.findings.is_empty(), "{p:?}");
+    }
+
+    #[test]
+    fn predict_pass_emits_positioned_diagnostics() {
+        let mut a = crate::diag::Analyzer::new("predict-pass").with_pass(PredictPass::new());
+        for ev in [
+            attach(),
+            TraceEvent::Store { va: BASE + 0x100, size: 8 },
+            switch(1),
+            TraceEvent::Load { va: BASE + 0x200, size: 8 },
+            switch(0),
+            TraceEvent::Detach { pmo: PmoId::new(1) },
+        ] {
+            a.event(ev);
+        }
+        let report = a.finish();
+        let d = report.errors().next().expect("one prediction");
+        assert_eq!(d.pass, "predict");
+        assert_eq!(d.class, ViolationClass::StaleWindowAccess);
+        assert_eq!(d.position, 3);
+        assert_eq!(d.thread, ThreadId::new(1));
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let events = [
+            attach(),
+            TraceEvent::Store { va: BASE + 0x100, size: 8 },
+            switch(1),
+            TraceEvent::Load { va: BASE + 0x200, size: 8 },
+            TraceEvent::Load { va: BASE + 0x300, size: 8 },
+            switch(0),
+            TraceEvent::Detach { pmo: PmoId::new(1) },
+        ];
+        let a = predict(&events);
+        let b = predict(&events);
+        assert_eq!(a.findings, b.findings);
+        assert_eq!(a.candidates, b.candidates);
+    }
+}

@@ -25,7 +25,7 @@
 use std::collections::BTreeMap;
 
 use pmo_runtime::LINE;
-use pmo_trace::{PmoId, TraceEvent, Va};
+use pmo_trace::{PmoId, ThreadId, TraceEvent, Va};
 
 use crate::diag::{AnalyzerPass, Diagnostic, EventCtx, Severity, ViolationClass};
 
@@ -41,10 +41,10 @@ fn clock_join(into: &mut Clock, other: &Clock) {
 
 #[derive(Debug, Default)]
 struct LineMeta {
-    /// The last write: (thread, epoch at write).
-    last_write: Option<(u32, u64)>,
-    /// Reads since the last write: thread -> epoch.
-    reads: BTreeMap<u32, u64>,
+    /// The last write: (thread, epoch at write, event position).
+    last_write: Option<(u32, u64, u64)>,
+    /// Reads since the last write: thread -> (epoch, event position).
+    reads: BTreeMap<u32, (u64, u64)>,
 }
 
 /// The happens-before race / stale-window pass.
@@ -54,8 +54,9 @@ pub struct RacePass {
     current: u32,
     /// Attached regions: base -> (end, pmo).
     regions: BTreeMap<Va, (Va, PmoId)>,
-    /// Detached-without-shootdown hazard windows: (base, end, pmo).
-    stale: Vec<(Va, Va, PmoId)>,
+    /// Detached-without-shootdown hazard windows:
+    /// (base, end, pmo, detach position, detaching thread).
+    stale: Vec<(Va, Va, PmoId, u64, ThreadId)>,
     lines: BTreeMap<Va, LineMeta>,
 }
 
@@ -85,8 +86,11 @@ impl RacePass {
         (va < *end).then_some(*pmo)
     }
 
-    fn stale_region_of(&self, va: Va) -> Option<PmoId> {
-        self.stale.iter().find(|(base, end, _)| va >= *base && va < *end).map(|(_, _, p)| *p)
+    fn stale_region_of(&self, va: Va) -> Option<(PmoId, u64, ThreadId)> {
+        self.stale
+            .iter()
+            .find(|(base, end, ..)| va >= *base && va < *end)
+            .map(|&(_, _, p, pos, t)| (p, pos, t))
     }
 
     fn diag(ctx: EventCtx, class: ViolationClass, message: String) -> Diagnostic {
@@ -102,14 +106,16 @@ impl RacePass {
 
     fn access(&mut self, va: Va, size: u8, write: bool, ctx: EventCtx, out: &mut Vec<Diagnostic>) {
         let Some(pmo) = self.region_of(va) else {
-            if let Some(stale_pmo) = self.stale_region_of(va) {
+            if let Some((stale_pmo, dpos, dthread)) = self.stale_region_of(va) {
                 out.push(Self::diag(
                     ctx,
                     ViolationClass::StaleWindowAccess,
                     format!(
-                        "{} at {va:#x} races the revoke of pmo {stale_pmo}: mapping torn down \
-                         with no intervening ranged shootdown",
+                        "{} at {va:#x} (event {}) races the revoke of pmo {stale_pmo} by \
+                         thread {dthread} (event {dpos}): mapping torn down with no \
+                         intervening ranged shootdown",
                         if write { "store" } else { "load" },
+                        ctx.pos,
                     ),
                 ));
             }
@@ -130,36 +136,38 @@ impl RacePass {
         let mut line = va & !(LINE - 1);
         while line < end {
             let meta = self.lines.entry(line).or_default();
-            if let Some((wt, we)) = meta.last_write {
+            if let Some((wt, we, wpos)) = meta.last_write {
                 if wt != me && seen(wt) < we {
                     out.push(Self::diag(
                         ctx,
                         ViolationClass::CrossThreadRace,
                         format!(
-                            "thread {me} {} line {line:#x} of pmo {pmo} unordered with thread \
-                             {wt}'s write",
+                            "thread {me} {} line {line:#x} of pmo {pmo} (event {}) unordered \
+                             with thread {wt}'s write (event {wpos})",
                             if write { "writes" } else { "reads" },
+                            ctx.pos,
                         ),
                     ));
                 }
             }
             if write {
-                for (&rt, &re) in &meta.reads {
+                for (&rt, &(re, rpos)) in &meta.reads {
                     if rt != me && seen(rt) < re {
                         out.push(Self::diag(
                             ctx,
                             ViolationClass::CrossThreadRace,
                             format!(
-                                "thread {me} writes line {line:#x} of pmo {pmo} unordered with \
-                                 thread {rt}'s read"
+                                "thread {me} writes line {line:#x} of pmo {pmo} (event {}) \
+                                 unordered with thread {rt}'s read (event {rpos})",
+                                ctx.pos,
                             ),
                         ));
                     }
                 }
-                meta.last_write = Some((me, epoch));
+                meta.last_write = Some((me, epoch, ctx.pos));
                 meta.reads.clear();
             } else {
-                meta.reads.insert(me, epoch);
+                meta.reads.insert(me, (epoch, ctx.pos));
             }
             line += LINE;
         }
@@ -194,14 +202,14 @@ impl AnalyzerPass for RacePass {
                 for clock in self.clocks.values_mut() {
                     *clock = merged.clone();
                 }
-                self.stale.retain(|(_, _, p)| *p != pmo);
+                self.stale.retain(|(_, _, p, ..)| *p != pmo);
             }
             TraceEvent::Attach { pmo, base, size, .. } => {
                 // A fresh mapping: old hazards and line history for the
                 // range are gone (the OS cannot hand out a range whose
                 // shootdown it still owes).
                 let end = base + size;
-                self.stale.retain(|(b, e, _)| *e <= base || *b >= end);
+                self.stale.retain(|(b, e, ..)| *e <= base || *b >= end);
                 self.lines.retain(|va, _| *va < base || *va >= end);
                 self.regions.insert(base, (end, pmo));
             }
@@ -209,7 +217,7 @@ impl AnalyzerPass for RacePass {
                 if let Some((&base, &(end, _))) = self.regions.iter().find(|(_, (_, p))| *p == pmo)
                 {
                     self.regions.remove(&base);
-                    self.stale.push((base, end, pmo));
+                    self.stale.push((base, end, pmo, ctx.pos, ctx.thread));
                 }
             }
             TraceEvent::Load { va, size } => self.access(va, size, false, ctx, out),

@@ -28,9 +28,10 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use pmo_experiments::faultsim::FaultsimConfig;
+use pmo_experiments::predict::PredictConfig;
 use pmo_experiments::refine::RefineConfig;
 use pmo_experiments::soak::SoakConfig;
-use pmo_experiments::{faultsim, refine, soak, table5, table6, RunOptions, Scale};
+use pmo_experiments::{faultsim, predict, refine, soak, table5, table6, RunOptions, Scale};
 use pmo_protect::SchemeKind;
 use pmo_sim::{Replay, ReplayReport};
 use pmo_simarch::SimConfig;
@@ -187,6 +188,10 @@ fn main() -> ExitCode {
     // from inside the timing closure so the worlds run exactly twice.
     let refine_programs = std::cell::Cell::new(0u64);
     let refine_schedules = std::cell::Cell::new(0u64);
+    // Prediction-certification throughput, captured the same way.
+    let predict_cfg = PredictConfig::for_scale(Scale::Quick);
+    let predict_programs = std::cell::Cell::new(0u64);
+    let predict_events = std::cell::Cell::new(0u64);
     let campaigns = [
         time_campaign("faultsim-quick", jobs, |j| {
             let cfg = FaultsimConfig::for_scale(Scale::Quick);
@@ -202,6 +207,13 @@ fn main() -> ExitCode {
             assert!(report.is_clean(), "refine-quick campaign must stay clean:\n{report}");
             refine_programs.set(report.total_programs());
             refine_schedules.set(report.total_schedules());
+            report.to_json()
+        }),
+        time_campaign("predict-quick", jobs, |j| {
+            let report = predict::run_campaign(&predict_cfg, Scale::Quick, j);
+            assert!(report.is_clean(), "predict-quick campaign must stay clean:\n{report}");
+            predict_programs.set(report.total_programs());
+            predict_events.set(report.total_events());
             report.to_json()
         }),
         time_campaign("table5-quick", jobs, |j| {
@@ -311,6 +323,23 @@ fn main() -> ExitCode {
         refine_programs.get() as f64 * 1e9 / refine_row.wall_jobsn as f64,
         refine_schedules.get() as f64 * 1e9 / refine_row.wall_jobs1 as f64,
         refine_schedules.get() as f64 * 1e9 / refine_row.wall_jobsn as f64,
+    );
+    // The prediction campaign's headline throughput: canonical programs
+    // certified (sampled trace, predictive pass, witness certification)
+    // and sampled-trace events analyzed per wall second, at both job
+    // counts.
+    let predict_row = campaigns.iter().find(|c| c.name == "predict-quick").expect("predict row");
+    let _ = write!(
+        entry,
+        ",\"predict\":{{\"programs\":{},\"events\":{},\
+         \"programs_per_sec_jobs1\":{:.0},\"programs_per_sec_jobsn\":{:.0},\
+         \"events_per_sec_jobs1\":{:.0},\"events_per_sec_jobsn\":{:.0}}}",
+        predict_programs.get(),
+        predict_events.get(),
+        predict_programs.get() as f64 * 1e9 / predict_row.wall_jobs1 as f64,
+        predict_programs.get() as f64 * 1e9 / predict_row.wall_jobsn as f64,
+        predict_events.get() as f64 * 1e9 / predict_row.wall_jobs1 as f64,
+        predict_events.get() as f64 * 1e9 / predict_row.wall_jobsn as f64,
     );
     entry.push_str(",\"replay\":[");
     for (i, r) in rows.iter().enumerate() {

@@ -13,6 +13,7 @@
 //! | Robustness (crash/fault survival matrix) | [`faultsim::run_campaign`] | `faultsim` |
 //! | Recovery verification (exhaustive crash images) | [`crashenum::run_campaign`] | `crashenum` |
 //! | Refinement + noninterference (exhaustive small worlds) | [`refine::run_campaign`] | `refine` |
+//! | Predictive-analysis certification (DPOR ground truth) | [`predict::run_campaign`] | `predict` |
 //!
 //! All binaries accept `--full` to run at the paper's scale; the default
 //! is a quick configuration that preserves every structural property
@@ -27,6 +28,7 @@ pub mod faultsim;
 pub mod fig6;
 pub mod fig7;
 pub mod pool;
+pub mod predict;
 pub mod refine;
 mod runner;
 mod scale;

@@ -34,7 +34,7 @@ use pmo_runtime::FaultPlan;
 use pmo_server::{
     nearest_rank, Op, OpOutcome, PoolServer, RetryPolicy, ServerConfig, TenantHealth, WorkloadKind,
 };
-use pmo_trace::{FaultKind, NullSink, TraceSink};
+use pmo_trace::{FaultKind, NullSink, RecordedTrace, TraceEvent, TraceSink};
 
 use crate::faultsim::FAULT_KINDS;
 use crate::Scale;
@@ -567,6 +567,16 @@ pub fn run_shard(cfg: &SoakConfig, shard: u32, watch: Option<u64>) -> ShardRepor
     } else {
         shard_body(cfg, shard, watch, &mut NullSink::new())
     }
+}
+
+/// Records one shard's full event trace — the predictive-analysis
+/// campaign's at-scale input. Same deterministic schedule as
+/// [`run_shard`], with the events captured instead of audited inline.
+#[must_use]
+pub fn shard_trace(cfg: &SoakConfig, shard: u32) -> Vec<TraceEvent> {
+    let mut trace = RecordedTrace::new();
+    shard_body(cfg, shard, None, &mut trace);
+    trace.into_events()
 }
 
 /// The shard loop: serve the schedule, arm chaos, keep the oracle, and

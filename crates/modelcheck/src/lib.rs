@@ -23,6 +23,10 @@
 //!   self-validation matrix;
 //! * [`replay`] — deterministic counterexample replay through
 //!   [`pmo_analyzer`] into positioned diagnostics;
+//! * [`oracle`] — the predictive-analysis ground truth: exhaustive
+//!   feasible-schedule enumeration, deterministic single-schedule
+//!   sampling, and the union of manifest violation classes across every
+//!   interleaving;
 //! * [`spec`] — the executable abstract specification: a permission
 //!   oracle state machine with atomic transitions and no hardware state;
 //! * [`refine`] — abstraction functions mapping each design's concrete
@@ -41,6 +45,7 @@
 
 pub mod enumerate;
 pub mod explore;
+pub mod oracle;
 pub mod program;
 pub mod refine;
 pub mod replay;
@@ -51,6 +56,10 @@ pub mod world;
 
 pub use enumerate::{enumerate_canonical, orbit_count, raw_count, to_scenario, WorldBounds};
 pub use explore::{explore, explore_mode, ExploreLimits};
+pub use oracle::{
+    all_schedules, feasible_manifest_classes, manifest_classes, sample_schedule, schedule_trace,
+    ScheduleRun,
+};
 pub use program::{dependent, model_config, Op, Program, Scenario, GB1, POOL_BYTES};
 pub use refine::{
     alpha_dom, alpha_dpti, alpha_erim, alpha_mpk, noninterference, AccessObs, NiLeak,

@@ -73,6 +73,7 @@ pub struct World {
     dpti: Dpti,
     spec: SpecMachine,
     mode: CheckMode,
+    bug: Option<ProtocolBug>,
     /// The trace recorded so far (replayable through `pmo-analyzer`).
     trace: Vec<TraceEvent>,
     /// Access observations recorded for the noninterference pass
@@ -101,6 +102,7 @@ impl World {
             dpti: Dpti::with_bug(&scenario.config, bug),
             spec: SpecMachine::new(),
             mode,
+            bug,
             trace: Vec::new(),
             obs: Vec::new(),
             current: 0,
@@ -176,6 +178,14 @@ impl World {
                     self.erim.detach(pmo);
                     self.dpti.detach(pmo);
                     self.trace.push(TraceEvent::Detach { pmo });
+                    // The schemes invalidate their cached translations
+                    // synchronously inside detach, so the canonical trace
+                    // records the revoke as settled. The detach-time
+                    // invalidation-skip bug omits exactly this record,
+                    // leaving the stale window open at trace level too.
+                    if self.bug != Some(ProtocolBug::SkipPtlbInvalidateOnDetach) {
+                        self.trace.push(TraceEvent::Shootdown { pmo });
+                    }
                 }
             }
             Op::SetPerm { pmo, perm } => {

@@ -1,7 +1,7 @@
 //! OS-managed PMO namespace: names, ownership, permission modes, attach
 //! keys, and inter-process sharing policy (paper §IV.A, second requirement).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pmo_trace::PmoId;
 
@@ -162,8 +162,8 @@ impl PoolEntry {
 /// multiple processes for reading").
 #[derive(Debug, Default)]
 pub struct Namespace {
-    pools: HashMap<String, PoolEntry>,
-    names_by_id: HashMap<PmoId, String>,
+    pools: BTreeMap<String, PoolEntry>,
+    names_by_id: BTreeMap<PmoId, String>,
     next_id: u32,
 }
 
@@ -171,7 +171,7 @@ impl Namespace {
     /// Creates an empty namespace.
     #[must_use]
     pub fn new() -> Self {
-        Namespace { pools: HashMap::new(), names_by_id: HashMap::new(), next_id: 1 }
+        Namespace { pools: BTreeMap::new(), names_by_id: BTreeMap::new(), next_id: 1 }
     }
 
     /// Registers a new pool; returns its stable PMO ID.

@@ -1,6 +1,6 @@
 //! The per-process PMO runtime: Table I API, attach/detach, accessors.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pmo_trace::{Perm, PmoId, TraceEvent, TraceSink, Va};
 
@@ -96,8 +96,8 @@ struct ActiveTxn {
 pub struct PmRuntime {
     ns: Namespace,
     aspace: AddressSpace,
-    attached: HashMap<PmoId, Attachment>,
-    free_lists: HashMap<PmoId, HashMap<u64, Vec<u32>>>,
+    attached: BTreeMap<PmoId, Attachment>,
+    free_lists: BTreeMap<PmoId, BTreeMap<u64, Vec<u32>>>,
     uid: Uid,
     last_recovery: Option<RecoveryReport>,
     txn: Option<ActiveTxn>,
@@ -116,8 +116,8 @@ impl PmRuntime {
         PmRuntime {
             ns: Namespace::new(),
             aspace: AddressSpace::new(),
-            attached: HashMap::new(),
-            free_lists: HashMap::new(),
+            attached: BTreeMap::new(),
+            free_lists: BTreeMap::new(),
             uid: 0,
             last_recovery: None,
             txn: None,

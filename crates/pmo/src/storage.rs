@@ -30,7 +30,7 @@
 //!   (ECC-uncorrectable); reads of a poisoned line return
 //!   [`RuntimeError::MediaError`] until the whole line is overwritten.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use pmo_trace::{FaultKind, PmoId};
 
@@ -80,7 +80,7 @@ impl FaultPlan {
 
 /// SplitMix64-style finalizer keyed on `(seed, lane)`: every per-line
 /// crash decision hashes through this, making outcomes independent of
-/// `HashMap` iteration order and bit-for-bit replayable.
+/// container iteration order and bit-for-bit replayable.
 fn mix(seed: u64, lane: u64) -> u64 {
     let mut z = seed ^ lane.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -92,18 +92,18 @@ fn mix(seed: u64, lane: u64) -> u64 {
 #[derive(Clone, Debug, Default)]
 pub struct PoolStorage {
     size: u64,
-    chunks: HashMap<u64, Box<[u8; CHUNK as usize]>>,
+    chunks: BTreeMap<u64, Box<[u8; CHUNK as usize]>>,
     /// line index -> persisted (pre-write) contents of that line.
-    unflushed: HashMap<u64, [u8; LINE as usize]>,
+    unflushed: BTreeMap<u64, [u8; LINE as usize]>,
     stores: u64,
     flushes: u64,
     /// Armed fault; `after_stores` counts down as writes execute.
     plan: Option<FaultPlan>,
     /// Lines written since the current plan was armed (media-error
     /// poisoning candidates).
-    touched: HashSet<u64>,
+    touched: BTreeSet<u64>,
     /// Lines an injected media error left unreadable.
-    poisoned: HashSet<u64>,
+    poisoned: BTreeSet<u64>,
     /// Pool identity reported in media-error diagnostics.
     owner: Option<PmoId>,
 }
@@ -301,9 +301,10 @@ impl PoolStorage {
     /// durable and survives the crash.
     pub fn crash(&mut self) -> u64 {
         let plan = self.plan.take();
-        let touched: Vec<u64> = self.touched.drain().collect();
+        let touched: Vec<u64> = std::mem::take(&mut self.touched).into_iter().collect();
         let lost = self.unflushed.len() as u64;
-        let reverts: Vec<(u64, [u8; LINE as usize])> = self.unflushed.drain().collect();
+        let reverts: Vec<(u64, [u8; LINE as usize])> =
+            std::mem::take(&mut self.unflushed).into_iter().collect();
         match plan.map(|p| (p.kind, p.seed)) {
             None | Some((FaultKind::PowerFailure, _)) => {
                 for (line, img) in reverts {
